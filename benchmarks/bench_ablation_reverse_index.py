@@ -1,0 +1,54 @@
+"""Ablation — the vertex->trees reverse index.
+
+DESIGN.md calls out one implementation choice on top of the paper's
+pseudocode: a global reverse index mapping each vertex to the spanning
+trees that contain it, so an incoming edge only touches trees it can
+actually extend (the paper's prototype achieves the same with per-tree hash
+indexes).  This ablation runs the same workload with the reverse index
+enabled and disabled and reports the speed-up.
+"""
+
+from __future__ import annotations
+
+from repro.core.rapq import RAPQEvaluator
+from repro.datasets import build_workload
+from repro.experiments.harness import run_evaluator
+from repro.experiments.workloads import dataset_config
+from repro.metrics.reporting import format_table
+
+
+def _run(use_reverse_index: bool, scale: str):
+    config = dataset_config("yago", scale)
+    stream = config.stream()
+    workload = build_workload("yago")
+    rows = []
+    for name in ("Q1", "Q2", "Q7", "Q11"):
+        evaluator = RAPQEvaluator(workload[name], config.window, use_reverse_index=use_reverse_index)
+        result = run_evaluator(evaluator, stream, query_name=name, dataset="yago")
+        rows.append((name, result))
+    return rows
+
+
+def test_ablation_reverse_index(benchmark, save_result, bench_scale):
+    with_index = benchmark.pedantic(_run, args=(True, bench_scale), rounds=1, iterations=1)
+    without_index = _run(False, bench_scale)
+
+    table_rows = []
+    speedups = []
+    for (name, fast), (_, slow) in zip(with_index, without_index):
+        assert fast.distinct_results == slow.distinct_results, "ablation must not change answers"
+        speedup = fast.throughput_eps / slow.throughput_eps if slow.throughput_eps else float("inf")
+        speedups.append(speedup)
+        table_rows.append(
+            [name, round(fast.throughput_eps, 1), round(slow.throughput_eps, 1), f"{speedup:.2f}x"]
+        )
+    save_result(
+        "ablation_reverse_index",
+        format_table(
+            ["query", "with reverse index (eps)", "without (eps)", "speed-up"],
+            table_rows,
+            title="Ablation — vertex->trees reverse index (Yago-like stream)",
+        ),
+    )
+    # The reverse index should never hurt, and should help on average.
+    assert sum(speedups) / len(speedups) >= 0.9

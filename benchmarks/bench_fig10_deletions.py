@@ -1,0 +1,33 @@
+"""Figure 10 — impact of explicit deletions on tail latency.
+
+Negative tuples are handled with the expiry machinery (Algorithm Delete);
+the paper reports a latency overhead of up to ~50% that flattens quickly as
+the deletion ratio grows (because deletions also shrink the window content
+and the Delta index).  We sweep the deletion ratio from 0% to 10% on the
+Yago-like stream.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import SWEEP_QUERIES, figure10
+
+
+def test_figure10_deletion_ratio_sweep(benchmark, save_result, bench_scale):
+    ratios = (0.0, 0.02, 0.04, 0.06, 0.08, 0.10)
+    figure = benchmark.pedantic(
+        figure10,
+        kwargs={"scale": bench_scale, "queries": SWEEP_QUERIES, "deletion_ratios": ratios},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("figure10_deletions", figure.render())
+
+    for query, points in figure.series.items():
+        assert set(points) == set(ratios)
+        baseline = points[0.0]
+        heaviest = points[0.10]
+        if baseline <= 0:
+            continue
+        # deletions cost something but do not blow latency up by an order of
+        # magnitude (the overhead flattens, as in the paper)
+        assert heaviest < baseline * 20

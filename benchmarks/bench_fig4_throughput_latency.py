@@ -1,0 +1,44 @@
+"""Figure 4 — throughput and tail latency of Algorithm RAPQ per query.
+
+The paper reports, for each of the eleven real-world queries (Table 2), the
+sustained throughput (edges/s) and the 99th-percentile per-tuple latency on
+Yago2s, LDBC SNB and StackOverflow.  Expected shape: the non-recursive Q11
+is the cheapest; queries with several Kleene stars (Q3, Q6) and the
+alternation-under-star queries (Q4, Q9) are the most expensive on the dense
+StackOverflow-like graph; the sparse Yago-like graph sustains the highest
+rates.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure4
+
+
+def _run(dataset: str, scale: str):
+    return figure4(scale=scale, datasets=[dataset])[dataset]
+
+
+def bench_dataset(benchmark, save_result, bench_scale, dataset):
+    figure = benchmark.pedantic(_run, args=(dataset, bench_scale), rounds=1, iterations=1)
+    save_result(f"figure4_{dataset}", figure.render())
+    throughput = figure.get("throughput_eps")
+    assert throughput, "figure 4 must produce a throughput series"
+    assert all(value > 0 for value in throughput.values())
+
+
+def test_figure4_yago(benchmark, save_result, bench_scale):
+    bench_dataset(benchmark, save_result, bench_scale, "yago")
+
+
+def test_figure4_ldbc(benchmark, save_result, bench_scale):
+    bench_dataset(benchmark, save_result, bench_scale, "ldbc")
+
+
+def test_figure4_stackoverflow(benchmark, save_result, bench_scale):
+    figure = benchmark.pedantic(_run, args=("stackoverflow", bench_scale), rounds=1, iterations=1)
+    save_result("figure4_stackoverflow", figure.render())
+    throughput = figure.get("throughput_eps")
+    # Shape check from the paper: the non-recursive query is among the fastest
+    # and the multi-star queries are among the slowest on the SO graph.
+    assert throughput["Q11"] > throughput["Q6"]
+    assert throughput["Q11"] > throughput["Q4"]

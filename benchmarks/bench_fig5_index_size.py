@@ -1,0 +1,35 @@
+"""Figure 5 — size of the Delta tree index on the StackOverflow-like graph.
+
+The paper correlates per-query throughput with the number of spanning trees
+and tree nodes maintained by the algorithm.  Expected shape: the queries
+with the largest index (multi-star Q3/Q6 and alternation-under-star Q4/Q9)
+have the lowest throughput; the index size and the throughput are
+negatively correlated.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure5
+
+
+def _rank(mapping):
+    """Return query names sorted by ascending value."""
+    return [name for name, _ in sorted(mapping.items(), key=lambda item: item[1])]
+
+
+def test_figure5_index_size(benchmark, save_result, bench_scale):
+    figure = benchmark.pedantic(figure5, kwargs={"scale": bench_scale}, rounds=1, iterations=1)
+    save_result("figure5_index_size", figure.render())
+
+    nodes = figure.get("num_nodes")
+    throughput = figure.get("throughput_eps")
+    assert set(nodes) == set(throughput)
+
+    # Negative correlation check (Spearman-style): the ordering of queries by
+    # index size should be roughly the reverse of the ordering by throughput.
+    by_nodes = _rank(nodes)
+    by_throughput = _rank(throughput)
+    n = len(by_nodes)
+    displacement = sum(abs(by_nodes.index(q) - (n - 1 - by_throughput.index(q))) for q in nodes)
+    max_displacement = n * n / 2
+    assert displacement < max_displacement, "index size should anti-correlate with throughput"

@@ -1,0 +1,47 @@
+"""Figure 6 — sensitivity to the window size |W| and the slide interval beta.
+
+The paper's findings, reproduced here on the Yago-like stream:
+
+* tail latency grows roughly linearly with the window size (Fig. 6(a) left);
+* the time spent in window maintenance (expiry) also grows with |W|
+  (Fig. 6(b) left);
+* tail latency is essentially flat in the slide interval (Fig. 6(a) right),
+  because the per-slide expiry cost grows with beta (Fig. 6(b) right) and
+  therefore amortizes to a constant overhead per tuple.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import SWEEP_QUERIES, figure6
+
+
+def test_figure6_window_and_slide_sweep(benchmark, save_result, bench_scale):
+    figures = benchmark.pedantic(
+        figure6, kwargs={"scale": bench_scale, "queries": SWEEP_QUERIES}, rounds=1, iterations=1
+    )
+    for name, figure in figures.items():
+        save_result(f"figure6_{name}", figure.render())
+
+    latency_by_window = figures["latency_vs_window"]
+    expiry_by_slide = figures["expiry_vs_slide"]
+
+    # Latency shape: for most queries the largest window should not be faster
+    # than the smallest one.
+    grows = 0
+    total = 0
+    for query, points in latency_by_window.series.items():
+        sizes = sorted(points)
+        if len(sizes) >= 2 and points[sizes[0]] > 0:
+            total += 1
+            if points[sizes[-1]] >= points[sizes[0]] * 0.8:
+                grows += 1
+    assert total > 0 and grows >= total / 2
+
+    # Expiry cost per run grows with the slide interval for at least one query.
+    grows_with_slide = False
+    for query, points in expiry_by_slide.series.items():
+        slides = sorted(points)
+        if len(slides) >= 2 and points[slides[-1]] > points[slides[0]]:
+            grows_with_slide = True
+            break
+    assert grows_with_slide

@@ -1,0 +1,28 @@
+"""Figure 7 — number of DFA states versus query size (gMark workload).
+
+The combined complexities of the streaming algorithms are polynomial in the
+number of automaton states k, which could in principle be exponential in
+the query size.  The paper observes (and we reproduce) that for practical
+RPQ workloads the minimal DFA grows only linearly with the query size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure7
+
+
+def test_figure7_dfa_size_vs_query_size(benchmark, save_result):
+    figure = benchmark.pedantic(
+        figure7, kwargs={"num_queries": 100, "min_size": 2, "max_size": 20}, rounds=1, iterations=1
+    )
+    save_result("figure7_dfa_size", figure.render())
+
+    means = figure.get("mean_states")
+    assert means
+    # No exponential blow-up: the automaton stays within a small linear factor
+    # of the query size across the whole workload.
+    for size, states in means.items():
+        assert states <= 3 * size + 2, f"DFA for size-{size} queries unexpectedly large ({states})"
+    # and the trend is increasing overall
+    sizes = sorted(means)
+    assert means[sizes[-1]] > means[sizes[0]]

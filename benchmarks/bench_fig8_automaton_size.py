@@ -1,0 +1,29 @@
+"""Figure 8 — RAPQ throughput versus automaton size k (gMark workload).
+
+The paper finds no strong dependence of throughput on the number of DFA
+states: queries with the same k can differ by large factors because the
+real cost driver is the size of the intermediate result (the Delta index),
+not k.  We reproduce the experiment with a synthetic gMark-style workload
+and check that the spread within a single k is comparable to the spread
+across different k values.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure8
+
+
+def test_figure8_throughput_vs_k(benchmark, save_result, bench_scale):
+    figure = benchmark.pedantic(
+        figure8, kwargs={"scale": bench_scale, "num_queries": 24}, rounds=1, iterations=1
+    )
+    save_result("figure8_throughput_vs_k", figure.render())
+
+    means = figure.get("mean_throughput_eps")
+    minima = figure.get("min_throughput_eps")
+    maxima = figure.get("max_throughput_eps")
+    assert means, "need at least one automaton-size bucket"
+    # Queries with identical k show a wide spread (the paper reports up to 6x).
+    spreads = [maxima[k] / minima[k] for k in means if minima[k] > 0 and maxima[k] > minima[k]]
+    if spreads:
+        assert max(spreads) > 1.5

@@ -1,0 +1,29 @@
+"""Figure 9 — throughput versus Delta index size for queries with fixed k.
+
+Fixing the automaton size removes k as a factor; the remaining variation in
+throughput is explained by the size of the tree index (the intermediate
+results).  Expected shape: a negative correlation between index size and
+throughput.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure9
+
+
+def test_figure9_throughput_vs_index_size(benchmark, save_result, bench_scale):
+    figure = benchmark.pedantic(
+        figure9, kwargs={"scale": bench_scale, "num_queries": 30}, rounds=1, iterations=1
+    )
+    save_result("figure9_throughput_vs_index", figure.render())
+
+    points = figure.get("throughput_eps")
+    if len(points) < 3:
+        return  # not enough same-k queries in this workload draw to correlate
+    sizes = sorted(points)
+    smallest_third = [points[s] for s in sizes[: max(1, len(sizes) // 3)]]
+    largest_third = [points[s] for s in sizes[-max(1, len(sizes) // 3):]]
+    mean = lambda values: sum(values) / len(values)
+    # queries with small indexes should, on average, be at least as fast as
+    # the ones with the largest indexes
+    assert mean(smallest_third) >= mean(largest_third) * 0.8

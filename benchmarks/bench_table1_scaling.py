@@ -1,0 +1,36 @@
+"""Table 1 — empirical check of the amortized-cost scaling.
+
+Table 1 of the paper states the amortized per-tuple cost of the algorithms:
+O(n·k²) for insertions under both semantics, where n is the number of
+vertices in the window.  We cannot measure an asymptotic bound, but we can
+check its observable consequence: the mean per-tuple latency grows with the
+window size (which controls n) and does not explode with k.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import render_table1, table1_complexity_check
+
+
+def test_table1_insertion_cost_scales_with_window(benchmark, save_result, bench_scale):
+    rows = benchmark.pedantic(
+        table1_complexity_check,
+        kwargs={"scale": bench_scale, "queries": ("Q1", "Q2", "Q7"), "window_multipliers": (0.5, 1.0, 2.0)},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table1_scaling", render_table1(rows))
+
+    by_query = {}
+    for row in rows:
+        by_query.setdefault(row.query_name, []).append(row)
+    for query, query_rows in by_query.items():
+        query_rows.sort(key=lambda row: row.window_size)
+        smallest, largest = query_rows[0], query_rows[-1]
+        # more window content => at least comparable (usually higher) cost
+        assert largest.mean_latency_us >= smallest.mean_latency_us * 0.5, query
+        # and the cost never grows absurdly faster than the window itself
+        window_growth = largest.window_size / smallest.window_size
+        if smallest.mean_latency_us > 0:
+            latency_growth = largest.mean_latency_us / smallest.mean_latency_us
+            assert latency_growth < window_growth * 25, query

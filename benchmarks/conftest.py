@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(§5) at laptop scale, times it with pytest-benchmark, and writes the
+resulting series to ``results/<name>.txt`` so EXPERIMENTS.md can quote them.
+
+The scale of every experiment can be adjusted with the environment variable
+``REPRO_BENCH_SCALE`` (``tiny`` / ``small`` / ``medium``, default
+``small``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parents[1]
+for path in (_ROOT / "src",):
+    if str(path) not in sys.path:
+        sys.path.insert(0, str(path))
+
+RESULTS_DIR = _ROOT / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Experiment scale for the benchmark run (env: REPRO_BENCH_SCALE)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory receiving the rendered tables/figures."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write a rendered experiment to results/<name>.txt and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,134 @@
+"""Fraud-ring monitoring with explicit deletions and simple-path semantics.
+
+An e-commerce platform models users, payment instruments and merchants as a
+streaming graph.  A persistent RPQ watches for *indirect sharing chains*
+("a user pays with an instrument that was used by a user who pays with an
+instrument ..."), a standard collusion signal.  Two features of the paper
+beyond plain insert-only evaluation matter here:
+
+* **explicit deletions** (§3.2): when a payment is charged back or a link
+  is found to be mistaken, the platform retracts the edge with a negative
+  tuple, and previously reported suspicious pairs may be invalidated;
+* **simple path semantics** (§4): a chain that re-visits the same user is
+  usually a benign loop, so the analyst wants each account to appear at
+  most once on the path.
+
+Run with::
+
+    python examples/fraud_detection_deletions.py
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro import ConflictBudgetExceeded, RAPQEvaluator, RSPQEvaluator, StreamingGraphTuple, WindowSpec
+
+#: Chain of "user pays-with instrument used-by user ..." of length >= 2 hops.
+FRAUD_QUERY = "(paysWith usedBy)+"
+WINDOW = WindowSpec(size=200, slide=20)
+
+
+def build_payment_stream(num_users: int = 300, num_instruments: int = 320,
+                         num_events: int = 1500, seed: int = 5) -> List[StreamingGraphTuple]:
+    """Simulate a payment stream in which a small collusion ring shares cards.
+
+    Honest users overwhelmingly pay with their own card (card index == user
+    index), so instrument sharing — the signal the query looks for — is rare
+    outside the planted ring.  That keeps the graph realistic *and* keeps
+    simple-path evaluation tractable.
+    """
+    rng = random.Random(seed)
+    tuples: List[StreamingGraphTuple] = []
+    ring_users = [f"user{i}" for i in range(5)]
+    ring_cards = [f"card{i}" for i in range(3)]
+    timestamp = 0
+    for event in range(num_events):
+        if event % 4 == 0:
+            timestamp += 1
+        roll = rng.random()
+        if roll < 0.12:
+            # Collusive activity: ring users rotate through shared cards.
+            user = rng.choice(ring_users)
+            card = rng.choice(ring_cards)
+        elif roll < 0.17:
+            # Occasional legitimate sharing (family member borrows a card).
+            index = rng.randrange(5, num_users)
+            user = f"user{index}"
+            card = f"card{min(num_instruments - 1, index + 1)}"
+        else:
+            index = rng.randrange(5, num_users)
+            user = f"user{index}"
+            card = f"card{min(num_instruments - 1, index)}"
+        tuples.append(StreamingGraphTuple(timestamp, user, card, "paysWith"))
+        tuples.append(StreamingGraphTuple(timestamp, card, user, "usedBy"))
+    return tuples
+
+
+def inject_chargebacks(tuples: List[StreamingGraphTuple], ratio: float, seed: int = 9
+                       ) -> List[StreamingGraphTuple]:
+    """Retract a fraction of the payment edges shortly after they arrive."""
+    rng = random.Random(seed)
+    output: List[StreamingGraphTuple] = []
+    for tup in tuples:
+        output.append(tup)
+        if tup.label == "paysWith" and rng.random() < ratio:
+            output.append(tup.as_delete(tup.timestamp + 1))
+    output.sort(key=lambda item: item.timestamp)
+    return output
+
+
+def main() -> None:
+    stream = build_payment_stream()
+    stream_with_retractions = inject_chargebacks(stream, ratio=0.05)
+
+    print(f"query: {FRAUD_QUERY}   window: |W|={WINDOW.size}, beta={WINDOW.slide}")
+    print(f"stream: {len(stream)} insertions, "
+          f"{len(stream_with_retractions) - len(stream)} chargebacks (negative tuples)\n")
+
+    arbitrary = RAPQEvaluator(FRAUD_QUERY, WINDOW)
+    simple: Optional[RSPQEvaluator] = RSPQEvaluator(FRAUD_QUERY, WINDOW, max_nodes_per_tree=200_000)
+    for tup in stream_with_retractions:
+        arbitrary.process(tup)
+        if simple is not None:
+            try:
+                simple.process(tup)
+            except ConflictBudgetExceeded as exc:
+                # RSPQ evaluation is NP-hard in general; on a graph with this
+                # much instrument sharing the analyst falls back to arbitrary
+                # path semantics (exactly the trade-off Table 4 documents).
+                print(f"simple-path evaluation abandoned: {exc}\n")
+                simple = None
+
+    arbitrary_pairs = arbitrary.answer_pairs()
+    simple_pairs = simple.answer_pairs() if simple is not None else set()
+    ring_pairs = {
+        pair for pair in simple_pairs
+        if str(pair[0]).startswith("user") and int(str(pair[0])[4:]) < 5
+        and str(pair[1]).startswith("user") and int(str(pair[1])[4:]) < 5
+        and pair[0] != pair[1]
+    }
+
+    print(f"pairs connected by a sharing chain (arbitrary semantics): {len(arbitrary_pairs)}")
+    print(f"pairs connected by a *simple* sharing chain             : {len(simple_pairs)}")
+    print(f"  of which within the planted collusion ring            : {len(ring_pairs)}")
+    print(f"invalidation events caused by chargebacks (arbitrary)   : "
+          f"{len(arbitrary.results.negatives())}")
+    if simple is not None:
+        print(f"conflicts detected by the simple-path algorithm         : "
+              f"{int(simple.stats['conflicts_detected'])}")
+
+    print("\nSample of flagged ring pairs:")
+    for pair in sorted(ring_pairs)[:8]:
+        print(f"  {pair[0]} <-> {pair[1]}")
+
+    print("\nNotes:")
+    print(" * negative tuples reuse the window-expiry machinery (Algorithm Delete),")
+    print("   so chargebacks only slow processing moderately (Figure 10);")
+    print(" * simple-path semantics stays tractable here because instrument sharing is")
+    print("   rare outside the ring; on denser sharing graphs it can blow up (Table 4).")
+
+
+if __name__ == "__main__":
+    main()

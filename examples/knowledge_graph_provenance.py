@@ -1,0 +1,81 @@
+"""Streaming RDF / knowledge-graph querying (Yago-like workload).
+
+Knowledge bases such as Yago are updated continuously; the paper emulates a
+streaming scenario by assigning timestamps to triples at a fixed rate and
+sliding a window over them.  This example:
+
+* generates a Yago-like triple stream (about a hundred predicates, of which
+  only a handful are relevant to the registered queries);
+* registers two navigational queries — transitive location containment and
+  "events reachable from a person through participation and location" —
+  under arbitrary path semantics;
+* compares the incremental engine against the snapshot-recomputation
+  baseline (the paper's Virtuoso emulation, §5.6) on the same stream;
+* saves the generated stream to CSV and loads it back, showing the
+  persistence helpers.
+
+Run with::
+
+    python examples/knowledge_graph_provenance.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import WindowSpec
+from repro.datasets import YagoLikeGenerator
+from repro.experiments import compare_runs, run_query
+from repro.graph.stream import read_csv, write_csv
+
+NUM_TRIPLES = 3000
+WINDOW = WindowSpec(size=40, slide=4)
+
+QUERIES = {
+    "located-in-plus": "isLocatedIn+",
+    "event-reach": "participatedIn happenedIn isLocatedIn*",
+}
+
+
+def main() -> None:
+    generator = YagoLikeGenerator(seed=13)
+    stream = generator.generate(NUM_TRIPLES)
+
+    print(f"generated {len(stream)} triples, "
+          f"{len({t.label for t in stream})} distinct predicates\n")
+
+    # ------------------------------------------------------------------ #
+    # Incremental evaluation vs per-tuple recomputation
+    # ------------------------------------------------------------------ #
+    print(f"{'query':<16} {'mode':<12} {'results':>8} {'edges/s':>10} {'p99 (us)':>10}")
+    for name, expression in QUERIES.items():
+        incremental = run_query(expression, stream, WINDOW,
+                                semantics="arbitrary", query_name=name, dataset="yago")
+        baseline = run_query(expression, stream, WINDOW,
+                             semantics="baseline", query_name=name, dataset="yago")
+        for mode, result in (("incremental", incremental), ("recompute", baseline)):
+            print(f"{name:<16} {mode:<12} {result.distinct_results:>8} "
+                  f"{result.throughput_eps:>10.0f} {result.tail_latency_us:>10.1f}")
+        speedup = compare_runs(incremental, baseline)
+        print(f"{'':<16} -> incremental is {speedup.get('throughput_speedup', 0):.0f}x faster "
+              f"({speedup.get('tail_latency_speedup', 0):.0f}x lower tail latency)\n")
+
+    # ------------------------------------------------------------------ #
+    # Persisting and replaying a stream
+    # ------------------------------------------------------------------ #
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "yago_stream.csv"
+        written = write_csv(path, stream)
+        replayed = read_csv(path)
+        print(f"persisted {written} tuples to CSV and read back {len(replayed)} "
+              f"({'identical' if list(replayed) == list(stream) else 'DIFFERENT'})")
+
+    print("\nThe throughput gap grows with the window size: the baseline re-explores")
+    print("the whole window for every triple, while Algorithm RAPQ only explores the")
+    print("part of the snapshot graph reached through the new edge (Figure 11).")
+
+
+if __name__ == "__main__":
+    main()

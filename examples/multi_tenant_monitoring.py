@@ -1,0 +1,116 @@
+"""Multi-tenant monitoring: shared window, property predicates, out-of-order input.
+
+A monitoring service evaluates many persistent path queries from different
+tenants over the *same* interaction stream.  This example combines the
+extension modules (the paper's future-work directions):
+
+* :class:`repro.SharedSnapshotEngine` stores the window content once for all
+  registered queries (multi-query optimization);
+* :class:`repro.PropertyGraphEngine` applies per-tenant attribute predicates
+  ("only count transfers above $1,000");
+* :func:`repro.reorder_stream` repairs the slightly out-of-order arrival
+  produced by parallel collectors.
+
+Run with::
+
+    python examples/multi_tenant_monitoring.py
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro import (
+    EdgePredicate,
+    PropertyEdge,
+    PropertyGraphEngine,
+    SharedSnapshotEngine,
+    StreamingGraphTuple,
+    WindowSpec,
+    reorder_stream,
+)
+
+WINDOW = WindowSpec(size=120, slide=12)
+NUM_EVENTS = 3000
+
+
+def build_transfer_stream(seed: int = 21) -> List[PropertyEdge]:
+    """Payments between accounts, with amounts, arriving slightly out of order."""
+    rng = random.Random(seed)
+    accounts = [f"acct{i}" for i in range(120)]
+    edges: List[PropertyEdge] = []
+    for event in range(NUM_EVENTS):
+        timestamp = event // 10 + rng.choice([0, 0, 0, 1, -1])  # jitter
+        source, target = rng.sample(accounts, 2)
+        label = "transfer" if rng.random() < 0.7 else "invoice"
+        amount = round(rng.expovariate(1 / 800), 2)
+        edges.append(PropertyEdge(max(0, timestamp), source, target, label, {"amount": amount}))
+    return edges
+
+
+def demo_shared_snapshot(ordered: List[StreamingGraphTuple]) -> None:
+    print("== Shared-snapshot multi-query engine ==")
+    engine = SharedSnapshotEngine(WINDOW)
+    engine.register("transfer-chains", "transfer+")
+    engine.register("invoice-then-transfers", "invoice transfer*")
+    engine.register("two-hop", "transfer transfer")
+    engine.process_stream(ordered)
+    summary = engine.memory_summary()
+    print(f"  window content stored once: {summary['snapshot_edges']} edges, "
+          f"{summary['snapshot_vertices']} vertices")
+    for name in engine.queries():
+        print(f"  {name:<24} results={len(engine.answer_pairs(name)):>6} "
+              f"index nodes={summary[f'index_nodes[{name}]']}")
+    print()
+
+
+def demo_property_predicates(edges: List[PropertyEdge]) -> None:
+    print("== Per-tenant attribute predicates ==")
+    engine = PropertyGraphEngine(WINDOW)
+    from repro import PropertyPathQuery
+
+    engine.register("all-chains", PropertyPathQuery("transfer+"))
+    engine.register(
+        "large-chains",
+        PropertyPathQuery(
+            "transfer+",
+            predicates=[
+                EdgePredicate("transfer", lambda p: p.get("amount", 0) >= 1000, "amount >= 1000")
+            ],
+        ),
+    )
+    for edge in edges:
+        engine.process(edge)
+    for name, summary in engine.summary().items():
+        print(f"  {name:<14} results={summary['results']:>6} "
+              f"edges filtered={summary['edges_filtered']:>5} predicates={summary['predicates']}")
+    print()
+
+
+def main() -> None:
+    edges = build_transfer_stream()
+    print(f"generated {len(edges)} transfer events (timestamps arrive with jitter)\n")
+
+    # Repair the slightly out-of-order arrival before feeding the evaluators.
+    plain_tuples = [edge.to_tuple() for edge in edges]
+    ordered = list(reorder_stream(plain_tuples, max_lateness=3))
+    dropped = len(plain_tuples) - len(ordered)
+    print(f"reordering buffer released {len(ordered)} tuples in order "
+          f"({dropped} dropped as too late)\n")
+
+    demo_shared_snapshot(ordered)
+
+    # Property predicates need the attribute payload, so they consume the
+    # property edges directly (sorted, since the jitter is small).
+    demo_property_predicates(sorted(edges, key=lambda e: e.timestamp))
+
+    print("Notes:")
+    print(" * the shared snapshot removes per-query window maintenance — the paper's")
+    print("   multi-query future-work direction;")
+    print(" * predicates rewrite failing edges to a label outside the query alphabet,")
+    print("   so the core algorithms run unchanged (property-graph future work).")
+
+
+if __name__ == "__main__":
+    main()

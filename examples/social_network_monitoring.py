@@ -1,0 +1,70 @@
+"""Social-network monitoring over a StackOverflow-like interaction stream.
+
+The paper's motivating scenario: a platform ingests user interactions
+(answers, comments) as a streaming graph and keeps persistent navigational
+queries registered — e.g. "notify me of users reachable through a chain of
+answer interactions within the last window".
+
+This example:
+
+* generates a StackOverflow-like stream (three labels, dense and cyclic);
+* registers three persistent queries from the real-world workload
+  (Table 2) under arbitrary path semantics;
+* processes the stream with latency measurement enabled;
+* prints throughput, tail latency and Delta-index sizes per query —
+  a miniature of Figure 4(c) and Figure 5.
+
+Run with::
+
+    python examples/social_network_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import StreamingRPQEngine, WindowSpec
+from repro.datasets import StackOverflowGenerator, build_workload
+
+NUM_EDGES = 4000
+WINDOW = WindowSpec(size=60, slide=6)
+MONITORED_QUERIES = ["Q1", "Q2", "Q7"]
+
+
+def main() -> None:
+    generator = StackOverflowGenerator(seed=3)
+    stream = generator.generate(NUM_EDGES)
+    workload = build_workload("stackoverflow")
+
+    engine = StreamingRPQEngine(WINDOW, measure_latency=True)
+    for name in MONITORED_QUERIES:
+        engine.register(name, workload[name])
+
+    print(f"processing {NUM_EDGES} interaction tuples "
+          f"(|W|={WINDOW.size}, beta={WINDOW.slide}) ...\n")
+
+    notification_counts = {name: 0 for name in MONITORED_QUERIES}
+
+    def count_notification(query_name: str, source, target, timestamp: int) -> None:
+        notification_counts[query_name] += 1
+
+    engine.process_stream(stream, on_result=count_notification)
+
+    print(f"{'query':<6} {'expression':<28} {'results':>8} {'notifs':>8} "
+          f"{'p99 (us)':>10} {'edges/s':>10} {'index nodes':>12}")
+    for name, summary in engine.summary().items():
+        latency = summary.get("latency", {})
+        print(
+            f"{name:<6} {workload[name]:<28} {summary['distinct_results']:>8} "
+            f"{notification_counts[name]:>8} "
+            f"{latency.get('tail_us', 0.0):>10.1f} "
+            f"{latency.get('throughput_eps', 0.0):>10.0f} "
+            f"{summary['index']['nodes']:>12}"
+        )
+
+    print("\nObservations (compare with Figure 4(c) / Figure 5 of the paper):")
+    print(" * recursive queries over the dense SO-like graph build large tree indexes;")
+    print(" * the larger the Delta index, the lower the sustained throughput;")
+    print(" * the non-recursive query (if registered) is the cheapest to maintain.")
+
+
+if __name__ == "__main__":
+    main()

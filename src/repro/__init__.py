@@ -1,0 +1,103 @@
+"""repro — Streaming RPQ: persistent Regular Path Query evaluation on streaming graphs.
+
+A from-scratch Python reproduction of "Regular Path Query Evaluation on
+Streaming Graphs" (Pacaci, Bonifati, Özsu — SIGMOD 2020).
+
+Quickstart::
+
+    from repro import StreamingRPQEngine, WindowSpec, sgt
+
+    engine = StreamingRPQEngine(WindowSpec(size=15, slide=1))
+    engine.register("notify", "(follows mentions)+")
+    engine.process(sgt(4, "y", "u", "mentions"))
+    engine.process(sgt(13, "x", "y", "follows"))
+    print(engine.query("notify").answer_pairs())
+
+The public API is re-exported here; see the subpackages for the full
+surface:
+
+* :mod:`repro.regex` — RPQ expressions and automata;
+* :mod:`repro.graph` — streaming graph tuples, streams, windows, snapshots;
+* :mod:`repro.core` — the streaming algorithms (RAPQ, RSPQ), baseline and engine;
+* :mod:`repro.datasets` — query workloads and synthetic streaming graphs;
+* :mod:`repro.metrics` — latency/throughput collectors and reporting;
+* :mod:`repro.experiments` — harness regenerating the paper's tables and figures.
+"""
+
+from .core import (
+    RAPQEvaluator,
+    RSPQEvaluator,
+    ResultEvent,
+    ResultStream,
+    SnapshotRecomputeBaseline,
+    StreamingRPQEngine,
+    batch_rapq,
+    batch_rspq,
+    load_checkpoint,
+    make_evaluator,
+    restore_rapq,
+    save_checkpoint,
+)
+from .errors import ConflictBudgetExceeded, ReproError, StreamOrderError
+from .extensions import (
+    EdgePredicate,
+    PropertyEdge,
+    PropertyGraphEngine,
+    PropertyPathQuery,
+    SharedSnapshotEngine,
+)
+from .graph import (
+    EdgeOp,
+    GraphStream,
+    ListStream,
+    ReorderingBuffer,
+    SlidingWindow,
+    SnapshotGraph,
+    StreamingGraphTuple,
+    WindowSpec,
+    reorder_stream,
+    sgt,
+    with_deletions,
+)
+from .regex import QueryAnalysis, analyze, compile_query, parse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConflictBudgetExceeded",
+    "EdgeOp",
+    "EdgePredicate",
+    "GraphStream",
+    "ListStream",
+    "PropertyEdge",
+    "PropertyGraphEngine",
+    "PropertyPathQuery",
+    "QueryAnalysis",
+    "RAPQEvaluator",
+    "RSPQEvaluator",
+    "ReorderingBuffer",
+    "ReproError",
+    "ResultEvent",
+    "ResultStream",
+    "SharedSnapshotEngine",
+    "SlidingWindow",
+    "SnapshotGraph",
+    "SnapshotRecomputeBaseline",
+    "StreamOrderError",
+    "StreamingGraphTuple",
+    "StreamingRPQEngine",
+    "WindowSpec",
+    "analyze",
+    "batch_rapq",
+    "batch_rspq",
+    "compile_query",
+    "load_checkpoint",
+    "make_evaluator",
+    "parse",
+    "reorder_stream",
+    "restore_rapq",
+    "save_checkpoint",
+    "sgt",
+    "with_deletions",
+    "__version__",
+]

@@ -1,0 +1,201 @@
+"""Command-line interface for the streaming RPQ library.
+
+Usage (after ``pip install -e .`` or with ``PYTHONPATH=src``)::
+
+    python -m repro compile  --query "(follows mentions)+"
+    python -m repro generate --dataset yago --edges 5000 --output yago.csv
+    python -m repro run      --query "isLocatedIn+" --input yago.csv \
+                             --window 40 --slide 4 --semantics arbitrary
+    python -m repro experiment --figure 7
+    python -m repro experiment --table 4 --scale tiny
+
+The CLI is a thin layer over the library: ``compile`` shows the minimal DFA
+and the conflict-freedom analysis of a query, ``generate`` materializes one
+of the synthetic workloads to CSV, ``run`` evaluates a persistent query
+over a CSV stream and reports throughput/latency/result counts, and
+``experiment`` regenerates one of the paper's tables or figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .datasets import (
+    GMarkGraphGenerator,
+    LDBCLikeGenerator,
+    StackOverflowGenerator,
+    YagoLikeGenerator,
+    default_social_schema,
+)
+from .experiments import (
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    render_table1,
+    render_table4,
+    run_query,
+    table1_complexity_check,
+    table4_simple_path,
+)
+from .graph.stream import read_csv, with_deletions, write_csv
+from .graph.window import WindowSpec
+from .regex.analysis import analyze
+
+__all__ = ["main", "build_parser"]
+
+_GENERATORS = {
+    "stackoverflow": lambda seed: StackOverflowGenerator(seed=seed),
+    "ldbc": lambda seed: LDBCLikeGenerator(seed=seed),
+    "yago": lambda seed: YagoLikeGenerator(seed=seed),
+    "gmark": lambda seed: GMarkGraphGenerator(schema=default_social_schema(), seed=seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Persistent Regular Path Query evaluation on streaming graphs (SIGMOD 2020 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = subparsers.add_parser("compile", help="compile a query and show its automaton")
+    compile_parser.add_argument("--query", required=True, help="RPQ expression, e.g. '(follows mentions)+'")
+    compile_parser.add_argument("--dot", action="store_true", help="also print the automaton in Graphviz dot format")
+
+    generate_parser = subparsers.add_parser("generate", help="generate a synthetic streaming graph as CSV")
+    generate_parser.add_argument("--dataset", choices=sorted(_GENERATORS), required=True)
+    generate_parser.add_argument("--edges", type=int, default=10_000, help="number of tuples to generate")
+    generate_parser.add_argument("--seed", type=int, default=7)
+    generate_parser.add_argument("--output", required=True, help="CSV file to write")
+
+    run_parser = subparsers.add_parser("run", help="evaluate a persistent query over a CSV stream")
+    run_parser.add_argument("--query", required=True, help="RPQ expression")
+    run_parser.add_argument("--input", required=True, help="CSV stream produced by 'generate' or write_csv")
+    run_parser.add_argument("--window", type=int, required=True, help="window size |W| in time units")
+    run_parser.add_argument("--slide", type=int, default=1, help="slide interval beta in time units")
+    run_parser.add_argument(
+        "--semantics", choices=["arbitrary", "simple", "baseline"], default="arbitrary"
+    )
+    run_parser.add_argument("--deletions", type=float, default=0.0, help="inject this ratio of explicit deletions")
+    run_parser.add_argument("--limit", type=int, default=None, help="process only the first N tuples")
+    run_parser.add_argument("--show-results", type=int, default=0, help="print up to N result pairs")
+
+    experiment_parser = subparsers.add_parser("experiment", help="regenerate a table or figure of the paper")
+    target = experiment_parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--figure", type=int, choices=[4, 5, 6, 7, 8, 9, 10, 11])
+    target.add_argument("--table", type=int, choices=[1, 4])
+    experiment_parser.add_argument("--scale", choices=["tiny", "small", "medium"], default="small")
+
+    return parser
+
+
+def _command_compile(args: argparse.Namespace) -> int:
+    analysis = analyze(args.query)
+    print(f"query                 : {analysis.expression}")
+    print(f"query size |Q_R|      : {analysis.expression.size()}")
+    print(f"alphabet              : {sorted(analysis.alphabet)}")
+    print(f"minimal DFA           : {analysis.dfa}")
+    print(f"containment property  : {analysis.containment_property}")
+    print(f"restricted expression : {analysis.restricted}")
+    print(f"conflict-free (query) : {analysis.conflict_free_by_query()}")
+    if args.dot:
+        print()
+        print(analysis.dfa.to_dot())
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    generator = _GENERATORS[args.dataset](args.seed)
+    stream = generator.generate(args.edges)
+    written = write_csv(args.output, stream)
+    print(f"wrote {written} tuples of the {args.dataset} workload to {args.output}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    stream = list(read_csv(args.input))
+    if args.limit is not None:
+        stream = stream[: args.limit]
+    if args.deletions > 0:
+        stream = with_deletions(stream, args.deletions)
+    window = WindowSpec(size=args.window, slide=args.slide)
+    result = run_query(
+        args.query,
+        stream,
+        window,
+        semantics=args.semantics,
+        query_name=args.query,
+        dataset=args.input,
+    )
+    print(f"query            : {args.query}")
+    print(f"semantics        : {args.semantics}")
+    print(f"window           : |W|={args.window}, beta={args.slide}")
+    print(f"tuples processed : {result.num_tuples} ({result.relevant_tuples} relevant)")
+    print(f"status           : {'ok' if result.completed else 'failed: ' + str(result.error)}")
+    print(f"distinct results : {result.distinct_results}")
+    print(f"throughput       : {result.throughput_eps:,.0f} edges/s")
+    print(f"mean latency     : {result.mean_latency_us:,.1f} us")
+    print(f"p99 latency      : {result.tail_latency_us:,.1f} us")
+    print(f"index size       : {result.index_nodes} nodes in {result.index_trees} trees")
+    if args.show_results > 0:
+        from .core.engine import make_evaluator
+
+        evaluator = make_evaluator(args.query, window, args.semantics)
+        evaluator.process_stream(stream)
+        for pair in sorted(evaluator.answer_pairs())[: args.show_results]:
+            print(f"  {pair[0]} -> {pair[1]}")
+    return 0 if result.completed else 1
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    if args.table == 1:
+        print(render_table1(table1_complexity_check(scale=args.scale)))
+        return 0
+    if args.table == 4:
+        print(render_table4(table4_simple_path(scale=args.scale)))
+        return 0
+    if args.figure == 4:
+        for figure in figure4(scale=args.scale).values():
+            print(figure.render())
+            print()
+        return 0
+    if args.figure == 6:
+        for figure in figure6(scale=args.scale).values():
+            print(figure.render())
+            print()
+        return 0
+    single_figure = {
+        5: lambda: figure5(scale=args.scale),
+        7: lambda: figure7(),
+        8: lambda: figure8(scale=args.scale),
+        9: lambda: figure9(scale=args.scale),
+        10: lambda: figure10(scale=args.scale),
+        11: lambda: figure11(scale="tiny" if args.scale == "small" else args.scale),
+    }
+    print(single_figure[args.figure]().render())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "compile": _command_compile,
+        "generate": _command_generate,
+        "run": _command_run,
+        "experiment": _command_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

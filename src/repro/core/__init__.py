@@ -1,0 +1,41 @@
+"""Core streaming RPQ algorithms: the paper's primary contribution.
+
+* :class:`~repro.core.rapq.RAPQEvaluator` — arbitrary path semantics (§3);
+* :class:`~repro.core.rspq.RSPQEvaluator` — simple path semantics (§4);
+* :class:`~repro.core.baseline.SnapshotRecomputeBaseline` — per-tuple
+  recomputation baseline (§5.6);
+* :class:`~repro.core.engine.StreamingRPQEngine` — multi-query front end.
+"""
+
+from .baseline import SnapshotRecomputeBaseline
+from .batch import batch_rapq, batch_rspq, product_graph_edges
+from .checkpoint import checkpoint_rapq, load_checkpoint, restore_rapq, save_checkpoint
+from .engine import RegisteredQuery, StreamingRPQEngine, make_evaluator
+from .rapq import RAPQEvaluator
+from .results import ResultEvent, ResultStream
+from .rspq import RSPQEvaluator
+from .rspq_tree import RSPQNode, RSPQTree
+from .tree_index import SpanningTree, TreeIndex, TreeNode
+
+__all__ = [
+    "RAPQEvaluator",
+    "RSPQEvaluator",
+    "RSPQNode",
+    "RSPQTree",
+    "RegisteredQuery",
+    "ResultEvent",
+    "ResultStream",
+    "SnapshotRecomputeBaseline",
+    "SpanningTree",
+    "StreamingRPQEngine",
+    "TreeIndex",
+    "TreeNode",
+    "batch_rapq",
+    "batch_rspq",
+    "checkpoint_rapq",
+    "load_checkpoint",
+    "make_evaluator",
+    "product_graph_edges",
+    "restore_rapq",
+    "save_checkpoint",
+]

@@ -1,0 +1,215 @@
+"""Checkpointing: persist and restore the state of an RAPQ evaluator.
+
+Long-running persistent queries need to survive process restarts without
+replaying the entire stream.  A checkpoint captures everything Algorithm
+RAPQ maintains between tuples:
+
+* the window content ``G_{W,tau}`` (labelled edges with timestamps);
+* the Delta tree index (every spanning tree with parent pointers and path
+  timestamps);
+* the append-only result stream (positive and negative events);
+* the clock (current time and last expiry boundary) and the statistics.
+
+Checkpoints are plain JSON-compatible dictionaries, so they can be written
+with :func:`json.dump` and shipped anywhere.  Vertices must be JSON scalars
+(strings or integers); the loader restores integer vertices exactly and
+leaves strings untouched.
+
+Only the arbitrary-path evaluator is checkpointable: RSPQ trees contain
+per-occurrence node instances whose identity is positional, which would
+require a heavier encoding, and the recomputation baseline has no state
+worth saving beyond the window itself.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..graph.window import WindowSpec
+from ..regex.analysis import QueryAnalysis
+from .rapq import RAPQEvaluator
+from .tree_index import ROOT_TIMESTAMP
+
+__all__ = ["checkpoint_rapq", "restore_rapq", "save_checkpoint", "load_checkpoint"]
+
+#: Format marker so that future layout changes can stay backward compatible.
+_FORMAT_VERSION = 1
+
+# JSON has no infinity literal that round-trips portably, so sentinel strings
+# encode the root timestamp (+inf) and deletion markers (-inf).
+_POS_INF = "+inf"
+_NEG_INF = "-inf"
+
+
+def _encode_timestamp(value: float) -> Union[float, str]:
+    if value == math.inf:
+        return _POS_INF
+    if value == -math.inf:
+        return _NEG_INF
+    return value
+
+
+def _decode_timestamp(value: Union[float, str]) -> float:
+    if value == _POS_INF:
+        return math.inf
+    if value == _NEG_INF:
+        return -math.inf
+    return value
+
+
+def _check_vertex(vertex) -> None:
+    if not isinstance(vertex, (str, int)):
+        raise TypeError(
+            f"checkpointing requires str or int vertices, got {type(vertex).__name__}: {vertex!r}"
+        )
+
+
+def checkpoint_rapq(evaluator: RAPQEvaluator) -> Dict:
+    """Capture the complete state of an RAPQ evaluator as a JSON-compatible dict."""
+    edges = []
+    for edge in evaluator.snapshot.edges():
+        _check_vertex(edge.source)
+        _check_vertex(edge.target)
+        edges.append([edge.source, edge.target, edge.label, edge.timestamp])
+
+    trees = []
+    for tree in evaluator.index.trees():
+        nodes = []
+        for node in tree.nodes():
+            if node.parent is None:
+                continue  # the root is implied by the tree entry
+            nodes.append(
+                {
+                    "vertex": node.vertex,
+                    "state": node.state,
+                    "parent_vertex": node.parent[0],
+                    "parent_state": node.parent[1],
+                    "timestamp": _encode_timestamp(node.timestamp),
+                }
+            )
+        trees.append(
+            {
+                "root": tree.root_vertex,
+                "root_cycle_reported": bool(getattr(tree, "root_cycle_reported", False)),
+                "nodes": nodes,
+            }
+        )
+
+    events = [
+        {
+            "timestamp": event.timestamp,
+            "source": event.source,
+            "target": event.target,
+            "positive": event.positive,
+        }
+        for event in evaluator.results.events
+    ]
+
+    return {
+        "format": _FORMAT_VERSION,
+        "query": str(evaluator.analysis.expression),
+        "window": {"size": evaluator.window.size, "slide": evaluator.window.slide},
+        "result_semantics": evaluator.result_semantics,
+        "current_time": evaluator.current_time,
+        "last_expiry_boundary": evaluator._last_expiry_boundary,
+        "stats": dict(evaluator.stats),
+        "snapshot": edges,
+        "trees": trees,
+        "results": events,
+    }
+
+
+def restore_rapq(
+    state: Dict,
+    query: Optional[Union[str, QueryAnalysis]] = None,
+) -> RAPQEvaluator:
+    """Rebuild an RAPQ evaluator from a checkpoint produced by :func:`checkpoint_rapq`.
+
+    Args:
+        state: the checkpoint dictionary.
+        query: optionally a pre-compiled :class:`QueryAnalysis` (or expression
+            string) to avoid recompiling; it must describe the same expression
+            that was checkpointed.
+
+    Raises:
+        ValueError: if the checkpoint format is unknown or the supplied query
+            does not match the checkpointed one.
+    """
+    if state.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint format: {state.get('format')!r}")
+    expression = state["query"]
+    if query is None:
+        query = expression
+    elif isinstance(query, QueryAnalysis):
+        if str(query.expression) != expression:
+            raise ValueError(
+                f"checkpoint was taken for query {expression!r}, got analysis for {query.expression}"
+            )
+    elif str(query) != expression:
+        # A plain string must match after parsing/rendering; be permissive and
+        # just recompile from the checkpointed expression.
+        query = expression
+
+    window = WindowSpec(size=state["window"]["size"], slide=state["window"]["slide"])
+    evaluator = RAPQEvaluator(query, window, result_semantics=state.get("result_semantics", "implicit"))
+
+    for source, target, label, timestamp in state["snapshot"]:
+        evaluator.snapshot.insert(source, target, label, timestamp)
+
+    for tree_state in state["trees"]:
+        tree = evaluator.index.get_or_create(tree_state["root"])
+        if tree_state.get("root_cycle_reported"):
+            tree.root_cycle_reported = True
+        # Parents must exist before children; insert in passes until stable.
+        pending = list(tree_state["nodes"])
+        while pending:
+            progressed = False
+            remaining = []
+            for node in pending:
+                parent_key = (node["parent_vertex"], node["parent_state"])
+                if parent_key in tree:
+                    tree.add_node(
+                        (node["vertex"], node["state"]),
+                        parent=parent_key,
+                        timestamp=_decode_timestamp(node["timestamp"]),
+                    )
+                    evaluator.index.register_node(tree, node["vertex"])
+                    progressed = True
+                else:
+                    remaining.append(node)
+            if not progressed:
+                raise ValueError(
+                    f"corrupt checkpoint: {len(remaining)} tree nodes have no reachable parent "
+                    f"in the tree rooted at {tree_state['root']!r}"
+                )
+            pending = remaining
+
+    for event in state["results"]:
+        if event["positive"]:
+            evaluator.results.report(event["source"], event["target"], event["timestamp"])
+        else:
+            evaluator.results.invalidate(event["source"], event["target"], event["timestamp"])
+
+    evaluator._current_time = state.get("current_time")
+    evaluator._last_expiry_boundary = state.get("last_expiry_boundary")
+    evaluator.stats.update(state.get("stats", {}))
+    return evaluator
+
+
+def save_checkpoint(evaluator: RAPQEvaluator, path: Union[str, Path]) -> Path:
+    """Write the evaluator's checkpoint to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    with path.open("w") as handle:
+        json.dump(checkpoint_rapq(evaluator), handle)
+    return path
+
+
+def load_checkpoint(path: Union[str, Path], query: Optional[Union[str, QueryAnalysis]] = None) -> RAPQEvaluator:
+    """Load a checkpoint written by :func:`save_checkpoint`."""
+    path = Path(path)
+    with path.open() as handle:
+        state = json.load(handle)
+    return restore_rapq(state, query=query)

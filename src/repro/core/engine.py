@@ -1,0 +1,227 @@
+"""High-level streaming RPQ engine.
+
+:class:`StreamingRPQEngine` is the main public entry point of the library.
+It manages one or more registered persistent RPQs over a single incoming
+streaming graph, dispatching every tuple to the per-query evaluators
+(arbitrary or simple path semantics, or the recomputation baseline) and
+exposing their result streams.
+
+The per-query evaluators implement the algorithms of the paper; the engine
+adds the operational concerns a user of the system needs: query
+registration and removal, per-query statistics, and optional latency
+instrumentation used by the experiment harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from ..graph.tuples import StreamingGraphTuple, Vertex
+from ..graph.window import WindowSpec
+from ..metrics.collectors import LatencyCollector
+from ..regex.analysis import QueryAnalysis, analyze
+from .baseline import SnapshotRecomputeBaseline
+from .rapq import RAPQEvaluator
+from .results import ResultStream
+from .rspq import RSPQEvaluator
+
+__all__ = ["RegisteredQuery", "StreamingRPQEngine", "make_evaluator"]
+
+#: Path-semantics / execution-mode names accepted by the engine.
+SEMANTICS = ("arbitrary", "simple", "baseline")
+
+
+def make_evaluator(
+    query: Union[str, QueryAnalysis],
+    window: WindowSpec,
+    semantics: str = "arbitrary",
+    max_nodes_per_tree: Optional[int] = None,
+):
+    """Build the evaluator implementing ``semantics`` for ``query``.
+
+    ``semantics`` is one of ``"arbitrary"`` (Algorithm RAPQ), ``"simple"``
+    (Algorithm RSPQ) or ``"baseline"`` (per-tuple snapshot recomputation).
+    """
+    if semantics == "arbitrary":
+        return RAPQEvaluator(query, window)
+    if semantics == "simple":
+        return RSPQEvaluator(query, window, max_nodes_per_tree=max_nodes_per_tree)
+    if semantics == "baseline":
+        return SnapshotRecomputeBaseline(query, window)
+    raise ValueError(f"unknown semantics {semantics!r}; expected one of {SEMANTICS}")
+
+
+@dataclass
+class RegisteredQuery:
+    """A persistent query registered with the engine.
+
+    Attributes:
+        name: user-facing identifier of the query.
+        analysis: compiled query (DFA + suffix-containment analysis).
+        semantics: ``"arbitrary"``, ``"simple"`` or ``"baseline"``.
+        evaluator: the underlying incremental evaluator.
+        latency: per-tuple processing latency samples (seconds), recorded
+            only for tuples relevant to this query.
+    """
+
+    name: str
+    analysis: QueryAnalysis
+    semantics: str
+    evaluator: object
+    latency: LatencyCollector = field(default_factory=LatencyCollector)
+
+    @property
+    def results(self) -> ResultStream:
+        """The append-only result stream of this query."""
+        return self.evaluator.results
+
+    def answer_pairs(self) -> Set[Tuple[Vertex, Vertex]]:
+        """All distinct result pairs reported so far."""
+        return self.evaluator.answer_pairs()
+
+
+class StreamingRPQEngine:
+    """Persistent RPQ evaluation engine over a single streaming graph.
+
+    Example:
+        >>> from repro import StreamingRPQEngine, WindowSpec, sgt
+        >>> engine = StreamingRPQEngine(WindowSpec(size=10, slide=1))
+        >>> engine.register("follows-chain", "follows+")
+        >>> _ = engine.process(sgt(1, "alice", "bob", "follows"))
+        >>> _ = engine.process(sgt(2, "bob", "carol", "follows"))
+        >>> sorted(engine.query("follows-chain").answer_pairs())
+        [('alice', 'bob'), ('alice', 'carol'), ('bob', 'carol')]
+    """
+
+    def __init__(self, window: WindowSpec, measure_latency: bool = False) -> None:
+        self.window = window
+        self.measure_latency = measure_latency
+        self._queries: Dict[str, RegisteredQuery] = {}
+        self._tuples_seen = 0
+
+    # ------------------------------------------------------------------ #
+    # Query management
+    # ------------------------------------------------------------------ #
+
+    def register(
+        self,
+        name: str,
+        query: Union[str, QueryAnalysis],
+        semantics: str = "arbitrary",
+        max_nodes_per_tree: Optional[int] = None,
+    ) -> RegisteredQuery:
+        """Register a persistent query under ``name`` and return its handle.
+
+        Raises:
+            ValueError: if a query with the same name is already registered
+                or the semantics name is unknown.
+        """
+        if name in self._queries:
+            raise ValueError(f"a query named {name!r} is already registered")
+        analysis = query if isinstance(query, QueryAnalysis) else analyze(query)
+        evaluator = make_evaluator(analysis, self.window, semantics, max_nodes_per_tree)
+        registered = RegisteredQuery(name=name, analysis=analysis, semantics=semantics, evaluator=evaluator)
+        self._queries[name] = registered
+        return registered
+
+    def deregister(self, name: str) -> None:
+        """Remove a registered query (its accumulated results are discarded)."""
+        if name not in self._queries:
+            raise KeyError(f"no query named {name!r} is registered")
+        del self._queries[name]
+
+    def query(self, name: str) -> RegisteredQuery:
+        """Return the handle of the query registered under ``name``."""
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise KeyError(f"no query named {name!r} is registered") from None
+
+    def queries(self) -> List[RegisteredQuery]:
+        """Return the handles of all registered queries."""
+        return list(self._queries.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._queries
+
+    # ------------------------------------------------------------------ #
+    # Stream processing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tuples_seen(self) -> int:
+        """Number of tuples pushed into the engine so far."""
+        return self._tuples_seen
+
+    def process(self, tup: StreamingGraphTuple) -> Dict[str, List[Tuple[Vertex, Vertex]]]:
+        """Dispatch one tuple to every registered query.
+
+        Returns a mapping ``query name -> newly reported pairs``; queries
+        that produced no new result for this tuple are omitted.
+        """
+        self._tuples_seen += 1
+        new_results: Dict[str, List[Tuple[Vertex, Vertex]]] = {}
+        for registered in self._queries.values():
+            if self.measure_latency and registered.evaluator.relevant(tup):
+                started = time.perf_counter()
+                pairs = registered.evaluator.process(tup)
+                registered.latency.record(time.perf_counter() - started)
+            else:
+                pairs = registered.evaluator.process(tup)
+            if pairs:
+                new_results[registered.name] = pairs
+        return new_results
+
+    def process_stream(
+        self,
+        tuples: Iterable[StreamingGraphTuple],
+        on_result: Optional[Callable[[str, Vertex, Vertex, int], None]] = None,
+    ) -> Dict[str, ResultStream]:
+        """Process an entire stream.
+
+        Args:
+            tuples: the input stream, in timestamp order.
+            on_result: optional callback invoked as ``on_result(query_name,
+                source, target, timestamp)`` for every newly reported pair —
+                this is the "real-time notification" hook of the paper's
+                motivating example.
+
+        Returns:
+            mapping of query name to its result stream.
+        """
+        for tup in tuples:
+            produced = self.process(tup)
+            if on_result is not None:
+                for name, pairs in produced.items():
+                    for source, target in pairs:
+                        on_result(name, source, target, tup.timestamp)
+        return {name: registered.results for name, registered in self._queries.items()}
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> Dict[str, Dict[str, object]]:
+        """Return a per-query summary: result counts, index size, statistics."""
+        report: Dict[str, Dict[str, object]] = {}
+        for name, registered in self._queries.items():
+            evaluator = registered.evaluator
+            report[name] = {
+                "semantics": registered.semantics,
+                "states": registered.analysis.num_states,
+                "distinct_results": len(registered.results.distinct_pairs),
+                "events": len(registered.results),
+                "index": evaluator.index_size(),
+                "stats": dict(getattr(evaluator, "stats", {})),
+            }
+            if self.measure_latency and len(registered.latency) > 0:
+                report[name]["latency"] = registered.latency.summary()
+        return report
+
+    def __str__(self) -> str:
+        return (
+            f"StreamingRPQEngine(|W|={self.window.size}, beta={self.window.slide}, "
+            f"queries={sorted(self._queries)})"
+        )

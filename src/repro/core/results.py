@@ -1,0 +1,143 @@
+"""Result streams for persistent RPQ evaluation.
+
+Under the implicit window model (§2) the answer of a streaming RPQ is an
+*append-only stream* of vertex pairs ``(x, y)``: a pair is appended when a
+satisfying path whose edges are all inside the current window is first
+discovered.  Results are never retracted by window movement; explicit
+deletions (negative tuples) may *invalidate* previously reported results,
+which the engines surface as invalidation records.
+
+:class:`ResultStream` records both kinds of events with the timestamp at
+which they were produced, and keeps the set of currently-known distinct
+pairs for convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..graph.tuples import Vertex
+
+__all__ = ["ResultEvent", "ResultStream"]
+
+
+@dataclass(frozen=True)
+class ResultEvent:
+    """A single event of the output stream.
+
+    Attributes:
+        timestamp: stream time at which the event was produced.
+        source: the path's source vertex ``x`` (root of the spanning tree).
+        target: the path's target vertex ``y``.
+        positive: ``True`` for a newly reported pair, ``False`` for an
+            invalidation caused by an explicit deletion.
+    """
+
+    timestamp: int
+    source: Vertex
+    target: Vertex
+    positive: bool = True
+
+    @property
+    def pair(self) -> Tuple[Vertex, Vertex]:
+        """The reported vertex pair ``(x, y)``."""
+        return (self.source, self.target)
+
+    def __str__(self) -> str:
+        sign = "+" if self.positive else "-"
+        return f"{sign}({self.source}, {self.target})@{self.timestamp}"
+
+
+class ResultStream:
+    """Append-only stream of results produced by a persistent RPQ.
+
+    The stream records every event in order.  ``distinct_pairs`` is the set
+    of pairs reported so far and never shrinks (implicit window semantics);
+    ``active_pairs`` additionally honours invalidations from explicit
+    deletions, i.e. it reflects the pairs supported by the current window
+    content.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[ResultEvent] = []
+        self._distinct: Set[Tuple[Vertex, Vertex]] = set()
+        self._active_counts: Dict[Tuple[Vertex, Vertex], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def report(self, source: Vertex, target: Vertex, timestamp: int) -> ResultEvent:
+        """Append a newly discovered pair to the stream."""
+        event = ResultEvent(timestamp=timestamp, source=source, target=target, positive=True)
+        self._events.append(event)
+        self._distinct.add(event.pair)
+        self._active_counts[event.pair] = self._active_counts.get(event.pair, 0) + 1
+        return event
+
+    def invalidate(self, source: Vertex, target: Vertex, timestamp: int) -> ResultEvent:
+        """Record that a previously reported pair lost its last supporting path."""
+        event = ResultEvent(timestamp=timestamp, source=source, target=target, positive=False)
+        self._events.append(event)
+        pair = event.pair
+        count = self._active_counts.get(pair, 0)
+        if count > 1:
+            self._active_counts[pair] = count - 1
+        else:
+            self._active_counts.pop(pair, None)
+        return event
+
+    def extend(self, events: Iterator[ResultEvent]) -> None:
+        """Append pre-built events (used when merging engine outputs)."""
+        for event in events:
+            if event.positive:
+                self.report(event.source, event.target, event.timestamp)
+            else:
+                self.invalidate(event.source, event.target, event.timestamp)
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def events(self) -> List[ResultEvent]:
+        """All events in production order."""
+        return list(self._events)
+
+    @property
+    def distinct_pairs(self) -> Set[Tuple[Vertex, Vertex]]:
+        """All pairs ever reported (implicit window semantics, monotone)."""
+        return set(self._distinct)
+
+    @property
+    def active_pairs(self) -> Set[Tuple[Vertex, Vertex]]:
+        """Pairs reported and not subsequently invalidated."""
+        return set(self._active_counts.keys())
+
+    def positives(self) -> List[ResultEvent]:
+        """Return only the positive (newly-reported) events."""
+        return [event for event in self._events if event.positive]
+
+    def negatives(self) -> List[ResultEvent]:
+        """Return only the invalidation events."""
+        return [event for event in self._events if not event.positive]
+
+    def pairs_reported_at(self, timestamp: int) -> Set[Tuple[Vertex, Vertex]]:
+        """Return the pairs first reported exactly at ``timestamp``."""
+        return {event.pair for event in self._events if event.positive and event.timestamp == timestamp}
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[ResultEvent]:
+        return iter(self._events)
+
+    def __contains__(self, pair: Tuple[Vertex, Vertex]) -> bool:
+        return pair in self._distinct
+
+    def __str__(self) -> str:
+        return (
+            f"ResultStream(events={len(self._events)}, "
+            f"distinct={len(self._distinct)}, active={len(self._active_counts)})"
+        )

@@ -1,0 +1,208 @@
+"""Spanning trees with markings for simple-path (RSPQ) evaluation (§4).
+
+Unlike the arbitrary-path tree index, a (vertex, state) pair may appear
+*several times* in an RSPQ spanning tree: once a conflict is discovered the
+pair is removed from the set of markings ``M_x`` and later traversals may
+materialize additional occurrences on other branches.  Nodes are therefore
+represented as explicit instance objects, and the tree keeps an index from
+each (vertex, state) key to its live instances.
+
+The set of markings ``M_x`` contains keys that are known to have no
+conflict-predecessor descendant; traversals reaching a marked key are
+pruned (suffix-language containment guarantees no answer is lost).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..graph.tuples import Vertex
+
+__all__ = ["RSPQNode", "RSPQTree", "ROOT_TIMESTAMP"]
+
+NodeKey = Tuple[Vertex, int]
+ROOT_TIMESTAMP = math.inf
+
+
+class RSPQNode:
+    """One occurrence of a (vertex, state) pair in an RSPQ spanning tree."""
+
+    __slots__ = ("vertex", "state", "parent", "timestamp", "children", "detached")
+
+    def __init__(
+        self,
+        vertex: Vertex,
+        state: int,
+        parent: Optional["RSPQNode"],
+        timestamp: float,
+    ) -> None:
+        self.vertex = vertex
+        self.state = state
+        self.parent = parent
+        self.timestamp = timestamp
+        # children keyed by (vertex, state): at most one child per key under a
+        # given parent, which prevents duplicate subtrees when a conflict makes
+        # the same key re-traversable.
+        self.children: Dict[NodeKey, "RSPQNode"] = {}
+        self.detached = False
+
+    @property
+    def key(self) -> NodeKey:
+        """The ``(vertex, state)`` pair this node is an occurrence of."""
+        return (self.vertex, self.state)
+
+    def path_from_root(self) -> List["RSPQNode"]:
+        """Return the node instances on the path root → this node."""
+        path: List[RSPQNode] = []
+        node: Optional[RSPQNode] = self
+        while node is not None:
+            path.append(node)
+            node = node.parent
+        path.reverse()
+        return path
+
+    def states_at_vertex(self, vertex: Vertex) -> List[int]:
+        """States in which ``vertex`` occurs on the path root → this node (root first)."""
+        states = [node.state for node in self.path_from_root() if node.vertex == vertex]
+        return states
+
+    def first_state_at_vertex(self, vertex: Vertex) -> Optional[int]:
+        """State of the *first* occurrence of ``vertex`` on the path, or ``None``."""
+        for node in self.path_from_root():
+            if node.vertex == vertex:
+                return node.state
+        return None
+
+    def __str__(self) -> str:
+        return f"({self.vertex},{self.state})@{self.timestamp}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RSPQNode{self.__str__()}"
+
+
+class RSPQTree:
+    """An RSPQ spanning tree ``T_x`` together with its markings ``M_x``."""
+
+    def __init__(self, root_vertex: Vertex, start_state: int) -> None:
+        self.root_vertex = root_vertex
+        self.start_state = start_state
+        self.root = RSPQNode(root_vertex, start_state, parent=None, timestamp=ROOT_TIMESTAMP)
+        self._instances: Dict[NodeKey, List[RSPQNode]] = {self.root.key: [self.root]}
+        self._vertex_degree: Dict[Vertex, int] = {root_vertex: 1}
+        self.markings: Set[NodeKey] = set()
+        self._size = 1
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    def instances_of(self, key: NodeKey) -> List[RSPQNode]:
+        """Return the live instances of ``key`` (possibly empty)."""
+        return list(self._instances.get(key, ()))
+
+    def has_key(self, key: NodeKey) -> bool:
+        """Return ``True`` if some live instance of ``key`` exists in the tree."""
+        return bool(self._instances.get(key))
+
+    def is_marked(self, key: NodeKey) -> bool:
+        """Return ``True`` if ``key`` is in the set of markings ``M_x``."""
+        return key in self.markings
+
+    def contains_vertex(self, vertex: Vertex) -> bool:
+        """Return ``True`` if ``vertex`` occurs in the tree in some state."""
+        return self._vertex_degree.get(vertex, 0) > 0
+
+    def nodes(self) -> Iterator[RSPQNode]:
+        """Iterate over all live node instances (including the root)."""
+        for instances in list(self._instances.values()):
+            for node in list(instances):
+                yield node
+
+    def node_count(self) -> int:
+        """Total number of live instances (tree size)."""
+        return self._size
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add_child(self, parent: RSPQNode, key: NodeKey, timestamp: float) -> RSPQNode:
+        """Attach a new instance of ``key`` under ``parent``.
+
+        The caller must have checked that ``parent`` has no child with this
+        key yet; this method enforces it defensively.
+        """
+        if parent.detached:
+            raise ValueError(f"cannot attach {key} under a detached node {parent}")
+        if key in parent.children:
+            raise ValueError(f"parent {parent} already has a child with key {key}")
+        vertex, state = key
+        node = RSPQNode(vertex, state, parent=parent, timestamp=timestamp)
+        parent.children[key] = node
+        self._instances.setdefault(key, []).append(node)
+        self._vertex_degree[vertex] = self._vertex_degree.get(vertex, 0) + 1
+        self._size += 1
+        return node
+
+    def mark(self, key: NodeKey) -> None:
+        """Add ``key`` to the markings ``M_x``."""
+        self.markings.add(key)
+
+    def unmark(self, key: NodeKey) -> bool:
+        """Remove ``key`` from ``M_x``; return ``True`` if it was marked."""
+        if key in self.markings:
+            self.markings.discard(key)
+            return True
+        return False
+
+    def detach_subtree(self, node: RSPQNode) -> List[RSPQNode]:
+        """Remove ``node`` and its whole subtree from the tree.
+
+        Returns the removed instances.  The root cannot be detached.
+        """
+        if node.parent is None:
+            raise ValueError("cannot detach the root of an RSPQ tree")
+        removed: List[RSPQNode] = []
+        node.parent.children.pop(node.key, None)
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.detached:
+                continue
+            current.detached = True
+            removed.append(current)
+            stack.extend(current.children.values())
+            current.children = {}
+            instances = self._instances.get(current.key)
+            if instances is not None:
+                try:
+                    instances.remove(current)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not instances:
+                    del self._instances[current.key]
+            degree = self._vertex_degree.get(current.vertex, 0) - 1
+            if degree <= 0:
+                self._vertex_degree.pop(current.vertex, None)
+            else:
+                self._vertex_degree[current.vertex] = degree
+            self._size -= 1
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    def size_summary(self) -> Dict[str, int]:
+        """Return node and marking counts for reporting."""
+        return {"nodes": self._size, "markings": len(self.markings)}
+
+    def __str__(self) -> str:
+        return (
+            f"RSPQTree(root={self.root_vertex}, nodes={self._size}, "
+            f"markings={len(self.markings)})"
+        )

@@ -1,0 +1,57 @@
+"""Workloads: the real-world query templates and synthetic streaming graphs.
+
+The four graph generators are laptop-scale substitutes for the paper's
+datasets (StackOverflow, LDBC SNB, Yago2s, gMark); DESIGN.md documents why
+each substitution preserves the behaviour the evaluation depends on.
+"""
+
+from .gmark import (
+    GMarkGraphGenerator,
+    GMarkQueryGenerator,
+    GMarkRelation,
+    GMarkSchema,
+    default_social_schema,
+)
+from .ldbc import LDBC_LABELS, LDBCLikeGenerator
+from .queries import (
+    DATASET_LABELS,
+    DATASET_QUERY_LABELS,
+    DEFAULT_K,
+    QUERY_NAMES,
+    QUERY_TEMPLATES,
+    applicable_queries,
+    build_workload,
+    instantiate,
+)
+from .stackoverflow import SO_LABELS, StackOverflowGenerator
+from .synthetic import (
+    PreferentialAttachmentStreamGenerator,
+    UniformStreamGenerator,
+    timestamps_at_fixed_rate,
+)
+from .yago import YAGO_QUERY_LABELS, YagoLikeGenerator
+
+__all__ = [
+    "DATASET_LABELS",
+    "DATASET_QUERY_LABELS",
+    "DEFAULT_K",
+    "GMarkGraphGenerator",
+    "GMarkQueryGenerator",
+    "GMarkRelation",
+    "GMarkSchema",
+    "LDBC_LABELS",
+    "LDBCLikeGenerator",
+    "PreferentialAttachmentStreamGenerator",
+    "QUERY_NAMES",
+    "QUERY_TEMPLATES",
+    "SO_LABELS",
+    "StackOverflowGenerator",
+    "UniformStreamGenerator",
+    "YAGO_QUERY_LABELS",
+    "YagoLikeGenerator",
+    "applicable_queries",
+    "build_workload",
+    "default_social_schema",
+    "instantiate",
+    "timestamps_at_fixed_rate",
+]

@@ -1,0 +1,225 @@
+"""gMark-like schema-driven graph and query workload generator.
+
+The paper uses gMark (Bagan et al.) to (i) generate a synthetic graph that
+mimics the LDBC SNB schema and (ii) create synthetic RPQ workloads whose
+*query size* — the number of labels plus the number of ``*``/``+``
+occurrences — ranges from 2 to 20.  Each query groups labels into
+concatenations and alternations of size up to three, and each group
+carries a Kleene star or plus with 50% probability (§5.1.2).
+
+This module reproduces both parts:
+
+* :class:`GMarkSchema` / :class:`GMarkGraphGenerator` — a schema of typed
+  vertices and labelled relations with per-relation frequencies, and a
+  stream generator that draws type-correct edges at a fixed timestamp rate;
+* :class:`GMarkQueryGenerator` — the random query workload with the size
+  definition of the paper (:func:`query_size` matches
+  ``RegexNode.size()``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.stream import ListStream
+from ..graph.tuples import EdgeOp, StreamingGraphTuple
+from .synthetic import timestamps_at_fixed_rate
+
+__all__ = [
+    "GMarkRelation",
+    "GMarkSchema",
+    "GMarkGraphGenerator",
+    "GMarkQueryGenerator",
+    "default_social_schema",
+]
+
+
+@dataclass(frozen=True)
+class GMarkRelation:
+    """One labelled relation of a gMark schema."""
+
+    label: str
+    source_type: str
+    target_type: str
+    weight: float = 1.0
+
+
+@dataclass
+class GMarkSchema:
+    """A gMark schema: vertex types with populations plus labelled relations."""
+
+    vertex_populations: Dict[str, int]
+    relations: List[GMarkRelation]
+
+    def labels(self) -> List[str]:
+        """Return the labels of every relation, in schema order."""
+        return [relation.label for relation in self.relations]
+
+    def validate(self) -> None:
+        """Check that every relation endpoint type has a population."""
+        for relation in self.relations:
+            for vertex_type in (relation.source_type, relation.target_type):
+                if vertex_type not in self.vertex_populations:
+                    raise ValueError(
+                        f"relation {relation.label!r} references unknown vertex type {vertex_type!r}"
+                    )
+                if self.vertex_populations[vertex_type] <= 0:
+                    raise ValueError(f"vertex type {vertex_type!r} must have a positive population")
+
+
+def default_social_schema(scale: int = 200) -> GMarkSchema:
+    """The pre-configured schema mimicking LDBC SNB used in §5.1.2.
+
+    Args:
+        scale: population of the person type; other populations are derived
+            from it with the ratios of the social-network schema.
+    """
+    return GMarkSchema(
+        vertex_populations={
+            "person": scale,
+            "post": scale * 4,
+            "comment": scale * 6,
+            "forum": max(10, scale // 5),
+            "tag": max(10, scale // 4),
+        },
+        relations=[
+            GMarkRelation("knows", "person", "person", weight=3.0),
+            GMarkRelation("follows", "person", "person", weight=2.0),
+            GMarkRelation("likes", "person", "post", weight=3.0),
+            GMarkRelation("hasCreator", "post", "person", weight=2.0),
+            GMarkRelation("replyOf", "comment", "post", weight=3.0),
+            GMarkRelation("replyOfComment", "comment", "comment", weight=2.0),
+            GMarkRelation("hasMember", "forum", "person", weight=1.0),
+            GMarkRelation("containerOf", "forum", "post", weight=1.0),
+            GMarkRelation("hasTag", "post", "tag", weight=1.5),
+            GMarkRelation("hasInterest", "person", "tag", weight=1.0),
+        ],
+    )
+
+
+@dataclass
+class GMarkGraphGenerator:
+    """Generate a schema-conforming streaming graph.
+
+    Edges are drawn relation-by-relation proportionally to the relation
+    weights; endpoints are drawn from the relation's source/target type
+    populations with a mild power-law skew so that hubs exist, as in the
+    LDBC-like graphs gMark is configured to mimic.
+    """
+
+    schema: GMarkSchema
+    edges_per_timestamp: int = 25
+    seed: int = 53
+    skew: float = 1.3
+
+    def __post_init__(self) -> None:
+        self.schema.validate()
+
+    def _skewed_index(self, rng: random.Random, population: int) -> int:
+        # Inverse-CDF sampling of a bounded Zipf-like distribution.
+        u = rng.random()
+        return min(population - 1, int(population * (u ** self.skew)))
+
+    def generate(self, num_edges: int) -> ListStream:
+        """Generate ``num_edges`` tuples with fixed-rate timestamps."""
+        rng = random.Random(self.seed)
+        stamps = timestamps_at_fixed_rate(num_edges, self.edges_per_timestamp)
+        weights = [relation.weight for relation in self.schema.relations]
+        tuples: List[StreamingGraphTuple] = []
+        for index in range(num_edges):
+            relation = rng.choices(self.schema.relations, weights=weights, k=1)[0]
+            source_population = self.schema.vertex_populations[relation.source_type]
+            target_population = self.schema.vertex_populations[relation.target_type]
+            source = f"{relation.source_type}{self._skewed_index(rng, source_population)}"
+            target = f"{relation.target_type}{self._skewed_index(rng, target_population)}"
+            if source == target:
+                target = f"{relation.target_type}{(self._skewed_index(rng, target_population) + 1) % target_population}"
+            tuples.append(
+                StreamingGraphTuple(
+                    timestamp=stamps[index],
+                    source=source,
+                    target=target,
+                    label=relation.label,
+                    op=EdgeOp.INSERT,
+                )
+            )
+        return ListStream(tuples, validate_order=False)
+
+
+@dataclass
+class GMarkQueryGenerator:
+    """Random RPQ workload generator following §5.1.2.
+
+    Each query is a concatenation of *groups*; a group is a concatenation or
+    alternation of up to three labels and carries ``*`` or ``+`` with 50%
+    probability.  The query size (labels + stars/pluses) is controlled so a
+    workload sweeping sizes 2..20 can be produced.
+    """
+
+    labels: Sequence[str]
+    seed: int = 67
+    max_group_labels: int = 3
+    star_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise ValueError("need at least one label to generate queries")
+        self._rng = random.Random(self.seed)
+
+    def generate_query(self, size: int) -> str:
+        """Generate one query expression of exactly ``size``.
+
+        The size of a query is the number of labels plus the number of
+        occurrences of ``*`` and ``+`` (the paper's definition, identical to
+        :meth:`repro.regex.ast.RegexNode.size`).
+        """
+        if size < 1:
+            raise ValueError("query size must be at least 1")
+        groups: List[str] = []
+        remaining = size
+        while remaining > 0:
+            starred = self._rng.random() < self.star_probability
+            star_cost = 1 if starred else 0
+            max_labels = min(self.max_group_labels, remaining - star_cost)
+            if max_labels < 1:
+                starred = False
+                star_cost = 0
+                max_labels = min(self.max_group_labels, remaining)
+            group_labels = self._rng.randint(1, max_labels)
+            remaining -= group_labels + star_cost
+            chosen = [self._rng.choice(list(self.labels)) for _ in range(group_labels)]
+            use_alternation = group_labels > 1 and self._rng.random() < 0.5
+            if use_alternation:
+                body = " | ".join(chosen)
+            else:
+                body = " ".join(chosen)
+            if starred:
+                operator = "*" if self._rng.random() < 0.5 else "+"
+                groups.append(f"({body}){operator}")
+            elif group_labels > 1 and use_alternation:
+                groups.append(f"({body})")
+            else:
+                groups.append(body)
+        return " ".join(groups)
+
+    def generate_workload(
+        self,
+        num_queries: int,
+        min_size: int = 2,
+        max_size: int = 20,
+    ) -> List[Tuple[int, str]]:
+        """Generate ``num_queries`` queries with sizes cycling through the range.
+
+        Returns ``(requested size, expression)`` pairs, matching the 100-query
+        workload of §5.3.
+        """
+        if min_size > max_size:
+            raise ValueError("min_size must not exceed max_size")
+        workload: List[Tuple[int, str]] = []
+        sizes = list(range(min_size, max_size + 1))
+        for index in range(num_queries):
+            size = sizes[index % len(sizes)]
+            workload.append((size, self.generate_query(size)))
+        return workload

@@ -1,0 +1,125 @@
+"""LDBC SNB-like streaming graph (substitute for the LDBC update stream).
+
+The LDBC Social Network Benchmark update stream interleaves several types
+of user activity.  For the RPQ workload what matters is the *schema*: the
+graph is heterogeneous (persons, posts, comments) and only two relations
+are recursive —
+
+* ``knows``   (person → person): friendships form arbitrarily long chains;
+* ``replyOf`` (comment → comment/post): reply threads form trees;
+
+while ``hasCreator`` (message → person) and ``likes`` (person → message)
+are non-recursive.  This is why only a subset of the Table 2 queries can be
+formulated on LDBC (Figure 4(b)).
+
+:class:`LDBCLikeGenerator` simulates that update stream: persons join the
+network, befriend each other, create posts, reply to existing messages and
+like messages, with type-correct endpoints for every label.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..graph.stream import ListStream
+from ..graph.tuples import EdgeOp, StreamingGraphTuple
+
+__all__ = ["LDBC_LABELS", "LDBCLikeGenerator"]
+
+#: Edge labels of the LDBC-like streaming graph.
+LDBC_LABELS: List[str] = ["knows", "replyOf", "hasCreator", "likes"]
+
+
+@dataclass
+class LDBCLikeGenerator:
+    """Synthetic stand-in for the LDBC SNB update stream.
+
+    Args:
+        edges_per_timestamp: arrival rate (edges per time unit).
+        seed: RNG seed.
+        knows_fraction: fraction of activity that creates friendships.
+        reply_fraction: fraction of activity that creates replies (each reply
+            also produces a ``hasCreator`` edge, as in the real update
+            stream).
+        like_fraction: fraction of activity that creates likes.
+    """
+
+    edges_per_timestamp: int = 20
+    seed: int = 29
+    knows_fraction: float = 0.30
+    reply_fraction: float = 0.35
+    like_fraction: float = 0.20
+    #: Initial person population; the real LDBC SF10 graph is sparse (average
+    #: degree around 5), so the generator keeps the person population large
+    #: relative to the number of friendship edges.
+    initial_persons: int = 40
+    #: Probability that an activity step introduces a new person.
+    newcomer_probability: float = 0.12
+
+    def generate(self, num_edges: int) -> ListStream:
+        """Generate approximately ``num_edges`` tuples of the update stream."""
+        rng = random.Random(self.seed)
+        persons: List[str] = [f"person{i}" for i in range(max(2, self.initial_persons))]
+        messages: List[str] = []
+        tuples: List[StreamingGraphTuple] = []
+        emitted = 0
+        clock_edges = 0
+
+        def timestamp() -> int:
+            return 1 + clock_edges // self.edges_per_timestamp
+
+        def emit(source: str, target: str, label: str) -> None:
+            nonlocal emitted, clock_edges
+            tuples.append(
+                StreamingGraphTuple(
+                    timestamp=timestamp(),
+                    source=source,
+                    target=target,
+                    label=label,
+                    op=EdgeOp.INSERT,
+                )
+            )
+            emitted += 1
+            clock_edges += 1
+
+        post_counter = 0
+        while emitted < num_edges:
+            action = rng.random()
+            # New people keep joining so the friendship graph stays sparse.
+            if action < self.newcomer_probability or len(persons) < 4:
+                newcomer = f"person{len(persons)}"
+                persons.append(newcomer)
+                emit(newcomer, rng.choice(persons[:-1]), "knows")
+                continue
+            if action < self.newcomer_probability + self.knows_fraction:
+                a, b = rng.sample(persons, 2)
+                emit(a, b, "knows")
+                continue
+            if action < self.newcomer_probability + self.knows_fraction + self.reply_fraction and messages:
+                # A person replies to an existing message: replyOf + hasCreator.
+                author = rng.choice(persons)
+                parent = rng.choice(messages)
+                post_counter += 1
+                comment = f"comment{post_counter}"
+                messages.append(comment)
+                emit(comment, parent, "replyOf")
+                if emitted < num_edges:
+                    emit(comment, author, "hasCreator")
+                continue
+            if (
+                action
+                < self.newcomer_probability + self.knows_fraction + self.reply_fraction + self.like_fraction
+                and messages
+            ):
+                person = rng.choice(persons)
+                emit(person, rng.choice(messages), "likes")
+                continue
+            # Otherwise a person creates a fresh post.
+            author = rng.choice(persons)
+            post_counter += 1
+            post = f"post{post_counter}"
+            messages.append(post)
+            emit(post, author, "hasCreator")
+        return ListStream(tuples[:num_edges], validate_order=False)

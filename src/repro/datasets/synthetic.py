@@ -1,0 +1,188 @@
+"""Generic synthetic streaming-graph generators.
+
+The dataset-specific generators (StackOverflow-like, LDBC-like, Yago-like,
+gMark) are built on top of these primitives:
+
+* :class:`UniformStreamGenerator` — edges drawn uniformly at random over a
+  fixed vertex set and label alphabet;
+* :class:`PreferentialAttachmentStreamGenerator` — a temporal
+  preferential-attachment process that yields the skewed degree
+  distributions and heavy cyclicity of real interaction networks;
+* :func:`timestamps_at_fixed_rate` — the fixed-rate timestamp assignment
+  the paper uses to emulate sliding windows over static RDF data (Yago2s,
+  gMark).
+
+All generators are deterministic given their seed so experiments are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..graph.stream import ListStream
+from ..graph.tuples import EdgeOp, StreamingGraphTuple
+
+__all__ = [
+    "UniformStreamGenerator",
+    "PreferentialAttachmentStreamGenerator",
+    "timestamps_at_fixed_rate",
+]
+
+
+def timestamps_at_fixed_rate(num_edges: int, edges_per_timestamp: int) -> List[int]:
+    """Assign monotonically non-decreasing timestamps at a fixed rate.
+
+    The paper emulates sliding windows over static RDF graphs (Yago2s, the
+    gMark output) by assigning a monotonically non-decreasing timestamp to
+    each triple at a fixed rate, so that every window holds the same number
+    of edges.
+
+    Args:
+        num_edges: number of edges to stamp.
+        edges_per_timestamp: how many consecutive edges share a timestamp.
+
+    Returns:
+        list of ``num_edges`` timestamps starting at 1.
+    """
+    if edges_per_timestamp <= 0:
+        raise ValueError("edges_per_timestamp must be positive")
+    return [1 + index // edges_per_timestamp for index in range(num_edges)]
+
+
+@dataclass
+class UniformStreamGenerator:
+    """Streaming graph with uniformly random edges.
+
+    Args:
+        num_vertices: size of the vertex universe (vertices are ``0..n-1``).
+        labels: the edge-label alphabet, sampled uniformly (or according to
+            ``label_weights`` when given).
+        edges_per_timestamp: arrival rate; consecutive edges share a
+            timestamp in groups of this size.
+        label_weights: optional per-label sampling weights.
+        seed: RNG seed.
+        allow_self_loops: whether ``(v, v)`` edges may be generated.
+    """
+
+    num_vertices: int
+    labels: Sequence[str]
+    edges_per_timestamp: int = 10
+    label_weights: Optional[Sequence[float]] = None
+    seed: int = 1
+    allow_self_loops: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_vertices < 2:
+            raise ValueError("need at least two vertices")
+        if not self.labels:
+            raise ValueError("need at least one label")
+        if self.label_weights is not None and len(self.label_weights) != len(self.labels):
+            raise ValueError("label_weights must match labels in length")
+
+    def generate(self, num_edges: int) -> ListStream:
+        """Generate ``num_edges`` insertion tuples."""
+        rng = random.Random(self.seed)
+        stamps = timestamps_at_fixed_rate(num_edges, self.edges_per_timestamp)
+        tuples: List[StreamingGraphTuple] = []
+        labels = list(self.labels)
+        weights = list(self.label_weights) if self.label_weights is not None else None
+        for index in range(num_edges):
+            source = rng.randrange(self.num_vertices)
+            target = rng.randrange(self.num_vertices)
+            while not self.allow_self_loops and target == source:
+                target = rng.randrange(self.num_vertices)
+            if weights is None:
+                label = rng.choice(labels)
+            else:
+                label = rng.choices(labels, weights=weights, k=1)[0]
+            tuples.append(
+                StreamingGraphTuple(
+                    timestamp=stamps[index],
+                    source=source,
+                    target=target,
+                    label=label,
+                    op=EdgeOp.INSERT,
+                )
+            )
+        return ListStream(tuples, validate_order=False)
+
+
+@dataclass
+class PreferentialAttachmentStreamGenerator:
+    """Temporal preferential-attachment stream.
+
+    Each new edge chooses its endpoints either among existing vertices
+    (proportionally to their current degree) or introduces a new vertex with
+    probability ``new_vertex_probability``.  The result is a skewed degree
+    distribution and many short cycles — the structural features of the
+    StackOverflow interaction graph that drive the paper's hardest
+    workload.
+
+    Args:
+        labels: edge-label alphabet.
+        new_vertex_probability: probability that an endpoint is a brand-new
+            vertex rather than an existing one.
+        edges_per_timestamp: arrival rate (edges sharing one timestamp).
+        label_weights: optional per-label sampling weights.
+        seed: RNG seed.
+    """
+
+    labels: Sequence[str]
+    new_vertex_probability: float = 0.05
+    edges_per_timestamp: int = 10
+    label_weights: Optional[Sequence[float]] = None
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise ValueError("need at least one label")
+        if not 0.0 < self.new_vertex_probability <= 1.0:
+            raise ValueError("new_vertex_probability must be in (0, 1]")
+
+    def generate(self, num_edges: int) -> ListStream:
+        """Generate ``num_edges`` insertion tuples."""
+        rng = random.Random(self.seed)
+        stamps = timestamps_at_fixed_rate(num_edges, self.edges_per_timestamp)
+        labels = list(self.labels)
+        weights = list(self.label_weights) if self.label_weights is not None else None
+        # degree-weighted endpoint pool: vertices appear once per incident edge
+        endpoint_pool: List[int] = [0, 1]
+        next_vertex = 2
+        tuples: List[StreamingGraphTuple] = []
+        for index in range(num_edges):
+            source = self._pick_endpoint(rng, endpoint_pool, next_vertex)
+            if source == next_vertex:
+                next_vertex += 1
+            target = self._pick_endpoint(rng, endpoint_pool, next_vertex)
+            if target == next_vertex:
+                next_vertex += 1
+            if target == source:
+                target = self._pick_endpoint(rng, endpoint_pool, next_vertex)
+                if target == next_vertex:
+                    next_vertex += 1
+                if target == source:
+                    target = (source + 1) % max(next_vertex, 2)
+            endpoint_pool.append(source)
+            endpoint_pool.append(target)
+            if weights is None:
+                label = rng.choice(labels)
+            else:
+                label = rng.choices(labels, weights=weights, k=1)[0]
+            tuples.append(
+                StreamingGraphTuple(
+                    timestamp=stamps[index],
+                    source=source,
+                    target=target,
+                    label=label,
+                    op=EdgeOp.INSERT,
+                )
+            )
+        return ListStream(tuples, validate_order=False)
+
+    def _pick_endpoint(self, rng: random.Random, pool: List[int], next_vertex: int) -> int:
+        if rng.random() < self.new_vertex_probability:
+            return next_vertex
+        return pool[rng.randrange(len(pool))]

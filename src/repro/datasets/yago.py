@@ -1,0 +1,103 @@
+"""Yago2s-like streaming RDF graph (substitute for the Yago2s dump).
+
+Yago2s is a real-world RDF knowledge base with roughly one hundred distinct
+predicates over tens of millions of subjects.  The evaluation uses it as
+the *sparse, heterogeneous* extreme: every query label matches only a small
+fraction of the triples, so Delta stays small and throughput is high.  The
+paper emulates streaming by assigning monotonically non-decreasing
+timestamps to triples at a fixed rate so that every window holds the same
+number of edges.
+
+:class:`YagoLikeGenerator` reproduces those characteristics: a large
+predicate vocabulary in which the query predicates of Table 3 appear with
+low frequency, a weakly hierarchical entity space (events, places,
+countries) so that location predicates form shallow recursive chains, and
+fixed-rate timestamps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..graph.stream import ListStream
+from ..graph.tuples import EdgeOp, StreamingGraphTuple
+from .synthetic import timestamps_at_fixed_rate
+
+__all__ = ["YAGO_QUERY_LABELS", "YagoLikeGenerator"]
+
+#: Predicates used by the query workload on the Yago-like graph.
+YAGO_QUERY_LABELS: List[str] = [
+    "happenedIn",
+    "hasCapital",
+    "participatedIn",
+    "isLocatedIn",
+    "created",
+]
+
+
+@dataclass
+class YagoLikeGenerator:
+    """Synthetic stand-in for the Yago2s RDF stream.
+
+    Args:
+        num_entities: number of entities per stratum (events, places,
+            countries, people); the total vertex universe is about four
+            times this number.
+        num_noise_predicates: how many non-query predicates to include, so
+            that (as in the real data) most tuples are irrelevant to any
+            single query and are discarded by the engine.
+        edges_per_timestamp: fixed timestamp-assignment rate.
+        seed: RNG seed.
+    """
+
+    num_entities: int = 400
+    num_noise_predicates: int = 95
+    edges_per_timestamp: int = 25
+    seed: int = 41
+
+    def generate(self, num_edges: int) -> ListStream:
+        """Generate ``num_edges`` triples with fixed-rate timestamps."""
+        rng = random.Random(self.seed)
+        events = [f"event{i}" for i in range(self.num_entities)]
+        places = [f"place{i}" for i in range(self.num_entities)]
+        countries = [f"country{i}" for i in range(max(10, self.num_entities // 10))]
+        people = [f"person{i}" for i in range(self.num_entities)]
+        noise_predicates = [f"predicate{i}" for i in range(self.num_noise_predicates)]
+        stamps = timestamps_at_fixed_rate(num_edges, self.edges_per_timestamp)
+
+        tuples: List[StreamingGraphTuple] = []
+        for index in range(num_edges):
+            roll = rng.random()
+            if roll < 0.08:
+                source, target, label = rng.choice(events), rng.choice(places), "happenedIn"
+            elif roll < 0.14:
+                source, target, label = rng.choice(countries), rng.choice(places), "hasCapital"
+            elif roll < 0.22:
+                source, target, label = rng.choice(people), rng.choice(events), "participatedIn"
+            elif roll < 0.34:
+                # isLocatedIn forms shallow recursive chains: place -> place or
+                # place -> country.
+                source = rng.choice(places)
+                target = rng.choice(places) if rng.random() < 0.6 else rng.choice(countries)
+                label = "isLocatedIn"
+            elif roll < 0.40:
+                source, target, label = rng.choice(people), rng.choice(events), "created"
+            else:
+                # The long tail of predicates irrelevant to the query workload.
+                source = rng.choice(people + events + places)
+                target = rng.choice(people + events + places)
+                label = rng.choice(noise_predicates)
+            if source == target:
+                target = f"{target}_x"
+            tuples.append(
+                StreamingGraphTuple(
+                    timestamp=stamps[index],
+                    source=source,
+                    target=target,
+                    label=label,
+                    op=EdgeOp.INSERT,
+                )
+            )
+        return ListStream(tuples, validate_order=False)

@@ -1,0 +1,32 @@
+"""Exception types shared across the streaming RPQ library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "StreamOrderError",
+    "ConflictBudgetExceeded",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class StreamOrderError(ReproError, ValueError):
+    """Raised when stream tuples violate the non-decreasing timestamp order."""
+
+
+class ConflictBudgetExceeded(ReproError, RuntimeError):
+    """Raised when RSPQ evaluation exceeds its node/work budget.
+
+    RPQ evaluation under simple path semantics is NP-hard in general; on
+    conflict-heavy inputs the spanning trees can grow exponentially.  The
+    evaluator accepts a budget so that experiments (Table 4) can classify a
+    query as "not successfully evaluated" instead of running forever.
+    """
+
+    def __init__(self, message: str, tree_root=None, nodes: int = 0) -> None:
+        super().__init__(message)
+        self.tree_root = tree_root
+        self.nodes = nodes

@@ -1,0 +1,48 @@
+"""Experiment harness regenerating the paper's evaluation (tables and figures)."""
+
+from .figures import (
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+)
+from .harness import RunResult, compare_runs, run_evaluator, run_query
+from .tables import (
+    Table1Row,
+    Table4Row,
+    render_table1,
+    render_table4,
+    table1_complexity_check,
+    table4_simple_path,
+)
+from .workloads import DATASET_NAMES, SCALES, DatasetConfig, dataset_config, dataset_stream
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetConfig",
+    "RunResult",
+    "SCALES",
+    "Table1Row",
+    "Table4Row",
+    "compare_runs",
+    "dataset_config",
+    "dataset_stream",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "render_table1",
+    "render_table4",
+    "run_evaluator",
+    "run_query",
+    "table1_complexity_check",
+    "table4_simple_path",
+]

@@ -1,0 +1,170 @@
+"""Experiment harness: runs an evaluator over a stream and measures it.
+
+This is the measurement loop behind every figure and table of §5.  Given an
+evaluator (RAPQ, RSPQ or the recomputation baseline) and a stream, it
+
+* times the processing of every tuple whose label is relevant to the query
+  (the paper measures only those, §5.2);
+* records throughput, mean and tail (p99) latency;
+* extracts window-management (expiry) time and Delta index size from the
+  evaluator's statistics;
+* converts :class:`~repro.errors.ConflictBudgetExceeded` into a
+  "did not complete" outcome instead of propagating, so Table 4 can report
+  which queries are feasible under simple path semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..core.engine import make_evaluator
+from ..errors import ConflictBudgetExceeded
+from ..graph.stream import GraphStream
+from ..graph.tuples import StreamingGraphTuple
+from ..graph.window import WindowSpec
+from ..metrics.collectors import LatencyCollector
+from ..regex.analysis import QueryAnalysis, analyze
+
+__all__ = ["RunResult", "run_evaluator", "run_query", "compare_runs"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (query, dataset, evaluator) experiment run.
+
+    All latency figures are in microseconds, matching the paper's plots;
+    throughput is in edges (relevant tuples) per second.
+    """
+
+    query_name: str
+    dataset: str
+    semantics: str
+    completed: bool
+    num_tuples: int = 0
+    relevant_tuples: int = 0
+    distinct_results: int = 0
+    throughput_eps: float = 0.0
+    mean_latency_us: float = 0.0
+    tail_latency_us: float = 0.0
+    expiry_seconds: float = 0.0
+    expiry_runs: int = 0
+    index_trees: int = 0
+    index_nodes: int = 0
+    automaton_states: int = 0
+    error: Optional[str] = None
+
+    def expiry_time_per_run_us(self) -> float:
+        """Average time of one expiry pass, in microseconds (Figure 6(b))."""
+        if self.expiry_runs == 0:
+            return 0.0
+        return self.expiry_seconds / self.expiry_runs * 1e6
+
+    def as_row(self) -> List[object]:
+        """Row representation used by the text reports."""
+        return [
+            self.query_name,
+            self.dataset,
+            self.semantics,
+            "ok" if self.completed else f"failed ({self.error})",
+            self.relevant_tuples,
+            self.distinct_results,
+            round(self.throughput_eps, 1),
+            round(self.tail_latency_us, 1),
+            self.index_nodes,
+        ]
+
+
+def run_evaluator(
+    evaluator,
+    stream: Union[GraphStream, Sequence[StreamingGraphTuple]],
+    query_name: str = "query",
+    dataset: str = "stream",
+    semantics: str = "arbitrary",
+    latency_collector: Optional[LatencyCollector] = None,
+) -> RunResult:
+    """Drive ``evaluator`` over ``stream`` and measure it.
+
+    Irrelevant tuples (labels outside the query alphabet) are passed to the
+    evaluator (it discards them) but excluded from the latency statistics.
+    """
+    latencies = latency_collector if latency_collector is not None else LatencyCollector()
+    num_tuples = 0
+    relevant = 0
+    completed = True
+    error: Optional[str] = None
+    try:
+        for tup in stream:
+            num_tuples += 1
+            if evaluator.relevant(tup):
+                relevant += 1
+                started = time.perf_counter()
+                evaluator.process(tup)
+                latencies.record(time.perf_counter() - started)
+            else:
+                evaluator.process(tup)
+    except ConflictBudgetExceeded as exc:
+        completed = False
+        error = str(exc)
+
+    stats = dict(getattr(evaluator, "stats", {}))
+    index = evaluator.index_size()
+    result = RunResult(
+        query_name=query_name,
+        dataset=dataset,
+        semantics=semantics,
+        completed=completed,
+        num_tuples=num_tuples,
+        relevant_tuples=relevant,
+        distinct_results=len(evaluator.answer_pairs()),
+        automaton_states=evaluator.analysis.num_states,
+        expiry_seconds=float(stats.get("expiry_seconds", 0.0)),
+        expiry_runs=int(stats.get("expiry_runs", 0)),
+        index_trees=int(index.get("trees", 0)),
+        index_nodes=int(index.get("nodes", 0)),
+        error=error,
+    )
+    if len(latencies) > 0:
+        summary = latencies.summary()
+        result.throughput_eps = summary["throughput_eps"]
+        result.mean_latency_us = summary["mean_us"]
+        result.tail_latency_us = summary["tail_us"]
+    return result
+
+
+def run_query(
+    query: Union[str, QueryAnalysis],
+    stream: Union[GraphStream, Sequence[StreamingGraphTuple]],
+    window: WindowSpec,
+    semantics: str = "arbitrary",
+    query_name: str = "query",
+    dataset: str = "stream",
+    max_nodes_per_tree: Optional[int] = None,
+) -> RunResult:
+    """Convenience wrapper: build the evaluator for ``semantics`` and run it."""
+    analysis = query if isinstance(query, QueryAnalysis) else analyze(query)
+    evaluator = make_evaluator(analysis, window, semantics, max_nodes_per_tree)
+    return run_evaluator(
+        evaluator,
+        stream,
+        query_name=query_name,
+        dataset=dataset,
+        semantics=semantics,
+    )
+
+
+def compare_runs(reference: RunResult, candidate: RunResult) -> Dict[str, float]:
+    """Compute relative speed-ups of ``reference`` over ``candidate``.
+
+    Used for Figure 11 (incremental vs recomputation) and Table 4
+    (simple-path overhead = candidate latency / reference latency).
+    """
+    comparison: Dict[str, float] = {}
+    if candidate.throughput_eps > 0:
+        comparison["throughput_speedup"] = reference.throughput_eps / candidate.throughput_eps
+    if reference.tail_latency_us > 0:
+        comparison["tail_latency_speedup"] = candidate.tail_latency_us / reference.tail_latency_us
+    if reference.mean_latency_us > 0:
+        comparison["mean_latency_overhead"] = candidate.mean_latency_us / reference.mean_latency_us
+    return comparison

@@ -1,0 +1,173 @@
+"""Regeneration of the paper's tables (Table 1 scaling check and Table 4).
+
+* :func:`table1_complexity_check` — the paper's Table 1 states amortized
+  costs (O(n·k²) per insertion, O(n²·k) per deletion).  We cannot measure a
+  big-O, but we can verify the *scaling shape*: mean per-tuple latency
+  should grow roughly linearly with the number of vertices in the window
+  and stay polynomial in k.  The function sweeps the window size and
+  reports the measured mean latencies together with the window vertex
+  counts.
+
+* :func:`table4_simple_path` — which Table 2 queries can be evaluated
+  under simple path semantics on each dataset, and the latency overhead of
+  doing so relative to arbitrary path semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datasets import applicable_queries, build_workload
+from ..graph.window import WindowSpec
+from ..metrics.reporting import format_table
+from .harness import RunResult, run_query
+from .workloads import DATASET_NAMES, dataset_config
+
+__all__ = [
+    "Table1Row",
+    "Table4Row",
+    "table1_complexity_check",
+    "table4_simple_path",
+    "render_table1",
+    "render_table4",
+]
+
+#: Node budget for a single RSPQ spanning tree; exceeding it classifies the
+#: query as "cannot be evaluated under simple path semantics" (Table 4).
+RSPQ_NODE_BUDGET = 200_000
+
+
+@dataclass
+class Table1Row:
+    """One measurement of the insertion-cost scaling check."""
+
+    query_name: str
+    window_size: int
+    window_vertices: int
+    automaton_states: int
+    mean_latency_us: float
+    tail_latency_us: float
+
+
+def table1_complexity_check(
+    scale: str = "small",
+    queries: Sequence[str] = ("Q1", "Q2", "Q7"),
+    window_multipliers: Sequence[float] = (0.5, 1.0, 1.5, 2.0),
+) -> List[Table1Row]:
+    """Measure how per-tuple cost scales with the window size (Table 1 check).
+
+    A larger window holds more vertices (larger n), so the amortized
+    O(n·k²) bound predicts roughly linear growth of the mean insertion
+    latency in the window size; the rows returned here let the benchmark
+    verify that shape.
+    """
+    config = dataset_config("yago", scale)
+    stream = config.stream()
+    workload = build_workload("yago")
+    rows: List[Table1Row] = []
+    for name in queries:
+        if name not in workload:
+            continue
+        for multiplier in window_multipliers:
+            size = max(2, int(config.window.size * multiplier))
+            window = WindowSpec(size=size, slide=config.window.slide)
+            result = run_query(workload[name], stream, window, query_name=name, dataset="yago")
+            rows.append(
+                Table1Row(
+                    query_name=name,
+                    window_size=size,
+                    window_vertices=result.index_trees,
+                    automaton_states=result.automaton_states,
+                    mean_latency_us=result.mean_latency_us,
+                    tail_latency_us=result.tail_latency_us,
+                )
+            )
+    return rows
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Render the Table 1 scaling check as text."""
+    return format_table(
+        ["query", "|W|", "trees(~n)", "k", "mean latency (us)", "p99 latency (us)"],
+        [
+            [row.query_name, row.window_size, row.window_vertices, row.automaton_states,
+             row.mean_latency_us, row.tail_latency_us]
+            for row in rows
+        ],
+        title="Table 1 — insertion-cost scaling with window size",
+    )
+
+
+@dataclass
+class Table4Row:
+    """Feasibility and overhead of simple-path evaluation for one query/dataset."""
+
+    dataset: str
+    query_name: str
+    successful: bool
+    arbitrary_tail_us: float
+    simple_tail_us: float
+    overhead: Optional[float]
+    conflicts: int = 0
+
+    @property
+    def overhead_text(self) -> str:
+        """Human-readable overhead (e.g. ``1.8x``) or ``-`` when not successful."""
+        if not self.successful or self.overhead is None:
+            return "-"
+        return f"{self.overhead:.1f}x"
+
+
+def table4_simple_path(
+    scale: str = "small",
+    datasets: Sequence[str] = tuple(DATASET_NAMES),
+    queries: Optional[Sequence[str]] = None,
+    node_budget: int = RSPQ_NODE_BUDGET,
+) -> List[Table4Row]:
+    """Evaluate every query under both semantics and report feasibility/overhead."""
+    rows: List[Table4Row] = []
+    for dataset in datasets:
+        config = dataset_config(dataset, scale)
+        stream = config.stream()
+        workload = build_workload(dataset)
+        names = list(queries) if queries is not None else applicable_queries(dataset)
+        for name in names:
+            if name not in workload:
+                continue
+            arbitrary = run_query(
+                workload[name], stream, config.window,
+                semantics="arbitrary", query_name=name, dataset=dataset,
+            )
+            simple = run_query(
+                workload[name], stream, config.window,
+                semantics="simple", query_name=name, dataset=dataset,
+                max_nodes_per_tree=node_budget,
+            )
+            overhead = None
+            if simple.completed and arbitrary.tail_latency_us > 0:
+                overhead = simple.tail_latency_us / arbitrary.tail_latency_us
+            rows.append(
+                Table4Row(
+                    dataset=dataset,
+                    query_name=name,
+                    successful=simple.completed,
+                    arbitrary_tail_us=arbitrary.tail_latency_us,
+                    simple_tail_us=simple.tail_latency_us,
+                    overhead=overhead,
+                )
+            )
+    return rows
+
+
+def render_table4(rows: Sequence[Table4Row]) -> str:
+    """Render Table 4 (successful queries and slowdown) as text."""
+    return format_table(
+        ["dataset", "query", "simple-path ok", "RAPQ p99 (us)", "RSPQ p99 (us)", "overhead"],
+        [
+            [row.dataset, row.query_name, "yes" if row.successful else "no",
+             row.arbitrary_tail_us, row.simple_tail_us, row.overhead_text]
+            for row in rows
+        ],
+        title="Table 4 — RPQ evaluation under simple path semantics",
+    )

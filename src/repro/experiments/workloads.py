@@ -1,0 +1,99 @@
+"""Standard experiment workloads: datasets, windows and scales.
+
+Each figure of §5 runs the Table 2 queries over one or more datasets with a
+default window.  This module centralizes those defaults so the figure
+functions, the benchmarks and the tests all agree on them, and provides a
+single knob (``scale``) to shrink or grow every experiment uniformly.
+
+Scales:
+
+* ``"tiny"``   — seconds-long runs used by the integration tests;
+* ``"small"``  — the default for ``pytest benchmarks/`` (a few minutes total);
+* ``"medium"`` — closer to the paper's relative window sizes; slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..datasets import (
+    GMarkGraphGenerator,
+    LDBCLikeGenerator,
+    StackOverflowGenerator,
+    YagoLikeGenerator,
+    default_social_schema,
+)
+from ..graph.stream import ListStream
+from ..graph.window import WindowSpec
+
+__all__ = ["DatasetConfig", "SCALES", "dataset_config", "dataset_stream", "DATASET_NAMES"]
+
+#: Datasets used by the evaluation, in the order of Figure 4.
+DATASET_NAMES: List[str] = ["yago", "ldbc", "stackoverflow"]
+
+#: Stream sizes per scale, per dataset.
+SCALES: Dict[str, Dict[str, int]] = {
+    "tiny": {"yago": 1200, "ldbc": 1200, "stackoverflow": 800, "gmark": 1200},
+    "small": {"yago": 6000, "ldbc": 5000, "stackoverflow": 4000, "gmark": 6000},
+    "medium": {"yago": 20000, "ldbc": 16000, "stackoverflow": 12000, "gmark": 20000},
+}
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """A dataset with its default window for the experiments."""
+
+    name: str
+    num_edges: int
+    window: WindowSpec
+    make_stream: Callable[[int], ListStream]
+
+    def stream(self) -> ListStream:
+        """Materialize the dataset stream at the configured size."""
+        return self.make_stream(self.num_edges)
+
+
+def _make_generator(name: str, seed: int):
+    if name == "stackoverflow":
+        return StackOverflowGenerator(seed=seed)
+    if name == "ldbc":
+        return LDBCLikeGenerator(seed=seed)
+    if name == "yago":
+        return YagoLikeGenerator(seed=seed)
+    if name == "gmark":
+        return GMarkGraphGenerator(schema=default_social_schema(), seed=seed)
+    raise KeyError(f"unknown dataset {name!r}; known: {DATASET_NAMES + ['gmark']}")
+
+
+def dataset_config(name: str, scale: str = "small", seed: int = 7) -> DatasetConfig:
+    """Return the :class:`DatasetConfig` of ``name`` at ``scale``.
+
+    The default windows follow the paper's proportions: each window holds
+    roughly a third of the stream's time range and slides in ten steps per
+    window (eager evaluation, lazy expiry).
+    """
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; known: {sorted(SCALES)}")
+    sizes = SCALES[scale]
+    if name not in sizes:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(sizes)}")
+    num_edges = sizes[name]
+    generator = _make_generator(name, seed)
+    # All generators assign ~20-25 edges per timestamp, so the stream spans
+    # roughly num_edges / edges_per_timestamp time units.
+    edges_per_timestamp = getattr(generator, "edges_per_timestamp", 20)
+    duration = max(10, num_edges // edges_per_timestamp)
+    window_size = max(10, duration // 3)
+    slide = max(1, window_size // 10)
+    return DatasetConfig(
+        name=name,
+        num_edges=num_edges,
+        window=WindowSpec(size=window_size, slide=slide),
+        make_stream=lambda n, gen=generator: gen.generate(n),
+    )
+
+
+def dataset_stream(name: str, scale: str = "small", seed: int = 7) -> ListStream:
+    """Shorthand: materialize the stream of ``name`` at ``scale``."""
+    return dataset_config(name, scale, seed).stream()

@@ -1,0 +1,28 @@
+"""Extensions beyond the paper's core algorithms.
+
+These modules implement the paper's stated future-work directions:
+
+* :mod:`repro.extensions.property_graph` — attribute-based predicates on
+  edges (property graph data model);
+* :mod:`repro.extensions.multi_query` — multi-query processing with a
+  shared window snapshot;
+
+together with the out-of-order handling that lives in
+:mod:`repro.graph.ordering` (a substrate concern).
+"""
+
+from .multi_query import SharedSnapshotEngine
+from .property_graph import (
+    EdgePredicate,
+    PropertyEdge,
+    PropertyGraphEngine,
+    PropertyPathQuery,
+)
+
+__all__ = [
+    "EdgePredicate",
+    "PropertyEdge",
+    "PropertyGraphEngine",
+    "PropertyPathQuery",
+    "SharedSnapshotEngine",
+]

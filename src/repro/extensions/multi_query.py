@@ -1,0 +1,170 @@
+"""Multi-query optimization: shared window state across persistent RPQs.
+
+The paper's second future-work item is "to investigate multi-query
+optimization techniques to share computation across multiple persistent
+RPQs".  This module implements the first and most effective level of
+sharing: all registered queries share a **single window snapshot graph**,
+so the window content is stored and maintained (inserted, deleted, expired)
+exactly once instead of once per query.  Each query keeps its own Delta
+tree index, which is inherently query-specific.
+
+On top of snapshot sharing, the engine also shares **query compilation**:
+two queries with the same expression reuse one
+:class:`~repro.regex.analysis.QueryAnalysis`, and tuples whose label is
+relevant to no registered query are dropped once, before touching any
+evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from ..core.rapq import RAPQEvaluator
+from ..core.rspq import RSPQEvaluator
+from ..core.results import ResultStream
+from ..graph.snapshot import SnapshotGraph
+from ..graph.tuples import StreamingGraphTuple, Vertex
+from ..graph.window import WindowSpec
+from ..regex.analysis import QueryAnalysis, analyze
+
+__all__ = ["SharedSnapshotEngine"]
+
+
+class SharedSnapshotEngine:
+    """Evaluate several persistent RPQs over one shared window snapshot.
+
+    The public surface mirrors :class:`~repro.core.engine.StreamingRPQEngine`
+    (register / process / answer_pairs), but the window content is stored
+    once, which both reduces memory and removes redundant per-query snapshot
+    maintenance.
+
+    Only the incremental evaluators share state; the recomputation baseline
+    is intentionally not supported here.
+    """
+
+    def __init__(self, window: WindowSpec) -> None:
+        self.window = window
+        self.snapshot = SnapshotGraph()
+        self._evaluators: Dict[str, Union[RAPQEvaluator, RSPQEvaluator]] = {}
+        self._analyses: Dict[str, QueryAnalysis] = {}
+        self._alphabet: Set[str] = set()
+        self._current_time: Optional[int] = None
+        self._last_expiry_boundary: Optional[int] = None
+        self.stats: Dict[str, float] = {
+            "tuples_seen": 0,
+            "tuples_dropped_globally": 0,
+            "snapshot_expiries": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def register(
+        self,
+        name: str,
+        query: Union[str, QueryAnalysis],
+        semantics: str = "arbitrary",
+        max_nodes_per_tree: Optional[int] = None,
+    ) -> Union[RAPQEvaluator, RSPQEvaluator]:
+        """Register a query under ``name`` and return its evaluator."""
+        if name in self._evaluators:
+            raise ValueError(f"a query named {name!r} is already registered")
+        expression_key = str(query.expression) if isinstance(query, QueryAnalysis) else str(query)
+        analysis = self._analyses.get(expression_key)
+        if analysis is None:
+            analysis = query if isinstance(query, QueryAnalysis) else analyze(query)
+            self._analyses[expression_key] = analysis
+        if semantics == "arbitrary":
+            evaluator: Union[RAPQEvaluator, RSPQEvaluator] = RAPQEvaluator(
+                analysis, self.window, snapshot=self.snapshot, manage_snapshot=False
+            )
+        elif semantics == "simple":
+            evaluator = RSPQEvaluator(
+                analysis,
+                self.window,
+                max_nodes_per_tree=max_nodes_per_tree,
+                snapshot=self.snapshot,
+                manage_snapshot=False,
+            )
+        else:
+            raise ValueError(
+                f"SharedSnapshotEngine supports 'arbitrary' and 'simple' semantics, got {semantics!r}"
+            )
+        self._evaluators[name] = evaluator
+        self._alphabet |= analysis.alphabet
+        return evaluator
+
+    def queries(self) -> List[str]:
+        """Names of the registered queries."""
+        return list(self._evaluators)
+
+    def evaluator(self, name: str) -> Union[RAPQEvaluator, RSPQEvaluator]:
+        """Return the evaluator registered under ``name``."""
+        try:
+            return self._evaluators[name]
+        except KeyError:
+            raise KeyError(f"no query named {name!r} is registered") from None
+
+    # ------------------------------------------------------------------ #
+    # Processing
+    # ------------------------------------------------------------------ #
+
+    def process(self, tup: StreamingGraphTuple) -> Dict[str, List[Tuple[Vertex, Vertex]]]:
+        """Apply one tuple to the shared snapshot and every registered query."""
+        self.stats["tuples_seen"] += 1
+        self._advance_time(tup.timestamp)
+        relevant_anywhere = tup.label in self._alphabet
+        if relevant_anywhere:
+            if tup.is_delete:
+                self.snapshot.delete(tup.source, tup.target, tup.label)
+            else:
+                self.snapshot.insert_tuple(tup)
+        else:
+            self.stats["tuples_dropped_globally"] += 1
+            return {}
+        produced: Dict[str, List[Tuple[Vertex, Vertex]]] = {}
+        for name, evaluator in self._evaluators.items():
+            pairs = evaluator.process(tup)
+            if pairs:
+                produced[name] = pairs
+        return produced
+
+    def process_stream(self, tuples: Iterable[StreamingGraphTuple]) -> Dict[str, ResultStream]:
+        """Process an entire stream and return each query's result stream."""
+        for tup in tuples:
+            self.process(tup)
+        return {name: evaluator.results for name, evaluator in self._evaluators.items()}
+
+    def _advance_time(self, timestamp: int) -> None:
+        if self._current_time is not None and timestamp < self._current_time:
+            raise ValueError(
+                f"timestamps must be non-decreasing: got {timestamp} after {self._current_time}"
+            )
+        self._current_time = timestamp
+        boundary = self.window.window_end(timestamp)
+        if self._last_expiry_boundary is None:
+            self._last_expiry_boundary = boundary
+            return
+        if boundary > self._last_expiry_boundary:
+            self._last_expiry_boundary = boundary
+            self.snapshot.expire(boundary - self.window.size)
+            self.stats["snapshot_expiries"] += 1
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    def answer_pairs(self, name: str) -> Set[Tuple[Vertex, Vertex]]:
+        """Distinct pairs reported by the query registered under ``name``."""
+        return self.evaluator(name).answer_pairs()
+
+    def memory_summary(self) -> Dict[str, int]:
+        """Rough memory accounting: shared snapshot size and per-query index sizes."""
+        summary = {
+            "snapshot_edges": self.snapshot.num_edges,
+            "snapshot_vertices": self.snapshot.num_vertices,
+        }
+        for name, evaluator in self._evaluators.items():
+            summary[f"index_nodes[{name}]"] = int(evaluator.index_size().get("nodes", 0))
+        return summary

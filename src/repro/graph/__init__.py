@@ -1,0 +1,36 @@
+"""Streaming graph substrate: tuples, streams, window snapshots and windows."""
+
+from .ordering import ReorderingBuffer, reorder_stream
+from .snapshot import LabeledEdge, SnapshotGraph
+from .stream import (
+    GeneratorStream,
+    GraphStream,
+    ListStream,
+    merge_streams,
+    read_csv,
+    with_deletions,
+    write_csv,
+)
+from .tuples import EdgeOp, Label, StreamingGraphTuple, Vertex, sgt
+from .window import SlidingWindow, WindowSpec
+
+__all__ = [
+    "EdgeOp",
+    "GeneratorStream",
+    "GraphStream",
+    "Label",
+    "LabeledEdge",
+    "ListStream",
+    "ReorderingBuffer",
+    "SlidingWindow",
+    "SnapshotGraph",
+    "StreamingGraphTuple",
+    "Vertex",
+    "WindowSpec",
+    "merge_streams",
+    "read_csv",
+    "reorder_stream",
+    "sgt",
+    "with_deletions",
+    "write_csv",
+]

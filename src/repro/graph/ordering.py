@@ -1,0 +1,117 @@
+"""Out-of-order arrival handling for streaming graph tuples.
+
+The paper assumes tuples arrive in source-timestamp order and leaves
+out-of-order delivery as future work.  This module provides the standard
+stream-processing remedy — a bounded reordering buffer driven by a
+*watermark* — so that slightly disordered inputs (e.g. from parallel
+collectors) can still be fed to the evaluators, which require
+non-decreasing timestamps.
+
+:class:`ReorderingBuffer` holds incoming tuples in a min-heap keyed by
+timestamp and releases a tuple only once the watermark (the maximum
+timestamp seen, minus the allowed lateness) has passed it.  Tuples arriving
+later than the allowed lateness are either dropped (counted) or raised as
+errors, depending on the configured policy.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import StreamOrderError
+from .tuples import StreamingGraphTuple
+
+__all__ = ["ReorderingBuffer", "reorder_stream"]
+
+
+class ReorderingBuffer:
+    """Bounded reordering buffer for almost-ordered streams.
+
+    Args:
+        max_lateness: how far (in time units) a tuple may lag behind the
+            maximum timestamp observed so far and still be accepted.
+        late_policy: ``"drop"`` silently discards tuples older than the
+            watermark (counting them in :attr:`late_dropped`), ``"raise"``
+            raises :class:`~repro.errors.StreamOrderError` instead.
+    """
+
+    def __init__(self, max_lateness: int, late_policy: str = "drop") -> None:
+        if max_lateness < 0:
+            raise ValueError(f"max_lateness must be non-negative, got {max_lateness}")
+        if late_policy not in {"drop", "raise"}:
+            raise ValueError(f"late_policy must be 'drop' or 'raise', got {late_policy!r}")
+        self.max_lateness = max_lateness
+        self.late_policy = late_policy
+        self._heap: List[Tuple[int, int, StreamingGraphTuple]] = []
+        self._sequence = 0
+        self._max_timestamp: Optional[int] = None
+        self._last_released: Optional[int] = None
+        self.late_dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # Feeding and draining
+    # ------------------------------------------------------------------ #
+
+    @property
+    def watermark(self) -> Optional[int]:
+        """Timestamps at or below this value are ready for release."""
+        if self._max_timestamp is None:
+            return None
+        return self._max_timestamp - self.max_lateness
+
+    def push(self, tup: StreamingGraphTuple) -> List[StreamingGraphTuple]:
+        """Accept one (possibly out-of-order) tuple; return tuples now releasable."""
+        if self._last_released is not None and tup.timestamp < self._last_released:
+            if self.late_policy == "raise":
+                raise StreamOrderError(
+                    f"tuple at t={tup.timestamp} arrived after the buffer already released t={self._last_released}"
+                )
+            self.late_dropped += 1
+            return self._release()
+        heapq.heappush(self._heap, (tup.timestamp, self._sequence, tup))
+        self._sequence += 1
+        if self._max_timestamp is None or tup.timestamp > self._max_timestamp:
+            self._max_timestamp = tup.timestamp
+        return self._release()
+
+    def _release(self) -> List[StreamingGraphTuple]:
+        released: List[StreamingGraphTuple] = []
+        watermark = self.watermark
+        if watermark is None:
+            return released
+        while self._heap and self._heap[0][0] <= watermark:
+            _, _, tup = heapq.heappop(self._heap)
+            released.append(tup)
+            self._last_released = tup.timestamp
+        return released
+
+    def flush(self) -> List[StreamingGraphTuple]:
+        """Release everything still buffered (end of stream)."""
+        released: List[StreamingGraphTuple] = []
+        while self._heap:
+            _, _, tup = heapq.heappop(self._heap)
+            released.append(tup)
+            self._last_released = tup.timestamp
+        return released
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def reorder_stream(
+    tuples: Iterable[StreamingGraphTuple],
+    max_lateness: int,
+    late_policy: str = "drop",
+) -> Iterator[StreamingGraphTuple]:
+    """Yield ``tuples`` in non-decreasing timestamp order using a reordering buffer.
+
+    This is the convenience form used to adapt an almost-ordered source for
+    the evaluators::
+
+        evaluator.process_stream(reorder_stream(noisy_source, max_lateness=10))
+    """
+    buffer = ReorderingBuffer(max_lateness=max_lateness, late_policy=late_policy)
+    for tup in tuples:
+        yield from buffer.push(tup)
+    yield from buffer.flush()

@@ -1,0 +1,132 @@
+"""Time-based sliding windows (Definitions 4 and 5).
+
+A time-based sliding window ``W`` of size ``|W|`` with slide interval
+``beta`` defines, at any time ``tau``, the interval ``(W_b, W_e]`` with
+``W_e = floor(tau / beta) * beta`` and ``W_b = W_e - |W|``.
+
+The paper uses *eager evaluation* (results are produced as every tuple
+arrives) but *lazy expiration* (expired tuples are physically removed only
+at slide boundaries).  :class:`SlidingWindow` encapsulates exactly that
+bookkeeping: the engine asks it, for every incoming timestamp, whether a
+slide boundary has been crossed and what the current expiry watermark is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["WindowSpec", "SlidingWindow"]
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Static description of a sliding window: size ``|W|`` and slide ``beta``."""
+
+    size: int
+    slide: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"window size must be positive, got {self.size}")
+        if self.slide <= 0:
+            raise ValueError(f"slide interval must be positive, got {self.slide}")
+        if self.slide > self.size:
+            raise ValueError(
+                f"slide interval ({self.slide}) larger than the window ({self.size}) "
+                "would leave gaps in coverage"
+            )
+
+    def window_end(self, timestamp: int) -> int:
+        """Return ``W_e`` for the window active at ``timestamp``."""
+        return (timestamp // self.slide) * self.slide
+
+    def window_begin(self, timestamp: int) -> int:
+        """Return ``W_b`` for the window active at ``timestamp``."""
+        return self.window_end(timestamp) - self.size
+
+    def contains(self, tuple_timestamp: int, now: int) -> bool:
+        """Return ``True`` if a tuple with ``tuple_timestamp`` is inside the window at ``now``."""
+        return self.window_begin(now) < tuple_timestamp <= self.window_end(now)
+
+    def expiry_watermark(self, now: int) -> int:
+        """Timestamps less than or equal to this value are expired at time ``now``.
+
+        The streaming algorithms use the open lower bound ``tau - |W|``
+        directly (a node/edge is valid when ``ts > tau - |W|``); the
+        watermark returned here is that bound.
+        """
+        return now - self.size
+
+
+@dataclass
+class SlidingWindow:
+    """Runtime state of a sliding window over a streaming graph.
+
+    The engine calls :meth:`observe` for every incoming tuple timestamp.
+    The call returns the list of slide boundaries crossed since the last
+    observation (usually empty or a single boundary) so that expiry can be
+    triggered lazily, once per slide interval, as in the paper.
+    """
+
+    spec: WindowSpec
+    _last_slide_end: Optional[int] = field(default=None, init=False)
+    _current_time: Optional[int] = field(default=None, init=False)
+
+    @property
+    def size(self) -> int:
+        """Window length ``|W|`` in time units."""
+        return self.spec.size
+
+    @property
+    def slide(self) -> int:
+        """Slide interval ``beta`` in time units."""
+        return self.spec.slide
+
+    @property
+    def current_time(self) -> Optional[int]:
+        """The most recent timestamp observed, or ``None`` before any tuple."""
+        return self._current_time
+
+    def observe(self, timestamp: int) -> List[int]:
+        """Advance the window to ``timestamp``.
+
+        Returns the list of slide-boundary times crossed since the previous
+        observation.  For each boundary ``b`` the engine should expire every
+        element with timestamp ``<= b - |W|``.
+
+        Raises:
+            ValueError: if ``timestamp`` moves backwards (the paper assumes
+                tuples arrive in timestamp order).
+        """
+        if self._current_time is not None and timestamp < self._current_time:
+            raise ValueError(
+                f"timestamps must be non-decreasing: got {timestamp} after {self._current_time}"
+            )
+        self._current_time = timestamp
+        boundary = self.spec.window_end(timestamp)
+        if self._last_slide_end is None:
+            self._last_slide_end = boundary
+            return []
+        crossed: List[int] = []
+        while self._last_slide_end + self.spec.slide <= boundary:
+            self._last_slide_end += self.spec.slide
+            crossed.append(self._last_slide_end)
+        return crossed
+
+    def valid(self, tuple_timestamp: int) -> bool:
+        """Return ``True`` if ``tuple_timestamp`` is inside the current window."""
+        if self._current_time is None:
+            return False
+        return tuple_timestamp > self.expiry_watermark()
+
+    def expiry_watermark(self) -> int:
+        """Return ``tau - |W|`` for the current time ``tau``."""
+        if self._current_time is None:
+            raise RuntimeError("no tuple has been observed yet")
+        return self._current_time - self.spec.size
+
+    def reset(self) -> None:
+        """Forget all progress (used when re-running an experiment)."""
+        self._last_slide_end = None
+        self._current_time = None

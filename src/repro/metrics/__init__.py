@@ -1,0 +1,15 @@
+"""Metrics: latency/throughput collectors and text reporting for experiments."""
+
+from .collectors import CounterSeries, LatencyCollector, ThroughputMeter, percentile
+from .reporting import Figure, format_mapping, format_series, format_table
+
+__all__ = [
+    "CounterSeries",
+    "Figure",
+    "LatencyCollector",
+    "ThroughputMeter",
+    "format_mapping",
+    "format_series",
+    "format_table",
+    "percentile",
+]

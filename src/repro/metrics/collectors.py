@@ -1,0 +1,178 @@
+"""Performance metric collectors used by the experiment harness.
+
+The paper's evaluation (§5) reports, per query and dataset:
+
+* **throughput** in edges per second;
+* **tail latency**: the 99th percentile of per-tuple processing latency;
+* **window-management time**: time spent in the expiry procedures;
+* **index size**: number of trees and nodes in the Delta index.
+
+These collectors are deliberately free of external dependencies and work
+on plain Python floats so they can be used inside tight processing loops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["percentile", "LatencyCollector", "ThroughputMeter", "CounterSeries"]
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Return the ``fraction`` percentile of ``samples`` (linear interpolation).
+
+    Args:
+        samples: the observations; must be non-empty.
+        fraction: requested percentile in ``[0, 1]`` (0.99 = tail latency).
+
+    Raises:
+        ValueError: for an empty sample set or a fraction outside ``[0, 1]``.
+    """
+    if not samples:
+        raise ValueError("cannot compute a percentile of zero samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"percentile fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return ordered[lower]
+    weight = rank - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+class LatencyCollector:
+    """Collects per-tuple latency samples and summarizes them.
+
+    Latencies are recorded in seconds and reported in microseconds, the unit
+    the paper's figures use.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, seconds: float) -> None:
+        """Record one latency observation (in seconds)."""
+        if seconds < 0:
+            raise ValueError(f"latency cannot be negative, got {seconds}")
+        self._samples.append(seconds)
+
+    def extend(self, seconds: Iterable[float]) -> None:
+        """Record many latency observations at once."""
+        for value in seconds:
+            self.record(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        """The raw samples, in seconds, in recording order."""
+        return list(self._samples)
+
+    def mean(self) -> float:
+        """Mean latency in seconds."""
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        return sum(self._samples) / len(self._samples)
+
+    def tail(self, fraction: float = 0.99) -> float:
+        """Tail latency (``fraction`` percentile) in seconds."""
+        return percentile(self._samples, fraction)
+
+    def mean_us(self) -> float:
+        """Mean latency in microseconds."""
+        return self.mean() * 1e6
+
+    def tail_us(self, fraction: float = 0.99) -> float:
+        """Tail latency in microseconds (the unit of the paper's plots)."""
+        return self.tail(fraction) * 1e6
+
+    def total(self) -> float:
+        """Total recorded time in seconds."""
+        return sum(self._samples)
+
+    def throughput(self) -> float:
+        """Processed tuples per second implied by the recorded latencies.
+
+        The prototype of the paper is a closed system where each tuple is
+        processed sequentially, so throughput is the inverse of the mean
+        latency.
+        """
+        total = self.total()
+        if total <= 0:
+            raise ValueError("cannot compute throughput without elapsed time")
+        return len(self._samples) / total
+
+    def summary(self, tail_fraction: float = 0.99) -> Dict[str, float]:
+        """Return mean/tail latency (microseconds), throughput and count."""
+        return {
+            "count": float(len(self._samples)),
+            "mean_us": self.mean_us(),
+            "p50_us": percentile(self._samples, 0.50) * 1e6,
+            "p95_us": percentile(self._samples, 0.95) * 1e6,
+            "tail_us": self.tail_us(tail_fraction),
+            "throughput_eps": self.throughput(),
+        }
+
+
+@dataclass
+class ThroughputMeter:
+    """Tracks tuples processed against wall-clock time."""
+
+    tuples: int = 0
+    elapsed_seconds: float = 0.0
+
+    def record_batch(self, tuples: int, elapsed_seconds: float) -> None:
+        """Add a processed batch of ``tuples`` that took ``elapsed_seconds``."""
+        if tuples < 0 or elapsed_seconds < 0:
+            raise ValueError("tuples and elapsed_seconds must be non-negative")
+        self.tuples += tuples
+        self.elapsed_seconds += elapsed_seconds
+
+    def edges_per_second(self) -> float:
+        """Overall throughput in edges (tuples) per second."""
+        if self.elapsed_seconds <= 0:
+            raise ValueError("no elapsed time recorded")
+        return self.tuples / self.elapsed_seconds
+
+
+class CounterSeries:
+    """A labelled series of numeric observations (e.g. index size over time)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+
+    def record(self, value: float) -> None:
+        """Append one observation."""
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> List[float]:
+        """All observations in recording order."""
+        return list(self._values)
+
+    def last(self) -> Optional[float]:
+        """Most recent observation, or ``None`` when empty."""
+        return self._values[-1] if self._values else None
+
+    def max(self) -> float:
+        """Largest observation."""
+        if not self._values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return max(self._values)
+
+    def mean(self) -> float:
+        """Mean of the observations."""
+        if not self._values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return sum(self._values) / len(self._values)

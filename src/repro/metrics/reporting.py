@@ -1,0 +1,126 @@
+"""Plain-text reporting helpers for experiment results.
+
+The benchmark harness regenerates the paper's tables and figures as text:
+each figure becomes a table of series (one row per x-value, one column per
+series).  These helpers format such tables consistently so the benchmark
+output files are easy to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_series", "format_mapping", "Figure"]
+
+Number = Union[int, float]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:,.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` as an aligned, pipe-separated text table."""
+    rendered_rows = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = " | ".join(str(header).ljust(width) for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: Mapping[str, Mapping[object, Number]],
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render several named series sharing an x-axis as one table.
+
+    Args:
+        x_label: header of the x-axis column.
+        series: mapping ``series name -> {x value -> y value}``.
+    """
+    x_values: List[object] = []
+    for points in series.values():
+        for x in points:
+            if x not in x_values:
+                x_values.append(x)
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for x in x_values:
+        row: List[object] = [x]
+        for name in series:
+            row.append(series[name].get(x, ""))
+        rows.append(row)
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+def format_mapping(mapping: Mapping[str, object], title: Optional[str] = None) -> str:
+    """Render a flat key/value mapping, one ``key: value`` pair per line."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    width = max((len(str(key)) for key in mapping), default=0)
+    for key, value in mapping.items():
+        lines.append(f"{str(key).ljust(width)} : {_format_cell(value, 3)}")
+    return "\n".join(lines)
+
+
+class Figure:
+    """A named collection of series reproducing one figure of the paper.
+
+    The experiment functions in :mod:`repro.experiments.figures` return
+    instances of this class; benchmarks print them, and EXPERIMENTS.md
+    records the printed output.
+    """
+
+    def __init__(self, name: str, x_label: str, description: str = "") -> None:
+        self.name = name
+        self.x_label = x_label
+        self.description = description
+        self.series: Dict[str, Dict[object, Number]] = {}
+
+    def add_point(self, series_name: str, x: object, y: Number) -> None:
+        """Add one (x, y) observation to the named series."""
+        self.series.setdefault(series_name, {})[x] = y
+
+    def add_series(self, series_name: str, points: Mapping[object, Number]) -> None:
+        """Add a whole series at once."""
+        self.series.setdefault(series_name, {}).update(points)
+
+    def get(self, series_name: str) -> Dict[object, Number]:
+        """Return the points of a series (empty dict when absent)."""
+        return dict(self.series.get(series_name, {}))
+
+    def render(self, precision: int = 2) -> str:
+        """Render the figure as a text table."""
+        header = f"{self.name}: {self.description}" if self.description else self.name
+        return format_series(self.x_label, self.series, precision=precision, title=header)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,50 @@
+"""Regular-expression and automaton substrate for streaming RPQ evaluation.
+
+Public entry points:
+
+* :func:`repro.regex.parse` — parse the RPQ surface syntax into an AST;
+* :func:`repro.regex.compile_query` — build the minimal DFA of a query;
+* :func:`repro.regex.analyze` — full query registration (DFA plus the
+  suffix-language containment analysis needed for simple-path semantics).
+"""
+
+from .ast import (
+    Alternation,
+    Concat,
+    Epsilon,
+    Label,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+    alternate_all,
+    concat_all,
+)
+from .analysis import QueryAnalysis, analyze, has_containment_property, is_restricted_expression
+from .dfa import DFA, compile_query, determinize
+from .nfa import NFA, build_nfa
+from .parser import RegexSyntaxError, parse
+
+__all__ = [
+    "Alternation",
+    "Concat",
+    "DFA",
+    "Epsilon",
+    "Label",
+    "NFA",
+    "Optional",
+    "Plus",
+    "QueryAnalysis",
+    "RegexNode",
+    "RegexSyntaxError",
+    "Star",
+    "alternate_all",
+    "analyze",
+    "build_nfa",
+    "compile_query",
+    "concat_all",
+    "determinize",
+    "has_containment_property",
+    "is_restricted_expression",
+    "parse",
+]

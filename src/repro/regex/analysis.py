@@ -1,0 +1,210 @@
+"""Automaton analysis for simple-path (RSPQ) evaluation.
+
+Section 4 of the paper relies on properties of the query automaton:
+
+* the **suffix language** ``[s]`` of a state ``s`` (Definition 14): all
+  words that take the automaton from ``s`` to a final state;
+* **suffix-language containment** between states, precomputed once at
+  query-registration time and used by the streaming algorithm to detect
+  conflicts (Definition 16);
+* the **containment property** (Definition 15): if it holds for every pair
+  of states on an accepting path, the query is conflict-free on *any*
+  graph and RSPQ runs with the same amortized cost as RAPQ.
+
+This module packages those computations into a :class:`QueryAnalysis`
+value object that the RSPQ engine consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple, Union
+
+from .ast import Alternation, Concat, Label, Optional as OptionalNode, Plus, RegexNode, Star
+from .dfa import DFA, compile_query
+from .parser import parse
+
+__all__ = [
+    "QueryAnalysis",
+    "analyze",
+    "suffix_containment_matrix",
+    "has_containment_property",
+    "is_restricted_expression",
+]
+
+
+def suffix_containment_matrix(dfa: DFA) -> Dict[Tuple[int, int], bool]:
+    """Compute ``contains[(s, t)] = ([s] ⊇ [t])`` for every pair of states.
+
+    The suffix language of state ``s`` is the language of the automaton
+    restarted at ``s``; containment is decided with a product reachability
+    search on the completed automaton (no accepting state of ``t``'s run may
+    be reached while ``s``'s run is non-accepting).
+    """
+    matrix: Dict[Tuple[int, int], bool] = {}
+    for s in dfa.states:
+        for t in dfa.states:
+            matrix[(s, t)] = dfa.language_contains(s, t)
+    return matrix
+
+
+def _states_on_accepting_paths(dfa: DFA) -> Set[int]:
+    """Return states that lie on some path from the start state to a final state."""
+    reachable = {dfa.start}
+    stack = [dfa.start]
+    while stack:
+        state = stack.pop()
+        for _, target in dfa.out_transitions(state):
+            if target not in reachable:
+                reachable.add(target)
+                stack.append(target)
+    # backward from finals
+    predecessors: Dict[int, Set[int]] = {}
+    for (source, _label), target in dfa.transitions.items():
+        predecessors.setdefault(target, set()).add(source)
+    productive: Set[int] = set(dfa.finals)
+    stack = list(dfa.finals)
+    while stack:
+        state = stack.pop()
+        for prev in predecessors.get(state, ()):
+            if prev not in productive:
+                productive.add(prev)
+                stack.append(prev)
+    return reachable & productive
+
+
+def _successor_pairs(dfa: DFA, useful: Set[int]) -> Set[Tuple[int, int]]:
+    """Return pairs ``(s, t)`` where ``t`` is reachable from ``s`` (a successor)."""
+    pairs: Set[Tuple[int, int]] = set()
+    for s in useful:
+        seen = {s}
+        stack = [s]
+        while stack:
+            state = stack.pop()
+            for _, target in dfa.out_transitions(state):
+                if target in useful and target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        for t in seen - {s}:
+            pairs.add((s, t))
+    return pairs
+
+
+def has_containment_property(dfa: DFA, matrix: Dict[Tuple[int, int], bool] = None) -> bool:
+    """Check the suffix-language containment property (Definition 15).
+
+    The property holds if, for every pair ``(s, t)`` of useful states where
+    ``t`` is a successor of ``s``, ``[s] ⊇ [t]``.  Queries whose automaton
+    has this property are conflict-free on every graph.
+    """
+    if matrix is None:
+        matrix = suffix_containment_matrix(dfa)
+    useful = _states_on_accepting_paths(dfa)
+    for s, t in _successor_pairs(dfa, useful):
+        if not matrix[(s, t)]:
+            return False
+    return True
+
+
+def is_restricted_expression(expression: Union[str, RegexNode]) -> bool:
+    """Detect the "restricted" regular expressions highlighted in §5.5.
+
+    The paper observes that Q1 (``a*``), Q4 (``(a1+...+ak)*``) and Q11
+    (``a1 . a2 ... ak``) are *restricted* regular expressions — a syntactic
+    class that implies conflict-freedom on any graph.  We use a conservative
+    syntactic test covering exactly those shapes:
+
+    * a concatenation of plain labels (no recursion at all), or
+    * a single Kleene *star* over a label or over an alternation of labels.
+
+    A ``+`` over an alternation (Q9) is *not* restricted: its automaton lacks
+    the suffix-containment property (the start state's language excludes the
+    empty word while the accepting state's includes it), which is consistent
+    with Q9 not appearing among the universally successful queries of
+    Table 4.
+    """
+    node = parse(expression)
+    if _is_label_concatenation(node):
+        return True
+    if isinstance(node, Star) and _is_label_alternation(node.inner):
+        return True
+    return False
+
+
+def _is_label_concatenation(node: RegexNode) -> bool:
+    if isinstance(node, Label):
+        return True
+    if isinstance(node, Concat):
+        return _is_label_concatenation(node.left) and _is_label_concatenation(node.right)
+    return False
+
+
+def _is_label_alternation(node: RegexNode) -> bool:
+    if isinstance(node, Label):
+        return True
+    if isinstance(node, Alternation):
+        return _is_label_alternation(node.left) and _is_label_alternation(node.right)
+    return False
+
+
+@dataclass
+class QueryAnalysis:
+    """Everything the streaming engines need to know about a registered query.
+
+    Attributes:
+        expression: the parsed regular expression.
+        dfa: the minimal DFA of the expression.
+        containment: suffix-language containment matrix ``(s, t) -> bool``.
+        containment_property: whether Definition 15 holds (query is
+            conflict-free on any graph).
+        restricted: whether the expression is syntactically restricted
+            (sufficient condition for conflict-freedom).
+        alphabet: edge labels mentioned by the query; tuples with other
+            labels are discarded by the engine before processing (§5.2).
+    """
+
+    expression: RegexNode
+    dfa: DFA
+    containment: Dict[Tuple[int, int], bool]
+    containment_property: bool
+    restricted: bool
+    alphabet: FrozenSet[str] = field(default_factory=frozenset)
+
+    def suffix_contains(self, s: int, t: int) -> bool:
+        """Return ``True`` iff ``[s] ⊇ [t]``."""
+        return self.containment[(s, t)]
+
+    def conflict_free_by_query(self) -> bool:
+        """Return ``True`` when the query alone guarantees conflict-freedom."""
+        return self.containment_property or self.restricted
+
+    @property
+    def num_states(self) -> int:
+        """Number of states ``k`` of the minimal automaton."""
+        return self.dfa.num_states
+
+    def __str__(self) -> str:
+        return (
+            f"QueryAnalysis({self.expression}, k={self.num_states}, "
+            f"containment_property={self.containment_property}, restricted={self.restricted})"
+        )
+
+
+def analyze(expression: Union[str, RegexNode]) -> QueryAnalysis:
+    """Register a query: parse, compile to a minimal DFA and precompute analysis.
+
+    This corresponds to the query-registration step of §4: the suffix-language
+    containment relation is computed once and reused by the streaming
+    algorithm to detect conflicts.
+    """
+    node = parse(expression)
+    dfa = compile_query(node)
+    matrix = suffix_containment_matrix(dfa)
+    return QueryAnalysis(
+        expression=node,
+        dfa=dfa,
+        containment=matrix,
+        containment_property=has_containment_property(dfa, matrix),
+        restricted=is_restricted_expression(node),
+        alphabet=frozenset(node.labels()),
+    )

@@ -1,0 +1,268 @@
+"""Abstract syntax tree for RPQ regular expressions over edge labels.
+
+The paper (Definition 7) defines RPQ regular expressions as::
+
+    R ::= eps | a | R . R | R + R | R*
+
+with the derived forms ``R+`` (one or more repetitions) and ``R?``
+(optional).  Labels ("characters" of the alphabet) are arbitrary strings
+such as ``follows`` or ``hasCreator`` rather than single characters,
+because the alphabet of a streaming graph is its set of edge labels.
+
+Every node knows how to report the label alphabet it mentions and how to
+render itself back into the surface syntax used by :mod:`repro.regex.parser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+class RegexNode:
+    """Base class for all regular-expression AST nodes.
+
+    Nodes are immutable value objects: equality and hashing are structural,
+    so two independently parsed copies of the same expression compare equal.
+    """
+
+    __slots__ = ()
+
+    def labels(self) -> frozenset:
+        """Return the set of edge labels mentioned anywhere in this expression."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["RegexNode", ...]:
+        """Return the direct sub-expressions of this node (possibly empty)."""
+        return ()
+
+    def walk(self) -> Iterator["RegexNode"]:
+        """Yield this node and every descendant in pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def nullable(self) -> bool:
+        """Return ``True`` if the empty word is in the language of this node."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Query size |Q_R| as defined in §5.1.2.
+
+        The size of a query is the number of labels in the expression plus
+        the number of occurrences of ``*`` and ``+``.
+        """
+        raise NotImplementedError
+
+    def is_recursive(self) -> bool:
+        """Return ``True`` if the expression contains a Kleene star or plus."""
+        return any(isinstance(node, (Star, Plus)) for node in self.walk())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self!s})"
+
+
+@dataclass(frozen=True, repr=False)
+class Epsilon(RegexNode):
+    """The empty word ``eps``."""
+
+    __slots__ = ()
+
+    def labels(self) -> frozenset:
+        return frozenset()
+
+    def nullable(self) -> bool:
+        return True
+
+    def size(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True, repr=False)
+class Label(RegexNode):
+    """A single edge label, e.g. ``follows``."""
+
+    name: str
+
+    __slots__ = ("name",)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("edge label must be a non-empty string")
+
+    def labels(self) -> frozenset:
+        return frozenset({self.name})
+
+    def nullable(self) -> bool:
+        return False
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class Concat(RegexNode):
+    """Concatenation ``left . right``."""
+
+    left: RegexNode
+    right: RegexNode
+
+    __slots__ = ("left", "right")
+
+    def labels(self) -> frozenset:
+        return self.left.labels() | self.right.labels()
+
+    def children(self) -> Tuple[RegexNode, ...]:
+        return (self.left, self.right)
+
+    def nullable(self) -> bool:
+        return self.left.nullable() and self.right.nullable()
+
+    def size(self) -> int:
+        return self.left.size() + self.right.size()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left, for_concat=True)} {_wrap(self.right, for_concat=True)}"
+
+
+@dataclass(frozen=True, repr=False)
+class Alternation(RegexNode):
+    """Alternation ``left + right`` (union of languages)."""
+
+    left: RegexNode
+    right: RegexNode
+
+    __slots__ = ("left", "right")
+
+    def labels(self) -> frozenset:
+        return self.left.labels() | self.right.labels()
+
+    def children(self) -> Tuple[RegexNode, ...]:
+        return (self.left, self.right)
+
+    def nullable(self) -> bool:
+        return self.left.nullable() or self.right.nullable()
+
+    def size(self) -> int:
+        return self.left.size() + self.right.size()
+
+    def __str__(self) -> str:
+        return f"{self.left} | {self.right}"
+
+
+@dataclass(frozen=True, repr=False)
+class Star(RegexNode):
+    """Kleene star ``inner*`` (zero or more repetitions)."""
+
+    inner: RegexNode
+
+    __slots__ = ("inner",)
+
+    def labels(self) -> frozenset:
+        return self.inner.labels()
+
+    def children(self) -> Tuple[RegexNode, ...]:
+        return (self.inner,)
+
+    def nullable(self) -> bool:
+        return True
+
+    def size(self) -> int:
+        return self.inner.size() + 1
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}*"
+
+
+@dataclass(frozen=True, repr=False)
+class Plus(RegexNode):
+    """One or more repetitions ``inner+``."""
+
+    inner: RegexNode
+
+    __slots__ = ("inner",)
+
+    def labels(self) -> frozenset:
+        return self.inner.labels()
+
+    def children(self) -> Tuple[RegexNode, ...]:
+        return (self.inner,)
+
+    def nullable(self) -> bool:
+        return self.inner.nullable()
+
+    def size(self) -> int:
+        return self.inner.size() + 1
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}+"
+
+
+@dataclass(frozen=True, repr=False)
+class Optional(RegexNode):
+    """Zero or one occurrence ``inner?``."""
+
+    inner: RegexNode
+
+    __slots__ = ("inner",)
+
+    def labels(self) -> frozenset:
+        return self.inner.labels()
+
+    def children(self) -> Tuple[RegexNode, ...]:
+        return (self.inner,)
+
+    def nullable(self) -> bool:
+        return True
+
+    def size(self) -> int:
+        return self.inner.size()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}?"
+
+
+def _wrap(node: RegexNode, for_concat: bool = False) -> str:
+    """Render ``node`` adding parentheses when needed for unambiguous output."""
+    text = str(node)
+    needs_parens = isinstance(node, Alternation) or (
+        for_concat and isinstance(node, Concat) is False and " " in text
+    )
+    if isinstance(node, Concat) and not for_concat:
+        needs_parens = True
+    if needs_parens and not (text.startswith("(") and text.endswith(")")):
+        return f"({text})"
+    return text
+
+
+def concat_all(nodes) -> RegexNode:
+    """Concatenate a sequence of nodes, returning :class:`Epsilon` when empty."""
+    nodes = list(nodes)
+    if not nodes:
+        return Epsilon()
+    result = nodes[0]
+    for node in nodes[1:]:
+        result = Concat(result, node)
+    return result
+
+
+def alternate_all(nodes) -> RegexNode:
+    """Build the alternation of a sequence of nodes.
+
+    Raises :class:`ValueError` for an empty sequence because the empty
+    alternation (the empty language) is not expressible in the paper's
+    RPQ grammar.
+    """
+    nodes = list(nodes)
+    if not nodes:
+        raise ValueError("cannot build an alternation of zero expressions")
+    result = nodes[0]
+    for node in nodes[1:]:
+        result = Alternation(result, node)
+    return result

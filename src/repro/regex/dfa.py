@@ -1,0 +1,393 @@
+"""Deterministic finite automata for RPQ evaluation.
+
+The streaming algorithms of the paper are driven by the minimal DFA
+``A = (S, Sigma, delta, s0, F)`` of the query's regular expression
+(Definition 10).  This module provides:
+
+* subset construction from the Thompson NFA (:func:`determinize`);
+* Hopcroft minimization (:meth:`DFA.minimize`);
+* a convenience :func:`compile_query` that goes straight from an expression
+  to the minimal DFA;
+* the language-algebra operations needed by the suffix-language containment
+  analysis of §4 (completion, product, complement, emptiness and
+  containment checks).
+
+States are integers ``0..k-1`` with ``0`` always being the start state of a
+freshly constructed DFA, matching the state numbering used in the paper's
+figures (e.g. the automaton of Q1 in Figure 1(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from .ast import RegexNode
+from .nfa import NFA, build_nfa
+from .parser import parse
+
+__all__ = ["DFA", "determinize", "compile_query"]
+
+_DEAD_STATE = -1
+
+
+@dataclass
+class DFA:
+    """A deterministic finite automaton over edge labels.
+
+    Attributes:
+        num_states: number of states; states are ``0 .. num_states - 1``.
+        start: the start state ``s0``.
+        finals: the set of accepting states ``F``.
+        transitions: partial transition function ``(state, label) -> state``.
+            Missing entries mean the word is rejected (implicit dead state).
+        alphabet: the label alphabet ``Sigma`` of the query.
+    """
+
+    num_states: int
+    start: int
+    finals: FrozenSet[int]
+    transitions: Dict[Tuple[int, str], int]
+    alphabet: FrozenSet[str]
+
+    # ------------------------------------------------------------------ #
+    # Basic automaton operations
+    # ------------------------------------------------------------------ #
+
+    @property
+    def states(self) -> range:
+        """Return the state ids as a range object."""
+        return range(self.num_states)
+
+    def delta(self, state: int, label: str) -> Optional[int]:
+        """Return ``delta(state, label)`` or ``None`` when undefined."""
+        return self.transitions.get((state, label))
+
+    def transitions_on(self, label: str) -> List[Tuple[int, int]]:
+        """Return all pairs ``(s, t)`` with ``t = delta(s, label)``.
+
+        This is the inner loop of Algorithms RAPQ and RSPQ ("foreach s, t in S
+        where t = delta(s, l)"), so the result is precomputed and cached.
+        """
+        cache = self.__dict__.setdefault("_transitions_on_cache", {})
+        if label not in cache:
+            cache[label] = [
+                (source, target)
+                for (source, lbl), target in self.transitions.items()
+                if lbl == label
+            ]
+        return cache[label]
+
+    def out_transitions(self, state: int) -> List[Tuple[str, int]]:
+        """Return the ``(label, target)`` pairs leaving ``state``."""
+        cache = self.__dict__.setdefault("_out_transitions_cache", {})
+        if state not in cache:
+            cache[state] = [
+                (label, target)
+                for (source, label), target in self.transitions.items()
+                if source == state
+            ]
+        return cache[state]
+
+    def extended_delta(self, state: int, word: Iterable[str]) -> Optional[int]:
+        """Return ``delta*(state, word)`` or ``None`` if the run dies."""
+        current: Optional[int] = state
+        for label in word:
+            if current is None:
+                return None
+            current = self.delta(current, label)
+        return current
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        """Return ``True`` if ``word`` is in the language of the automaton."""
+        state = self.extended_delta(self.start, word)
+        return state is not None and state in self.finals
+
+    def accepts_empty_word(self) -> bool:
+        """Return ``True`` if the start state is accepting (epsilon in L)."""
+        return self.start in self.finals
+
+    # ------------------------------------------------------------------ #
+    # Language algebra (used for suffix-language containment)
+    # ------------------------------------------------------------------ #
+
+    def completed(self, alphabet: Optional[Iterable[str]] = None) -> "DFA":
+        """Return an equivalent DFA whose transition function is total.
+
+        A dead state is appended (as state ``num_states``) when any
+        transition is missing over ``alphabet`` (defaults to this DFA's own
+        alphabet).
+        """
+        sigma = frozenset(alphabet) if alphabet is not None else self.alphabet
+        transitions = dict(self.transitions)
+        dead = self.num_states
+        needs_dead = False
+        for state in range(self.num_states):
+            for label in sigma:
+                if (state, label) not in transitions:
+                    transitions[(state, label)] = dead
+                    needs_dead = True
+        if not needs_dead:
+            return DFA(self.num_states, self.start, self.finals, transitions, sigma)
+        for label in sigma:
+            transitions[(dead, label)] = dead
+        return DFA(self.num_states + 1, self.start, self.finals, transitions, sigma)
+
+    def with_start(self, state: int) -> "DFA":
+        """Return a copy of this DFA whose start state is ``state``.
+
+        Used to reason about the suffix language ``[s]`` of a state
+        (Definition 14): the suffix language of ``s`` is exactly the language
+        of the automaton restarted at ``s``.
+        """
+        if not 0 <= state < self.num_states:
+            raise ValueError(f"state {state} out of range 0..{self.num_states - 1}")
+        return DFA(self.num_states, state, self.finals, dict(self.transitions), self.alphabet)
+
+    def is_empty_language(self) -> bool:
+        """Return ``True`` if no accepting state is reachable from the start."""
+        return not self._reachable_finals(self.start)
+
+    def _reachable_finals(self, source: int) -> bool:
+        seen = {source}
+        stack = [source]
+        while stack:
+            state = stack.pop()
+            if state in self.finals:
+                return True
+            for _, target in self.out_transitions(state):
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return False
+
+    def language_contains(self, other_start: int, candidate_start: int) -> bool:
+        """Return ``True`` iff ``[other_start] ⊇ [candidate_start]`` within this DFA.
+
+        Implements suffix-language containment by checking emptiness of
+        ``L(A restarted at candidate_start) ∩ complement(L(A restarted at
+        other_start))`` on the completed automaton via a product reachability
+        search.
+        """
+        complete = self.completed()
+        # product search over (candidate_state, other_state)
+        start_pair = (candidate_start, other_start)
+        seen = {start_pair}
+        stack = [start_pair]
+        while stack:
+            cand, other = stack.pop()
+            cand_accepting = cand in complete.finals
+            other_accepting = other in complete.finals
+            if cand_accepting and not other_accepting:
+                return False
+            for label in complete.alphabet:
+                next_pair = (
+                    complete.transitions[(cand, label)],
+                    complete.transitions[(other, label)],
+                )
+                if next_pair not in seen:
+                    seen.add(next_pair)
+                    stack.append(next_pair)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Minimization
+    # ------------------------------------------------------------------ #
+
+    def trimmed(self) -> "DFA":
+        """Return an equivalent DFA keeping only useful states.
+
+        A state is useful if it is reachable from the start state and can
+        reach a final state.  The start state is always kept even when its
+        language is empty so the result remains a well-formed automaton.
+        """
+        reachable = self._forward_reachable(self.start)
+        productive = self._backward_reachable(self.finals)
+        useful = sorted(state for state in reachable if state in productive)
+        if not useful or self.start not in productive:
+            # empty language: single non-accepting start state
+            return DFA(1, 0, frozenset(), {}, self.alphabet)
+        remap = {old: new for new, old in enumerate(useful)}
+        transitions = {
+            (remap[s], label): remap[t]
+            for (s, label), t in self.transitions.items()
+            if s in remap and t in remap
+        }
+        finals = frozenset(remap[s] for s in self.finals if s in remap)
+        return DFA(len(useful), remap[self.start], finals, transitions, self.alphabet)
+
+    def _forward_reachable(self, source: int) -> Set[int]:
+        seen = {source}
+        stack = [source]
+        while stack:
+            state = stack.pop()
+            for _, target in self.out_transitions(state):
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return seen
+
+    def _backward_reachable(self, sources: Iterable[int]) -> Set[int]:
+        predecessors: Dict[int, Set[int]] = {}
+        for (s, _label), t in self.transitions.items():
+            predecessors.setdefault(t, set()).add(s)
+        seen = set(sources)
+        stack = list(seen)
+        while stack:
+            state = stack.pop()
+            for prev in predecessors.get(state, ()):
+                if prev not in seen:
+                    seen.add(prev)
+                    stack.append(prev)
+        return seen
+
+    def minimize(self) -> "DFA":
+        """Return the minimal DFA equivalent to this one (Hopcroft's algorithm)."""
+        trimmed = self.trimmed()
+        complete = trimmed.completed()
+        alphabet = sorted(complete.alphabet)
+        states = list(range(complete.num_states))
+        finals = set(complete.finals)
+        non_finals = set(states) - finals
+
+        # Hopcroft partition refinement
+        partition: List[Set[int]] = [block for block in (finals, non_finals) if block]
+        if finals and non_finals:
+            worklist: List[Set[int]] = [set(min(finals, non_finals, key=len))]
+        elif partition:
+            worklist = [set(partition[0])]
+        else:  # pragma: no cover - a DFA always has at least one state
+            worklist = []
+
+        # predecessor index: label -> target -> set of sources
+        predecessors: Dict[str, Dict[int, Set[int]]] = {label: {} for label in alphabet}
+        for (source, label), target in complete.transitions.items():
+            predecessors[label].setdefault(target, set()).add(source)
+
+        while worklist:
+            splitter = worklist.pop()
+            for label in alphabet:
+                pred_index = predecessors[label]
+                incoming: Set[int] = set()
+                for target in splitter:
+                    incoming |= pred_index.get(target, set())
+                if not incoming:
+                    continue
+                new_partition: List[Set[int]] = []
+                for block in partition:
+                    intersection = block & incoming
+                    difference = block - incoming
+                    if intersection and difference:
+                        new_partition.append(intersection)
+                        new_partition.append(difference)
+                        if block in worklist:
+                            worklist.remove(block)
+                            worklist.append(intersection)
+                            worklist.append(difference)
+                        else:
+                            worklist.append(min(intersection, difference, key=len))
+                    else:
+                        new_partition.append(block)
+                partition = new_partition
+
+        # Rebuild DFA on the partition blocks; put the start block first so the
+        # start state is numbered 0 as in the paper's figures.
+        block_of: Dict[int, int] = {}
+        ordered_blocks: List[Set[int]] = []
+        start_block_index = None
+        for block in partition:
+            if complete.start in block:
+                start_block_index = len(ordered_blocks)
+            ordered_blocks.append(block)
+        if start_block_index is None:  # pragma: no cover - defensive
+            raise RuntimeError("start state missing from Hopcroft partition")
+        # reorder so start block first, stable order for determinism
+        ordered_blocks = (
+            [ordered_blocks[start_block_index]]
+            + ordered_blocks[:start_block_index]
+            + ordered_blocks[start_block_index + 1 :]
+        )
+        for index, block in enumerate(ordered_blocks):
+            for state in block:
+                block_of[state] = index
+
+        transitions: Dict[Tuple[int, str], int] = {}
+        for (source, label), target in complete.transitions.items():
+            transitions[(block_of[source], label)] = block_of[target]
+        finals_blocks = frozenset(block_of[s] for s in complete.finals)
+        minimal = DFA(
+            num_states=len(ordered_blocks),
+            start=block_of[complete.start],
+            finals=finals_blocks,
+            transitions=transitions,
+            alphabet=complete.alphabet,
+        )
+        # Trimming again drops the dead state introduced by completion.
+        return minimal.trimmed()
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+
+    def to_dot(self) -> str:
+        """Render the automaton in Graphviz dot format (for debugging/docs)."""
+        lines = ["digraph dfa {", "  rankdir=LR;", '  node [shape=circle];']
+        for state in self.states:
+            shape = "doublecircle" if state in self.finals else "circle"
+            lines.append(f'  s{state} [shape={shape}, label="s{state}"];')
+        lines.append(f"  __start [shape=point]; __start -> s{self.start};")
+        for (source, label), target in sorted(self.transitions.items()):
+            lines.append(f'  s{source} -> s{target} [label="{label}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return (
+            f"DFA(states={self.num_states}, start={self.start}, "
+            f"finals={sorted(self.finals)}, |Sigma|={len(self.alphabet)})"
+        )
+
+
+def determinize(nfa: NFA) -> DFA:
+    """Subset construction from a Thompson NFA to a DFA."""
+    alphabet = frozenset(nfa.alphabet)
+    start_set = nfa.epsilon_closure({nfa.start})
+    subset_ids: Dict[FrozenSet[int], int] = {start_set: 0}
+    transitions: Dict[Tuple[int, str], int] = {}
+    finals: Set[int] = set()
+    worklist: List[FrozenSet[int]] = [start_set]
+    if nfa.accept in start_set:
+        finals.add(0)
+    while worklist:
+        subset = worklist.pop()
+        source_id = subset_ids[subset]
+        for label in alphabet:
+            moved = nfa.move(subset, label)
+            if not moved:
+                continue
+            target_set = nfa.epsilon_closure(moved)
+            if target_set not in subset_ids:
+                subset_ids[target_set] = len(subset_ids)
+                worklist.append(target_set)
+                if nfa.accept in target_set:
+                    finals.add(subset_ids[target_set])
+            transitions[(source_id, label)] = subset_ids[target_set]
+    return DFA(
+        num_states=len(subset_ids),
+        start=0,
+        finals=frozenset(finals),
+        transitions=transitions,
+        alphabet=alphabet,
+    )
+
+
+def compile_query(expression: Union[str, RegexNode]) -> DFA:
+    """Compile an RPQ expression into its minimal DFA.
+
+    This is the query-registration step of the paper: Thompson construction,
+    subset construction, then Hopcroft minimization.
+    """
+    node = parse(expression)
+    nfa = build_nfa(node)
+    dfa = determinize(nfa)
+    return dfa.minimize()

@@ -1,0 +1,172 @@
+"""Thompson construction of a non-deterministic finite automaton.
+
+The paper (§2) builds the query automaton in two steps: Thompson's
+construction from the regular expression to an NFA, followed by subset
+construction and Hopcroft minimization to obtain the minimal DFA that
+drives the streaming algorithms.  This module implements the first step.
+
+States are plain integers.  Epsilon moves are stored separately from
+labelled moves so that the subset construction in :mod:`repro.regex.dfa`
+can compute epsilon closures cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple, Union
+
+from .ast import (
+    Alternation,
+    Concat,
+    Epsilon,
+    Label,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+)
+from .parser import parse
+
+__all__ = ["NFA", "build_nfa"]
+
+
+@dataclass
+class NFA:
+    """A non-deterministic finite automaton with epsilon transitions.
+
+    Attributes:
+        start: the unique start state.
+        accept: the unique accepting state (Thompson fragments always have
+            exactly one).
+        transitions: labelled moves, ``state -> label -> set of states``.
+        epsilon: epsilon moves, ``state -> set of states``.
+        alphabet: all labels appearing on any transition.
+    """
+
+    start: int
+    accept: int
+    transitions: Dict[int, Dict[str, Set[int]]] = field(default_factory=dict)
+    epsilon: Dict[int, Set[int]] = field(default_factory=dict)
+    alphabet: Set[str] = field(default_factory=set)
+
+    @property
+    def states(self) -> Set[int]:
+        """Return all states reachable through declared transitions plus endpoints."""
+        found: Set[int] = {self.start, self.accept}
+        for source, by_label in self.transitions.items():
+            found.add(source)
+            for targets in by_label.values():
+                found.update(targets)
+        for source, targets in self.epsilon.items():
+            found.add(source)
+            found.update(targets)
+        return found
+
+    def add_transition(self, source: int, label: str, target: int) -> None:
+        """Record a labelled transition ``source --label--> target``."""
+        self.transitions.setdefault(source, {}).setdefault(label, set()).add(target)
+        self.alphabet.add(label)
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        """Record an epsilon transition ``source --eps--> target``."""
+        self.epsilon.setdefault(source, set()).add(target)
+
+    def epsilon_closure(self, states: Iterable[int]) -> FrozenSet[int]:
+        """Return the set of states reachable from ``states`` via epsilon moves."""
+        closure: Set[int] = set(states)
+        stack: List[int] = list(closure)
+        while stack:
+            state = stack.pop()
+            for nxt in self.epsilon.get(state, ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def move(self, states: Iterable[int], label: str) -> FrozenSet[int]:
+        """Return the states reachable from ``states`` by consuming ``label``."""
+        result: Set[int] = set()
+        for state in states:
+            result.update(self.transitions.get(state, {}).get(label, ()))
+        return frozenset(result)
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        """Simulate the NFA on ``word`` (a sequence of labels)."""
+        current = self.epsilon_closure({self.start})
+        for label in word:
+            current = self.epsilon_closure(self.move(current, label))
+            if not current:
+                return False
+        return self.accept in current
+
+
+class _FragmentBuilder:
+    """Builds Thompson fragments bottom-up while sharing one state counter."""
+
+    def __init__(self) -> None:
+        self._next_state = 0
+        self.nfa = NFA(start=-1, accept=-1)
+
+    def _new_state(self) -> int:
+        state = self._next_state
+        self._next_state += 1
+        return state
+
+    def build(self, node: RegexNode) -> Tuple[int, int]:
+        """Return the (start, accept) pair of the fragment for ``node``."""
+        if isinstance(node, Epsilon):
+            start, accept = self._new_state(), self._new_state()
+            self.nfa.add_epsilon(start, accept)
+            return start, accept
+        if isinstance(node, Label):
+            start, accept = self._new_state(), self._new_state()
+            self.nfa.add_transition(start, node.name, accept)
+            return start, accept
+        if isinstance(node, Concat):
+            left_start, left_accept = self.build(node.left)
+            right_start, right_accept = self.build(node.right)
+            self.nfa.add_epsilon(left_accept, right_start)
+            return left_start, right_accept
+        if isinstance(node, Alternation):
+            start, accept = self._new_state(), self._new_state()
+            left_start, left_accept = self.build(node.left)
+            right_start, right_accept = self.build(node.right)
+            self.nfa.add_epsilon(start, left_start)
+            self.nfa.add_epsilon(start, right_start)
+            self.nfa.add_epsilon(left_accept, accept)
+            self.nfa.add_epsilon(right_accept, accept)
+            return start, accept
+        if isinstance(node, Star):
+            start, accept = self._new_state(), self._new_state()
+            inner_start, inner_accept = self.build(node.inner)
+            self.nfa.add_epsilon(start, inner_start)
+            self.nfa.add_epsilon(start, accept)
+            self.nfa.add_epsilon(inner_accept, inner_start)
+            self.nfa.add_epsilon(inner_accept, accept)
+            return start, accept
+        if isinstance(node, Plus):
+            inner_start, inner_accept = self.build(node.inner)
+            start, accept = self._new_state(), self._new_state()
+            self.nfa.add_epsilon(start, inner_start)
+            self.nfa.add_epsilon(inner_accept, inner_start)
+            self.nfa.add_epsilon(inner_accept, accept)
+            return start, accept
+        if isinstance(node, Optional):
+            start, accept = self._new_state(), self._new_state()
+            inner_start, inner_accept = self.build(node.inner)
+            self.nfa.add_epsilon(start, inner_start)
+            self.nfa.add_epsilon(start, accept)
+            self.nfa.add_epsilon(inner_accept, accept)
+            return start, accept
+        raise TypeError(f"unsupported regex node {type(node).__name__}")
+
+
+def build_nfa(expression: Union[str, RegexNode]) -> NFA:
+    """Build a Thompson NFA for ``expression`` (a string or parsed AST)."""
+    node = parse(expression)
+    builder = _FragmentBuilder()
+    start, accept = builder.build(node)
+    nfa = builder.nfa
+    nfa.start = start
+    nfa.accept = accept
+    return nfa

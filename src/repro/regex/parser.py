@@ -1,0 +1,253 @@
+"""Parser for the RPQ regular-expression surface syntax.
+
+The surface syntax accepts the forms used throughout the paper and in
+SPARQL 1.1 property paths:
+
+* labels are bare identifiers (``follows``, ``hasCreator``, ``a2q``) or
+  arbitrary strings wrapped in angle brackets (``<http://yago/knows>``);
+* concatenation is written with whitespace, ``.`` or ``/``
+  (``follows mentions``, ``a/b``, ``a . b``);
+* alternation is written with ``+`` or ``|`` between sub-expressions
+  (``a + b``, ``a | b``) — a trailing/leading ``+`` attached directly to an
+  expression (``a+``) is the *one-or-more* postfix operator, matching the
+  paper's notation ``R+``;
+* postfix operators ``*`` (Kleene star), ``+`` (one or more), ``?``
+  (optional);
+* parentheses for grouping.
+
+Grammar (recursive descent)::
+
+    expression  := term (('+' | '|') term)*
+    term        := factor+
+    factor      := atom ('*' | '+' | '?')*
+    atom        := LABEL | '(' expression ')'
+
+The ambiguity between ``+`` as alternation and ``+`` as repetition is
+resolved lexically: a ``+`` immediately following an atom or a closing
+parenthesis (no intervening whitespace) is a postfix repetition, otherwise
+it is an alternation, which matches how the paper writes
+``(a1 + a2 + ... + ak)+``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from .ast import (
+    Alternation,
+    Concat,
+    Epsilon,
+    Label,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+)
+
+__all__ = ["parse", "RegexSyntaxError"]
+
+
+class RegexSyntaxError(ValueError):
+    """Raised when an RPQ expression cannot be parsed."""
+
+    def __init__(self, message: str, position: int, text: str) -> None:
+        super().__init__(f"{message} at position {position} in {text!r}")
+        self.position = position
+        self.text = text
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'label', '(', ')', '*', '+', '?', '|', '.', 'postfix+'
+    value: str
+    position: int
+
+
+_LABEL_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-:")
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    i = 0
+    n = len(text)
+    previous_was_atom = False
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            # whitespace breaks the "immediately follows an atom" adjacency, so
+            # "a + b" is an alternation while "a+" is one-or-more repetition
+            previous_was_atom = False
+            i += 1
+            continue
+        if ch == "<":
+            end = text.find(">", i + 1)
+            if end == -1:
+                raise RegexSyntaxError("unterminated '<' label", i, text)
+            name = text[i + 1 : end]
+            if not name:
+                raise RegexSyntaxError("empty '<>' label", i, text)
+            tokens.append(_Token("label", name, i))
+            i = end + 1
+            previous_was_atom = True
+            continue
+        if ch in _LABEL_CHARS:
+            start = i
+            while i < n and text[i] in _LABEL_CHARS:
+                i += 1
+            tokens.append(_Token("label", text[start:i], start))
+            previous_was_atom = True
+            continue
+        if ch == "(":
+            tokens.append(_Token("(", ch, i))
+            i += 1
+            previous_was_atom = False
+            continue
+        if ch == ")":
+            tokens.append(_Token(")", ch, i))
+            i += 1
+            previous_was_atom = True
+            continue
+        if ch == "*":
+            tokens.append(_Token("*", ch, i))
+            i += 1
+            previous_was_atom = True
+            continue
+        if ch == "?":
+            tokens.append(_Token("?", ch, i))
+            i += 1
+            previous_was_atom = True
+            continue
+        if ch == "+":
+            kind = "postfix+" if previous_was_atom else "|"
+            tokens.append(_Token(kind, ch, i))
+            i += 1
+            previous_was_atom = kind == "postfix+"
+            continue
+        if ch == "|":
+            tokens.append(_Token("|", ch, i))
+            i += 1
+            previous_was_atom = False
+            continue
+        if ch in {".", "/"}:
+            tokens.append(_Token(".", ch, i))
+            i += 1
+            previous_was_atom = False
+            continue
+        raise RegexSyntaxError(f"unexpected character {ch!r}", i, text)
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list produced by :func:`_tokenize`."""
+
+    def __init__(self, tokens: List[_Token], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    def _peek(self) -> Union[_Token, None]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _error(self, message: str) -> RegexSyntaxError:
+        token = self._peek()
+        position = token.position if token is not None else len(self._text)
+        return RegexSyntaxError(message, position, self._text)
+
+    def parse_expression(self) -> RegexNode:
+        node = self.parse_term()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "|":
+                self._advance()
+                right = self.parse_term()
+                node = Alternation(node, right)
+            else:
+                return node
+
+    def parse_term(self) -> RegexNode:
+        factors = [self.parse_factor()]
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind == ".":
+                self._advance()
+                factors.append(self.parse_factor())
+            elif token.kind in {"label", "("}:
+                factors.append(self.parse_factor())
+            else:
+                break
+        node = factors[0]
+        for factor in factors[1:]:
+            node = Concat(node, factor)
+        return node
+
+    def parse_factor(self) -> RegexNode:
+        node = self.parse_atom()
+        while True:
+            token = self._peek()
+            if token is None:
+                return node
+            if token.kind == "*":
+                self._advance()
+                node = Star(node)
+            elif token.kind == "postfix+":
+                self._advance()
+                node = Plus(node)
+            elif token.kind == "?":
+                self._advance()
+                node = Optional(node)
+            else:
+                return node
+
+    def parse_atom(self) -> RegexNode:
+        token = self._peek()
+        if token is None:
+            raise self._error("unexpected end of expression")
+        if token.kind == "label":
+            self._advance()
+            return Label(token.value)
+        if token.kind == "(":
+            self._advance()
+            if self._peek() is not None and self._peek().kind == ")":
+                self._advance()
+                return Epsilon()
+            inner = self.parse_expression()
+            closing = self._peek()
+            if closing is None or closing.kind != ")":
+                raise self._error("expected ')'")
+            self._advance()
+            return inner
+        raise self._error(f"unexpected token {token.value!r}")
+
+    def finished(self) -> bool:
+        return self._index == len(self._tokens)
+
+
+def parse(expression: Union[str, RegexNode]) -> RegexNode:
+    """Parse ``expression`` into a :class:`~repro.regex.ast.RegexNode`.
+
+    Passing an already-built AST node returns it unchanged so that every
+    public API accepting a query can accept either a string or an AST.
+    """
+    if isinstance(expression, RegexNode):
+        return expression
+    if not isinstance(expression, str):
+        raise TypeError(f"expected str or RegexNode, got {type(expression).__name__}")
+    text = expression.strip()
+    if not text:
+        raise RegexSyntaxError("empty expression", 0, expression)
+    tokens = _tokenize(text)
+    parser = _Parser(tokens, text)
+    node = parser.parse_expression()
+    if not parser.finished():
+        raise parser._error("trailing input after expression")
+    return node

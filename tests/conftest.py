@@ -1,0 +1,47 @@
+"""Shared pytest fixtures for the streaming RPQ test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the package importable even when it has not been pip-installed
+# (e.g. running the suite from a fresh checkout without network access), and
+# make the shared test helpers importable as a plain module.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+_TESTS = Path(__file__).resolve().parent
+for path in (_SRC, _TESTS):
+    if str(path) not in sys.path:
+        sys.path.insert(0, str(path))
+
+from repro import WindowSpec, sgt  # noqa: E402  (import after path fix)
+
+
+@pytest.fixture
+def figure1_stream():
+    """The streaming graph of Figure 1(a) of the paper."""
+    return [
+        sgt(4, "y", "u", "mentions"),
+        sgt(6, "x", "z", "follows"),
+        sgt(9, "u", "v", "follows"),
+        sgt(11, "z", "w", "follows"),
+        sgt(13, "x", "y", "follows"),
+        sgt(14, "z", "u", "mentions"),
+        sgt(15, "u", "x", "mentions"),
+        sgt(18, "v", "y", "mentions"),
+        sgt(19, "w", "u", "follows"),
+    ]
+
+
+@pytest.fixture
+def figure1_query():
+    """The query Q1 of Figure 1(c): (follows . mentions)+."""
+    return "(follows mentions)+"
+
+
+@pytest.fixture
+def figure1_window():
+    """The |W| = 15, beta = 1 window used throughout the paper's example."""
+    return WindowSpec(size=15, slide=1)

@@ -1,0 +1,64 @@
+"""Shared helpers for the test suite: oracles and tiny stream builders."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.core.batch import batch_rapq, batch_rspq
+from repro.graph.snapshot import SnapshotGraph
+from repro.graph.tuples import StreamingGraphTuple
+from repro.regex.dfa import DFA
+
+
+def window_snapshot(
+    tuples: Sequence[StreamingGraphTuple],
+    now: int,
+    window_size: int,
+) -> SnapshotGraph:
+    """Build the snapshot graph of the window ``(now - window_size, now]``.
+
+    Explicit deletions are applied in stream order, exactly as the engine
+    would apply them.
+    """
+    snapshot = SnapshotGraph()
+    for tup in tuples:
+        if tup.timestamp > now:
+            break
+        if tup.is_delete:
+            snapshot.delete(tup.source, tup.target, tup.label)
+        else:
+            snapshot.insert_tuple(tup)
+    snapshot.expire(now - window_size)
+    return snapshot
+
+
+def streaming_oracle(
+    tuples: Sequence[StreamingGraphTuple],
+    dfa: DFA,
+    window_size: int,
+    simple_paths: bool = False,
+) -> Set[Tuple[object, object]]:
+    """Ground truth for implicit-window streaming RPQ results.
+
+    Under implicit window semantics the streaming answer is the union, over
+    every arrival timestamp ``tau``, of the batch answer on the snapshot of
+    the window ``(tau - |W|, tau]``.
+    """
+    answers: Set[Tuple[object, object]] = set()
+    seen_timestamps: Set[int] = set()
+    for tup in tuples:
+        if tup.timestamp in seen_timestamps:
+            continue
+        seen_timestamps.add(tup.timestamp)
+    for now in sorted(seen_timestamps):
+        snapshot = window_snapshot(tuples, now, window_size)
+        if simple_paths:
+            answers |= batch_rspq(snapshot, dfa)
+        else:
+            answers |= batch_rapq(snapshot, dfa)
+    return answers
+
+
+def insert_stream(edges: Iterable[Tuple[int, object, object, str]]) -> List[StreamingGraphTuple]:
+    """Build an insertion-only stream from ``(timestamp, source, target, label)`` tuples."""
+    return [StreamingGraphTuple(ts, src, dst, label) for ts, src, dst, label in edges]

@@ -1,0 +1,86 @@
+"""Tests for the snapshot-recomputation baseline (§5.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RAPQEvaluator, SnapshotRecomputeBaseline, WindowSpec, sgt
+from repro.graph.tuples import EdgeOp, StreamingGraphTuple
+
+from helpers import insert_stream
+
+
+class TestEquivalenceWithIncremental:
+    @pytest.mark.parametrize("query", ["a", "a b", "a+", "(a b)+", "a b*"])
+    def test_same_answers_as_rapq(self, query):
+        stream = insert_stream(
+            [(t, f"v{t % 5}", f"v{(t * 3 + 1) % 5}", "a" if t % 2 else "b") for t in range(1, 30)]
+        )
+        window = WindowSpec(size=8, slide=2)
+        incremental = RAPQEvaluator(query, window)
+        baseline = SnapshotRecomputeBaseline(query, window)
+        incremental.process_stream(stream)
+        baseline.process_stream(stream)
+        assert baseline.answer_pairs() == incremental.answer_pairs()
+
+    def test_same_answers_on_figure1(self, figure1_stream, figure1_query, figure1_window):
+        incremental = RAPQEvaluator(figure1_query, figure1_window)
+        baseline = SnapshotRecomputeBaseline(figure1_query, figure1_window)
+        for tup in figure1_stream:
+            incremental.process(tup)
+            baseline.process(tup)
+        assert baseline.answer_pairs() == incremental.answer_pairs()
+
+
+class TestBehaviour:
+    def test_recomputation_counter(self):
+        baseline = SnapshotRecomputeBaseline("a", WindowSpec(size=10))
+        baseline.process(sgt(1, "u", "v", "a"))
+        baseline.process(sgt(2, "v", "w", "a"))
+        baseline.process(sgt(3, "x", "y", "zzz"))  # irrelevant: no recomputation
+        assert baseline.stats["recomputations"] == 2
+        assert baseline.stats["tuples_discarded"] == 1
+
+    def test_simple_path_mode(self):
+        baseline = SnapshotRecomputeBaseline("a+", WindowSpec(size=100), semantics="simple")
+        baseline.process(sgt(1, "x", "y", "a"))
+        baseline.process(sgt(2, "y", "x", "a"))
+        assert baseline.answer_pairs() == {("x", "y"), ("y", "x")}
+
+    def test_unknown_semantics_rejected(self):
+        with pytest.raises(ValueError):
+            SnapshotRecomputeBaseline("a", WindowSpec(size=10), semantics="magic")
+
+    def test_deletion_updates_active_view(self):
+        baseline = SnapshotRecomputeBaseline("a", WindowSpec(size=100))
+        baseline.process(sgt(1, "u", "v", "a"))
+        assert baseline.active_pairs() == {("u", "v")}
+        baseline.process(StreamingGraphTuple(2, "u", "v", "a", EdgeOp.DELETE))
+        assert baseline.active_pairs() == set()
+        # the append-only history is retained
+        assert baseline.answer_pairs() == {("u", "v")}
+
+    def test_window_expiry(self):
+        baseline = SnapshotRecomputeBaseline("a b", WindowSpec(size=5, slide=5))
+        baseline.process(sgt(1, "u", "v", "a"))
+        baseline.process(sgt(12, "v", "w", "b"))
+        assert baseline.answer_pairs() == set()
+
+    def test_index_size_is_zero(self):
+        baseline = SnapshotRecomputeBaseline("a", WindowSpec(size=10))
+        assert baseline.index_size() == {"trees": 0, "nodes": 0}
+
+    def test_timestamps_must_be_non_decreasing(self):
+        baseline = SnapshotRecomputeBaseline("a", WindowSpec(size=10))
+        baseline.process(sgt(5, "u", "v", "a"))
+        with pytest.raises(ValueError):
+            baseline.process(sgt(3, "u", "w", "a"))
+
+    def test_expire_now(self):
+        # With beta = 5, the lazy boundary at t=9 only expires timestamps <= 0,
+        # so the edge at t=1 is still physically present until expire_now().
+        baseline = SnapshotRecomputeBaseline("a", WindowSpec(size=5, slide=5))
+        baseline.process(sgt(1, "u", "v", "a"))
+        baseline.process(sgt(9, "p", "q", "a"))
+        removed = baseline.expire_now()
+        assert removed >= 1

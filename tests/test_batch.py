@@ -1,0 +1,114 @@
+"""Tests for the batch (static snapshot) RPQ evaluators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import batch_rapq, batch_rspq, product_graph_edges
+from repro.graph.snapshot import SnapshotGraph
+from repro.regex.dfa import compile_query
+
+
+def graph_from_edges(edges):
+    snapshot = SnapshotGraph()
+    for index, (u, v, label) in enumerate(edges, start=1):
+        snapshot.insert(u, v, label, index)
+    return snapshot
+
+
+class TestBatchRAPQ:
+    def test_single_edge(self):
+        snapshot = graph_from_edges([("a", "b", "x")])
+        assert batch_rapq(snapshot, compile_query("x")) == {("a", "b")}
+
+    def test_two_hop(self):
+        snapshot = graph_from_edges([("a", "b", "x"), ("b", "c", "y")])
+        assert batch_rapq(snapshot, compile_query("x y")) == {("a", "c")}
+
+    def test_transitive_closure(self):
+        snapshot = graph_from_edges([("a", "b", "x"), ("b", "c", "x"), ("c", "d", "x")])
+        assert batch_rapq(snapshot, compile_query("x+")) == {
+            ("a", "b"), ("a", "c"), ("a", "d"),
+            ("b", "c"), ("b", "d"), ("c", "d"),
+        }
+
+    def test_cycle_produces_self_pairs(self):
+        snapshot = graph_from_edges([("a", "b", "x"), ("b", "a", "x")])
+        assert batch_rapq(snapshot, compile_query("x+")) == {
+            ("a", "b"), ("b", "a"), ("a", "a"), ("b", "b"),
+        }
+
+    def test_no_empty_path_results(self):
+        snapshot = graph_from_edges([("a", "b", "x")])
+        answers = batch_rapq(snapshot, compile_query("x*"))
+        assert ("a", "a") not in answers
+        assert ("b", "b") not in answers
+
+    def test_labels_outside_query_ignored(self):
+        snapshot = graph_from_edges([("a", "b", "zzz")])
+        assert batch_rapq(snapshot, compile_query("x")) == set()
+
+    def test_figure1_snapshot(self, figure1_stream):
+        snapshot = SnapshotGraph()
+        for tup in figure1_stream:
+            if tup.timestamp > 3:  # window (3, 18] of the paper's example
+                snapshot.insert_tuple(tup)
+        snapshot.expire(3)
+        answers = batch_rapq(snapshot, compile_query("(follows mentions)+"))
+        assert ("x", "y") in answers
+        assert ("x", "u") in answers
+
+
+class TestBatchRSPQ:
+    def test_chain(self):
+        snapshot = graph_from_edges([("a", "b", "x"), ("b", "c", "x")])
+        assert batch_rspq(snapshot, compile_query("x+")) == {("a", "b"), ("b", "c"), ("a", "c")}
+
+    def test_cycle_excludes_self_pairs(self):
+        snapshot = graph_from_edges([("a", "b", "x"), ("b", "a", "x")])
+        assert batch_rspq(snapshot, compile_query("x+")) == {("a", "b"), ("b", "a")}
+
+    def test_subset_of_arbitrary(self):
+        edges = [("a", "b", "x"), ("b", "c", "y"), ("c", "a", "x"), ("a", "c", "y"), ("c", "b", "x")]
+        snapshot = graph_from_edges(edges)
+        dfa = compile_query("(x y)+")
+        assert batch_rspq(snapshot, dfa) <= batch_rapq(snapshot, dfa)
+
+    def test_non_simple_only_pair_excluded(self):
+        """s->a->b->a->t style: every accepting walk repeats the vertex a."""
+        snapshot = graph_from_edges(
+            [("s", "a", "x"), ("a", "b", "y"), ("b", "a", "x"), ("a", "t", "y")]
+        )
+        dfa = compile_query("x y x y")
+        # arbitrary semantics finds walks such as s,a,b,a,t / s,a,b,a,b and the
+        # ones starting at b that loop through a twice
+        assert batch_rapq(snapshot, dfa) == {("s", "t"), ("s", "b"), ("b", "t"), ("b", "b")}
+        # none of those walks is simple (each visits a twice)
+        assert batch_rspq(snapshot, dfa) == set()
+
+    def test_expansion_budget(self):
+        # complete bipartite-ish graph with many simple paths
+        edges = []
+        for i in range(6):
+            for j in range(6):
+                edges.append((f"u{i}", f"v{j}", "x"))
+                edges.append((f"v{j}", f"u{i}", "y"))
+        snapshot = graph_from_edges(edges)
+        with pytest.raises(RuntimeError):
+            batch_rspq(snapshot, compile_query("(x y)+"), max_paths=500)
+
+
+class TestProductGraph:
+    def test_product_graph_edges(self):
+        snapshot = graph_from_edges([("a", "b", "follows"), ("b", "c", "mentions")])
+        dfa = compile_query("(follows mentions)+")
+        edges = product_graph_edges(snapshot, dfa)
+        # 'follows' has transitions from the start state and from the accepting
+        # state; 'mentions' from the middle state only.
+        follows_edges = [e for e in edges if e[0][0] == "a"]
+        mentions_edges = [e for e in edges if e[0][0] == "b"]
+        assert len(follows_edges) == 2
+        assert len(mentions_edges) == 1
+
+    def test_empty_graph(self):
+        assert product_graph_edges(SnapshotGraph(), compile_query("a")) == []

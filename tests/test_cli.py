@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.stream import read_csv
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_arguments(self):
+        args = build_parser().parse_args(["compile", "--query", "a b*"])
+        assert args.command == "compile"
+        assert args.query == "a b*"
+
+    def test_run_arguments_defaults(self):
+        args = build_parser().parse_args(
+            ["run", "--query", "a", "--input", "x.csv", "--window", "10"]
+        )
+        assert args.slide == 1
+        assert args.semantics == "arbitrary"
+        assert args.deletions == 0.0
+
+    def test_experiment_requires_figure_or_table(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment"])
+        args = build_parser().parse_args(["experiment", "--figure", "7"])
+        assert args.figure == 7
+
+
+class TestCompileCommand:
+    def test_prints_automaton_facts(self, capsys):
+        exit_code = main(["compile", "--query", "(follows mentions)+"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "minimal DFA" in captured
+        assert "follows" in captured
+
+    def test_dot_output(self, capsys):
+        main(["compile", "--query", "a b", "--dot"])
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestGenerateAndRun:
+    def test_generate_then_run(self, tmp_path, capsys):
+        output = tmp_path / "yago.csv"
+        exit_code = main(
+            ["generate", "--dataset", "yago", "--edges", "400", "--seed", "3", "--output", str(output)]
+        )
+        assert exit_code == 0
+        assert output.exists()
+        stream = read_csv(output)
+        assert len(list(stream)) == 400
+
+        capsys.readouterr()  # clear
+        exit_code = main(
+            [
+                "run",
+                "--query", "isLocatedIn+",
+                "--input", str(output),
+                "--window", "8",
+                "--slide", "2",
+                "--show-results", "3",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "distinct results" in captured
+        assert "throughput" in captured
+
+    def test_run_with_deletions_and_limit(self, tmp_path, capsys):
+        output = tmp_path / "so.csv"
+        main(["generate", "--dataset", "stackoverflow", "--edges", "300", "--output", str(output)])
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "run",
+                "--query", "a2q",
+                "--input", str(output),
+                "--window", "6",
+                "--deletions", "0.05",
+                "--limit", "200",
+                "--semantics", "arbitrary",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "tuples processed : 2" in captured  # 200 + injected deletions
+
+
+class TestExperimentCommand:
+    def test_figure7(self, capsys):
+        exit_code = main(["experiment", "--figure", "7"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 7" in captured
+
+    def test_table4_tiny(self, capsys):
+        exit_code = main(["experiment", "--table", "4", "--scale", "tiny"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Table 4" in captured
+        assert "Q11" in captured

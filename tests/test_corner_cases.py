@@ -1,0 +1,137 @@
+"""Corner-case and robustness tests for the streaming evaluators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RAPQEvaluator, RSPQEvaluator, StreamingRPQEngine, WindowSpec, sgt
+from repro.regex.dfa import compile_query
+
+from helpers import insert_stream, streaming_oracle
+
+
+class TestSelfLoops:
+    def test_self_loop_under_arbitrary_semantics(self):
+        evaluator = RAPQEvaluator("a+", WindowSpec(size=10))
+        evaluator.process(sgt(1, "v", "v", "a"))
+        assert ("v", "v") in evaluator.answer_pairs()
+
+    def test_self_loop_with_concatenation(self):
+        evaluator = RAPQEvaluator("a a", WindowSpec(size=10))
+        evaluator.process(sgt(1, "v", "v", "a"))
+        assert evaluator.answer_pairs() == {("v", "v")}
+
+    def test_self_loop_excluded_under_simple_semantics(self):
+        evaluator = RSPQEvaluator("a+", WindowSpec(size=10))
+        evaluator.process(sgt(1, "v", "v", "a"))
+        assert evaluator.answer_pairs() == set()
+
+    def test_self_loop_matches_oracle(self):
+        stream = insert_stream([(1, "v", "v", "a"), (2, "v", "w", "a"), (3, "w", "v", "a")])
+        window = WindowSpec(size=10)
+        evaluator = RAPQEvaluator("a+", window)
+        evaluator.process_stream(stream)
+        expected = streaming_oracle(stream, compile_query("a+"), window.size)
+        assert evaluator.answer_pairs() == expected
+
+
+class TestVertexAndLabelTypes:
+    def test_integer_vertices(self):
+        evaluator = RAPQEvaluator("edge+", WindowSpec(size=10))
+        evaluator.process(sgt(1, 10, 20, "edge"))
+        evaluator.process(sgt(2, 20, 30, "edge"))
+        assert (10, 30) in evaluator.answer_pairs()
+
+    def test_tuple_vertices(self):
+        evaluator = RAPQEvaluator("e", WindowSpec(size=10))
+        evaluator.process(sgt(1, ("a", 1), ("b", 2), "e"))
+        assert ((("a", 1), ("b", 2))) in {tuple(p) for p in evaluator.answer_pairs()}
+
+    def test_unicode_and_uri_labels(self):
+        evaluator = RAPQEvaluator("<http://example.org/knows>+", WindowSpec(size=10))
+        evaluator.process(sgt(1, "α", "β", "http://example.org/knows"))
+        evaluator.process(sgt(2, "β", "γ", "http://example.org/knows"))
+        assert ("α", "γ") in evaluator.answer_pairs()
+
+
+class TestTimestampPatterns:
+    def test_all_tuples_share_one_timestamp(self):
+        evaluator = RAPQEvaluator("a+", WindowSpec(size=5))
+        stream = insert_stream([(7, "a", "b", "a"), (7, "b", "c", "a"), (7, "c", "d", "a")])
+        evaluator.process_stream(stream)
+        assert ("a", "d") in evaluator.answer_pairs()
+
+    def test_large_timestamp_gap_resets_state(self):
+        evaluator = RAPQEvaluator("a+", WindowSpec(size=10, slide=10))
+        evaluator.process(sgt(1, "a", "b", "a"))
+        evaluator.process(sgt(1_000_000, "b", "c", "a"))
+        assert ("a", "c") not in evaluator.answer_pairs()
+        assert evaluator.index.num_trees <= 2
+
+    def test_timestamp_zero_and_negative_watermark(self):
+        evaluator = RAPQEvaluator("a b", WindowSpec(size=100))
+        evaluator.process(sgt(0, "u", "v", "a"))
+        evaluator.process(sgt(1, "v", "w", "b"))
+        assert ("u", "w") in evaluator.answer_pairs()
+
+
+class TestLongChains:
+    def test_cascade_deeper_than_default_recursion_limit(self):
+        """The iterative Insert must handle traversals far deeper than Python's
+        recursion limit (the reason the implementation is not recursive).
+
+        The chain carries label 'a' but the query only starts on 'trigger', so
+        only one spanning tree exists; inserting the trigger edge last makes a
+        single Insert call cascade through the whole 3000-edge chain.
+        """
+        length = 3000
+        evaluator = RAPQEvaluator("trigger a+", WindowSpec(size=length + 10))
+        for i in range(length):
+            evaluator.process(sgt(i + 1, f"v{i}", f"v{i+1}", "a"))
+        evaluator.process(sgt(length + 1, "root", "v0", "trigger"))
+        assert ("root", f"v{length}") in evaluator.answer_pairs()
+        assert evaluator.index.num_trees == 1
+
+    def test_deep_cascade_simple_semantics(self):
+        length = 1200
+        evaluator = RSPQEvaluator("trigger a+", WindowSpec(size=length + 10))
+        for i in range(length):
+            evaluator.process(sgt(i + 1, f"v{i}", f"v{i+1}", "a"))
+        evaluator.process(sgt(length + 1, "root", "v0", "trigger"))
+        assert ("root", f"v{length}") in evaluator.answer_pairs()
+
+
+class TestParallelEdges:
+    def test_same_edge_two_labels(self):
+        evaluator = RAPQEvaluator("a b", WindowSpec(size=10))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(2, "u", "v", "b"))
+        evaluator.process(sgt(3, "v", "w", "b"))
+        assert ("u", "w") in evaluator.answer_pairs()
+
+    def test_opposite_direction_edges_are_distinct(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=10))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        assert ("v", "u") not in evaluator.answer_pairs()
+
+
+class TestEngineRobustness:
+    def test_engine_with_no_queries(self):
+        engine = StreamingRPQEngine(WindowSpec(size=10))
+        assert engine.process(sgt(1, "a", "b", "x")) == {}
+        assert engine.summary() == {}
+
+    def test_query_registered_mid_stream_sees_only_the_future(self):
+        engine = StreamingRPQEngine(WindowSpec(size=100))
+        engine.register("first", "a")
+        engine.process(sgt(1, "u", "v", "a"))
+        engine.register("late", "a")
+        engine.process(sgt(2, "x", "y", "a"))
+        assert engine.query("first").answer_pairs() == {("u", "v"), ("x", "y")}
+        assert engine.query("late").answer_pairs() == {("x", "y")}
+
+    def test_single_vertex_query_on_empty_alphabet_stream(self):
+        evaluator = RAPQEvaluator("nonexistent", WindowSpec(size=10))
+        evaluator.process_stream(insert_stream([(1, "a", "b", "x"), (2, "b", "c", "y")]))
+        assert evaluator.answer_pairs() == set()
+        assert evaluator.index.num_trees == 0

@@ -1,0 +1,201 @@
+"""Tests for the synthetic streaming-graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.gmark import (
+    GMarkGraphGenerator,
+    GMarkQueryGenerator,
+    GMarkRelation,
+    GMarkSchema,
+    default_social_schema,
+)
+from repro.datasets.ldbc import LDBC_LABELS, LDBCLikeGenerator
+from repro.datasets.stackoverflow import SO_LABELS, StackOverflowGenerator
+from repro.datasets.synthetic import (
+    PreferentialAttachmentStreamGenerator,
+    UniformStreamGenerator,
+    timestamps_at_fixed_rate,
+)
+from repro.datasets.yago import YAGO_QUERY_LABELS, YagoLikeGenerator
+from repro.regex.analysis import analyze
+
+
+def assert_valid_stream(tuples, expected_count):
+    assert len(tuples) == expected_count
+    stamps = [t.timestamp for t in tuples]
+    assert stamps == sorted(stamps), "timestamps must be non-decreasing"
+    assert all(t.is_insert for t in tuples)
+    assert all(t.source != t.target or True for t in tuples)
+
+
+class TestTimestampsAtFixedRate:
+    def test_groups_of_equal_timestamps(self):
+        assert timestamps_at_fixed_rate(6, 2) == [1, 1, 2, 2, 3, 3]
+
+    def test_rate_one(self):
+        assert timestamps_at_fixed_rate(3, 1) == [1, 2, 3]
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            timestamps_at_fixed_rate(3, 0)
+
+
+class TestUniformGenerator:
+    def test_basic_properties(self):
+        stream = UniformStreamGenerator(num_vertices=20, labels=["a", "b"], seed=5).generate(200)
+        assert_valid_stream(list(stream), 200)
+        assert {t.label for t in stream} == {"a", "b"}
+        assert all(t.source != t.target for t in stream)
+
+    def test_deterministic_for_seed(self):
+        gen = lambda: list(UniformStreamGenerator(num_vertices=10, labels=["a"], seed=3).generate(50))
+        assert gen() == gen()
+
+    def test_different_seeds_differ(self):
+        a = list(UniformStreamGenerator(num_vertices=10, labels=["a"], seed=1).generate(50))
+        b = list(UniformStreamGenerator(num_vertices=10, labels=["a"], seed=2).generate(50))
+        assert a != b
+
+    def test_label_weights_respected(self):
+        stream = UniformStreamGenerator(
+            num_vertices=10, labels=["common", "rare"], label_weights=[0.95, 0.05], seed=7
+        ).generate(500)
+        labels = [t.label for t in stream]
+        assert labels.count("common") > labels.count("rare") * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformStreamGenerator(num_vertices=1, labels=["a"])
+        with pytest.raises(ValueError):
+            UniformStreamGenerator(num_vertices=5, labels=[])
+        with pytest.raises(ValueError):
+            UniformStreamGenerator(num_vertices=5, labels=["a"], label_weights=[1.0, 2.0])
+
+
+class TestPreferentialAttachment:
+    def test_basic_properties(self):
+        stream = PreferentialAttachmentStreamGenerator(labels=["x"], seed=11).generate(300)
+        assert_valid_stream(list(stream), 300)
+
+    def test_skewed_degrees(self):
+        """Preferential attachment must produce hubs (degree skew)."""
+        stream = PreferentialAttachmentStreamGenerator(
+            labels=["x"], new_vertex_probability=0.05, seed=13
+        ).generate(1000)
+        degree = {}
+        for tup in stream:
+            degree[tup.source] = degree.get(tup.source, 0) + 1
+            degree[tup.target] = degree.get(tup.target, 0) + 1
+        degrees = sorted(degree.values(), reverse=True)
+        assert degrees[0] > 5 * (sum(degrees) / len(degrees)), "expected a hub vertex"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PreferentialAttachmentStreamGenerator(labels=[], seed=1)
+        with pytest.raises(ValueError):
+            PreferentialAttachmentStreamGenerator(labels=["a"], new_vertex_probability=0.0)
+
+
+class TestStackOverflowGenerator:
+    def test_labels_and_order(self):
+        stream = list(StackOverflowGenerator(seed=3).generate(500))
+        assert_valid_stream(stream, 500)
+        assert {t.label for t in stream} <= set(SO_LABELS)
+        # the SO graph is label-dense: all three labels appear
+        assert {t.label for t in stream} == set(SO_LABELS)
+
+    def test_deterministic(self):
+        a = list(StackOverflowGenerator(seed=9).generate(100))
+        b = list(StackOverflowGenerator(seed=9).generate(100))
+        assert a == b
+
+
+class TestLDBCGenerator:
+    def test_schema_type_correctness(self):
+        stream = list(LDBCLikeGenerator(seed=5).generate(800))
+        assert_valid_stream(stream, 800)
+        assert {t.label for t in stream} <= set(LDBC_LABELS)
+        for tup in stream:
+            if tup.label == "knows":
+                assert str(tup.source).startswith("person") and str(tup.target).startswith("person")
+            elif tup.label == "likes":
+                assert str(tup.source).startswith("person")
+                assert str(tup.target).startswith(("post", "comment"))
+            elif tup.label == "hasCreator":
+                assert str(tup.source).startswith(("post", "comment"))
+                assert str(tup.target).startswith("person")
+            elif tup.label == "replyOf":
+                assert str(tup.source).startswith("comment")
+                assert str(tup.target).startswith(("post", "comment"))
+
+    def test_recursive_relations_present(self):
+        labels = {t.label for t in LDBCLikeGenerator(seed=5).generate(800)}
+        assert "knows" in labels and "replyOf" in labels
+
+
+class TestYagoGenerator:
+    def test_many_predicates_mostly_noise(self):
+        stream = list(YagoLikeGenerator(seed=7).generate(2000))
+        assert_valid_stream(stream, 2000)
+        labels = {t.label for t in stream}
+        assert len(labels) > 30, "Yago-like graph should have a large predicate vocabulary"
+        query_label_tuples = [t for t in stream if t.label in YAGO_QUERY_LABELS]
+        assert 0 < len(query_label_tuples) < len(stream) / 2
+
+    def test_fixed_rate_timestamps(self):
+        generator = YagoLikeGenerator(seed=7, edges_per_timestamp=10)
+        stream = list(generator.generate(100))
+        from collections import Counter
+
+        counts = Counter(t.timestamp for t in stream)
+        assert set(counts.values()) == {10}
+
+
+class TestGMark:
+    def test_default_schema_valid(self):
+        schema = default_social_schema()
+        schema.validate()
+        assert "knows" in schema.labels()
+
+    def test_schema_validation_errors(self):
+        schema = GMarkSchema(
+            vertex_populations={"person": 10},
+            relations=[GMarkRelation("likes", "person", "post")],
+        )
+        with pytest.raises(ValueError):
+            schema.validate()
+
+    def test_graph_generator_type_correct(self):
+        schema = default_social_schema(scale=50)
+        stream = list(GMarkGraphGenerator(schema=schema, seed=3).generate(500))
+        assert_valid_stream(stream, 500)
+        relations = {r.label: r for r in schema.relations}
+        for tup in stream:
+            relation = relations[tup.label]
+            assert str(tup.source).startswith(relation.source_type)
+            assert str(tup.target).startswith(relation.target_type)
+
+    def test_query_generator_sizes(self):
+        generator = GMarkQueryGenerator(labels=["a", "b", "c"], seed=5)
+        for size in range(2, 21):
+            expression = generator.generate_query(size)
+            node = analyze(expression).expression
+            assert node.size() == size, f"requested {size}, got {node.size()} for {expression}"
+
+    def test_query_workload_covers_size_range(self):
+        generator = GMarkQueryGenerator(labels=["a", "b"], seed=5)
+        workload = generator.generate_workload(40, min_size=2, max_size=10)
+        assert len(workload) == 40
+        sizes = {size for size, _ in workload}
+        assert sizes == set(range(2, 11))
+
+    def test_query_generator_validation(self):
+        with pytest.raises(ValueError):
+            GMarkQueryGenerator(labels=[])
+        generator = GMarkQueryGenerator(labels=["a"])
+        with pytest.raises(ValueError):
+            generator.generate_query(0)
+        with pytest.raises(ValueError):
+            generator.generate_workload(5, min_size=8, max_size=2)

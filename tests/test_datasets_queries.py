@@ -1,0 +1,96 @@
+"""Tests for the real-world query workload (Tables 2 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.queries import (
+    DATASET_LABELS,
+    DATASET_QUERY_LABELS,
+    QUERY_NAMES,
+    QUERY_TEMPLATES,
+    applicable_queries,
+    build_workload,
+    instantiate,
+)
+from repro.regex.analysis import analyze
+from repro.regex.ast import Plus, Star
+from repro.regex.parser import parse
+
+
+class TestTemplates:
+    def test_eleven_queries(self):
+        assert len(QUERY_NAMES) == 11
+        assert QUERY_NAMES[0] == "Q1" and QUERY_NAMES[-1] == "Q11"
+
+    def test_q1_shape(self):
+        assert parse(instantiate("Q1", ["a"])) == Star(parse("a"))
+
+    def test_q9_shape(self):
+        node = parse(instantiate("Q9", ["a", "b", "c"]))
+        assert isinstance(node, Plus)
+        assert node.labels() == frozenset({"a", "b", "c"})
+
+    def test_q11_is_non_recursive(self):
+        node = parse(instantiate("Q11", ["a", "b", "c"]))
+        assert not node.is_recursive()
+
+    def test_all_other_templates_are_recursive(self):
+        for name in QUERY_NAMES:
+            if name == "Q11":
+                continue
+            node = parse(instantiate(name, ["a", "b", "c", "d"]))
+            assert node.is_recursive(), f"{name} should contain a Kleene star/plus"
+
+    def test_every_template_parses(self):
+        for name in QUERY_NAMES:
+            expression = instantiate(name, ["l1", "l2", "l3", "l4"])
+            analyze(expression)  # must not raise
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(KeyError):
+            instantiate("Q99", ["a"])
+
+    def test_too_few_labels_rejected(self):
+        with pytest.raises(ValueError):
+            instantiate("Q3", ["a"])
+
+
+class TestDatasetBindings:
+    def test_label_vocabularies(self):
+        assert DATASET_LABELS["stackoverflow"] == ["a2q", "c2a", "c2q"]
+        assert "knows" in DATASET_LABELS["ldbc"]
+
+    @pytest.mark.parametrize("dataset", ["stackoverflow", "ldbc", "yago"])
+    def test_workload_queries_parse_and_use_dataset_labels(self, dataset):
+        workload = build_workload(dataset)
+        vocabulary = set(DATASET_LABELS[dataset])
+        for name, expression in workload.items():
+            analysis = analyze(expression)
+            assert analysis.alphabet <= vocabulary, f"{name} uses labels outside {dataset}"
+
+    def test_stackoverflow_has_all_eleven(self):
+        assert applicable_queries("stackoverflow") == QUERY_NAMES
+
+    def test_yago_has_all_eleven(self):
+        assert applicable_queries("yago") == QUERY_NAMES
+
+    def test_ldbc_subset_matches_figure4b(self):
+        assert applicable_queries("ldbc") == ["Q1", "Q2", "Q3", "Q5", "Q6", "Q7", "Q11"]
+
+    def test_bindings_reference_known_queries(self):
+        for dataset, bindings in DATASET_QUERY_LABELS.items():
+            for name in bindings:
+                assert name in QUERY_NAMES, f"{dataset} binds unknown query {name}"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            build_workload("imaginary")
+        with pytest.raises(KeyError):
+            applicable_queries("imaginary")
+
+    def test_workload_examples(self):
+        workload = build_workload("stackoverflow")
+        assert workload["Q1"] == "a2q*"
+        assert workload["Q11"] == "a2q c2a c2q"
+        assert workload["Q9"] == "(a2q | c2a | c2q)+"

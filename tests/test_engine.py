@@ -1,0 +1,135 @@
+"""Tests for the multi-query streaming engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import StreamingRPQEngine, WindowSpec, sgt
+from repro.core.engine import make_evaluator
+from repro.core.rapq import RAPQEvaluator
+from repro.core.rspq import RSPQEvaluator
+from repro.core.baseline import SnapshotRecomputeBaseline
+
+
+class TestRegistration:
+    def test_register_and_query(self):
+        engine = StreamingRPQEngine(WindowSpec(size=10))
+        handle = engine.register("q", "a b")
+        assert engine.query("q") is handle
+        assert "q" in engine
+        assert [h.name for h in engine.queries()] == ["q"]
+
+    def test_duplicate_name_rejected(self):
+        engine = StreamingRPQEngine(WindowSpec(size=10))
+        engine.register("q", "a")
+        with pytest.raises(ValueError):
+            engine.register("q", "b")
+
+    def test_unknown_query_lookup(self):
+        engine = StreamingRPQEngine(WindowSpec(size=10))
+        with pytest.raises(KeyError):
+            engine.query("missing")
+
+    def test_deregister(self):
+        engine = StreamingRPQEngine(WindowSpec(size=10))
+        engine.register("q", "a")
+        engine.deregister("q")
+        assert "q" not in engine
+        with pytest.raises(KeyError):
+            engine.deregister("q")
+
+    def test_semantics_selection(self):
+        engine = StreamingRPQEngine(WindowSpec(size=10))
+        assert isinstance(engine.register("arb", "a").evaluator, RAPQEvaluator)
+        assert isinstance(engine.register("simple", "a", semantics="simple").evaluator, RSPQEvaluator)
+        assert isinstance(
+            engine.register("base", "a", semantics="baseline").evaluator, SnapshotRecomputeBaseline
+        )
+
+    def test_unknown_semantics_rejected(self):
+        engine = StreamingRPQEngine(WindowSpec(size=10))
+        with pytest.raises(ValueError):
+            engine.register("q", "a", semantics="quantum")
+
+
+class TestMakeEvaluator:
+    def test_factory_types(self):
+        window = WindowSpec(size=10)
+        assert isinstance(make_evaluator("a", window, "arbitrary"), RAPQEvaluator)
+        assert isinstance(make_evaluator("a", window, "simple"), RSPQEvaluator)
+        assert isinstance(make_evaluator("a", window, "baseline"), SnapshotRecomputeBaseline)
+        with pytest.raises(ValueError):
+            make_evaluator("a", window, "nope")
+
+    def test_budget_forwarded_to_rspq(self):
+        evaluator = make_evaluator("a", WindowSpec(size=10), "simple", max_nodes_per_tree=123)
+        assert evaluator.max_nodes_per_tree == 123
+
+
+class TestProcessing:
+    def test_process_dispatches_to_all_queries(self, figure1_stream):
+        engine = StreamingRPQEngine(WindowSpec(size=15))
+        engine.register("alternating", "(follows mentions)+")
+        engine.register("followers", "follows+")
+        results = engine.process_stream(figure1_stream)
+        assert ("x", "y") in results["alternating"].distinct_pairs
+        assert ("x", "z") in results["followers"].distinct_pairs
+        assert engine.tuples_seen == len(figure1_stream)
+
+    def test_process_returns_only_new_results(self):
+        engine = StreamingRPQEngine(WindowSpec(size=10))
+        engine.register("q", "a")
+        produced = engine.process(sgt(1, "u", "v", "a"))
+        assert produced == {"q": [("u", "v")]}
+        produced = engine.process(sgt(2, "x", "y", "zzz"))
+        assert produced == {}
+
+    def test_on_result_callback(self, figure1_stream):
+        engine = StreamingRPQEngine(WindowSpec(size=15))
+        engine.register("alternating", "(follows mentions)+")
+        notifications = []
+        engine.process_stream(
+            figure1_stream,
+            on_result=lambda name, src, dst, ts: notifications.append((name, src, dst, ts)),
+        )
+        assert ("alternating", "x", "y", 18) in notifications
+        assert len(notifications) == len(engine.query("alternating").results.positives())
+
+    def test_latency_measurement(self):
+        engine = StreamingRPQEngine(WindowSpec(size=10), measure_latency=True)
+        engine.register("q", "a")
+        engine.process(sgt(1, "u", "v", "a"))
+        engine.process(sgt(2, "u", "v", "zzz"))  # irrelevant: not timed
+        handle = engine.query("q")
+        assert len(handle.latency) == 1
+
+    def test_summary(self, figure1_stream):
+        engine = StreamingRPQEngine(WindowSpec(size=15), measure_latency=True)
+        engine.register("alternating", "(follows mentions)+")
+        engine.process_stream(figure1_stream)
+        summary = engine.summary()
+        entry = summary["alternating"]
+        assert entry["semantics"] == "arbitrary"
+        assert entry["states"] == 3
+        assert entry["distinct_results"] >= 1
+        assert entry["index"]["trees"] >= 1
+        assert "latency" in entry
+
+    def test_engine_str(self):
+        engine = StreamingRPQEngine(WindowSpec(size=10, slide=2))
+        engine.register("q", "a")
+        text = str(engine)
+        assert "q" in text and "10" in text
+
+
+class TestDocExample:
+    def test_docstring_example(self):
+        engine = StreamingRPQEngine(WindowSpec(size=10, slide=1))
+        engine.register("follows-chain", "follows+")
+        engine.process(sgt(1, "alice", "bob", "follows"))
+        engine.process(sgt(2, "bob", "carol", "follows"))
+        assert sorted(engine.query("follows-chain").answer_pairs()) == [
+            ("alice", "bob"),
+            ("alice", "carol"),
+            ("bob", "carol"),
+        ]

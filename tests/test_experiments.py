@@ -1,0 +1,203 @@
+"""Smoke tests for the experiment harness, figures and tables (micro scale).
+
+These tests run every experiment function end-to-end on tiny inputs: they
+verify the plumbing (series present, rows well-formed, expected qualitative
+shape) rather than absolute performance numbers, which belong to the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WindowSpec, sgt
+from repro.datasets import build_workload
+from repro.experiments import (
+    compare_runs,
+    dataset_config,
+    dataset_stream,
+    figure5,
+    figure7,
+    figure9,
+    figure11,
+    render_table1,
+    render_table4,
+    run_evaluator,
+    run_query,
+    table1_complexity_check,
+    table4_simple_path,
+)
+from repro.experiments.figures import figure4, figure6, figure8, figure10
+from repro.experiments.harness import RunResult
+from repro.core.rapq import RAPQEvaluator
+
+from helpers import insert_stream
+
+
+class TestWorkloads:
+    def test_dataset_config_known_datasets(self):
+        for name in ("yago", "ldbc", "stackoverflow", "gmark"):
+            config = dataset_config(name, scale="tiny")
+            assert config.num_edges > 0
+            assert config.window.size > config.window.slide
+
+    def test_dataset_config_unknown(self):
+        with pytest.raises(KeyError):
+            dataset_config("nope", scale="tiny")
+        with pytest.raises(KeyError):
+            dataset_config("yago", scale="galactic")
+
+    def test_dataset_stream_materializes(self):
+        stream = dataset_stream("ldbc", scale="tiny")
+        assert len(list(stream)) == dataset_config("ldbc", scale="tiny").num_edges
+
+
+class TestHarness:
+    def test_run_query_produces_metrics(self):
+        stream = insert_stream([(t, f"v{t % 4}", f"v{(t + 1) % 4}", "a") for t in range(1, 60)])
+        result = run_query("a+", stream, WindowSpec(size=10, slide=2), query_name="Qx", dataset="unit")
+        assert result.completed
+        assert result.relevant_tuples == 59
+        assert result.distinct_results > 0
+        assert result.throughput_eps > 0
+        assert result.tail_latency_us >= result.mean_latency_us * 0.5
+        assert result.automaton_states >= 1
+        row = result.as_row()
+        assert row[0] == "Qx" and row[1] == "unit"
+
+    def test_run_query_baseline_and_simple(self):
+        stream = insert_stream([(t, f"v{t % 3}", f"v{(t + 1) % 3}", "a") for t in range(1, 30)])
+        window = WindowSpec(size=8, slide=2)
+        arbitrary = run_query("a+", stream, window)
+        baseline = run_query("a+", stream, window, semantics="baseline")
+        simple = run_query("a+", stream, window, semantics="simple")
+        assert arbitrary.distinct_results == baseline.distinct_results
+        assert simple.distinct_results <= arbitrary.distinct_results
+        speedups = compare_runs(arbitrary, baseline)
+        assert speedups["throughput_speedup"] > 0
+
+    def test_run_query_budget_failure_is_reported_not_raised(self):
+        edges = []
+        ts = 0
+        for i in range(4):
+            for j in range(4):
+                ts += 1
+                edges.append((ts, f"u{i}", f"c{j}", "a"))
+                ts += 1
+                edges.append((ts, f"c{j}", f"u{(i + 1) % 4}", "b"))
+        stream = insert_stream(edges)
+        result = run_query(
+            "(a b)+", stream, WindowSpec(size=1000), semantics="simple", max_nodes_per_tree=20
+        )
+        assert not result.completed
+        assert result.error is not None
+
+    def test_run_evaluator_irrelevant_tuples_not_timed(self):
+        stream = insert_stream([(1, "a", "b", "x"), (2, "a", "b", "zzz")])
+        evaluator = RAPQEvaluator("x", WindowSpec(size=10))
+        result = run_evaluator(evaluator, stream)
+        assert result.num_tuples == 2
+        assert result.relevant_tuples == 1
+
+    def test_expiry_time_per_run(self):
+        result = RunResult("q", "d", "arbitrary", True, expiry_seconds=2.0, expiry_runs=4)
+        assert result.expiry_time_per_run_us() == pytest.approx(0.5e6)
+        assert RunResult("q", "d", "arbitrary", True).expiry_time_per_run_us() == 0.0
+
+
+class TestFigures:
+    def test_figure4_structure(self):
+        figures = figure4(scale="tiny", datasets=["ldbc"])
+        figure = figures["ldbc"]
+        assert set(figure.series.keys()) == {"throughput_eps", "tail_latency_us"}
+        assert len(figure.get("throughput_eps")) >= 5
+        assert all(value > 0 for value in figure.get("throughput_eps").values())
+
+    def test_figure5_index_size_anticorrelated_with_throughput(self):
+        figure = figure5(scale="tiny")
+        nodes = figure.get("num_nodes")
+        throughput = figure.get("throughput_eps")
+        assert set(nodes) == set(throughput)
+        # the query with the largest index should not be the fastest one
+        largest = max(nodes, key=nodes.get)
+        fastest = max(throughput, key=throughput.get)
+        assert largest != fastest
+
+    def test_figure6_structure(self):
+        figures = figure6(scale="tiny", queries=["Q1", "Q7"], window_sizes=[10, 20], slide_intervals=[2, 4])
+        assert set(figures) == {
+            "latency_vs_window",
+            "expiry_vs_window",
+            "latency_vs_slide",
+            "expiry_vs_slide",
+        }
+        assert set(figures["latency_vs_window"].get("Q1")) == {10, 20}
+
+    def test_figure7_dfa_growth_is_moderate(self):
+        figure = figure7(num_queries=40, min_size=2, max_size=12)
+        means = figure.get("mean_states")
+        assert means
+        # DFA size stays within a small factor of the query size (no blow-up)
+        assert all(states <= 3 * size + 2 for size, states in means.items())
+
+    def test_figure8_structure(self):
+        figure = figure8(scale="tiny", num_queries=6)
+        assert figure.get("mean_throughput_eps")
+
+    def test_figure9_structure(self):
+        figure = figure9(scale="tiny", num_queries=8)
+        assert "throughput_eps" in figure.series or figure.series == {}
+
+    def test_figure10_deletions(self):
+        figure = figure10(scale="tiny", queries=["Q1"], deletion_ratios=(0.0, 0.05))
+        assert set(figure.get("Q1")) == {0.0, 0.05}
+
+    def test_figure11_speedup_above_one(self):
+        figure = figure11(scale="tiny", queries=["Q1", "Q11"])
+        for value in figure.get("relative_throughput").values():
+            assert value > 1.0, "incremental evaluation must beat per-tuple recomputation"
+
+
+class TestTables:
+    def test_table1_rows_and_rendering(self):
+        rows = table1_complexity_check(scale="tiny", queries=["Q1"], window_multipliers=(1.0, 2.0))
+        assert len(rows) == 2
+        text = render_table1(rows)
+        assert "Q1" in text and "|W|" in text
+
+    def test_table1_latency_grows_with_window(self):
+        rows = table1_complexity_check(scale="tiny", queries=["Q2"], window_multipliers=(0.5, 2.0))
+        small, large = rows[0], rows[1]
+        assert large.window_size > small.window_size
+        # Larger windows hold more state, so the mean latency should not shrink
+        # drastically.  The tiny scale makes individual timings noisy, so the
+        # tolerance is generous; the benchmark suite checks the trend at a
+        # larger scale.
+        assert large.mean_latency_us >= small.mean_latency_us * 0.2
+
+    def test_table4_restricted_queries_succeed(self):
+        rows = table4_simple_path(scale="tiny", datasets=["stackoverflow"], queries=["Q1", "Q4", "Q11"])
+        assert all(row.successful for row in rows)
+        text = render_table4(rows)
+        assert "Q11" in text and "overhead" in text
+
+    def test_table4_overhead_text(self):
+        from repro.experiments.tables import Table4Row
+
+        ok = Table4Row("d", "Q1", True, 10.0, 18.0, 1.8)
+        failed = Table4Row("d", "Q2", False, 10.0, 0.0, None)
+        assert ok.overhead_text == "1.8x"
+        assert failed.overhead_text == "-"
+
+
+class TestWorkloadQueriesRunEndToEnd:
+    @pytest.mark.parametrize("dataset", ["yago", "ldbc", "stackoverflow"])
+    def test_full_workload_on_tiny_streams(self, dataset):
+        """Every Table 2 query runs end-to-end on its dataset without errors."""
+        config = dataset_config(dataset, scale="tiny")
+        stream = config.stream()
+        workload = build_workload(dataset)
+        for name, expression in workload.items():
+            result = run_query(expression, stream, config.window, query_name=name, dataset=dataset)
+            assert result.completed
+            assert result.num_tuples == config.num_edges

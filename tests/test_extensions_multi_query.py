@@ -1,0 +1,156 @@
+"""Tests for the shared-snapshot multi-query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RAPQEvaluator, StreamingRPQEngine, WindowSpec, sgt
+from repro.extensions.multi_query import SharedSnapshotEngine
+
+from helpers import insert_stream
+
+
+def social_stream():
+    return insert_stream(
+        [
+            (1, "a", "b", "follows"),
+            (2, "b", "c", "mentions"),
+            (3, "c", "d", "follows"),
+            (4, "d", "e", "mentions"),
+            (5, "a", "c", "likes"),
+            (6, "e", "a", "follows"),
+            (20, "b", "d", "follows"),
+            (21, "d", "a", "mentions"),
+        ]
+    )
+
+
+class TestCorrectness:
+    def test_same_answers_as_independent_evaluators(self):
+        window = WindowSpec(size=10, slide=2)
+        queries = {
+            "alt": "(follows mentions)+",
+            "follows": "follows+",
+            "two-hop": "follows mentions",
+        }
+        shared = SharedSnapshotEngine(window)
+        independent = {}
+        for name, expression in queries.items():
+            shared.register(name, expression)
+            independent[name] = RAPQEvaluator(expression, window)
+        for tup in social_stream():
+            shared.process(tup)
+            for evaluator in independent.values():
+                evaluator.process(tup)
+        for name, evaluator in independent.items():
+            assert shared.answer_pairs(name) == evaluator.answer_pairs(), name
+
+    def test_simple_semantics_evaluator(self):
+        shared = SharedSnapshotEngine(WindowSpec(size=100))
+        shared.register("simple", "follows+", semantics="simple")
+        shared.process(sgt(1, "x", "y", "follows"))
+        shared.process(sgt(2, "y", "x", "follows"))
+        assert shared.answer_pairs("simple") == {("x", "y"), ("y", "x")}
+
+    def test_mixed_semantics_share_one_snapshot(self):
+        shared = SharedSnapshotEngine(WindowSpec(size=100))
+        arb = shared.register("arb", "follows+")
+        simple = shared.register("simple", "follows+", semantics="simple")
+        for tup in insert_stream([(1, "x", "y", "follows"), (2, "y", "x", "follows")]):
+            shared.process(tup)
+        assert arb.snapshot is shared.snapshot
+        assert simple.snapshot is shared.snapshot
+        assert shared.answer_pairs("simple") <= shared.answer_pairs("arb")
+
+    def test_deletions_propagate_to_all_queries(self):
+        shared = SharedSnapshotEngine(WindowSpec(size=100))
+        shared.register("q1", "follows")
+        shared.register("q2", "follows+")
+        shared.process(sgt(1, "a", "b", "follows"))
+        shared.process(sgt(2, "a", "b", "follows").as_delete(2))
+        assert shared.evaluator("q1").active_pairs() == set()
+        assert shared.evaluator("q2").active_pairs() == set()
+        assert shared.snapshot.num_edges == 0
+
+
+class TestSharing:
+    def test_snapshot_stored_once(self):
+        shared = SharedSnapshotEngine(WindowSpec(size=100))
+        shared.register("q1", "follows+")
+        shared.register("q2", "follows mentions")
+        for tup in social_stream():
+            shared.process(tup)
+        summary = shared.memory_summary()
+        assert summary["snapshot_edges"] == shared.snapshot.num_edges
+        assert "index_nodes[q1]" in summary and "index_nodes[q2]" in summary
+
+    def test_globally_irrelevant_tuples_dropped_once(self):
+        shared = SharedSnapshotEngine(WindowSpec(size=100))
+        shared.register("q1", "follows")
+        shared.process(sgt(1, "a", "b", "purchased"))
+        assert shared.stats["tuples_dropped_globally"] == 1
+        assert shared.snapshot.num_edges == 0
+
+    def test_label_relevant_to_one_query_reaches_snapshot(self):
+        shared = SharedSnapshotEngine(WindowSpec(size=100))
+        shared.register("q1", "follows")
+        shared.register("q2", "likes")
+        shared.process(sgt(1, "a", "b", "likes"))
+        assert shared.snapshot.num_edges == 1
+        assert shared.answer_pairs("q2") == {("a", "b")}
+        assert shared.answer_pairs("q1") == set()
+
+    def test_query_compilation_shared_for_identical_expressions(self):
+        shared = SharedSnapshotEngine(WindowSpec(size=100))
+        a = shared.register("a", "follows+")
+        b = shared.register("b", "follows+")
+        assert a.analysis is b.analysis
+
+    def test_expiry_happens_once_per_boundary(self):
+        shared = SharedSnapshotEngine(WindowSpec(size=4, slide=2))
+        shared.register("q1", "follows")
+        shared.register("q2", "follows+")
+        shared.process(sgt(1, "a", "b", "follows"))
+        shared.process(sgt(9, "c", "d", "follows"))
+        assert shared.stats["snapshot_expiries"] >= 1
+        assert not shared.snapshot.has_edge("a", "b", "follows")
+
+
+class TestValidation:
+    def test_duplicate_name_rejected(self):
+        shared = SharedSnapshotEngine(WindowSpec(size=10))
+        shared.register("q", "a")
+        with pytest.raises(ValueError):
+            shared.register("q", "b")
+
+    def test_baseline_not_supported(self):
+        shared = SharedSnapshotEngine(WindowSpec(size=10))
+        with pytest.raises(ValueError):
+            shared.register("q", "a", semantics="baseline")
+
+    def test_unknown_query_lookup(self):
+        shared = SharedSnapshotEngine(WindowSpec(size=10))
+        with pytest.raises(KeyError):
+            shared.evaluator("missing")
+
+    def test_timestamps_must_not_go_backwards(self):
+        shared = SharedSnapshotEngine(WindowSpec(size=10))
+        shared.register("q", "a")
+        shared.process(sgt(5, "u", "v", "a"))
+        with pytest.raises(ValueError):
+            shared.process(sgt(3, "u", "w", "a"))
+
+
+class TestComparisonWithStandardEngine:
+    def test_matches_streaming_rpq_engine(self):
+        window = WindowSpec(size=10, slide=2)
+        standard = StreamingRPQEngine(window)
+        shared = SharedSnapshotEngine(window)
+        for name, expression in [("alt", "(follows mentions)+"), ("fol", "follows+")]:
+            standard.register(name, expression)
+            shared.register(name, expression)
+        for tup in social_stream():
+            standard.process(tup)
+            shared.process(tup)
+        for name in ("alt", "fol"):
+            assert standard.query(name).answer_pairs() == shared.answer_pairs(name)

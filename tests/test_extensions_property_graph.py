@@ -1,0 +1,147 @@
+"""Tests for the property-graph extension (attribute predicates on edges)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WindowSpec
+from repro.extensions.property_graph import (
+    EdgePredicate,
+    PropertyEdge,
+    PropertyGraphEngine,
+    PropertyPathQuery,
+)
+from repro.graph.tuples import EdgeOp
+
+
+class TestPropertyEdge:
+    def test_to_tuple_defaults(self):
+        edge = PropertyEdge(5, "a", "b", "knows", {"since": 2019})
+        tup = edge.to_tuple()
+        assert tup.timestamp == 5 and tup.label == "knows" and tup.is_insert
+
+    def test_to_tuple_with_relabel(self):
+        edge = PropertyEdge(5, "a", "b", "knows")
+        assert edge.to_tuple(label="other").label == "other"
+
+    def test_delete_edge(self):
+        edge = PropertyEdge(5, "a", "b", "knows", op=EdgeOp.DELETE)
+        assert edge.to_tuple().is_delete
+
+
+class TestEdgePredicate:
+    def test_matches_only_its_label(self):
+        predicate = EdgePredicate("knows", lambda p: p.get("since", 0) >= 2020)
+        assert predicate.matches(PropertyEdge(1, "a", "b", "likes", {"since": 1999}))
+        assert predicate.matches(PropertyEdge(1, "a", "b", "knows", {"since": 2021}))
+        assert not predicate.matches(PropertyEdge(1, "a", "b", "knows", {"since": 2010}))
+
+    def test_missing_attribute_fails_closed(self):
+        predicate = EdgePredicate("knows", lambda p: p["since"] >= 2020)
+        assert not predicate.matches(PropertyEdge(1, "a", "b", "knows", {}))
+
+    def test_description(self):
+        predicate = EdgePredicate("knows", lambda p: True, description="since >= 2020")
+        assert str(predicate) == "since >= 2020"
+        assert "knows" in str(EdgePredicate("knows", lambda p: True))
+
+
+class TestPropertyPathQuery:
+    def test_predicate_lookup(self):
+        query = PropertyPathQuery("a b", predicates=[EdgePredicate("a", lambda p: True)])
+        assert query.predicate_for("a") is not None
+        assert query.predicate_for("b") is None
+
+    def test_analysis_compiles(self):
+        query = PropertyPathQuery("a b*")
+        assert query.analysis().num_states >= 2
+
+
+class TestPropertyGraphEngine:
+    def make_engine(self):
+        engine = PropertyGraphEngine(WindowSpec(size=100))
+        engine.register(
+            "heavy",
+            PropertyPathQuery(
+                "knows+",
+                predicates=[EdgePredicate("knows", lambda p: p.get("weight", 0) >= 5)],
+            ),
+        )
+        engine.register("all", PropertyPathQuery("knows+"))
+        return engine
+
+    def test_predicate_filters_results(self):
+        engine = self.make_engine()
+        engine.process(PropertyEdge(1, "a", "b", "knows", {"weight": 9}))
+        engine.process(PropertyEdge(2, "b", "c", "knows", {"weight": 1}))
+        assert engine.answer_pairs("heavy") == {("a", "b")}
+        assert engine.answer_pairs("all") == {("a", "b"), ("b", "c"), ("a", "c")}
+
+    def test_filtered_edge_counter(self):
+        engine = self.make_engine()
+        engine.process(PropertyEdge(1, "a", "b", "knows", {"weight": 1}))
+        assert engine.edges_filtered["heavy"] == 1
+        assert engine.edges_filtered["all"] == 0
+
+    def test_transitive_closure_with_predicates(self):
+        engine = self.make_engine()
+        stream = [
+            PropertyEdge(1, "a", "b", "knows", {"weight": 7}),
+            PropertyEdge(2, "b", "c", "knows", {"weight": 8}),
+            PropertyEdge(3, "c", "d", "knows", {"weight": 2}),   # breaks the heavy chain
+            PropertyEdge(4, "d", "e", "knows", {"weight": 9}),
+        ]
+        engine.process_stream(stream)
+        heavy = engine.answer_pairs("heavy")
+        assert ("a", "c") in heavy
+        assert ("a", "d") not in heavy
+        assert ("a", "e") not in heavy
+        assert ("d", "e") in heavy
+
+    def test_simple_semantics_supported(self):
+        engine = PropertyGraphEngine(WindowSpec(size=100))
+        engine.register("simple", PropertyPathQuery("knows+", semantics="simple"))
+        engine.process(PropertyEdge(1, "x", "y", "knows"))
+        engine.process(PropertyEdge(2, "y", "x", "knows"))
+        assert engine.answer_pairs("simple") == {("x", "y"), ("y", "x")}
+
+    def test_duplicate_registration_rejected(self):
+        engine = self.make_engine()
+        with pytest.raises(ValueError):
+            engine.register("heavy", PropertyPathQuery("knows"))
+
+    def test_deregister(self):
+        engine = self.make_engine()
+        engine.deregister("all")
+        assert engine.queries() == ["heavy"]
+        with pytest.raises(KeyError):
+            engine.deregister("all")
+        with pytest.raises(KeyError):
+            engine.answer_pairs("all")
+
+    def test_summary(self):
+        engine = self.make_engine()
+        engine.process(PropertyEdge(1, "a", "b", "knows", {"weight": 1}))
+        summary = engine.summary()
+        assert summary["heavy"]["edges_filtered"] == 1
+        assert summary["all"]["results"] == 1
+
+    def test_results_stream_accessible(self):
+        engine = self.make_engine()
+        engine.process(PropertyEdge(1, "a", "b", "knows", {"weight": 9}))
+        assert len(engine.results("heavy")) == 1
+        with pytest.raises(KeyError):
+            engine.results("missing")
+
+    def test_docstring_example(self):
+        engine = PropertyGraphEngine(WindowSpec(size=100))
+        engine.register(
+            "close-friends",
+            PropertyPathQuery(
+                "follows+",
+                predicates=[EdgePredicate("follows", lambda p: p.get("weight", 0) >= 5)],
+            ),
+        )
+        engine.process(PropertyEdge(1, "a", "b", "follows", {"weight": 9}))
+        engine.process(PropertyEdge(2, "b", "c", "follows", {"weight": 1}))
+        assert engine.answer_pairs("close-friends") == {("a", "b")}

@@ -1,0 +1,126 @@
+"""Unit tests for the window snapshot graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.snapshot import LabeledEdge, SnapshotGraph
+from repro.graph.tuples import sgt
+
+
+@pytest.fixture
+def graph():
+    g = SnapshotGraph()
+    g.insert("a", "b", "knows", 1)
+    g.insert("b", "c", "knows", 2)
+    g.insert("a", "c", "likes", 3)
+    return g
+
+
+class TestInsert:
+    def test_new_edge_returns_true(self):
+        g = SnapshotGraph()
+        assert g.insert("a", "b", "x", 1) is True
+
+    def test_duplicate_edge_returns_false_and_refreshes_timestamp(self):
+        g = SnapshotGraph()
+        g.insert("a", "b", "x", 1)
+        assert g.insert("a", "b", "x", 5) is False
+        assert g.edge_timestamp("a", "b", "x") == 5
+
+    def test_duplicate_with_older_timestamp_keeps_newer(self):
+        g = SnapshotGraph()
+        g.insert("a", "b", "x", 5)
+        g.insert("a", "b", "x", 1)
+        assert g.edge_timestamp("a", "b", "x") == 5
+
+    def test_parallel_edges_with_different_labels(self, graph):
+        graph.insert("a", "b", "likes", 4)
+        assert graph.has_edge("a", "b", "knows")
+        assert graph.has_edge("a", "b", "likes")
+        assert graph.num_edges == 4
+
+    def test_insert_tuple(self):
+        g = SnapshotGraph()
+        assert g.insert_tuple(sgt(7, "x", "y", "follows")) is True
+        assert g.edge_timestamp("x", "y", "follows") == 7
+
+
+class TestDelete:
+    def test_delete_existing(self, graph):
+        assert graph.delete("a", "b", "knows") is True
+        assert not graph.has_edge("a", "b", "knows")
+        assert graph.num_edges == 2
+
+    def test_delete_missing_returns_false(self, graph):
+        assert graph.delete("a", "b", "likes") is False
+        assert graph.num_edges == 3
+
+    def test_delete_cleans_up_vertices(self):
+        g = SnapshotGraph()
+        g.insert("a", "b", "x", 1)
+        g.delete("a", "b", "x")
+        assert g.num_vertices == 0
+        assert list(g.out_edges("a")) == []
+        assert list(g.in_edges("b")) == []
+
+
+class TestExpire:
+    def test_expire_removes_old_edges(self, graph):
+        expired = graph.expire(2)
+        assert {(e.source, e.target) for e in expired} == {("a", "b"), ("b", "c")}
+        assert graph.num_edges == 1
+        assert graph.has_edge("a", "c", "likes")
+
+    def test_expire_boundary_is_inclusive(self):
+        g = SnapshotGraph()
+        g.insert("a", "b", "x", 5)
+        assert len(g.expire(5)) == 1
+
+    def test_expire_nothing(self, graph):
+        assert graph.expire(0) == []
+        assert graph.num_edges == 3
+
+    def test_refreshed_edge_survives_expiry(self):
+        g = SnapshotGraph()
+        g.insert("a", "b", "x", 1)
+        g.insert("a", "b", "x", 10)
+        g.expire(5)
+        assert g.has_edge("a", "b", "x")
+
+
+class TestQueries:
+    def test_out_edges(self, graph):
+        edges = list(graph.out_edges("a"))
+        assert {(e.target, e.label) for e in edges} == {("b", "knows"), ("c", "likes")}
+        assert all(isinstance(e, LabeledEdge) for e in edges)
+
+    def test_in_edges(self, graph):
+        edges = list(graph.in_edges("c"))
+        assert {(e.source, e.label) for e in edges} == {("b", "knows"), ("a", "likes")}
+
+    def test_edges_iterates_all(self, graph):
+        assert len(list(graph.edges())) == 3
+
+    def test_vertices(self, graph):
+        assert graph.vertices() == {"a", "b", "c"}
+        assert graph.num_vertices == 3
+
+    def test_labels(self, graph):
+        assert graph.labels() == {"knows", "likes"}
+
+    def test_contains_and_len(self, graph):
+        assert ("a", "b", "knows") in graph
+        assert ("a", "b", "likes") not in graph
+        assert len(graph) == 3
+
+    def test_out_edges_of_unknown_vertex(self, graph):
+        assert list(graph.out_edges("zzz")) == []
+
+    def test_clear(self, graph):
+        graph.clear()
+        assert len(graph) == 0
+        assert graph.num_vertices == 0
+
+    def test_str(self, graph):
+        assert "|E|=3" in str(graph)

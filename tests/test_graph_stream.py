@@ -1,0 +1,130 @@
+"""Unit tests for streaming graph sources and stream transformations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.stream import (
+    GeneratorStream,
+    ListStream,
+    merge_streams,
+    read_csv,
+    with_deletions,
+    write_csv,
+)
+from repro.graph.tuples import EdgeOp, sgt
+
+
+def make_stream(n=10, label="x"):
+    return [sgt(i + 1, f"v{i}", f"v{i+1}", label) for i in range(n)]
+
+
+class TestListStream:
+    def test_iterates_in_order(self):
+        tuples = make_stream(5)
+        stream = ListStream(tuples)
+        assert list(stream) == tuples
+
+    def test_len_and_getitem(self):
+        stream = ListStream(make_stream(4))
+        assert len(stream) == 4
+        assert stream[0].timestamp == 1
+
+    def test_rejects_out_of_order(self):
+        with pytest.raises(ValueError):
+            ListStream([sgt(5, "a", "b", "x"), sgt(3, "c", "d", "x")])
+
+    def test_allows_equal_timestamps(self):
+        ListStream([sgt(3, "a", "b", "x"), sgt(3, "c", "d", "x")])
+
+    def test_take(self):
+        stream = ListStream(make_stream(10))
+        assert len(stream.take(3)) == 3
+        assert len(stream.take(100)) == 10
+
+    def test_filter_labels(self):
+        tuples = [sgt(1, "a", "b", "x"), sgt(2, "a", "b", "y"), sgt(3, "a", "b", "x")]
+        filtered = list(ListStream(tuples).filter_labels({"x"}))
+        assert len(filtered) == 2
+        assert all(t.label == "x" for t in filtered)
+
+
+class TestGeneratorStream:
+    def test_wraps_iterable(self):
+        tuples = make_stream(3)
+        assert list(GeneratorStream(iter(tuples))) == tuples
+
+    def test_factory_allows_multiple_iterations(self):
+        tuples = make_stream(3)
+        stream = GeneratorStream(lambda: iter(tuples))
+        assert list(stream) == tuples
+        assert list(stream) == tuples
+
+
+class TestMergeStreams:
+    def test_merges_by_timestamp(self):
+        a = ListStream([sgt(1, "a", "b", "x"), sgt(5, "a", "b", "x")])
+        b = ListStream([sgt(2, "c", "d", "y"), sgt(4, "c", "d", "y")])
+        merged = merge_streams(a, b)
+        assert [t.timestamp for t in merged] == [1, 2, 4, 5]
+
+
+class TestWithDeletions:
+    def test_zero_ratio_is_identity(self):
+        tuples = make_stream(10)
+        assert with_deletions(tuples, 0.0) == tuples
+
+    def test_ratio_one_deletes_everything(self):
+        tuples = make_stream(10)
+        output = with_deletions(tuples, 1.0)
+        deletes = [t for t in output if t.is_delete]
+        inserts = [t for t in output if t.is_insert]
+        assert len(inserts) == 10
+        assert len(deletes) == 10
+
+    def test_deletions_follow_their_insertions(self):
+        tuples = make_stream(20)
+        output = with_deletions(tuples, 0.5, seed=3)
+        seen = set()
+        for tup in output:
+            key = (tup.source, tup.target, tup.label)
+            if tup.is_delete:
+                assert key in seen, "deletion emitted before its insertion"
+            else:
+                seen.add(key)
+
+    def test_timestamps_non_decreasing(self):
+        output = with_deletions(make_stream(30), 0.3, seed=5)
+        stamps = [t.timestamp for t in output]
+        assert stamps == sorted(stamps)
+
+    def test_deterministic_given_seed(self):
+        tuples = make_stream(30)
+        assert with_deletions(tuples, 0.3, seed=9) == with_deletions(tuples, 0.3, seed=9)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            with_deletions(make_stream(3), 1.5)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        tuples = make_stream(7) + [sgt(8, "v0", "v1", "x", EdgeOp.DELETE)]
+        path = tmp_path / "stream.csv"
+        written = write_csv(path, tuples)
+        assert written == 8
+        replayed = read_csv(path)
+        assert list(replayed) == tuples
+
+    def test_vertex_type_conversion(self, tmp_path):
+        tuples = [sgt(1, 10, 20, "x"), sgt(2, 20, 30, "x")]
+        path = tmp_path / "ints.csv"
+        write_csv(path, tuples)
+        replayed = read_csv(path, vertex_type=int)
+        assert list(replayed) == tuples
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a,stream,file,at-all\n1,2,3,4,5\n")
+        with pytest.raises(ValueError):
+            read_csv(path)

@@ -1,0 +1,73 @@
+"""Unit tests for streaming graph tuples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.tuples import EdgeOp, StreamingGraphTuple, sgt
+
+
+class TestConstruction:
+    def test_sgt_shorthand(self):
+        tup = sgt(5, "a", "b", "knows")
+        assert tup.timestamp == 5
+        assert tup.source == "a"
+        assert tup.target == "b"
+        assert tup.label == "knows"
+        assert tup.op is EdgeOp.INSERT
+
+    def test_edge_property(self):
+        assert sgt(1, "u", "v", "l").edge == ("u", "v")
+
+    def test_is_insert_and_delete(self):
+        insert = sgt(1, "u", "v", "l")
+        delete = sgt(2, "u", "v", "l", EdgeOp.DELETE)
+        assert insert.is_insert and not insert.is_delete
+        assert delete.is_delete and not delete.is_insert
+
+    def test_frozen(self):
+        tup = sgt(1, "u", "v", "l")
+        with pytest.raises(AttributeError):
+            tup.timestamp = 2  # type: ignore[misc]
+
+
+class TestOrdering:
+    def test_sorts_by_timestamp(self):
+        tuples = [sgt(3, "a", "b", "x"), sgt(1, "c", "d", "x"), sgt(2, "e", "f", "x")]
+        ordered = sorted(tuples)
+        assert [t.timestamp for t in ordered] == [1, 2, 3]
+
+    def test_equality(self):
+        assert sgt(1, "a", "b", "x") == sgt(1, "a", "b", "x")
+        assert sgt(1, "a", "b", "x") != sgt(1, "a", "b", "y")
+
+
+class TestAsDelete:
+    def test_builds_negative_tuple(self):
+        original = sgt(5, "u", "v", "likes")
+        negative = original.as_delete(9)
+        assert negative.timestamp == 9
+        assert negative.edge == original.edge
+        assert negative.label == original.label
+        assert negative.is_delete
+
+    def test_original_unchanged(self):
+        original = sgt(5, "u", "v", "likes")
+        original.as_delete(9)
+        assert original.is_insert
+
+
+class TestEdgeOp:
+    def test_str_values(self):
+        assert str(EdgeOp.INSERT) == "+"
+        assert str(EdgeOp.DELETE) == "-"
+
+    def test_roundtrip_from_value(self):
+        assert EdgeOp("+") is EdgeOp.INSERT
+        assert EdgeOp("-") is EdgeOp.DELETE
+
+
+class TestStr:
+    def test_readable(self):
+        text = str(sgt(7, "u", "v", "knows"))
+        assert "7" in text and "knows" in text and "u" in text and "v" in text

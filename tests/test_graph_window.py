@@ -1,0 +1,94 @@
+"""Unit tests for time-based sliding windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.window import SlidingWindow, WindowSpec
+
+
+class TestWindowSpec:
+    def test_window_end_aligns_to_slide(self):
+        spec = WindowSpec(size=15, slide=5)
+        assert spec.window_end(17) == 15
+        assert spec.window_end(20) == 20
+
+    def test_window_begin(self):
+        spec = WindowSpec(size=15, slide=5)
+        assert spec.window_begin(20) == 5
+
+    def test_contains(self):
+        spec = WindowSpec(size=10, slide=1)
+        assert spec.contains(15, now=20)
+        assert not spec.contains(10, now=20)  # open lower bound
+        assert spec.contains(20, now=20)
+        assert not spec.contains(21, now=20)
+
+    def test_expiry_watermark(self):
+        assert WindowSpec(size=15, slide=1).expiry_watermark(18) == 3
+
+    def test_slide_one_by_default(self):
+        assert WindowSpec(size=5).slide == 1
+
+    @pytest.mark.parametrize("size, slide", [(0, 1), (-3, 1), (5, 0), (5, -1), (5, 6)])
+    def test_invalid_specs_rejected(self, size, slide):
+        with pytest.raises(ValueError):
+            WindowSpec(size=size, slide=slide)
+
+
+class TestSlidingWindow:
+    def test_first_observation_crosses_nothing(self):
+        window = SlidingWindow(WindowSpec(size=10, slide=5))
+        assert window.observe(7) == []
+        assert window.current_time == 7
+
+    def test_crossing_single_boundary(self):
+        window = SlidingWindow(WindowSpec(size=10, slide=5))
+        window.observe(4)
+        assert window.observe(6) == [5]
+
+    def test_crossing_multiple_boundaries_at_once(self):
+        window = SlidingWindow(WindowSpec(size=20, slide=5))
+        window.observe(3)
+        assert window.observe(18) == [5, 10, 15]
+
+    def test_no_boundary_within_same_slide(self):
+        window = SlidingWindow(WindowSpec(size=10, slide=5))
+        window.observe(6)
+        assert window.observe(8) == []
+
+    def test_rejects_time_going_backwards(self):
+        window = SlidingWindow(WindowSpec(size=10, slide=5))
+        window.observe(6)
+        with pytest.raises(ValueError):
+            window.observe(5)
+
+    def test_valid(self):
+        window = SlidingWindow(WindowSpec(size=10, slide=1))
+        window.observe(20)
+        assert window.valid(15)
+        assert not window.valid(10)
+        assert window.valid(11)
+
+    def test_valid_before_any_observation(self):
+        window = SlidingWindow(WindowSpec(size=10, slide=1))
+        assert not window.valid(5)
+
+    def test_expiry_watermark_requires_observation(self):
+        window = SlidingWindow(WindowSpec(size=10, slide=1))
+        with pytest.raises(RuntimeError):
+            window.expiry_watermark()
+        window.observe(25)
+        assert window.expiry_watermark() == 15
+
+    def test_reset(self):
+        window = SlidingWindow(WindowSpec(size=10, slide=5))
+        window.observe(12)
+        window.reset()
+        assert window.current_time is None
+        assert window.observe(3) == []
+
+    def test_properties(self):
+        window = SlidingWindow(WindowSpec(size=10, slide=5))
+        assert window.size == 10
+        assert window.slide == 5

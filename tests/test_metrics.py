@@ -1,0 +1,138 @@
+"""Tests for the metric collectors and text reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.collectors import CounterSeries, LatencyCollector, ThroughputMeter, percentile
+from repro.metrics.reporting import Figure, format_mapping, format_series, format_table
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([42.0], 0.99) == 42.0
+
+    def test_median_of_even_count(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_extremes(self):
+        samples = [5.0, 1.0, 3.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 5.0
+
+    def test_p99_close_to_max(self):
+        samples = list(range(1, 101))
+        assert 99.0 <= percentile(samples, 0.99) <= 100.0
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 0.5) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestLatencyCollector:
+    def test_record_and_summary(self):
+        collector = LatencyCollector()
+        collector.extend([0.001, 0.002, 0.003, 0.010])
+        assert len(collector) == 4
+        assert collector.mean() == pytest.approx(0.004)
+        assert collector.mean_us() == pytest.approx(4000.0)
+        assert collector.tail(0.99) <= 0.010
+        summary = collector.summary()
+        assert summary["count"] == 4
+        assert summary["throughput_eps"] == pytest.approx(4 / 0.016)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyCollector().record(-0.1)
+
+    def test_empty_collector_errors(self):
+        collector = LatencyCollector()
+        with pytest.raises(ValueError):
+            collector.mean()
+        with pytest.raises(ValueError):
+            collector.throughput()
+
+    def test_samples_copy(self):
+        collector = LatencyCollector()
+        collector.record(0.5)
+        samples = collector.samples
+        samples.append(99.0)
+        assert len(collector) == 1
+
+
+class TestThroughputMeter:
+    def test_edges_per_second(self):
+        meter = ThroughputMeter()
+        meter.record_batch(100, 2.0)
+        meter.record_batch(100, 2.0)
+        assert meter.edges_per_second() == pytest.approx(50.0)
+
+    def test_requires_elapsed_time(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter().edges_per_second()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter().record_batch(-1, 1.0)
+
+
+class TestCounterSeries:
+    def test_record_and_stats(self):
+        series = CounterSeries("nodes")
+        for value in (1, 5, 3):
+            series.record(value)
+        assert len(series) == 3
+        assert series.last() == 3
+        assert series.max() == 5
+        assert series.mean() == 3
+
+    def test_empty_series(self):
+        series = CounterSeries("empty")
+        assert series.last() is None
+        with pytest.raises(ValueError):
+            series.max()
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["alpha", 1], ["b", 123456.789]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert len(lines) == 4
+
+    def test_format_table_with_title(self):
+        text = format_table(["a"], [[1]], title="My table")
+        assert text.startswith("My table")
+
+    def test_format_series(self):
+        text = format_series("x", {"s1": {1: 10.0, 2: 20.0}, "s2": {1: 5.0}})
+        assert "s1" in text and "s2" in text
+        assert "10" in text
+
+    def test_format_mapping(self):
+        text = format_mapping({"alpha": 1, "beta": 2.5}, title="Params")
+        assert "alpha" in text and "2.5" in text and "Params" in text
+
+
+class TestFigure:
+    def test_add_and_get(self):
+        figure = Figure("Figure X", "query")
+        figure.add_point("throughput", "Q1", 100.0)
+        figure.add_series("latency", {"Q1": 5.0, "Q2": 7.0})
+        assert figure.get("throughput") == {"Q1": 100.0}
+        assert figure.get("latency")["Q2"] == 7.0
+        assert figure.get("missing") == {}
+
+    def test_render_contains_everything(self):
+        figure = Figure("Figure X", "query", description="demo")
+        figure.add_point("throughput", "Q1", 100.0)
+        text = figure.render()
+        assert "Figure X" in text and "Q1" in text and "throughput" in text
+        assert str(figure) == text

@@ -1,0 +1,108 @@
+"""Property-based tests for the regex/automaton substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.analysis import suffix_containment_matrix
+from repro.regex.ast import Alternation, Concat, Label, Optional, Plus, RegexNode, Star
+from repro.regex.dfa import compile_query, determinize
+from repro.regex.nfa import build_nfa
+from repro.regex.parser import parse
+
+ALPHABET = ["a", "b", "c"]
+
+
+def regex_nodes(max_depth: int = 3) -> st.SearchStrategy[RegexNode]:
+    """Random regular expressions over a three-letter alphabet."""
+    labels = st.sampled_from(ALPHABET).map(Label)
+
+    def extend(children: st.SearchStrategy[RegexNode]) -> st.SearchStrategy[RegexNode]:
+        return st.one_of(
+            st.tuples(children, children).map(lambda pair: Concat(*pair)),
+            st.tuples(children, children).map(lambda pair: Alternation(*pair)),
+            children.map(Star),
+            children.map(Plus),
+            children.map(Optional),
+        )
+
+    return st.recursive(labels, extend, max_leaves=6)
+
+
+def short_words(max_length: int = 4):
+    for length in range(max_length + 1):
+        yield from itertools.product(ALPHABET, repeat=length)
+
+
+@settings(max_examples=60, deadline=None)
+@given(regex_nodes())
+def test_nfa_and_minimal_dfa_accept_the_same_language(node):
+    nfa = build_nfa(node)
+    dfa = compile_query(node)
+    for word in short_words(4):
+        assert dfa.accepts(word) == nfa.accepts(word), (node, word)
+
+
+@settings(max_examples=60, deadline=None)
+@given(regex_nodes())
+def test_minimization_never_grows_the_automaton(node):
+    raw = determinize(build_nfa(node))
+    minimal = raw.minimize()
+    assert minimal.num_states <= raw.num_states
+
+
+@settings(max_examples=60, deadline=None)
+@given(regex_nodes())
+def test_minimization_is_idempotent(node):
+    minimal = compile_query(node)
+    assert minimal.minimize().num_states == minimal.num_states
+
+
+@settings(max_examples=60, deadline=None)
+@given(regex_nodes())
+def test_rendered_expression_reparses_to_same_language(node):
+    """str(ast) must parse back to an expression with the same language."""
+    reparsed = parse(str(node))
+    original_dfa = compile_query(node)
+    reparsed_dfa = compile_query(reparsed)
+    for word in short_words(4):
+        assert original_dfa.accepts(word) == reparsed_dfa.accepts(word), (node, word)
+
+
+@settings(max_examples=60, deadline=None)
+@given(regex_nodes())
+def test_nullable_agrees_with_automaton_empty_word(node):
+    dfa = compile_query(node)
+    assert node.nullable() == dfa.accepts([])
+
+
+@settings(max_examples=40, deadline=None)
+@given(regex_nodes())
+def test_suffix_containment_is_sound(node):
+    """If [s] contains [t], every short word accepted from t is accepted from s."""
+    dfa = compile_query(node)
+    if dfa.num_states > 6:
+        return  # keep the brute-force verification cheap
+    matrix = suffix_containment_matrix(dfa)
+    for s in dfa.states:
+        for t in dfa.states:
+            if not matrix[(s, t)]:
+                continue
+            for word in short_words(4):
+                accepted_from_t = dfa.extended_delta(t, word) in dfa.finals \
+                    if dfa.extended_delta(t, word) is not None else False
+                accepted_from_s = dfa.extended_delta(s, word) in dfa.finals \
+                    if dfa.extended_delta(s, word) is not None else False
+                if accepted_from_t:
+                    assert accepted_from_s, (node, s, t, word)
+
+
+@settings(max_examples=60, deadline=None)
+@given(regex_nodes())
+def test_query_size_counts_labels_and_recursion(node):
+    """size() equals #labels plus #stars/pluses (the paper's |Q_R|)."""
+    labels = sum(1 for n in node.walk() if isinstance(n, Label))
+    stars = sum(1 for n in node.walk() if isinstance(n, (Star, Plus)))
+    assert node.size() == labels + stars

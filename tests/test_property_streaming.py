@@ -1,0 +1,123 @@
+"""Property-based tests for the streaming evaluators (hypothesis).
+
+The central invariant: under the implicit window model, the set of distinct
+pairs produced by the incremental algorithms over a stream equals the union
+over all arrival timestamps of the batch answer on the corresponding window
+snapshot (the streaming oracle).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro import RAPQEvaluator, RSPQEvaluator, WindowSpec
+from repro.graph.tuples import EdgeOp, StreamingGraphTuple
+from repro.regex.dfa import compile_query
+
+from helpers import streaming_oracle
+
+VERTICES = ["v0", "v1", "v2", "v3", "v4"]
+LABELS = ["a", "b"]
+
+#: Query pool mixing conflict-free and conflict-prone shapes.
+QUERIES = ["a", "a b", "a+", "a*", "(a b)+", "a b*", "a* b*", "(a | b)+", "a | b a"]
+
+
+@st.composite
+def small_streams(draw, max_edges: int = 22) -> List[StreamingGraphTuple]:
+    """Random small insertion-only streams with non-decreasing timestamps."""
+    count = draw(st.integers(min_value=1, max_value=max_edges))
+    tuples: List[StreamingGraphTuple] = []
+    timestamp = 0
+    for _ in range(count):
+        timestamp += draw(st.integers(min_value=0, max_value=3))
+        source = draw(st.sampled_from(VERTICES))
+        target = draw(st.sampled_from([v for v in VERTICES if v != source]))
+        label = draw(st.sampled_from(LABELS))
+        tuples.append(StreamingGraphTuple(max(timestamp, 1), source, target, label))
+    return tuples
+
+
+@st.composite
+def windows(draw) -> WindowSpec:
+    size = draw(st.integers(min_value=2, max_value=12))
+    slide = draw(st.integers(min_value=1, max_value=size))
+    return WindowSpec(size=size, slide=slide)
+
+
+@settings(max_examples=80, deadline=None)
+@given(stream=small_streams(), window=windows(), query=st.sampled_from(QUERIES))
+def test_rapq_matches_streaming_oracle(stream, window, query):
+    evaluator = RAPQEvaluator(query, window)
+    evaluator.process_stream(stream)
+    expected = streaming_oracle(stream, compile_query(query), window.size)
+    assert evaluator.answer_pairs() == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=small_streams(max_edges=14), window=windows(), query=st.sampled_from(QUERIES))
+def test_rspq_matches_simple_path_oracle(stream, window, query):
+    evaluator = RSPQEvaluator(query, window, max_nodes_per_tree=100_000)
+    evaluator.process_stream(stream)
+    expected = streaming_oracle(stream, compile_query(query), window.size, simple_paths=True)
+    assert evaluator.answer_pairs() == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(stream=small_streams(max_edges=14), window=windows(), query=st.sampled_from(QUERIES))
+def test_simple_path_results_are_a_subset_of_arbitrary(stream, window, query):
+    rapq = RAPQEvaluator(query, window)
+    rspq = RSPQEvaluator(query, window, max_nodes_per_tree=100_000)
+    rapq.process_stream(stream)
+    rspq.process_stream(stream)
+    assert rspq.answer_pairs() <= rapq.answer_pairs()
+
+
+@settings(max_examples=50, deadline=None)
+@given(stream=small_streams(), window=windows(), query=st.sampled_from(QUERIES))
+def test_results_are_monotone_over_time(stream, window, query):
+    """Processing a prefix of the stream never yields pairs missing from the full run."""
+    evaluator_full = RAPQEvaluator(query, window)
+    evaluator_full.process_stream(stream)
+    prefix = stream[: len(stream) // 2]
+    evaluator_prefix = RAPQEvaluator(query, window)
+    evaluator_prefix.process_stream(prefix)
+    assert evaluator_prefix.answer_pairs() <= evaluator_full.answer_pairs()
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=small_streams(), window=windows(), query=st.sampled_from(["a", "a+", "(a b)+"]))
+def test_beta_does_not_change_the_answer_set(stream, window, query):
+    """The slide interval controls cleanup frequency only, never the answers."""
+    eager = RAPQEvaluator(query, WindowSpec(size=window.size, slide=1))
+    lazy = RAPQEvaluator(query, WindowSpec(size=window.size, slide=window.size))
+    eager.process_stream(stream)
+    lazy.process_stream(stream)
+    assert eager.answer_pairs() == lazy.answer_pairs()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    stream=small_streams(max_edges=16),
+    window=windows(),
+    query=st.sampled_from(["a", "a+", "a b"]),
+    data=st.data(),
+)
+def test_deletions_keep_active_pairs_within_reported_pairs(stream, window, query, data):
+    """With explicit deletions mixed in, the active view stays inside the
+    reported set and the reported set still matches the insert-only oracle of
+    the effective stream."""
+    # interleave deletions of previously inserted edges
+    augmented: List[StreamingGraphTuple] = []
+    inserted: List[StreamingGraphTuple] = []
+    for tup in stream:
+        augmented.append(tup)
+        inserted.append(tup)
+        if inserted and data.draw(st.booleans(), label="delete_here"):
+            victim = data.draw(st.sampled_from(inserted), label="victim")
+            augmented.append(victim.as_delete(tup.timestamp))
+    evaluator = RAPQEvaluator(query, window)
+    evaluator.process_stream(augmented)
+    assert evaluator.active_pairs() <= evaluator.answer_pairs()

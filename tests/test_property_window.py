@@ -1,0 +1,125 @@
+"""Property-based tests for the window substrate (snapshot graph and windows)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.snapshot import SnapshotGraph
+from repro.graph.stream import with_deletions
+from repro.graph.tuples import StreamingGraphTuple
+from repro.graph.window import SlidingWindow, WindowSpec
+
+VERTICES = ["a", "b", "c", "d"]
+LABELS = ["x", "y"]
+
+
+@st.composite
+def edge_operations(draw, max_ops: int = 40):
+    """A random sequence of insert/delete/expire operations on a snapshot."""
+    count = draw(st.integers(min_value=1, max_value=max_ops))
+    operations = []
+    timestamp = 0
+    for _ in range(count):
+        timestamp += draw(st.integers(min_value=0, max_value=3))
+        kind = draw(st.sampled_from(["insert", "insert", "insert", "delete", "expire"]))
+        source = draw(st.sampled_from(VERTICES))
+        target = draw(st.sampled_from(VERTICES))
+        label = draw(st.sampled_from(LABELS))
+        operations.append((kind, timestamp, source, target, label))
+    return operations
+
+
+def reference_state(operations) -> dict:
+    """Trivially correct model of the snapshot: a dict of live edges."""
+    live = {}
+    for kind, timestamp, source, target, label in operations:
+        key = (source, target, label)
+        if kind == "insert":
+            live[key] = max(live.get(key, timestamp), timestamp)
+        elif kind == "delete":
+            live.pop(key, None)
+        elif kind == "expire":
+            watermark = timestamp - 5
+            live = {k: ts for k, ts in live.items() if ts > watermark}
+    return live
+
+
+@settings(max_examples=120, deadline=None)
+@given(edge_operations())
+def test_snapshot_matches_reference_model(operations):
+    snapshot = SnapshotGraph()
+    for kind, timestamp, source, target, label in operations:
+        if kind == "insert":
+            snapshot.insert(source, target, label, timestamp)
+        elif kind == "delete":
+            snapshot.delete(source, target, label)
+        elif kind == "expire":
+            snapshot.expire(timestamp - 5)
+    expected = reference_state(operations)
+    actual = {(e.source, e.target, e.label): e.timestamp for e in snapshot.edges()}
+    assert actual == expected
+
+
+@settings(max_examples=120, deadline=None)
+@given(edge_operations())
+def test_snapshot_in_and_out_edges_are_consistent(operations):
+    snapshot = SnapshotGraph()
+    for kind, timestamp, source, target, label in operations:
+        if kind == "insert":
+            snapshot.insert(source, target, label, timestamp)
+        elif kind == "delete":
+            snapshot.delete(source, target, label)
+        elif kind == "expire":
+            snapshot.expire(timestamp - 5)
+    forward = {(e.source, e.target, e.label, e.timestamp) for e in snapshot.edges()}
+    backward = {
+        (e.source, e.target, e.label, e.timestamp)
+        for vertex in snapshot.vertices()
+        for e in snapshot.in_edges(vertex)
+    }
+    assert forward == backward
+    assert len(forward) == snapshot.num_edges
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    timestamps=st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=50),
+    size=st.integers(min_value=1, max_value=30),
+    slide_fraction=st.integers(min_value=1, max_value=10),
+)
+def test_sliding_window_boundaries_are_monotone_and_aligned(timestamps, size, slide_fraction):
+    slide = max(1, size // slide_fraction)
+    window = SlidingWindow(WindowSpec(size=size, slide=slide))
+    previous_boundary = None
+    for timestamp in sorted(timestamps):
+        crossed = window.observe(timestamp)
+        for boundary in crossed:
+            assert boundary % slide == 0
+            if previous_boundary is not None:
+                assert boundary > previous_boundary
+            previous_boundary = boundary
+        # under eager evaluation the newest tuple is always valid w.r.t. the
+        # watermark tau - |W| (the formal window interval of Definition 5 only
+        # advances at slide boundaries, so spec.contains() may lag behind)
+        assert window.valid(timestamp)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    count=st.integers(min_value=1, max_value=40),
+    ratio=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_with_deletions_preserves_insertions_and_order(count, ratio, seed):
+    stream = [
+        StreamingGraphTuple(i + 1, f"v{i % 5}", f"v{(i + 1) % 5}", "x") for i in range(count)
+    ]
+    augmented = with_deletions(stream, ratio, seed=seed)
+    inserts = [t for t in augmented if t.is_insert]
+    deletes = [t for t in augmented if t.is_delete]
+    assert inserts == stream
+    assert len(deletes) <= count
+    stamps = [t.timestamp for t in augmented]
+    assert stamps == sorted(stamps)

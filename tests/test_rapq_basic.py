@@ -1,0 +1,205 @@
+"""Tests for Algorithm RAPQ on append-only streams (§3.1).
+
+Includes the paper's running example (Figure 1 / Example 3.1) and a set of
+hand-constructed streams whose answers are verified against the batch
+oracle and the union-over-windows streaming oracle.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import RAPQEvaluator, WindowSpec, sgt
+from repro.regex.dfa import compile_query
+
+from helpers import insert_stream, streaming_oracle
+
+
+class TestFigure1Example:
+    def test_results_match_paper(self, figure1_stream, figure1_query, figure1_window):
+        evaluator = RAPQEvaluator(figure1_query, figure1_window)
+        reported_at = {}
+        for tup in figure1_stream:
+            for pair in evaluator.process(tup):
+                reported_at.setdefault(pair, tup.timestamp)
+        # The paper highlights that (x, y) is connected at t = 18.
+        assert reported_at.get(("x", "y")) == 18
+        # (x, u) is already connected at t = 13 through <x,y,u> wait no:
+        # x -follows-> y (t=13), y -mentions-> u (t=4): both in the window.
+        assert reported_at.get(("x", "u")) == 13
+
+    def test_answer_set_matches_streaming_oracle(self, figure1_stream, figure1_query, figure1_window):
+        evaluator = RAPQEvaluator(figure1_query, figure1_window)
+        evaluator.process_stream(figure1_stream)
+        dfa = compile_query(figure1_query)
+        expected = streaming_oracle(figure1_stream, dfa, figure1_window.size)
+        assert evaluator.answer_pairs() == expected
+
+    def test_spanning_tree_shape_at_t18(self, figure1_stream, figure1_query, figure1_window):
+        """Example 3.1: the tree rooted at (x, 0) contains the nodes of Figure 2(a)."""
+        evaluator = RAPQEvaluator(figure1_query, figure1_window)
+        for tup in figure1_stream:
+            if tup.timestamp > 18:
+                break
+            evaluator.process(tup)
+        tree = evaluator.index.get("x")
+        assert tree is not None
+        keys = set(tree.node_keys())
+        # The product-graph nodes reachable from (x, s0) by t = 18 involve the
+        # vertices x, y, z, u and v (w is only reachable via two consecutive
+        # 'follows' edges, which the automaton does not allow).  We check
+        # vertex membership rather than raw state numbers because
+        # minimization may renumber states.
+        vertices_in_tree = {vertex for vertex, _ in keys}
+        assert vertices_in_tree == {"x", "y", "z", "u", "v"}
+        # The paper's Figure 2(a) draws (y, accepting) with path timestamp 4
+        # (through the edge y->u at t=4).  Our implementation additionally
+        # propagates timestamp refreshes, so the node carries the *freshest*
+        # derivation <x,z,u,v,y> whose oldest edge is (x,z) at t=6 — a valid
+        # path timestamp in the window (6 > 18 - 15).
+        accepting_states = evaluator.dfa.finals
+        y_final_nodes = [tree.get((v, s)) for (v, s) in keys if v == "y" and s in accepting_states]
+        assert y_final_nodes and y_final_nodes[0].timestamp == 6
+
+
+class TestBasicCorrectness:
+    def test_single_edge_query(self):
+        evaluator = RAPQEvaluator("knows", WindowSpec(size=10))
+        assert evaluator.process(sgt(1, "a", "b", "knows")) == [("a", "b")]
+        assert evaluator.answer_pairs() == {("a", "b")}
+
+    def test_two_hop_concatenation(self):
+        evaluator = RAPQEvaluator("a b", WindowSpec(size=10))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        new = evaluator.process(sgt(2, "v", "w", "b"))
+        assert ("u", "w") in new
+        assert evaluator.answer_pairs() == {("u", "w")}
+
+    def test_out_of_order_edge_arrival_still_finds_path(self):
+        """The second hop may arrive before the first (Algorithm Insert line 8)."""
+        evaluator = RAPQEvaluator("a b", WindowSpec(size=10))
+        evaluator.process(sgt(1, "v", "w", "b"))
+        new = evaluator.process(sgt(2, "u", "v", "a"))
+        assert ("u", "w") in new
+
+    def test_kleene_star_transitive_closure(self):
+        evaluator = RAPQEvaluator("knows+", WindowSpec(size=100))
+        stream = insert_stream([(i, f"p{i}", f"p{i+1}", "knows") for i in range(1, 6)])
+        evaluator.process_stream(stream)
+        pairs = evaluator.answer_pairs()
+        # every ordered pair (p_i, p_j) with i < j along the chain
+        expected = {(f"p{i}", f"p{j}") for i in range(1, 7) for j in range(i + 1, 7)}
+        assert pairs == expected
+
+    def test_cycle_under_arbitrary_semantics(self):
+        evaluator = RAPQEvaluator("a+", WindowSpec(size=100))
+        stream = insert_stream([(1, "x", "y", "a"), (2, "y", "x", "a")])
+        evaluator.process_stream(stream)
+        assert evaluator.answer_pairs() == {("x", "y"), ("y", "x"), ("x", "x"), ("y", "y")}
+
+    def test_irrelevant_labels_are_discarded(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=10))
+        evaluator.process(sgt(1, "u", "v", "zzz"))
+        assert evaluator.stats["tuples_discarded"] == 1
+        assert evaluator.stats["tuples_processed"] == 0
+        assert evaluator.answer_pairs() == set()
+        assert evaluator.snapshot.num_edges == 0
+
+    def test_duplicate_edges_do_not_duplicate_results(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=10))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        again = evaluator.process(sgt(2, "u", "v", "a"))
+        assert again == []
+        assert len(evaluator.results) == 1
+
+    def test_empty_word_queries_do_not_report_trivial_pairs(self):
+        """a* accepts the empty word but the algorithms report only paths >= 1 edge."""
+        evaluator = RAPQEvaluator("a*", WindowSpec(size=10))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        assert ("u", "u") not in evaluator.answer_pairs()
+        assert ("v", "v") not in evaluator.answer_pairs()
+        assert ("u", "v") in evaluator.answer_pairs()
+
+    def test_alternation_query(self):
+        evaluator = RAPQEvaluator("a | b", WindowSpec(size=10))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(2, "v", "w", "b"))
+        assert evaluator.answer_pairs() == {("u", "v"), ("v", "w")}
+
+    def test_optional_prefix_query(self):
+        evaluator = RAPQEvaluator("a? b", WindowSpec(size=10))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(2, "v", "w", "b"))
+        evaluator.process(sgt(3, "x", "y", "b"))
+        assert evaluator.answer_pairs() == {("u", "w"), ("v", "w"), ("x", "y")}
+
+    def test_timestamps_must_be_non_decreasing(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=10))
+        evaluator.process(sgt(5, "u", "v", "a"))
+        with pytest.raises(ValueError):
+            evaluator.process(sgt(4, "v", "w", "a"))
+
+
+class TestWindowSemantics:
+    def test_edges_too_far_apart_do_not_join(self):
+        """Two edges more than |W| apart never form a result path (Definition 9)."""
+        evaluator = RAPQEvaluator("a b", WindowSpec(size=5, slide=1))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(10, "v", "w", "b"))
+        assert evaluator.answer_pairs() == set()
+
+    def test_edges_within_window_join(self):
+        evaluator = RAPQEvaluator("a b", WindowSpec(size=5, slide=1))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(5, "v", "w", "b"))
+        assert evaluator.answer_pairs() == {("u", "w")}
+
+    def test_results_are_monotone_across_windows(self):
+        """Implicit windows: results reported in earlier windows remain reported."""
+        evaluator = RAPQEvaluator("a", WindowSpec(size=3, slide=1))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(50, "p", "q", "a"))
+        assert evaluator.answer_pairs() == {("u", "v"), ("p", "q")}
+
+    def test_path_respects_window_at_join_time(self):
+        """A stale first hop cannot be joined with a fresh second hop.
+
+        With |W| = 4 the window at time 6 is the interval (2, 6]: the edge at
+        timestamp 3 is still inside, the edges at timestamps 1 and 2 are not.
+        """
+        evaluator = RAPQEvaluator("a b", WindowSpec(size=4, slide=1))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(2, "p", "q", "a"))
+        evaluator.process(sgt(3, "x", "y", "a"))
+        evaluator.process(sgt(6, "v", "w", "b"))   # first hop at 1: outside (2, 6]
+        evaluator.process(sgt(6, "q", "r", "b"))   # first hop at 2: outside (2, 6]
+        evaluator.process(sgt(6, "y", "z", "b"))   # first hop at 3: inside (2, 6]
+        assert evaluator.answer_pairs() == {("x", "z")}
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize(
+        "query",
+        ["a", "a b", "a+", "(a b)+", "a b*", "a* b*", "(a | b)*", "a | b c"],
+    )
+    def test_dense_small_graph(self, query):
+        """Exhaustively compare against the union-over-windows oracle."""
+        edges = []
+        timestamp = 0
+        labels = ["a", "b"]
+        vertices = ["v0", "v1", "v2", "v3"]
+        # a deterministic dense-ish stream covering many label/vertex combos
+        for i in range(24):
+            timestamp += 1
+            source = vertices[i % 4]
+            target = vertices[(i * 2 + 1) % 4]
+            label = labels[i % 2]
+            edges.append((timestamp, source, target, label))
+        stream = insert_stream(edges)
+        window = WindowSpec(size=7, slide=2)
+        evaluator = RAPQEvaluator(query, window)
+        evaluator.process_stream(stream)
+        expected = streaming_oracle(stream, compile_query(query), window.size)
+        assert evaluator.answer_pairs() == expected

@@ -1,0 +1,133 @@
+"""Tests for explicit deletions (Algorithm Delete, §3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EdgeOp, RAPQEvaluator, WindowSpec, sgt
+from repro.graph.tuples import StreamingGraphTuple
+
+from helpers import insert_stream
+
+
+def delete(ts, u, v, label):
+    return StreamingGraphTuple(ts, u, v, label, EdgeOp.DELETE)
+
+
+class TestSnapshotMaintenance:
+    def test_delete_removes_edge_from_window(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=100))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(delete(2, "u", "v", "a"))
+        assert not evaluator.snapshot.has_edge("u", "v", "a")
+        assert evaluator.stats["deletions_processed"] == 1
+
+    def test_delete_of_absent_edge_is_harmless(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=100))
+        evaluator.process(delete(1, "u", "v", "a"))
+        assert evaluator.answer_pairs() == set()
+
+    def test_delete_with_irrelevant_label_is_discarded(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=100))
+        evaluator.process(delete(1, "u", "v", "zzz"))
+        assert evaluator.stats["tuples_discarded"] == 1
+        assert evaluator.stats["deletions_processed"] == 0
+
+
+class TestResultInvalidation:
+    def test_deleting_the_only_support_invalidates_the_pair(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=100))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        assert evaluator.active_pairs() == {("u", "v")}
+        evaluator.process(delete(2, "u", "v", "a"))
+        assert evaluator.active_pairs() == set()
+        # implicit-window history is preserved
+        assert evaluator.answer_pairs() == {("u", "v")}
+
+    def test_deleting_one_hop_of_a_chain_invalidates_downstream(self):
+        evaluator = RAPQEvaluator("a+", WindowSpec(size=100))
+        evaluator.process_stream(insert_stream(
+            [(1, "p1", "p2", "a"), (2, "p2", "p3", "a"), (3, "p3", "p4", "a")]
+        ))
+        assert ("p1", "p4") in evaluator.active_pairs()
+        evaluator.process(delete(4, "p2", "p3", "a"))
+        active = evaluator.active_pairs()
+        assert ("p1", "p4") not in active
+        assert ("p1", "p3") not in active
+        assert ("p1", "p2") in active
+        assert ("p3", "p4") in active
+
+    def test_alternative_path_keeps_result_alive(self):
+        """Deleting a tree edge must reconnect through a parallel support."""
+        evaluator = RAPQEvaluator("a+", WindowSpec(size=100))
+        evaluator.process_stream(insert_stream(
+            [
+                (1, "s", "m1", "a"),
+                (2, "m1", "t", "a"),
+                (3, "s", "m2", "a"),
+                (4, "m2", "t", "a"),
+            ]
+        ))
+        assert ("s", "t") in evaluator.active_pairs()
+        evaluator.process(delete(5, "m1", "t", "a"))
+        # the path s -> m2 -> t still supports the pair
+        assert ("s", "t") in evaluator.active_pairs()
+
+    def test_non_tree_edge_deletion_changes_nothing(self):
+        """Deleting an edge that is not a tree edge leaves the index untouched."""
+        evaluator = RAPQEvaluator("a+", WindowSpec(size=100))
+        evaluator.process_stream(insert_stream(
+            [
+                (1, "s", "m1", "a"),
+                (2, "m1", "t", "a"),
+                (3, "s", "m2", "a"),
+                (4, "m2", "t", "a"),   # (t, accepting) already in T_s: non-tree edge there
+            ]
+        ))
+        nodes_before = evaluator.index.num_nodes
+        evaluator.process(delete(5, "m2", "t", "a"))
+        assert ("s", "t") in evaluator.active_pairs()
+        assert evaluator.index.num_nodes <= nodes_before
+
+    def test_reinsert_after_delete_reports_again(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=100))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(delete(2, "u", "v", "a"))
+        evaluator.process(sgt(3, "u", "v", "a"))
+        assert evaluator.active_pairs() == {("u", "v")}
+        assert len(evaluator.results.positives()) == 2
+
+    def test_delete_then_window_behaviour_stays_correct(self):
+        """Mixing deletions with expiry keeps the index consistent."""
+        evaluator = RAPQEvaluator("a b", WindowSpec(size=6, slide=2))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(2, "v", "w", "b"))
+        assert ("u", "w") in evaluator.active_pairs()
+        evaluator.process(delete(3, "u", "v", "a"))
+        assert ("u", "w") not in evaluator.active_pairs()
+        evaluator.process(sgt(9, "u", "v", "a"))
+        evaluator.process(sgt(10, "v", "w", "b"))
+        assert ("u", "w") in evaluator.active_pairs()
+
+
+class TestDeletionHeavyWorkload:
+    def test_insert_delete_churn_matches_final_window_recomputation(self):
+        """After heavy churn, pairs supported by the final window content must be active."""
+        from repro.core.batch import batch_rapq
+
+        window = WindowSpec(size=1000)
+        evaluator = RAPQEvaluator("a+", window)
+        edges = [
+            (1, "a", "b"), (2, "b", "c"), (3, "c", "d"), (4, "d", "a"),
+            (5, "b", "d"), (6, "a", "c"),
+        ]
+        for ts, u, v in edges:
+            evaluator.process(sgt(ts, u, v, "a"))
+        evaluator.process(delete(7, "b", "c", "a"))
+        evaluator.process(delete(8, "d", "a", "a"))
+        evaluator.process(sgt(9, "c", "a", "a"))
+        expected = batch_rapq(evaluator.snapshot, evaluator.dfa)
+        # everything supported by the final window content was reported ...
+        assert expected <= evaluator.answer_pairs()
+        # ... and the active view reflects exactly the surviving support.
+        assert evaluator.active_pairs() == expected

@@ -1,0 +1,149 @@
+"""Tests for window maintenance (Algorithm ExpiryRAPQ, §3.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import RAPQEvaluator, WindowSpec, sgt
+from repro.regex.dfa import compile_query
+
+from helpers import insert_stream, streaming_oracle
+
+
+class TestExpiryBasics:
+    def test_expired_edges_leave_the_snapshot(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=5, slide=5))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(12, "p", "q", "a"))  # crosses a slide boundary
+        assert not evaluator.snapshot.has_edge("u", "v", "a")
+        assert evaluator.snapshot.has_edge("p", "q", "a")
+
+    def test_expired_nodes_leave_the_index(self):
+        evaluator = RAPQEvaluator("a+", WindowSpec(size=5, slide=5))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        assert evaluator.index.num_nodes > 0
+        evaluator.process(sgt(20, "p", "q", "a"))
+        vertices_in_index = {
+            node.vertex for tree in evaluator.index.trees() for node in tree.nodes()
+        }
+        assert "u" not in vertices_in_index
+        assert "v" not in vertices_in_index
+
+    def test_trees_reduced_to_roots_are_discarded(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=5, slide=5))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        assert evaluator.index.num_trees == 1
+        evaluator.process(sgt(20, "p", "q", "a"))
+        roots = {tree.root_vertex for tree in evaluator.index.trees()}
+        assert roots == {"p"}
+
+    def test_expire_now_is_idempotent(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=5, slide=5))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(3, "v", "w", "a"))
+        first = evaluator.expire_now()
+        second = evaluator.expire_now()
+        assert second == 0
+        assert first == 0  # nothing expired yet: both edges still in window
+
+    def test_expiry_counts_in_stats(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=5, slide=5))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(20, "p", "q", "a"))
+        assert evaluator.stats["expiry_runs"] >= 1
+        assert evaluator.stats["nodes_expired"] >= 1
+        assert evaluator.stats["expiry_seconds"] >= 0.0
+
+
+class TestExpiryReconnection:
+    def test_example_3_2_reconnection(self, figure1_stream, figure1_query):
+        """Example 3.2: after the edge at t=19, (u, final) survives through (z, 1).
+
+        The path through the expired edge (y, mentions, u)@4 is gone, but the
+        edge (z, mentions, u)@14 still supports u in the accepting state, so
+        the result (x, u) keeps a valid derivation in the tree.
+        """
+        evaluator = RAPQEvaluator(figure1_query, WindowSpec(size=15, slide=1))
+        for tup in figure1_stream:
+            evaluator.process(tup)
+        tree = evaluator.index.get("x")
+        assert tree is not None
+        accepting = evaluator.dfa.finals
+        u_final = [tree.get((v, s)) for (v, s) in tree.node_keys() if v == "u" and s in accepting]
+        assert u_final, "(u, accepting) should have been reconnected via (z, 1)"
+        node = u_final[0]
+        # its surviving path timestamp is the one through (x->z@6, z->u@14)
+        assert node.timestamp == 6
+
+    def test_reconnection_keeps_answers_consistent_with_oracle(self):
+        """A long chain whose head expires: the tail must be rebuilt correctly."""
+        window = WindowSpec(size=6, slide=2)
+        stream = insert_stream(
+            [
+                (1, "a", "b", "x"),
+                (2, "b", "c", "x"),
+                (3, "c", "d", "x"),
+                (8, "e", "b", "x"),   # alternative support for b after (a,b) expires
+                (9, "d", "e2", "x"),
+                (10, "b", "f", "x"),
+            ]
+        )
+        evaluator = RAPQEvaluator("x+", window)
+        evaluator.process_stream(stream)
+        expected = streaming_oracle(stream, compile_query("x+"), window.size)
+        assert evaluator.answer_pairs() == expected
+
+    def test_no_results_from_expired_support(self):
+        """After the only first hop expired, no new join may use it."""
+        evaluator = RAPQEvaluator("a b", WindowSpec(size=4, slide=2))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(10, "v", "w", "b"))
+        assert evaluator.answer_pairs() == set()
+
+    def test_rediscovery_after_expiry_is_reported_again(self):
+        """A pair whose support expired and then re-appeared is re-derivable."""
+        evaluator = RAPQEvaluator("a", WindowSpec(size=4, slide=2))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(20, "w", "z", "a"))   # (u, v) support long gone
+        evaluator.process(sgt(21, "u", "v", "a"))   # re-inserted
+        assert ("u", "v") in evaluator.answer_pairs()
+        positives = [e for e in evaluator.results.positives() if e.pair == ("u", "v")]
+        assert len(positives) == 2
+
+
+class TestLazyExpiry:
+    def test_no_expiry_inside_a_slide_interval(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=5, slide=5))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(4, "v", "w", "a"))  # same slide pane: no expiry yet
+        assert evaluator.stats["expiry_runs"] == 0
+        # the stale edge is still physically present (lazy expiration) ...
+        assert evaluator.snapshot.has_edge("u", "v", "a")
+
+    def test_stale_edges_are_not_used_even_before_physical_expiry(self):
+        """Lazy expiration never lets an out-of-window edge contribute to a result.
+
+        With |W| = beta = 100, the boundary at t=100 expires only edges with
+        timestamp <= 0, so the edge at t=95 is still physically present when
+        the edge at t=199 arrives — but it is outside the window (99, 199]
+        and must not contribute to a result.
+        """
+        evaluator = RAPQEvaluator("a b", WindowSpec(size=100, slide=100))
+        evaluator.process(sgt(95, "u", "v", "a"))
+        evaluator.process(sgt(199, "v", "w", "b"))
+        assert evaluator.stats["expiry_runs"] == 1
+        assert evaluator.snapshot.has_edge("u", "v", "a")  # lazy: not yet pruned
+        assert evaluator.answer_pairs() == set()
+
+    def test_results_identical_for_eager_and_lazy_expiration(self):
+        """Beta only affects when cleanup happens, never the answer set."""
+        stream = insert_stream(
+            [(t, f"v{t % 5}", f"v{(t * 3 + 1) % 5}", "a") for t in range(1, 40)]
+        )
+        eager = RAPQEvaluator("a+", WindowSpec(size=8, slide=1))
+        lazy = RAPQEvaluator("a+", WindowSpec(size=8, slide=8))
+        eager.process_stream(stream)
+        lazy.process_stream(stream)
+        assert eager.answer_pairs() == lazy.answer_pairs()

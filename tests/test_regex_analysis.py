@@ -1,0 +1,125 @@
+"""Unit tests for the suffix-language / conflict-freedom analysis (§4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.regex.analysis import (
+    analyze,
+    has_containment_property,
+    is_restricted_expression,
+    suffix_containment_matrix,
+)
+from repro.regex.dfa import compile_query
+
+
+class TestSuffixContainment:
+    def test_reflexive(self):
+        dfa = compile_query("(a b)+")
+        matrix = suffix_containment_matrix(dfa)
+        for state in dfa.states:
+            assert matrix[(state, state)]
+
+    def test_star_query_all_states_equivalent(self):
+        """For a* the single state's suffix language is a*, contained in itself."""
+        dfa = compile_query("a*")
+        matrix = suffix_containment_matrix(dfa)
+        assert all(matrix.values())
+
+    def test_figure1_query_conflict_pair(self):
+        """For (follows mentions)+ the state after 'follows' does not contain
+        the suffix language of the accepting state (Example 4.1)."""
+        analysis = analyze("(follows mentions)+")
+        dfa = analysis.dfa
+        after_follows = dfa.delta(dfa.start, "follows")
+        accepting = dfa.delta(after_follows, "mentions")
+        assert accepting in dfa.finals
+        assert not analysis.suffix_contains(after_follows, accepting)
+        assert not analysis.suffix_contains(accepting, after_follows)
+
+    def test_a_star_b_star_containment(self):
+        """In a* b*, moving forward only shrinks the suffix language."""
+        analysis = analyze("a* b*")
+        dfa = analysis.dfa
+        after_b = dfa.delta(dfa.start, "b")
+        assert analysis.suffix_contains(dfa.start, after_b)
+
+
+class TestContainmentProperty:
+    @pytest.mark.parametrize(
+        "expression, expected",
+        [
+            ("a*", True),
+            ("(a | b | c)*", True),
+            # (a|b)+ lacks the property: the accepting state's suffix language
+            # includes the empty word while the start state's does not.
+            ("(a | b)+", False),
+            ("a* b*", True),
+            ("a b*", False),
+            ("(a b)+", False),
+            ("a b* c", False),
+            ("a b c", False),
+        ],
+    )
+    def test_known_cases(self, expression, expected):
+        assert has_containment_property(compile_query(expression)) is expected
+
+    def test_matrix_can_be_supplied(self):
+        dfa = compile_query("a*")
+        matrix = suffix_containment_matrix(dfa)
+        assert has_containment_property(dfa, matrix)
+
+
+class TestRestrictedExpressions:
+    @pytest.mark.parametrize(
+        "expression, expected",
+        [
+            ("a*", True),                  # Q1
+            ("(a | b | c)*", True),        # Q4
+            ("(a | b | c)+", False),       # Q9 is not restricted (see analysis docstring)
+            ("a b c", True),               # Q11
+            ("a", True),
+            ("a b*", False),               # Q2
+            ("a b* c*", False),            # Q3
+            ("a? b*", False),              # Q8
+            ("(a b)+", False),
+        ],
+    )
+    def test_detection(self, expression, expected):
+        assert is_restricted_expression(expression) is expected
+
+
+class TestQueryAnalysis:
+    def test_fields(self):
+        analysis = analyze("(follows mentions)+")
+        assert analysis.num_states == 3
+        assert analysis.alphabet == frozenset({"follows", "mentions"})
+        assert analysis.restricted is False
+        assert analysis.containment_property is False
+        assert not analysis.conflict_free_by_query()
+
+    def test_conflict_free_by_query_for_star(self):
+        analysis = analyze("knows*")
+        assert analysis.conflict_free_by_query()
+
+    def test_str_mentions_k(self):
+        assert "k=3" in str(analyze("(a b)+"))
+
+    def test_accepts_ast_input(self):
+        from repro.regex.parser import parse
+
+        node = parse("a b*")
+        analysis = analyze(node)
+        assert analysis.expression == node
+
+    def test_paper_table4_restricted_queries(self):
+        """Q1, Q4 and Q11 are restricted and therefore conflict-free anywhere."""
+        q1 = analyze("a2q*")
+        q4 = analyze("(a2q | c2a | c2q)*")
+        q11 = analyze("a2q c2a c2q")
+        assert q1.conflict_free_by_query()
+        assert q4.conflict_free_by_query()
+        assert q11.conflict_free_by_query()
+
+    def test_q9_is_not_conflict_free_by_query(self):
+        assert not analyze("(a2q | c2a | c2q)+").conflict_free_by_query()

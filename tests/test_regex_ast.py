@@ -1,0 +1,136 @@
+"""Unit tests for the regular-expression AST."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Epsilon,
+    Label,
+    Optional,
+    Plus,
+    Star,
+    alternate_all,
+    concat_all,
+)
+
+
+class TestLabel:
+    def test_labels_returns_singleton(self):
+        assert Label("follows").labels() == frozenset({"follows"})
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            Label("")
+
+    def test_not_nullable(self):
+        assert not Label("a").nullable()
+
+    def test_size_is_one(self):
+        assert Label("a").size() == 1
+
+    def test_equality_is_structural(self):
+        assert Label("a") == Label("a")
+        assert Label("a") != Label("b")
+
+    def test_str(self):
+        assert str(Label("mentions")) == "mentions"
+
+
+class TestEpsilon:
+    def test_no_labels(self):
+        assert Epsilon().labels() == frozenset()
+
+    def test_nullable(self):
+        assert Epsilon().nullable()
+
+    def test_size_zero(self):
+        assert Epsilon().size() == 0
+
+    def test_not_recursive(self):
+        assert not Epsilon().is_recursive()
+
+
+class TestConcat:
+    def test_labels_union(self):
+        node = Concat(Label("a"), Label("b"))
+        assert node.labels() == frozenset({"a", "b"})
+
+    def test_children(self):
+        node = Concat(Label("a"), Label("b"))
+        assert node.children() == (Label("a"), Label("b"))
+
+    def test_nullable_requires_both(self):
+        assert not Concat(Label("a"), Epsilon()).nullable()
+        assert Concat(Epsilon(), Epsilon()).nullable()
+
+    def test_size_adds(self):
+        node = Concat(Label("a"), Concat(Label("b"), Label("c")))
+        assert node.size() == 3
+
+
+class TestAlternation:
+    def test_nullable_if_either(self):
+        assert Alternation(Label("a"), Epsilon()).nullable()
+        assert not Alternation(Label("a"), Label("b")).nullable()
+
+    def test_size(self):
+        assert Alternation(Label("a"), Label("b")).size() == 2
+
+
+class TestUnaryOperators:
+    def test_star_nullable_and_size(self):
+        node = Star(Label("a"))
+        assert node.nullable()
+        assert node.size() == 2
+        assert node.is_recursive()
+
+    def test_plus_nullable_follows_inner(self):
+        assert not Plus(Label("a")).nullable()
+        assert Plus(Star(Label("a"))).nullable()
+
+    def test_plus_size(self):
+        assert Plus(Label("a")).size() == 2
+
+    def test_optional(self):
+        node = Optional(Label("a"))
+        assert node.nullable()
+        assert node.size() == 1
+        assert not node.is_recursive()
+
+    def test_star_str_wraps_compound(self):
+        node = Star(Concat(Label("a"), Label("b")))
+        assert str(node) == "(a b)*"
+
+
+class TestWalk:
+    def test_walk_preorder(self):
+        node = Concat(Label("a"), Star(Label("b")))
+        kinds = [type(n).__name__ for n in node.walk()]
+        assert kinds == ["Concat", "Label", "Star", "Label"]
+
+    def test_is_recursive_detects_nested_plus(self):
+        node = Concat(Label("a"), Alternation(Label("b"), Plus(Label("c"))))
+        assert node.is_recursive()
+
+
+class TestBuilders:
+    def test_concat_all_empty_is_epsilon(self):
+        assert concat_all([]) == Epsilon()
+
+    def test_concat_all_single(self):
+        assert concat_all([Label("a")]) == Label("a")
+
+    def test_concat_all_left_associative(self):
+        node = concat_all([Label("a"), Label("b"), Label("c")])
+        assert node == Concat(Concat(Label("a"), Label("b")), Label("c"))
+
+    def test_alternate_all_rejects_empty(self):
+        with pytest.raises(ValueError):
+            alternate_all([])
+
+    def test_alternate_all(self):
+        node = alternate_all([Label("a"), Label("b")])
+        assert node == Alternation(Label("a"), Label("b"))

@@ -1,0 +1,172 @@
+"""Unit tests for DFA construction, minimization and language algebra."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.regex.dfa import DFA, compile_query, determinize
+from repro.regex.nfa import build_nfa
+
+
+def words_up_to(alphabet, length):
+    """Enumerate every word over ``alphabet`` of length at most ``length``."""
+    for n in range(length + 1):
+        for word in itertools.product(alphabet, repeat=n):
+            yield list(word)
+
+
+class TestDeterminize:
+    @pytest.mark.parametrize(
+        "expression",
+        ["a", "a b", "a | b", "a*", "a+", "a?", "(a b)+", "a b* c", "(a | b)* c", "a? b*"],
+    )
+    def test_agrees_with_nfa_on_short_words(self, expression):
+        nfa = build_nfa(expression)
+        dfa = determinize(nfa)
+        for word in words_up_to(sorted(nfa.alphabet | {"z"}), 4):
+            assert dfa.accepts(word) == nfa.accepts(word), word
+
+    def test_start_state_is_zero(self):
+        dfa = determinize(build_nfa("a b"))
+        assert dfa.start == 0
+
+    def test_deterministic_transitions(self):
+        dfa = determinize(build_nfa("(a | b)* a"))
+        seen = set()
+        for (state, label) in dfa.transitions:
+            assert (state, label) not in seen
+            seen.add((state, label))
+
+
+class TestMinimize:
+    @pytest.mark.parametrize(
+        "expression, expected_states",
+        [
+            ("a", 2),
+            ("a*", 1),
+            ("a+", 2),
+            ("a b", 3),
+            ("(follows mentions)+", 3),
+            ("(a | b)*", 1),
+            ("a b* c*", 3),
+        ],
+    )
+    def test_known_minimal_sizes(self, expression, expected_states):
+        assert compile_query(expression).num_states == expected_states
+
+    @pytest.mark.parametrize(
+        "expression",
+        ["a", "a b", "a | b", "a*", "(a b)+", "a b* c", "(a | b)* c", "a? b*", "a* b*"],
+    )
+    def test_minimization_preserves_language(self, expression):
+        dfa = determinize(build_nfa(expression))
+        minimal = dfa.minimize()
+        for word in words_up_to(sorted(dfa.alphabet), 4):
+            assert minimal.accepts(word) == dfa.accepts(word), word
+
+    def test_minimize_is_idempotent(self):
+        minimal = compile_query("a b* c | a d* c")
+        again = minimal.minimize()
+        assert again.num_states == minimal.num_states
+
+    def test_minimal_start_state_is_zero(self):
+        assert compile_query("(a b)+").start == 0
+
+
+class TestAccepts:
+    def test_extended_delta_none_on_dead_path(self):
+        dfa = compile_query("a b")
+        assert dfa.extended_delta(dfa.start, ["b"]) is None
+
+    def test_accepts_empty_word(self):
+        assert compile_query("a*").accepts_empty_word()
+        assert not compile_query("a+").accepts_empty_word()
+
+    def test_transitions_on(self):
+        dfa = compile_query("(follows mentions)+")
+        pairs = dfa.transitions_on("follows")
+        assert len(pairs) >= 1
+        assert all(dfa.delta(source, "follows") == target for source, target in pairs)
+        assert dfa.transitions_on("unknown") == []
+
+    def test_out_transitions(self):
+        dfa = compile_query("a b")
+        labels = [label for label, _ in dfa.out_transitions(dfa.start)]
+        assert labels == ["a"]
+
+
+class TestLanguageAlgebra:
+    def test_completed_is_total(self):
+        dfa = compile_query("a b").completed()
+        for state in dfa.states:
+            for label in dfa.alphabet:
+                assert dfa.delta(state, label) is not None
+
+    def test_completed_preserves_language(self):
+        dfa = compile_query("a b | c")
+        complete = dfa.completed()
+        for word in words_up_to(sorted(dfa.alphabet), 3):
+            assert complete.accepts(word) == dfa.accepts(word)
+
+    def test_with_start_changes_language(self):
+        dfa = compile_query("a b")
+        mid_state = dfa.delta(dfa.start, "a")
+        restarted = dfa.with_start(mid_state)
+        assert restarted.accepts(["b"])
+        assert not restarted.accepts(["a", "b"])
+
+    def test_with_start_rejects_bad_state(self):
+        dfa = compile_query("a")
+        with pytest.raises(ValueError):
+            dfa.with_start(99)
+
+    def test_is_empty_language(self):
+        empty = DFA(num_states=1, start=0, finals=frozenset(), transitions={}, alphabet=frozenset({"a"}))
+        assert empty.is_empty_language()
+        assert not compile_query("a").is_empty_language()
+
+    def test_language_contains_reflexive(self):
+        dfa = compile_query("(a b)+")
+        for state in dfa.states:
+            assert dfa.language_contains(state, state)
+
+    def test_language_contains_star_contains_plus(self):
+        """In the automaton of a* b, the start's language contains the post-a language."""
+        dfa = compile_query("a* b")
+        after_a = dfa.delta(dfa.start, "a")
+        # a* b restarted after one 'a' is still a* b, so both directions hold.
+        assert dfa.language_contains(dfa.start, after_a)
+        assert dfa.language_contains(after_a, dfa.start)
+
+    def test_language_contains_negative(self):
+        dfa = compile_query("(a b)+")
+        after_a = dfa.delta(dfa.start, "a")
+        # [start] expects words starting with 'a'; [after_a] expects 'b...':
+        assert not dfa.language_contains(dfa.start, after_a)
+
+
+class TestIntrospection:
+    def test_to_dot_mentions_all_states(self):
+        dfa = compile_query("a b")
+        dot = dfa.to_dot()
+        assert dot.startswith("digraph")
+        for state in dfa.states:
+            assert f"s{state}" in dot
+
+    def test_str(self):
+        text = str(compile_query("a b"))
+        assert "states=3" in text
+
+    def test_trimmed_drops_unreachable(self):
+        dfa = DFA(
+            num_states=3,
+            start=0,
+            finals=frozenset({1}),
+            transitions={(0, "a"): 1, (2, "a"): 1},
+            alphabet=frozenset({"a"}),
+        )
+        trimmed = dfa.trimmed()
+        assert trimmed.num_states == 2
+        assert trimmed.accepts(["a"])

@@ -1,0 +1,82 @@
+"""Unit tests for the Thompson NFA construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.regex.ast import Concat, Label, Star
+from repro.regex.nfa import build_nfa
+
+
+class TestAcceptance:
+    @pytest.mark.parametrize(
+        "expression, word, expected",
+        [
+            ("a", ["a"], True),
+            ("a", ["b"], False),
+            ("a", [], False),
+            ("a b", ["a", "b"], True),
+            ("a b", ["a"], False),
+            ("a | b", ["a"], True),
+            ("a | b", ["b"], True),
+            ("a | b", ["a", "b"], False),
+            ("a*", [], True),
+            ("a*", ["a", "a", "a"], True),
+            ("a*", ["a", "b"], False),
+            ("a+", [], False),
+            ("a+", ["a"], True),
+            ("a+", ["a", "a"], True),
+            ("a?", [], True),
+            ("a?", ["a"], True),
+            ("a?", ["a", "a"], False),
+            ("(a b)+", ["a", "b"], True),
+            ("(a b)+", ["a", "b", "a", "b"], True),
+            ("(a b)+", ["a", "b", "a"], False),
+            ("a b* c", ["a", "c"], True),
+            ("a b* c", ["a", "b", "b", "c"], True),
+            ("a b* c", ["b", "c"], False),
+            ("()", [], True),
+            ("()", ["a"], False),
+        ],
+    )
+    def test_accepts(self, expression, word, expected):
+        assert build_nfa(expression).accepts(word) is expected
+
+    def test_accepts_long_repetition(self):
+        nfa = build_nfa("(a | b)*")
+        assert nfa.accepts(["a", "b"] * 50)
+
+    def test_multicharacter_labels(self):
+        nfa = build_nfa("follows mentions")
+        assert nfa.accepts(["follows", "mentions"])
+        assert not nfa.accepts(["follows", "follows"])
+
+
+class TestStructure:
+    def test_alphabet(self):
+        nfa = build_nfa("a b* | c")
+        assert nfa.alphabet == {"a", "b", "c"}
+
+    def test_states_nonempty_and_contain_endpoints(self):
+        nfa = build_nfa("a b")
+        states = nfa.states
+        assert nfa.start in states
+        assert nfa.accept in states
+        assert len(states) >= 4
+
+    def test_accepts_from_ast(self):
+        node = Star(Concat(Label("x"), Label("y")))
+        nfa = build_nfa(node)
+        assert nfa.accepts([])
+        assert nfa.accepts(["x", "y", "x", "y"])
+
+    def test_epsilon_closure_contains_seed(self):
+        nfa = build_nfa("a*")
+        closure = nfa.epsilon_closure({nfa.start})
+        assert nfa.start in closure
+        # for a star the accept state is epsilon-reachable from the start
+        assert nfa.accept in closure
+
+    def test_move_on_unknown_label_is_empty(self):
+        nfa = build_nfa("a")
+        assert nfa.move({nfa.start}, "zzz") == frozenset()

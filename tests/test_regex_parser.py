@@ -1,0 +1,169 @@
+"""Unit tests for the RPQ expression parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Epsilon,
+    Label,
+    Optional,
+    Plus,
+    Star,
+)
+from repro.regex.parser import RegexSyntaxError, parse
+
+
+class TestAtoms:
+    def test_single_label(self):
+        assert parse("follows") == Label("follows")
+
+    def test_label_with_punctuation(self):
+        assert parse("a2q") == Label("a2q")
+        assert parse("has-creator") == Label("has-creator")
+        assert parse("rdf:type") == Label("rdf:type")
+
+    def test_angle_bracket_label(self):
+        assert parse("<http://yago/isLocatedIn>") == Label("http://yago/isLocatedIn")
+
+    def test_empty_parens_is_epsilon(self):
+        assert parse("()") == Epsilon()
+
+    def test_ast_passthrough(self):
+        node = Star(Label("a"))
+        assert parse(node) is node
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            parse(42)
+
+
+class TestConcatenation:
+    def test_whitespace_concat(self):
+        assert parse("a b") == Concat(Label("a"), Label("b"))
+
+    def test_slash_concat(self):
+        assert parse("a/b/c") == Concat(Concat(Label("a"), Label("b")), Label("c"))
+
+    def test_dot_concat(self):
+        assert parse("a . b") == Concat(Label("a"), Label("b"))
+
+    def test_concat_binds_tighter_than_alternation(self):
+        assert parse("a b | c") == Alternation(Concat(Label("a"), Label("b")), Label("c"))
+
+
+class TestAlternation:
+    def test_pipe(self):
+        assert parse("a | b") == Alternation(Label("a"), Label("b"))
+
+    def test_plus_with_spaces_is_alternation(self):
+        assert parse("a + b") == Alternation(Label("a"), Label("b"))
+
+    def test_multi_way(self):
+        node = parse("a | b | c")
+        assert node == Alternation(Alternation(Label("a"), Label("b")), Label("c"))
+
+
+class TestPostfixOperators:
+    def test_star(self):
+        assert parse("a*") == Star(Label("a"))
+
+    def test_adjacent_plus_is_repetition(self):
+        assert parse("a+") == Plus(Label("a"))
+
+    def test_optional(self):
+        assert parse("a?") == Optional(Label("a"))
+
+    def test_group_plus(self):
+        assert parse("(a | b)+") == Plus(Alternation(Label("a"), Label("b")))
+
+    def test_star_binds_to_last_atom(self):
+        assert parse("a b*") == Concat(Label("a"), Star(Label("b")))
+
+    def test_stacked_operators(self):
+        assert parse("a*?") == Optional(Star(Label("a")))
+
+
+class TestPaperQueries:
+    """The Table 2 shapes must all round-trip through the parser."""
+
+    def test_q1(self):
+        assert parse("a*") == Star(Label("a"))
+
+    def test_q4_alternation_under_star(self):
+        node = parse("(a1 | a2 | a3)*")
+        assert isinstance(node, Star)
+        assert node.labels() == frozenset({"a1", "a2", "a3"})
+
+    def test_q9_alternation_under_plus_with_plus_separators(self):
+        node = parse("(a1 + a2 + a3)+")
+        assert isinstance(node, Plus)
+        assert isinstance(node.inner, Alternation)
+
+    def test_q8_optional_then_star(self):
+        assert parse("a? b*") == Concat(Optional(Label("a")), Star(Label("b")))
+
+    def test_figure1_query(self):
+        node = parse("(follows mentions)+")
+        assert node == Plus(Concat(Label("follows"), Label("mentions")))
+
+
+class TestErrors:
+    def test_empty_expression(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("")
+
+    def test_whitespace_only(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("   ")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(a b")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a )")
+
+    def test_dangling_operator(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("* a")
+
+    def test_unterminated_angle_label(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("<http://foo")
+
+    def test_empty_angle_label(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("<> a")
+
+    def test_unexpected_character(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a & b")
+
+    def test_error_reports_position(self):
+        with pytest.raises(RegexSyntaxError) as excinfo:
+            parse("a & b")
+        assert excinfo.value.position == 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "a",
+            "a b",
+            "a | b",
+            "(a b)+",
+            "a b* c*",
+            "a? b*",
+            "(a | b | c)*",
+            "(a | b) c*",
+            "a b c",
+        ],
+    )
+    def test_str_reparses_to_same_ast(self, expression):
+        node = parse(expression)
+        assert parse(str(node)) == node

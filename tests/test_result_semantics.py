@@ -1,0 +1,72 @@
+"""Tests for explicit vs implicit window result semantics (§2).
+
+Implicit windows (the paper's default) never retract results when their
+supporting tuples expire; explicit windows emit invalidations so the active
+result set always reflects the current window content (incremental view
+maintenance).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RAPQEvaluator, RSPQEvaluator, WindowSpec, sgt
+
+
+class TestImplicitWindows:
+    def test_no_invalidation_on_expiry(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=5, slide=5), result_semantics="implicit")
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(20, "p", "q", "a"))
+        assert evaluator.results.negatives() == []
+        assert evaluator.answer_pairs() == {("u", "v"), ("p", "q")}
+        assert evaluator.active_pairs() == {("u", "v"), ("p", "q")}
+
+
+class TestExplicitWindows:
+    def test_expiry_invalidates_results(self):
+        evaluator = RAPQEvaluator("a", WindowSpec(size=5, slide=5), result_semantics="explicit")
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(20, "p", "q", "a"))
+        # the (u, v) support expired with the window slide
+        negatives = evaluator.results.negatives()
+        assert [event.pair for event in negatives] == [("u", "v")]
+        assert evaluator.active_pairs() == {("p", "q")}
+        # the full history is still available on the result stream
+        assert evaluator.answer_pairs() == {("u", "v"), ("p", "q")}
+
+    def test_surviving_results_not_invalidated(self):
+        evaluator = RAPQEvaluator("a+", WindowSpec(size=10, slide=5), result_semantics="explicit")
+        evaluator.process(sgt(1, "a", "b", "a"))
+        evaluator.process(sgt(8, "b", "c", "a"))
+        evaluator.process(sgt(12, "c", "d", "a"))
+        # (b, c) and (c, d) are still inside the window at t=12
+        active = evaluator.active_pairs()
+        assert ("b", "c") in active
+        assert ("c", "d") in active
+
+    def test_reconnected_results_not_invalidated(self):
+        """A result whose tree node survives through an alternative edge stays active."""
+        evaluator = RAPQEvaluator("a+", WindowSpec(size=8, slide=4), result_semantics="explicit")
+        evaluator.process(sgt(1, "x", "m", "a"))
+        evaluator.process(sgt(6, "y", "m", "a"))
+        evaluator.process(sgt(7, "m", "t", "a"))
+        evaluator.process(sgt(13, "z", "w", "a"))   # expires the t=1 edge
+        active = evaluator.active_pairs()
+        assert ("y", "t") in active
+        assert ("x", "m") not in active
+
+    def test_rspq_explicit_windows(self):
+        evaluator = RSPQEvaluator("a", WindowSpec(size=5, slide=5), result_semantics="explicit")
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(20, "p", "q", "a"))
+        assert [event.pair for event in evaluator.results.negatives()] == [("u", "v")]
+        assert evaluator.active_pairs() == {("p", "q")}
+
+
+class TestValidation:
+    def test_unknown_semantics_rejected(self):
+        with pytest.raises(ValueError):
+            RAPQEvaluator("a", WindowSpec(size=5), result_semantics="sometimes")
+        with pytest.raises(ValueError):
+            RSPQEvaluator("a", WindowSpec(size=5), result_semantics="sometimes")

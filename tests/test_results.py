@@ -1,0 +1,97 @@
+"""Unit tests for the append-only result stream."""
+
+from __future__ import annotations
+
+from repro.core.results import ResultEvent, ResultStream
+
+
+class TestReport:
+    def test_report_appends_event(self):
+        stream = ResultStream()
+        event = stream.report("x", "y", 7)
+        assert event.pair == ("x", "y")
+        assert event.positive
+        assert len(stream) == 1
+        assert ("x", "y") in stream
+
+    def test_distinct_pairs_deduplicate(self):
+        stream = ResultStream()
+        stream.report("x", "y", 1)
+        stream.report("x", "y", 5)
+        assert len(stream) == 2
+        assert stream.distinct_pairs == {("x", "y")}
+
+    def test_events_preserve_order(self):
+        stream = ResultStream()
+        stream.report("a", "b", 1)
+        stream.report("c", "d", 2)
+        assert [e.pair for e in stream.events] == [("a", "b"), ("c", "d")]
+
+    def test_pairs_reported_at(self):
+        stream = ResultStream()
+        stream.report("a", "b", 1)
+        stream.report("c", "d", 2)
+        stream.report("e", "f", 2)
+        assert stream.pairs_reported_at(2) == {("c", "d"), ("e", "f")}
+
+
+class TestInvalidate:
+    def test_invalidation_removes_from_active(self):
+        stream = ResultStream()
+        stream.report("x", "y", 1)
+        stream.invalidate("x", "y", 5)
+        assert stream.active_pairs == set()
+        # implicit-window semantics: the distinct set never shrinks
+        assert stream.distinct_pairs == {("x", "y")}
+
+    def test_multiple_supports(self):
+        stream = ResultStream()
+        stream.report("x", "y", 1)
+        stream.report("x", "y", 2)
+        stream.invalidate("x", "y", 3)
+        assert stream.active_pairs == {("x", "y")}
+        stream.invalidate("x", "y", 4)
+        assert stream.active_pairs == set()
+
+    def test_positives_and_negatives(self):
+        stream = ResultStream()
+        stream.report("a", "b", 1)
+        stream.invalidate("a", "b", 2)
+        assert len(stream.positives()) == 1
+        assert len(stream.negatives()) == 1
+
+    def test_invalidate_unknown_pair_is_harmless(self):
+        stream = ResultStream()
+        stream.invalidate("p", "q", 3)
+        assert stream.active_pairs == set()
+        assert len(stream) == 1
+
+
+class TestExtendAndIteration:
+    def test_extend_merges_events(self):
+        source = ResultStream()
+        source.report("a", "b", 1)
+        source.invalidate("a", "b", 2)
+        target = ResultStream()
+        target.extend(iter(source.events))
+        assert len(target) == 2
+        assert target.distinct_pairs == {("a", "b")}
+        assert target.active_pairs == set()
+
+    def test_iteration(self):
+        stream = ResultStream()
+        stream.report("a", "b", 1)
+        assert [event.pair for event in stream] == [("a", "b")]
+
+    def test_str(self):
+        stream = ResultStream()
+        stream.report("a", "b", 1)
+        assert "events=1" in str(stream)
+
+
+class TestResultEvent:
+    def test_str_sign(self):
+        positive = ResultEvent(1, "a", "b", positive=True)
+        negative = ResultEvent(2, "a", "b", positive=False)
+        assert str(positive).startswith("+")
+        assert str(negative).startswith("-")

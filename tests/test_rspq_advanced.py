@@ -1,0 +1,170 @@
+"""Tests for RSPQ window maintenance, deletions and tree internals (§4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EdgeOp, RSPQEvaluator, WindowSpec, sgt
+from repro.core.rspq_tree import RSPQTree
+from repro.graph.tuples import StreamingGraphTuple
+from repro.regex.dfa import compile_query
+
+from helpers import insert_stream, streaming_oracle
+
+
+def delete(ts, u, v, label):
+    return StreamingGraphTuple(ts, u, v, label, EdgeOp.DELETE)
+
+
+class TestExpiry:
+    def test_expired_nodes_are_removed(self):
+        evaluator = RSPQEvaluator("a+", WindowSpec(size=5, slide=5))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(20, "p", "q", "a"))
+        vertices = {node.vertex for tree in evaluator.trees.values() for node in tree.nodes()}
+        assert "u" not in vertices and "v" not in vertices
+        assert "p" in vertices and "q" in vertices
+
+    def test_marked_node_reconnected_through_valid_edge(self):
+        """A marked node whose tree path expired must be reconnected if an
+        alternative valid edge still supports it."""
+        window = WindowSpec(size=8, slide=4)
+        evaluator = RSPQEvaluator("a+", window)
+        evaluator.process(sgt(1, "x", "m", "a"))   # will expire
+        evaluator.process(sgt(6, "y", "m", "a"))   # alternative support arrives later
+        evaluator.process(sgt(7, "m", "t", "a"))
+        evaluator.process(sgt(13, "z", "w", "a"))  # crosses a slide boundary, expiring t=1
+        # (y, t) must still be derivable: y -> m -> t with timestamps 6, 7
+        assert ("y", "t") in evaluator.answer_pairs()
+        vertices = {node.vertex for tree in evaluator.trees.values() for node in tree.nodes()}
+        assert "m" in vertices
+
+    def test_results_match_oracle_across_windows(self):
+        window = WindowSpec(size=6, slide=3)
+        stream = insert_stream(
+            [(t, f"v{t % 4}", f"v{(t * 3 + 1) % 4}", "a") for t in range(1, 25)]
+        )
+        evaluator = RSPQEvaluator("a+", window)
+        evaluator.process_stream(stream)
+        expected = streaming_oracle(stream, compile_query("a+"), window.size, simple_paths=True)
+        assert evaluator.answer_pairs() == expected
+
+    def test_eager_vs_lazy_expiration_same_answers(self):
+        stream = insert_stream(
+            [(t, f"v{t % 5}", f"v{(t * 2 + 1) % 5}", "a") for t in range(1, 30)]
+        )
+        eager = RSPQEvaluator("a+", WindowSpec(size=8, slide=1))
+        lazy = RSPQEvaluator("a+", WindowSpec(size=8, slide=8))
+        eager.process_stream(stream)
+        lazy.process_stream(stream)
+        assert eager.answer_pairs() == lazy.answer_pairs()
+
+    def test_expiry_stats_recorded(self):
+        evaluator = RSPQEvaluator("a", WindowSpec(size=5, slide=5))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(20, "p", "q", "a"))
+        assert evaluator.stats["expiry_runs"] >= 1
+        assert evaluator.stats["expiry_seconds"] >= 0.0
+
+
+class TestDeletions:
+    def test_delete_only_support_invalidates(self):
+        evaluator = RSPQEvaluator("a", WindowSpec(size=100))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(delete(2, "u", "v", "a"))
+        assert evaluator.active_pairs() == set()
+        assert evaluator.answer_pairs() == {("u", "v")}
+
+    def test_delete_with_alternative_support_keeps_pair(self):
+        evaluator = RSPQEvaluator("a+", WindowSpec(size=100))
+        evaluator.process_stream(insert_stream(
+            [(1, "s", "m1", "a"), (2, "m1", "t", "a"), (3, "s", "m2", "a"), (4, "m2", "t", "a")]
+        ))
+        evaluator.process(delete(5, "m1", "t", "a"))
+        assert ("s", "t") in evaluator.active_pairs()
+
+    def test_delete_middle_of_chain(self):
+        evaluator = RSPQEvaluator("a+", WindowSpec(size=100))
+        evaluator.process_stream(insert_stream(
+            [(1, "p1", "p2", "a"), (2, "p2", "p3", "a"), (3, "p3", "p4", "a")]
+        ))
+        evaluator.process(delete(4, "p2", "p3", "a"))
+        active = evaluator.active_pairs()
+        assert ("p1", "p2") in active
+        assert ("p3", "p4") in active
+        assert ("p1", "p4") not in active
+
+    def test_deletion_counter(self):
+        evaluator = RSPQEvaluator("a", WindowSpec(size=100))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(delete(2, "u", "v", "a"))
+        assert evaluator.stats["deletions_processed"] == 1
+
+
+class TestRSPQTreeInternals:
+    def test_root_and_instances(self):
+        tree = RSPQTree("x", 0)
+        assert tree.has_key(("x", 0))
+        assert len(tree) == 1
+        assert tree.root.path_from_root() == [tree.root]
+
+    def test_add_child_and_paths(self):
+        tree = RSPQTree("x", 0)
+        child = tree.add_child(tree.root, ("y", 1), timestamp=5)
+        grandchild = tree.add_child(child, ("z", 2), timestamp=4)
+        assert [node.key for node in grandchild.path_from_root()] == [("x", 0), ("y", 1), ("z", 2)]
+        assert grandchild.states_at_vertex("y") == [1]
+        assert grandchild.first_state_at_vertex("x") == 0
+        assert grandchild.first_state_at_vertex("nope") is None
+
+    def test_duplicate_child_key_under_same_parent_rejected(self):
+        tree = RSPQTree("x", 0)
+        tree.add_child(tree.root, ("y", 1), timestamp=5)
+        with pytest.raises(ValueError):
+            tree.add_child(tree.root, ("y", 1), timestamp=6)
+
+    def test_multiple_instances_of_same_key(self):
+        tree = RSPQTree("x", 0)
+        a = tree.add_child(tree.root, ("a", 1), timestamp=5)
+        b = tree.add_child(tree.root, ("b", 1), timestamp=5)
+        tree.add_child(a, ("m", 2), timestamp=4)
+        tree.add_child(b, ("m", 2), timestamp=4)
+        assert len(tree.instances_of(("m", 2))) == 2
+        assert len(tree) == 5
+
+    def test_detach_subtree(self):
+        tree = RSPQTree("x", 0)
+        a = tree.add_child(tree.root, ("a", 1), timestamp=5)
+        m = tree.add_child(a, ("m", 2), timestamp=4)
+        tree.add_child(m, ("t", 1), timestamp=3)
+        removed = tree.detach_subtree(a)
+        assert len(removed) == 3
+        assert len(tree) == 1
+        assert not tree.has_key(("a", 1))
+        assert not tree.contains_vertex("m")
+        assert all(node.detached for node in removed)
+
+    def test_detach_root_rejected(self):
+        tree = RSPQTree("x", 0)
+        with pytest.raises(ValueError):
+            tree.detach_subtree(tree.root)
+
+    def test_add_child_to_detached_parent_rejected(self):
+        tree = RSPQTree("x", 0)
+        a = tree.add_child(tree.root, ("a", 1), timestamp=5)
+        tree.detach_subtree(a)
+        with pytest.raises(ValueError):
+            tree.add_child(a, ("q", 1), timestamp=2)
+
+    def test_markings(self):
+        tree = RSPQTree("x", 0)
+        tree.mark(("a", 1))
+        assert tree.is_marked(("a", 1))
+        assert tree.unmark(("a", 1))
+        assert not tree.unmark(("a", 1))
+
+    def test_size_summary(self):
+        tree = RSPQTree("x", 0)
+        tree.add_child(tree.root, ("a", 1), timestamp=5)
+        tree.mark(("a", 1))
+        assert tree.size_summary() == {"nodes": 2, "markings": 1}

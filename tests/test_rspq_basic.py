@@ -1,0 +1,165 @@
+"""Tests for Algorithm RSPQ: streaming evaluation under simple path semantics (§4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RAPQEvaluator, RSPQEvaluator, WindowSpec, sgt
+from repro.regex.dfa import compile_query
+
+from helpers import insert_stream, streaming_oracle
+
+
+class TestSimplePathSemantics:
+    def test_single_edge(self):
+        evaluator = RSPQEvaluator("knows", WindowSpec(size=10))
+        assert evaluator.process(sgt(1, "a", "b", "knows")) == [("a", "b")]
+
+    def test_chain_is_a_simple_path(self):
+        evaluator = RSPQEvaluator("a+", WindowSpec(size=100))
+        evaluator.process_stream(insert_stream(
+            [(1, "p1", "p2", "a"), (2, "p2", "p3", "a"), (3, "p3", "p4", "a")]
+        ))
+        expected = {(f"p{i}", f"p{j}") for i in range(1, 5) for j in range(i + 1, 5)}
+        assert evaluator.answer_pairs() == expected
+
+    def test_cycle_pairs_excluded(self):
+        """x -> y -> x: the pairs (x,x)/(y,y) need a repeated vertex, so only
+        the two cross pairs are answers under simple path semantics."""
+        evaluator = RSPQEvaluator("a+", WindowSpec(size=100))
+        evaluator.process_stream(insert_stream([(1, "x", "y", "a"), (2, "y", "x", "a")]))
+        assert evaluator.answer_pairs() == {("x", "y"), ("y", "x")}
+
+    def test_results_are_subset_of_arbitrary_semantics(self, figure1_stream, figure1_query, figure1_window):
+        rapq = RAPQEvaluator(figure1_query, figure1_window)
+        rspq = RSPQEvaluator(figure1_query, figure1_window)
+        for tup in figure1_stream:
+            rapq.process(tup)
+            rspq.process(tup)
+        assert rspq.answer_pairs() <= rapq.answer_pairs()
+
+    def test_figure1_example_simple_path_answers(self, figure1_stream, figure1_query, figure1_window):
+        """On the Figure 1 graph, (w, u) is only witnessed by a non-simple path,
+        so simple path semantics must exclude it while keeping (x, y)."""
+        evaluator = RSPQEvaluator(figure1_query, figure1_window)
+        for tup in figure1_stream:
+            evaluator.process(tup)
+        answers = evaluator.answer_pairs()
+        assert ("x", "y") in answers
+        assert ("w", "u") not in answers
+        assert ("w", "y") not in answers
+
+    def test_matches_simple_path_oracle_on_figure1(self, figure1_stream, figure1_query, figure1_window):
+        evaluator = RSPQEvaluator(figure1_query, figure1_window)
+        for tup in figure1_stream:
+            evaluator.process(tup)
+        expected = streaming_oracle(
+            figure1_stream, compile_query(figure1_query), figure1_window.size, simple_paths=True
+        )
+        assert evaluator.answer_pairs() == expected
+
+
+class TestConflictHandling:
+    def test_example_4_2_conflict_recovery(self, figure1_stream, figure1_query, figure1_window):
+        """Example 4.2: (x, y) is only found through the simple path <x,z,u,v,y>,
+        which requires detecting the conflict at vertex v and unmarking."""
+        evaluator = RSPQEvaluator(figure1_query, figure1_window)
+        reported_at = {}
+        for tup in figure1_stream:
+            for pair in evaluator.process(tup):
+                reported_at.setdefault(pair, tup.timestamp)
+        assert reported_at.get(("x", "y")) == 18
+        assert evaluator.stats["conflicts_detected"] >= 1
+        assert evaluator.stats["unmark_operations"] >= 1
+
+    def test_no_conflicts_for_containment_property_query(self):
+        """Queries with the suffix-containment property never trigger Unmark."""
+        evaluator = RSPQEvaluator("a*", WindowSpec(size=100))
+        stream = insert_stream(
+            [(t, f"v{t % 6}", f"v{(t * 2 + 1) % 6}", "a") for t in range(1, 30)]
+        )
+        evaluator.process_stream(stream)
+        assert evaluator.stats["conflicts_detected"] == 0
+        assert evaluator.stats["unmark_operations"] == 0
+
+    def test_node_occurs_once_per_tree_without_conflicts(self):
+        evaluator = RSPQEvaluator("a*", WindowSpec(size=100))
+        stream = insert_stream(
+            [(t, f"v{t % 5}", f"v{(t * 3 + 2) % 5}", "a") for t in range(1, 25)]
+        )
+        evaluator.process_stream(stream)
+        for tree in evaluator.trees.values():
+            keys = [node.key for node in tree.nodes()]
+            assert len(keys) == len(set(keys)), "duplicate (vertex, state) without conflicts"
+
+    def test_diamond_with_conflict_query_matches_oracle(self):
+        """A diamond graph where the short branch blocks the long one unless
+        conflicts are handled: classic failure mode of naive pruning."""
+        window = WindowSpec(size=100)
+        stream = insert_stream(
+            [
+                (1, "s", "a", "x"),
+                (2, "a", "m", "y"),
+                (3, "s", "m", "x"),   # direct edge creating the early visit of m
+                (4, "m", "a2", "x"),
+                (5, "a2", "t", "y"),
+            ]
+        )
+        query = "(x y)+"
+        evaluator = RSPQEvaluator(query, window)
+        evaluator.process_stream(stream)
+        expected = streaming_oracle(stream, compile_query(query), window.size, simple_paths=True)
+        assert evaluator.answer_pairs() == expected
+
+
+class TestBudget:
+    def test_budget_exceeded_raises(self):
+        from repro.errors import ConflictBudgetExceeded
+
+        evaluator = RSPQEvaluator("(a b)+", WindowSpec(size=1000), max_nodes_per_tree=10)
+        # densely interconnected bipartite graph => exponential simple paths
+        stream = []
+        ts = 0
+        for i in range(4):
+            for j in range(4):
+                ts += 1
+                stream.append(sgt(ts, f"u{i}", f"c{j}", "a"))
+                ts += 1
+                stream.append(sgt(ts, f"c{j}", f"u{(i + 1) % 4}", "b"))
+        with pytest.raises(ConflictBudgetExceeded):
+            for tup in stream:
+                evaluator.process(tup)
+
+    def test_budget_not_triggered_for_easy_query(self):
+        evaluator = RSPQEvaluator("a*", WindowSpec(size=100), max_nodes_per_tree=10_000)
+        stream = insert_stream([(t, f"v{t}", f"v{t+1}", "a") for t in range(1, 40)])
+        evaluator.process_stream(stream)  # must not raise
+        assert len(evaluator.answer_pairs()) > 0
+
+
+class TestBasicsSharedWithRAPQ:
+    def test_irrelevant_labels_discarded(self):
+        evaluator = RSPQEvaluator("a", WindowSpec(size=10))
+        evaluator.process(sgt(1, "u", "v", "zzz"))
+        assert evaluator.stats["tuples_discarded"] == 1
+        assert evaluator.answer_pairs() == set()
+
+    def test_window_separation_prevents_joins(self):
+        evaluator = RSPQEvaluator("a b", WindowSpec(size=5, slide=1))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        evaluator.process(sgt(10, "v", "w", "b"))
+        assert evaluator.answer_pairs() == set()
+
+    def test_timestamps_must_be_non_decreasing(self):
+        evaluator = RSPQEvaluator("a", WindowSpec(size=10))
+        evaluator.process(sgt(5, "u", "v", "a"))
+        with pytest.raises(ValueError):
+            evaluator.process(sgt(4, "v", "w", "a"))
+
+    def test_index_size_reports_trees_nodes_markings(self):
+        evaluator = RSPQEvaluator("a+", WindowSpec(size=100))
+        evaluator.process(sgt(1, "u", "v", "a"))
+        summary = evaluator.index_size()
+        assert summary["trees"] == 1
+        assert summary["nodes"] >= 2
+        assert summary["markings"] >= 1

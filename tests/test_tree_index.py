@@ -1,0 +1,155 @@
+"""Unit tests for the Delta tree index (spanning trees of the product graph)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.tree_index import ROOT_TIMESTAMP, SpanningTree, TreeIndex
+
+
+@pytest.fixture
+def tree():
+    """A small tree rooted at ('x', 0) with a chain x->y->u and a sibling z."""
+    t = SpanningTree("x", start_state=0)
+    t.add_node(("y", 1), parent=("x", 0), timestamp=13)
+    t.add_node(("u", 2), parent=("y", 1), timestamp=4)
+    t.add_node(("z", 1), parent=("x", 0), timestamp=6)
+    return t
+
+
+class TestSpanningTreeBasics:
+    def test_root_exists(self):
+        t = SpanningTree("x", 0)
+        assert t.root_key == ("x", 0)
+        assert t.root.timestamp == ROOT_TIMESTAMP
+        assert len(t) == 1
+
+    def test_add_and_get(self, tree):
+        node = tree.get(("y", 1))
+        assert node is not None
+        assert node.parent == ("x", 0)
+        assert node.timestamp == 13
+        assert ("y", 1) in tree
+
+    def test_add_duplicate_key_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.add_node(("y", 1), parent=("x", 0), timestamp=20)
+
+    def test_add_with_missing_parent_rejected(self, tree):
+        with pytest.raises(KeyError):
+            tree.add_node(("q", 1), parent=("nope", 7), timestamp=1)
+
+    def test_children_links(self, tree):
+        assert ("y", 1) in tree.root.children
+        assert ("u", 2) in tree.get(("y", 1)).children
+
+    def test_contains_vertex_and_states_of(self, tree):
+        assert tree.contains_vertex("y")
+        assert not tree.contains_vertex("w")
+        assert tree.states_of("y") == [1]
+
+    def test_node_count(self, tree):
+        assert len(tree) == 4
+        assert len(list(tree.nodes())) == 4
+
+
+class TestPathsAndSubtrees:
+    def test_path_to_root(self, tree):
+        assert tree.path_to_root(("u", 2)) == [("x", 0), ("y", 1), ("u", 2)]
+
+    def test_path_of_root_is_singleton(self, tree):
+        assert tree.path_to_root(("x", 0)) == [("x", 0)]
+
+    def test_path_of_unknown_node_raises(self, tree):
+        with pytest.raises(KeyError):
+            tree.path_to_root(("nope", 9))
+
+    def test_subtree_keys(self, tree):
+        assert set(tree.subtree_keys(("y", 1))) == {("y", 1), ("u", 2)}
+        assert set(tree.subtree_keys(("x", 0))) == {("x", 0), ("y", 1), ("u", 2), ("z", 1)}
+        assert tree.subtree_keys(("nope", 0)) == []
+
+
+class TestMutation:
+    def test_reparent(self, tree):
+        tree.reparent(("u", 2), ("z", 1), timestamp=6)
+        node = tree.get(("u", 2))
+        assert node.parent == ("z", 1)
+        assert node.timestamp == 6
+        assert ("u", 2) not in tree.get(("y", 1)).children
+        assert ("u", 2) in tree.get(("z", 1)).children
+
+    def test_reparent_to_self_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.reparent(("u", 2), ("u", 2), timestamp=1)
+
+    def test_remove(self, tree):
+        removed = tree.remove(("u", 2))
+        assert removed is not None
+        assert ("u", 2) not in tree
+        assert ("u", 2) not in tree.get(("y", 1)).children
+        assert not tree.contains_vertex("u")
+
+    def test_remove_missing_returns_none(self, tree):
+        assert tree.remove(("nope", 3)) is None
+
+    def test_remove_many(self, tree):
+        removed = tree.remove_many(iter([("y", 1), ("u", 2)]))
+        assert len(removed) == 2
+        assert len(tree) == 2
+
+
+class TestTreeIndex:
+    def test_get_or_create(self):
+        index = TreeIndex(start_state=0)
+        tree = index.get_or_create("x")
+        assert index.get("x") is tree
+        assert index.get_or_create("x") is tree
+        assert index.num_trees == 1
+
+    def test_trees_containing_tracks_registrations(self):
+        index = TreeIndex(start_state=0)
+        tx = index.get_or_create("x")
+        ty = index.get_or_create("y")
+        tx.add_node(("u", 1), parent=("x", 0), timestamp=3)
+        index.register_node(tx, "u")
+        containing = index.trees_containing("u")
+        assert containing == [tx]
+        assert set(t.root_vertex for t in index.trees_containing("x")) == {"x"}
+        assert index.trees_containing("unknown") == []
+        assert ty in index.trees_containing("y")
+
+    def test_unregister_node_only_when_vertex_gone(self):
+        index = TreeIndex(start_state=0)
+        tx = index.get_or_create("x")
+        tx.add_node(("u", 1), parent=("x", 0), timestamp=3)
+        tx.add_node(("u", 2), parent=("x", 0), timestamp=3)
+        index.register_node(tx, "u")
+        # still present in another state: unregister must be a no-op
+        tx.remove(("u", 1))
+        index.unregister_node(tx, "u")
+        assert index.trees_containing("u") == [tx]
+        tx.remove(("u", 2))
+        index.unregister_node(tx, "u")
+        assert index.trees_containing("u") == []
+
+    def test_discard_tree(self):
+        index = TreeIndex(start_state=0)
+        tx = index.get_or_create("x")
+        tx.add_node(("u", 1), parent=("x", 0), timestamp=3)
+        index.register_node(tx, "u")
+        index.discard_tree("x")
+        assert index.get("x") is None
+        assert index.trees_containing("u") == []
+        assert index.num_trees == 0
+
+    def test_size_summary(self):
+        index = TreeIndex(start_state=0)
+        tx = index.get_or_create("x")
+        tx.add_node(("u", 1), parent=("x", 0), timestamp=3)
+        index.get_or_create("y")
+        assert index.size_summary() == {"trees": 2, "nodes": 3}
+        assert index.num_nodes == 3
+        assert len(index) == 2
