@@ -1,0 +1,114 @@
+"""Runtime scaling — sharded service throughput vs the single-threaded engine.
+
+Not a figure of the paper: this benchmark measures the execution subsystem
+added on top of it.  A multi-query workload (disjoint label groups, so the
+router can keep shards independent) is evaluated by the single-threaded
+:class:`~repro.core.engine.StreamingRPQEngine` and by the
+:class:`~repro.runtime.StreamingQueryService` at shard counts {1, 2, 4},
+reporting end-to-end throughput and the speed-up over the baseline.
+
+Python threads share the GIL, so CPU-bound speed-up is bounded; the win
+measured here comes from the router's label filtering (each shard only
+touches tuples its queries can use) and the architecture is ready for a
+``multiprocessing`` backend.  Results are asserted for correctness: every
+configuration must produce exactly the baseline's result triples.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.engine import StreamingRPQEngine
+from repro.datasets.synthetic import UniformStreamGenerator
+from repro.graph.stream import with_deletions
+from repro.graph.window import WindowSpec
+from repro.runtime import RuntimeConfig, StreamingQueryService
+
+SHARD_COUNTS = (1, 2, 4)
+
+#: Queries over disjoint label groups, the shape sharding helps most.
+QUERIES = {
+    "q-a": "a1 a2*",
+    "q-b": "b1+ b2",
+    "q-c": "(c1 c2)+",
+    "q-d": "d1 d2*",
+}
+
+_SCALES = {
+    "tiny": (4_000, 30),
+    "small": (12_000, 60),
+    "medium": (40_000, 120),
+}
+
+
+def build_workload(scale: str):
+    num_edges, window_size = _SCALES[scale]
+    labels = ("a1", "a2", "b1", "b2", "c1", "c2", "d1", "d2", "noise1", "noise2")
+    generator = UniformStreamGenerator(
+        num_vertices=150, labels=labels, edges_per_timestamp=8, seed=13
+    )
+    stream = with_deletions(list(generator.generate(num_edges)), 0.05, seed=13)
+    return stream, WindowSpec(size=window_size, slide=max(1, window_size // 10))
+
+
+def run_baseline(stream, window):
+    engine = StreamingRPQEngine(window)
+    for name, expression in QUERIES.items():
+        engine.register(name, expression)
+    started = time.perf_counter()
+    engine.process_stream(stream)
+    elapsed = time.perf_counter() - started
+    triples = {
+        name: {(e.source, e.target, e.timestamp) for e in engine.query(name).results.positives()}
+        for name in QUERIES
+    }
+    return elapsed, triples
+
+
+def run_service(stream, window, shards):
+    config = RuntimeConfig(shards=shards, batch_size=256, sharding="label_affinity")
+    service = StreamingQueryService(window, config)
+    for name, expression in QUERIES.items():
+        service.register(name, expression)
+    started = time.perf_counter()
+    with service:
+        service.ingest(stream)
+        service.drain()
+        elapsed = time.perf_counter() - started
+        triples = {name: service.result_triples(name) for name in QUERIES}
+    return elapsed, triples
+
+
+def runtime_scaling(scale: str):
+    stream, window = build_workload(scale)
+    baseline_seconds, expected = run_baseline(stream, window)
+    rows = [("engine (1 thread)", baseline_seconds, len(stream) / baseline_seconds, 1.0)]
+    for shards in SHARD_COUNTS:
+        elapsed, triples = run_service(stream, window, shards)
+        assert triples == expected, f"service with {shards} shard(s) diverged from the engine"
+        rows.append(
+            (f"service {shards} shard(s)", elapsed, len(stream) / elapsed, baseline_seconds / elapsed)
+        )
+    return len(stream), rows
+
+
+def render_scaling(num_tuples, rows) -> str:
+    lines = [
+        f"Runtime scaling — {num_tuples} tuples, {len(QUERIES)} queries",
+        f"{'configuration':<22} {'seconds':>8} {'edges/s':>12} {'speedup':>8}",
+    ]
+    for name, seconds, eps, speedup in rows:
+        lines.append(f"{name:<22} {seconds:>8.2f} {eps:>12,.0f} {speedup:>7.2f}x")
+    return "\n".join(lines)
+
+
+def test_runtime_scaling(benchmark, save_result, bench_scale):
+    num_tuples, rows = benchmark.pedantic(
+        runtime_scaling, args=(bench_scale,), rounds=1, iterations=1
+    )
+    save_result("runtime_scaling", render_scaling(num_tuples, rows))
+
+    # every configuration processed the full stream and reported a throughput
+    assert len(rows) == 1 + len(SHARD_COUNTS)
+    for _, seconds, eps, _ in rows:
+        assert seconds > 0 and eps > 0

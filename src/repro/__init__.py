@@ -21,7 +21,9 @@ surface:
 * :mod:`repro.core` — the streaming algorithms (RAPQ, RSPQ), baseline and engine;
 * :mod:`repro.datasets` — query workloads and synthetic streaming graphs;
 * :mod:`repro.metrics` — latency/throughput collectors and reporting;
-* :mod:`repro.experiments` — harness regenerating the paper's tables and figures.
+* :mod:`repro.experiments` — harness regenerating the paper's tables and figures;
+* :mod:`repro.runtime` — sharded parallel runtime (multi-worker service,
+  stream router, result merger, coordinated checkpointing).
 """
 
 from .core import (
@@ -38,7 +40,13 @@ from .core import (
     restore_rapq,
     save_checkpoint,
 )
-from .errors import ConflictBudgetExceeded, ReproError, StreamOrderError
+from .errors import (
+    ConflictBudgetExceeded,
+    ReproError,
+    RuntimeStateError,
+    ShardWorkerError,
+    StreamOrderError,
+)
 from .extensions import (
     EdgePredicate,
     PropertyEdge,
@@ -60,8 +68,9 @@ from .graph import (
     with_deletions,
 )
 from .regex import QueryAnalysis, analyze, compile_query, parse
+from .runtime import RuntimeConfig, StreamingQueryService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConflictBudgetExceeded",
@@ -79,12 +88,16 @@ __all__ = [
     "ReproError",
     "ResultEvent",
     "ResultStream",
+    "RuntimeConfig",
+    "RuntimeStateError",
+    "ShardWorkerError",
     "SharedSnapshotEngine",
     "SlidingWindow",
     "SnapshotGraph",
     "SnapshotRecomputeBaseline",
     "StreamOrderError",
     "StreamingGraphTuple",
+    "StreamingQueryService",
     "StreamingRPQEngine",
     "WindowSpec",
     "analyze",

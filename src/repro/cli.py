@@ -6,14 +6,21 @@ Usage (after ``pip install -e .`` or with ``PYTHONPATH=src``)::
     python -m repro generate --dataset yago --edges 5000 --output yago.csv
     python -m repro run      --query "isLocatedIn+" --input yago.csv \
                              --window 40 --slide 4 --semantics arbitrary
+    python -m repro run      --query "isLocatedIn+" --input yago.csv \
+                             --window 40 --shards 4
+    python -m repro serve    --input yago.csv --window 40 --shards 4 \
+                             --query "places=isLocatedIn+" --query "deals=dealsWith+"
     python -m repro experiment --figure 7
     python -m repro experiment --table 4 --scale tiny
 
 The CLI is a thin layer over the library: ``compile`` shows the minimal DFA
 and the conflict-freedom analysis of a query, ``generate`` materializes one
 of the synthetic workloads to CSV, ``run`` evaluates a persistent query
-over a CSV stream and reports throughput/latency/result counts, and
-``experiment`` regenerates one of the paper's tables or figures.
+over a CSV stream and reports throughput/latency/result counts (optionally
+through the sharded runtime with ``--shards N``), ``serve`` runs several
+persistent queries as a :class:`~repro.runtime.StreamingQueryService`
+across shard workers, and ``experiment`` regenerates one of the paper's
+tables or figures.
 """
 
 from __future__ import annotations
@@ -44,9 +51,11 @@ from .experiments import (
     table1_complexity_check,
     table4_simple_path,
 )
-from .graph.stream import read_csv, with_deletions, write_csv
+from .errors import ShardWorkerError
+from .graph.stream import GeneratorStream, iter_csv, with_deletions, write_csv
 from .graph.window import WindowSpec
 from .regex.analysis import analyze
+from .runtime import SHARDING_POLICIES, RuntimeConfig, StreamingQueryService
 
 __all__ = ["main", "build_parser"]
 
@@ -87,6 +96,38 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--deletions", type=float, default=0.0, help="inject this ratio of explicit deletions")
     run_parser.add_argument("--limit", type=int, default=None, help="process only the first N tuples")
     run_parser.add_argument("--show-results", type=int, default=0, help="print up to N result pairs")
+    run_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="evaluate through the sharded runtime; note run has a single query, which "
+        "occupies one shard (query-level parallelism) — use 'serve' for real fan-out",
+    )
+    run_parser.add_argument("--batch-size", type=int, default=64, help="tuples per worker batch (with --shards > 1)")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run multiple persistent queries as a sharded service over a CSV stream"
+    )
+    serve_parser.add_argument(
+        "--query",
+        action="append",
+        required=True,
+        dest="queries",
+        metavar="[NAME=]EXPR",
+        help="persistent query to register (repeatable); unnamed queries become q0, q1, ...",
+    )
+    serve_parser.add_argument("--input", required=True, help="CSV stream produced by 'generate' or write_csv")
+    serve_parser.add_argument("--window", type=int, required=True, help="window size |W| in time units")
+    serve_parser.add_argument("--slide", type=int, default=1, help="slide interval beta in time units")
+    serve_parser.add_argument("--semantics", choices=["arbitrary", "simple", "baseline"], default="arbitrary")
+    serve_parser.add_argument("--shards", type=int, default=2, help="number of shard workers")
+    serve_parser.add_argument("--batch-size", type=int, default=64, help="tuples per worker batch")
+    serve_parser.add_argument("--queue-depth", type=int, default=8, help="bounded queue depth per worker, in batches")
+    serve_parser.add_argument("--policy", choices=sorted(SHARDING_POLICIES), default="hash", help="query-to-shard placement policy")
+    serve_parser.add_argument("--deletions", type=float, default=0.0, help="inject this ratio of explicit deletions")
+    serve_parser.add_argument("--limit", type=int, default=None, help="process only the first N tuples")
+    serve_parser.add_argument("--checkpoint", default=None, help="write a coordinated checkpoint JSON here after draining")
+    serve_parser.add_argument("--show-results", type=int, default=0, help="print the first N events of the merged result stream")
 
     experiment_parser = subparsers.add_parser("experiment", help="regenerate a table or figure of the paper")
     target = experiment_parser.add_mutually_exclusive_group(required=True)
@@ -120,13 +161,28 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    stream = list(read_csv(args.input))
+def _load_stream(args: argparse.Namespace):
+    """Build the input stream for run/serve: lazy unless deletions are injected."""
+    stream = iter_csv(args.input)
     if args.limit is not None:
-        stream = stream[: args.limit]
+        import itertools
+
+        limit = args.limit
+        source = stream
+        stream = GeneratorStream(lambda: itertools.islice(iter(source), limit))
     if args.deletions > 0:
-        stream = with_deletions(stream, args.deletions)
+        # Deletion injection needs the whole stream to pick edges to negate.
+        stream = with_deletions(list(stream), args.deletions)
+    return stream
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    stream = _load_stream(args)
     window = WindowSpec(size=args.window, slide=args.slide)
+    if args.shards > 1:
+        return _run_sharded(args, stream, window)
     result = run_query(
         args.query,
         stream,
@@ -153,6 +209,123 @@ def _command_run(args: argparse.Namespace) -> int:
         for pair in sorted(evaluator.answer_pairs())[: args.show_results]:
             print(f"  {pair[0]} -> {pair[1]}")
     return 0 if result.completed else 1
+
+
+def _make_runtime_config(args: argparse.Namespace) -> RuntimeConfig:
+    try:
+        return RuntimeConfig(
+            shards=args.shards,
+            batch_size=args.batch_size,
+            queue_depth=getattr(args, "queue_depth", 8),
+            sharding=getattr(args, "policy", "hash"),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid runtime configuration: {exc}") from None
+
+
+def _run_sharded(args: argparse.Namespace, stream, window: WindowSpec) -> int:
+    import time
+
+    service = StreamingQueryService(window, _make_runtime_config(args))
+    service.register(args.query, args.query, semantics=args.semantics)
+    started = time.perf_counter()
+    try:
+        with service:
+            service.ingest(stream)
+            service.drain()
+            elapsed = time.perf_counter() - started
+            summary = service.summary()
+            triples = service.result_triples(args.query)
+            pairs = service.answer_pairs(args.query)
+    except ShardWorkerError as exc:
+        # Mirror the single-threaded path: report the failure and exit 1
+        # (e.g. an RSPQ conflict budget exceeded inside a shard worker).
+        print(f"query            : {args.query}")
+        print(f"semantics        : {args.semantics}")
+        print(f"status           : failed: {exc.__cause__ or exc}")
+        return 1
+    totals = summary["totals"]
+    print(f"query            : {args.query}")
+    print(f"semantics        : {args.semantics}")
+    print(f"window           : |W|={args.window}, beta={args.slide}")
+    print(f"runtime          : {args.shards} shard(s), batch={args.batch_size}")
+    print(f"tuples processed : {totals['tuples_ingested']} "
+          f"({totals['tuples_dropped_unroutable']} dropped as irrelevant)")
+    print(f"distinct results : {len(pairs)} ({len(triples)} result events)")
+    if elapsed > 0:
+        print(f"throughput       : {totals['tuples_ingested'] / elapsed:,.0f} edges/s")
+    if args.show_results > 0:
+        for source, target in sorted(pairs)[: args.show_results]:
+            print(f"  {source} -> {target}")
+    return 0
+
+
+def _parse_named_queries(specs) -> "dict":
+    queries = {}
+    for position, spec in enumerate(specs):
+        name, eq, expression = spec.partition("=")
+        if not eq:
+            name, expression = f"q{position}", spec
+        name, expression = name.strip(), expression.strip()
+        if not name or not expression:
+            raise SystemExit(f"invalid --query {spec!r}; expected [NAME=]EXPR")
+        if name in queries:
+            raise SystemExit(f"duplicate query name {name!r}")
+        queries[name] = expression
+    return queries
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import time
+
+    queries = _parse_named_queries(args.queries)
+    config = _make_runtime_config(args)
+    if args.checkpoint and args.semantics != "arbitrary":
+        raise SystemExit(
+            "--checkpoint requires --semantics arbitrary (only arbitrary-path "
+            "queries are checkpointable)"
+        )
+    stream = _load_stream(args)
+    window = WindowSpec(size=args.window, slide=args.slide)
+    service = StreamingQueryService(window, config)
+    for name, expression in queries.items():
+        shard = service.register(name, expression, semantics=args.semantics)
+        print(f"registered {name!r} ({expression}) on shard {shard}")
+    started = time.perf_counter()
+    try:
+        with service:
+            service.ingest(stream)
+            service.drain()
+            elapsed = time.perf_counter() - started
+            summary = service.summary()
+            if args.checkpoint:
+                path = service.save_checkpoint(args.checkpoint)
+                print(f"checkpoint written to {path}")
+            merged_head = []
+            if args.show_results > 0:
+                import itertools
+
+                merged_head = list(itertools.islice(service.global_events(), args.show_results))
+    except ShardWorkerError as exc:
+        print(f"status           : failed: {exc.__cause__ or exc}")
+        return 1
+    totals = summary["totals"]
+    print(f"window           : |W|={args.window}, beta={args.slide}")
+    print(f"runtime          : {args.shards} shard(s), policy={args.policy}, batch={args.batch_size}")
+    print(f"tuples ingested  : {totals['tuples_ingested']} "
+          f"({totals['tuples_dropped_unroutable']} dropped as irrelevant)")
+    if elapsed > 0:
+        print(f"throughput       : {totals['tuples_ingested'] / elapsed:,.0f} edges/s")
+    for stats in summary["shards"]:
+        print(f"  shard {int(stats['shard'])}: queries={int(stats['queries'])} "
+              f"tuples={int(stats['tuples'])} batches={int(stats['batches'])} "
+              f"busy={stats['busy_seconds']:.3f}s")
+    for name, stats in sorted(summary["queries"].items()):
+        print(f"  query {name!r}: shard={stats['shard']} results={stats['distinct_results']} "
+              f"events={stats['events']} index={stats['index']}")
+    for tagged in merged_head:
+        print(f"  {tagged}")
+    return 0
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
@@ -192,6 +365,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compile": _command_compile,
         "generate": _command_generate,
         "run": _command_run,
+        "serve": _command_serve,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

@@ -126,6 +126,32 @@ class StreamingRPQEngine:
         self._queries[name] = registered
         return registered
 
+    def register_evaluator(self, name: str, evaluator, semantics: str = "arbitrary") -> RegisteredQuery:
+        """Register a pre-built evaluator (e.g. restored from a checkpoint).
+
+        Unlike :meth:`register`, no fresh evaluator is constructed: the given
+        one is adopted as-is, keeping its accumulated window, index and
+        result-stream state.  The evaluator's window must match the engine's.
+
+        Raises:
+            ValueError: if a query with the same name is already registered,
+                the semantics name is unknown, or the windows differ.
+        """
+        if name in self._queries:
+            raise ValueError(f"a query named {name!r} is already registered")
+        if semantics not in SEMANTICS:
+            raise ValueError(f"unknown semantics {semantics!r}; expected one of {SEMANTICS}")
+        window = getattr(evaluator, "window", None)
+        if window is not None and (window.size, window.slide) != (self.window.size, self.window.slide):
+            raise ValueError(
+                f"evaluator window {window} does not match engine window {self.window}"
+            )
+        registered = RegisteredQuery(
+            name=name, analysis=evaluator.analysis, semantics=semantics, evaluator=evaluator
+        )
+        self._queries[name] = registered
+        return registered
+
     def deregister(self, name: str) -> None:
         """Remove a registered query (its accumulated results are discarded)."""
         if name not in self._queries:

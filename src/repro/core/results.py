@@ -88,6 +88,14 @@ class ResultStream:
             self._active_counts.pop(pair, None)
         return event
 
+    def copy(self) -> "ResultStream":
+        """Cheap structural copy (no per-event replay) for snapshotting."""
+        duplicate = ResultStream()
+        duplicate._events = list(self._events)
+        duplicate._distinct = set(self._distinct)
+        duplicate._active_counts = dict(self._active_counts)
+        return duplicate
+
     def extend(self, events: Iterator[ResultEvent]) -> None:
         """Append pre-built events (used when merging engine outputs)."""
         for event in events:

@@ -6,6 +6,8 @@ __all__ = [
     "ReproError",
     "StreamOrderError",
     "ConflictBudgetExceeded",
+    "RuntimeStateError",
+    "ShardWorkerError",
 ]
 
 
@@ -15,6 +17,29 @@ class ReproError(Exception):
 
 class StreamOrderError(ReproError, ValueError):
     """Raised when stream tuples violate the non-decreasing timestamp order."""
+
+
+class RuntimeStateError(ReproError, RuntimeError):
+    """Raised when a runtime-service operation is invalid in its lifecycle state.
+
+    Examples: ingesting into a :class:`~repro.runtime.StreamingQueryService`
+    that has not been started, or starting a service twice.
+    """
+
+
+class ShardWorkerError(ReproError, RuntimeError):
+    """Raised when a shard worker failed while processing its queue.
+
+    The original exception raised on the worker thread is attached as
+    ``__cause__`` and surfaced to the caller on the next interaction with
+    the worker (submit, drain, stop or a control call).  The failure is
+    sticky: the shard's engine may have missed tuples, so the worker stays
+    poisoned and every later interaction re-raises.
+    """
+
+    def __init__(self, message: str, shard_id: int = -1) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
 
 
 class ConflictBudgetExceeded(ReproError, RuntimeError):

@@ -6,6 +6,8 @@ from .stream import (
     GeneratorStream,
     GraphStream,
     ListStream,
+    iter_csv,
+    merge_by_timestamp,
     merge_streams,
     read_csv,
     with_deletions,
@@ -27,6 +29,8 @@ __all__ = [
     "StreamingGraphTuple",
     "Vertex",
     "WindowSpec",
+    "iter_csv",
+    "merge_by_timestamp",
     "merge_streams",
     "read_csv",
     "reorder_stream",

@@ -236,9 +236,28 @@ def _wrap(node: RegexNode, for_concat: bool = False) -> str:
     )
     if isinstance(node, Concat) and not for_concat:
         needs_parens = True
-    if needs_parens and not (text.startswith("(") and text.endswith(")")):
+    if needs_parens and not _fully_parenthesized(text):
         return f"({text})"
     return text
+
+
+def _fully_parenthesized(text: str) -> bool:
+    """True if ``text`` is one group wrapped in a single pair of parentheses.
+
+    ``(a | a) (a | a)`` starts with ``(`` and ends with ``)`` but the two
+    parentheses belong to different groups, so wrapping is still required.
+    """
+    if not (text.startswith("(") and text.endswith(")")):
+        return False
+    depth = 0
+    for position, character in enumerate(text):
+        if character == "(":
+            depth += 1
+        elif character == ")":
+            depth -= 1
+            if depth == 0:
+                return position == len(text) - 1
+    return False
 
 
 def concat_all(nodes) -> RegexNode:

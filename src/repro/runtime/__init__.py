@@ -1,0 +1,96 @@
+"""Sharded parallel runtime: multi-worker execution subsystem for persistent RPQs.
+
+The paper's algorithms are single-threaded per-query evaluators; this
+package adds the execution layer that turns them into a scalable service.
+
+Architecture — four cooperating pieces behind one facade::
+
+    tuples ──> StreamRouter ──> per-shard bounded queues ──> ShardWorker (engine)
+                  │                                             │
+                  └─ ShardingPolicy places queries              └─ results
+                                                                    │
+    global result stream  <── timestamp-ordered k-way merge  <──────┘
+
+* :mod:`~repro.runtime.config` — :class:`RuntimeConfig`: shard count,
+  batch size, queue depth (backpressure bound), worker backend and
+  sharding policy.
+* :mod:`~repro.runtime.router` — :class:`StreamRouter` with pluggable
+  :class:`ShardingPolicy` (``round_robin``, ``hash``, ``label_affinity``).
+  Parallelism is per *query*: each query lives on exactly one shard, and a
+  tuple is routed to every shard hosting a query whose alphabet contains
+  the tuple's label (others cannot affect any result, §5.2).
+* :mod:`~repro.runtime.worker` — :class:`ShardWorker`: a private
+  :class:`~repro.core.engine.StreamingRPQEngine` per shard, fed batches
+  from a bounded queue on a ``threading`` backend; the message-shaped API
+  leaves room for a ``multiprocessing`` backend.
+* :mod:`~repro.runtime.merger` — lazy timestamp-ordered k-way merge of the
+  per-query result streams into one global stream (shares the heap merge
+  with :func:`repro.graph.stream.merge_streams`).
+* :mod:`~repro.runtime.service` — :class:`StreamingQueryService`: lifecycle
+  (``start`` / ``ingest`` / ``drain`` / ``stop``, also a context manager),
+  dynamic ``register`` / ``deregister`` while running, aggregated
+  per-shard metrics (:meth:`~service.StreamingQueryService.summary`) and
+  coordinated checkpoint/restore of all shard engines
+  (:meth:`~service.StreamingQueryService.checkpoint`, reusing
+  :mod:`repro.core.checkpoint`).
+
+Because every shard sees its tuples in stream order and evaluates whole
+queries, the service's output is tuple-for-tuple identical to the
+single-threaded engine — verified by ``tests/test_runtime_service.py``.
+
+Command-line interface::
+
+    # evaluate one query through the sharded runtime
+    python -m repro run --query "a+" --input stream.csv --window 50 \\
+                        --shards 4 --batch-size 128
+
+    # run a service with several persistent queries across shards
+    python -m repro serve --input stream.csv --window 50 --shards 4 \\
+                          --query "chains=follows+" --query "pings=ping ping*" \\
+                          --policy label_affinity --checkpoint state.json
+
+``serve`` flags: repeatable ``--query [name=]expr``, ``--shards``,
+``--batch-size``, ``--queue-depth``, ``--policy`` (sharding policy),
+``--semantics``, ``--deletions``, ``--limit``, ``--checkpoint PATH``
+(write a coordinated checkpoint after draining), ``--show-results N``
+(print the head of the merged global result stream).
+
+Benchmark: ``benchmarks/bench_runtime_scaling.py`` measures service
+throughput at shard counts {1, 2, 4} against the single-threaded engine.
+"""
+
+from .config import BACKENDS, SHARDING_POLICIES, RuntimeConfig
+from .merger import TaggedResultEvent, collect_results, merge_result_events, merge_result_streams
+from .router import (
+    HashPolicy,
+    LabelAffinityPolicy,
+    RoundRobinPolicy,
+    ShardingPolicy,
+    ShardView,
+    StreamRouter,
+    make_policy,
+)
+from .service import StreamingQueryService
+from .worker import WORKER_BACKENDS, ShardWorker, ThreadShardWorker, create_worker
+
+__all__ = [
+    "BACKENDS",
+    "SHARDING_POLICIES",
+    "WORKER_BACKENDS",
+    "HashPolicy",
+    "LabelAffinityPolicy",
+    "RoundRobinPolicy",
+    "RuntimeConfig",
+    "ShardView",
+    "ShardWorker",
+    "ShardingPolicy",
+    "StreamRouter",
+    "StreamingQueryService",
+    "TaggedResultEvent",
+    "ThreadShardWorker",
+    "collect_results",
+    "create_worker",
+    "make_policy",
+    "merge_result_events",
+    "merge_result_streams",
+]

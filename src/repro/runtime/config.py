@@ -1,0 +1,76 @@
+"""Configuration of the sharded parallel runtime.
+
+:class:`RuntimeConfig` bundles every knob of the execution subsystem:
+how many shard workers to run, how tuples are batched into the workers'
+bounded queues (batching amortizes queue overhead, the bound provides
+backpressure), which concurrency backend drives the workers and which
+sharding policy places queries onto shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Dict
+
+__all__ = ["RuntimeConfig", "BACKENDS", "SHARDING_POLICIES"]
+
+#: Concurrency backends implemented by :mod:`repro.runtime.worker`.  The
+#: worker API is process-shaped (batches and control messages over a queue,
+#: no shared mutable state with the coordinator) so a ``"multiprocessing"``
+#: backend can be added without touching the service layer.
+BACKENDS = ("threading",)
+
+#: Query-placement policies implemented by :mod:`repro.runtime.router`.
+SHARDING_POLICIES = ("round_robin", "hash", "label_affinity")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Tunables of the sharded runtime.
+
+    Attributes:
+        shards: number of shard workers, each owning a private engine.
+        batch_size: tuples per batch handed to a worker queue; larger
+            batches amortize hand-off overhead, smaller ones reduce the
+            latency until a tuple's results become visible.
+        queue_depth: bound (in batches) of each worker's input queue;
+            ``ingest`` blocks when a worker is this far behind
+            (backpressure instead of unbounded buffering).
+        backend: concurrency backend, one of :data:`BACKENDS`.
+        sharding: query-placement policy name, one of
+            :data:`SHARDING_POLICIES`.
+    """
+
+    shards: int = 2
+    batch_size: int = 64
+    queue_depth: int = 8
+    backend: str = "threading"
+    sharding: str = "hash"
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; expected one of {BACKENDS}")
+        if self.sharding not in SHARDING_POLICIES:
+            raise ValueError(
+                f"unknown sharding policy {self.sharding!r}; expected one of {SHARDING_POLICIES}"
+            )
+
+    def with_shards(self, shards: int) -> "RuntimeConfig":
+        """Return a copy of this config with a different shard count."""
+        return replace(self, shards=shards)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation (used in service checkpoints)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, object]) -> "RuntimeConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        known = {field: state[field] for field in cls.__dataclass_fields__ if field in state}
+        return cls(**known)

@@ -1,0 +1,69 @@
+"""Timestamp-ordered merging of per-shard result streams.
+
+Each shard worker accumulates per-query :class:`~repro.core.results.ResultStream`
+objects independently.  To present the runtime's output as *one* global
+result stream — the shape the paper's single-threaded prototype produces —
+the per-query streams are k-way merged by timestamp.  The merge reuses
+:func:`repro.graph.stream.merge_by_timestamp` (the same lazy ``heapq``
+merge backing :func:`~repro.graph.stream.merge_streams`), with events
+tagged by their query name so consumers know which persistent query fired.
+
+Within one stream events are already in timestamp order (streams are
+append-only and inputs arrive in timestamp order), so the merge is exact;
+ties across streams are broken deterministically by input position.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, NamedTuple
+
+from ..core.results import ResultEvent, ResultStream
+from ..graph.stream import merge_by_timestamp
+
+__all__ = ["TaggedResultEvent", "merge_result_events", "merge_result_streams", "collect_results"]
+
+
+class TaggedResultEvent(NamedTuple):
+    """A result event annotated with the query that produced it."""
+
+    timestamp: int
+    query: str
+    event: ResultEvent
+
+    def __str__(self) -> str:
+        return f"{self.query}:{self.event}"
+
+
+def _tagged(query: str, events: Iterable[ResultEvent]) -> Iterator[TaggedResultEvent]:
+    for event in events:
+        yield TaggedResultEvent(event.timestamp, query, event)
+
+
+def merge_result_events(streams: Dict[str, Iterable[ResultEvent]]) -> Iterator[TaggedResultEvent]:
+    """Lazily merge named event streams into one timestamp-ordered stream.
+
+    Args:
+        streams: mapping of query name to its (timestamp-ordered) events.
+
+    Yields:
+        :class:`TaggedResultEvent` in non-decreasing timestamp order.
+    """
+    sources = [_tagged(query, events) for query, events in sorted(streams.items())]
+    return merge_by_timestamp(*sources)
+
+
+def merge_result_streams(streams: Dict[str, ResultStream]) -> List[TaggedResultEvent]:
+    """Materialize the global merged stream of several result streams."""
+    return list(merge_result_events({name: stream.events for name, stream in streams.items()}))
+
+
+def collect_results(streams: Iterable[ResultStream]) -> ResultStream:
+    """Fold several result streams into a single global :class:`ResultStream`.
+
+    Events are replayed in merged timestamp order, so the combined stream's
+    distinct/active pair bookkeeping matches what a single engine evaluating
+    all queries would have accumulated.
+    """
+    combined = ResultStream()
+    combined.extend(merge_by_timestamp(*[stream.events for stream in streams]))
+    return combined

@@ -1,0 +1,235 @@
+"""Stream routing: place queries on shards, route tuples to shards.
+
+The runtime parallelizes at the *query* level: every registered query is
+owned by exactly one shard, and a shard worker evaluates only the queries
+placed on it.  Two decisions live here:
+
+* **query placement** — a pluggable :class:`ShardingPolicy` assigns each
+  newly registered query to a shard (round-robin, stable hash of the query
+  name, or label affinity which co-locates queries with overlapping
+  alphabets so fewer shards need to see each tuple);
+* **tuple routing** — a tuple must reach every shard hosting a query whose
+  alphabet contains the tuple's label.  Tuples relevant to no shard are
+  dropped at the router, mirroring the engine's own alphabet filter (§5.2):
+  an evaluator discards such tuples before touching its window, so skipping
+  them cannot change any result.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple, Union
+
+from ..graph.tuples import StreamingGraphTuple
+from ..regex.analysis import QueryAnalysis
+from .config import SHARDING_POLICIES
+
+__all__ = [
+    "ShardView",
+    "ShardingPolicy",
+    "RoundRobinPolicy",
+    "HashPolicy",
+    "LabelAffinityPolicy",
+    "StreamRouter",
+    "make_policy",
+]
+
+
+@dataclass
+class ShardView:
+    """What a sharding policy may inspect about one shard.
+
+    Attributes:
+        shard_id: position of the shard in the worker list.
+        queries: names of the queries currently placed on the shard.
+        label_counts: how many resident queries mention each label; the
+            router routes a tuple to the shard iff its label has a
+            positive count here.
+    """
+
+    shard_id: int
+    queries: Set[str] = field(default_factory=set)
+    label_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def load(self) -> int:
+        """Number of queries placed on this shard."""
+        return len(self.queries)
+
+    @property
+    def labels(self) -> Set[str]:
+        """Labels at least one resident query listens to."""
+        return set(self.label_counts.keys())
+
+
+class ShardingPolicy:
+    """Strategy deciding which shard owns a newly registered query."""
+
+    #: Policy name as accepted by :class:`repro.runtime.RuntimeConfig`.
+    name = "abstract"
+
+    def assign(
+        self, query_name: str, analysis: QueryAnalysis, shards: Sequence[ShardView]
+    ) -> int:
+        """Return the shard id that should own ``query_name``."""
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(ShardingPolicy):
+    """Cycle through the shards in registration order."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def assign(self, query_name, analysis, shards):
+        shard = self._next % len(shards)
+        self._next += 1
+        return shard
+
+
+class HashPolicy(ShardingPolicy):
+    """Stable hash of the query name.
+
+    Uses CRC32 rather than :func:`hash` so placement is deterministic
+    across processes (``PYTHONHASHSEED`` randomizes ``str`` hashing), which
+    keeps checkpoints and distributed deployments reproducible.
+    """
+
+    name = "hash"
+
+    def assign(self, query_name, analysis, shards):
+        return zlib.crc32(query_name.encode("utf-8")) % len(shards)
+
+
+class LabelAffinityPolicy(ShardingPolicy):
+    """Co-locate queries with overlapping alphabets.
+
+    Prefers the shard whose resident label set overlaps the new query's
+    alphabet the most, breaking ties towards the least-loaded shard (and
+    then the lowest id).  Grouping queries by label means each incoming
+    tuple fans out to fewer shards.
+    """
+
+    name = "label_affinity"
+
+    def assign(self, query_name, analysis, shards):
+        alphabet = set(analysis.alphabet)
+
+        def score(view: ShardView) -> Tuple[int, int, int]:
+            overlap = len(alphabet & view.labels)
+            return (-overlap, view.load, view.shard_id)
+
+        return min(shards, key=score).shard_id
+
+
+_POLICIES = {
+    policy.name: policy for policy in (RoundRobinPolicy, HashPolicy, LabelAffinityPolicy)
+}
+assert set(_POLICIES) == set(SHARDING_POLICIES)
+
+
+def make_policy(policy: Union[str, ShardingPolicy]) -> ShardingPolicy:
+    """Instantiate a sharding policy from its name (or pass one through)."""
+    if isinstance(policy, ShardingPolicy):
+        return policy
+    try:
+        return _POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown sharding policy {policy!r}; expected one of {sorted(_POLICIES)}"
+        ) from None
+
+
+class StreamRouter:
+    """Tracks query placement and routes tuples to the shards that need them."""
+
+    def __init__(self, num_shards: int, policy: Union[str, ShardingPolicy] = "hash") -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.policy = make_policy(policy)
+        self._shards = [ShardView(shard_id=i) for i in range(num_shards)]
+        self._assignments: Dict[str, int] = {}
+        self._alphabets: Dict[str, Set[str]] = {}
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def shards(self) -> List[ShardView]:
+        """Current per-shard views (shared, do not mutate)."""
+        return list(self._shards)
+
+    # ------------------------------------------------------------------ #
+    # Query placement
+    # ------------------------------------------------------------------ #
+
+    def assign(self, query_name: str, analysis: QueryAnalysis) -> int:
+        """Place a query on a shard chosen by the policy; return the shard id."""
+        shard = self.policy.assign(query_name, analysis, self._shards)
+        return self.assign_to(query_name, analysis, shard)
+
+    def assign_to(self, query_name: str, analysis: QueryAnalysis, shard: int) -> int:
+        """Place a query on an explicit shard (checkpoint restore path)."""
+        if query_name in self._assignments:
+            raise ValueError(f"query {query_name!r} is already assigned")
+        if not 0 <= shard < len(self._shards):
+            raise ValueError(f"shard {shard} out of range [0, {len(self._shards)})")
+        view = self._shards[shard]
+        view.queries.add(query_name)
+        alphabet = set(analysis.alphabet)
+        view.label_counts.update(alphabet)
+        self._assignments[query_name] = shard
+        self._alphabets[query_name] = alphabet
+        return shard
+
+    def release(self, query_name: str) -> int:
+        """Remove a query's placement; return the shard that owned it."""
+        try:
+            shard = self._assignments.pop(query_name)
+        except KeyError:
+            raise KeyError(f"no query named {query_name!r} is assigned") from None
+        view = self._shards[shard]
+        view.queries.discard(query_name)
+        view.label_counts.subtract(self._alphabets.pop(query_name))
+        view.label_counts += Counter()  # drop zero/negative entries
+        return shard
+
+    def shard_of(self, query_name: str) -> int:
+        """Return the shard owning ``query_name``."""
+        try:
+            return self._assignments[query_name]
+        except KeyError:
+            raise KeyError(f"no query named {query_name!r} is assigned") from None
+
+    def assignments(self) -> Dict[str, int]:
+        """Mapping of query name to owning shard."""
+        return dict(self._assignments)
+
+    # ------------------------------------------------------------------ #
+    # Tuple routing
+    # ------------------------------------------------------------------ #
+
+    def route(self, tup: StreamingGraphTuple) -> Tuple[int, ...]:
+        """Return the shards that must see ``tup`` (may be empty)."""
+        label = tup.label
+        return tuple(
+            view.shard_id for view in self._shards if view.label_counts.get(label, 0) > 0
+        )
+
+    def route_batch(
+        self, batch: Sequence[StreamingGraphTuple]
+    ) -> Dict[int, List[StreamingGraphTuple]]:
+        """Split a batch into per-shard sub-batches, preserving stream order."""
+        routed: Dict[int, List[StreamingGraphTuple]] = {}
+        for tup in batch:
+            for shard in self.route(tup):
+                routed.setdefault(shard, []).append(tup)
+        return routed
+
+    def __str__(self) -> str:
+        loads = ", ".join(f"s{view.shard_id}:{view.load}" for view in self._shards)
+        return f"StreamRouter(policy={self.policy.name}, shards=[{loads}])"

@@ -1,0 +1,390 @@
+"""The sharded streaming-query service facade.
+
+:class:`StreamingQueryService` glues the runtime pieces together: a
+:class:`~repro.runtime.router.StreamRouter` places queries on shards and
+decides which shards must see each tuple, :class:`~repro.runtime.worker.ShardWorker`
+instances evaluate their resident queries in parallel, and the
+:mod:`~repro.runtime.merger` presents the per-shard outputs as one global
+timestamp-ordered result stream.
+
+Because parallelism is per query and every shard worker owns a private
+engine fed in stream order, the service produces *exactly* the results the
+single-threaded :class:`~repro.core.engine.StreamingRPQEngine` would — the
+runtime changes who does the work, never what is computed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from ..core.checkpoint import checkpoint_rapq, restore_rapq
+from ..core.results import ResultStream
+from ..errors import RuntimeStateError
+from ..graph.tuples import StreamingGraphTuple, Vertex
+from ..graph.window import WindowSpec
+from ..regex.analysis import QueryAnalysis, analyze
+from .config import RuntimeConfig
+from .merger import TaggedResultEvent, merge_result_events
+from .router import StreamRouter
+from .worker import ResultCallback, ShardWorker, create_worker
+
+__all__ = ["StreamingQueryService"]
+
+#: Service checkpoint layout version.
+_SERVICE_FORMAT = 1
+
+
+class StreamingQueryService:
+    """Multi-worker execution runtime for persistent RPQs.
+
+    Example:
+        >>> from repro import WindowSpec, sgt
+        >>> from repro.runtime import RuntimeConfig, StreamingQueryService
+        >>> service = StreamingQueryService(WindowSpec(size=10, slide=1),
+        ...                                 RuntimeConfig(shards=2, batch_size=2))
+        >>> _ = service.register("chains", "follows+")
+        >>> with service:
+        ...     service.ingest([sgt(1, "a", "b", "follows"),
+        ...                     sgt(2, "b", "c", "follows")])
+        ...     service.drain()
+        ...     pairs = sorted(service.answer_pairs("chains"))
+        >>> pairs
+        [('a', 'b'), ('a', 'c'), ('b', 'c')]
+
+    Args:
+        window: sliding-window specification shared by all queries.
+        config: runtime tunables; defaults to :class:`RuntimeConfig()`.
+        on_result: optional live callback ``(query, source, target,
+            timestamp)`` invoked from worker threads for every newly
+            reported pair (must be thread-safe).
+    """
+
+    def __init__(
+        self,
+        window: WindowSpec,
+        config: Optional[RuntimeConfig] = None,
+        on_result: Optional[ResultCallback] = None,
+    ) -> None:
+        self.window = window
+        self.config = config or RuntimeConfig()
+        self.router = StreamRouter(self.config.shards, self.config.sharding)
+        self.workers: List[ShardWorker] = [
+            create_worker(shard, window, self.config, on_result=on_result)
+            for shard in range(self.config.shards)
+        ]
+        self._pending: List[List[StreamingGraphTuple]] = [[] for _ in self.workers]
+        self._semantics: Dict[str, str] = {}
+        self._running = False
+        self._tuples_ingested = 0
+        self._tuples_dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def running(self) -> bool:
+        """Whether the shard workers are currently started."""
+        return self._running
+
+    def start(self) -> "StreamingQueryService":
+        """Start all shard workers; returns ``self`` for chaining."""
+        if self._running:
+            raise RuntimeStateError("service is already running")
+        for worker in self.workers:
+            worker.start()
+        self._running = True
+        return self
+
+    def stop(self) -> None:
+        """Drain outstanding work and stop all shard workers.
+
+        Workers are always stopped and the service marked not-running,
+        even when the drain surfaces a shard failure (which is re-raised).
+        """
+        if not self._running:
+            return
+        try:
+            self.drain()
+        finally:
+            stop_error: Optional[BaseException] = None
+            for worker in self.workers:
+                try:
+                    worker.stop()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if stop_error is None:
+                        stop_error = exc
+            self._running = False
+            # Don't mask a drain failure already propagating out of the try.
+            if stop_error is not None and sys.exc_info()[0] is None:
+                raise stop_error
+
+    def __enter__(self) -> "StreamingQueryService":
+        if not self._running:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.stop()
+        else:
+            # Don't mask the original error with a drain of a broken run.
+            for worker in self.workers:
+                try:
+                    worker.stop()
+                except Exception:
+                    pass
+            self._running = False
+
+    # ------------------------------------------------------------------ #
+    # Query management (allowed before and while running)
+    # ------------------------------------------------------------------ #
+
+    def register(
+        self,
+        name: str,
+        query: Union[str, QueryAnalysis],
+        semantics: str = "arbitrary",
+        max_nodes_per_tree: Optional[int] = None,
+    ) -> int:
+        """Register a persistent query; returns the shard that owns it.
+
+        Safe while the service is running: the registration is serialized
+        with in-flight batches on the owning shard, so the query sees every
+        tuple ingested after this call returns.
+        """
+        if name in self._semantics:
+            raise ValueError(f"a query named {name!r} is already registered")
+        analysis = query if isinstance(query, QueryAnalysis) else analyze(query)
+        shard = self.router.assign(name, analysis)
+        # Flush the shard's buffered tuples first: they predate this
+        # registration and must reach the engine before the new query does.
+        self._flush_shard(shard)
+        try:
+            self.workers[shard].call(
+                lambda engine: engine.register(name, analysis, semantics, max_nodes_per_tree)
+            )
+        except Exception:
+            self.router.release(name)
+            raise
+        self._semantics[name] = semantics
+        return shard
+
+    def deregister(self, name: str) -> None:
+        """Remove a query (its accumulated results are discarded)."""
+        shard = self.router.shard_of(name)
+        # Flush this shard's buffered tuples first so the removal lands
+        # after everything ingested before it, matching engine semantics.
+        self._flush_shard(shard)
+        self.workers[shard].call(lambda engine: engine.deregister(name))
+        self.router.release(name)
+        del self._semantics[name]
+
+    def queries(self) -> List[str]:
+        """Names of all registered queries."""
+        return sorted(self._semantics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._semantics
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def ingest_one(self, tup: StreamingGraphTuple) -> None:
+        """Route one tuple to the shards hosting queries that can use it."""
+        if not self._running:
+            raise RuntimeStateError("cannot ingest into a stopped service; call start() first")
+        self._tuples_ingested += 1
+        shards = self.router.route(tup)
+        if not shards:
+            self._tuples_dropped += 1
+            return
+        for shard in shards:
+            pending = self._pending[shard]
+            pending.append(tup)
+            if len(pending) >= self.config.batch_size:
+                self._flush_shard(shard)
+
+    def ingest(self, tuples: Iterable[StreamingGraphTuple]) -> None:
+        """Route a stream of tuples (in timestamp order) into the shards."""
+        for tup in tuples:
+            self.ingest_one(tup)
+
+    def _flush_shard(self, shard: int) -> None:
+        pending = self._pending[shard]
+        if pending and self._running:
+            self._pending[shard] = []
+            self.workers[shard].submit(pending)
+
+    def drain(self) -> None:
+        """Flush buffers and block until every shard has caught up."""
+        for shard in range(len(self.workers)):
+            self._flush_shard(shard)
+        for worker in self.workers:
+            worker.drain()
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    def results(self, name: str) -> ResultStream:
+        """A snapshot of one query's result stream.
+
+        The copy is taken on the owning shard's worker thread, serialized
+        with in-flight batches, so it is a consistent point-in-time view
+        even while the service keeps ingesting.
+        """
+        shard = self.router.shard_of(name)
+        return self.workers[shard].call(lambda engine: engine.query(name).results.copy())
+
+    def answer_pairs(self, name: str) -> Set[Tuple[Vertex, Vertex]]:
+        """All distinct pairs reported so far by one query."""
+        shard = self.router.shard_of(name)
+        return self.workers[shard].call(lambda engine: engine.query(name).answer_pairs())
+
+    def result_triples(self, name: str) -> Set[Tuple[Vertex, Vertex, int]]:
+        """Positive results of one query as ``(source, target, timestamp)`` triples."""
+        return {
+            (event.source, event.target, event.timestamp)
+            for event in self.results(name).positives()
+        }
+
+    def global_events(self) -> Iterator[TaggedResultEvent]:
+        """All queries' result events, k-way merged into timestamp order."""
+        streams = {name: self.results(name).events for name in self.queries()}
+        return merge_result_events(streams)
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+
+    def shard_metrics(self) -> List[Dict[str, float]]:
+        """Per-shard processing counters (tuples, batches, throughput)."""
+        metrics = []
+        for worker in self.workers:
+            stats = dict(worker.metrics())
+            stats["shard"] = float(worker.shard_id)
+            stats["queries"] = float(len(self.router.shards()[worker.shard_id].queries))
+            metrics.append(stats)
+        return metrics
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregated service summary: totals, per-shard and per-query stats."""
+        per_query: Dict[str, Dict[str, object]] = {}
+        for shard, worker in enumerate(self.workers):
+            shard_summary = worker.call(lambda engine: engine.summary())
+            for name, stats in shard_summary.items():
+                stats["shard"] = shard
+                per_query[name] = stats
+        shards = self.shard_metrics()
+        busy = [stats["busy_seconds"] for stats in shards]
+        totals: Dict[str, object] = {
+            "tuples_ingested": self._tuples_ingested,
+            "tuples_dropped_unroutable": self._tuples_dropped,
+            "shard_tuples": sum(stats["tuples"] for stats in shards),
+            "busy_seconds_max": max(busy) if busy else 0.0,
+            "busy_seconds_total": sum(busy),
+        }
+        return {"config": self.config.to_dict(), "totals": totals, "shards": shards, "queries": per_query}
+
+    # ------------------------------------------------------------------ #
+    # Coordinated checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self) -> Dict:
+        """Capture the state of every shard engine as one JSON-compatible dict.
+
+        The checkpoint is *coordinated*: buffered tuples are flushed and all
+        shards drained first, so every per-query state reflects the same
+        ingestion prefix.  Only ``"arbitrary"``-semantics queries are
+        checkpointable (the restriction of :mod:`repro.core.checkpoint`).
+        """
+        for name, semantics in self._semantics.items():
+            if semantics != "arbitrary":
+                raise ValueError(
+                    f"query {name!r} uses semantics {semantics!r}; only 'arbitrary' "
+                    f"queries can be checkpointed"
+                )
+        if self._running:
+            self.drain()
+        queries = []
+        for name in self.queries():
+            shard = self.router.shard_of(name)
+            state = self.workers[shard].call(
+                lambda engine: checkpoint_rapq(engine.query(name).evaluator)
+            )
+            queries.append({"name": name, "shard": shard, "state": state})
+        return {
+            "format": _SERVICE_FORMAT,
+            "window": {"size": self.window.size, "slide": self.window.slide},
+            "config": self.config.to_dict(),
+            "tuples_ingested": self._tuples_ingested,
+            "queries": queries,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        state: Dict,
+        config: Optional[RuntimeConfig] = None,
+        on_result: Optional[ResultCallback] = None,
+    ) -> "StreamingQueryService":
+        """Rebuild a stopped service from a :meth:`checkpoint` dict.
+
+        Args:
+            state: the checkpoint.
+            config: optionally override the checkpointed runtime config
+                (e.g. restore onto a different shard count); queries keep
+                their recorded shard when it still exists and are re-placed
+                by the sharding policy otherwise.
+            on_result: live-result callback for the restored service.
+        """
+        if state.get("format") != _SERVICE_FORMAT:
+            raise ValueError(f"unsupported service checkpoint format: {state.get('format')!r}")
+        window = WindowSpec(size=state["window"]["size"], slide=state["window"]["slide"])
+        config = config or RuntimeConfig.from_dict(state["config"])
+        service = cls(window, config, on_result=on_result)
+        service._tuples_ingested = int(state.get("tuples_ingested", 0))
+        for entry in state["queries"]:
+            name = entry["name"]
+            evaluator = restore_rapq(entry["state"])
+            shard = entry["shard"]
+            if 0 <= shard < config.shards:
+                service.router.assign_to(name, evaluator.analysis, shard)
+            else:
+                shard = service.router.assign(name, evaluator.analysis)
+            service.workers[shard].call(
+                lambda engine: engine.register_evaluator(name, evaluator, "arbitrary")
+            )
+            service._semantics[name] = "arbitrary"
+        return service
+
+    def save_checkpoint(self, path: Union[str, Path]) -> Path:
+        """Write the coordinated checkpoint to ``path`` as JSON."""
+        path = Path(path)
+        with path.open("w") as handle:
+            json.dump(self.checkpoint(), handle)
+        return path
+
+    @classmethod
+    def load_checkpoint(
+        cls,
+        path: Union[str, Path],
+        config: Optional[RuntimeConfig] = None,
+        on_result: Optional[ResultCallback] = None,
+    ) -> "StreamingQueryService":
+        """Load a checkpoint written by :meth:`save_checkpoint`."""
+        with Path(path).open() as handle:
+            state = json.load(handle)
+        return cls.restore(state, config=config, on_result=on_result)
+
+    def __str__(self) -> str:
+        return (
+            f"StreamingQueryService(shards={self.config.shards}, "
+            f"policy={self.config.sharding}, backend={self.config.backend}, "
+            f"queries={self.queries()}, running={self._running})"
+        )

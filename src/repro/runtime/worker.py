@@ -1,0 +1,242 @@
+"""Shard workers: each owns a private engine and consumes batches from a queue.
+
+A :class:`ShardWorker` is the unit of parallelism of the runtime.  It owns
+a private :class:`~repro.core.engine.StreamingRPQEngine` (no state is
+shared between shards, in the spirit of per-core silos in main-memory
+DBMSs) and consumes work from a bounded queue:
+
+* **batches** of streaming graph tuples, processed in stream order;
+* **control calls** — arbitrary functions executed *on the worker's
+  thread* against its engine.  Registration, checkpointing and metric
+  reads all travel through the queue, so the engine is only ever touched
+  from one thread and calls are serialized with the surrounding batches.
+
+The queue bound provides backpressure: ``submit`` blocks once the worker
+is ``queue_depth`` batches behind.
+
+The built-in backend runs each worker on a ``threading.Thread``.  The API
+is deliberately process-shaped — only picklable batches and the
+coordination points of a message queue — so a ``multiprocessing`` backend
+can be slotted in behind :func:`create_worker` without changing the
+service layer.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.engine import StreamingRPQEngine
+from ..errors import RuntimeStateError, ShardWorkerError
+from ..graph.tuples import StreamingGraphTuple, Vertex
+from ..graph.window import WindowSpec
+from ..metrics.collectors import ThroughputMeter
+from .config import RuntimeConfig
+
+__all__ = ["ShardWorker", "ThreadShardWorker", "WORKER_BACKENDS", "create_worker"]
+
+#: Callback signature for live results: (query, source, target, timestamp).
+ResultCallback = Callable[[str, Vertex, Vertex, int], None]
+
+
+class ShardWorker:
+    """Abstract shard worker API (see the module docstring).
+
+    Lifecycle: ``start()`` → any number of ``submit()`` / ``call()`` /
+    ``drain()`` → ``stop()``.  Before ``start`` (and after ``stop``),
+    ``call`` executes inline so a service can be assembled, checkpointed
+    and inspected without running threads.
+    """
+
+    def __init__(self, shard_id: int, window: WindowSpec, config: RuntimeConfig) -> None:
+        self.shard_id = shard_id
+        self.config = config
+        self.engine = StreamingRPQEngine(window)
+        self.meter = ThroughputMeter()
+        self.batches_processed = 0
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def submit(self, batch: Sequence[StreamingGraphTuple]) -> None:
+        """Enqueue one batch; blocks when the worker is too far behind."""
+        raise NotImplementedError
+
+    def call(self, fn: Callable[[StreamingRPQEngine], object]) -> object:
+        """Run ``fn(engine)`` on the worker, after all queued work; return its result."""
+        raise NotImplementedError
+
+    def drain(self) -> None:
+        """Block until every batch submitted so far has been processed."""
+        self.call(lambda engine: None)
+
+    def stop(self) -> None:
+        raise NotImplementedError
+
+    def metrics(self) -> Dict[str, float]:
+        """Processing counters of this shard (tuples, batches, throughput)."""
+        stats: Dict[str, float] = {
+            "tuples": float(self.meter.tuples),
+            "batches": float(self.batches_processed),
+            "busy_seconds": self.meter.elapsed_seconds,
+        }
+        if self.meter.elapsed_seconds > 0:
+            stats["throughput_eps"] = self.meter.edges_per_second()
+        return stats
+
+
+class _ControlCall:
+    """A function to run on the worker thread, with a box for the outcome."""
+
+    __slots__ = ("fn", "result", "error", "done")
+
+    def __init__(self, fn: Callable[[StreamingRPQEngine], object]) -> None:
+        self.fn = fn
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+        self.done = threading.Event()
+
+    def wait(self) -> object:
+        self.done.wait()
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+_STOP = object()
+
+
+class ThreadShardWorker(ShardWorker):
+    """Shard worker backed by a daemon ``threading.Thread``.
+
+    Args:
+        shard_id: position of this worker in the service's shard list.
+        window: window specification shared by every query on the shard.
+        config: runtime configuration (queue depth is read from it).
+        on_result: optional live-result callback, invoked from the worker
+            thread as ``on_result(query_name, source, target, timestamp)``
+            for every newly reported pair; it must be thread-safe.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        window: WindowSpec,
+        config: RuntimeConfig,
+        on_result: Optional[ResultCallback] = None,
+    ) -> None:
+        super().__init__(shard_id, window, config)
+        self.on_result = on_result
+        self._queue: "queue.Queue" = queue.Queue(maxsize=config.queue_depth)
+        self._thread: Optional[threading.Thread] = None
+        self._failure: Optional[BaseException] = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            raise RuntimeStateError(f"shard {self.shard_id} is already running")
+        self._check_failure()  # a poisoned shard cannot be restarted
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-shard-{self.shard_id}", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, batch: Sequence[StreamingGraphTuple]) -> None:
+        self._check_failure()
+        if not self.running:
+            raise RuntimeStateError(f"shard {self.shard_id} is not running; call start() first")
+        self._queue.put(("batch", list(batch)))
+
+    def call(self, fn: Callable[[StreamingRPQEngine], object]) -> object:
+        self._check_failure()
+        if not self.running:
+            # Inline execution keeps assembly/inspection usable without threads.
+            return fn(self.engine)
+        request = _ControlCall(fn)
+        self._queue.put(("call", request))
+        result = request.wait()
+        self._check_failure()
+        return result
+
+    def stop(self) -> None:
+        if self.running:
+            self._queue.put(_STOP)
+            self._thread.join()
+        self._thread = None
+        self._check_failure()
+
+    # ------------------------------------------------------------------ #
+    # Worker thread
+    # ------------------------------------------------------------------ #
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                break
+            kind, payload = item
+            if kind == "call":
+                self._handle_call(payload)
+            elif self._failure is None:
+                # After a failure, batches are consumed and discarded so
+                # producers blocked on the bounded queue are released; the
+                # failure itself is re-raised at the next coordination point.
+                try:
+                    self._process_batch(payload)
+                except BaseException as exc:  # noqa: BLE001 - reported to caller
+                    self._failure = exc
+
+    def _handle_call(self, request: _ControlCall) -> None:
+        try:
+            request.result = request.fn(self.engine)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            request.error = exc
+        finally:
+            request.done.set()
+
+    def _process_batch(self, batch: List[StreamingGraphTuple]) -> None:
+        started = time.perf_counter()
+        if self.on_result is None:
+            for tup in batch:
+                self.engine.process(tup)
+        else:
+            for tup in batch:
+                for name, pairs in self.engine.process(tup).items():
+                    for source, target in pairs:
+                        self.on_result(name, source, target, tup.timestamp)
+        self.meter.record_batch(len(batch), time.perf_counter() - started)
+        self.batches_processed += 1
+
+    def _check_failure(self) -> None:
+        # The failure is sticky: once a batch failed, the engine's window is
+        # missing tuples and every result it would produce is suspect, so the
+        # shard stays poisoned and every later interaction re-raises.
+        if self._failure is not None:
+            raise ShardWorkerError(
+                f"shard {self.shard_id} failed while processing: {self._failure}", self.shard_id
+            ) from self._failure
+
+
+#: Registry of concurrency backends, keyed by ``RuntimeConfig.backend``.
+WORKER_BACKENDS = {"threading": ThreadShardWorker}
+
+
+def create_worker(
+    shard_id: int,
+    window: WindowSpec,
+    config: RuntimeConfig,
+    on_result: Optional[ResultCallback] = None,
+) -> ShardWorker:
+    """Build a shard worker using the backend named in ``config``."""
+    try:
+        backend = WORKER_BACKENDS[config.backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown worker backend {config.backend!r}; expected one of {sorted(WORKER_BACKENDS)}"
+        ) from None
+    return backend(shard_id, window, config, on_result=on_result)

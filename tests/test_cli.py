@@ -93,6 +93,107 @@ class TestGenerateAndRun:
         assert "tuples processed : 2" in captured  # 200 + injected deletions
 
 
+class TestShardedRun:
+    def test_run_with_shards_matches_single_threaded(self, tmp_path, capsys):
+        output = tmp_path / "yago.csv"
+        main(["generate", "--dataset", "yago", "--edges", "400", "--seed", "3", "--output", str(output)])
+        capsys.readouterr()
+        base = ["run", "--query", "isLocatedIn+", "--input", str(output), "--window", "8", "--slide", "2"]
+        assert main(base) == 0
+        single = capsys.readouterr().out
+        assert main(base + ["--shards", "3", "--batch-size", "16"]) == 0
+        sharded = capsys.readouterr().out
+        assert "3 shard(s)" in sharded
+
+        def distinct(text):
+            for line in text.splitlines():
+                if line.startswith("distinct results"):
+                    return int(line.split(":")[1].split("(")[0].strip())
+            raise AssertionError(f"no distinct results line in {text!r}")
+
+        assert distinct(sharded) == distinct(single)
+
+    def test_run_sharded_reports_worker_failure(self, tmp_path, capsys, monkeypatch):
+        output = tmp_path / "so.csv"
+        main(["generate", "--dataset", "stackoverflow", "--edges", "50", "--output", str(output)])
+        capsys.readouterr()
+        from repro import ShardWorkerError
+        from repro.runtime import StreamingQueryService
+
+        def boom(self, tuples):
+            raise ShardWorkerError("shard 0 failed while processing: budget exceeded", 0)
+
+        monkeypatch.setattr(StreamingQueryService, "ingest", boom)
+        exit_code = main(
+            ["run", "--query", "a2q+", "--input", str(output), "--window", "5", "--shards", "2"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 1
+        assert "failed: " in captured
+
+
+class TestServeCommand:
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--input", "x.csv", "--window", "10", "--query", "a+", "--query", "chains=b+"]
+        )
+        assert args.command == "serve"
+        assert args.queries == ["a+", "chains=b+"]
+        assert args.shards == 2
+        assert args.policy == "hash"
+
+    def test_serve_end_to_end(self, tmp_path, capsys):
+        output = tmp_path / "yago.csv"
+        main(["generate", "--dataset", "yago", "--edges", "400", "--seed", "3", "--output", str(output)])
+        capsys.readouterr()
+        checkpoint = tmp_path / "service.json"
+        exit_code = main(
+            [
+                "serve",
+                "--input", str(output),
+                "--window", "8",
+                "--shards", "3",
+                "--policy", "label_affinity",
+                "--query", "places=isLocatedIn+",
+                "--query", "isConnectedTo+",
+                "--checkpoint", str(checkpoint),
+                "--show-results", "2",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "registered 'places'" in captured
+        assert "registered 'q1'" in captured
+        assert "3 shard(s), policy=label_affinity" in captured
+        assert "shard 0:" in captured and "shard 2:" in captured
+        assert "query 'places':" in captured
+        assert checkpoint.exists()
+
+    def test_serve_reports_worker_failure(self, tmp_path, capsys, monkeypatch):
+        output = tmp_path / "so.csv"
+        main(["generate", "--dataset", "stackoverflow", "--edges", "50", "--output", str(output)])
+        capsys.readouterr()
+        from repro import ShardWorkerError
+        from repro.runtime import StreamingQueryService
+
+        def boom(self, tuples):
+            raise ShardWorkerError("shard 1 failed while processing: boom", 1)
+
+        monkeypatch.setattr(StreamingQueryService, "ingest", boom)
+        exit_code = main(["serve", "--input", str(output), "--window", "5", "--query", "a2q+"])
+        captured = capsys.readouterr().out
+        assert exit_code == 1
+        assert "failed: " in captured
+
+    def test_serve_rejects_malformed_query(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", "--input", "x.csv", "--window", "5", "--query", "=a+"])
+
+    def test_serve_rejects_duplicate_names(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", "--input", "x.csv", "--window", "5", "--query", "q=a+", "--query", "q=b+"])
+
+
 class TestExperimentCommand:
     def test_figure7(self, capsys):
         exit_code = main(["experiment", "--figure", "7"])

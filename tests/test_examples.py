@@ -35,7 +35,8 @@ def test_examples_directory_contents():
     """The repository ships at least the documented example scenarios."""
     names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart.py", "social_network_monitoring.py", "fraud_detection_deletions.py",
-            "knowledge_graph_provenance.py", "multi_tenant_monitoring.py"} <= names
+            "knowledge_graph_provenance.py", "multi_tenant_monitoring.py",
+            "sharded_monitoring.py"} <= names
 
 
 def test_quickstart_example():
@@ -66,3 +67,11 @@ def test_multi_tenant_example():
     output = run_example("multi_tenant_monitoring.py")
     assert "Shared-snapshot multi-query engine" in output
     assert "edges filtered" in output
+
+
+def test_sharded_monitoring_example():
+    output = run_example("sharded_monitoring.py")
+    assert "on shard" in output
+    assert "live alerts" in output
+    assert "per-shard load" in output
+    assert "timestamp-ordered (yes)" in output

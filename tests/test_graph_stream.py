@@ -7,6 +7,8 @@ import pytest
 from repro.graph.stream import (
     GeneratorStream,
     ListStream,
+    iter_csv,
+    merge_by_timestamp,
     merge_streams,
     read_csv,
     with_deletions,
@@ -68,6 +70,28 @@ class TestMergeStreams:
         merged = merge_streams(a, b)
         assert [t.timestamp for t in merged] == [1, 2, 4, 5]
 
+    def test_merge_is_lazy(self):
+        def exploding():
+            yield sgt(1, "a", "b", "x")
+            raise AssertionError("consumed past the first tuple")
+
+        merged = merge_streams(GeneratorStream(exploding()))
+        assert isinstance(merged, GeneratorStream)
+        assert next(iter(merged)).timestamp == 1  # no eager materialization
+
+    def test_merged_stream_is_reiterable(self):
+        a = ListStream([sgt(1, "a", "b", "x")])
+        b = ListStream([sgt(2, "c", "d", "y")])
+        merged = merge_streams(a, b)
+        assert [t.timestamp for t in merged] == [1, 2]
+        assert [t.timestamp for t in merged] == [1, 2]
+
+    def test_merge_by_timestamp_stable_on_ties(self):
+        first = [sgt(3, "a", "b", "x")]
+        second = [sgt(3, "c", "d", "y")]
+        merged = list(merge_by_timestamp(first, second))
+        assert [t.source for t in merged] == ["a", "c"]
+
 
 class TestWithDeletions:
     def test_zero_ratio_is_identity(self):
@@ -128,3 +152,39 @@ class TestCsvRoundTrip:
         path.write_text("not,a,stream,file,at-all\n1,2,3,4,5\n")
         with pytest.raises(ValueError):
             read_csv(path)
+
+
+class TestIterCsv:
+    def test_yields_same_tuples_as_read_csv(self, tmp_path):
+        tuples = make_stream(9) + [sgt(10, "v0", "v1", "x", EdgeOp.DELETE)]
+        path = tmp_path / "stream.csv"
+        write_csv(path, tuples)
+        assert list(iter_csv(path)) == list(read_csv(path)) == tuples
+
+    def test_is_lazy(self, tmp_path):
+        path = tmp_path / "stream.csv"
+        write_csv(path, make_stream(5))
+        stream = iter_csv(path)
+        path.unlink()  # nothing was read at construction time
+        with pytest.raises(OSError):
+            list(stream)
+
+    def test_reiterable(self, tmp_path):
+        path = tmp_path / "stream.csv"
+        write_csv(path, make_stream(4))
+        stream = iter_csv(path)
+        assert len(list(stream)) == 4
+        assert len(list(stream)) == 4
+
+    def test_vertex_type_conversion(self, tmp_path):
+        tuples = [sgt(1, 10, 20, "x")]
+        path = tmp_path / "ints.csv"
+        write_csv(path, tuples)
+        assert list(iter_csv(path, vertex_type=int)) == tuples
+
+    def test_bad_header_rejected_on_iteration(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a,stream,file,at-all\n")
+        stream = iter_csv(path)  # construction is fine: the file is untouched
+        with pytest.raises(ValueError):
+            list(stream)

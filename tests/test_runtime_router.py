@@ -1,0 +1,202 @@
+"""Unit tests for the runtime building blocks: config, router, merger, worker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WindowSpec, sgt
+from repro.core.results import ResultStream
+from repro.regex.analysis import analyze
+from repro.runtime import (
+    HashPolicy,
+    LabelAffinityPolicy,
+    RoundRobinPolicy,
+    RuntimeConfig,
+    StreamRouter,
+    collect_results,
+    create_worker,
+    make_policy,
+    merge_result_events,
+    merge_result_streams,
+)
+
+
+class TestRuntimeConfig:
+    def test_defaults_are_valid(self):
+        config = RuntimeConfig()
+        assert config.shards >= 1
+        assert config.backend == "threading"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"batch_size": 0},
+            {"queue_depth": 0},
+            {"backend": "fibers"},
+            {"sharding": "alphabetical"},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RuntimeConfig(**kwargs)
+
+    def test_dict_round_trip(self):
+        config = RuntimeConfig(shards=5, batch_size=7, queue_depth=3, sharding="round_robin")
+        assert RuntimeConfig.from_dict(config.to_dict()) == config
+
+    def test_with_shards(self):
+        assert RuntimeConfig(shards=2).with_shards(8).shards == 8
+
+
+class TestShardingPolicies:
+    def test_round_robin_cycles(self):
+        router = StreamRouter(3, "round_robin")
+        shards = [router.assign(f"q{i}", analyze("a+")) for i in range(6)]
+        assert shards == [0, 1, 2, 0, 1, 2]
+
+    def test_hash_is_deterministic_and_name_keyed(self):
+        first = StreamRouter(4, "hash")
+        second = StreamRouter(4, "hash")
+        for name in ("alpha", "beta", "gamma"):
+            assert first.assign(name, analyze("a+")) == second.assign(name, analyze("a+"))
+
+    def test_label_affinity_colocates_overlapping_alphabets(self):
+        router = StreamRouter(3, "label_affinity")
+        router.assign("a-query", analyze("a+"))
+        router.assign("b-query", analyze("b+"))
+        # shares a label with "a-query" -> same shard
+        assert router.shard_of("a-query") == router.assign("ab-query", analyze("(a b)+"))
+
+    def test_label_affinity_prefers_empty_shard_for_disjoint_alphabet(self):
+        router = StreamRouter(2, "label_affinity")
+        router.assign("a-query", analyze("a+"))
+        assert router.assign("c-query", analyze("c+")) != router.shard_of("a-query")
+
+    def test_make_policy_accepts_names_and_instances(self):
+        assert isinstance(make_policy("hash"), HashPolicy)
+        assert isinstance(make_policy("round_robin"), RoundRobinPolicy)
+        policy = LabelAffinityPolicy()
+        assert make_policy(policy) is policy
+        with pytest.raises(ValueError):
+            make_policy("nope")
+
+
+class TestStreamRouter:
+    def test_routes_only_to_shards_with_matching_labels(self):
+        router = StreamRouter(2, "round_robin")
+        router.assign("qa", analyze("a+"))  # shard 0
+        router.assign("qb", analyze("b+"))  # shard 1
+        assert router.route(sgt(1, "x", "y", "a")) == (0,)
+        assert router.route(sgt(1, "x", "y", "b")) == (1,)
+        assert router.route(sgt(1, "x", "y", "zzz")) == ()
+
+    def test_tuple_reaches_all_interested_shards(self):
+        router = StreamRouter(2, "round_robin")
+        router.assign("qa", analyze("a+"))  # shard 0
+        router.assign("qab", analyze("(a b)+"))  # shard 1
+        assert router.route(sgt(1, "x", "y", "a")) == (0, 1)
+
+    def test_release_updates_routing(self):
+        router = StreamRouter(2, "round_robin")
+        router.assign("qa", analyze("a+"))
+        router.assign("qa2", analyze("a b"))
+        assert router.route(sgt(1, "x", "y", "a")) == (0, 1)
+        assert router.release("qa") == 0
+        assert router.route(sgt(1, "x", "y", "a")) == (1,)
+        with pytest.raises(KeyError):
+            router.shard_of("qa")
+
+    def test_route_batch_preserves_order(self):
+        router = StreamRouter(2, "round_robin")
+        router.assign("qa", analyze("a+"))
+        router.assign("qb", analyze("b+"))
+        batch = [sgt(1, "u", "v", "a"), sgt(2, "v", "w", "b"), sgt(3, "w", "x", "a")]
+        routed = router.route_batch(batch)
+        assert [t.timestamp for t in routed[0]] == [1, 3]
+        assert [t.timestamp for t in routed[1]] == [2]
+
+    def test_duplicate_assignment_rejected(self):
+        router = StreamRouter(2)
+        router.assign("q", analyze("a+"))
+        with pytest.raises(ValueError):
+            router.assign("q", analyze("b+"))
+
+
+class TestMerger:
+    @staticmethod
+    def make_stream(pairs):
+        stream = ResultStream()
+        for source, target, timestamp, positive in pairs:
+            if positive:
+                stream.report(source, target, timestamp)
+            else:
+                stream.invalidate(source, target, timestamp)
+        return stream
+
+    def test_merge_is_timestamp_ordered_and_tagged(self):
+        left = self.make_stream([("a", "b", 1, True), ("a", "c", 5, True)])
+        right = self.make_stream([("x", "y", 2, True), ("x", "y", 4, False)])
+        merged = merge_result_streams({"left": left, "right": right})
+        assert [tagged.timestamp for tagged in merged] == [1, 2, 4, 5]
+        assert [tagged.query for tagged in merged] == ["left", "right", "right", "left"]
+
+    def test_merge_result_events_is_lazy(self):
+        def boom():
+            raise AssertionError("must not be consumed eagerly")
+            yield  # pragma: no cover
+
+        merged = merge_result_events({"q": boom()})
+        with pytest.raises(AssertionError):
+            next(merged)
+
+    def test_collect_results_rebuilds_active_bookkeeping(self):
+        first = self.make_stream([("a", "b", 1, True)])
+        second = self.make_stream([("a", "b", 2, False), ("c", "d", 3, True)])
+        combined = collect_results([first, second])
+        assert combined.distinct_pairs == {("a", "b"), ("c", "d")}
+        assert combined.active_pairs == {("c", "d")}
+
+
+class TestWorker:
+    def test_call_runs_inline_when_not_started(self):
+        worker = create_worker(0, WindowSpec(size=10, slide=1), RuntimeConfig(shards=1))
+        assert worker.call(lambda engine: engine.tuples_seen) == 0
+
+    def test_metrics_after_processing(self):
+        worker = create_worker(0, WindowSpec(size=10, slide=1), RuntimeConfig(shards=1))
+        worker.call(lambda engine: engine.register("q", "a+"))
+        worker.start()
+        worker.submit([sgt(1, "u", "v", "a"), sgt(2, "v", "w", "a")])
+        worker.drain()
+        metrics = worker.metrics()
+        worker.stop()
+        assert metrics["tuples"] == 2.0
+        assert metrics["batches"] == 1.0
+        assert worker.call(lambda engine: engine.query("q").answer_pairs()) == {
+            ("u", "v"), ("v", "w"), ("u", "w"),
+        }
+
+    def test_failure_is_sticky_and_blocks_restart(self):
+        from repro import ShardWorkerError
+
+        worker = create_worker(0, WindowSpec(size=10, slide=1), RuntimeConfig(shards=1))
+        worker.call(lambda engine: engine.register("q", "a+"))
+        worker.start()
+        worker.call(lambda engine: setattr(engine, "process", None))
+        worker.submit([sgt(1, "u", "v", "a")])
+        with pytest.raises(ShardWorkerError):
+            worker.drain()
+        with pytest.raises(ShardWorkerError):
+            worker.drain()  # the poison does not clear on first raise
+        with pytest.raises(ShardWorkerError):
+            worker.stop()
+        assert not worker.running  # the thread is gone even though stop raised
+        with pytest.raises(ShardWorkerError):
+            worker.start()  # a poisoned shard cannot be restarted
+
+    def test_unknown_backend_rejected(self):
+        config = RuntimeConfig(shards=1)
+        object.__setattr__(config, "backend", "fibers")  # bypass frozen validation
+        with pytest.raises(ValueError):
+            create_worker(0, WindowSpec(size=10, slide=1), config)
