@@ -4,25 +4,39 @@ Not a figure of the paper: this benchmark measures the execution subsystem
 added on top of it.  A multi-query workload (disjoint label groups, so the
 router can keep shards independent) is evaluated by the single-threaded
 :class:`~repro.core.engine.StreamingRPQEngine` and by the
-:class:`~repro.runtime.StreamingQueryService` at shard counts {1, 2, 4},
-reporting end-to-end throughput and the speed-up over the baseline.
+:class:`~repro.runtime.StreamingQueryService` for every worker backend at
+shard counts {1, 2, 4}, reporting end-to-end throughput and the speed-up
+over the baseline.
 
-Python threads share the GIL, so CPU-bound speed-up is bounded; the win
-measured here comes from the router's label filtering (each shard only
-touches tuples its queries can use) and the architecture is ready for a
-``multiprocessing`` backend.  Results are asserted for correctness: every
-configuration must produce exactly the baseline's result triples.
+The ``threading`` backend shares the GIL, so its CPU-bound speed-up is
+bounded — it wins only by the router's label filtering (each shard only
+touches tuples its queries can use).  The ``multiprocessing`` backend runs
+each shard worker in its own process and is expected to exceed 1.5x the
+threading backend at 4 shards on machines with >= 4 quiet cores.  That
+ratio is always recorded in the JSON output; it is *asserted* only when
+``REPRO_BENCH_STRICT=1`` is set on a >= 4-core host, so shared/noisy CI
+runners track the trajectory without flaking the build.  Results are
+asserted for correctness unconditionally: every configuration must
+produce exactly the baseline's result triples.
+
+Besides the human-readable table, the run emits machine-readable
+``results/BENCH_runtime_scaling.json`` (throughput per backend x shard
+count) so the performance trajectory can be tracked across PRs and CI
+uploads it as a workflow artifact.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 import time
 
 from repro.core.engine import StreamingRPQEngine
 from repro.datasets.synthetic import UniformStreamGenerator
 from repro.graph.stream import with_deletions
 from repro.graph.window import WindowSpec
-from repro.runtime import RuntimeConfig, StreamingQueryService
+from repro.runtime import BACKENDS, RuntimeConfig, StreamingQueryService
 
 SHARD_COUNTS = (1, 2, 4)
 
@@ -39,6 +53,11 @@ _SCALES = {
     "small": (12_000, 60),
     "medium": (40_000, 120),
 }
+
+#: The >1.5x multiprocessing-vs-threading assertion needs real, quiet cores;
+#: it is opt-in via REPRO_BENCH_STRICT=1 (the ratio is always recorded).
+_MIN_CORES_FOR_SPEEDUP_ASSERT = 4
+_EXPECTED_MP_SPEEDUP = 1.5
 
 
 def build_workload(scale: str):
@@ -65,8 +84,10 @@ def run_baseline(stream, window):
     return elapsed, triples
 
 
-def run_service(stream, window, shards):
-    config = RuntimeConfig(shards=shards, batch_size=256, sharding="label_affinity")
+def run_service(stream, window, shards, backend):
+    config = RuntimeConfig(
+        shards=shards, batch_size=256, sharding="label_affinity", backend=backend
+    )
     service = StreamingQueryService(window, config)
     for name, expression in QUERIES.items():
         service.register(name, expression)
@@ -83,32 +104,82 @@ def runtime_scaling(scale: str):
     stream, window = build_workload(scale)
     baseline_seconds, expected = run_baseline(stream, window)
     rows = [("engine (1 thread)", baseline_seconds, len(stream) / baseline_seconds, 1.0)]
-    for shards in SHARD_COUNTS:
-        elapsed, triples = run_service(stream, window, shards)
-        assert triples == expected, f"service with {shards} shard(s) diverged from the engine"
-        rows.append(
-            (f"service {shards} shard(s)", elapsed, len(stream) / elapsed, baseline_seconds / elapsed)
-        )
-    return len(stream), rows
+    throughput = {}
+    for backend in BACKENDS:
+        for shards in SHARD_COUNTS:
+            elapsed, triples = run_service(stream, window, shards, backend)
+            assert triples == expected, (
+                f"{backend} service with {shards} shard(s) diverged from the engine"
+            )
+            eps = len(stream) / elapsed
+            throughput[(backend, shards)] = eps
+            rows.append(
+                (f"{backend} {shards} shard(s)", elapsed, eps, baseline_seconds / elapsed)
+            )
+    return len(stream), rows, throughput
 
 
 def render_scaling(num_tuples, rows) -> str:
     lines = [
         f"Runtime scaling — {num_tuples} tuples, {len(QUERIES)} queries",
-        f"{'configuration':<22} {'seconds':>8} {'edges/s':>12} {'speedup':>8}",
+        f"{'configuration':<26} {'seconds':>8} {'edges/s':>12} {'speedup':>8}",
     ]
     for name, seconds, eps, speedup in rows:
-        lines.append(f"{name:<22} {seconds:>8.2f} {eps:>12,.0f} {speedup:>7.2f}x")
+        lines.append(f"{name:<26} {seconds:>8.2f} {eps:>12,.0f} {speedup:>7.2f}x")
     return "\n".join(lines)
 
 
-def test_runtime_scaling(benchmark, save_result, bench_scale):
-    num_tuples, rows = benchmark.pedantic(
+def write_json(path, scale, num_tuples, rows, throughput) -> None:
+    """Emit the machine-readable trajectory record (BENCH_runtime_scaling.json)."""
+    baseline = rows[0]
+    record = {
+        "benchmark": "runtime_scaling",
+        "scale": scale,
+        "num_tuples": num_tuples,
+        "queries": list(QUERIES),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "baseline": {"seconds": baseline[1], "throughput_eps": baseline[2]},
+        "multiprocessing_vs_threading_at_4_shards": (
+            throughput[("multiprocessing", 4)] / throughput[("threading", 4)]
+        ),
+        "configs": [
+            {
+                "backend": backend,
+                "shards": shards,
+                "throughput_eps": eps,
+                "speedup_vs_baseline": eps / baseline[2],
+            }
+            for (backend, shards), eps in sorted(throughput.items())
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_runtime_scaling(benchmark, save_result, results_dir, bench_scale):
+    num_tuples, rows, throughput = benchmark.pedantic(
         runtime_scaling, args=(bench_scale,), rounds=1, iterations=1
     )
     save_result("runtime_scaling", render_scaling(num_tuples, rows))
+    json_path = results_dir / "BENCH_runtime_scaling.json"
+    write_json(json_path, bench_scale, num_tuples, rows, throughput)
+    print(f"[saved to {json_path}]")
 
     # every configuration processed the full stream and reported a throughput
-    assert len(rows) == 1 + len(SHARD_COUNTS)
+    assert len(rows) == 1 + len(BACKENDS) * len(SHARD_COUNTS)
     for _, seconds, eps, _ in rows:
         assert seconds > 0 and eps > 0
+
+    # The point of the multiprocessing backend: beat threading on a CPU-bound
+    # workload once real cores are available.  The ratio is meaningless on
+    # small hosts and noisy on shared runners, so enforcement is opt-in.
+    cores = os.cpu_count() or 1
+    mp_speedup = throughput[("multiprocessing", 4)] / throughput[("threading", 4)]
+    print(f"[multiprocessing vs threading at 4 shards: {mp_speedup:.2f}x on {cores} cores]")
+    if os.environ.get("REPRO_BENCH_STRICT") == "1" and cores >= _MIN_CORES_FOR_SPEEDUP_ASSERT:
+        assert mp_speedup > _EXPECTED_MP_SPEEDUP, (
+            f"multiprocessing at 4 shards is only {mp_speedup:.2f}x threading "
+            f"on {cores} cores; expected > {_EXPECTED_MP_SPEEDUP}x"
+        )

@@ -8,20 +8,23 @@ example runs them on the sharded runtime:
   owning a private engine;
 * the ``label_affinity`` policy co-locates queries listening to the same
   labels, so each tuple fans out to few shards;
-* a thread-safe ``on_result`` callback counts alerts live, as workers
-  produce them;
+* an ``on_result`` callback counts alerts live — workers ship result
+  events back over their response queues and the coordinator invokes the
+  callback while pumping them;
 * between ingestion waves the service reports aggregated per-shard stats,
   and at the end the merged global result stream.
 
 Run with::
 
-    python examples/sharded_monitoring.py
+    python examples/sharded_monitoring.py                   # threads
+    python examples/sharded_monitoring.py multiprocessing   # real cores
 """
 
 from __future__ import annotations
 
 import itertools
 import random
+import sys
 import threading
 from collections import Counter
 from typing import List
@@ -67,7 +70,8 @@ def main() -> None:
         with lock:
             alerts[query] += 1
 
-    config = RuntimeConfig(shards=4, batch_size=128, sharding="label_affinity")
+    backend = sys.argv[1] if len(sys.argv) > 1 else "threading"
+    config = RuntimeConfig(shards=4, batch_size=128, sharding="label_affinity", backend=backend)
     service = StreamingQueryService(WINDOW, config, on_result=on_result)
     for name, expression in QUERIES.items():
         shard = service.register(name, expression)

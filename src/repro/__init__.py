@@ -41,11 +41,13 @@ from .core import (
     save_checkpoint,
 )
 from .errors import (
+    ConfigError,
     ConflictBudgetExceeded,
     ReproError,
     RuntimeStateError,
     ShardWorkerError,
     StreamOrderError,
+    WireProtocolError,
 )
 from .extensions import (
     EdgePredicate,
@@ -70,9 +72,10 @@ from .graph import (
 from .regex import QueryAnalysis, analyze, compile_query, parse
 from .runtime import RuntimeConfig, StreamingQueryService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ConfigError",
     "ConflictBudgetExceeded",
     "EdgeOp",
     "EdgePredicate",
@@ -100,6 +103,7 @@ __all__ = [
     "StreamingQueryService",
     "StreamingRPQEngine",
     "WindowSpec",
+    "WireProtocolError",
     "analyze",
     "batch_rapq",
     "batch_rspq",

@@ -55,7 +55,7 @@ from .errors import ShardWorkerError
 from .graph.stream import GeneratorStream, iter_csv, with_deletions, write_csv
 from .graph.window import WindowSpec
 from .regex.analysis import analyze
-from .runtime import SHARDING_POLICIES, RuntimeConfig, StreamingQueryService
+from .runtime import BACKENDS, SHARDING_POLICIES, RuntimeConfig, StreamingQueryService
 
 __all__ = ["main", "build_parser"]
 
@@ -104,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
         "occupies one shard (query-level parallelism) — use 'serve' for real fan-out",
     )
     run_parser.add_argument("--batch-size", type=int, default=64, help="tuples per worker batch (with --shards > 1)")
+    run_parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="threading",
+        help="worker concurrency backend (with --shards > 1); 'multiprocessing' uses real cores",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve", help="run multiple persistent queries as a sharded service over a CSV stream"
@@ -123,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--shards", type=int, default=2, help="number of shard workers")
     serve_parser.add_argument("--batch-size", type=int, default=64, help="tuples per worker batch")
     serve_parser.add_argument("--queue-depth", type=int, default=8, help="bounded queue depth per worker, in batches")
+    serve_parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="threading",
+        help="worker concurrency backend; 'multiprocessing' runs shards on real cores",
+    )
     serve_parser.add_argument("--policy", choices=sorted(SHARDING_POLICIES), default="hash", help="query-to-shard placement policy")
     serve_parser.add_argument("--deletions", type=float, default=0.0, help="inject this ratio of explicit deletions")
     serve_parser.add_argument("--limit", type=int, default=None, help="process only the first N tuples")
@@ -217,9 +229,10 @@ def _make_runtime_config(args: argparse.Namespace) -> RuntimeConfig:
             shards=args.shards,
             batch_size=args.batch_size,
             queue_depth=getattr(args, "queue_depth", 8),
+            backend=getattr(args, "backend", "threading"),
             sharding=getattr(args, "policy", "hash"),
         )
-    except ValueError as exc:
+    except ValueError as exc:  # ConfigError subclasses ValueError
         raise SystemExit(f"invalid runtime configuration: {exc}") from None
 
 
@@ -248,7 +261,7 @@ def _run_sharded(args: argparse.Namespace, stream, window: WindowSpec) -> int:
     print(f"query            : {args.query}")
     print(f"semantics        : {args.semantics}")
     print(f"window           : |W|={args.window}, beta={args.slide}")
-    print(f"runtime          : {args.shards} shard(s), batch={args.batch_size}")
+    print(f"runtime          : {args.shards} shard(s), backend={args.backend}, batch={args.batch_size}")
     print(f"tuples processed : {totals['tuples_ingested']} "
           f"({totals['tuples_dropped_unroutable']} dropped as irrelevant)")
     print(f"distinct results : {len(pairs)} ({len(triples)} result events)")
@@ -311,7 +324,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         return 1
     totals = summary["totals"]
     print(f"window           : |W|={args.window}, beta={args.slide}")
-    print(f"runtime          : {args.shards} shard(s), policy={args.policy}, batch={args.batch_size}")
+    print(f"runtime          : {args.shards} shard(s), backend={args.backend}, "
+          f"policy={args.policy}, batch={args.batch_size}")
     print(f"tuples ingested  : {totals['tuples_ingested']} "
           f"({totals['tuples_dropped_unroutable']} dropped as irrelevant)")
     if elapsed > 0:

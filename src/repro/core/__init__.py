@@ -9,7 +9,14 @@
 
 from .baseline import SnapshotRecomputeBaseline
 from .batch import batch_rapq, batch_rspq, product_graph_edges
-from .checkpoint import checkpoint_rapq, load_checkpoint, restore_rapq, save_checkpoint
+from .checkpoint import (
+    checkpoint_rapq,
+    decode_rapq,
+    encode_rapq,
+    load_checkpoint,
+    restore_rapq,
+    save_checkpoint,
+)
 from .engine import RegisteredQuery, StreamingRPQEngine, make_evaluator
 from .rapq import RAPQEvaluator
 from .results import ResultEvent, ResultStream
@@ -33,6 +40,8 @@ __all__ = [
     "batch_rapq",
     "batch_rspq",
     "checkpoint_rapq",
+    "decode_rapq",
+    "encode_rapq",
     "load_checkpoint",
     "make_evaluator",
     "product_graph_edges",

@@ -33,7 +33,14 @@ from ..regex.analysis import QueryAnalysis
 from .rapq import RAPQEvaluator
 from .tree_index import ROOT_TIMESTAMP
 
-__all__ = ["checkpoint_rapq", "restore_rapq", "save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "checkpoint_rapq",
+    "restore_rapq",
+    "encode_rapq",
+    "decode_rapq",
+    "save_checkpoint",
+    "load_checkpoint",
+]
 
 #: Format marker so that future layout changes can stay backward compatible.
 _FORMAT_VERSION = 1
@@ -197,6 +204,22 @@ def restore_rapq(
     evaluator._last_expiry_boundary = state.get("last_expiry_boundary")
     evaluator.stats.update(state.get("stats", {}))
     return evaluator
+
+
+def encode_rapq(evaluator: RAPQEvaluator) -> bytes:
+    """Serialize one evaluator's complete state to a compact byte string.
+
+    Bytes in, bytes out: the blob is UTF-8 JSON of :func:`checkpoint_rapq`,
+    so it can travel over a process boundary (the runtime's worker protocol
+    ships query registration and checkpoints this way), be written to disk,
+    or be posted to an external store — no pickling of rich objects.
+    """
+    return json.dumps(checkpoint_rapq(evaluator), separators=(",", ":")).encode("utf-8")
+
+
+def decode_rapq(blob: bytes, query: Optional[Union[str, QueryAnalysis]] = None) -> RAPQEvaluator:
+    """Rebuild an evaluator from an :func:`encode_rapq` byte string."""
+    return restore_rapq(json.loads(blob.decode("utf-8")), query=query)
 
 
 def save_checkpoint(evaluator: RAPQEvaluator, path: Union[str, Path]) -> Path:

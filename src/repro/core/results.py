@@ -44,6 +44,20 @@ class ResultEvent:
         """The reported vertex pair ``(x, y)``."""
         return (self.source, self.target)
 
+    def to_wire(self) -> Tuple:
+        """Compact wire form ``(tau, x, y, positive)`` (plain scalars only).
+
+        Used by the runtime's worker protocol to ship result events across
+        thread/process boundaries without pickling rich objects.
+        """
+        return (self.timestamp, self.source, self.target, self.positive)
+
+    @classmethod
+    def from_wire(cls, wire: Tuple) -> "ResultEvent":
+        """Rebuild an event from its :meth:`to_wire` form."""
+        timestamp, source, target, positive = wire
+        return cls(timestamp=timestamp, source=source, target=target, positive=positive)
+
     def __str__(self) -> str:
         sign = "+" if self.positive else "-"
         return f"{sign}({self.source}, {self.target})@{self.timestamp}"
@@ -103,6 +117,26 @@ class ResultStream:
                 self.report(event.source, event.target, event.timestamp)
             else:
                 self.invalidate(event.source, event.target, event.timestamp)
+
+    def to_wire(self) -> Tuple:
+        """The whole stream as a tuple of :meth:`ResultEvent.to_wire` forms."""
+        return tuple(event.to_wire() for event in self._events)
+
+    @classmethod
+    def from_wire(cls, wire) -> "ResultStream":
+        """Rebuild a stream by replaying :meth:`to_wire` output.
+
+        Replaying through :meth:`report` / :meth:`invalidate` reconstructs
+        the distinct/active pair bookkeeping exactly, so the copy behaves
+        like the original stream for every inspection method.
+        """
+        stream = cls()
+        for timestamp, source, target, positive in wire:
+            if positive:
+                stream.report(source, target, timestamp)
+            else:
+                stream.invalidate(source, target, timestamp)
+        return stream
 
     # ------------------------------------------------------------------ #
     # Inspection

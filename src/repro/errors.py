@@ -5,9 +5,11 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "StreamOrderError",
+    "ConfigError",
     "ConflictBudgetExceeded",
     "RuntimeStateError",
     "ShardWorkerError",
+    "WireProtocolError",
 ]
 
 
@@ -17,6 +19,25 @@ class ReproError(Exception):
 
 class StreamOrderError(ReproError, ValueError):
     """Raised when stream tuples violate the non-decreasing timestamp order."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Raised when a configuration value is invalid.
+
+    Raised at construction time (e.g. by
+    :class:`~repro.runtime.RuntimeConfig`) so misconfigurations fail fast
+    with a message listing the valid choices, instead of surfacing as a
+    late ``KeyError`` deep inside the runtime.
+    """
+
+
+class WireProtocolError(ReproError, RuntimeError):
+    """Raised when a runtime wire-protocol frame is malformed or unknown.
+
+    The coordinator and its shard workers exchange only the typed frames
+    defined in :mod:`repro.runtime.protocol`; anything else on the wire is
+    a programming error and is reported with this exception.
+    """
 
 
 class RuntimeStateError(ReproError, RuntimeError):

@@ -65,6 +65,22 @@ class StreamingGraphTuple:
         """Return ``True`` for an explicit-deletion (negative) tuple."""
         return self.op is EdgeOp.DELETE
 
+    def to_wire(self) -> Tuple:
+        """Compact wire form ``(tau, u, v, l, op)`` with ``op`` as ``"+"``/``"-"``.
+
+        The wire form is a plain tuple of scalars so it can cross process
+        boundaries (or be JSON-encoded) without pickling rich objects; it is
+        the batch payload of the runtime's worker protocol
+        (:mod:`repro.runtime.protocol`).
+        """
+        return (self.timestamp, self.source, self.target, self.label, self.op.value)
+
+    @classmethod
+    def from_wire(cls, wire: Tuple) -> "StreamingGraphTuple":
+        """Rebuild a tuple from its :meth:`to_wire` form."""
+        timestamp, source, target, label, op = wire
+        return cls(timestamp=timestamp, source=source, target=target, label=label, op=EdgeOp(op))
+
     def as_delete(self, timestamp: int) -> "StreamingGraphTuple":
         """Return the negative tuple deleting this edge at ``timestamp``.
 

@@ -19,10 +19,19 @@ Architecture — four cooperating pieces behind one facade::
   Parallelism is per *query*: each query lives on exactly one shard, and a
   tuple is routed to every shard hosting a query whose alphabet contains
   the tuple's label (others cannot affect any result, §5.2).
+* :mod:`~repro.runtime.protocol` — the typed wire protocol between the
+  coordinator and its workers: control frames (``REGISTER`` / ``RESTORE``
+  / ``DEREGISTER`` / ``RESULTS`` / ``CHECKPOINT`` / ``SUMMARY`` /
+  ``METRICS`` / ``DRAIN`` / ``STOP``), batch frames and response frames
+  (replies, live result events, failure reports), all with compact
+  tuple-based encodings — no closures or rich objects ever cross a worker
+  boundary.
 * :mod:`~repro.runtime.worker` — :class:`ShardWorker`: a private
   :class:`~repro.core.engine.StreamingRPQEngine` per shard, fed batches
-  from a bounded queue on a ``threading`` backend; the message-shaped API
-  leaves room for a ``multiprocessing`` backend.
+  from a bounded queue.  One serve loop, two transports:
+  :class:`ThreadShardWorker` (``threading`` backend, GIL-bound, wins by
+  label filtering) and :class:`ProcessShardWorker` (``multiprocessing``
+  backend, true CPU parallelism; shard state ships as serialized frames).
 * :mod:`~repro.runtime.merger` — lazy timestamp-ordered k-way merge of the
   per-query result streams into one global stream (shares the heap merge
   with :func:`repro.graph.stream.merge_streams`).
@@ -40,9 +49,9 @@ single-threaded engine — verified by ``tests/test_runtime_service.py``.
 
 Command-line interface::
 
-    # evaluate one query through the sharded runtime
+    # evaluate one query through the sharded runtime, on real cores
     python -m repro run --query "a+" --input stream.csv --window 50 \\
-                        --shards 4 --batch-size 128
+                        --shards 4 --batch-size 128 --backend multiprocessing
 
     # run a service with several persistent queries across shards
     python -m repro serve --input stream.csv --window 50 --shards 4 \\
@@ -50,15 +59,19 @@ Command-line interface::
                           --policy label_affinity --checkpoint state.json
 
 ``serve`` flags: repeatable ``--query [name=]expr``, ``--shards``,
-``--batch-size``, ``--queue-depth``, ``--policy`` (sharding policy),
-``--semantics``, ``--deletions``, ``--limit``, ``--checkpoint PATH``
-(write a coordinated checkpoint after draining), ``--show-results N``
-(print the head of the merged global result stream).
+``--backend`` (worker backend), ``--batch-size``, ``--queue-depth``,
+``--policy`` (sharding policy), ``--semantics``, ``--deletions``,
+``--limit``, ``--checkpoint PATH`` (write a coordinated checkpoint after
+draining), ``--show-results N`` (print the head of the merged global
+result stream).
 
 Benchmark: ``benchmarks/bench_runtime_scaling.py`` measures service
-throughput at shard counts {1, 2, 4} against the single-threaded engine.
+throughput for both backends at shard counts {1, 2, 4} against the
+single-threaded engine and emits machine-readable
+``results/BENCH_runtime_scaling.json``.
 """
 
+from . import protocol
 from .config import BACKENDS, SHARDING_POLICIES, RuntimeConfig
 from .merger import TaggedResultEvent, collect_results, merge_result_events, merge_result_streams
 from .router import (
@@ -71,7 +84,14 @@ from .router import (
     make_policy,
 )
 from .service import StreamingQueryService
-from .worker import WORKER_BACKENDS, ShardWorker, ThreadShardWorker, create_worker
+from .worker import (
+    WORKER_BACKENDS,
+    ProcessShardWorker,
+    ShardEngineServer,
+    ShardWorker,
+    ThreadShardWorker,
+    create_worker,
+)
 
 __all__ = [
     "BACKENDS",
@@ -79,8 +99,10 @@ __all__ = [
     "WORKER_BACKENDS",
     "HashPolicy",
     "LabelAffinityPolicy",
+    "ProcessShardWorker",
     "RoundRobinPolicy",
     "RuntimeConfig",
+    "ShardEngineServer",
     "ShardView",
     "ShardWorker",
     "ShardingPolicy",
@@ -93,4 +115,5 @@ __all__ = [
     "make_policy",
     "merge_result_events",
     "merge_result_streams",
+    "protocol",
 ]

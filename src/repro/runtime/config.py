@@ -5,6 +5,10 @@ how many shard workers to run, how tuples are batched into the workers'
 bounded queues (batching amortizes queue overhead, the bound provides
 backpressure), which concurrency backend drives the workers and which
 sharding policy places queries onto shards.
+
+All values are validated at construction time and raise
+:class:`~repro.errors.ConfigError` listing the valid choices, so a
+misconfiguration fails fast instead of surfacing deep inside the runtime.
 """
 
 from __future__ import annotations
@@ -12,13 +16,16 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, replace
 from typing import Dict
 
+from ..errors import ConfigError
+
 __all__ = ["RuntimeConfig", "BACKENDS", "SHARDING_POLICIES"]
 
-#: Concurrency backends implemented by :mod:`repro.runtime.worker`.  The
-#: worker API is process-shaped (batches and control messages over a queue,
-#: no shared mutable state with the coordinator) so a ``"multiprocessing"``
-#: backend can be added without touching the service layer.
-BACKENDS = ("threading",)
+#: Concurrency backends implemented by :mod:`repro.runtime.worker`.  Both
+#: speak the same wire protocol (:mod:`repro.runtime.protocol`); only the
+#: transport differs: ``"threading"`` runs workers on daemon threads (GIL
+#: bound — wins by label filtering only), ``"multiprocessing"`` in child
+#: processes (true CPU parallelism for the paper's CPU-bound algorithms).
+BACKENDS = ("threading", "multiprocessing")
 
 #: Query-placement policies implemented by :mod:`repro.runtime.router`.
 SHARDING_POLICIES = ("round_robin", "hash", "label_affinity")
@@ -31,7 +38,8 @@ class RuntimeConfig:
     Attributes:
         shards: number of shard workers, each owning a private engine.
         batch_size: tuples per batch handed to a worker queue; larger
-            batches amortize hand-off overhead, smaller ones reduce the
+            batches amortize hand-off (and, for the multiprocessing
+            backend, serialization) overhead, smaller ones reduce the
             latency until a tuple's results become visible.
         queue_depth: bound (in batches) of each worker's input queue;
             ``ingest`` blocks when a worker is this far behind
@@ -39,6 +47,10 @@ class RuntimeConfig:
         backend: concurrency backend, one of :data:`BACKENDS`.
         sharding: query-placement policy name, one of
             :data:`SHARDING_POLICIES`.
+
+    Raises:
+        ConfigError: when any value is out of range or names an unknown
+            backend / sharding policy (the message lists valid choices).
     """
 
     shards: int = 2
@@ -49,21 +61,28 @@ class RuntimeConfig:
 
     def __post_init__(self) -> None:
         if self.shards < 1:
-            raise ValueError(f"shards must be >= 1, got {self.shards}")
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
         if self.batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.queue_depth < 1:
-            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+            raise ConfigError(f"queue_depth must be >= 1, got {self.queue_depth}")
         if self.backend not in BACKENDS:
-            raise ValueError(f"unknown backend {self.backend!r}; expected one of {BACKENDS}")
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; valid choices: {', '.join(BACKENDS)}"
+            )
         if self.sharding not in SHARDING_POLICIES:
-            raise ValueError(
-                f"unknown sharding policy {self.sharding!r}; expected one of {SHARDING_POLICIES}"
+            raise ConfigError(
+                f"unknown sharding policy {self.sharding!r}; "
+                f"valid choices: {', '.join(SHARDING_POLICIES)}"
             )
 
     def with_shards(self, shards: int) -> "RuntimeConfig":
         """Return a copy of this config with a different shard count."""
         return replace(self, shards=shards)
+
+    def with_backend(self, backend: str) -> "RuntimeConfig":
+        """Return a copy of this config with a different worker backend."""
+        return replace(self, backend=backend)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible representation (used in service checkpoints)."""

@@ -1,0 +1,248 @@
+"""Typed wire protocol between the runtime coordinator and shard workers.
+
+Every interaction of :class:`~repro.runtime.service.StreamingQueryService`
+with a :class:`~repro.runtime.worker.ShardWorker` travels as one of the
+frames defined here — plain tuples of scalars, strings and ``bytes``, never
+closures or rich engine objects.  Both concurrency backends speak exactly
+this protocol; only the transport differs (``queue.Queue`` for the
+``threading`` backend, ``multiprocessing.Queue`` for the
+``multiprocessing`` backend), so shard state is serializable by
+construction and a worker can live in another process, or eventually on
+another machine.
+
+Request frames (coordinator -> worker)
+======================================
+
+Two shapes travel on the request queue:
+
+``(BATCH, payload)``
+    One batch of streaming graph tuples, ``payload`` a tuple of
+    :meth:`~repro.graph.tuples.StreamingGraphTuple.to_wire` forms
+    ``(tau, u, v, l, op)``.  Fire-and-forget: no reply; the bounded request
+    queue provides backpressure.
+
+``(CONTROL, seq, op, payload)``
+    A control call with a monotonically increasing ``seq``; the worker
+    answers with a ``REPLY`` or ``ERROR`` frame carrying the same ``seq``.
+    Control ops and their payloads:
+
+    ============== ==================================================== ======================
+    op             payload                                              reply payload
+    ============== ==================================================== ======================
+    ``REGISTER``   ``(name, expression, semantics, max_nodes_per_tree)`` ``None``
+    ``RESTORE``    ``(name, semantics, blob)`` — ``blob`` is an
+                   :func:`~repro.core.checkpoint.encode_rapq` byte
+                   string (evaluator state, bytes in / bytes out)        ``None``
+    ``DEREGISTER`` ``name``                                             ``None``
+    ``RESULTS``    ``name``                                             tuple of event wire
+                                                                        forms ``(tau, x, y,
+                                                                        positive)``
+    ``CHECKPOINT`` ``name``                                             ``bytes`` (encoded
+                                                                        evaluator)
+    ``SUMMARY``    ``None``                                             per-query summary dict
+    ``METRICS``    ``None``                                             shard counters dict
+    ``DRAIN``      ``None``                                             ``None`` (barrier: the
+                                                                        reply proves every
+                                                                        earlier batch was
+                                                                        processed)
+    ``STOP``       ``ship_state`` (bool)                                final shard state
+                                                                        (see below) or ``None``
+    ============== ==================================================== ======================
+
+    ``STOP`` terminates the worker loop after replying.  When
+    ``ship_state`` is true (process transport, whose memory dies with the
+    child) the reply carries the shard's final state
+    ``(metrics, batches, queries)`` where each query entry is
+    ``(name, semantics, expression, blob_or_None, events_or_None)`` —
+    arbitrary-semantics evaluators ship their full encoded state,
+    others ship their result events only.
+
+Response frames (worker -> coordinator)
+=======================================
+
+All responses are multiplexed onto one unbounded queue so their relative
+order is preserved (two separate queues would not guarantee cross-queue
+ordering under ``multiprocessing``):
+
+``(REPLY, seq, payload)``
+    Successful completion of the control call ``seq``.
+
+``(ERROR, seq, exc_wire)``
+    The control call ``seq`` raised; ``exc_wire`` is the
+    :func:`encode_exception` form and is re-raised at the coordinator.
+    Control errors do not poison the shard.
+
+``(EVENTS, payload)``
+    Newly reported results of one processed batch, ``payload`` a tuple of
+    ``(query_name, source, target, timestamp)``.  Emitted only when the
+    worker was created with a live-result callback; the coordinator pumps
+    these opportunistically and invokes the callback on its own thread.
+
+``(FAILURE, exc_wire)``
+    Batch processing raised.  The failure is sticky — the shard's window
+    is missing tuples, so the worker discards later batches (releasing
+    backpressure) and the coordinator re-raises a
+    :class:`~repro.errors.ShardWorkerError` at every subsequent
+    interaction.
+
+Encodings
+=========
+
+:func:`encode_batch` / :func:`decode_batch` and :func:`encode_events` /
+:func:`decode_events` are thin loops over the wire forms defined on
+:class:`~repro.graph.tuples.StreamingGraphTuple` and
+:class:`~repro.core.results.ResultEvent`.  Exceptions cross the wire as
+``(type_name, message)`` via :func:`encode_exception` /
+:func:`decode_exception`, reconstructed against the library's exception
+registry (falling back to ``RuntimeError`` for unknown types).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from .. import errors as _errors
+from ..graph.tuples import StreamingGraphTuple
+
+__all__ = [
+    "BATCH",
+    "CONTROL",
+    "REGISTER",
+    "RESTORE",
+    "DEREGISTER",
+    "RESULTS",
+    "CHECKPOINT",
+    "SUMMARY",
+    "METRICS",
+    "DRAIN",
+    "STOP",
+    "REPLY",
+    "ERROR",
+    "EVENTS",
+    "FAILURE",
+    "CONTROL_OPS",
+    "encode_batch",
+    "decode_batch",
+    "encode_events",
+    "decode_events",
+    "encode_exception",
+    "decode_exception",
+]
+
+# --------------------------------------------------------------------- #
+# Frame kinds (request queue)
+# --------------------------------------------------------------------- #
+
+#: Data frame: one batch of tuple wire forms.  No reply.
+BATCH = "BATCH"
+#: Control frame ``(CONTROL, seq, op, payload)``; answered by seq.
+CONTROL = "CTRL"
+
+# Control ops ---------------------------------------------------------- #
+
+REGISTER = "REGISTER"
+RESTORE = "RESTORE"
+DEREGISTER = "DEREGISTER"
+RESULTS = "RESULTS"
+CHECKPOINT = "CHECKPOINT"
+SUMMARY = "SUMMARY"
+METRICS = "METRICS"
+DRAIN = "DRAIN"
+STOP = "STOP"
+
+#: Every control op a worker must implement.
+CONTROL_OPS = (
+    REGISTER,
+    RESTORE,
+    DEREGISTER,
+    RESULTS,
+    CHECKPOINT,
+    SUMMARY,
+    METRICS,
+    DRAIN,
+    STOP,
+)
+
+# --------------------------------------------------------------------- #
+# Frame kinds (response queue)
+# --------------------------------------------------------------------- #
+
+REPLY = "REPLY"
+ERROR = "ERROR"
+EVENTS = "EVENTS"
+FAILURE = "FAILURE"
+
+# --------------------------------------------------------------------- #
+# Payload encodings
+# --------------------------------------------------------------------- #
+
+
+def encode_batch(batch: Sequence[StreamingGraphTuple]) -> Tuple[Tuple, ...]:
+    """Encode a batch of tuples into their compact wire forms."""
+    return tuple(tup.to_wire() for tup in batch)
+
+
+def decode_batch(payload: Iterable[Tuple]) -> List[StreamingGraphTuple]:
+    """Decode a ``BATCH`` payload back into streaming graph tuples."""
+    return [StreamingGraphTuple.from_wire(wire) for wire in payload]
+
+
+def encode_events(events: Iterable[Tuple]) -> Tuple[Tuple, ...]:
+    """Encode ``(query, source, target, timestamp)`` live-result records."""
+    return tuple(events)
+
+
+def decode_events(payload: Iterable[Tuple]) -> List[Tuple]:
+    """Decode an ``EVENTS`` payload (inverse of :func:`encode_events`)."""
+    return list(payload)
+
+
+# Exception registry: library exceptions plus the builtins a worker can
+# plausibly raise.  Reconstruction is by type name with a single message
+# argument; unknown types degrade to RuntimeError.
+_EXCEPTION_TYPES = {
+    name: getattr(_errors, name)
+    for name in _errors.__all__
+    if isinstance(getattr(_errors, name), type)
+}
+_EXCEPTION_TYPES.update(
+    {
+        exc.__name__: exc
+        for exc in (
+            ValueError,
+            KeyError,
+            TypeError,
+            RuntimeError,
+            ArithmeticError,
+            ZeroDivisionError,
+            IndexError,
+            AttributeError,
+            NotImplementedError,
+            OSError,
+            MemoryError,
+        )
+    }
+)
+
+
+def encode_exception(exc: BaseException) -> Tuple[str, str]:
+    """Encode an exception as ``(type_name, message)`` for the wire."""
+    return (type(exc).__name__, str(exc))
+
+
+def decode_exception(wire: Tuple[str, str]) -> BaseException:
+    """Rebuild an exception from :func:`encode_exception` output.
+
+    The reconstructed exception carries the original message; unknown
+    types (or types whose constructor rejects a single message argument)
+    come back as ``RuntimeError`` with the type name prefixed so no
+    information is lost.
+    """
+    type_name, message = wire
+    exc_type = _EXCEPTION_TYPES.get(type_name)
+    if exc_type is not None:
+        try:
+            return exc_type(message)
+        except Exception:  # pragma: no cover - exotic constructor signature
+            pass
+    return RuntimeError(f"{type_name}: {message}")

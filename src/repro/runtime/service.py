@@ -11,6 +11,13 @@ Because parallelism is per query and every shard worker owns a private
 engine fed in stream order, the service produces *exactly* the results the
 single-threaded :class:`~repro.core.engine.StreamingRPQEngine` would — the
 runtime changes who does the work, never what is computed.
+
+The service never shares Python objects with its workers: every
+interaction (registration, batches, result fetches, checkpoints, metrics)
+is a typed frame of :mod:`repro.runtime.protocol`, so the same code drives
+the ``threading`` and ``multiprocessing`` backends.  Live results flow
+back over the workers' response queues and the optional ``on_result``
+callback is invoked on the coordinator thread while it pumps them.
 """
 
 from __future__ import annotations
@@ -20,7 +27,6 @@ import sys
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
-from ..core.checkpoint import checkpoint_rapq, restore_rapq
 from ..core.results import ResultStream
 from ..errors import RuntimeStateError
 from ..graph.tuples import StreamingGraphTuple, Vertex
@@ -58,8 +64,8 @@ class StreamingQueryService:
         window: sliding-window specification shared by all queries.
         config: runtime tunables; defaults to :class:`RuntimeConfig()`.
         on_result: optional live callback ``(query, source, target,
-            timestamp)`` invoked from worker threads for every newly
-            reported pair (must be thread-safe).
+            timestamp)`` invoked on the coordinator thread — while it
+            pumps worker response queues — for every newly reported pair.
     """
 
     def __init__(
@@ -164,8 +170,10 @@ class StreamingQueryService:
         # registration and must reach the engine before the new query does.
         self._flush_shard(shard)
         try:
-            self.workers[shard].call(
-                lambda engine: engine.register(name, analysis, semantics, max_nodes_per_tree)
+            # The expression travels as its rendered string (round-trip safe)
+            # so registration crosses process boundaries; the worker recompiles.
+            self.workers[shard].register_query(
+                name, str(analysis.expression), semantics, max_nodes_per_tree
             )
         except Exception:
             self.router.release(name)
@@ -179,7 +187,7 @@ class StreamingQueryService:
         # Flush this shard's buffered tuples first so the removal lands
         # after everything ingested before it, matching engine semantics.
         self._flush_shard(shard)
-        self.workers[shard].call(lambda engine: engine.deregister(name))
+        self.workers[shard].deregister_query(name)
         self.router.release(name)
         del self._semantics[name]
 
@@ -234,17 +242,16 @@ class StreamingQueryService:
     def results(self, name: str) -> ResultStream:
         """A snapshot of one query's result stream.
 
-        The copy is taken on the owning shard's worker thread, serialized
+        The stream is wire-encoded on the owning shard's worker, serialized
         with in-flight batches, so it is a consistent point-in-time view
         even while the service keeps ingesting.
         """
         shard = self.router.shard_of(name)
-        return self.workers[shard].call(lambda engine: engine.query(name).results.copy())
+        return self.workers[shard].fetch_results(name)
 
     def answer_pairs(self, name: str) -> Set[Tuple[Vertex, Vertex]]:
         """All distinct pairs reported so far by one query."""
-        shard = self.router.shard_of(name)
-        return self.workers[shard].call(lambda engine: engine.query(name).answer_pairs())
+        return self.results(name).distinct_pairs
 
     def result_triples(self, name: str) -> Set[Tuple[Vertex, Vertex, int]]:
         """Positive results of one query as ``(source, target, timestamp)`` triples."""
@@ -276,7 +283,7 @@ class StreamingQueryService:
         """Aggregated service summary: totals, per-shard and per-query stats."""
         per_query: Dict[str, Dict[str, object]] = {}
         for shard, worker in enumerate(self.workers):
-            shard_summary = worker.call(lambda engine: engine.summary())
+            shard_summary = worker.summary()
             for name, stats in shard_summary.items():
                 stats["shard"] = shard
                 per_query[name] = stats
@@ -314,10 +321,11 @@ class StreamingQueryService:
         queries = []
         for name in self.queries():
             shard = self.router.shard_of(name)
-            state = self.workers[shard].call(
-                lambda engine: checkpoint_rapq(engine.query(name).evaluator)
-            )
-            queries.append({"name": name, "shard": shard, "state": state})
+            # The worker returns the evaluator's encoded byte blob (the form
+            # that ships across process boundaries); decode it back to the
+            # JSON-compatible dict for the service-level checkpoint layout.
+            blob = self.workers[shard].checkpoint_query(name)
+            queries.append({"name": name, "shard": shard, "state": json.loads(blob.decode("utf-8"))})
         return {
             "format": _SERVICE_FORMAT,
             "window": {"size": self.window.size, "slide": self.window.slide},
@@ -351,15 +359,16 @@ class StreamingQueryService:
         service._tuples_ingested = int(state.get("tuples_ingested", 0))
         for entry in state["queries"]:
             name = entry["name"]
-            evaluator = restore_rapq(entry["state"])
+            # Routing only needs the query's alphabet; the full evaluator
+            # state travels to the owning worker as an opaque byte blob.
+            analysis = analyze(entry["state"]["query"])
             shard = entry["shard"]
             if 0 <= shard < config.shards:
-                service.router.assign_to(name, evaluator.analysis, shard)
+                service.router.assign_to(name, analysis, shard)
             else:
-                shard = service.router.assign(name, evaluator.analysis)
-            service.workers[shard].call(
-                lambda engine: engine.register_evaluator(name, evaluator, "arbitrary")
-            )
+                shard = service.router.assign(name, analysis)
+            blob = json.dumps(entry["state"], separators=(",", ":")).encode("utf-8")
+            service.workers[shard].restore_query(name, blob, "arbitrary")
             service._semantics[name] = "arbitrary"
         return service
 

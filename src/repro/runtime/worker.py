@@ -1,79 +1,148 @@
-"""Shard workers: each owns a private engine and consumes batches from a queue.
+"""Shard workers: each owns a private engine and speaks the wire protocol.
 
-A :class:`ShardWorker` is the unit of parallelism of the runtime.  It owns
-a private :class:`~repro.core.engine.StreamingRPQEngine` (no state is
-shared between shards, in the spirit of per-core silos in main-memory
-DBMSs) and consumes work from a bounded queue:
+A shard worker is the unit of parallelism of the runtime.  It owns a
+private :class:`~repro.core.engine.StreamingRPQEngine` (no state is shared
+between shards, in the spirit of per-core silos in main-memory DBMSs) and
+communicates with the coordinator *exclusively* through the typed frames
+of :mod:`repro.runtime.protocol`:
 
 * **batches** of streaming graph tuples, processed in stream order;
-* **control calls** — arbitrary functions executed *on the worker's
-  thread* against its engine.  Registration, checkpointing and metric
-  reads all travel through the queue, so the engine is only ever touched
-  from one thread and calls are serialized with the surrounding batches.
+* **control frames** — registration, checkpointing, result fetches and
+  metric reads, executed on the worker against its engine, serialized
+  with the surrounding batches;
+* **response frames** — replies, live result events and failure reports
+  flowing back on one multiplexed queue.
 
-The queue bound provides backpressure: ``submit`` blocks once the worker
-is ``queue_depth`` batches behind.
+Three cooperating pieces implement this:
 
-The built-in backend runs each worker on a ``threading.Thread``.  The API
-is deliberately process-shaped — only picklable batches and the
-coordination points of a message queue — so a ``multiprocessing`` backend
-can be slotted in behind :func:`create_worker` without changing the
-service layer.
+* :class:`ShardEngineServer` — the backend-agnostic server side: decodes
+  frames, executes them against the engine, encodes the results.
+* :func:`serve_shard` — the worker loop, identical for every backend; it
+  pulls request frames and pushes response frames.  One code path, two
+  transports.
+* :class:`ShardWorker` — the coordinator-side proxy: typed methods
+  (``register_query``, ``fetch_results``, ``checkpoint_query``, ...) that
+  frame requests, await replies and re-raise worker errors.  Transports
+  subclass it: :class:`ThreadShardWorker` runs :func:`serve_shard` on a
+  daemon thread over ``queue.Queue``; :class:`ProcessShardWorker` runs it
+  in a child process over ``multiprocessing.Queue``, escaping the GIL for
+  CPU-bound workloads.
+
+The bounded request queue provides backpressure: ``submit`` blocks once
+the worker is ``queue_depth`` batches behind.
+
+Because every frame payload is plain scalars/bytes, shard state is
+explicitly serializable: the process backend boots its child from replayed
+``REGISTER``/``RESTORE`` frames and ships final state back at ``STOP``, so
+a stopped worker can still be inspected (and arbitrary-semantics queries
+even restarted) from the coordinator.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import queue
 import threading
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from ..core.checkpoint import decode_rapq, encode_rapq
 from ..core.engine import StreamingRPQEngine
-from ..errors import RuntimeStateError, ShardWorkerError
+from ..core.results import ResultStream
+from ..errors import RuntimeStateError, ShardWorkerError, WireProtocolError
 from ..graph.tuples import StreamingGraphTuple, Vertex
 from ..graph.window import WindowSpec
 from ..metrics.collectors import ThroughputMeter
+from . import protocol
 from .config import RuntimeConfig
 
-__all__ = ["ShardWorker", "ThreadShardWorker", "WORKER_BACKENDS", "create_worker"]
+__all__ = [
+    "ShardEngineServer",
+    "ShardWorker",
+    "ThreadShardWorker",
+    "ProcessShardWorker",
+    "WORKER_BACKENDS",
+    "create_worker",
+    "serve_shard",
+]
 
 #: Callback signature for live results: (query, source, target, timestamp).
 ResultCallback = Callable[[str, Vertex, Vertex, int], None]
 
+#: Seconds between liveness checks while awaiting a reply.
+_REPLY_POLL_SECONDS = 1.0
 
-class ShardWorker:
-    """Abstract shard worker API (see the module docstring).
 
-    Lifecycle: ``start()`` → any number of ``submit()`` / ``call()`` /
-    ``drain()`` → ``stop()``.  Before ``start`` (and after ``stop``),
-    ``call`` executes inline so a service can be assembled, checkpointed
-    and inspected without running threads.
+# --------------------------------------------------------------------- #
+# Server side (runs wherever the engine lives)
+# --------------------------------------------------------------------- #
+
+
+class ShardEngineServer:
+    """Executes protocol frames against a private engine.
+
+    This is the *server* half of the worker protocol, shared verbatim by
+    every backend: the threading transport runs it on a daemon thread, the
+    multiprocessing transport in a child process, and a stopped worker
+    executes control frames against it inline for assembly and inspection.
     """
 
     def __init__(self, shard_id: int, window: WindowSpec, config: RuntimeConfig) -> None:
         self.shard_id = shard_id
+        self.window = window
         self.config = config
         self.engine = StreamingRPQEngine(window)
         self.meter = ThroughputMeter()
         self.batches_processed = 0
 
-    def start(self) -> None:
-        raise NotImplementedError
+    # Batches ----------------------------------------------------------- #
 
-    def submit(self, batch: Sequence[StreamingGraphTuple]) -> None:
-        """Enqueue one batch; blocks when the worker is too far behind."""
-        raise NotImplementedError
+    def process_batch(self, payload, collect_results: bool) -> Optional[Tuple]:
+        """Process one ``BATCH`` payload; optionally collect live results.
 
-    def call(self, fn: Callable[[StreamingRPQEngine], object]) -> object:
-        """Run ``fn(engine)`` on the worker, after all queued work; return its result."""
-        raise NotImplementedError
+        Returns the ``EVENTS`` payload (``(query, source, target, tau)``
+        records) when ``collect_results`` and the batch produced any, else
+        ``None``.
+        """
+        started = time.perf_counter()
+        events = [] if collect_results else None
+        for wire in payload:
+            tup = StreamingGraphTuple.from_wire(wire)
+            produced = self.engine.process(tup)
+            if events is not None and produced:
+                for name, pairs in produced.items():
+                    for source, target in pairs:
+                        events.append((name, source, target, tup.timestamp))
+        self.meter.record_batch(len(payload), time.perf_counter() - started)
+        self.batches_processed += 1
+        return protocol.encode_events(events) if events else None
 
-    def drain(self) -> None:
-        """Block until every batch submitted so far has been processed."""
-        self.call(lambda engine: None)
+    # Control frames ---------------------------------------------------- #
 
-    def stop(self) -> None:
-        raise NotImplementedError
+    def execute(self, op: str, payload):
+        """Execute one control op and return its reply payload."""
+        if op == protocol.REGISTER:
+            name, expression, semantics, max_nodes_per_tree = payload
+            self.engine.register(name, expression, semantics, max_nodes_per_tree)
+            return None
+        if op == protocol.RESTORE:
+            name, semantics, blob = payload
+            self.engine.register_evaluator(name, decode_rapq(blob), semantics)
+            return None
+        if op == protocol.DEREGISTER:
+            self.engine.deregister(payload)
+            return None
+        if op == protocol.RESULTS:
+            return self.engine.query(payload).results.to_wire()
+        if op == protocol.CHECKPOINT:
+            return encode_rapq(self.engine.query(payload).evaluator)
+        if op == protocol.SUMMARY:
+            return self.engine.summary()
+        if op == protocol.METRICS:
+            return self.metrics()
+        if op == protocol.DRAIN:
+            return None  # the reply itself is the barrier
+        raise WireProtocolError(f"unknown control op {op!r}")
 
     def metrics(self) -> Dict[str, float]:
         """Processing counters of this shard (tuples, batches, throughput)."""
@@ -86,39 +155,168 @@ class ShardWorker:
             stats["throughput_eps"] = self.meter.edges_per_second()
         return stats
 
+    # State shipping (process transport) -------------------------------- #
 
-class _ControlCall:
-    """A function to run on the worker thread, with a box for the outcome."""
+    def export_bootstrap(self) -> Tuple:
+        """Replayable ``(op, payload)`` frames reconstructing this server.
 
-    __slots__ = ("fn", "result", "error", "done")
+        Arbitrary-semantics evaluators travel as encoded state (full
+        fidelity even when restored from a checkpoint); other evaluators
+        are stateless here pre-start, so their original registration is
+        replayed instead.
+        """
+        frames = []
+        for registered in self.engine.queries():
+            if registered.semantics == "arbitrary":
+                frames.append(
+                    (protocol.RESTORE, (registered.name, "arbitrary", encode_rapq(registered.evaluator)))
+                )
+            else:
+                frames.append(
+                    (
+                        protocol.REGISTER,
+                        (
+                            registered.name,
+                            str(registered.analysis.expression),
+                            registered.semantics,
+                            getattr(registered.evaluator, "max_nodes_per_tree", None),
+                        ),
+                    )
+                )
+        return tuple(frames)
 
-    def __init__(self, fn: Callable[[StreamingRPQEngine], object]) -> None:
-        self.fn = fn
-        self.result: object = None
-        self.error: Optional[BaseException] = None
-        self.done = threading.Event()
+    def export_state(self) -> Tuple:
+        """Final shard state shipped in the ``STOP`` reply.
 
-    def wait(self) -> object:
-        self.done.wait()
-        if self.error is not None:
-            raise self.error
-        return self.result
+        Arbitrary evaluators ship their full encoded state; others ship
+        their result events only (their tree state cannot be serialized,
+        see :mod:`repro.core.checkpoint`).
+        """
+        queries = []
+        for registered in self.engine.queries():
+            blob = events = None
+            if registered.semantics == "arbitrary":
+                blob = encode_rapq(registered.evaluator)
+            else:
+                events = registered.results.to_wire()
+            queries.append(
+                (
+                    registered.name,
+                    registered.semantics,
+                    str(registered.analysis.expression),
+                    blob,
+                    events,
+                )
+            )
+        return (self.metrics(), self.batches_processed, tuple(queries))
+
+    def apply_state(self, state: Tuple) -> Tuple[str, ...]:
+        """Adopt a peer server's :meth:`export_state`; returns degraded names.
+
+        Degraded queries are non-arbitrary ones on a shard that processed
+        any batch: their results are replayed faithfully, but the
+        evaluator's window and tree state could not cross the wire, so
+        they can be inspected but not resumed.  The batch count is a
+        conservative proxy — a relevant tuple may have reached the
+        evaluator without producing a result yet, and resuming from an
+        emptied window would silently diverge from the engine.
+        """
+        metrics, batches, queries = state
+        self.meter.tuples = int(metrics.get("tuples", 0))
+        self.meter.elapsed_seconds = float(metrics.get("busy_seconds", 0.0))
+        self.batches_processed = int(batches)
+        self.engine = StreamingRPQEngine(self.window)
+        degraded = []
+        for name, semantics, expression, blob, events in queries:
+            if blob is not None:
+                self.engine.register_evaluator(name, decode_rapq(blob), semantics)
+            else:
+                registered = self.engine.register(name, expression, semantics)
+                if events:
+                    registered.evaluator.results = ResultStream.from_wire(events)
+                if batches:
+                    degraded.append(name)
+        return tuple(degraded)
 
 
-_STOP = object()
+def serve_shard(
+    server: ShardEngineServer,
+    requests,
+    responses,
+    emit_results: bool,
+    ship_state_on_stop: bool,
+) -> None:
+    """The worker loop — identical for every backend (one code path).
+
+    Pulls request frames from ``requests`` and pushes response frames to
+    ``responses`` until a ``STOP`` control frame arrives.  A batch failure
+    poisons the shard: the failure is reported once via a ``FAILURE``
+    frame and later batches are consumed but discarded, so producers
+    blocked on the bounded request queue are always released.
+    """
+    failed = False
+    while True:
+        frame = requests.get()
+        kind = frame[0]
+        if kind == protocol.BATCH:
+            if failed:
+                continue
+            try:
+                events = server.process_batch(frame[1], emit_results)
+            except BaseException as exc:  # noqa: BLE001 - reported to coordinator
+                failed = True
+                responses.put((protocol.FAILURE, protocol.encode_exception(exc)))
+            else:
+                if events:
+                    responses.put((protocol.EVENTS, events))
+        elif kind == protocol.CONTROL:
+            _, seq, op, payload = frame
+            if op == protocol.STOP:
+                final = server.export_state() if ship_state_on_stop else None
+                responses.put((protocol.REPLY, seq, final))
+                return
+            try:
+                result = server.execute(op, payload)
+            except BaseException as exc:  # noqa: BLE001 - reported to coordinator
+                responses.put((protocol.ERROR, seq, protocol.encode_exception(exc)))
+            else:
+                responses.put((protocol.REPLY, seq, result))
+        else:  # pragma: no cover - coordinator never sends other kinds
+            responses.put(
+                (
+                    protocol.FAILURE,
+                    protocol.encode_exception(WireProtocolError(f"unknown frame kind {kind!r}")),
+                )
+            )
+            failed = True
 
 
-class ThreadShardWorker(ShardWorker):
-    """Shard worker backed by a daemon ``threading.Thread``.
+# --------------------------------------------------------------------- #
+# Coordinator side (proxy + transports)
+# --------------------------------------------------------------------- #
+
+
+class ShardWorker:
+    """Coordinator-side proxy for one shard, speaking the wire protocol.
+
+    Lifecycle: ``start()`` -> any number of ``submit()`` / typed control
+    calls / ``drain()`` -> ``stop()``.  Before ``start`` (and after
+    ``stop``), control calls execute inline against a local
+    :class:`ShardEngineServer` so a service can be assembled, checkpointed
+    and inspected without running workers.
 
     Args:
         shard_id: position of this worker in the service's shard list.
         window: window specification shared by every query on the shard.
         config: runtime configuration (queue depth is read from it).
-        on_result: optional live-result callback, invoked from the worker
-            thread as ``on_result(query_name, source, target, timestamp)``
-            for every newly reported pair; it must be thread-safe.
+        on_result: optional live-result callback, invoked from the
+            coordinator thread (while it pumps response frames) as
+            ``on_result(query_name, source, target, timestamp)`` for every
+            newly reported pair.
     """
+
+    #: Backend name as accepted by :class:`~repro.runtime.RuntimeConfig`.
+    backend = "abstract"
 
     def __init__(
         self,
@@ -127,90 +325,229 @@ class ThreadShardWorker(ShardWorker):
         config: RuntimeConfig,
         on_result: Optional[ResultCallback] = None,
     ) -> None:
-        super().__init__(shard_id, window, config)
+        self.shard_id = shard_id
+        self.window = window
+        self.config = config
         self.on_result = on_result
-        self._queue: "queue.Queue" = queue.Queue(maxsize=config.queue_depth)
-        self._thread: Optional[threading.Thread] = None
+        self._server = ShardEngineServer(shard_id, window, config)
+        self._requests = None
+        self._responses = None
+        self._seq = 0
         self._failure: Optional[BaseException] = None
+        self._degraded: Tuple[str, ...] = ()
+
+    # Transport hooks ---------------------------------------------------- #
+
+    #: Whether the ``STOP`` reply must carry final shard state back (the
+    #: transport's memory does not outlive the worker).
+    ship_state_on_stop = False
+
+    def _make_channels(self) -> Tuple:
+        """Return the ``(requests, responses)`` queue pair."""
+        raise NotImplementedError
+
+    def _launch(self) -> None:
+        """Start the transport running :func:`serve_shard`."""
+        raise NotImplementedError
+
+    def _transport_alive(self) -> bool:
+        """Whether the transport is still able to produce replies."""
+        raise NotImplementedError
+
+    def _join(self) -> None:
+        """Wait for the transport to terminate and release its resources."""
+        raise NotImplementedError
+
+    # Lifecycle ---------------------------------------------------------- #
 
     @property
     def running(self) -> bool:
-        return self._thread is not None and self._thread.is_alive()
+        return self._requests is not None and self._transport_alive()
+
+    @property
+    def engine(self) -> StreamingRPQEngine:
+        """The local engine (authoritative only while the worker is stopped)."""
+        return self._server.engine
 
     def start(self) -> None:
         if self.running:
             raise RuntimeStateError(f"shard {self.shard_id} is already running")
         self._check_failure()  # a poisoned shard cannot be restarted
-        self._thread = threading.Thread(
-            target=self._run, name=f"repro-shard-{self.shard_id}", daemon=True
-        )
-        self._thread.start()
+        if self._degraded:
+            raise RuntimeStateError(
+                f"shard {self.shard_id} cannot restart: queries {sorted(self._degraded)} use "
+                f"non-'arbitrary' semantics whose engine state could not be shipped back from "
+                f"the previous {self.backend!r} run"
+            )
+        self._requests, self._responses = self._make_channels()
+        try:
+            self._launch()
+        except BaseException:
+            self._requests = None
+            self._responses = None
+            raise
 
     def submit(self, batch: Sequence[StreamingGraphTuple]) -> None:
+        """Enqueue one batch; blocks when the worker is too far behind."""
+        self._pump()
         self._check_failure()
         if not self.running:
+            self._check_transport_death()
             raise RuntimeStateError(f"shard {self.shard_id} is not running; call start() first")
-        self._queue.put(("batch", list(batch)))
+        frame = (protocol.BATCH, protocol.encode_batch(batch))
+        # Bounded put with liveness polling: a worker that dies while its
+        # queue is full must surface as an error, not wedge the coordinator.
+        while True:
+            try:
+                self._requests.put(frame, timeout=_REPLY_POLL_SECONDS)
+                return
+            except queue.Full:
+                self._pump()
+                self._check_failure()
+                self._check_transport_death()
 
-    def call(self, fn: Callable[[StreamingRPQEngine], object]) -> object:
+    def request(self, op: str, payload=None):
+        """Send one control frame and return its reply payload.
+
+        Executed inline against the local server when the worker is not
+        running; otherwise framed onto the request queue, serialized with
+        in-flight batches.
+        """
         self._check_failure()
         if not self.running:
-            # Inline execution keeps assembly/inspection usable without threads.
-            return fn(self.engine)
-        request = _ControlCall(fn)
-        self._queue.put(("call", request))
-        result = request.wait()
+            self._check_transport_death()
+            return self._server.execute(op, payload)
+        self._seq += 1
+        seq = self._seq
+        self._requests.put((protocol.CONTROL, seq, op, payload))
+        result = self._await_reply(seq)
         self._check_failure()
         return result
 
+    def drain(self) -> None:
+        """Block until every batch submitted so far has been processed."""
+        self.request(protocol.DRAIN)
+
     def stop(self) -> None:
         if self.running:
-            self._queue.put(_STOP)
-            self._thread.join()
-        self._thread = None
+            self._seq += 1
+            seq = self._seq
+            self._requests.put((protocol.CONTROL, seq, protocol.STOP, self.ship_state_on_stop))
+            final = self._await_reply(seq)
+            self._join()
+            self._requests = None
+            self._responses = None
+            if final is not None:
+                self._degraded = self._server.apply_state(final)
+        else:
+            try:
+                self._check_transport_death()  # a crash must not pass as a clean stop
+            finally:
+                self._requests = None
+                self._responses = None
         self._check_failure()
 
-    # ------------------------------------------------------------------ #
-    # Worker thread
-    # ------------------------------------------------------------------ #
+    # Typed control calls (the service speaks only these) ---------------- #
 
-    def _run(self) -> None:
+    def register_query(
+        self,
+        name: str,
+        expression: str,
+        semantics: str = "arbitrary",
+        max_nodes_per_tree: Optional[int] = None,
+    ) -> None:
+        """Register a persistent query on this shard's engine."""
+        self.request(protocol.REGISTER, (name, expression, semantics, max_nodes_per_tree))
+
+    def restore_query(self, name: str, blob: bytes, semantics: str = "arbitrary") -> None:
+        """Adopt an :func:`~repro.core.checkpoint.encode_rapq` evaluator blob."""
+        self.request(protocol.RESTORE, (name, semantics, blob))
+
+    def deregister_query(self, name: str) -> None:
+        """Remove a query (its accumulated results are discarded)."""
+        self.request(protocol.DEREGISTER, name)
+
+    def fetch_results(self, name: str) -> ResultStream:
+        """A consistent point-in-time copy of one query's result stream."""
+        return ResultStream.from_wire(self.request(protocol.RESULTS, name))
+
+    def checkpoint_query(self, name: str) -> bytes:
+        """Encode one query's evaluator state (bytes out, ships anywhere)."""
+        return self.request(protocol.CHECKPOINT, name)
+
+    def summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-query summary of this shard's engine."""
+        return self.request(protocol.SUMMARY)
+
+    def metrics(self) -> Dict[str, float]:
+        """Processing counters of this shard (tuples, batches, throughput)."""
+        if self.running:
+            return self.request(protocol.METRICS)
+        return self._server.metrics()
+
+    # Response pumping --------------------------------------------------- #
+
+    def _await_reply(self, seq: int):
+        """Block until the reply for ``seq`` arrives, dispatching events."""
         while True:
-            item = self._queue.get()
-            if item is _STOP:
-                break
-            kind, payload = item
-            if kind == "call":
-                self._handle_call(payload)
-            elif self._failure is None:
-                # After a failure, batches are consumed and discarded so
-                # producers blocked on the bounded queue are released; the
-                # failure itself is re-raised at the next coordination point.
-                try:
-                    self._process_batch(payload)
-                except BaseException as exc:  # noqa: BLE001 - reported to caller
-                    self._failure = exc
+            try:
+                frame = self._responses.get(timeout=_REPLY_POLL_SECONDS)
+            except queue.Empty:
+                if not self._transport_alive():
+                    self._failure = self._failure or ShardWorkerError(
+                        f"shard {self.shard_id} worker died without replying", self.shard_id
+                    )
+                    self._check_failure()
+                continue
+            kind = frame[0]
+            if kind == protocol.EVENTS:
+                self._dispatch_events(frame[1])
+            elif kind == protocol.FAILURE:
+                self._record_failure(frame[1])
+            elif kind == protocol.ERROR:
+                _, error_seq, wire = frame
+                if error_seq == seq:
+                    raise protocol.decode_exception(wire)
+            else:  # REPLY
+                _, reply_seq, payload = frame
+                if reply_seq == seq:
+                    return payload
 
-    def _handle_call(self, request: _ControlCall) -> None:
-        try:
-            request.result = request.fn(self.engine)
-        except BaseException as exc:  # noqa: BLE001 - reported to caller
-            request.error = exc
-        finally:
-            request.done.set()
+    def _pump(self) -> None:
+        """Drain pending response frames without blocking."""
+        if self._responses is None:
+            return
+        while True:
+            try:
+                frame = self._responses.get_nowait()
+            except queue.Empty:
+                return
+            kind = frame[0]
+            if kind == protocol.EVENTS:
+                self._dispatch_events(frame[1])
+            elif kind == protocol.FAILURE:
+                self._record_failure(frame[1])
+            # stray REPLY/ERROR frames cannot occur: control calls always
+            # consume their reply before the coordinator continues
 
-    def _process_batch(self, batch: List[StreamingGraphTuple]) -> None:
-        started = time.perf_counter()
+    def _dispatch_events(self, payload) -> None:
         if self.on_result is None:
-            for tup in batch:
-                self.engine.process(tup)
-        else:
-            for tup in batch:
-                for name, pairs in self.engine.process(tup).items():
-                    for source, target in pairs:
-                        self.on_result(name, source, target, tup.timestamp)
-        self.meter.record_batch(len(batch), time.perf_counter() - started)
-        self.batches_processed += 1
+            return
+        for name, source, target, timestamp in protocol.decode_events(payload):
+            self.on_result(name, source, target, timestamp)
+
+    def _record_failure(self, wire) -> None:
+        if self._failure is None:
+            self._failure = protocol.decode_exception(wire)
+
+    def _check_transport_death(self) -> None:
+        """Report a transport that died without a STOP handshake as a failure."""
+        if self._requests is not None and not self._transport_alive():
+            if self._failure is None:
+                self._failure = ShardWorkerError(
+                    f"shard {self.shard_id} worker died unexpectedly", self.shard_id
+                )
+            self._check_failure()
 
     def _check_failure(self) -> None:
         # The failure is sticky: once a batch failed, the engine's window is
@@ -222,8 +559,130 @@ class ThreadShardWorker(ShardWorker):
             ) from self._failure
 
 
+class ThreadShardWorker(ShardWorker):
+    """Shard worker backed by a daemon ``threading.Thread``.
+
+    The serve loop shares the proxy's :class:`ShardEngineServer` object, so
+    post-stop state is naturally current and ``STOP`` ships no state.
+    Python threads share the GIL: this backend wins by label filtering
+    (each shard only touches tuples its queries can use), not CPU
+    parallelism — use :class:`ProcessShardWorker` for that.
+    """
+
+    backend = "threading"
+    ship_state_on_stop = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._thread: Optional[threading.Thread] = None
+
+    def _make_channels(self):
+        return queue.Queue(maxsize=self.config.queue_depth), queue.Queue()
+
+    def _launch(self) -> None:
+        self._thread = threading.Thread(
+            target=serve_shard,
+            args=(
+                self._server,
+                self._requests,
+                self._responses,
+                self.on_result is not None,
+                self.ship_state_on_stop,
+            ),
+            name=f"repro-shard-{self.shard_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _transport_alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _join(self) -> None:
+        if self._thread is not None:
+            self._thread.join()
+        self._thread = None
+
+
+def _mp_context():
+    """Fork when the platform offers it (cheap, no re-import); spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _process_worker_main(
+    shard_id: int,
+    window_args: Tuple[int, int],
+    config_state: Dict[str, object],
+    bootstrap: Tuple,
+    requests,
+    responses,
+    emit_results: bool,
+) -> None:
+    """Child-process entry point: rebuild the server, replay, serve."""
+    server = ShardEngineServer(
+        shard_id, WindowSpec(size=window_args[0], slide=window_args[1]), RuntimeConfig.from_dict(config_state)
+    )
+    for op, payload in bootstrap:
+        server.execute(op, payload)
+    serve_shard(server, requests, responses, emit_results, ship_state_on_stop=True)
+
+
+class ProcessShardWorker(ShardWorker):
+    """Shard worker backed by a ``multiprocessing.Process`` — escapes the GIL.
+
+    The child is bootstrapped from replayed ``REGISTER``/``RESTORE`` frames
+    (shard state is explicitly serializable), and ``STOP`` ships the final
+    state back so a stopped worker remains inspectable — and, for
+    arbitrary-semantics queries, restartable — at the coordinator.  Result
+    streams, metrics and checkpoints all travel the same typed frames as
+    the threading backend; only the queue implementation differs.
+    """
+
+    backend = "multiprocessing"
+    ship_state_on_stop = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._ctx = _mp_context()
+        self._process: Optional[multiprocessing.process.BaseProcess] = None
+
+    def _make_channels(self):
+        return self._ctx.Queue(maxsize=self.config.queue_depth), self._ctx.Queue()
+
+    def _launch(self) -> None:
+        self._process = self._ctx.Process(
+            target=_process_worker_main,
+            args=(
+                self.shard_id,
+                (self.window.size, self.window.slide),
+                self.config.to_dict(),
+                self._server.export_bootstrap(),
+                self._requests,
+                self._responses,
+                self.on_result is not None,
+            ),
+            name=f"repro-shard-{self.shard_id}",
+            daemon=True,
+        )
+        self._process.start()
+
+    def _transport_alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    def _join(self) -> None:
+        if self._process is not None:
+            self._process.join()
+            for channel in (self._requests, self._responses):
+                channel.close()
+                channel.join_thread()
+        self._process = None
+
+
 #: Registry of concurrency backends, keyed by ``RuntimeConfig.backend``.
-WORKER_BACKENDS = {"threading": ThreadShardWorker}
+WORKER_BACKENDS = {
+    ThreadShardWorker.backend: ThreadShardWorker,
+    ProcessShardWorker.backend: ProcessShardWorker,
+}
 
 
 def create_worker(

@@ -113,6 +113,31 @@ class TestShardedRun:
 
         assert distinct(sharded) == distinct(single)
 
+    def test_run_with_multiprocessing_backend_matches_single_threaded(self, tmp_path, capsys):
+        output = tmp_path / "yago.csv"
+        main(["generate", "--dataset", "yago", "--edges", "300", "--seed", "5", "--output", str(output)])
+        capsys.readouterr()
+        base = ["run", "--query", "isLocatedIn+", "--input", str(output), "--window", "8", "--slide", "2"]
+        assert main(base) == 0
+        single = capsys.readouterr().out
+        assert main(base + ["--shards", "2", "--backend", "multiprocessing"]) == 0
+        sharded = capsys.readouterr().out
+        assert "backend=multiprocessing" in sharded
+
+        def distinct(text):
+            for line in text.splitlines():
+                if line.startswith("distinct results"):
+                    return int(line.split(":")[1].split("(")[0].strip())
+            raise AssertionError(f"no distinct results line in {text!r}")
+
+        assert distinct(sharded) == distinct(single)
+
+    def test_run_rejects_unknown_backend(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--query", "a", "--input", "x.csv", "--window", "5", "--backend", "gevent"]
+            )
+
     def test_run_sharded_reports_worker_failure(self, tmp_path, capsys, monkeypatch):
         output = tmp_path / "so.csv"
         main(["generate", "--dataset", "stackoverflow", "--edges", "50", "--output", str(output)])
@@ -164,7 +189,7 @@ class TestServeCommand:
         assert exit_code == 0
         assert "registered 'places'" in captured
         assert "registered 'q1'" in captured
-        assert "3 shard(s), policy=label_affinity" in captured
+        assert "3 shard(s), backend=threading, policy=label_affinity" in captured
         assert "shard 0:" in captured and "shard 2:" in captured
         assert "query 'places':" in captured
         assert checkpoint.exists()

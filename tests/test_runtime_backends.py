@@ -1,0 +1,233 @@
+"""Cross-backend parity: multiprocessing vs threading vs the engine.
+
+The acceptance property of the worker protocol refactor: whichever
+transport carries the frames, the service's output is *identical* — order
+and content, deletions included — to the single-threaded
+:class:`~repro.core.engine.StreamingRPQEngine`.  Plus checkpoints taken
+under one backend restoring under the other, live results and metrics over
+a process boundary, and the restart rules of shipped shard state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RuntimeStateError, StreamingRPQEngine, WindowSpec, sgt
+from repro.datasets.synthetic import UniformStreamGenerator
+from repro.graph.stream import with_deletions
+from repro.runtime import BACKENDS, RuntimeConfig, StreamingQueryService
+
+QUERIES = {
+    "chains-a": "a+",
+    "alternate": "(a b)+",
+    "c-then-b": "c b*",
+    "pair": "b c",
+}
+
+WINDOW = WindowSpec(size=40, slide=4)
+
+
+def synthetic_stream(num_edges: int, deletion_ratio: float = 0.1, seed: int = 11):
+    generator = UniformStreamGenerator(
+        num_vertices=80, labels=("a", "b", "c", "noise"), edges_per_timestamp=5, seed=seed
+    )
+    stream = list(generator.generate(num_edges))
+    if deletion_ratio > 0:
+        stream = with_deletions(stream, deletion_ratio, seed=seed)
+    return stream
+
+
+def engine_events(stream, queries=QUERIES, window=WINDOW):
+    """Per-query full event streams (order and sign included) of the engine."""
+    engine = StreamingRPQEngine(window)
+    for name, expression in queries.items():
+        engine.register(name, expression)
+    engine.process_stream(stream)
+    return {
+        name: [(e.source, e.target, e.timestamp, e.positive) for e in engine.query(name).results.events]
+        for name in queries
+    }
+
+
+def service_events(stream, config, queries=QUERIES, window=WINDOW):
+    service = StreamingQueryService(window, config)
+    for name, expression in queries.items():
+        service.register(name, expression)
+    with service:
+        service.ingest(stream)
+        service.drain()
+        return {
+            name: [(e.source, e.target, e.timestamp, e.positive) for e in service.results(name).events]
+            for name in queries
+        }
+
+
+class TestCrossBackendParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backend_matches_engine_on_10k_tuples_with_deletions(self, backend):
+        """Acceptance: identical result stream — order, content, deletions."""
+        stream = synthetic_stream(10_000, deletion_ratio=0.1)
+        assert len(stream) > 10_000  # insertions plus injected deletions
+        expected = engine_events(stream)
+        config = RuntimeConfig(shards=4, batch_size=64, backend=backend)
+        assert service_events(stream, config) == expected
+        assert any(expected.values())  # the comparison is not vacuous
+
+    def test_backends_agree_with_each_other(self):
+        stream = synthetic_stream(2_000, deletion_ratio=0.2, seed=37)
+        runs = {
+            backend: service_events(
+                stream, RuntimeConfig(shards=3, batch_size=32, backend=backend)
+            )
+            for backend in BACKENDS
+        }
+        assert runs["threading"] == runs["multiprocessing"]
+
+
+class TestCrossBackendCheckpoint:
+    @pytest.mark.parametrize(
+        "first,second", [("threading", "multiprocessing"), ("multiprocessing", "threading")]
+    )
+    def test_checkpoint_under_one_backend_restores_under_the_other(self, tmp_path, first, second):
+        stream = synthetic_stream(3_000, deletion_ratio=0.1, seed=19)
+        half = len(stream) // 2
+        expected = engine_events(stream)
+
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=4, batch_size=32, backend=first))
+        for name, expression in QUERIES.items():
+            service.register(name, expression)
+        path = tmp_path / "service.json"
+        with service:
+            service.ingest(stream[:half])
+            service.save_checkpoint(path)  # checkpoint() drains first
+
+        restored = StreamingQueryService.load_checkpoint(
+            path, config=RuntimeConfig(shards=2, batch_size=16, backend=second)
+        )
+        assert restored.queries() == sorted(QUERIES)
+        with restored:
+            restored.ingest(stream[half:])
+            restored.drain()
+            resumed = {
+                name: [
+                    (e.source, e.target, e.timestamp, e.positive)
+                    for e in restored.results(name).events
+                ]
+                for name in QUERIES
+            }
+        # Restoring rebuilds the tree index, which may permute the order of
+        # events that share a timestamp (a pre-existing property of
+        # restore_rapq, independent of the backend); content and per-timestamp
+        # grouping must still match the unbroken engine run exactly.
+        def by_timestamp(events):
+            return sorted(events, key=lambda e: (e[2], str(e[0]), str(e[1]), e[3]))
+
+        for name in QUERIES:
+            assert by_timestamp(resumed[name]) == by_timestamp(expected[name]), name
+
+
+class TestProcessBackendLifecycle:
+    def test_live_results_and_metrics_cross_the_process_boundary(self):
+        stream = synthetic_stream(800, deletion_ratio=0.0, seed=3)
+        seen = []
+        service = StreamingQueryService(
+            WINDOW,
+            RuntimeConfig(shards=2, batch_size=16, backend="multiprocessing"),
+            on_result=lambda name, source, target, ts: seen.append((name, source, target, ts)),
+        )
+        for name, expression in QUERIES.items():
+            service.register(name, expression)
+        with service:
+            service.ingest(stream)
+            service.drain()
+            expected = {
+                (name, *triple) for name in QUERIES for triple in service.result_triples(name)
+            }
+            summary = service.summary()
+        assert set(seen) == expected
+        assert summary["totals"]["shard_tuples"] > 0
+        assert sum(stats["batches"] for stats in summary["shards"]) > 0
+
+    def test_arbitrary_queries_survive_stop_start_cycles(self):
+        service = StreamingQueryService(
+            WindowSpec(size=100, slide=1), RuntimeConfig(shards=1, batch_size=1, backend="multiprocessing")
+        )
+        service.register("q", "a+")
+        with service:
+            service.ingest_one(sgt(1, "u", "v", "a"))
+            service.drain()
+        # state shipped back at stop; a second run resumes where it left off
+        with service:
+            service.ingest_one(sgt(2, "v", "w", "a"))
+            service.drain()
+            assert service.answer_pairs("q") == {("u", "v"), ("u", "w"), ("v", "w")}
+
+    def test_stateful_simple_query_refuses_restart(self):
+        """RSPQ state cannot be serialized, so a restart must fail loudly."""
+        service = StreamingQueryService(
+            WindowSpec(size=100, slide=1), RuntimeConfig(shards=1, batch_size=1, backend="multiprocessing")
+        )
+        service.register("q", "a+", semantics="simple")
+        with service:
+            service.ingest_one(sgt(1, "u", "v", "a"))
+            service.drain()
+        # results shipped back at stop remain inspectable...
+        assert service.answer_pairs("q") == {("u", "v")}
+        # ...but the evaluator's tree state was lost, so restarting is an error
+        with pytest.raises(RuntimeStateError, match="cannot restart"):
+            service.start()
+
+    def test_stateful_simple_query_without_results_also_refuses_restart(self):
+        """Processed-but-silent evaluator state must not be dropped on restart.
+
+        The query 'a a' sees one relevant tuple (no result yet); resuming
+        from a fresh child would lose that in-window edge and silently
+        diverge from the engine, so the restart must be refused.
+        """
+        service = StreamingQueryService(
+            WindowSpec(size=100, slide=1), RuntimeConfig(shards=1, batch_size=1, backend="multiprocessing")
+        )
+        service.register("q", "a a", semantics="simple")
+        with service:
+            service.ingest_one(sgt(1, "x", "y", "a"))
+            service.drain()
+        with pytest.raises(RuntimeStateError, match="cannot restart"):
+            service.start()
+
+    def test_killed_worker_process_surfaces_as_shard_failure(self):
+        """A worker death must raise, not wedge the coordinator on a full queue."""
+        import os
+        import signal
+
+        from repro import ShardWorkerError
+        from repro.runtime import create_worker
+
+        worker = create_worker(
+            0,
+            WindowSpec(size=10, slide=1),
+            RuntimeConfig(shards=1, queue_depth=1, batch_size=1, backend="multiprocessing"),
+        )
+        worker.register_query("q", "a+")
+        worker.start()
+        pid = worker._process.pid
+        os.kill(pid, signal.SIGSTOP)  # stall the child so its bounded queue fills
+        worker.submit([sgt(1, "u", "v", "a")])
+        os.kill(pid, signal.SIGKILL)
+        with pytest.raises(ShardWorkerError, match="died"):
+            for step in range(30):
+                worker.submit([sgt(2 + step, "v", "w", "a")])
+        with pytest.raises(ShardWorkerError):
+            worker.stop()  # the crash must not pass as a clean stop
+
+    def test_register_before_start_ships_to_child(self):
+        """Registration frames replay into the child at start (bootstrap)."""
+        service = StreamingQueryService(
+            WindowSpec(size=50, slide=1), RuntimeConfig(shards=2, batch_size=4, backend="multiprocessing")
+        )
+        service.register("arb", "a+")
+        service.register("simple", "b+", semantics="simple")
+        with service:
+            service.ingest([sgt(1, "u", "v", "a"), sgt(2, "u", "v", "b")])
+            service.drain()
+            assert service.answer_pairs("arb") == {("u", "v")}
+            assert service.answer_pairs("simple") == {("u", "v")}

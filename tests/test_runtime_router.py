@@ -159,13 +159,18 @@ class TestMerger:
 
 
 class TestWorker:
-    def test_call_runs_inline_when_not_started(self):
+    def test_control_ops_run_inline_when_not_started(self):
         worker = create_worker(0, WindowSpec(size=10, slide=1), RuntimeConfig(shards=1))
-        assert worker.call(lambda engine: engine.tuples_seen) == 0
+        worker.register_query("q", "a+")
+        assert worker.fetch_results("q").distinct_pairs == set()
+        assert worker.metrics()["tuples"] == 0.0
 
-    def test_metrics_after_processing(self):
-        worker = create_worker(0, WindowSpec(size=10, slide=1), RuntimeConfig(shards=1))
-        worker.call(lambda engine: engine.register("q", "a+"))
+    @pytest.mark.parametrize("backend", ["threading", "multiprocessing"])
+    def test_metrics_and_results_after_processing(self, backend):
+        worker = create_worker(
+            0, WindowSpec(size=10, slide=1), RuntimeConfig(shards=1, backend=backend)
+        )
+        worker.register_query("q", "a+")
         worker.start()
         worker.submit([sgt(1, "u", "v", "a"), sgt(2, "v", "w", "a")])
         worker.drain()
@@ -173,25 +178,30 @@ class TestWorker:
         worker.stop()
         assert metrics["tuples"] == 2.0
         assert metrics["batches"] == 1.0
-        assert worker.call(lambda engine: engine.query("q").answer_pairs()) == {
+        # post-stop the worker stays inspectable through the same typed API
+        assert worker.fetch_results("q").distinct_pairs == {
             ("u", "v"), ("v", "w"), ("u", "w"),
         }
 
-    def test_failure_is_sticky_and_blocks_restart(self):
+    @pytest.mark.parametrize("backend", ["threading", "multiprocessing"])
+    def test_failure_is_sticky_and_blocks_restart(self, backend):
         from repro import ShardWorkerError
 
-        worker = create_worker(0, WindowSpec(size=10, slide=1), RuntimeConfig(shards=1))
-        worker.call(lambda engine: engine.register("q", "a+"))
+        worker = create_worker(
+            0, WindowSpec(size=10, slide=1), RuntimeConfig(shards=1, backend=backend)
+        )
+        worker.register_query("q", "a+")
         worker.start()
-        worker.call(lambda engine: setattr(engine, "process", None))
-        worker.submit([sgt(1, "u", "v", "a")])
+        # an out-of-order batch makes the engine raise on the worker
+        worker.submit([sgt(5, "u", "v", "a")])
+        worker.submit([sgt(1, "v", "w", "a")])
         with pytest.raises(ShardWorkerError):
             worker.drain()
         with pytest.raises(ShardWorkerError):
             worker.drain()  # the poison does not clear on first raise
         with pytest.raises(ShardWorkerError):
             worker.stop()
-        assert not worker.running  # the thread is gone even though stop raised
+        assert not worker.running  # the transport is gone even though stop raised
         with pytest.raises(ShardWorkerError):
             worker.start()  # a poisoned shard cannot be restarted
 

@@ -226,14 +226,14 @@ class TestResultsAndMetrics:
     def test_worker_failure_surfaces_at_drain(self):
         service = StreamingQueryService(WINDOW, RuntimeConfig(shards=1, batch_size=1))
         service.register("q", "a+")
-        shard = service.router.shard_of("q")
-        # Sabotage the engine so batch processing raises on the worker thread.
-        service.workers[shard].call(lambda engine: setattr(engine, "process", None))
         from repro import ShardWorkerError
 
         with pytest.raises(ShardWorkerError):
             with service:
-                service.ingest_one(sgt(1, "x", "y", "a"))
+                # An out-of-order batch makes the engine raise on the worker;
+                # the failure must surface at the next coordination point.
+                service.ingest_one(sgt(5, "x", "y", "a"))
+                service.ingest_one(sgt(1, "y", "z", "a"))
                 service.drain()
         # the failure must not leak running workers or a running service
         assert not service.running
@@ -242,16 +242,31 @@ class TestResultsAndMetrics:
     def test_stop_shuts_workers_down_even_when_drain_fails(self):
         service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2, batch_size=1))
         service.register("q", "a+")
-        shard = service.router.shard_of("q")
         service.start()
-        service.workers[shard].call(lambda engine: setattr(engine, "process", None))
-        service.ingest_one(sgt(1, "x", "y", "a"))
+        service.ingest_one(sgt(5, "x", "y", "a"))
+        service.ingest_one(sgt(1, "y", "z", "a"))  # poisons the owning shard
         from repro import ShardWorkerError
 
         with pytest.raises(ShardWorkerError):
             service.stop()
         assert not service.running
         assert all(not worker.running for worker in service.workers)
+
+    def test_poisoned_shard_stays_poisoned(self):
+        """Every interaction after a batch failure re-raises (sticky failure)."""
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=1, batch_size=1))
+        service.register("q", "a+")
+        from repro import ShardWorkerError
+
+        with pytest.raises(ShardWorkerError):
+            with service:
+                service.ingest_one(sgt(5, "x", "y", "a"))
+                service.ingest_one(sgt(1, "y", "z", "a"))
+                service.drain()
+        with pytest.raises(ShardWorkerError):
+            service.results("q")
+        with pytest.raises(ShardWorkerError):
+            service.workers[0].start()
 
 
 class TestCheckpointRestore:
