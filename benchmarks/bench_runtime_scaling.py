@@ -63,9 +63,7 @@ _EXPECTED_MP_SPEEDUP = 1.5
 def build_workload(scale: str):
     num_edges, window_size = _SCALES[scale]
     labels = ("a1", "a2", "b1", "b2", "c1", "c2", "d1", "d2", "noise1", "noise2")
-    generator = UniformStreamGenerator(
-        num_vertices=150, labels=labels, edges_per_timestamp=8, seed=13
-    )
+    generator = UniformStreamGenerator(num_vertices=150, labels=labels, edges_per_timestamp=8, seed=13)
     stream = with_deletions(list(generator.generate(num_edges)), 0.05, seed=13)
     return stream, WindowSpec(size=window_size, slide=max(1, window_size // 10))
 
@@ -85,9 +83,7 @@ def run_baseline(stream, window):
 
 
 def run_service(stream, window, shards, backend):
-    config = RuntimeConfig(
-        shards=shards, batch_size=256, sharding="label_affinity", backend=backend
-    )
+    config = RuntimeConfig(shards=shards, batch_size=256, sharding="label_affinity", backend=backend)
     service = StreamingQueryService(window, config)
     for name, expression in QUERIES.items():
         service.register(name, expression)
@@ -108,14 +104,10 @@ def runtime_scaling(scale: str):
     for backend in BACKENDS:
         for shards in SHARD_COUNTS:
             elapsed, triples = run_service(stream, window, shards, backend)
-            assert triples == expected, (
-                f"{backend} service with {shards} shard(s) diverged from the engine"
-            )
+            assert triples == expected, (f"{backend} service with {shards} shard(s) diverged from the engine")
             eps = len(stream) / elapsed
             throughput[(backend, shards)] = eps
-            rows.append(
-                (f"{backend} {shards} shard(s)", elapsed, eps, baseline_seconds / elapsed)
-            )
+            rows.append((f"{backend} {shards} shard(s)", elapsed, eps, baseline_seconds / elapsed))
     return len(stream), rows, throughput
 
 

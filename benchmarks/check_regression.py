@@ -1,0 +1,192 @@
+"""Benchmark regression gate: fresh vs committed benchmark records.
+
+CI re-runs ``bench_runtime_scaling.py`` and ``bench_rebalancing.py`` on
+every push to main and compares the fresh records against the ones
+committed in ``results/``.  Raw throughput numbers are useless across
+machines (a laptop, a 1-core container and a GitHub runner differ by an
+order of magnitude), so every gated number is *hardware-tolerant*: the
+scaling record gates on each configuration's ``speedup_vs_baseline``
+(service throughput relative to the single-threaded engine measured in
+the *same run*), the rebalancing record on ``modeled_parallel_speedup``
+(critical-path ratio of two runs on the same host) — machine speed
+cancels out of both.  A number regresses when it drops by more than
+``--tolerance`` (default 30%) against the committed record.
+
+Runnable locally after a benchmark run::
+
+    PYTHONPATH=src REPRO_BENCH_SCALE=small python -m pytest benchmarks/bench_runtime_scaling.py -q
+    python benchmarks/check_regression.py
+
+By default the baseline is the committed record (``git show
+HEAD:results/BENCH_runtime_scaling.json``) and the fresh record is the
+working-tree file the benchmark just overwrote.  Pass ``--baseline PATH``
+to compare against a saved file instead.
+
+Tolerances and caveats (why this gate is deliberately loose):
+
+* configurations present in only one record are reported but never fail
+  the gate (shard counts and backends may change across PRs);
+* a missing baseline (first run on a branch that never committed one)
+  passes with a notice;
+* the multiprocessing-vs-threading ratio depends on the host's core
+  count, so only per-configuration *relative* drops gate, never absolute
+  numbers or cross-backend ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+DEFAULT_RESULT = Path("results") / "BENCH_runtime_scaling.json"
+REBALANCING_RESULT = Path("results") / "BENCH_rebalancing.json"
+
+
+def load_fresh(path: Path) -> dict:
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def load_committed(relative: Path, repo_root: Path) -> dict | None:
+    """The committed version of a record, via ``git show HEAD:<path>``."""
+    result = subprocess.run(
+        ["git", "show", f"HEAD:{relative.as_posix()}"],
+        capture_output=True,
+        text=True,
+        cwd=repo_root,
+    )
+    if result.returncode != 0:
+        return None
+    return json.loads(result.stdout)
+
+
+def load_baseline(path_or_none: str | None, repo_root: Path) -> dict | None:
+    """The scaling baseline: an explicit file, or the committed record.
+
+    Only the implicit git-show default may be absent (first run on a branch
+    that never committed a record); an explicitly named baseline file that
+    does not exist is an operator error, not a reason to skip the gate.
+    """
+    if path_or_none is not None:
+        path = Path(path_or_none)
+        if not path.exists():
+            raise SystemExit(f"baseline record {path} not found (explicit --baseline must exist)")
+        with path.open() as handle:
+            return json.load(handle)
+    return load_committed(DEFAULT_RESULT, repo_root)
+
+
+def config_speedups(record: dict) -> dict:
+    """Map ``(backend, shards) -> speedup_vs_baseline`` from a bench record."""
+    return {
+        (entry["backend"], entry["shards"]): entry["speedup_vs_baseline"]
+        for entry in record.get("configs", [])
+    }
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Return one line per regressed configuration (empty = gate passes)."""
+    base = config_speedups(baseline)
+    new = config_speedups(fresh)
+    regressions = []
+    for key in sorted(base.keys() | new.keys()):
+        backend, shards = key
+        label = f"{backend} x {shards} shard(s)"
+        if key not in base:
+            print(f"  new configuration {label}: {new[key]:.2f}x (no baseline, not gated)")
+            continue
+        if key not in new:
+            print(f"  configuration {label} disappeared (was {base[key]:.2f}x, not gated)")
+            continue
+        drop = (base[key] - new[key]) / base[key] if base[key] > 0 else 0.0
+        status = "REGRESSED" if drop > tolerance else "ok"
+        print(f"  {label}: {base[key]:.2f}x -> {new[key]:.2f}x " f"({-drop:+.0%} relative) {status}")
+        if drop > tolerance:
+            regressions.append(
+                f"{label}: relative speedup fell {drop:.0%} "
+                f"({base[key]:.2f}x -> {new[key]:.2f}x), tolerance is {tolerance:.0%}"
+            )
+    return regressions
+
+
+def compare_rebalancing(repo_root: Path, tolerance: float) -> list[str]:
+    """Gate the rebalancing record's modeled parallel speedup, when present.
+
+    Both sides are optional (the benchmark may not have been rerun, or the
+    record may predate this gate) — only a present-and-regressed pair fails.
+    """
+    fresh_path = repo_root / REBALANCING_RESULT
+    if not fresh_path.exists():
+        print("no fresh rebalancing record; skipping the rebalancing gate")
+        return []
+    baseline = load_committed(REBALANCING_RESULT, repo_root)
+    if baseline is None:
+        print("no committed rebalancing record; skipping the rebalancing gate")
+        return []
+    base = baseline.get("modeled_parallel_speedup")
+    new = load_fresh(fresh_path).get("modeled_parallel_speedup")
+    if not base or not new:
+        return []
+    drop = (base - new) / base
+    status = "REGRESSED" if drop > tolerance else "ok"
+    print(f"  rebalancing modeled speedup: {base:.2f}x -> {new:.2f}x ({-drop:+.0%} relative) {status}")
+    if drop > tolerance:
+        return [
+            f"rebalancing modeled parallel speedup fell {drop:.0%} "
+            f"({base:.2f}x -> {new:.2f}x), tolerance is {tolerance:.0%}"
+        ]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh",
+        default=None,
+        help=f"fresh benchmark record (default: {DEFAULT_RESULT})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline record file (default: the committed record via git show HEAD)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="maximum tolerated relative drop in per-config speedup (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    repo_root = Path(__file__).resolve().parents[1]
+    fresh_path = Path(args.fresh) if args.fresh else repo_root / DEFAULT_RESULT
+    if not fresh_path.exists():
+        print(f"fresh benchmark record {fresh_path} not found; run the benchmark first")
+        return 2
+    fresh = load_fresh(fresh_path)
+    baseline = load_baseline(args.baseline, repo_root)
+    if baseline is None:
+        print("no committed baseline record found; nothing to gate against (pass)")
+        return 0
+
+    print(
+        f"comparing against baseline from {baseline.get('python', '?')} / "
+        f"{baseline.get('cpu_count', '?')} cores "
+        f"(fresh: {fresh.get('python', '?')} / {fresh.get('cpu_count', '?')} cores)"
+    )
+    regressions = compare(baseline, fresh, args.tolerance)
+    regressions += compare_rebalancing(repo_root, args.tolerance)
+    if regressions:
+        print("\nthroughput regression gate FAILED:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print("throughput regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,6 @@ Run with::
 from __future__ import annotations
 
 import tempfile
-import time
 from pathlib import Path
 
 from repro import WindowSpec
@@ -43,8 +42,7 @@ def main() -> None:
     generator = YagoLikeGenerator(seed=13)
     stream = generator.generate(NUM_TRIPLES)
 
-    print(f"generated {len(stream)} triples, "
-          f"{len({t.label for t in stream})} distinct predicates\n")
+    print(f"generated {len(stream)} triples, " f"{len({t.label for t in stream})} distinct predicates\n")
 
     # ------------------------------------------------------------------ #
     # Incremental evaluation vs per-tuple recomputation

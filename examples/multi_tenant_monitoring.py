@@ -75,9 +75,7 @@ def demo_property_predicates(edges: List[PropertyEdge]) -> None:
         "large-chains",
         PropertyPathQuery(
             "transfer+",
-            predicates=[
-                EdgePredicate("transfer", lambda p: p.get("amount", 0) >= 1000, "amount >= 1000")
-            ],
+            predicates=[EdgePredicate("transfer", lambda p: p.get("amount", 0) >= 1000, "amount >= 1000")],
         ),
     )
     for edge in edges:
@@ -96,8 +94,7 @@ def main() -> None:
     plain_tuples = [edge.to_tuple() for edge in edges]
     ordered = list(reorder_stream(plain_tuples, max_lateness=3))
     dropped = len(plain_tuples) - len(ordered)
-    print(f"reordering buffer released {len(ordered)} tuples in order "
-          f"({dropped} dropped as too late)\n")
+    print(f"reordering buffer released {len(ordered)} tuples in order " f"({dropped} dropped as too late)\n")
 
     demo_shared_snapshot(ordered)
 

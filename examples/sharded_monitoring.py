@@ -60,8 +60,7 @@ def build_interaction_stream(seed: int = 17) -> List[StreamingGraphTuple]:
 
 def main() -> None:
     stream = build_interaction_stream()
-    print(f"generated {len(stream)} interaction events over "
-          f"{stream[-1].timestamp} timestamps\n")
+    print(f"generated {len(stream)} interaction events over " f"{stream[-1].timestamp} timestamps\n")
 
     alerts = Counter()
     lock = threading.Lock()

@@ -38,8 +38,7 @@ def main() -> None:
     for name in MONITORED_QUERIES:
         engine.register(name, workload[name])
 
-    print(f"processing {NUM_EDGES} interaction tuples "
-          f"(|W|={WINDOW.size}, beta={WINDOW.slide}) ...\n")
+    print(f"processing {NUM_EDGES} interaction tuples " f"(|W|={WINDOW.size}, beta={WINDOW.slide}) ...\n")
 
     notification_counts = {name: 0 for name in MONITORED_QUERIES}
 

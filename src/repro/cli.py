@@ -9,7 +9,9 @@ Usage (after ``pip install -e .`` or with ``PYTHONPATH=src``)::
     python -m repro run      --query "isLocatedIn+" --input yago.csv \
                              --window 40 --shards 4
     python -m repro serve    --input yago.csv --window 40 --shards 4 \
-                             --query "places=isLocatedIn+" --query "deals=dealsWith+"
+                             --query "places=isLocatedIn+" --query "deals=dealsWith+" \
+                             --rebalance load_aware --checkpoint state.json
+    python -m repro migrate  --checkpoint state.json --query places --to-shard 2
     python -m repro experiment --figure 7
     python -m repro experiment --table 4 --scale tiny
 
@@ -19,15 +21,17 @@ of the synthetic workloads to CSV, ``run`` evaluates a persistent query
 over a CSV stream and reports throughput/latency/result counts (optionally
 through the sharded runtime with ``--shards N``), ``serve`` runs several
 persistent queries as a :class:`~repro.runtime.StreamingQueryService`
-across shard workers, and ``experiment`` regenerates one of the paper's
-tables or figures.
+across shard workers (optionally live-rebalancing hot shards with
+``--rebalance load_aware``), ``migrate`` re-homes a query inside a service
+checkpoint, and ``experiment`` regenerates one of the paper's tables or
+figures.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .datasets import (
     GMarkGraphGenerator,
@@ -55,7 +59,7 @@ from .errors import ShardWorkerError
 from .graph.stream import GeneratorStream, iter_csv, with_deletions, write_csv
 from .graph.window import WindowSpec
 from .regex.analysis import analyze
-from .runtime import BACKENDS, SHARDING_POLICIES, RuntimeConfig, StreamingQueryService
+from .runtime import BACKENDS, REBALANCE_POLICIES, SHARDING_POLICIES, RuntimeConfig, StreamingQueryService
 
 __all__ = ["main", "build_parser"]
 
@@ -77,7 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     compile_parser = subparsers.add_parser("compile", help="compile a query and show its automaton")
     compile_parser.add_argument("--query", required=True, help="RPQ expression, e.g. '(follows mentions)+'")
-    compile_parser.add_argument("--dot", action="store_true", help="also print the automaton in Graphviz dot format")
+    compile_parser.add_argument(
+        "--dot", action="store_true", help="also print the automaton in Graphviz dot format"
+    )
 
     generate_parser = subparsers.add_parser("generate", help="generate a synthetic streaming graph as CSV")
     generate_parser.add_argument("--dataset", choices=sorted(_GENERATORS), required=True)
@@ -90,10 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--input", required=True, help="CSV stream produced by 'generate' or write_csv")
     run_parser.add_argument("--window", type=int, required=True, help="window size |W| in time units")
     run_parser.add_argument("--slide", type=int, default=1, help="slide interval beta in time units")
+    run_parser.add_argument("--semantics", choices=["arbitrary", "simple", "baseline"], default="arbitrary")
     run_parser.add_argument(
-        "--semantics", choices=["arbitrary", "simple", "baseline"], default="arbitrary"
+        "--deletions", type=float, default=0.0, help="inject this ratio of explicit deletions"
     )
-    run_parser.add_argument("--deletions", type=float, default=0.0, help="inject this ratio of explicit deletions")
     run_parser.add_argument("--limit", type=int, default=None, help="process only the first N tuples")
     run_parser.add_argument("--show-results", type=int, default=0, help="print up to N result pairs")
     run_parser.add_argument(
@@ -103,7 +109,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate through the sharded runtime; note run has a single query, which "
         "occupies one shard (query-level parallelism) — use 'serve' for real fan-out",
     )
-    run_parser.add_argument("--batch-size", type=int, default=64, help="tuples per worker batch (with --shards > 1)")
+    run_parser.add_argument(
+        "--batch-size", type=int, default=64, help="tuples per worker batch (with --shards > 1)"
+    )
     run_parser.add_argument(
         "--backend",
         choices=BACKENDS,
@@ -128,18 +136,52 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--semantics", choices=["arbitrary", "simple", "baseline"], default="arbitrary")
     serve_parser.add_argument("--shards", type=int, default=2, help="number of shard workers")
     serve_parser.add_argument("--batch-size", type=int, default=64, help="tuples per worker batch")
-    serve_parser.add_argument("--queue-depth", type=int, default=8, help="bounded queue depth per worker, in batches")
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=8, help="bounded queue depth per worker, in batches"
+    )
     serve_parser.add_argument(
         "--backend",
         choices=BACKENDS,
         default="threading",
         help="worker concurrency backend; 'multiprocessing' runs shards on real cores",
     )
-    serve_parser.add_argument("--policy", choices=sorted(SHARDING_POLICIES), default="hash", help="query-to-shard placement policy")
-    serve_parser.add_argument("--deletions", type=float, default=0.0, help="inject this ratio of explicit deletions")
+    serve_parser.add_argument(
+        "--policy", choices=sorted(SHARDING_POLICIES), default="hash", help="query-to-shard placement policy"
+    )
+    serve_parser.add_argument(
+        "--rebalance",
+        choices=sorted(REBALANCE_POLICIES),
+        default="manual",
+        help="rebalance policy; 'load_aware' live-migrates queries off hot shards",
+    )
+    serve_parser.add_argument(
+        "--rebalance-interval",
+        type=int,
+        default=0,
+        help="run the rebalance policy every N ingested tuples (0 = only when draining)",
+    )
+    serve_parser.add_argument(
+        "--deletions", type=float, default=0.0, help="inject this ratio of explicit deletions"
+    )
     serve_parser.add_argument("--limit", type=int, default=None, help="process only the first N tuples")
-    serve_parser.add_argument("--checkpoint", default=None, help="write a coordinated checkpoint JSON here after draining")
-    serve_parser.add_argument("--show-results", type=int, default=0, help="print the first N events of the merged result stream")
+    serve_parser.add_argument(
+        "--checkpoint", default=None, help="write a coordinated checkpoint JSON here after draining"
+    )
+    serve_parser.add_argument(
+        "--show-results", type=int, default=0, help="print the first N events of the merged result stream"
+    )
+
+    migrate_parser = subparsers.add_parser(
+        "migrate", help="move a query to another shard inside a service checkpoint"
+    )
+    migrate_parser.add_argument(
+        "--checkpoint", required=True, help="service checkpoint JSON written by 'serve --checkpoint'"
+    )
+    migrate_parser.add_argument("--query", required=True, help="name of the query to move")
+    migrate_parser.add_argument("--to-shard", type=int, required=True, help="shard the query should live on")
+    migrate_parser.add_argument(
+        "--output", default=None, help="write the updated checkpoint here (default: in place)"
+    )
 
     experiment_parser = subparsers.add_parser("experiment", help="regenerate a table or figure of the paper")
     target = experiment_parser.add_mutually_exclusive_group(required=True)
@@ -231,6 +273,8 @@ def _make_runtime_config(args: argparse.Namespace) -> RuntimeConfig:
             queue_depth=getattr(args, "queue_depth", 8),
             backend=getattr(args, "backend", "threading"),
             sharding=getattr(args, "policy", "hash"),
+            rebalance_policy=getattr(args, "rebalance", "manual"),
+            rebalance_interval=getattr(args, "rebalance_interval", 0),
         )
     except ValueError as exc:  # ConfigError subclasses ValueError
         raise SystemExit(f"invalid runtime configuration: {exc}") from None
@@ -334,11 +378,45 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"  shard {int(stats['shard'])}: queries={int(stats['queries'])} "
               f"tuples={int(stats['tuples'])} batches={int(stats['batches'])} "
               f"busy={stats['busy_seconds']:.3f}s")
+    for move in summary["migrations"]:
+        print(f"  migrated {move['query']!r}: shard {move['source']} -> {move['target']} "
+              f"after {move['at_tuples']} tuples ({move['reason']})")
     for name, stats in sorted(summary["queries"].items()):
         print(f"  query {name!r}: shard={stats['shard']} results={stats['distinct_results']} "
               f"events={stats['events']} index={stats['index']}")
     for tagged in merged_head:
         print(f"  {tagged}")
+    return 0
+
+
+def _command_migrate(args: argparse.Namespace) -> int:
+    """Offline migration: re-home a query inside a service checkpoint.
+
+    The service is assembled from the checkpoint without starting any
+    workers (control frames execute inline), the query's evaluator blob is
+    moved between shard engines exactly as a live migration would, and the
+    updated checkpoint is written back.  Restoring it later places the
+    query on its new shard.
+    """
+    from .errors import RuntimeStateError
+
+    try:
+        service = StreamingQueryService.load_checkpoint(args.checkpoint)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load checkpoint {args.checkpoint!r}: {exc}") from None
+    if args.query not in service:
+        raise SystemExit(f"no query named {args.query!r} in the checkpoint; it holds {service.queries()}")
+    source = service.router.shard_of(args.query)
+    try:
+        target = service.migrate(args.query, args.to_shard)
+    except (KeyError, ValueError, RuntimeStateError) as exc:
+        raise SystemExit(f"cannot migrate {args.query!r}: {exc}") from None
+    path = service.save_checkpoint(args.output or args.checkpoint)
+    if target == source:
+        print(f"query {args.query!r} already lives on shard {source}; checkpoint unchanged")
+    else:
+        print(f"migrated {args.query!r}: shard {source} -> {target}")
+    print(f"checkpoint written to {path}")
     return 0
 
 
@@ -380,6 +458,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _command_generate,
         "run": _command_run,
         "serve": _command_serve,
+        "migrate": _command_migrate,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

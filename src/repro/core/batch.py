@@ -18,7 +18,7 @@ algorithms, which produce results exclusively through edge insertions.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import FrozenSet, List, Set, Tuple
 
 from ..graph.snapshot import SnapshotGraph
 from ..graph.tuples import Vertex
@@ -27,7 +27,9 @@ from ..regex.dfa import DFA
 __all__ = ["batch_rapq", "batch_rspq", "product_graph_edges"]
 
 
-def product_graph_edges(snapshot: SnapshotGraph, dfa: DFA) -> List[Tuple[Tuple[Vertex, int], Tuple[Vertex, int]]]:
+def product_graph_edges(
+    snapshot: SnapshotGraph, dfa: DFA
+) -> List[Tuple[Tuple[Vertex, int], Tuple[Vertex, int]]]:
     """Materialize the edges of the product graph ``P_{G,A}`` (Definition 11).
 
     Returns pairs of product nodes ``((u, s), (v, t))`` such that the window

@@ -19,6 +19,15 @@ Only the arbitrary-path evaluator is checkpointable: RSPQ trees contain
 per-occurrence node instances whose identity is positional, which would
 require a heavier encoding, and the recomputation baseline has no state
 worth saving beyond the window itself.
+
+Checkpoints are *order-exact* (format 2): besides the state itself they
+record every iteration order the algorithms observe — tree-node insertion
+order, the ``vertex -> tree roots`` reverse index, and the snapshot's
+backward adjacency.  A restored evaluator therefore emits future results in
+exactly the same order as the original would have, which is what lets the
+runtime migrate a live query between shards without perturbing the global
+result stream.  Format-1 checkpoints (pre-ordering) still load, with
+orders derived instead of reproduced.
 """
 
 from __future__ import annotations
@@ -26,12 +35,11 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional, Union
 
 from ..graph.window import WindowSpec
 from ..regex.analysis import QueryAnalysis
 from .rapq import RAPQEvaluator
-from .tree_index import ROOT_TIMESTAMP
 
 __all__ = [
     "checkpoint_rapq",
@@ -43,7 +51,10 @@ __all__ = [
 ]
 
 #: Format marker so that future layout changes can stay backward compatible.
-_FORMAT_VERSION = 1
+#: Version 2 added the iteration orders (reverse index, backward adjacency)
+#: that make restore order-exact; version-1 checkpoints still load.
+_FORMAT_VERSION = 2
+_SUPPORTED_FORMATS = (1, 2)
 
 # JSON has no infinity literal that round-trips portably, so sentinel strings
 # encode the root timestamp (+inf) and deletion markers (-inf).
@@ -115,6 +126,16 @@ def checkpoint_rapq(evaluator: RAPQEvaluator) -> Dict:
         for event in evaluator.results.events
     ]
 
+    # The iteration orders the algorithms observe (format 2): which trees a
+    # tuple visits, and which incoming edge reconnects an expired node first.
+    # Recording them makes restore order-exact, so a migrated query keeps
+    # emitting results in exactly the order the unmigrated one would have.
+    reverse_index = [[vertex, list(roots)] for vertex, roots in evaluator.index.reverse_index().items()]
+    in_adjacency = [
+        [target, [[source, label] for source, label in keys]]
+        for target, keys in evaluator.snapshot.in_order()
+    ]
+
     return {
         "format": _FORMAT_VERSION,
         "query": str(evaluator.analysis.expression),
@@ -125,6 +146,8 @@ def checkpoint_rapq(evaluator: RAPQEvaluator) -> Dict:
         "stats": dict(evaluator.stats),
         "snapshot": edges,
         "trees": trees,
+        "reverse_index": reverse_index,
+        "in_adjacency": in_adjacency,
         "results": events,
     }
 
@@ -145,8 +168,9 @@ def restore_rapq(
         ValueError: if the checkpoint format is unknown or the supplied query
             does not match the checkpointed one.
     """
-    if state.get("format") != _FORMAT_VERSION:
+    if state.get("format") not in _SUPPORTED_FORMATS:
         raise ValueError(f"unsupported checkpoint format: {state.get('format')!r}")
+    order_exact = state["format"] >= 2
     expression = state["query"]
     if query is None:
         query = expression
@@ -170,7 +194,23 @@ def restore_rapq(
         tree = evaluator.index.get_or_create(tree_state["root"])
         if tree_state.get("root_cycle_reported"):
             tree.root_cycle_reported = True
-        # Parents must exist before children; insert in passes until stable.
+        if order_exact:
+            # Nodes were recorded in the source tree's insertion order;
+            # adopt them verbatim so node iteration (and with it expiry
+            # scans and result emission order) reproduces exactly.
+            tree.restore_nodes(
+                [
+                    (
+                        (node["vertex"], node["state"]),
+                        (node["parent_vertex"], node["parent_state"]),
+                        _decode_timestamp(node["timestamp"]),
+                    )
+                    for node in tree_state["nodes"]
+                ]
+            )
+            continue
+        # Format 1: parents must exist before children; insert in passes
+        # until stable (node order is not reproduced exactly).
         pending = list(tree_state["nodes"])
         while pending:
             progressed = False
@@ -193,6 +233,21 @@ def restore_rapq(
                     f"in the tree rooted at {tree_state['root']!r}"
                 )
             pending = remaining
+
+    if order_exact:
+        # Adopt the recorded iteration orders verbatim: the tree reverse
+        # index (which trees a tuple visits, in order) and the snapshot's
+        # backward adjacency (which parent reconnects an expired node).
+        reverse_index = {}
+        for vertex, roots in state["reverse_index"]:
+            for root in roots:
+                if evaluator.index.get(root) is None:
+                    raise ValueError(f"corrupt checkpoint: reverse index names unknown tree root {root!r}")
+            reverse_index[vertex] = list(roots)
+        evaluator.index.restore_reverse_index(reverse_index)
+        evaluator.snapshot.restore_in_order(
+            [(target, [(source, label) for source, label in keys]) for target, keys in state["in_adjacency"]]
+        )
 
     for event in state["results"]:
         if event["positive"]:
@@ -230,7 +285,9 @@ def save_checkpoint(evaluator: RAPQEvaluator, path: Union[str, Path]) -> Path:
     return path
 
 
-def load_checkpoint(path: Union[str, Path], query: Optional[Union[str, QueryAnalysis]] = None) -> RAPQEvaluator:
+def load_checkpoint(
+    path: Union[str, Path], query: Optional[Union[str, QueryAnalysis]] = None
+) -> RAPQEvaluator:
     """Load a checkpoint written by :func:`save_checkpoint`."""
     path = Path(path)
     with path.open() as handle:

@@ -143,9 +143,7 @@ class StreamingRPQEngine:
             raise ValueError(f"unknown semantics {semantics!r}; expected one of {SEMANTICS}")
         window = getattr(evaluator, "window", None)
         if window is not None and (window.size, window.slide) != (self.window.size, self.window.slide):
-            raise ValueError(
-                f"evaluator window {window} does not match engine window {self.window}"
-            )
+            raise ValueError(f"evaluator window {window} does not match engine window {self.window}")
         registered = RegisteredQuery(
             name=name, analysis=evaluator.analysis, semantics=semantics, evaluator=evaluator
         )

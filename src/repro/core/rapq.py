@@ -74,9 +74,7 @@ class RAPQEvaluator:
         else:
             self.analysis = analyze(query)
         if result_semantics not in {"implicit", "explicit"}:
-            raise ValueError(
-                f"result_semantics must be 'implicit' or 'explicit', got {result_semantics!r}"
-            )
+            raise ValueError(f"result_semantics must be 'implicit' or 'explicit', got {result_semantics!r}")
         self.dfa = self.analysis.dfa
         self.window = window
         # The vertex -> trees reverse index lets a tuple visit only the trees
@@ -176,9 +174,7 @@ class RAPQEvaluator:
 
     def _advance_time(self, timestamp: int) -> None:
         if self._current_time is not None and timestamp < self._current_time:
-            raise ValueError(
-                f"timestamps must be non-decreasing: got {timestamp} after {self._current_time}"
-            )
+            raise ValueError(f"timestamps must be non-decreasing: got {timestamp} after {self._current_time}")
         self._current_time = timestamp
         boundary = self.window.window_end(timestamp)
         if self._last_expiry_boundary is None:
@@ -247,7 +243,9 @@ class RAPQEvaluator:
                     )
         return newly_reported
 
-    def _maybe_report_root_cycle(self, tree: SpanningTree, child_key: NodeKey, now: int) -> List[Tuple[Vertex, Vertex]]:
+    def _maybe_report_root_cycle(
+        self, tree: SpanningTree, child_key: NodeKey, now: int
+    ) -> List[Tuple[Vertex, Vertex]]:
         """Report ``(x, x)`` when a valid cycle returns to the root in an accepting start state.
 
         The root node ``(x, s0)`` is present in its tree from creation, so

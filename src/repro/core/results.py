@@ -15,7 +15,7 @@ pairs for convenience.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 from ..graph.tuples import Vertex
 

@@ -80,9 +80,7 @@ class RSPQEvaluator:
         else:
             self.analysis = analyze(query)
         if result_semantics not in {"implicit", "explicit"}:
-            raise ValueError(
-                f"result_semantics must be 'implicit' or 'explicit', got {result_semantics!r}"
-            )
+            raise ValueError(f"result_semantics must be 'implicit' or 'explicit', got {result_semantics!r}")
         self.dfa = self.analysis.dfa
         self.window = window
         self.max_nodes_per_tree = max_nodes_per_tree
@@ -163,9 +161,7 @@ class RSPQEvaluator:
 
     def _advance_time(self, timestamp: int) -> None:
         if self._current_time is not None and timestamp < self._current_time:
-            raise ValueError(
-                f"timestamps must be non-decreasing: got {timestamp} after {self._current_time}"
-            )
+            raise ValueError(f"timestamps must be non-decreasing: got {timestamp} after {self._current_time}")
         self._current_time = timestamp
         boundary = self.window.window_end(timestamp)
         if self._last_expiry_boundary is None:
@@ -354,9 +350,7 @@ class RSPQEvaluator:
                 if next_state is None:
                     continue
                 next_key: NodeKey = (edge.target, next_state)
-                stack.append(
-                    _PendingExtend(parent=node, child_key=next_key, edge_timestamp=edge.timestamp)
-                )
+                stack.append(_PendingExtend(parent=node, child_key=next_key, edge_timestamp=edge.timestamp))
         return reported
 
     def _unmark(
@@ -407,7 +401,9 @@ class RSPQEvaluator:
         expired_total = 0
         record_invalidations = self.result_semantics == "explicit"
         for tree in list(self.trees.values()):
-            expired_total += self._expire_tree(tree, watermark, now, record_invalidations=record_invalidations)
+            expired_total += self._expire_tree(
+                tree, watermark, now, record_invalidations=record_invalidations
+            )
             if len(tree) <= 1:
                 self._discard_tree(tree.root_vertex)
         self.stats["nodes_expired"] += expired_total

@@ -202,7 +202,4 @@ class RSPQTree:
         return {"nodes": self._size, "markings": len(self.markings)}
 
     def __str__(self) -> str:
-        return (
-            f"RSPQTree(root={self.root_vertex}, nodes={self._size}, "
-            f"markings={len(self.markings)})"
-        )
+        return (f"RSPQTree(root={self.root_vertex}, nodes={self._size}, " f"markings={len(self.markings)})")

@@ -204,6 +204,56 @@ class SpanningTree:
                 removed.append(node)
         return removed
 
+    def restore_nodes(self, entries: List[Tuple[NodeKey, NodeKey, float]]) -> None:
+        """Adopt checkpointed non-root nodes verbatim, in the recorded order.
+
+        Unlike repeated :meth:`add_node` calls, this tolerates entries whose
+        parent appears later in the list (a node reparented under a younger
+        node keeps its original insertion position), so the node iteration
+        order of the restored tree is *exactly* the checkpointed one.  That
+        order drives expiry scans, which drive result emission order — the
+        property the runtime's live-migration parity relies on.
+
+        Args:
+            entries: ``(key, parent_key, timestamp)`` triples in the source
+                tree's node-insertion order (the root is implied).
+
+        Raises:
+            ValueError: if the tree already has non-root nodes, a key repeats,
+                or the entries do not form one tree rooted at the root node
+                (unknown parent or an unreachable cycle).
+        """
+        if len(self._nodes) > 1:
+            raise ValueError("restore_nodes requires a tree holding only its root")
+        for key, parent_key, timestamp in entries:
+            if key in self._nodes:
+                raise ValueError(f"corrupt checkpoint: node {key} appears twice")
+            vertex, state = key
+            self._nodes[key] = TreeNode(vertex=vertex, state=state, parent=parent_key, timestamp=timestamp)
+            self._vertex_degree[vertex] = self._vertex_degree.get(vertex, 0) + 1
+        for key, node in self._nodes.items():
+            if node.parent is None:
+                continue
+            parent = self._nodes.get(node.parent)
+            if parent is None:
+                raise ValueError(
+                    f"corrupt checkpoint: node {key} has no reachable parent "
+                    f"in the tree rooted at {self.root_vertex!r}"
+                )
+            parent.children.add(key)
+        # Every node must hang off the root; a parent cycle among restored
+        # nodes would otherwise go unnoticed until expiry walks the tree.
+        reachable = 0
+        stack = [self.root_key]
+        while stack:
+            reachable += 1
+            stack.extend(self._nodes[stack.pop()].children)
+        if reachable != len(self._nodes):
+            raise ValueError(
+                f"corrupt checkpoint: {len(self._nodes) - reachable} nodes have no "
+                f"reachable parent in the tree rooted at {self.root_vertex!r}"
+            )
+
     def __str__(self) -> str:
         return f"SpanningTree(root={self.root_vertex}, nodes={len(self._nodes)})"
 
@@ -214,8 +264,12 @@ class TreeIndex:
     def __init__(self, start_state: int) -> None:
         self._start_state = start_state
         self._trees: Dict[Vertex, SpanningTree] = {}
-        # vertex -> set of tree roots whose tree contains the vertex
-        self._vertex_to_roots: Dict[Vertex, Set[Vertex]] = {}
+        # vertex -> tree roots whose tree contains the vertex.  The roots are
+        # kept as dict keys (an insertion-ordered set): the order trees are
+        # visited per tuple determines the order same-timestamp results are
+        # emitted, so it must be independent of hash seeds and reproducible
+        # by checkpoint/restore for the runtime's live-migration parity.
+        self._vertex_to_roots: Dict[Vertex, Dict[Vertex, None]] = {}
 
     # ------------------------------------------------------------------ #
     # Tree management
@@ -236,7 +290,7 @@ class TreeIndex:
         if tree is None:
             tree = SpanningTree(root_vertex, self._start_state)
             self._trees[root_vertex] = tree
-            self._vertex_to_roots.setdefault(root_vertex, set()).add(root_vertex)
+            self._vertex_to_roots.setdefault(root_vertex, {})[root_vertex] = None
         return tree
 
     def discard_tree(self, root_vertex: Vertex) -> None:
@@ -247,7 +301,7 @@ class TreeIndex:
         for node in tree.nodes():
             roots = self._vertex_to_roots.get(node.vertex)
             if roots is not None:
-                roots.discard(root_vertex)
+                roots.pop(root_vertex, None)
                 if not roots:
                     del self._vertex_to_roots[node.vertex]
 
@@ -272,7 +326,7 @@ class TreeIndex:
 
     def register_node(self, tree: SpanningTree, vertex: Vertex) -> None:
         """Record that ``vertex`` now appears in ``tree``."""
-        self._vertex_to_roots.setdefault(vertex, set()).add(tree.root_vertex)
+        self._vertex_to_roots.setdefault(vertex, {})[tree.root_vertex] = None
 
     def unregister_node(self, tree: SpanningTree, vertex: Vertex) -> None:
         """Record that ``vertex`` may have left ``tree`` (checked against the tree)."""
@@ -280,9 +334,22 @@ class TreeIndex:
             return
         roots = self._vertex_to_roots.get(vertex)
         if roots is not None:
-            roots.discard(tree.root_vertex)
+            roots.pop(tree.root_vertex, None)
             if not roots:
                 del self._vertex_to_roots[vertex]
+
+    def reverse_index(self) -> Dict[Vertex, List[Vertex]]:
+        """The reverse map ``vertex -> tree roots`` in its live iteration order.
+
+        Checkpoints record this order so a restored evaluator visits trees in
+        exactly the order the original would have — required for the runtime's
+        bit-identical live-migration guarantee.
+        """
+        return {vertex: list(roots) for vertex, roots in self._vertex_to_roots.items()}
+
+    def restore_reverse_index(self, entries: Dict[Vertex, List[Vertex]]) -> None:
+        """Adopt a recorded reverse map verbatim (checkpoint restore path)."""
+        self._vertex_to_roots = {vertex: {root: None for root in roots} for vertex, roots in entries.items()}
 
     # ------------------------------------------------------------------ #
     # Statistics (Figure 5 reports these)

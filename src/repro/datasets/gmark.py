@@ -20,8 +20,8 @@ This module reproduces both parts:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..graph.stream import ListStream
 from ..graph.tuples import EdgeOp, StreamingGraphTuple
@@ -135,7 +135,8 @@ class GMarkGraphGenerator:
             source = f"{relation.source_type}{self._skewed_index(rng, source_population)}"
             target = f"{relation.target_type}{self._skewed_index(rng, target_population)}"
             if source == target:
-                target = f"{relation.target_type}{(self._skewed_index(rng, target_population) + 1) % target_population}"
+                shifted = (self._skewed_index(rng, target_population) + 1) % target_population
+                target = f"{relation.target_type}{shifted}"
             tuples.append(
                 StreamingGraphTuple(
                     timestamp=stamps[index],

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from ..graph.stream import ListStream
 from ..graph.tuples import EdgeOp, StreamingGraphTuple

@@ -170,9 +170,7 @@ def instantiate(query_name: str, labels: Sequence[str]) -> str:
         raise KeyError(f"unknown query {query_name!r}; known: {QUERY_NAMES}") from None
     required = _labels_required(query_name)
     if len(labels) < required:
-        raise ValueError(
-            f"query {query_name} needs at least {required} labels, got {len(labels)}"
-        )
+        raise ValueError(f"query {query_name} needs at least {required} labels, got {len(labels)}")
     return template(list(labels))
 
 

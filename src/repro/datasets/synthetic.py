@@ -19,8 +19,8 @@ reproducible.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..graph.stream import ListStream
 from ..graph.tuples import EdgeOp, StreamingGraphTuple

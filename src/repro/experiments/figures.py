@@ -134,12 +134,18 @@ def figure6(
     workload = build_workload("yago")
     base_window = config.window
     if window_sizes is None:
-        window_sizes = [base_window.size // 2, base_window.size, base_window.size * 3 // 2, base_window.size * 2]
+        window_sizes = [
+            base_window.size // 2, base_window.size, base_window.size * 3 // 2, base_window.size * 2
+        ]
     if slide_intervals is None:
-        slide_intervals = [max(1, base_window.slide // 2), base_window.slide, base_window.slide * 2, base_window.slide * 4]
+        slide_intervals = [
+            max(1, base_window.slide // 2), base_window.slide, base_window.slide * 2, base_window.slide * 4
+        ]
 
     latency_window = Figure("Figure 6(a) latency vs |W|", "window_size", "p99 latency (us) vs window size")
-    expiry_window = Figure("Figure 6(b) expiry vs |W|", "window_size", "expiry time per run (us) vs window size")
+    expiry_window = Figure(
+        "Figure 6(b) expiry vs |W|", "window_size", "expiry time per run (us) vs window size"
+    )
     latency_slide = Figure("Figure 6(a) latency vs beta", "slide", "p99 latency (us) vs slide interval")
     expiry_slide = Figure("Figure 6(b) expiry vs beta", "slide", "expiry time per run (us) vs slide interval")
 
@@ -148,15 +154,21 @@ def figure6(
             continue
         for size in window_sizes:
             result = run_query(
-                workload[name], stream, WindowSpec(size=size, slide=base_window.slide),
-                query_name=name, dataset="yago",
+                workload[name],
+                stream,
+                WindowSpec(size=size, slide=base_window.slide),
+                query_name=name,
+                dataset="yago",
             )
             latency_window.add_point(name, size, result.tail_latency_us)
             expiry_window.add_point(name, size, result.expiry_time_per_run_us())
         for slide in slide_intervals:
             result = run_query(
-                workload[name], stream, WindowSpec(size=base_window.size, slide=slide),
-                query_name=name, dataset="yago",
+                workload[name],
+                stream,
+                WindowSpec(size=base_window.size, slide=slide),
+                query_name=name,
+                dataset="yago",
             )
             latency_slide.add_point(name, slide, result.tail_latency_us)
             expiry_slide.add_point(name, slide, result.expiry_time_per_run_us())
@@ -215,8 +227,11 @@ def _gmark_runs(
     for index, (_, expression) in enumerate(workload):
         analysis = analyze(expression)
         result = run_query(
-            analysis, stream, config.window,
-            query_name=f"gmark-{index}", dataset="gmark",
+            analysis,
+            stream,
+            config.window,
+            query_name=f"gmark-{index}",
+            dataset="gmark",
         )
         runs.append((analysis.num_states, result))
     return runs
@@ -293,8 +308,11 @@ def figure10(
             if name not in workload:
                 continue
             result = run_query(
-                workload[name], stream, config.window,
-                query_name=name, dataset="yago",
+                workload[name],
+                stream,
+                config.window,
+                query_name=name,
+                dataset="yago",
             )
             figure.add_point(name, ratio, result.tail_latency_us)
     return figure
@@ -325,12 +343,20 @@ def figure11(
     )
     for name in names:
         incremental = run_query(
-            workload[name], stream, config.window,
-            semantics="arbitrary", query_name=name, dataset="yago",
+            workload[name],
+            stream,
+            config.window,
+            semantics="arbitrary",
+            query_name=name,
+            dataset="yago",
         )
         baseline = run_query(
-            workload[name], stream, config.window,
-            semantics="baseline", query_name=name, dataset="yago",
+            workload[name],
+            stream,
+            config.window,
+            semantics="baseline",
+            query_name=name,
+            dataset="yago",
         )
         comparison = compare_runs(incremental, baseline)
         figure.add_point("relative_throughput", name, comparison.get("throughput_speedup", 0.0))

@@ -16,8 +16,8 @@ evaluator (RAPQ, RSPQ or the recomputation baseline) and a stream, it
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.engine import make_evaluator
 from ..errors import ConflictBudgetExceeded

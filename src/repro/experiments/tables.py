@@ -16,12 +16,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..datasets import applicable_queries, build_workload
 from ..graph.window import WindowSpec
 from ..metrics.reporting import format_table
-from .harness import RunResult, run_query
+from .harness import run_query
 from .workloads import DATASET_NAMES, dataset_config
 
 __all__ = [
@@ -136,12 +136,20 @@ def table4_simple_path(
             if name not in workload:
                 continue
             arbitrary = run_query(
-                workload[name], stream, config.window,
-                semantics="arbitrary", query_name=name, dataset=dataset,
+                workload[name],
+                stream,
+                config.window,
+                semantics="arbitrary",
+                query_name=name,
+                dataset=dataset,
             )
             simple = run_query(
-                workload[name], stream, config.window,
-                semantics="simple", query_name=name, dataset=dataset,
+                workload[name],
+                stream,
+                config.window,
+                semantics="simple",
+                query_name=name,
+                dataset=dataset,
                 max_nodes_per_tree=node_budget,
             )
             overhead = None

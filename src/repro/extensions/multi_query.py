@@ -138,9 +138,7 @@ class SharedSnapshotEngine:
 
     def _advance_time(self, timestamp: int) -> None:
         if self._current_time is not None and timestamp < self._current_time:
-            raise ValueError(
-                f"timestamps must be non-decreasing: got {timestamp} after {self._current_time}"
-            )
+            raise ValueError(f"timestamps must be non-decreasing: got {timestamp} after {self._current_time}")
         self._current_time = timestamp
         boundary = self.window.window_end(timestamp)
         if self._last_expiry_boundary is None:

@@ -65,7 +65,8 @@ class ReorderingBuffer:
         if self._last_released is not None and tup.timestamp < self._last_released:
             if self.late_policy == "raise":
                 raise StreamOrderError(
-                    f"tuple at t={tup.timestamp} arrived after the buffer already released t={self._last_released}"
+                    f"tuple at t={tup.timestamp} arrived after the buffer "
+                    f"already released t={self._last_released}"
                 )
             self.late_dropped += 1
             return self._release()

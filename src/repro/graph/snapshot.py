@@ -144,6 +144,49 @@ class SnapshotGraph:
             for (target, label), timestamp in out_edges.items():
                 yield LabeledEdge(source, target, label, timestamp)
 
+    def in_order(self) -> List[Tuple[Vertex, List[Tuple[Vertex, Label]]]]:
+        """The backward adjacency in its live iteration order.
+
+        :meth:`in_edges` yields in this order, and expiry reconnection picks
+        the first valid parent it sees, so the order is part of the
+        evaluator's observable behaviour.  Checkpoints record it (the
+        forward ordering is implied by :meth:`edges`) so a restored snapshot
+        reconnects exactly like the original — required for the runtime's
+        bit-identical live-migration guarantee.
+        """
+        return [(target, list(in_edges.keys())) for target, in_edges in self._in.items()]
+
+    def restore_in_order(self, entries: List[Tuple[Vertex, List[Tuple[Vertex, Label]]]]) -> None:
+        """Rebuild the backward adjacency verbatim from :meth:`in_order` output.
+
+        Timestamps are taken from the (already restored) forward adjacency;
+        the entries must describe exactly the edges currently present.
+
+        Raises:
+            ValueError: if the entries name an edge the snapshot does not
+                hold, or do not cover every edge.
+        """
+        rebuilt: Dict[Vertex, Dict[Tuple[Vertex, Label], int]] = {}
+        covered = 0
+        for target, keys in entries:
+            inner: Dict[Tuple[Vertex, Label], int] = {}
+            for source, label in keys:
+                timestamp = self.edge_timestamp(source, target, label)
+                if timestamp is None:
+                    raise ValueError(
+                        f"corrupt checkpoint: backward adjacency names the absent edge "
+                        f"{source!r}-[{label!r}]->{target!r}"
+                    )
+                inner[(source, label)] = timestamp
+            covered += len(inner)
+            rebuilt[target] = inner
+        if covered != self._num_edges:
+            raise ValueError(
+                f"corrupt checkpoint: backward adjacency covers {covered} edges, "
+                f"snapshot holds {self._num_edges}"
+            )
+        self._in = rebuilt
+
     def vertices(self) -> Set[Vertex]:
         """Return the set of vertices that are an endpoint of some edge."""
         return set(self._out.keys()) | set(self._in.keys())

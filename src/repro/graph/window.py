@@ -100,9 +100,7 @@ class SlidingWindow:
                 tuples arrive in timestamp order).
         """
         if self._current_time is not None and timestamp < self._current_time:
-            raise ValueError(
-                f"timestamps must be non-decreasing: got {timestamp} after {self._current_time}"
-            )
+            raise ValueError(f"timestamps must be non-decreasing: got {timestamp} after {self._current_time}")
         self._current_time = timestamp
         boundary = self.spec.window_end(timestamp)
         if self._last_slide_end is None:

@@ -14,7 +14,7 @@ on plain Python floats so they can be used inside tight processing loops.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 __all__ = ["percentile", "LatencyCollector", "ThroughputMeter", "CounterSeries"]

@@ -18,9 +18,9 @@ value object that the RSPQ engine consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple, Union
+from typing import Dict, FrozenSet, Set, Tuple, Union
 
-from .ast import Alternation, Concat, Label, Optional as OptionalNode, Plus, RegexNode, Star
+from .ast import Alternation, Concat, Label, RegexNode, Star
 from .dfa import DFA, compile_query
 from .parser import parse
 

@@ -19,8 +19,8 @@ figures (e.g. the automaton of Q1 in Figure 1(c)).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 from .ast import RegexNode
 from .nfa import NFA, build_nfa
@@ -64,18 +64,23 @@ class DFA:
         return self.transitions.get((state, label))
 
     def transitions_on(self, label: str) -> List[Tuple[int, int]]:
-        """Return all pairs ``(s, t)`` with ``t = delta(s, label)``.
+        """Return all pairs ``(s, t)`` with ``t = delta(s, label)``, sorted.
 
         This is the inner loop of Algorithms RAPQ and RSPQ ("foreach s, t in S
-        where t = delta(s, l)"), so the result is precomputed and cached.
+        where t = delta(s, l)"), so the result is precomputed and cached.  The
+        pairs are sorted (not left in ``transitions`` dict order, which varies
+        with the hash seed across interpreter invocations) because the order
+        evaluators visit transitions shapes result-emission order within a
+        timestamp: a canonical order keeps checkpoints order-exact even when
+        they are restored in a different process.
         """
         cache = self.__dict__.setdefault("_transitions_on_cache", {})
         if label not in cache:
-            cache[label] = [
+            cache[label] = sorted(
                 (source, target)
                 for (source, lbl), target in self.transitions.items()
                 if lbl == label
-            ]
+            )
         return cache[label]
 
     def out_transitions(self, state: int) -> List[Tuple[str, int]]:

@@ -35,6 +35,13 @@ Architecture — four cooperating pieces behind one facade::
 * :mod:`~repro.runtime.merger` — lazy timestamp-ordered k-way merge of the
   per-query result streams into one global stream (shares the heap merge
   with :func:`repro.graph.stream.merge_streams`).
+* :mod:`~repro.runtime.rebalancer` — pluggable :class:`RebalancePolicy`
+  (``manual``, ``load_aware``) proposing *live query migrations* between
+  shards from per-label routed-tuple loads.  The mechanism is
+  :meth:`StreamingQueryService.migrate`: drain the source shard, ship the
+  evaluator as an order-exact checkpoint blob (``MIGRATE`` -> ``RESTORE``
+  frames), re-route with an epoch bump — the global result stream of a
+  migrated run is bit-identical to a never-migrated one.
 * :mod:`~repro.runtime.service` — :class:`StreamingQueryService`: lifecycle
   (``start`` / ``ingest`` / ``drain`` / ``stop``, also a context manager),
   dynamic ``register`` / ``deregister`` while running, aggregated
@@ -72,8 +79,16 @@ single-threaded engine and emits machine-readable
 """
 
 from . import protocol
-from .config import BACKENDS, SHARDING_POLICIES, RuntimeConfig
+from .config import BACKENDS, REBALANCE_POLICIES, SHARDING_POLICIES, RuntimeConfig
 from .merger import TaggedResultEvent, collect_results, merge_result_events, merge_result_streams
+from .rebalancer import (
+    LoadAwarePolicy,
+    ManualPolicy,
+    MigrationPlan,
+    RebalancePolicy,
+    ShardLoad,
+    make_rebalance_policy,
+)
 from .router import (
     HashPolicy,
     LabelAffinityPolicy,
@@ -95,14 +110,20 @@ from .worker import (
 
 __all__ = [
     "BACKENDS",
+    "REBALANCE_POLICIES",
     "SHARDING_POLICIES",
     "WORKER_BACKENDS",
     "HashPolicy",
     "LabelAffinityPolicy",
+    "LoadAwarePolicy",
+    "ManualPolicy",
+    "MigrationPlan",
     "ProcessShardWorker",
+    "RebalancePolicy",
     "RoundRobinPolicy",
     "RuntimeConfig",
     "ShardEngineServer",
+    "ShardLoad",
     "ShardView",
     "ShardWorker",
     "ShardingPolicy",
@@ -113,6 +134,7 @@ __all__ = [
     "collect_results",
     "create_worker",
     "make_policy",
+    "make_rebalance_policy",
     "merge_result_events",
     "merge_result_streams",
     "protocol",

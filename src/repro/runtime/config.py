@@ -18,7 +18,7 @@ from typing import Dict
 
 from ..errors import ConfigError
 
-__all__ = ["RuntimeConfig", "BACKENDS", "SHARDING_POLICIES"]
+__all__ = ["RuntimeConfig", "BACKENDS", "SHARDING_POLICIES", "REBALANCE_POLICIES"]
 
 #: Concurrency backends implemented by :mod:`repro.runtime.worker`.  Both
 #: speak the same wire protocol (:mod:`repro.runtime.protocol`); only the
@@ -29,6 +29,11 @@ BACKENDS = ("threading", "multiprocessing")
 
 #: Query-placement policies implemented by :mod:`repro.runtime.router`.
 SHARDING_POLICIES = ("round_robin", "hash", "label_affinity")
+
+#: Rebalancing policies implemented by :mod:`repro.runtime.rebalancer`.
+#: ``"manual"`` never moves a query on its own; ``"load_aware"`` proposes
+#: live migrations off the hottest shard at drain/interval boundaries.
+REBALANCE_POLICIES = ("manual", "load_aware")
 
 
 @dataclass(frozen=True)
@@ -47,10 +52,17 @@ class RuntimeConfig:
         backend: concurrency backend, one of :data:`BACKENDS`.
         sharding: query-placement policy name, one of
             :data:`SHARDING_POLICIES`.
+        rebalance_policy: rebalancing policy name, one of
+            :data:`REBALANCE_POLICIES`; non-``"manual"`` policies propose
+            live query migrations at drain and interval boundaries.
+        rebalance_interval: run the rebalance policy every this many
+            ingested tuples (0 = only at drain boundaries).  Requires a
+            non-``"manual"`` policy.
 
     Raises:
-        ConfigError: when any value is out of range or names an unknown
-            backend / sharding policy (the message lists valid choices).
+        ConfigError: when any value is out of range, names an unknown
+            backend / policy (the message lists valid choices), or combines
+            rebalancing with a single shard (nowhere to move a query to).
     """
 
     shards: int = 2
@@ -58,6 +70,8 @@ class RuntimeConfig:
     queue_depth: int = 8
     backend: str = "threading"
     sharding: str = "hash"
+    rebalance_policy: str = "manual"
+    rebalance_interval: int = 0
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -67,13 +81,30 @@ class RuntimeConfig:
         if self.queue_depth < 1:
             raise ConfigError(f"queue_depth must be >= 1, got {self.queue_depth}")
         if self.backend not in BACKENDS:
-            raise ConfigError(
-                f"unknown backend {self.backend!r}; valid choices: {', '.join(BACKENDS)}"
-            )
+            raise ConfigError(f"unknown backend {self.backend!r}; valid choices: {', '.join(BACKENDS)}")
         if self.sharding not in SHARDING_POLICIES:
             raise ConfigError(
                 f"unknown sharding policy {self.sharding!r}; "
                 f"valid choices: {', '.join(SHARDING_POLICIES)}"
+            )
+        if self.rebalance_policy not in REBALANCE_POLICIES:
+            raise ConfigError(
+                f"unknown rebalance policy {self.rebalance_policy!r}; "
+                f"valid choices: {', '.join(REBALANCE_POLICIES)}"
+            )
+        if self.rebalance_interval < 0:
+            raise ConfigError(f"rebalance_interval must be >= 0, got {self.rebalance_interval}")
+        if self.rebalance_interval > 0 and self.rebalance_policy == "manual":
+            raise ConfigError(
+                "rebalance_interval > 0 is meaningless with rebalance_policy "
+                f"'manual' (it never proposes a move); valid choices: "
+                f"{', '.join(name for name in REBALANCE_POLICIES if name != 'manual')}"
+            )
+        if self.shards == 1 and (self.rebalance_policy != "manual" or self.rebalance_interval > 0):
+            raise ConfigError(
+                f"rebalancing is meaningless with shards=1 (there is no other shard "
+                f"to migrate a query to); use shards >= 2 or rebalance_policy "
+                f"'manual' with rebalance_interval 0"
             )
 
     def with_shards(self, shards: int) -> "RuntimeConfig":

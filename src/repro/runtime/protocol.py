@@ -39,6 +39,9 @@ Two shapes travel on the request queue:
                                                                         positive)``
     ``CHECKPOINT`` ``name``                                             ``bytes`` (encoded
                                                                         evaluator)
+    ``MIGRATE``    ``name``                                             ``(semantics, blob)``
+                                                                        — the query's
+                                                                        shippable form
     ``SUMMARY``    ``None``                                             per-query summary dict
     ``METRICS``    ``None``                                             shard counters dict
     ``DRAIN``      ``None``                                             ``None`` (barrier: the
@@ -48,6 +51,17 @@ Two shapes travel on the request queue:
     ``STOP``       ``ship_state`` (bool)                                final shard state
                                                                         (see below) or ``None``
     ============== ==================================================== ======================
+
+    ``MIGRATE`` is the source half of the live-migration exchange: it
+    drains the shard up to the frame (control frames are serialized with
+    batches), then returns the query's complete evaluator state as an
+    order-exact :func:`~repro.core.checkpoint.encode_rapq` blob *without*
+    removing the query.  The coordinator ships the blob to the target
+    shard in a ``RESTORE`` frame and only then sends ``DEREGISTER`` to the
+    source, so a mid-flight failure leaves the query live where it was.
+    Only ``"arbitrary"``-semantics evaluators are migratable (the same
+    serialization restriction that stops a ``multiprocessing`` worker
+    holding RSPQ state from restarting).
 
     ``STOP`` terminates the worker loop after replying.  When
     ``ship_state`` is true (process transport, whose memory dies with the
@@ -112,6 +126,7 @@ __all__ = [
     "DEREGISTER",
     "RESULTS",
     "CHECKPOINT",
+    "MIGRATE",
     "SUMMARY",
     "METRICS",
     "DRAIN",
@@ -145,6 +160,7 @@ RESTORE = "RESTORE"
 DEREGISTER = "DEREGISTER"
 RESULTS = "RESULTS"
 CHECKPOINT = "CHECKPOINT"
+MIGRATE = "MIGRATE"
 SUMMARY = "SUMMARY"
 METRICS = "METRICS"
 DRAIN = "DRAIN"
@@ -157,6 +173,7 @@ CONTROL_OPS = (
     DEREGISTER,
     RESULTS,
     CHECKPOINT,
+    MIGRATE,
     SUMMARY,
     METRICS,
     DRAIN,

@@ -1,0 +1,175 @@
+"""Rebalancing policies: decide which queries should move between shards.
+
+Sharded deployments of long-lived persistent queries skew over time — the
+queries listening to hot labels concentrate work on their shard while other
+shards idle.  Live migration (:meth:`~repro.runtime.service.StreamingQueryService.migrate`)
+is the *mechanism* that fixes a skew; this module is the *policy* side,
+kept separate in the spirit of scheduling-vs-execution decomposition: a
+:class:`RebalancePolicy` only looks at per-shard load summaries and
+proposes :class:`MigrationPlan` moves, it never touches workers or wires.
+
+Load model: the coordinator counts routed tuples per label; a query's
+estimated load is the number of routed tuples (since the last rebalance
+decision) whose label falls in its alphabet.  This is exact for the work a
+shard receives on behalf of that query — every such tuple is delivered to
+and filtered by the shard engine — and costs one counter bump per tuple.
+
+Two policies ship:
+
+* ``manual`` — never proposes anything; migrations happen only through
+  explicit :meth:`migrate` calls (or the CLI ``migrate`` command).
+* ``load_aware`` — greedy pairwise balancing: while the hottest shard
+  carries more than ``imbalance_ratio`` times the coldest shard's load, it
+  proposes moving the query whose load best narrows the gap.  Queries with
+  non-``"arbitrary"`` semantics are pinned (their evaluator state cannot
+  be shipped) and count toward their shard's load without being movable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from .config import REBALANCE_POLICIES
+
+__all__ = [
+    "MigrationPlan",
+    "ShardLoad",
+    "RebalancePolicy",
+    "ManualPolicy",
+    "LoadAwarePolicy",
+    "make_rebalance_policy",
+]
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """One proposed query move, with the policy's stated reason."""
+
+    query: str
+    source: int
+    target: int
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.query}: shard {self.source} -> {self.target} ({self.reason})"
+
+
+@dataclass
+class ShardLoad:
+    """What a rebalance policy may inspect about one shard.
+
+    Attributes:
+        shard_id: position of the shard in the worker list.
+        query_loads: estimated load per *migratable* resident query.
+        pinned_load: combined load of resident queries that cannot move
+            (non-``"arbitrary"`` semantics).
+    """
+
+    shard_id: int
+    query_loads: Dict[str, float] = field(default_factory=dict)
+    pinned_load: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total estimated load of the shard, movable and pinned."""
+        return self.pinned_load + sum(self.query_loads.values())
+
+
+class RebalancePolicy:
+    """Strategy proposing query migrations from per-shard load summaries."""
+
+    #: Policy name as accepted by :class:`~repro.runtime.RuntimeConfig`.
+    name = "abstract"
+
+    def propose(self, shards: Sequence[ShardLoad]) -> List[MigrationPlan]:
+        """Return the migrations that should be applied, in order."""
+        raise NotImplementedError
+
+
+class ManualPolicy(RebalancePolicy):
+    """Never proposes a move; migration stays an explicit operator action."""
+
+    name = "manual"
+
+    def propose(self, shards: Sequence[ShardLoad]) -> List[MigrationPlan]:
+        return []
+
+
+class LoadAwarePolicy(RebalancePolicy):
+    """Greedy pairwise balancing of the hottest shard against the coldest.
+
+    Args:
+        imbalance_ratio: rebalancing triggers while the hottest shard's
+            load exceeds this multiple of the coldest shard's (a hot shard
+            facing an idle one always triggers).
+        max_moves: cap on the number of proposals per :meth:`propose` call;
+            defaults to the number of movable queries.
+    """
+
+    name = "load_aware"
+
+    def __init__(self, imbalance_ratio: float = 1.5, max_moves: Optional[int] = None) -> None:
+        if imbalance_ratio <= 1.0:
+            raise ValueError(f"imbalance_ratio must be > 1, got {imbalance_ratio}")
+        self.imbalance_ratio = imbalance_ratio
+        self.max_moves = max_moves
+
+    def _imbalanced(self, hot: float, cold: float) -> bool:
+        if hot <= 0:
+            return False
+        if cold <= 0:
+            return True
+        return hot / cold > self.imbalance_ratio
+
+    def propose(self, shards: Sequence[ShardLoad]) -> List[MigrationPlan]:
+        loads = {view.shard_id: view.total for view in shards}
+        movable = {view.shard_id: dict(view.query_loads) for view in shards}
+        budget = self.max_moves
+        if budget is None:
+            budget = sum(len(queries) for queries in movable.values())
+        plans: List[MigrationPlan] = []
+        while len(plans) < budget:
+            hot = max(loads, key=lambda shard: (loads[shard], -shard))
+            cold = min(loads, key=lambda shard: (loads[shard], shard))
+            if hot == cold or not self._imbalanced(loads[hot], loads[cold]):
+                break
+            gap = loads[hot] - loads[cold]
+            # Moving load l turns the pair into (hot - l, cold + l): only
+            # l < gap improves the pair, and l closest to gap/2 improves it
+            # most.  Ties break by name so proposals are deterministic.
+            viable = [(name, load) for name, load in movable[hot].items() if 0 < load < gap]
+            if not viable:
+                break
+            name, load = min(viable, key=lambda entry: (abs(gap - 2 * entry[1]), entry[0]))
+            plans.append(
+                MigrationPlan(
+                    query=name,
+                    source=hot,
+                    target=cold,
+                    reason=(
+                        f"load_aware: shard {hot} carried {loads[hot]:.0f} "
+                        f"vs shard {cold} at {loads[cold]:.0f}"
+                    ),
+                )
+            )
+            loads[hot] -= load
+            loads[cold] += load
+            del movable[hot][name]
+        return plans
+
+
+_POLICIES = {policy.name: policy for policy in (ManualPolicy, LoadAwarePolicy)}
+assert set(_POLICIES) == set(REBALANCE_POLICIES)
+
+
+def make_rebalance_policy(policy: Union[str, RebalancePolicy]) -> RebalancePolicy:
+    """Instantiate a rebalance policy from its name (or pass one through)."""
+    if isinstance(policy, RebalancePolicy):
+        return policy
+    try:
+        return _POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown rebalance policy {policy!r}; expected one of {sorted(_POLICIES)}"
+        ) from None

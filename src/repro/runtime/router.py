@@ -70,9 +70,7 @@ class ShardingPolicy:
     #: Policy name as accepted by :class:`repro.runtime.RuntimeConfig`.
     name = "abstract"
 
-    def assign(
-        self, query_name: str, analysis: QueryAnalysis, shards: Sequence[ShardView]
-    ) -> int:
+    def assign(self, query_name: str, analysis: QueryAnalysis, shards: Sequence[ShardView]) -> int:
         """Return the shard id that should own ``query_name``."""
         raise NotImplementedError
 
@@ -126,9 +124,7 @@ class LabelAffinityPolicy(ShardingPolicy):
         return min(shards, key=score).shard_id
 
 
-_POLICIES = {
-    policy.name: policy for policy in (RoundRobinPolicy, HashPolicy, LabelAffinityPolicy)
-}
+_POLICIES = {policy.name: policy for policy in (RoundRobinPolicy, HashPolicy, LabelAffinityPolicy)}
 assert set(_POLICIES) == set(SHARDING_POLICIES)
 
 
@@ -139,9 +135,7 @@ def make_policy(policy: Union[str, ShardingPolicy]) -> ShardingPolicy:
     try:
         return _POLICIES[policy]()
     except KeyError:
-        raise ValueError(
-            f"unknown sharding policy {policy!r}; expected one of {sorted(_POLICIES)}"
-        ) from None
+        raise ValueError(f"unknown sharding policy {policy!r}; expected one of {sorted(_POLICIES)}") from None
 
 
 class StreamRouter:
@@ -154,10 +148,26 @@ class StreamRouter:
         self._shards = [ShardView(shard_id=i) for i in range(num_shards)]
         self._assignments: Dict[str, int] = {}
         self._alphabets: Dict[str, Set[str]] = {}
+        self._epoch = 0
 
     @property
     def num_shards(self) -> int:
         return len(self._shards)
+
+    @property
+    def epoch(self) -> int:
+        """Version of the route table, bumped on every placement change.
+
+        The migration choreography snapshots it after draining both shards
+        and verifies it is unchanged before committing a move: a reentrant
+        register/deregister/migrate (e.g. from a result callback) would
+        invalidate the drain barrier, so the move is rolled back instead of
+        misdelivering.  Buffered batches themselves carry no epoch — their
+        delivery stays correct across placement changes because migrate()
+        flushes both affected shards before state moves, and a shard engine
+        only evaluates its resident queries.
+        """
+        return self._epoch
 
     def shards(self) -> List[ShardView]:
         """Current per-shard views (shared, do not mutate)."""
@@ -184,6 +194,7 @@ class StreamRouter:
         view.label_counts.update(alphabet)
         self._assignments[query_name] = shard
         self._alphabets[query_name] = alphabet
+        self._epoch += 1
         return shard
 
     def release(self, query_name: str) -> int:
@@ -196,7 +207,40 @@ class StreamRouter:
         view.queries.discard(query_name)
         view.label_counts.subtract(self._alphabets.pop(query_name))
         view.label_counts += Counter()  # drop zero/negative entries
+        self._epoch += 1
         return shard
+
+    def move(self, query_name: str, target: int) -> int:
+        """Re-home a query onto ``target``; return the shard it left.
+
+        This is the routing half of live migration: future tuples matching
+        the query's alphabet route to ``target`` instead of the old shard.
+        The epoch is bumped so routing decisions taken against the old
+        table are detectably stale.
+        """
+        source = self.shard_of(query_name)
+        if not 0 <= target < len(self._shards):
+            raise ValueError(f"shard {target} out of range [0, {len(self._shards)})")
+        if target == source:
+            return source
+        alphabet = self._alphabets[query_name]
+        source_view = self._shards[source]
+        source_view.queries.discard(query_name)
+        source_view.label_counts.subtract(alphabet)
+        source_view.label_counts += Counter()  # drop zero/negative entries
+        target_view = self._shards[target]
+        target_view.queries.add(query_name)
+        target_view.label_counts.update(alphabet)
+        self._assignments[query_name] = target
+        self._epoch += 1
+        return source
+
+    def alphabet_of(self, query_name: str) -> Set[str]:
+        """The label alphabet of an assigned query (shared, do not mutate)."""
+        try:
+            return self._alphabets[query_name]
+        except KeyError:
+            raise KeyError(f"no query named {query_name!r} is assigned") from None
 
     def shard_of(self, query_name: str) -> int:
         """Return the shard owning ``query_name``."""
@@ -216,13 +260,9 @@ class StreamRouter:
     def route(self, tup: StreamingGraphTuple) -> Tuple[int, ...]:
         """Return the shards that must see ``tup`` (may be empty)."""
         label = tup.label
-        return tuple(
-            view.shard_id for view in self._shards if view.label_counts.get(label, 0) > 0
-        )
+        return tuple(view.shard_id for view in self._shards if view.label_counts.get(label, 0) > 0)
 
-    def route_batch(
-        self, batch: Sequence[StreamingGraphTuple]
-    ) -> Dict[int, List[StreamingGraphTuple]]:
+    def route_batch(self, batch: Sequence[StreamingGraphTuple]) -> Dict[int, List[StreamingGraphTuple]]:
         """Split a batch into per-shard sub-batches, preserving stream order."""
         routed: Dict[int, List[StreamingGraphTuple]] = {}
         for tup in batch:

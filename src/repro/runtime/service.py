@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import sys
+from collections import Counter
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
@@ -34,6 +35,7 @@ from ..graph.window import WindowSpec
 from ..regex.analysis import QueryAnalysis, analyze
 from .config import RuntimeConfig
 from .merger import TaggedResultEvent, merge_result_events
+from .rebalancer import MigrationPlan, ShardLoad, make_rebalance_policy
 from .router import StreamRouter
 from .worker import ResultCallback, ShardWorker, create_worker
 
@@ -86,6 +88,14 @@ class StreamingQueryService:
         self._running = False
         self._tuples_ingested = 0
         self._tuples_dropped = 0
+        # Rebalancing: the policy proposes live migrations from per-label
+        # routed-tuple counts (the observation window resets at every
+        # rebalance decision); applied moves are kept for the summary.
+        self._rebalancer = make_rebalance_policy(self.config.rebalance_policy)
+        self._label_loads: Counter = Counter()
+        self._tuples_since_rebalance = 0
+        self._migrating: Optional[str] = None
+        self.migrations: List[Dict[str, object]] = []
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -114,7 +124,7 @@ class StreamingQueryService:
         if not self._running:
             return
         try:
-            self.drain()
+            self._drain(rebalance=False)
         finally:
             stop_error: Optional[BaseException] = None
             for worker in self.workers:
@@ -172,9 +182,7 @@ class StreamingQueryService:
         try:
             # The expression travels as its rendered string (round-trip safe)
             # so registration crosses process boundaries; the worker recompiles.
-            self.workers[shard].register_query(
-                name, str(analysis.expression), semantics, max_nodes_per_tree
-            )
+            self.workers[shard].register_query(name, str(analysis.expression), semantics, max_nodes_per_tree)
         except Exception:
             self.router.release(name)
             raise
@@ -199,6 +207,137 @@ class StreamingQueryService:
         return name in self._semantics
 
     # ------------------------------------------------------------------ #
+    # Live migration and rebalancing
+    # ------------------------------------------------------------------ #
+
+    def migrate(self, name: str, target_shard: int, reason: str = "manual") -> int:
+        """Move a live query to another shard; returns the shard it now lives on.
+
+        The move is transparent: the global result stream of a migrated run
+        is bit-identical — order and content, deletions included — to a run
+        that never migrated, on every backend.  The choreography:
+
+        1. flush both shards' buffered tuples (everything already ingested
+           must reach the query *before* its state moves, and must not be
+           re-delivered *after*);
+        2. ``MIGRATE`` on the source — the reply barrier drains the source
+           up to the extraction point and returns the evaluator as an
+           order-exact checkpoint blob, leaving the query registered;
+        3. ``RESTORE`` on the target, serialized behind the target's
+           flushed batches on its request queue;
+        4. only once the target holds the state: ``DEREGISTER`` on the
+           source and re-route in the :class:`StreamRouter` (epoch bump).
+
+        A failure in step 3 (e.g. the target worker died) leaves the query
+        live and routed on the source; the error is re-raised.  A route
+        table change between steps 1 and 4 (a reentrant register /
+        deregister / migrate from a result callback) voids the drain
+        guarantee, so the move is rolled back and refused.
+
+        Args:
+            name: a registered query.
+            target_shard: shard to move it to; moving to its current shard
+                is a no-op.
+            reason: free-form tag recorded in the migration history
+                (rebalance policies put their justification here).
+
+        Raises:
+            KeyError: ``name`` is not a registered query.
+            ValueError: ``target_shard`` is out of range.
+            RuntimeStateError: the query's semantics cannot migrate, or the
+                route table changed mid-migration.
+        """
+        source = self.router.shard_of(name)
+        if not 0 <= target_shard < len(self.workers):
+            raise ValueError(f"target shard {target_shard} out of range [0, {len(self.workers)})")
+        if target_shard == source:
+            return source
+        semantics = self._semantics[name]
+        if semantics != "arbitrary":
+            # Same restriction as restarting a process worker with RSPQ
+            # state: positional node identity cannot cross a shard boundary.
+            raise RuntimeStateError(
+                f"query {name!r} cannot migrate: queries with non-'arbitrary' semantics "
+                f"({semantics!r}) hold evaluator state that cannot be shipped between shards"
+            )
+        if self._migrating is not None:
+            raise RuntimeStateError(f"cannot migrate {name!r} while query {self._migrating!r} is migrating")
+        self._migrating = name
+        try:
+            self._flush_shard(source)
+            self._flush_shard(target_shard)
+            epoch = self.router.epoch
+            # The worker's reply names the semantics authoritatively (the
+            # coordinator check above is just the cheap fast path).
+            semantics, blob = self.workers[source].migrate_query(name)
+            self.workers[target_shard].restore_query(name, blob, semantics)
+            if self.router.epoch != epoch:
+                self.workers[target_shard].deregister_query(name)
+                raise RuntimeStateError(
+                    f"route table changed while migrating {name!r} (reentrant "
+                    f"register/deregister/migrate); the move was rolled back"
+                )
+            try:
+                self.workers[source].deregister_query(name)
+            except BaseException:
+                # The source kept the query; take it back off the target so
+                # exactly one shard owns it before the error surfaces.
+                try:
+                    self.workers[target_shard].deregister_query(name)
+                except Exception:
+                    pass
+                raise
+        finally:
+            self._migrating = None
+        self.router.move(name, target_shard)
+        self.migrations.append(
+            {
+                "query": name,
+                "source": source,
+                "target": target_shard,
+                "reason": reason,
+                "at_tuples": self._tuples_ingested,
+            }
+        )
+        return target_shard
+
+    def rebalance(self) -> List[MigrationPlan]:
+        """Consult the rebalance policy and apply what it proposes.
+
+        Called automatically at drain boundaries (non-``"manual"`` policy)
+        and every ``rebalance_interval`` ingested tuples; safe to call
+        manually at any time.  Returns the applied plans.  The per-label
+        load observation window resets at every decision.
+        """
+        self._tuples_since_rebalance = 0
+        proposals = self._rebalancer.propose(self._shard_loads())
+        self._label_loads.clear()
+        applied: List[MigrationPlan] = []
+        for plan in proposals:
+            if plan.query not in self._semantics:
+                continue  # raced with a deregister; the plan is stale
+            if self.router.shard_of(plan.query) != plan.source:
+                continue  # already moved (e.g. by an earlier plan's rollback)
+            self.migrate(plan.query, plan.target, reason=plan.reason)
+            applied.append(plan)
+        return applied
+
+    def _shard_loads(self) -> List[ShardLoad]:
+        """Per-shard load summaries for the rebalance policy."""
+        loads: List[ShardLoad] = []
+        for view in self.router.shards():
+            query_loads: Dict[str, float] = {}
+            pinned = 0.0
+            for name in sorted(view.queries):
+                load = float(sum(self._label_loads.get(label, 0) for label in self.router.alphabet_of(name)))
+                if self._semantics[name] == "arbitrary":
+                    query_loads[name] = load
+                else:
+                    pinned += load
+            loads.append(ShardLoad(shard_id=view.shard_id, query_loads=query_loads, pinned_load=pinned))
+        return loads
+
+    # ------------------------------------------------------------------ #
     # Ingestion
     # ------------------------------------------------------------------ #
 
@@ -206,16 +345,25 @@ class StreamingQueryService:
         """Route one tuple to the shards hosting queries that can use it."""
         if not self._running:
             raise RuntimeStateError("cannot ingest into a stopped service; call start() first")
+        if self._migrating is not None:
+            # (e.g. from an on_result callback) — new tuples would bypass
+            # the drain barrier the in-flight migration relies on.
+            raise RuntimeStateError(f"cannot ingest while query {self._migrating!r} is migrating")
         self._tuples_ingested += 1
         shards = self.router.route(tup)
         if not shards:
             self._tuples_dropped += 1
             return
+        self._label_loads[tup.label] += 1
         for shard in shards:
             pending = self._pending[shard]
             pending.append(tup)
             if len(pending) >= self.config.batch_size:
                 self._flush_shard(shard)
+        if self.config.rebalance_interval > 0:
+            self._tuples_since_rebalance += 1
+            if self._tuples_since_rebalance >= self.config.rebalance_interval:
+                self.rebalance()
 
     def ingest(self, tuples: Iterable[StreamingGraphTuple]) -> None:
         """Route a stream of tuples (in timestamp order) into the shards."""
@@ -229,11 +377,24 @@ class StreamingQueryService:
             self.workers[shard].submit(pending)
 
     def drain(self) -> None:
-        """Flush buffers and block until every shard has caught up."""
+        """Flush buffers and block until every shard has caught up.
+
+        A drain is also a rebalance boundary: with a non-``"manual"``
+        policy configured, the service consults it here — the natural
+        moment, since every shard is quiescent and migrations are cheap.
+        The internal drains of :meth:`checkpoint` and :meth:`stop` skip
+        the hook: a checkpoint must record the placement the caller just
+        observed, and migrating right before shutdown is wasted work.
+        """
+        self._drain(rebalance=True)
+
+    def _drain(self, rebalance: bool) -> None:
         for shard in range(len(self.workers)):
             self._flush_shard(shard)
         for worker in self.workers:
             worker.drain()
+        if rebalance and self._running and self._rebalancer.name != "manual" and self._migrating is None:
+            self.rebalance()
 
     # ------------------------------------------------------------------ #
     # Results
@@ -255,10 +416,7 @@ class StreamingQueryService:
 
     def result_triples(self, name: str) -> Set[Tuple[Vertex, Vertex, int]]:
         """Positive results of one query as ``(source, target, timestamp)`` triples."""
-        return {
-            (event.source, event.target, event.timestamp)
-            for event in self.results(name).positives()
-        }
+        return {(event.source, event.target, event.timestamp) for event in self.results(name).positives()}
 
     def global_events(self) -> Iterator[TaggedResultEvent]:
         """All queries' result events, k-way merged into timestamp order."""
@@ -295,8 +453,15 @@ class StreamingQueryService:
             "shard_tuples": sum(stats["tuples"] for stats in shards),
             "busy_seconds_max": max(busy) if busy else 0.0,
             "busy_seconds_total": sum(busy),
+            "migrations": len(self.migrations),
         }
-        return {"config": self.config.to_dict(), "totals": totals, "shards": shards, "queries": per_query}
+        return {
+            "config": self.config.to_dict(),
+            "totals": totals,
+            "shards": shards,
+            "queries": per_query,
+            "migrations": [dict(record) for record in self.migrations],
+        }
 
     # ------------------------------------------------------------------ #
     # Coordinated checkpoint / restore
@@ -317,7 +482,9 @@ class StreamingQueryService:
                     f"queries can be checkpointed"
                 )
         if self._running:
-            self.drain()
+            # No rebalance hook here: the checkpoint must record the
+            # placement the caller just observed, not a freshly shuffled one.
+            self._drain(rebalance=False)
         queries = []
         for name in self.queries():
             shard = self.router.shard_of(name)

@@ -104,7 +104,12 @@ class ShardEngineServer:
         records) when ``collect_results`` and the batch produced any, else
         ``None``.
         """
-        started = time.perf_counter()
+        # Busy time is *CPU* time of this worker's thread, not wall clock:
+        # on a host with fewer cores than busy shards, wall clock charges
+        # each batch for time other workers held the GIL/CPU, which would
+        # make per-shard load (and the rebalancer's view of it) look worse
+        # the more balanced the service is.
+        started = time.thread_time()
         events = [] if collect_results else None
         for wire in payload:
             tup = StreamingGraphTuple.from_wire(wire)
@@ -113,7 +118,7 @@ class ShardEngineServer:
                 for name, pairs in produced.items():
                     for source, target in pairs:
                         events.append((name, source, target, tup.timestamp))
-        self.meter.record_batch(len(payload), time.perf_counter() - started)
+        self.meter.record_batch(len(payload), time.thread_time() - started)
         self.batches_processed += 1
         return protocol.encode_events(events) if events else None
 
@@ -136,6 +141,18 @@ class ShardEngineServer:
             return self.engine.query(payload).results.to_wire()
         if op == protocol.CHECKPOINT:
             return encode_rapq(self.engine.query(payload).evaluator)
+        if op == protocol.MIGRATE:
+            registered = self.engine.query(payload)
+            if registered.semantics != "arbitrary":
+                # The same serialization restriction that stops a process
+                # worker holding RSPQ state from restarting: positional node
+                # identity cannot cross a shard boundary.
+                raise RuntimeStateError(
+                    f"query {payload!r} cannot migrate off shard {self.shard_id}: queries "
+                    f"with non-'arbitrary' semantics ({registered.semantics!r}) hold "
+                    f"evaluator state that cannot be shipped between shards"
+                )
+            return (registered.semantics, encode_rapq(registered.evaluator))
         if op == protocol.SUMMARY:
             return self.engine.summary()
         if op == protocol.METRICS:
@@ -474,6 +491,21 @@ class ShardWorker:
     def checkpoint_query(self, name: str) -> bytes:
         """Encode one query's evaluator state (bytes out, ships anywhere)."""
         return self.request(protocol.CHECKPOINT, name)
+
+    def migrate_query(self, name: str) -> Tuple[str, bytes]:
+        """Extract one query's shippable form: ``(semantics, blob)``.
+
+        Unlike ``CHECKPOINT`` (whose non-arbitrary failure is a raw
+        ``TypeError`` from deep inside the encoder), ``MIGRATE`` refuses
+        unshippable semantics with a typed error, and its reply names the
+        semantics authoritatively — the worker, not the coordinator's
+        bookkeeping, knows what is registered.  The reply barrier drains
+        this shard up to the extraction point; the query stays registered
+        here until the coordinator confirms the blob landed on the target
+        shard and sends ``DEREGISTER``.
+        """
+        semantics, blob = self.request(protocol.MIGRATE, name)
+        return semantics, blob
 
     def summary(self) -> Dict[str, Dict[str, object]]:
         """Per-query summary of this shard's engine."""

@@ -28,15 +28,12 @@ class TestBatchRAPQ:
     def test_transitive_closure(self):
         snapshot = graph_from_edges([("a", "b", "x"), ("b", "c", "x"), ("c", "d", "x")])
         assert batch_rapq(snapshot, compile_query("x+")) == {
-            ("a", "b"), ("a", "c"), ("a", "d"),
-            ("b", "c"), ("b", "d"), ("c", "d"),
+            ("a", "b"), ("a", "c"), ("a", "d"), ("b", "c"), ("b", "d"), ("c", "d")
         }
 
     def test_cycle_produces_self_pairs(self):
         snapshot = graph_from_edges([("a", "b", "x"), ("b", "a", "x")])
-        assert batch_rapq(snapshot, compile_query("x+")) == {
-            ("a", "b"), ("b", "a"), ("a", "a"), ("b", "b"),
-        }
+        assert batch_rapq(snapshot, compile_query("x+")) == {("a", "b"), ("b", "a"), ("a", "a"), ("b", "b")}
 
     def test_no_empty_path_results(self):
         snapshot = graph_from_edges([("a", "b", "x")])
@@ -76,9 +73,7 @@ class TestBatchRSPQ:
 
     def test_non_simple_only_pair_excluded(self):
         """s->a->b->a->t style: every accepting walk repeats the vertex a."""
-        snapshot = graph_from_edges(
-            [("s", "a", "x"), ("a", "b", "y"), ("b", "a", "x"), ("a", "t", "y")]
-        )
+        snapshot = graph_from_edges([("s", "a", "x"), ("a", "b", "y"), ("b", "a", "x"), ("a", "t", "y")])
         dfa = compile_query("x y x y")
         # arbitrary semantics finds walks such as s,a,b,a,t / s,a,b,a,b and the
         # ones starting at b that loop through a twice

@@ -19,9 +19,7 @@ class TestParser:
         assert args.query == "a b*"
 
     def test_run_arguments_defaults(self):
-        args = build_parser().parse_args(
-            ["run", "--query", "a", "--input", "x.csv", "--window", "10"]
-        )
+        args = build_parser().parse_args(["run", "--query", "a", "--input", "x.csv", "--window", "10"])
         assert args.slide == 1
         assert args.semantics == "arbitrary"
         assert args.deletions == 0.0
@@ -61,11 +59,16 @@ class TestGenerateAndRun:
         exit_code = main(
             [
                 "run",
-                "--query", "isLocatedIn+",
-                "--input", str(output),
-                "--window", "8",
-                "--slide", "2",
-                "--show-results", "3",
+                "--query",
+                "isLocatedIn+",
+                "--input",
+                str(output),
+                "--window",
+                "8",
+                "--slide",
+                "2",
+                "--show-results",
+                "3",
             ]
         )
         captured = capsys.readouterr().out
@@ -80,12 +83,18 @@ class TestGenerateAndRun:
         exit_code = main(
             [
                 "run",
-                "--query", "a2q",
-                "--input", str(output),
-                "--window", "6",
-                "--deletions", "0.05",
-                "--limit", "200",
-                "--semantics", "arbitrary",
+                "--query",
+                "a2q",
+                "--input",
+                str(output),
+                "--window",
+                "6",
+                "--deletions",
+                "0.05",
+                "--limit",
+                "200",
+                "--semantics",
+                "arbitrary",
             ]
         )
         captured = capsys.readouterr().out
@@ -149,9 +158,7 @@ class TestShardedRun:
             raise ShardWorkerError("shard 0 failed while processing: budget exceeded", 0)
 
         monkeypatch.setattr(StreamingQueryService, "ingest", boom)
-        exit_code = main(
-            ["run", "--query", "a2q+", "--input", str(output), "--window", "5", "--shards", "2"]
-        )
+        exit_code = main(["run", "--query", "a2q+", "--input", str(output), "--window", "5", "--shards", "2"])
         captured = capsys.readouterr().out
         assert exit_code == 1
         assert "failed: " in captured
@@ -175,14 +182,22 @@ class TestServeCommand:
         exit_code = main(
             [
                 "serve",
-                "--input", str(output),
-                "--window", "8",
-                "--shards", "3",
-                "--policy", "label_affinity",
-                "--query", "places=isLocatedIn+",
-                "--query", "isConnectedTo+",
-                "--checkpoint", str(checkpoint),
-                "--show-results", "2",
+                "--input",
+                str(output),
+                "--window",
+                "8",
+                "--shards",
+                "3",
+                "--policy",
+                "label_affinity",
+                "--query",
+                "places=isLocatedIn+",
+                "--query",
+                "isConnectedTo+",
+                "--checkpoint",
+                str(checkpoint),
+                "--show-results",
+                "2",
             ]
         )
         captured = capsys.readouterr().out
@@ -217,6 +232,71 @@ class TestServeCommand:
     def test_serve_rejects_duplicate_names(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["serve", "--input", "x.csv", "--window", "5", "--query", "q=a+", "--query", "q=b+"])
+
+    def test_serve_rejects_rebalancing_on_a_single_shard(self, tmp_path):
+        args = ["serve", "--input", "x.csv", "--window", "5", "--query", "a+"]
+        with pytest.raises(SystemExit, match="shards=1"):
+            main(args + ["--shards", "1", "--rebalance", "load_aware"])
+
+
+class TestMigrateCommand:
+    def make_checkpoint(self, tmp_path, capsys):
+        stream = tmp_path / "yago.csv"
+        main(["generate", "--dataset", "yago", "--edges", "300", "--seed", "3", "--output", str(stream)])
+        checkpoint = tmp_path / "service.json"
+        main(
+            [
+                "serve",
+                "--input",
+                str(stream),
+                "--window",
+                "8",
+                "--shards",
+                "3",
+                "--query",
+                "places=isLocatedIn+",
+                "--query",
+                "deals=dealsWith+",
+                "--checkpoint",
+                str(checkpoint),
+            ]
+        )
+        capsys.readouterr()
+        return checkpoint
+
+    def test_migrate_rewrites_the_checkpoint(self, tmp_path, capsys):
+        from repro.runtime import StreamingQueryService
+
+        checkpoint = self.make_checkpoint(tmp_path, capsys)
+        before = StreamingQueryService.load_checkpoint(checkpoint)
+        source = before.router.shard_of("places")
+        target = (source + 1) % 3
+        expected = before.results("places").distinct_pairs
+
+        exit_code = main(
+            ["migrate", "--checkpoint", str(checkpoint), "--query", "places", "--to-shard", str(target)]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert f"shard {source} -> {target}" in captured
+
+        after = StreamingQueryService.load_checkpoint(checkpoint)
+        assert after.router.shard_of("places") == target
+        assert after.results("places").distinct_pairs == expected
+
+    def test_migrate_unknown_query_fails_cleanly(self, tmp_path, capsys):
+        checkpoint = self.make_checkpoint(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="no query named"):
+            main(["migrate", "--checkpoint", str(checkpoint), "--query", "ghost", "--to-shard", "0"])
+
+    def test_migrate_out_of_range_shard_fails_cleanly(self, tmp_path, capsys):
+        checkpoint = self.make_checkpoint(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="out of range"):
+            main(["migrate", "--checkpoint", str(checkpoint), "--query", "places", "--to-shard", "9"])
+
+    def test_migrate_missing_checkpoint_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot load checkpoint"):
+            main(["migrate", "--checkpoint", str(tmp_path / "nope.json"), "--query", "q", "--to-shard", "0"])
 
 
 class TestExperimentCommand:

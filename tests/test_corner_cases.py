@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro import RAPQEvaluator, RSPQEvaluator, StreamingRPQEngine, WindowSpec, sgt
 from repro.regex.dfa import compile_query
 

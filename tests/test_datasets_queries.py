@@ -8,7 +8,6 @@ from repro.datasets.queries import (
     DATASET_LABELS,
     DATASET_QUERY_LABELS,
     QUERY_NAMES,
-    QUERY_TEMPLATES,
     applicable_queries,
     build_workload,
     instantiate,

@@ -11,8 +11,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
-
 EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
 SRC_DIR = Path(__file__).resolve().parents[1] / "src"
 

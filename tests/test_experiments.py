@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import WindowSpec, sgt
+from repro import WindowSpec
 from repro.datasets import build_workload
 from repro.experiments import (
     compare_runs,
@@ -86,9 +86,7 @@ class TestHarness:
                 ts += 1
                 edges.append((ts, f"c{j}", f"u{(i + 1) % 4}", "b"))
         stream = insert_stream(edges)
-        result = run_query(
-            "(a b)+", stream, WindowSpec(size=1000), semantics="simple", max_nodes_per_tree=20
-        )
+        result = run_query("(a b)+", stream, WindowSpec(size=1000), semantics="simple", max_nodes_per_tree=20)
         assert not result.completed
         assert result.error is not None
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.graph.tuples import EdgeOp, StreamingGraphTuple, sgt
+from repro.graph.tuples import EdgeOp, sgt
 
 
 class TestConstruction:

@@ -8,12 +8,12 @@ snapshot (the streaming oracle).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from hypothesis import given, settings, strategies as st
 
 from repro import RAPQEvaluator, RSPQEvaluator, WindowSpec
-from repro.graph.tuples import EdgeOp, StreamingGraphTuple
+from repro.graph.tuples import StreamingGraphTuple
 from repro.regex.dfa import compile_query
 
 from helpers import streaming_oracle

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 from hypothesis import given, settings, strategies as st
 
@@ -113,9 +112,7 @@ def test_sliding_window_boundaries_are_monotone_and_aligned(timestamps, size, sl
     seed=st.integers(min_value=0, max_value=1000),
 )
 def test_with_deletions_preserves_insertions_and_order(count, ratio, seed):
-    stream = [
-        StreamingGraphTuple(i + 1, f"v{i % 5}", f"v{(i + 1) % 5}", "x") for i in range(count)
-    ]
+    stream = [StreamingGraphTuple(i + 1, f"v{i % 5}", f"v{(i + 1) % 5}", "x") for i in range(count)]
     augmented = with_deletions(stream, ratio, seed=seed)
     inserts = [t for t in augmented if t.is_insert]
     deletes = [t for t in augmented if t.is_delete]

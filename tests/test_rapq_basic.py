@@ -7,8 +7,6 @@ oracle and the union-over-windows streaming oracle.
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro import RAPQEvaluator, WindowSpec, sgt

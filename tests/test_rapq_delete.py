@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro import EdgeOp, RAPQEvaluator, WindowSpec, sgt
 from repro.graph.tuples import StreamingGraphTuple
 
@@ -117,10 +115,7 @@ class TestDeletionHeavyWorkload:
 
         window = WindowSpec(size=1000)
         evaluator = RAPQEvaluator("a+", window)
-        edges = [
-            (1, "a", "b"), (2, "b", "c"), (3, "c", "d"), (4, "d", "a"),
-            (5, "b", "d"), (6, "a", "c"),
-        ]
+        edges = [(1, "a", "b"), (2, "b", "c"), (3, "c", "d"), (4, "d", "a"), (5, "b", "d"), (6, "a", "c")]
         for ts, u, v in edges:
             evaluator.process(sgt(ts, u, v, "a"))
         evaluator.process(delete(7, "b", "c", "a"))

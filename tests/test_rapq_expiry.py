@@ -2,10 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
-import pytest
-
 from repro import RAPQEvaluator, WindowSpec, sgt
 from repro.regex.dfa import compile_query
 
@@ -25,9 +21,7 @@ class TestExpiryBasics:
         evaluator.process(sgt(1, "u", "v", "a"))
         assert evaluator.index.num_nodes > 0
         evaluator.process(sgt(20, "p", "q", "a"))
-        vertices_in_index = {
-            node.vertex for tree in evaluator.index.trees() for node in tree.nodes()
-        }
+        vertices_in_index = {node.vertex for tree in evaluator.index.trees() for node in tree.nodes()}
         assert "u" not in vertices_in_index
         assert "v" not in vertices_in_index
 
@@ -139,9 +133,7 @@ class TestLazyExpiry:
 
     def test_results_identical_for_eager_and_lazy_expiration(self):
         """Beta only affects when cleanup happens, never the answer set."""
-        stream = insert_stream(
-            [(t, f"v{t % 5}", f"v{(t * 3 + 1) % 5}", "a") for t in range(1, 40)]
-        )
+        stream = insert_stream([(t, f"v{t % 5}", f"v{(t * 3 + 1) % 5}", "a") for t in range(1, 40)])
         eager = RAPQEvaluator("a+", WindowSpec(size=8, slide=1))
         lazy = RAPQEvaluator("a+", WindowSpec(size=8, slide=8))
         eager.process_stream(stream)

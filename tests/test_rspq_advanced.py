@@ -41,18 +41,14 @@ class TestExpiry:
 
     def test_results_match_oracle_across_windows(self):
         window = WindowSpec(size=6, slide=3)
-        stream = insert_stream(
-            [(t, f"v{t % 4}", f"v{(t * 3 + 1) % 4}", "a") for t in range(1, 25)]
-        )
+        stream = insert_stream([(t, f"v{t % 4}", f"v{(t * 3 + 1) % 4}", "a") for t in range(1, 25)])
         evaluator = RSPQEvaluator("a+", window)
         evaluator.process_stream(stream)
         expected = streaming_oracle(stream, compile_query("a+"), window.size, simple_paths=True)
         assert evaluator.answer_pairs() == expected
 
     def test_eager_vs_lazy_expiration_same_answers(self):
-        stream = insert_stream(
-            [(t, f"v{t % 5}", f"v{(t * 2 + 1) % 5}", "a") for t in range(1, 30)]
-        )
+        stream = insert_stream([(t, f"v{t % 5}", f"v{(t * 2 + 1) % 5}", "a") for t in range(1, 30)])
         eager = RSPQEvaluator("a+", WindowSpec(size=8, slide=1))
         lazy = RSPQEvaluator("a+", WindowSpec(size=8, slide=8))
         eager.process_stream(stream)

@@ -75,18 +75,14 @@ class TestConflictHandling:
     def test_no_conflicts_for_containment_property_query(self):
         """Queries with the suffix-containment property never trigger Unmark."""
         evaluator = RSPQEvaluator("a*", WindowSpec(size=100))
-        stream = insert_stream(
-            [(t, f"v{t % 6}", f"v{(t * 2 + 1) % 6}", "a") for t in range(1, 30)]
-        )
+        stream = insert_stream([(t, f"v{t % 6}", f"v{(t * 2 + 1) % 6}", "a") for t in range(1, 30)])
         evaluator.process_stream(stream)
         assert evaluator.stats["conflicts_detected"] == 0
         assert evaluator.stats["unmark_operations"] == 0
 
     def test_node_occurs_once_per_tree_without_conflicts(self):
         evaluator = RSPQEvaluator("a*", WindowSpec(size=100))
-        stream = insert_stream(
-            [(t, f"v{t % 5}", f"v{(t * 3 + 2) % 5}", "a") for t in range(1, 25)]
-        )
+        stream = insert_stream([(t, f"v{t % 5}", f"v{(t * 3 + 2) % 5}", "a") for t in range(1, 25)])
         evaluator.process_stream(stream)
         for tree in evaluator.trees.values():
             keys = [node.key for node in tree.nodes()]

@@ -76,9 +76,7 @@ class TestCrossBackendParity:
     def test_backends_agree_with_each_other(self):
         stream = synthetic_stream(2_000, deletion_ratio=0.2, seed=37)
         runs = {
-            backend: service_events(
-                stream, RuntimeConfig(shards=3, batch_size=32, backend=backend)
-            )
+            backend: service_events(stream, RuntimeConfig(shards=3, batch_size=32, backend=backend))
             for backend in BACKENDS
         }
         assert runs["threading"] == runs["multiprocessing"]
@@ -109,21 +107,15 @@ class TestCrossBackendCheckpoint:
             restored.ingest(stream[half:])
             restored.drain()
             resumed = {
-                name: [
-                    (e.source, e.target, e.timestamp, e.positive)
-                    for e in restored.results(name).events
-                ]
+                name: [(e.source, e.target, e.timestamp, e.positive) for e in restored.results(name).events]
                 for name in QUERIES
             }
-        # Restoring rebuilds the tree index, which may permute the order of
-        # events that share a timestamp (a pre-existing property of
-        # restore_rapq, independent of the backend); content and per-timestamp
-        # grouping must still match the unbroken engine run exactly.
-        def by_timestamp(events):
-            return sorted(events, key=lambda e: (e[2], str(e[0]), str(e[1]), e[3]))
-
+        # Checkpoints are order-exact (format 2 records every iteration
+        # order the algorithms observe), so a resumed run reproduces the
+        # unbroken engine run bit-for-bit: order and content, deletions
+        # included — the same guarantee live migration builds on.
         for name in QUERIES:
-            assert by_timestamp(resumed[name]) == by_timestamp(expected[name]), name
+            assert resumed[name] == expected[name], name
 
 
 class TestProcessBackendLifecycle:
@@ -140,9 +132,7 @@ class TestProcessBackendLifecycle:
         with service:
             service.ingest(stream)
             service.drain()
-            expected = {
-                (name, *triple) for name in QUERIES for triple in service.result_triples(name)
-            }
+            expected = {(name, *triple) for name in QUERIES for triple in service.result_triples(name)}
             summary = service.summary()
         assert set(seen) == expected
         assert summary["totals"]["shard_tuples"] > 0

@@ -117,7 +117,7 @@ class TestShardEngineServer:
 
     def test_unknown_op_raises_wire_protocol_error(self):
         with pytest.raises(WireProtocolError):
-            self.make_server().execute("MIGRATE", None)
+            self.make_server().execute("REWIND", None)
 
     def test_bootstrap_replays_into_equivalent_server(self):
         server = self.make_server()

@@ -1,0 +1,403 @@
+"""Live query migration between shards and load-aware rebalancing.
+
+The acceptance property of the migration mechanism: a run with live
+migrations mid-stream produces *exactly* the result-event sequence of a
+run that never migrated — order and content, deletions included — on both
+worker backends.  On top of that, the failure paths (dead target, unknown
+query, unshippable semantics, reentrant route changes) and the policy
+layer (`manual` / `load_aware`) are covered here.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro import (
+    ConfigError,
+    RuntimeStateError,
+    ShardWorkerError,
+    StreamingRPQEngine,
+    WindowSpec,
+    sgt,
+)
+from repro.datasets.synthetic import UniformStreamGenerator
+from repro.graph.stream import with_deletions
+from repro.regex.analysis import analyze
+from repro.runtime import (
+    BACKENDS,
+    LoadAwarePolicy,
+    ManualPolicy,
+    RuntimeConfig,
+    ShardLoad,
+    StreamingQueryService,
+    make_rebalance_policy,
+)
+from repro.runtime.merger import merge_result_events
+
+QUERIES = {
+    "chains-a": "a+",
+    "alternate": "(a b)+",
+    "c-then-b": "c b*",
+    "pair": "b c",
+}
+
+WINDOW = WindowSpec(size=40, slide=4)
+
+
+def synthetic_stream(num_edges: int, deletion_ratio: float = 0.1, seed: int = 11):
+    generator = UniformStreamGenerator(
+        num_vertices=80, labels=("a", "b", "c", "noise"), edges_per_timestamp=5, seed=seed
+    )
+    stream = list(generator.generate(num_edges))
+    if deletion_ratio > 0:
+        stream = with_deletions(stream, deletion_ratio, seed=seed)
+    return stream
+
+
+def engine_events(stream, queries=QUERIES, window=WINDOW):
+    """Per-query full event streams (order and sign included) of the engine."""
+    engine = StreamingRPQEngine(window)
+    for name, expression in queries.items():
+        engine.register(name, expression)
+    engine.process_stream(stream)
+    return {
+        name: [(e.source, e.target, e.timestamp, e.positive) for e in engine.query(name).results.events]
+        for name in queries
+    }
+
+
+def full_events(service, queries=QUERIES):
+    return {
+        name: [(e.source, e.target, e.timestamp, e.positive) for e in service.results(name).events]
+        for name in queries
+    }
+
+
+class TestMigrationParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_two_live_migrations_bit_identical_on_10k_tuples(self, backend):
+        """Acceptance: two mid-stream migrations leave the result stream untouched."""
+        stream = synthetic_stream(10_000, deletion_ratio=0.1)
+        assert len(stream) > 10_000  # insertions plus injected deletions
+        expected = engine_events(stream)
+
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=4, batch_size=64, backend=backend))
+        for name, expression in QUERIES.items():
+            service.register(name, expression)
+        third = len(stream) // 3
+        with service:
+            service.ingest(stream[:third])
+            first = service.migrate("chains-a", (service.router.shard_of("chains-a") + 1) % 4)
+            service.ingest(stream[third : 2 * third])
+            second = service.migrate("alternate", (service.router.shard_of("alternate") + 2) % 4)
+            service.ingest(stream[2 * third :])
+            service.drain()
+            got = full_events(service)
+            assignments = service.router.assignments()
+        assert got == expected
+        assert any(expected.values())  # the comparison is not vacuous
+        assert assignments["chains-a"] == first
+        assert assignments["alternate"] == second
+        assert [m["query"] for m in service.migrations] == ["chains-a", "alternate"]
+
+    def test_global_merged_stream_identical_after_migration(self):
+        stream = synthetic_stream(3_000, deletion_ratio=0.15, seed=23)
+        engine = StreamingRPQEngine(WINDOW)
+        for name, expression in QUERIES.items():
+            engine.register(name, expression)
+        engine.process_stream(stream)
+        expected = list(merge_result_events({name: engine.query(name).results.events for name in QUERIES}))
+
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=3, batch_size=32))
+        for name, expression in QUERIES.items():
+            service.register(name, expression)
+        with service:
+            service.ingest(stream[: len(stream) // 2])
+            service.migrate("pair", (service.router.shard_of("pair") + 1) % 3)
+            service.ingest(stream[len(stream) // 2 :])
+            service.drain()
+            merged = list(service.global_events())
+        assert merged == expected
+
+    def test_migrate_to_same_shard_is_a_noop(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2))
+        shard = service.register("q", "a+")
+        assert service.migrate("q", shard) == shard
+        assert service.migrations == []
+        assert service.router.epoch == 1  # only the registration bumped it
+
+    def test_migration_works_on_a_stopped_service(self):
+        """Control frames execute inline, so checkpointed services can be re-homed."""
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2))
+        service.register("q", "a+")
+        with service:
+            service.ingest_one(sgt(1, "u", "v", "a"))
+            service.drain()
+        source = service.router.shard_of("q")
+        target = service.migrate("q", 1 - source)
+        assert target == 1 - source
+        assert service.answer_pairs("q") == {("u", "v")}
+
+
+class TestMigrationFailurePaths:
+    def test_unknown_query_raises_keyerror(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2))
+        with pytest.raises(KeyError, match="ghost"):
+            service.migrate("ghost", 1)
+
+    def test_target_shard_out_of_range(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2))
+        service.register("q", "a+")
+        with pytest.raises(ValueError, match="out of range"):
+            service.migrate("q", 7)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_simple_semantics_query_refuses_migration(self, backend):
+        """RSPQ state cannot be shipped: the refusal is clean, not a hang."""
+        service = StreamingQueryService(
+            WindowSpec(size=100, slide=1),
+            RuntimeConfig(shards=2, batch_size=1, backend=backend),
+        )
+        shard = service.register("q", "a+", semantics="simple")
+        with service:
+            service.ingest_one(sgt(1, "u", "v", "a"))
+            service.drain()
+            with pytest.raises(RuntimeStateError, match="cannot migrate"):
+                service.migrate("q", 1 - shard)
+            # the refusal left the query untouched and live on its shard
+            assert service.router.shard_of("q") == shard
+            service.ingest_one(sgt(2, "v", "w", "a"))
+            service.drain()
+            assert service.answer_pairs("q") == {("u", "v"), ("v", "w"), ("u", "w")}
+
+    def test_dead_target_keeps_query_live_on_source(self):
+        """A target worker death surfaces as an error; the query stays put."""
+        service = StreamingQueryService(
+            WindowSpec(size=100, slide=1),
+            RuntimeConfig(shards=2, batch_size=1, backend="multiprocessing", sharding="round_robin"),
+        )
+        source = service.register("q", "a+")
+        assert source == 0
+        target = 1
+        service.start()
+        try:
+            service.ingest_one(sgt(1, "u", "v", "a"))
+            service.drain()
+            os.kill(service.workers[target]._process.pid, signal.SIGKILL)
+            with pytest.raises(ShardWorkerError):
+                service.migrate("q", target)
+            # the query is still owned, routed and served by the source
+            assert service.router.shard_of("q") == source
+            assert service.answer_pairs("q") == {("u", "v")}
+            assert "q" in service.workers[source].summary()
+        finally:
+            with pytest.raises(ShardWorkerError):
+                service.stop()  # the dead shard must not pass as a clean stop
+
+    def test_reentrant_route_change_rolls_the_move_back(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2))
+        source = service.register("q", "a+")
+        target = 1 - source
+        service.start()
+        try:
+            original = service.workers[source].migrate_query
+
+            def sneaky(name):
+                result = original(name)
+                # a reentrant placement change mid-migration (e.g. from a
+                # result callback) invalidates the drain barrier
+                service.router.assign_to("intruder", analyze("z+"), source)
+                return result
+
+            service.workers[source].migrate_query = sneaky
+            with pytest.raises(RuntimeStateError, match="route table changed"):
+                service.migrate("q", target)
+            service.workers[source].migrate_query = original
+            # rolled back: one owner (the source), target engine is clean
+            assert service.router.shard_of("q") == source
+            assert "q" not in service.workers[target].summary()
+            service.ingest_one(sgt(1, "u", "v", "a"))
+            service.drain()
+            assert service.answer_pairs("q") == {("u", "v")}
+        finally:
+            service.stop()
+
+    def test_ingest_during_migration_is_refused(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2))
+        source = service.register("q", "a+")
+        service.start()
+        try:
+            original = service.workers[source].migrate_query
+
+            def feeding(name):
+                service.ingest_one(sgt(1, "u", "v", "a"))
+                return original(name)
+
+            service.workers[source].migrate_query = feeding
+            with pytest.raises(RuntimeStateError, match="is migrating"):
+                service.migrate("q", 1 - source)
+            service.workers[source].migrate_query = original
+        finally:
+            service.stop()
+
+
+class TestRebalancePolicies:
+    def shard(self, shard_id, query_loads=None, pinned=0.0):
+        return ShardLoad(shard_id=shard_id, query_loads=dict(query_loads or {}), pinned_load=pinned)
+
+    def test_manual_never_proposes(self):
+        shards = [self.shard(0, {"hot": 1000.0}), self.shard(1)]
+        assert ManualPolicy().propose(shards) == []
+
+    def test_load_aware_splits_two_hot_queries(self):
+        shards = [self.shard(0, {"hot-1": 500.0, "hot-2": 480.0}), self.shard(1)]
+        plans = LoadAwarePolicy().propose(shards)
+        assert len(plans) == 1
+        assert plans[0].source == 0 and plans[0].target == 1
+        assert plans[0].query in {"hot-1", "hot-2"}
+        assert "load_aware" in plans[0].reason
+
+    def test_load_aware_keeps_balanced_placement(self):
+        shards = [self.shard(0, {"a": 100.0}), self.shard(1, {"b": 90.0})]
+        assert LoadAwarePolicy(imbalance_ratio=1.5).propose(shards) == []
+
+    def test_load_aware_cannot_split_a_single_query(self):
+        """One atomic hot query: moving it only relocates the hot spot."""
+        shards = [self.shard(0, {"whale": 1000.0}), self.shard(1, {"m": 10.0})]
+        assert LoadAwarePolicy().propose(shards) == []
+
+    def test_load_aware_never_proposes_pinned_queries(self):
+        shards = [
+            self.shard(0, {"movable": 50.0}, pinned=900.0),
+            self.shard(1, {"idle": 5.0}),
+        ]
+        plans = LoadAwarePolicy().propose(shards)
+        assert all(plan.query == "movable" for plan in plans)
+
+    def test_load_aware_is_deterministic_on_ties(self):
+        shards = [self.shard(0, {"x": 100.0, "y": 100.0}), self.shard(1)]
+        first = LoadAwarePolicy().propose(shards)
+        second = LoadAwarePolicy().propose(shards)
+        assert first == second
+        assert first[0].query == "x"  # name tie-break
+
+    def test_load_aware_respects_max_moves(self):
+        shards = [
+            self.shard(0, {f"q{i}": 100.0 for i in range(6)}),
+            self.shard(1),
+            self.shard(2),
+        ]
+        plans = LoadAwarePolicy(max_moves=2).propose(shards)
+        assert len(plans) == 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown rebalance policy"):
+            make_rebalance_policy("chaotic")
+
+    def test_policy_instance_passes_through(self):
+        policy = LoadAwarePolicy(imbalance_ratio=2.0)
+        assert make_rebalance_policy(policy) is policy
+
+
+class TestServiceRebalancing:
+    def test_drain_boundary_rebalances_colocated_hot_queries(self):
+        """label_affinity co-locates same-alphabet queries; load_aware splits them."""
+        config = RuntimeConfig(
+            shards=2, batch_size=8, sharding="label_affinity", rebalance_policy="load_aware"
+        )
+        service = StreamingQueryService(WindowSpec(size=50, slide=5), config)
+        service.register("hot-1", "a+")
+        service.register("hot-2", "a a")
+        assert len(set(service.router.assignments().values())) == 1
+        stream = [sgt(t, f"u{t}", f"v{t}", "a") for t in range(1, 500)]
+        engine = StreamingRPQEngine(WindowSpec(size=50, slide=5))
+        engine.register("hot-1", "a+")
+        engine.register("hot-2", "a a")
+        engine.process_stream(stream)
+        with service:
+            service.ingest(stream)
+            service.drain()
+            assignments = service.router.assignments()
+            got = full_events(service, {"hot-1": None, "hot-2": None})
+        assert len(set(assignments.values())) == 2  # split across both shards
+        assert [m["query"] for m in service.migrations]
+        for name in ("hot-1", "hot-2"):
+            expected = [
+                (e.source, e.target, e.timestamp, e.positive)
+                for e in engine.query(name).results.events
+            ]
+            assert got[name] == expected
+
+    def test_interval_rebalances_mid_stream(self):
+        config = RuntimeConfig(
+            shards=2,
+            batch_size=4,
+            sharding="label_affinity",
+            rebalance_policy="load_aware",
+            rebalance_interval=50,
+        )
+        service = StreamingQueryService(WindowSpec(size=50, slide=5), config)
+        service.register("hot-1", "a+")
+        service.register("hot-2", "a a")
+        with service:
+            service.ingest(sgt(t, f"u{t}", f"v{t}", "a") for t in range(1, 200))
+            migrated_before_drain = len(service.migrations)
+            service.drain()
+        assert migrated_before_drain >= 1
+
+    def test_manual_policy_never_auto_migrates(self):
+        config = RuntimeConfig(shards=2, batch_size=8, sharding="label_affinity")
+        service = StreamingQueryService(WindowSpec(size=50, slide=5), config)
+        service.register("hot-1", "a+")
+        service.register("hot-2", "a a")
+        with service:
+            service.ingest(sgt(t, f"u{t}", f"v{t}", "a") for t in range(1, 300))
+            service.drain()
+        assert service.migrations == []
+
+    def test_rebalance_counts_appear_in_summary(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2))
+        service.register("q", "a+")
+        with service:
+            service.ingest_one(sgt(1, "u", "v", "a"))
+            service.migrate("q", 1 - service.router.shard_of("q"), reason="test-move")
+            service.drain()
+            summary = service.summary()
+        assert summary["totals"]["migrations"] == 1
+        assert summary["migrations"][0]["reason"] == "test-move"
+        assert summary["migrations"][0]["query"] == "q"
+
+
+class TestRebalanceConfigValidation:
+    def test_single_shard_rejects_load_aware(self):
+        with pytest.raises(ConfigError, match="shards=1"):
+            RuntimeConfig(shards=1, rebalance_policy="load_aware")
+
+    def test_single_shard_rejects_interval(self):
+        with pytest.raises(ConfigError, match="shards=1"):
+            RuntimeConfig(shards=1, rebalance_policy="load_aware", rebalance_interval=100)
+
+    def test_manual_policy_rejects_interval(self):
+        with pytest.raises(ConfigError, match="load_aware"):
+            RuntimeConfig(shards=2, rebalance_interval=100)
+
+    def test_unknown_policy_lists_choices(self):
+        with pytest.raises(ConfigError, match="manual, load_aware"):
+            RuntimeConfig(shards=2, rebalance_policy="vibes")
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ConfigError, match="rebalance_interval"):
+            RuntimeConfig(shards=2, rebalance_policy="load_aware", rebalance_interval=-1)
+
+    def test_valid_combination_accepted(self):
+        config = RuntimeConfig(shards=2, rebalance_policy="load_aware", rebalance_interval=500)
+        assert config.rebalance_policy == "load_aware"
+        assert RuntimeConfig.from_dict(config.to_dict()) == config
+
+    def test_with_shards_one_fails_fast_for_rebalancing_configs(self):
+        config = RuntimeConfig(shards=4, rebalance_policy="load_aware")
+        with pytest.raises(ConfigError):
+            config.with_shards(1)

@@ -167,9 +167,7 @@ class TestWorker:
 
     @pytest.mark.parametrize("backend", ["threading", "multiprocessing"])
     def test_metrics_and_results_after_processing(self, backend):
-        worker = create_worker(
-            0, WindowSpec(size=10, slide=1), RuntimeConfig(shards=1, backend=backend)
-        )
+        worker = create_worker(0, WindowSpec(size=10, slide=1), RuntimeConfig(shards=1, backend=backend))
         worker.register_query("q", "a+")
         worker.start()
         worker.submit([sgt(1, "u", "v", "a"), sgt(2, "v", "w", "a")])
@@ -179,17 +177,13 @@ class TestWorker:
         assert metrics["tuples"] == 2.0
         assert metrics["batches"] == 1.0
         # post-stop the worker stays inspectable through the same typed API
-        assert worker.fetch_results("q").distinct_pairs == {
-            ("u", "v"), ("v", "w"), ("u", "w"),
-        }
+        assert worker.fetch_results("q").distinct_pairs == {("u", "v"), ("v", "w"), ("u", "w")}
 
     @pytest.mark.parametrize("backend", ["threading", "multiprocessing"])
     def test_failure_is_sticky_and_blocks_restart(self, backend):
         from repro import ShardWorkerError
 
-        worker = create_worker(
-            0, WindowSpec(size=10, slide=1), RuntimeConfig(shards=1, backend=backend)
-        )
+        worker = create_worker(0, WindowSpec(size=10, slide=1), RuntimeConfig(shards=1, backend=backend))
         worker.register_query("q", "a+")
         worker.start()
         # an out-of-order batch makes the engine raise on the worker
@@ -210,3 +204,56 @@ class TestWorker:
         object.__setattr__(config, "backend", "fibers")  # bypass frozen validation
         with pytest.raises(ValueError):
             create_worker(0, WindowSpec(size=10, slide=1), config)
+
+
+class TestRouterEpochAndMove:
+    def router_with(self, *names, shards=3):
+        router = StreamRouter(shards, "round_robin")
+        for name, expression in names:
+            router.assign(name, analyze(expression))
+        return router
+
+    def test_epoch_bumps_on_every_placement_change(self):
+        router = StreamRouter(2)
+        assert router.epoch == 0
+        router.assign("q", analyze("a+"))
+        assert router.epoch == 1
+        router.move("q", 1 - router.shard_of("q"))
+        assert router.epoch == 2
+        router.release("q")
+        assert router.epoch == 3
+
+    def test_move_rehomes_routing(self):
+        router = self.router_with(("qa", "a+"), ("qb", "b+"))
+        source = router.shard_of("qa")
+        target = (source + 1) % 3
+        assert router.move("qa", target) == source
+        assert router.shard_of("qa") == target
+        # tuples with label 'a' now route to the new shard only
+        from repro import sgt as make_tuple
+
+        assert router.route(make_tuple(1, "u", "v", "a")) == (target,)
+        views = {view.shard_id: view for view in router.shards()}
+        assert "qa" in views[target].queries
+        assert "qa" not in views[source].queries
+        assert views[source].label_counts.get("a", 0) == 0
+
+    def test_move_to_current_shard_is_a_noop(self):
+        router = self.router_with(("qa", "a+"))
+        shard = router.shard_of("qa")
+        epoch = router.epoch
+        assert router.move("qa", shard) == shard
+        assert router.epoch == epoch
+
+    def test_move_validates_inputs(self):
+        router = self.router_with(("qa", "a+"))
+        with pytest.raises(KeyError):
+            router.move("ghost", 1)
+        with pytest.raises(ValueError):
+            router.move("qa", 9)
+
+    def test_alphabet_of(self):
+        router = self.router_with(("qa", "a b+"))
+        assert router.alphabet_of("qa") == {"a", "b"}
+        with pytest.raises(KeyError):
+            router.alphabet_of("ghost")

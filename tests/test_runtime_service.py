@@ -104,10 +104,7 @@ class TestEquivalenceWithSingleThreadedEngine:
                     (e.source, e.target, e.timestamp, e.positive)
                     for e in engine.query(name).results.events
                 ]
-                actual = [
-                    (e.source, e.target, e.timestamp, e.positive)
-                    for e in service.results(name).events
-                ]
+                actual = [(e.source, e.target, e.timestamp, e.positive) for e in service.results(name).events]
                 assert actual == expected, name
 
 
@@ -199,9 +196,7 @@ class TestResultsAndMetrics:
         with service:
             service.ingest(stream)
             service.drain()
-            expected = {
-                (name, *triple) for name in QUERIES for triple in service.result_triples(name)
-            }
+            expected = {(name, *triple) for name in QUERIES for triple in service.result_triples(name)}
         assert set(seen) == expected
 
     def test_summary_aggregates_shards_and_queries(self):
@@ -310,9 +305,7 @@ class TestCheckpointRestore:
             service.drain()
             unbroken = {name: service.result_triples(name) for name in QUERIES}
 
-        narrow = StreamingQueryService.load_checkpoint(
-            path, config=RuntimeConfig(shards=2, batch_size=16)
-        )
+        narrow = StreamingQueryService.load_checkpoint(path, config=RuntimeConfig(shards=2, batch_size=16))
         with narrow:
             narrow.ingest(stream[half:])
             narrow.drain()
