@@ -1,0 +1,186 @@
+"""Whale splitting — pinned placement vs intra-query data parallelism.
+
+Not a figure of the paper: this benchmark measures the partitioned-query
+layer of the runtime.  A label-skewed workload (two hot labels carry ~80%
+of the tuples) feeds one *whale* query listening to both hot labels plus
+two small cold-label queries, on four shards:
+
+* **pinned baseline** — query-level sharding only: the whale is a single
+  evaluator, so one shard does almost all the work.  This is exactly the
+  skew `load_aware` rebalancing cannot fix — moving the whale merely
+  relocates the hot spot (PR 3 pinned such queries for that reason);
+* **split** — the whale is registered as four root partitions
+  (``partitions=4``), one per shard: every shard receives the whale's
+  full tuple stream but materializes only the spanning trees whose root
+  it owns, so the dominant tree work runs data-parallel.
+
+Both runs must produce exactly the single-threaded engine's result stream
+(partitioning is transparent), so the benchmark doubles as a correctness
+check on a workload sized beyond the unit tests.
+
+Reported per run: wall-clock throughput, per-shard busy seconds, and the
+*critical path* (the busiest shard's processing seconds).  As in
+``bench_rebalancing.py``, single-core CI boxes make wall clock useless
+(same total work through one core), so the headline number is the modeled
+parallel throughput ``tuples / critical_path`` — hardware-independent.
+Note the speedup is sublinear in the partition count: window-snapshot
+maintenance is duplicated in every partition (each needs the full window
+to extend its trees); only the tree work — the dominant cost on this
+workload — splits.  The JSON record lands in
+``results/BENCH_partitioned_whale.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from repro.core.engine import StreamingRPQEngine
+from repro.datasets.synthetic import UniformStreamGenerator
+from repro.graph.stream import with_deletions
+from repro.graph.window import WindowSpec
+from repro.runtime import RuntimeConfig, StreamingQueryService
+
+#: One whale on the hot labels, two minnows on the cold ones.
+QUERIES = {
+    "whale": "h1 h2*",
+    "cold-1": "c1+",
+    "cold-2": "c2 c1*",
+}
+
+#: ~80% of routed tuples belong to the whale's alphabet.
+LABELS = ("h1", "h2", "c1", "c2")
+LABEL_WEIGHTS = (0.40, 0.40, 0.12, 0.08)
+
+SHARDS = 4
+
+_SCALES = {
+    "tiny": (4_000, 30),
+    "small": (12_000, 60),
+    "medium": (40_000, 120),
+}
+
+#: The modeled-parallel speedup splitting must deliver; asserted with margin.
+_EXPECTED_MIN_SPEEDUP = 1.3
+
+
+def build_workload(scale: str):
+    num_edges, window_size = _SCALES[scale]
+    generator = UniformStreamGenerator(
+        num_vertices=150,
+        labels=LABELS,
+        label_weights=LABEL_WEIGHTS,
+        edges_per_timestamp=8,
+        seed=31,
+    )
+    stream = with_deletions(list(generator.generate(num_edges)), 0.05, seed=31)
+    return stream, WindowSpec(size=window_size, slide=max(1, window_size // 10))
+
+
+def run_engine_baseline(stream, window):
+    engine = StreamingRPQEngine(window)
+    for name, expression in QUERIES.items():
+        engine.register(name, expression)
+    engine.process_stream(stream)
+    return {
+        name: [(e.source, e.target, e.timestamp, e.positive) for e in engine.query(name).results.events]
+        for name in QUERIES
+    }
+
+
+def run_service(stream, window, whale_partitions):
+    config = RuntimeConfig(shards=SHARDS, batch_size=256, sharding="label_affinity")
+    service = StreamingQueryService(window, config)
+    for name, expression in QUERIES.items():
+        service.register(name, expression, partitions=whale_partitions if name == "whale" else 1)
+    started = time.perf_counter()
+    with service:
+        service.ingest(stream)
+        service.drain()
+        elapsed = time.perf_counter() - started
+        summary = service.summary()
+        events = {
+            name: [(e.source, e.target, e.timestamp, e.positive) for e in service.results(name).events]
+            for name in QUERIES
+        }
+    busy = [stats["busy_seconds"] for stats in summary["shards"]]
+    critical_path = max(busy)
+    return {
+        "whale_partitions": whale_partitions,
+        "wall_seconds": elapsed,
+        "throughput_eps": len(stream) / elapsed,
+        "busy_seconds_per_shard": busy,
+        "critical_path_seconds": critical_path,
+        "modeled_parallel_throughput_eps": len(stream) / critical_path,
+        "busy_imbalance": critical_path / max(sum(busy), 1e-9),
+    }, events
+
+
+def partitioned_whale(scale: str):
+    stream, window = build_workload(scale)
+    expected = run_engine_baseline(stream, window)
+    pinned, pinned_events = run_service(stream, window, whale_partitions=1)
+    split, split_events = run_service(stream, window, whale_partitions=SHARDS)
+    assert pinned_events == expected, "pinned baseline diverged from the engine"
+    assert split_events == expected, "partitioned run diverged from the engine (bit-exact merge broken)"
+    return len(stream), pinned, split
+
+
+def render_partitioned_whale(num_tuples, pinned, split) -> str:
+    speedup = split["modeled_parallel_throughput_eps"] / pinned["modeled_parallel_throughput_eps"]
+    lines = [
+        f"Partitioned whale — {num_tuples} tuples, {len(QUERIES)} queries, {SHARDS} shards",
+        f"{'configuration':<22} {'wall s':>8} {'critical s':>11} {'modeled eps':>12} {'imbalance':>10}",
+    ]
+    for name, row in (("pinned whale", pinned), (f"split into {SHARDS}", split)):
+        lines.append(
+            f"{name:<22} {row['wall_seconds']:>8.2f} {row['critical_path_seconds']:>11.2f} "
+            f"{row['modeled_parallel_throughput_eps']:>12,.0f} {row['busy_imbalance']:>9.0%}"
+        )
+    lines.append(f"modeled parallel speedup from splitting the whale: {speedup:.2f}x")
+    return "\n".join(lines)
+
+
+def write_json(path, scale, num_tuples, pinned, split) -> None:
+    """Emit the machine-readable trajectory record (BENCH_partitioned_whale.json)."""
+    record = {
+        "benchmark": "partitioned_whale",
+        "scale": scale,
+        "num_tuples": num_tuples,
+        "queries": dict(QUERIES),
+        "label_weights": dict(zip(LABELS, LABEL_WEIGHTS)),
+        "shards": SHARDS,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "pinned": pinned,
+        "split": split,
+        "modeled_parallel_speedup": (
+            split["modeled_parallel_throughput_eps"] / pinned["modeled_parallel_throughput_eps"]
+        ),
+    }
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_partitioned_whale(benchmark, save_result, results_dir, bench_scale):
+    num_tuples, pinned, split = benchmark.pedantic(
+        partitioned_whale, args=(bench_scale,), rounds=1, iterations=1
+    )
+    save_result("partitioned_whale", render_partitioned_whale(num_tuples, pinned, split))
+    json_path = results_dir / "BENCH_partitioned_whale.json"
+    write_json(json_path, bench_scale, num_tuples, pinned, split)
+    print(f"[saved to {json_path}]")
+
+    # The headline claim: splitting the whale shortens the critical path
+    # (the busiest shard's processing time) — the lever rebalancing alone
+    # cannot pull, since moving the whale only relocates the hot spot.
+    speedup = split["modeled_parallel_throughput_eps"] / pinned["modeled_parallel_throughput_eps"]
+    assert speedup > _EXPECTED_MIN_SPEEDUP, (
+        f"splitting the whale only reached {speedup:.2f}x the pinned placement's "
+        f"modeled parallel throughput; expected > {_EXPECTED_MIN_SPEEDUP}x"
+    )
+    # and the busiest shard no longer carries (almost) everything
+    assert split["busy_imbalance"] < pinned["busy_imbalance"]

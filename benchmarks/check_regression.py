@@ -1,16 +1,17 @@
 """Benchmark regression gate: fresh vs committed benchmark records.
 
-CI re-runs ``bench_runtime_scaling.py`` and ``bench_rebalancing.py`` on
-every push to main and compares the fresh records against the ones
-committed in ``results/``.  Raw throughput numbers are useless across
-machines (a laptop, a 1-core container and a GitHub runner differ by an
-order of magnitude), so every gated number is *hardware-tolerant*: the
-scaling record gates on each configuration's ``speedup_vs_baseline``
-(service throughput relative to the single-threaded engine measured in
-the *same run*), the rebalancing record on ``modeled_parallel_speedup``
-(critical-path ratio of two runs on the same host) — machine speed
-cancels out of both.  A number regresses when it drops by more than
-``--tolerance`` (default 30%) against the committed record.
+CI re-runs ``bench_runtime_scaling.py``, ``bench_rebalancing.py`` and
+``bench_partitioned_whale.py`` on every push to main and compares the
+fresh records against the ones committed in ``results/``.  Raw throughput
+numbers are useless across machines (a laptop, a 1-core container and a
+GitHub runner differ by an order of magnitude), so every gated number is
+*hardware-tolerant*: the scaling record gates on each configuration's
+``speedup_vs_baseline`` (service throughput relative to the
+single-threaded engine measured in the *same run*), the rebalancing and
+partitioned-whale records on ``modeled_parallel_speedup`` (critical-path
+ratio of two runs on the same host) — machine speed cancels out of both.
+A number regresses when it drops by more than ``--tolerance`` (default
+30%) against the committed record.
 
 Runnable locally after a benchmark run::
 
@@ -43,6 +44,7 @@ from pathlib import Path
 
 DEFAULT_RESULT = Path("results") / "BENCH_runtime_scaling.json"
 REBALANCING_RESULT = Path("results") / "BENCH_rebalancing.json"
+PARTITIONED_WHALE_RESULT = Path("results") / "BENCH_partitioned_whale.json"
 
 
 def load_fresh(path: Path) -> dict:
@@ -112,19 +114,20 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     return regressions
 
 
-def compare_rebalancing(repo_root: Path, tolerance: float) -> list[str]:
-    """Gate the rebalancing record's modeled parallel speedup, when present.
+def compare_modeled_speedup(repo_root: Path, tolerance: float, relative: Path, label: str) -> list[str]:
+    """Gate one record's ``modeled_parallel_speedup``, when present.
 
-    Both sides are optional (the benchmark may not have been rerun, or the
-    record may predate this gate) — only a present-and-regressed pair fails.
+    Used for the rebalancing and partitioned-whale records.  Both sides
+    are optional (the benchmark may not have been rerun, or the record may
+    predate this gate) — only a present-and-regressed pair fails.
     """
-    fresh_path = repo_root / REBALANCING_RESULT
+    fresh_path = repo_root / relative
     if not fresh_path.exists():
-        print("no fresh rebalancing record; skipping the rebalancing gate")
+        print(f"no fresh {label} record; skipping the {label} gate")
         return []
-    baseline = load_committed(REBALANCING_RESULT, repo_root)
+    baseline = load_committed(relative, repo_root)
     if baseline is None:
-        print("no committed rebalancing record; skipping the rebalancing gate")
+        print(f"no committed {label} record; skipping the {label} gate")
         return []
     base = baseline.get("modeled_parallel_speedup")
     new = load_fresh(fresh_path).get("modeled_parallel_speedup")
@@ -132,10 +135,10 @@ def compare_rebalancing(repo_root: Path, tolerance: float) -> list[str]:
         return []
     drop = (base - new) / base
     status = "REGRESSED" if drop > tolerance else "ok"
-    print(f"  rebalancing modeled speedup: {base:.2f}x -> {new:.2f}x ({-drop:+.0%} relative) {status}")
+    print(f"  {label} modeled speedup: {base:.2f}x -> {new:.2f}x ({-drop:+.0%} relative) {status}")
     if drop > tolerance:
         return [
-            f"rebalancing modeled parallel speedup fell {drop:.0%} "
+            f"{label} modeled parallel speedup fell {drop:.0%} "
             f"({base:.2f}x -> {new:.2f}x), tolerance is {tolerance:.0%}"
         ]
     return []
@@ -178,7 +181,10 @@ def main(argv: list[str] | None = None) -> int:
         f"(fresh: {fresh.get('python', '?')} / {fresh.get('cpu_count', '?')} cores)"
     )
     regressions = compare(baseline, fresh, args.tolerance)
-    regressions += compare_rebalancing(repo_root, args.tolerance)
+    regressions += compare_modeled_speedup(repo_root, args.tolerance, REBALANCING_RESULT, "rebalancing")
+    regressions += compare_modeled_speedup(
+        repo_root, args.tolerance, PARTITIONED_WHALE_RESULT, "partitioned-whale"
+    )
     if regressions:
         print("\nthroughput regression gate FAILED:")
         for line in regressions:

@@ -11,7 +11,10 @@ Usage (after ``pip install -e .`` or with ``PYTHONPATH=src``)::
     python -m repro serve    --input yago.csv --window 40 --shards 4 \
                              --query "places=isLocatedIn+" --query "deals=dealsWith+" \
                              --rebalance load_aware --checkpoint state.json
+    python -m repro run      --query "isLocatedIn+" --input yago.csv \
+                             --window 40 --shards 4 --partitions 4
     python -m repro migrate  --checkpoint state.json --query places --to-shard 2
+    python -m repro split    --checkpoint state.json --query places --partitions 4
     python -m repro experiment --figure 7
     python -m repro experiment --table 4 --scale tiny
 
@@ -23,8 +26,10 @@ through the sharded runtime with ``--shards N``), ``serve`` runs several
 persistent queries as a :class:`~repro.runtime.StreamingQueryService`
 across shard workers (optionally live-rebalancing hot shards with
 ``--rebalance load_aware``), ``migrate`` re-homes a query inside a service
-checkpoint, and ``experiment`` regenerates one of the paper's tables or
-figures.
+checkpoint, ``split`` breaks a query inside a checkpoint into root
+partitions (intra-query data parallelism — both ``run`` and ``serve``
+also accept ``--partitions K`` to register queries pre-split), and
+``experiment`` regenerates one of the paper's tables or figures.
 """
 
 from __future__ import annotations
@@ -118,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="threading",
         help="worker concurrency backend (with --shards > 1); 'multiprocessing' uses real cores",
     )
+    run_parser.add_argument(
+        "--partitions",
+        type=int,
+        default=1,
+        help="split the query into this many root partitions, one per shard "
+        "(intra-query data parallelism; requires --shards >= partitions and "
+        "arbitrary semantics)",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve", help="run multiple persistent queries as a sharded service over a CSV stream"
@@ -147,6 +160,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--policy", choices=sorted(SHARDING_POLICIES), default="hash", help="query-to-shard placement policy"
+    )
+    serve_parser.add_argument(
+        "--partitions",
+        type=int,
+        default=1,
+        help="register every query split into this many root partitions across "
+        "shards (intra-query data parallelism; requires arbitrary semantics)",
     )
     serve_parser.add_argument(
         "--rebalance",
@@ -180,6 +200,29 @@ def build_parser() -> argparse.ArgumentParser:
     migrate_parser.add_argument("--query", required=True, help="name of the query to move")
     migrate_parser.add_argument("--to-shard", type=int, required=True, help="shard the query should live on")
     migrate_parser.add_argument(
+        "--partition",
+        type=int,
+        default=None,
+        help="for a split query: which root partition to move (whole split queries cannot move as one)",
+    )
+    migrate_parser.add_argument(
+        "--output", default=None, help="write the updated checkpoint here (default: in place)"
+    )
+
+    split_parser = subparsers.add_parser(
+        "split", help="split a query into root partitions inside a service checkpoint"
+    )
+    split_parser.add_argument(
+        "--checkpoint", required=True, help="service checkpoint JSON written by 'serve --checkpoint'"
+    )
+    split_parser.add_argument("--query", required=True, help="name of the query to split")
+    split_parser.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        help="number of root partitions (default: one per shard of the checkpointed service)",
+    )
+    split_parser.add_argument(
         "--output", default=None, help="write the updated checkpoint here (default: in place)"
     )
 
@@ -273,6 +316,7 @@ def _make_runtime_config(args: argparse.Namespace) -> RuntimeConfig:
             queue_depth=getattr(args, "queue_depth", 8),
             backend=getattr(args, "backend", "threading"),
             sharding=getattr(args, "policy", "hash"),
+            partitions=getattr(args, "partitions", 1),
             rebalance_policy=getattr(args, "rebalance", "manual"),
             rebalance_interval=getattr(args, "rebalance_interval", 0),
         )
@@ -284,7 +328,10 @@ def _run_sharded(args: argparse.Namespace, stream, window: WindowSpec) -> int:
     import time
 
     service = StreamingQueryService(window, _make_runtime_config(args))
-    service.register(args.query, args.query, semantics=args.semantics)
+    try:
+        service.register(args.query, args.query, semantics=args.semantics)
+    except ValueError as exc:
+        raise SystemExit(f"cannot register {args.query!r}: {exc}") from None
     started = time.perf_counter()
     try:
         with service:
@@ -305,7 +352,8 @@ def _run_sharded(args: argparse.Namespace, stream, window: WindowSpec) -> int:
     print(f"query            : {args.query}")
     print(f"semantics        : {args.semantics}")
     print(f"window           : |W|={args.window}, beta={args.slide}")
-    print(f"runtime          : {args.shards} shard(s), backend={args.backend}, batch={args.batch_size}")
+    print(f"runtime          : {args.shards} shard(s), backend={args.backend}, "
+          f"batch={args.batch_size}, partitions={args.partitions}")
     print(f"tuples processed : {totals['tuples_ingested']} "
           f"({totals['tuples_dropped_unroutable']} dropped as irrelevant)")
     print(f"distinct results : {len(pairs)} ({len(triples)} result events)")
@@ -346,8 +394,17 @@ def _command_serve(args: argparse.Namespace) -> int:
     window = WindowSpec(size=args.window, slide=args.slide)
     service = StreamingQueryService(window, config)
     for name, expression in queries.items():
-        shard = service.register(name, expression, semantics=args.semantics)
-        print(f"registered {name!r} ({expression}) on shard {shard}")
+        try:
+            shard = service.register(name, expression, semantics=args.semantics)
+        except ValueError as exc:
+            raise SystemExit(f"cannot register {name!r}: {exc}") from None
+        if config.partitions > 1:
+            print(
+                f"registered {name!r} ({expression}) as {config.partitions} root "
+                f"partitions, partition 0 on shard {shard}"
+            )
+        else:
+            print(f"registered {name!r} ({expression}) on shard {shard}")
     started = time.perf_counter()
     try:
         with service:
@@ -381,6 +438,9 @@ def _command_serve(args: argparse.Namespace) -> int:
     for move in summary["migrations"]:
         print(f"  migrated {move['query']!r}: shard {move['source']} -> {move['target']} "
               f"after {move['at_tuples']} tuples ({move['reason']})")
+    for move in summary["splits"]:
+        print(f"  split {move['query']!r}: shard {move['source']} -> {move['partitions']} partitions "
+              f"on shards {move['targets']} after {move['at_tuples']} tuples ({move['reason']})")
     for name, stats in sorted(summary["queries"].items()):
         print(f"  query {name!r}: shard={stats['shard']} results={stats['distinct_results']} "
               f"events={stats['events']} index={stats['index']}")
@@ -406,16 +466,44 @@ def _command_migrate(args: argparse.Namespace) -> int:
         raise SystemExit(f"cannot load checkpoint {args.checkpoint!r}: {exc}") from None
     if args.query not in service:
         raise SystemExit(f"no query named {args.query!r} in the checkpoint; it holds {service.queries()}")
-    source = service.router.shard_of(args.query)
+    label = args.query if args.partition is None else f"{args.query} (partition {args.partition})"
     try:
-        target = service.migrate(args.query, args.to_shard)
+        source = service.shard_of(args.query, partition=args.partition)
+        target = service.migrate(args.query, args.to_shard, partition=args.partition)
     except (KeyError, ValueError, RuntimeStateError) as exc:
         raise SystemExit(f"cannot migrate {args.query!r}: {exc}") from None
     path = service.save_checkpoint(args.output or args.checkpoint)
     if target == source:
-        print(f"query {args.query!r} already lives on shard {source}; checkpoint unchanged")
+        print(f"query {label!r} already lives on shard {source}; checkpoint unchanged")
     else:
-        print(f"migrated {args.query!r}: shard {source} -> {target}")
+        print(f"migrated {label!r}: shard {source} -> {target}")
+    print(f"checkpoint written to {path}")
+    return 0
+
+
+def _command_split(args: argparse.Namespace) -> int:
+    """Offline whale splitting: partition a query inside a service checkpoint.
+
+    The service is assembled from the checkpoint without starting any
+    workers (control frames execute inline), the query's evaluator blob is
+    split by tree root exactly as a live split would, and the updated
+    checkpoint is written back.  Restoring it later runs the query as
+    root-partition evaluators spread over the shards.
+    """
+    from .errors import RuntimeStateError
+
+    try:
+        service = StreamingQueryService.load_checkpoint(args.checkpoint)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load checkpoint {args.checkpoint!r}: {exc}") from None
+    if args.query not in service:
+        raise SystemExit(f"no query named {args.query!r} in the checkpoint; it holds {service.queries()}")
+    try:
+        targets = service.split(args.query, args.partitions)
+    except (KeyError, ValueError, RuntimeStateError) as exc:
+        raise SystemExit(f"cannot split {args.query!r}: {exc}") from None
+    path = service.save_checkpoint(args.output or args.checkpoint)
+    print(f"split {args.query!r} into {len(targets)} root partitions on shards {targets}")
     print(f"checkpoint written to {path}")
     return 0
 
@@ -459,6 +547,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _command_run,
         "serve": _command_serve,
         "migrate": _command_migrate,
+        "split": _command_split,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

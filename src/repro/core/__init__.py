@@ -4,7 +4,9 @@
 * :class:`~repro.core.rspq.RSPQEvaluator` — simple path semantics (§4);
 * :class:`~repro.core.baseline.SnapshotRecomputeBaseline` — per-tuple
   recomputation baseline (§5.6);
-* :class:`~repro.core.engine.StreamingRPQEngine` — multi-query front end.
+* :class:`~repro.core.engine.StreamingRPQEngine` — multi-query front end;
+* :mod:`~repro.core.partition` — root partitioning of one RAPQ evaluator
+  (intra-query data parallelism for the runtime's whale splitting).
 """
 
 from .baseline import SnapshotRecomputeBaseline
@@ -18,6 +20,7 @@ from .checkpoint import (
     save_checkpoint,
 )
 from .engine import RegisteredQuery, StreamingRPQEngine, make_evaluator
+from .partition import RootPartition, partition_checkpoint, root_partition, vertex_sort_key
 from .rapq import RAPQEvaluator
 from .results import ResultEvent, ResultStream
 from .rspq import RSPQEvaluator
@@ -32,6 +35,7 @@ __all__ = [
     "RegisteredQuery",
     "ResultEvent",
     "ResultStream",
+    "RootPartition",
     "SnapshotRecomputeBaseline",
     "SpanningTree",
     "StreamingRPQEngine",
@@ -44,7 +48,10 @@ __all__ = [
     "encode_rapq",
     "load_checkpoint",
     "make_evaluator",
+    "partition_checkpoint",
     "product_graph_edges",
     "restore_rapq",
+    "root_partition",
     "save_checkpoint",
+    "vertex_sort_key",
 ]

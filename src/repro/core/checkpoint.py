@@ -28,6 +28,16 @@ exactly the same order as the original would have, which is what lets the
 runtime migrate a live query between shards without perturbing the global
 result stream.  Format-1 checkpoints (pre-ordering) still load, with
 orders derived instead of reproduced.
+
+Format 2 additionally carries the *partitioning* sections (see
+:mod:`repro.core.partition` and ``docs/CHECKPOINT_FORMAT.md``): an
+``"emission"`` section tagging every result event with the relevant-tuple
+index that produced it, and — for evaluators that are one root partition
+of a split query — a ``"partition"`` section recording ``index``/``count``
+so the restored evaluator keeps admitting exactly its own tree roots.
+Checkpoints that predate these sections still load: emission keys are then
+synthesized as ``1..n`` (strictly increasing, so any later merge preserves
+the recorded history order exactly).
 """
 
 from __future__ import annotations
@@ -136,7 +146,7 @@ def checkpoint_rapq(evaluator: RAPQEvaluator) -> Dict:
         for target, keys in evaluator.snapshot.in_order()
     ]
 
-    return {
+    state = {
         "format": _FORMAT_VERSION,
         "query": str(evaluator.analysis.expression),
         "window": {"size": evaluator.window.size, "slide": evaluator.window.slide},
@@ -149,7 +159,16 @@ def checkpoint_rapq(evaluator: RAPQEvaluator) -> Dict:
         "reverse_index": reverse_index,
         "in_adjacency": in_adjacency,
         "results": events,
+        # Emission keys (one per result event) make the stream mergeable
+        # with sibling root partitions; see repro.core.partition.
+        "emission": {"seq": evaluator.emission_seq, "keys": list(evaluator.emission_keys)},
     }
+    if evaluator.partition is not None:
+        state["partition"] = {
+            "index": evaluator.partition.index,
+            "count": evaluator.partition.count,
+        }
+    return state
 
 
 def restore_rapq(
@@ -185,7 +204,15 @@ def restore_rapq(
         query = expression
 
     window = WindowSpec(size=state["window"]["size"], slide=state["window"]["slide"])
-    evaluator = RAPQEvaluator(query, window, result_semantics=state.get("result_semantics", "implicit"))
+    partition = state.get("partition")
+    if partition is not None:
+        partition = (partition["index"], partition["count"])
+    evaluator = RAPQEvaluator(
+        query,
+        window,
+        result_semantics=state.get("result_semantics", "implicit"),
+        partition=partition,
+    )
 
     for source, target, label, timestamp in state["snapshot"]:
         evaluator.snapshot.insert(source, target, label, timestamp)
@@ -254,6 +281,23 @@ def restore_rapq(
             evaluator.results.report(event["source"], event["target"], event["timestamp"])
         else:
             evaluator.results.invalidate(event["source"], event["target"], event["timestamp"])
+
+    emission = state.get("emission")
+    if emission is not None:
+        keys = list(emission["keys"])
+        if len(keys) != len(state["results"]):
+            raise ValueError(
+                f"corrupt checkpoint: {len(keys)} emission keys for "
+                f"{len(state['results'])} result events"
+            )
+        evaluator._emission_keys = keys
+        evaluator._emission_seq = int(emission["seq"])
+    else:
+        # Pre-emission checkpoint: synthesize strictly increasing keys so
+        # the recorded history order survives any later merge verbatim,
+        # and resume the counter past them.
+        evaluator._emission_keys = list(range(1, len(state["results"]) + 1))
+        evaluator._emission_seq = len(state["results"])
 
     evaluator._current_time = state.get("current_time")
     evaluator._last_expiry_boundary = state.get("last_expiry_boundary")

@@ -38,14 +38,24 @@ def make_evaluator(
     window: WindowSpec,
     semantics: str = "arbitrary",
     max_nodes_per_tree: Optional[int] = None,
+    partition: Optional[Tuple[int, int]] = None,
 ):
     """Build the evaluator implementing ``semantics`` for ``query``.
 
     ``semantics`` is one of ``"arbitrary"`` (Algorithm RAPQ), ``"simple"``
     (Algorithm RSPQ) or ``"baseline"`` (per-tuple snapshot recomputation).
+    ``partition`` optionally makes the evaluator one root partition
+    ``(index, count)`` of a split query — only Algorithm RAPQ's per-root
+    spanning trees partition cleanly, so other semantics reject it.
     """
     if semantics == "arbitrary":
-        return RAPQEvaluator(query, window)
+        return RAPQEvaluator(query, window, partition=partition)
+    if partition is not None:
+        raise ValueError(
+            f"only 'arbitrary' semantics supports root partitioning, got {semantics!r}: "
+            f"its per-root spanning trees are independent, which is what makes the "
+            f"state splittable"
+        )
     if semantics == "simple":
         return RSPQEvaluator(query, window, max_nodes_per_tree=max_nodes_per_tree)
     if semantics == "baseline":
@@ -111,17 +121,24 @@ class StreamingRPQEngine:
         query: Union[str, QueryAnalysis],
         semantics: str = "arbitrary",
         max_nodes_per_tree: Optional[int] = None,
+        partition: Optional[Tuple[int, int]] = None,
     ) -> RegisteredQuery:
         """Register a persistent query under ``name`` and return its handle.
 
+        ``partition=(index, count)`` registers one root partition of a
+        split query (``"arbitrary"`` semantics only); the caller is
+        responsible for registering the sibling partitions — typically on
+        other shards — and for merging their result streams.
+
         Raises:
-            ValueError: if a query with the same name is already registered
-                or the semantics name is unknown.
+            ValueError: if a query with the same name is already registered,
+                the semantics name is unknown, or ``partition`` is combined
+                with semantics other than ``"arbitrary"``.
         """
         if name in self._queries:
             raise ValueError(f"a query named {name!r} is already registered")
         analysis = query if isinstance(query, QueryAnalysis) else analyze(query)
-        evaluator = make_evaluator(analysis, self.window, semantics, max_nodes_per_tree)
+        evaluator = make_evaluator(analysis, self.window, semantics, max_nodes_per_tree, partition)
         registered = RegisteredQuery(name=name, analysis=analysis, semantics=semantics, evaluator=evaluator)
         self._queries[name] = registered
         return registered

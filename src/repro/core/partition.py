@@ -1,0 +1,231 @@
+"""Root partitioning: split one RAPQ evaluator's state by spanning-tree root.
+
+Algorithm RAPQ keeps one spanning tree per *source vertex* (the tree
+root), and every result event of a tree — positive reports and deletion
+invalidations alike — names that root as its ``source``.  Trees never
+interact: each tree's evolution is a deterministic function of the tuple
+stream and the window snapshot alone.  That makes the evaluator's state
+*naturally partitionable by tree root*: give each of ``K`` partitions the
+full window snapshot, let it materialize only the trees whose root it
+owns, and the union of the partitions' result streams equals the
+unpartitioned evaluator's stream.
+
+This module holds the three pieces that partitioning needs:
+
+* :func:`root_partition` — the stable CRC32 ownership function (the same
+  process-stable CRC32 the runtime's ``hash`` sharding policy uses for
+  query placement, so partition layouts are reproducible across processes
+  and checkpoints);
+* :class:`RootPartition` — a validated ``(index, count)`` pair with the
+  ``admits`` filter an evaluator applies at tree-creation time;
+* :func:`partition_checkpoint` — split one order-exact evaluator
+  checkpoint (:func:`repro.core.checkpoint.checkpoint_rapq` format 2)
+  into ``count`` self-contained per-partition checkpoints, the operation
+  behind the runtime's live whale-splitting.
+
+Exact-order merging
+===================
+
+The unpartitioned evaluator emits same-timestamp results in the order it
+visits trees, so recovering its *exact* stream from per-partition streams
+needs two invariants, both provided by :mod:`repro.core`:
+
+1. **canonical tree order** — :class:`~repro.core.tree_index.TreeIndex`
+   iterates trees in :func:`vertex_sort_key` order of their roots, which
+   is independent of how trees are distributed over partitions;
+2. **emission keys** — the evaluator tags every result event with the
+   index of the relevant tuple that produced it (identical across
+   partitions, because relevance is a pure label test).
+
+A k-way merge of the partition streams by ``(emission key,
+vertex_sort_key(event.source))`` then reproduces the unpartitioned stream
+bit-for-bit; :func:`repro.runtime.merger.merge_partition_events`
+implements it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..graph.tuples import Vertex
+
+__all__ = [
+    "root_partition",
+    "vertex_sort_key",
+    "RootPartition",
+    "partition_checkpoint",
+]
+
+
+def root_partition(vertex: Vertex, count: int) -> int:
+    """Return the partition (in ``[0, count)``) owning trees rooted at ``vertex``.
+
+    Uses CRC32 of the vertex's string form rather than :func:`hash` so the
+    assignment is deterministic across processes (``PYTHONHASHSEED``
+    randomizes ``str`` hashing) — the same choice as the runtime's
+    ``hash`` sharding policy, and for the same reason: checkpoints taken
+    in one process must describe the partition layout any other process
+    computes.
+
+    Example:
+        >>> root_partition("alice", 4) == root_partition("alice", 4)
+        True
+        >>> all(0 <= root_partition(v, 3) < 3 for v in ("a", "b", 7))
+        True
+    """
+    if count < 1:
+        raise ValueError(f"partition count must be >= 1, got {count}")
+    return zlib.crc32(str(vertex).encode("utf-8")) % count
+
+
+def vertex_sort_key(vertex: Vertex) -> Tuple[int, str, Union[int, float]]:
+    """A total-order key over vertices, stable across processes and types.
+
+    :class:`~repro.core.tree_index.TreeIndex` iterates spanning trees in
+    this order of their roots, which makes same-timestamp result emission
+    order *canonical*: it depends only on which trees exist, never on
+    tree-creation history or on how trees are spread over partitions.
+    Integer vertices order among themselves numerically, strings
+    lexicographically, and anything else by its ``repr`` — the groups are
+    kept disjoint so mixed-type vertex sets never hit an unorderable
+    comparison.
+    """
+    if isinstance(vertex, str):
+        return (1, vertex, 0)
+    if isinstance(vertex, (int, float)):
+        return (0, "", vertex)
+    return (2, f"{type(vertex).__name__}:{vertex!r}", 0)
+
+
+@dataclass(frozen=True)
+class RootPartition:
+    """One partition of a root-partitioned evaluator: ``index`` of ``count``.
+
+    Attributes:
+        index: this partition's position in ``[0, count)``.
+        count: total number of partitions the query is split into.
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"partition count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ValueError(f"partition index {self.index} out of range [0, {self.count})")
+
+    @classmethod
+    def coerce(cls, value: Union["RootPartition", Tuple[int, int], None]) -> Optional["RootPartition"]:
+        """Build a partition from an ``(index, count)`` pair (or pass through)."""
+        if value is None or isinstance(value, RootPartition):
+            return value
+        index, count = value
+        return cls(index=int(index), count=int(count))
+
+    def admits(self, vertex: Vertex) -> bool:
+        """Whether trees rooted at ``vertex`` belong to this partition."""
+        return root_partition(vertex, self.count) == self.index
+
+    def to_wire(self) -> Tuple[int, int]:
+        """Compact ``(index, count)`` form for protocol frames and checkpoints."""
+        return (self.index, self.count)
+
+    def __str__(self) -> str:
+        return f"p{self.index}/{self.count}"
+
+
+def _zeroed(stats: Dict[str, float]) -> Dict[str, float]:
+    """A stats dict with the same keys and zero values (same int/float types)."""
+    return {key: type(value)(0) for key, value in stats.items()}
+
+
+def partition_checkpoint(state: Dict, count: int) -> List[Dict]:
+    """Split one evaluator checkpoint into ``count`` per-partition checkpoints.
+
+    Every output is a complete, independently restorable
+    :func:`~repro.core.checkpoint.checkpoint_rapq` dict carrying a
+    ``"partition"`` section: partition ``i`` keeps the full window
+    snapshot (any tree can extend through any window edge, so each
+    partition maintains its own snapshot copy), the trees whose root it
+    owns, the reverse-index entries of those trees, and the result events
+    those trees produced — results follow their tree because an event's
+    ``source`` *is* its tree root.  Emission keys are split alongside the
+    events; historical stats stay on partition 0 so aggregating partition
+    stats never double-counts the pre-split history.
+
+    Args:
+        state: an order-exact (format 2) checkpoint of an *unpartitioned*
+            evaluator with implicit result semantics, taken by a build
+            that records emission keys.
+        count: number of partitions to split into (>= 1).
+
+    Raises:
+        ValueError: if the checkpoint is too old (format 1 or missing the
+            emission section), already partitioned, or uses explicit
+            result semantics (expiry-time invalidations are triggered by
+            window movement, which partitions hosted on different shards
+            do not observe identically).
+    """
+    if count < 1:
+        raise ValueError(f"partition count must be >= 1, got {count}")
+    if state.get("format") != 2:
+        raise ValueError(f"only format-2 checkpoints can be partitioned, got format {state.get('format')!r}")
+    if state.get("partition") is not None:
+        raise ValueError("checkpoint is already partitioned; partitions cannot be re-split")
+    if state.get("result_semantics", "implicit") != "implicit":
+        raise ValueError(
+            "only evaluators with 'implicit' result semantics can be partitioned "
+            f"(got {state.get('result_semantics')!r}); explicit expiry invalidations "
+            "depend on window movement each partition observes independently"
+        )
+    emission = state.get("emission")
+    if emission is None:
+        raise ValueError(
+            "checkpoint lacks the 'emission' section (emission keys); it was taken "
+            "by a build that predates partitioned execution and cannot be split exactly"
+        )
+    events = state["results"]
+    keys = emission["keys"]
+    if len(keys) != len(events):
+        raise ValueError(f"corrupt checkpoint: {len(keys)} emission keys for {len(events)} result events")
+
+    # One pass over each collection: bucket by owning partition.
+    part_events: List[List[Dict]] = [[] for _ in range(count)]
+    part_keys: List[List[int]] = [[] for _ in range(count)]
+    for event, key in zip(events, keys):
+        owner = root_partition(event["source"], count)
+        part_events[owner].append(event)
+        part_keys[owner].append(key)
+    part_trees: List[List[Dict]] = [[] for _ in range(count)]
+    for tree in state["trees"]:
+        part_trees[root_partition(tree["root"], count)].append(tree)
+    part_reverse: List[List[List]] = [[] for _ in range(count)]
+    for vertex, roots in state["reverse_index"]:
+        buckets: Dict[int, List] = {}
+        for root in roots:
+            buckets.setdefault(root_partition(root, count), []).append(root)
+        for owner, mine in buckets.items():
+            part_reverse[owner].append([vertex, mine])
+
+    return [
+        {
+            "format": state["format"],
+            "query": state["query"],
+            "window": dict(state["window"]),
+            "result_semantics": state.get("result_semantics", "implicit"),
+            "current_time": state.get("current_time"),
+            "last_expiry_boundary": state.get("last_expiry_boundary"),
+            "stats": dict(state["stats"]) if index == 0 else _zeroed(state["stats"]),
+            "snapshot": state["snapshot"],
+            "trees": part_trees[index],
+            "reverse_index": part_reverse[index],
+            "in_adjacency": state["in_adjacency"],
+            "results": part_events[index],
+            "emission": {"seq": emission["seq"], "keys": part_keys[index]},
+            "partition": {"index": index, "count": count},
+        }
+        for index in range(count)
+    ]

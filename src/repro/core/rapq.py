@@ -32,6 +32,7 @@ from ..graph.snapshot import SnapshotGraph
 from ..graph.tuples import StreamingGraphTuple, Vertex
 from ..graph.window import WindowSpec
 from ..regex.analysis import QueryAnalysis, analyze
+from .partition import RootPartition
 from .results import ResultStream
 from .tree_index import NodeKey, SpanningTree, TreeIndex
 
@@ -58,6 +59,14 @@ class RAPQEvaluator:
     The evaluator is *eager* in evaluation (every tuple is processed on
     arrival) and *lazy* in expiration (expiry runs when a slide boundary is
     crossed), exactly as in §2 of the paper.
+
+    An evaluator may be one *root partition* of a logically single query
+    (intra-query data parallelism): with ``partition=(i, k)`` it maintains
+    the full window snapshot but materializes only the spanning trees
+    whose root :meth:`~repro.core.partition.RootPartition.admits` — fed
+    the same relevant-tuple sequence, ``k`` such evaluators together
+    produce exactly the unpartitioned evaluator's result stream (see
+    :mod:`repro.core.partition` for the merge contract).
     """
 
     def __init__(
@@ -68,6 +77,7 @@ class RAPQEvaluator:
         result_semantics: str = "implicit",
         snapshot: Optional[SnapshotGraph] = None,
         manage_snapshot: bool = True,
+        partition: Optional[RootPartition] = None,
     ) -> None:
         if isinstance(query, QueryAnalysis):
             self.analysis = query
@@ -91,8 +101,26 @@ class RAPQEvaluator:
         # this evaluator only reads it.
         self.snapshot = snapshot if snapshot is not None else SnapshotGraph()
         self.manage_snapshot = manage_snapshot
+        # Root partitioning (intra-query data parallelism): when set, only
+        # trees whose root this partition admits are ever materialized.
+        # Restricted to implicit windows — explicit expiry invalidations
+        # are driven by window movement, which partitions hosted on
+        # different shards do not observe identically.
+        self.partition = RootPartition.coerce(partition)
+        if self.partition is not None and self.result_semantics != "implicit":
+            raise ValueError(
+                "root-partitioned evaluators require 'implicit' result semantics, "
+                f"got {self.result_semantics!r}"
+            )
         self.index = TreeIndex(start_state=self.dfa.start)
         self.results = ResultStream()
+        # Emission keys: each result event is tagged with the index of the
+        # relevant tuple that produced it.  The counter is a pure function
+        # of the relevant-tuple sequence (identical across root
+        # partitions), so merging partition streams by (key, root) is
+        # exact; see repro.core.partition.
+        self._emission_seq = 0
+        self._emission_keys: List[int] = []
         self._current_time: Optional[int] = None
         self._last_expiry_boundary: Optional[int] = None
         # Counters used by the experiment harness.
@@ -134,6 +162,11 @@ class RAPQEvaluator:
         if not self.relevant(tup):
             self.stats["tuples_discarded"] += 1
             return []
+        # The emission counter advances only for relevant tuples: relevance
+        # is a pure label test, so every root partition of this query
+        # counts the same sequence even when co-resident queries make the
+        # hosting shards see different irrelevant traffic.
+        self._emission_seq += 1
         self.stats["tuples_processed"] += 1
         if tup.is_delete:
             self._process_delete(tup)
@@ -153,6 +186,33 @@ class RAPQEvaluator:
     def active_pairs(self) -> Set[Tuple[Vertex, Vertex]]:
         """Pairs reported and not invalidated by explicit deletions."""
         return self.results.active_pairs
+
+    @property
+    def emission_seq(self) -> int:
+        """Number of relevant tuples processed (the emission-key counter)."""
+        return self._emission_seq
+
+    @property
+    def emission_keys(self) -> Tuple[int, ...]:
+        """Per-event emission keys, parallel to ``results.events``.
+
+        Key ``i`` is the value of :attr:`emission_seq` when event ``i``
+        was produced.  Together with the event's ``source`` (its tree
+        root) this is the merge key that reassembles root-partitioned
+        result streams into the exact unpartitioned stream
+        (:func:`repro.runtime.merger.merge_partition_events`).
+        """
+        return tuple(self._emission_keys)
+
+    def _report(self, source: Vertex, target: Vertex, timestamp: int) -> None:
+        """Append a positive result, tagged with the current emission key."""
+        self.results.report(source, target, timestamp)
+        self._emission_keys.append(self._emission_seq)
+
+    def _invalidate(self, source: Vertex, target: Vertex, timestamp: int) -> None:
+        """Append an invalidation, tagged with the current emission key."""
+        self.results.invalidate(source, target, timestamp)
+        self._emission_keys.append(self._emission_seq)
 
     def index_size(self) -> Dict[str, int]:
         """Current size of the Delta index (Figure 5 reports this)."""
@@ -219,8 +279,13 @@ class RAPQEvaluator:
         newly_reported: List[Tuple[Vertex, Vertex]] = []
 
         # A new spanning tree rooted at u is materialized when the edge can
-        # start a path from u, i.e. when delta(s0, l) is defined.
-        if any(source_state == self.dfa.start for source_state, _ in transitions):
+        # start a path from u, i.e. when delta(s0, l) is defined.  This is
+        # the single point where root partitioning bites: a partitioned
+        # evaluator only materializes the trees it owns, and since trees
+        # never interact, everything downstream is untouched.
+        if any(source_state == self.dfa.start for source_state, _ in transitions) and (
+            self.partition is None or self.partition.admits(tup.source)
+        ):
             self.index.get_or_create(tup.source)
 
         if self.use_reverse_index:
@@ -261,7 +326,7 @@ class RAPQEvaluator:
         if getattr(tree, "root_cycle_reported", False):
             return []
         tree.root_cycle_reported = True
-        self.results.report(tree.root_vertex, tree.root_vertex, now)
+        self._report(tree.root_vertex, tree.root_vertex, now)
         return [(tree.root_vertex, tree.root_vertex)]
 
     def _insert(
@@ -314,7 +379,7 @@ class RAPQEvaluator:
                 self.index.register_node(tree, node.vertex)
                 child_vertex, child_state = pending.child
                 if report and child_state in self.dfa.finals:
-                    self.results.report(tree.root_vertex, child_vertex, now)
+                    self._report(tree.root_vertex, child_vertex, now)
                     reported.append((tree.root_vertex, child_vertex))
             child_vertex, child_state = pending.child
             # Extend the traversal with window edges leaving the (new or
@@ -393,7 +458,7 @@ class RAPQEvaluator:
             permanently_removed += 1
             vertex, state = key
             if record_invalidations and state in self.dfa.finals:
-                self.results.invalidate(tree.root_vertex, vertex, now)
+                self._invalidate(tree.root_vertex, vertex, now)
         return permanently_removed
 
     # ------------------------------------------------------------------ #

@@ -18,9 +18,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..graph.tuples import Vertex
+from .partition import vertex_sort_key
 
 __all__ = ["NodeKey", "TreeNode", "SpanningTree", "TreeIndex", "ROOT_TIMESTAMP"]
 
@@ -70,6 +72,10 @@ class SpanningTree:
     def __init__(self, root_vertex: Vertex, start_state: int) -> None:
         self.root_vertex = root_vertex
         self.start_state = start_state
+        # Canonical position of this tree in cross-tree iteration; computed
+        # once (vertex_sort_key is pure) and used by TreeIndex.trees() /
+        # trees_containing() to make result-emission order partition-independent.
+        self.order_key = vertex_sort_key(root_vertex)
         root = TreeNode(vertex=root_vertex, state=start_state, parent=None, timestamp=ROOT_TIMESTAMP)
         self._nodes: Dict[NodeKey, TreeNode] = {root.key: root}
         # How many states each vertex currently occupies in this tree; used to
@@ -264,11 +270,12 @@ class TreeIndex:
     def __init__(self, start_state: int) -> None:
         self._start_state = start_state
         self._trees: Dict[Vertex, SpanningTree] = {}
-        # vertex -> tree roots whose tree contains the vertex.  The roots are
-        # kept as dict keys (an insertion-ordered set): the order trees are
-        # visited per tuple determines the order same-timestamp results are
-        # emitted, so it must be independent of hash seeds and reproducible
-        # by checkpoint/restore for the runtime's live-migration parity.
+        # vertex -> tree roots whose tree contains the vertex, kept as dict
+        # keys (an insertion-ordered set).  Iteration over trees is *not*
+        # this insertion order: trees_containing()/trees() sort by the
+        # canonical root key, so same-timestamp emission order is
+        # independent of hash seeds, of tree-creation history, and of how
+        # trees are distributed over root partitions.
         self._vertex_to_roots: Dict[Vertex, Dict[Vertex, None]] = {}
 
     # ------------------------------------------------------------------ #
@@ -306,19 +313,34 @@ class TreeIndex:
                     del self._vertex_to_roots[node.vertex]
 
     def trees(self) -> Iterator[SpanningTree]:
-        """Iterate over every spanning tree of the index."""
-        return iter(list(self._trees.values()))
+        """Iterate over every spanning tree, in canonical root order.
+
+        Cross-tree iteration order determines the order same-timestamp
+        results are emitted, so it is *canonical* — sorted by
+        :func:`~repro.core.partition.vertex_sort_key` of the root — rather
+        than historical: the order then depends only on which trees exist,
+        which is what lets a root-partitioned evaluator reproduce the
+        unpartitioned emission order exactly (each partition iterates the
+        same canonical subsequence it owns).
+        """
+        return iter(sorted(self._trees.values(), key=attrgetter("order_key")))
 
     def trees_containing(self, vertex: Vertex) -> List[SpanningTree]:
-        """Return the trees that contain ``vertex`` in some state.
+        """Return the trees that contain ``vertex``, in canonical root order.
 
         This is the reverse index that lets the per-tuple loop of Algorithm
-        RAPQ visit only trees that can actually extend with the new edge.
+        RAPQ visit only trees that can actually extend with the new edge;
+        like :meth:`trees` it yields canonical (root-sorted) order so that
+        emission order is independent of tree-creation history and of any
+        root partitioning.
         """
         roots = self._vertex_to_roots.get(vertex)
         if not roots:
             return []
-        return [self._trees[root] for root in list(roots) if root in self._trees]
+        found = [self._trees[root] for root in list(roots) if root in self._trees]
+        if len(found) > 1:
+            found.sort(key=attrgetter("order_key"))
+        return found
 
     # ------------------------------------------------------------------ #
     # Node bookkeeping (keeps the reverse index in sync)
@@ -339,11 +361,12 @@ class TreeIndex:
                 del self._vertex_to_roots[vertex]
 
     def reverse_index(self) -> Dict[Vertex, List[Vertex]]:
-        """The reverse map ``vertex -> tree roots`` in its live iteration order.
+        """The reverse map ``vertex -> tree roots`` in its recorded order.
 
-        Checkpoints record this order so a restored evaluator visits trees in
-        exactly the order the original would have — required for the runtime's
-        bit-identical live-migration guarantee.
+        Checkpoints record this map so a restored evaluator visits exactly
+        the trees the original would have.  The recorded *order* is kept
+        for checkpoint-format stability, but iteration no longer depends
+        on it: :meth:`trees_containing` sorts by the canonical root key.
         """
         return {vertex: list(roots) for vertex, roots in self._vertex_to_roots.items()}
 

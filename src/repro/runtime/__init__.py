@@ -1,4 +1,4 @@
-"""Sharded parallel runtime: multi-worker execution subsystem for persistent RPQs.
+r"""Sharded parallel runtime: multi-worker execution subsystem for persistent RPQs.
 
 The paper's algorithms are single-threaded per-query evaluators; this
 package adds the execution layer that turns them into a scalable service.
@@ -16,16 +16,21 @@ Architecture — four cooperating pieces behind one facade::
   sharding policy.
 * :mod:`~repro.runtime.router` — :class:`StreamRouter` with pluggable
   :class:`ShardingPolicy` (``round_robin``, ``hash``, ``label_affinity``).
-  Parallelism is per *query*: each query lives on exactly one shard, and a
-  tuple is routed to every shard hosting a query whose alphabet contains
-  the tuple's label (others cannot affect any result, §5.2).
+  Parallelism is per *query* by default — each query lives on exactly one
+  shard, and a tuple is routed to every shard hosting a query whose
+  alphabet contains the tuple's label (others cannot affect any result,
+  §5.2) — and optionally *within* a query: one registered with
+  ``partitions=K`` (or split live via
+  :meth:`StreamingQueryService.split`) runs as ``K`` root-partition
+  evaluators on distinct shards, whose streams merge back bit-exactly
+  (:func:`merge_partition_events`).
 * :mod:`~repro.runtime.protocol` — the typed wire protocol between the
   coordinator and its workers: control frames (``REGISTER`` / ``RESTORE``
-  / ``DEREGISTER`` / ``RESULTS`` / ``CHECKPOINT`` / ``SUMMARY`` /
-  ``METRICS`` / ``DRAIN`` / ``STOP``), batch frames and response frames
-  (replies, live result events, failure reports), all with compact
-  tuple-based encodings — no closures or rich objects ever cross a worker
-  boundary.
+  / ``DEREGISTER`` / ``RESULTS`` / ``PRESULTS`` / ``CHECKPOINT`` /
+  ``MIGRATE`` / ``SUMMARY`` / ``METRICS`` / ``DRAIN`` / ``STOP``), batch
+  frames and response frames (replies, live result events, failure
+  reports), all with compact tuple-based encodings — no closures or rich
+  objects ever cross a worker boundary.
 * :mod:`~repro.runtime.worker` — :class:`ShardWorker`: a private
   :class:`~repro.core.engine.StreamingRPQEngine` per shard, fed batches
   from a bounded queue.  One serve loop, two transports:
@@ -34,14 +39,18 @@ Architecture — four cooperating pieces behind one facade::
   backend, true CPU parallelism; shard state ships as serialized frames).
 * :mod:`~repro.runtime.merger` — lazy timestamp-ordered k-way merge of the
   per-query result streams into one global stream (shares the heap merge
-  with :func:`repro.graph.stream.merge_streams`).
+  with :func:`repro.graph.stream.merge_streams`), plus the exact
+  emission-key merge reassembling a partitioned query's streams.
 * :mod:`~repro.runtime.rebalancer` — pluggable :class:`RebalancePolicy`
   (``manual``, ``load_aware``) proposing *live query migrations* between
-  shards from per-label routed-tuple loads.  The mechanism is
-  :meth:`StreamingQueryService.migrate`: drain the source shard, ship the
-  evaluator as an order-exact checkpoint blob (``MIGRATE`` -> ``RESTORE``
-  frames), re-route with an epoch bump — the global result stream of a
-  migrated run is bit-identical to a never-migrated one.
+  shards — and, for whale queries no migration can help, *live splits*
+  (:class:`SplitPlan`) — from per-label routed-tuple loads.  The
+  mechanisms are :meth:`StreamingQueryService.migrate` (drain the source
+  shard, ship the evaluator as an order-exact checkpoint blob,
+  ``MIGRATE`` -> ``RESTORE`` frames, re-route with an epoch bump) and
+  :meth:`StreamingQueryService.split` (extract, partition the blob by
+  tree root, restore each piece on its own shard) — the global result
+  stream of a migrated or split run is bit-identical to an untouched one.
 * :mod:`~repro.runtime.service` — :class:`StreamingQueryService`: lifecycle
   (``start`` / ``ingest`` / ``drain`` / ``stop``, also a context manager),
   dynamic ``register`` / ``deregister`` while running, aggregated
@@ -50,43 +59,57 @@ Architecture — four cooperating pieces behind one facade::
   (:meth:`~service.StreamingQueryService.checkpoint`, reusing
   :mod:`repro.core.checkpoint`).
 
-Because every shard sees its tuples in stream order and evaluates whole
-queries, the service's output is tuple-for-tuple identical to the
-single-threaded engine — verified by ``tests/test_runtime_service.py``.
+Because every shard sees its tuples in stream order — and a partitioned
+query's members each see the query's full stream while owning disjoint
+spanning trees — the service's output is tuple-for-tuple identical to the
+single-threaded engine, verified by ``tests/test_runtime_service.py`` and
+``tests/test_runtime_partition.py``.
 
 Command-line interface::
 
     # evaluate one query through the sharded runtime, on real cores
-    python -m repro run --query "a+" --input stream.csv --window 50 \\
+    python -m repro run --query "a+" --input stream.csv --window 50 \
                         --shards 4 --batch-size 128 --backend multiprocessing
 
     # run a service with several persistent queries across shards
-    python -m repro serve --input stream.csv --window 50 --shards 4 \\
-                          --query "chains=follows+" --query "pings=ping ping*" \\
+    python -m repro serve --input stream.csv --window 50 --shards 4 \
+                          --query "chains=follows+" --query "pings=ping ping*" \
                           --policy label_affinity --checkpoint state.json
 
 ``serve`` flags: repeatable ``--query [name=]expr``, ``--shards``,
 ``--backend`` (worker backend), ``--batch-size``, ``--queue-depth``,
-``--policy`` (sharding policy), ``--semantics``, ``--deletions``,
-``--limit``, ``--checkpoint PATH`` (write a coordinated checkpoint after
-draining), ``--show-results N`` (print the head of the merged global
-result stream).
+``--policy`` (sharding policy), ``--partitions`` (root partitions per
+query), ``--rebalance`` / ``--rebalance-interval`` (live rebalancing),
+``--semantics``, ``--deletions``, ``--limit``, ``--checkpoint PATH``
+(write a coordinated checkpoint after draining), ``--show-results N``
+(print the head of the merged global result stream).
 
-Benchmark: ``benchmarks/bench_runtime_scaling.py`` measures service
-throughput for both backends at shard counts {1, 2, 4} against the
-single-threaded engine and emits machine-readable
-``results/BENCH_runtime_scaling.json``.
+Benchmarks: ``benchmarks/bench_runtime_scaling.py`` (backend × shard
+count vs the single-threaded engine),
+``benchmarks/bench_rebalancing.py`` (live migration vs a skewed
+placement) and ``benchmarks/bench_partitioned_whale.py`` (whale splitting
+vs a pinned placement); each emits a machine-readable
+``results/BENCH_*.json`` record gated by
+``benchmarks/check_regression.py``.
 """
 
 from . import protocol
 from .config import BACKENDS, REBALANCE_POLICIES, SHARDING_POLICIES, RuntimeConfig
-from .merger import TaggedResultEvent, collect_results, merge_result_events, merge_result_streams
+from .merger import (
+    TaggedResultEvent,
+    collect_results,
+    merge_partition_events,
+    merge_result_events,
+    merge_result_streams,
+)
 from .rebalancer import (
     LoadAwarePolicy,
     ManualPolicy,
     MigrationPlan,
+    RebalancePlan,
     RebalancePolicy,
     ShardLoad,
+    SplitPlan,
     make_rebalance_policy,
 )
 from .router import (
@@ -119,6 +142,7 @@ __all__ = [
     "ManualPolicy",
     "MigrationPlan",
     "ProcessShardWorker",
+    "RebalancePlan",
     "RebalancePolicy",
     "RoundRobinPolicy",
     "RuntimeConfig",
@@ -127,6 +151,7 @@ __all__ = [
     "ShardView",
     "ShardWorker",
     "ShardingPolicy",
+    "SplitPlan",
     "StreamRouter",
     "StreamingQueryService",
     "TaggedResultEvent",
@@ -135,6 +160,7 @@ __all__ = [
     "create_worker",
     "make_policy",
     "make_rebalance_policy",
+    "merge_partition_events",
     "merge_result_events",
     "merge_result_streams",
     "protocol",

@@ -52,6 +52,14 @@ class RuntimeConfig:
         backend: concurrency backend, one of :data:`BACKENDS`.
         sharding: query-placement policy name, one of
             :data:`SHARDING_POLICIES`.
+        partitions: default number of root partitions per registered
+            query (intra-query data parallelism).  ``1`` keeps each query
+            a single evaluator on one shard; ``K > 1`` splits every
+            registration into ``K`` per-root-partition evaluators spread
+            over distinct shards (so it must not exceed ``shards``), each
+            receiving the query's full tuple stream but materializing
+            only its own spanning trees.  Per-query override:
+            ``service.register(..., partitions=K)``.
         rebalance_policy: rebalancing policy name, one of
             :data:`REBALANCE_POLICIES`; non-``"manual"`` policies propose
             live query migrations at drain and interval boundaries.
@@ -70,12 +78,20 @@ class RuntimeConfig:
     queue_depth: int = 8
     backend: str = "threading"
     sharding: str = "hash"
+    partitions: int = 1
     rebalance_policy: str = "manual"
     rebalance_interval: int = 0
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ConfigError(f"shards must be >= 1, got {self.shards}")
+        if self.partitions < 1:
+            raise ConfigError(f"partitions must be >= 1, got {self.partitions}")
+        if self.partitions > self.shards:
+            raise ConfigError(
+                f"partitions ({self.partitions}) cannot exceed shards ({self.shards}): "
+                f"each root partition of a query runs on its own shard"
+            )
         if self.batch_size < 1:
             raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.queue_depth < 1:

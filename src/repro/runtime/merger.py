@@ -15,12 +15,20 @@ ties across streams are broken deterministically by input position.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, NamedTuple
+import heapq
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Sequence, Tuple
 
+from ..core.partition import vertex_sort_key
 from ..core.results import ResultEvent, ResultStream
 from ..graph.stream import merge_by_timestamp
 
-__all__ = ["TaggedResultEvent", "merge_result_events", "merge_result_streams", "collect_results"]
+__all__ = [
+    "TaggedResultEvent",
+    "merge_result_events",
+    "merge_result_streams",
+    "merge_partition_events",
+    "collect_results",
+]
 
 
 class TaggedResultEvent(NamedTuple):
@@ -55,6 +63,46 @@ def merge_result_events(streams: Dict[str, Iterable[ResultEvent]]) -> Iterator[T
 def merge_result_streams(streams: Dict[str, ResultStream]) -> List[TaggedResultEvent]:
     """Materialize the global merged stream of several result streams."""
     return list(merge_result_events({name: stream.events for name, stream in streams.items()}))
+
+
+def merge_partition_events(
+    parts: Sequence[Tuple[Sequence[ResultEvent], Sequence[int]]],
+) -> ResultStream:
+    """Reassemble root-partition result streams into the exact global stream.
+
+    Each input is one partition's ``(events, emission_keys)`` pair as
+    produced by a root-partitioned
+    :class:`~repro.core.rapq.RAPQEvaluator`.  The merge key is
+    ``(emission key, vertex_sort_key(event.source))``: the emission key
+    pins the relevant tuple that produced the event (every partition
+    counts the same relevant-tuple sequence), and the event's ``source``
+    is its spanning-tree root, which the evaluator visits in canonical
+    :func:`~repro.core.partition.vertex_sort_key` order within a tuple.
+    Events with equal keys come from the same tree, hence the same
+    partition, where their relative order is already correct — so the
+    stable k-way merge reproduces the unpartitioned evaluator's stream
+    bit-for-bit (order and content, deletions included).
+
+    Args:
+        parts: per-partition ``(events, keys)`` pairs; ``keys`` must be
+            parallel to ``events``.
+
+    Returns:
+        one :class:`~repro.core.results.ResultStream` with the merged
+        events replayed in order (so distinct/active-pair bookkeeping
+        matches the unpartitioned evaluator's).
+
+    Raises:
+        ValueError: if any partition's key list does not match its events.
+    """
+    keyed: List[List[Tuple[Tuple, ResultEvent]]] = []
+    for events, keys in parts:
+        if len(events) != len(keys):
+            raise ValueError(f"partition stream has {len(events)} events but {len(keys)} emission keys")
+        keyed.append([((key, vertex_sort_key(event.source)), event) for event, key in zip(events, keys)])
+    combined = ResultStream()
+    combined.extend(event for _, event in heapq.merge(*keyed, key=lambda item: item[0]))
+    return combined
 
 
 def collect_results(streams: Iterable[ResultStream]) -> ResultStream:

@@ -29,19 +29,30 @@ Two shapes travel on the request queue:
     ============== ==================================================== ======================
     op             payload                                              reply payload
     ============== ==================================================== ======================
-    ``REGISTER``   ``(name, expression, semantics, max_nodes_per_tree)`` ``None``
+    ``REGISTER``   ``(name, expression, semantics,
+                   max_nodes_per_tree, partition)`` — ``partition`` is
+                   ``None`` or the ``(index, count)`` root partition
+                   this engine-level query implements                   ``None``
     ``RESTORE``    ``(name, semantics, blob)`` — ``blob`` is an
                    :func:`~repro.core.checkpoint.encode_rapq` byte
-                   string (evaluator state, bytes in / bytes out)        ``None``
+                   string (evaluator state, bytes in / bytes out;
+                   partition membership rides inside the blob)          ``None``
     ``DEREGISTER`` ``name``                                             ``None``
     ``RESULTS``    ``name``                                             tuple of event wire
                                                                         forms ``(tau, x, y,
                                                                         positive)``
+    ``PRESULTS``   ``name``                                             ``(events, keys)`` —
+                                                                        the event wire forms
+                                                                        plus the parallel
+                                                                        emission keys needed
+                                                                        to merge partition
+                                                                        streams exactly
     ``CHECKPOINT`` ``name``                                             ``bytes`` (encoded
                                                                         evaluator)
-    ``MIGRATE``    ``name``                                             ``(semantics, blob)``
-                                                                        — the query's
-                                                                        shippable form
+    ``MIGRATE``    ``name``                                             ``(semantics,
+                                                                        partition, blob)`` —
+                                                                        the query's shippable
+                                                                        form
     ``SUMMARY``    ``None``                                             per-query summary dict
     ``METRICS``    ``None``                                             shard counters dict
     ``DRAIN``      ``None``                                             ``None`` (barrier: the
@@ -61,7 +72,13 @@ Two shapes travel on the request queue:
     source, so a mid-flight failure leaves the query live where it was.
     Only ``"arbitrary"``-semantics evaluators are migratable (the same
     serialization restriction that stops a ``multiprocessing`` worker
-    holding RSPQ state from restarting).
+    holding RSPQ state from restarting).  The ``partition`` element of the
+    reply names the root partition the evaluator implements (``None`` for
+    whole queries): live whale-splitting migrates the whole evaluator out,
+    splits the blob with :func:`~repro.core.partition.partition_checkpoint`
+    and restores each piece on its own shard, and ``PRESULTS`` is how the
+    coordinator later fetches each piece's stream *with* the emission keys
+    that make the k-way partition merge exact.
 
     ``STOP`` terminates the worker loop after replying.  When
     ``ship_state`` is true (process transport, whose memory dies with the
@@ -125,6 +142,7 @@ __all__ = [
     "RESTORE",
     "DEREGISTER",
     "RESULTS",
+    "PARTITION_RESULTS",
     "CHECKPOINT",
     "MIGRATE",
     "SUMMARY",
@@ -159,6 +177,7 @@ REGISTER = "REGISTER"
 RESTORE = "RESTORE"
 DEREGISTER = "DEREGISTER"
 RESULTS = "RESULTS"
+PARTITION_RESULTS = "PRESULTS"
 CHECKPOINT = "CHECKPOINT"
 MIGRATE = "MIGRATE"
 SUMMARY = "SUMMARY"
@@ -172,6 +191,7 @@ CONTROL_OPS = (
     RESTORE,
     DEREGISTER,
     RESULTS,
+    PARTITION_RESULTS,
     CHECKPOINT,
     MIGRATE,
     SUMMARY,

@@ -23,17 +23,24 @@ Two policies ship:
   proposes moving the query whose load best narrows the gap.  Queries with
   non-``"arbitrary"`` semantics are pinned (their evaluator state cannot
   be shipped) and count toward their shard's load without being movable.
+  When the imbalance is a *whale* — one query so heavy that no move
+  narrows the gap, it only relocates the hot spot — the policy proposes a
+  :class:`SplitPlan` instead: break the query into root partitions across
+  all shards (:meth:`~repro.runtime.service.StreamingQueryService.split`),
+  the intra-query data parallelism that migration alone cannot provide.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Set, Union
 
 from .config import REBALANCE_POLICIES
 
 __all__ = [
     "MigrationPlan",
+    "SplitPlan",
+    "RebalancePlan",
     "ShardLoad",
     "RebalancePolicy",
     "ManualPolicy",
@@ -55,20 +62,44 @@ class MigrationPlan:
         return f"{self.query}: shard {self.source} -> {self.target} ({self.reason})"
 
 
+@dataclass(frozen=True)
+class SplitPlan:
+    """One proposed whale split: partition a query across ``parts`` shards."""
+
+    query: str
+    source: int
+    parts: int
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.query}: split shard {self.source} into {self.parts} partitions ({self.reason})"
+
+
+#: What a policy may propose: move a query (or one partition of one), or
+#: split a whale.
+RebalancePlan = Union[MigrationPlan, SplitPlan]
+
+
 @dataclass
 class ShardLoad:
     """What a rebalance policy may inspect about one shard.
 
     Attributes:
         shard_id: position of the shard in the worker list.
-        query_loads: estimated load per *migratable* resident query.
+        query_loads: estimated load per *migratable* resident query
+            (partition members of a split query appear individually under
+            their member names, each with its share of the query's load).
         pinned_load: combined load of resident queries that cannot move
             (non-``"arbitrary"`` semantics).
+        splittable: the subset of ``query_loads`` keys eligible for a
+            :class:`SplitPlan` (unpartitioned ``"arbitrary"`` queries on a
+            multi-shard service).
     """
 
     shard_id: int
     query_loads: Dict[str, float] = field(default_factory=dict)
     pinned_load: float = 0.0
+    splittable: Set[str] = field(default_factory=set)
 
     @property
     def total(self) -> float:
@@ -77,13 +108,13 @@ class ShardLoad:
 
 
 class RebalancePolicy:
-    """Strategy proposing query migrations from per-shard load summaries."""
+    """Strategy proposing query moves and splits from per-shard load summaries."""
 
     #: Policy name as accepted by :class:`~repro.runtime.RuntimeConfig`.
     name = "abstract"
 
-    def propose(self, shards: Sequence[ShardLoad]) -> List[MigrationPlan]:
-        """Return the migrations that should be applied, in order."""
+    def propose(self, shards: Sequence[ShardLoad]) -> List[RebalancePlan]:
+        """Return the migrations/splits that should be applied, in order."""
         raise NotImplementedError
 
 
@@ -92,28 +123,48 @@ class ManualPolicy(RebalancePolicy):
 
     name = "manual"
 
-    def propose(self, shards: Sequence[ShardLoad]) -> List[MigrationPlan]:
+    def propose(self, shards: Sequence[ShardLoad]) -> List[RebalancePlan]:
+        """Propose nothing, whatever the loads look like."""
         return []
 
 
 class LoadAwarePolicy(RebalancePolicy):
     """Greedy pairwise balancing of the hottest shard against the coldest.
 
+    While the hottest shard's load exceeds ``imbalance_ratio`` times the
+    coldest shard's, the policy proposes moving the query whose load best
+    narrows the gap.  When no move can narrow it — the hot shard is
+    dominated by a single *whale* at least as heavy as the gap itself, so
+    moving it would only swap which shard is hot — the policy proposes
+    splitting the heaviest splittable query on the hot shard into one root
+    partition per shard instead (at most one split per decision; the next
+    decision sees the post-split loads).
+
     Args:
         imbalance_ratio: rebalancing triggers while the hottest shard's
             load exceeds this multiple of the coldest shard's (a hot shard
             facing an idle one always triggers).
-        max_moves: cap on the number of proposals per :meth:`propose` call;
-            defaults to the number of movable queries.
+        max_moves: cap on the number of migration proposals per
+            :meth:`propose` call; defaults to the number of movable
+            queries.
+        split_whales: whether to propose :class:`SplitPlan` for whales
+            (``True`` by default); with ``False`` the policy reproduces
+            the legacy pin-the-whale behaviour.
     """
 
     name = "load_aware"
 
-    def __init__(self, imbalance_ratio: float = 1.5, max_moves: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        imbalance_ratio: float = 1.5,
+        max_moves: Optional[int] = None,
+        split_whales: bool = True,
+    ) -> None:
         if imbalance_ratio <= 1.0:
             raise ValueError(f"imbalance_ratio must be > 1, got {imbalance_ratio}")
         self.imbalance_ratio = imbalance_ratio
         self.max_moves = max_moves
+        self.split_whales = split_whales
 
     def _imbalanced(self, hot: float, cold: float) -> bool:
         if hot <= 0:
@@ -122,14 +173,17 @@ class LoadAwarePolicy(RebalancePolicy):
             return True
         return hot / cold > self.imbalance_ratio
 
-    def propose(self, shards: Sequence[ShardLoad]) -> List[MigrationPlan]:
+    def propose(self, shards: Sequence[ShardLoad]) -> List[RebalancePlan]:
+        """Greedily narrow hot/cold gaps; split the whale when nothing moves."""
         loads = {view.shard_id: view.total for view in shards}
         movable = {view.shard_id: dict(view.query_loads) for view in shards}
+        splittable = {view.shard_id: set(view.splittable) for view in shards}
         budget = self.max_moves
         if budget is None:
             budget = sum(len(queries) for queries in movable.values())
-        plans: List[MigrationPlan] = []
-        while len(plans) < budget:
+        plans: List[RebalancePlan] = []
+        moves = 0
+        while moves < budget:
             hot = max(loads, key=lambda shard: (loads[shard], -shard))
             cold = min(loads, key=lambda shard: (loads[shard], shard))
             if hot == cold or not self._imbalanced(loads[hot], loads[cold]):
@@ -140,6 +194,29 @@ class LoadAwarePolicy(RebalancePolicy):
             # most.  Ties break by name so proposals are deterministic.
             viable = [(name, load) for name, load in movable[hot].items() if 0 < load < gap]
             if not viable:
+                # Whale: every movable query on the hot shard is at least
+                # as heavy as the gap.  Split the heaviest splittable one
+                # across all shards instead of pinning it.
+                if self.split_whales and len(shards) > 1:
+                    whales = [
+                        (load, name)
+                        for name, load in movable[hot].items()
+                        if load > 0 and name in splittable[hot]
+                    ]
+                    if whales:
+                        load, name = max(whales)
+                        plans.append(
+                            SplitPlan(
+                                query=name,
+                                source=hot,
+                                parts=len(shards),
+                                reason=(
+                                    f"load_aware: whale {name!r} carried {load:.0f} of shard "
+                                    f"{hot}'s {loads[hot]:.0f} vs shard {cold} at "
+                                    f"{loads[cold]:.0f}; no move narrows the gap"
+                                ),
+                            )
+                        )
                 break
             name, load = min(viable, key=lambda entry: (abs(gap - 2 * entry[1]), entry[0]))
             plans.append(
@@ -153,6 +230,7 @@ class LoadAwarePolicy(RebalancePolicy):
                     ),
                 )
             )
+            moves += 1
             loads[hot] -= load
             loads[cold] += load
             del movable[hot][name]

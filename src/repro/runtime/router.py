@@ -84,6 +84,7 @@ class RoundRobinPolicy(ShardingPolicy):
         self._next = 0
 
     def assign(self, query_name, analysis, shards):
+        """Place the query on the next shard in rotation."""
         shard = self._next % len(shards)
         self._next += 1
         return shard
@@ -100,6 +101,7 @@ class HashPolicy(ShardingPolicy):
     name = "hash"
 
     def assign(self, query_name, analysis, shards):
+        """Place the query on the shard its name's CRC32 selects."""
         return zlib.crc32(query_name.encode("utf-8")) % len(shards)
 
 
@@ -115,9 +117,11 @@ class LabelAffinityPolicy(ShardingPolicy):
     name = "label_affinity"
 
     def assign(self, query_name, analysis, shards):
+        """Place the query where its alphabet overlaps resident labels most."""
         alphabet = set(analysis.alphabet)
 
         def score(view: ShardView) -> Tuple[int, int, int]:
+            """Rank shards: most overlap, then least loaded, then lowest id."""
             overlap = len(alphabet & view.labels)
             return (-overlap, view.load, view.shard_id)
 
@@ -152,6 +156,7 @@ class StreamRouter:
 
     @property
     def num_shards(self) -> int:
+        """Number of shards this router places queries onto."""
         return len(self._shards)
 
     @property

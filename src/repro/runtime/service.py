@@ -7,10 +7,14 @@ instances evaluate their resident queries in parallel, and the
 :mod:`~repro.runtime.merger` presents the per-shard outputs as one global
 timestamp-ordered result stream.
 
-Because parallelism is per query and every shard worker owns a private
-engine fed in stream order, the service produces *exactly* the results the
-single-threaded :class:`~repro.core.engine.StreamingRPQEngine` would — the
-runtime changes who does the work, never what is computed.
+Parallelism is per query by default — every query lives on one shard, fed
+in stream order — and optionally *within* a query: a heavy query can be
+registered with ``partitions=K`` (or split live with :meth:`split`) into
+``K`` root-partition evaluators on distinct shards, whose streams the
+coordinator merges back exactly.  Either way the service produces
+*exactly* the results the single-threaded
+:class:`~repro.core.engine.StreamingRPQEngine` would — the runtime changes
+who does the work, never what is computed.
 
 The service never shares Python objects with its workers: every
 interaction (registration, batches, result fetches, checkpoints, metrics)
@@ -28,21 +32,35 @@ from collections import Counter
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
-from ..core.results import ResultStream
+from ..core.partition import partition_checkpoint
+from ..core.results import ResultEvent, ResultStream
 from ..errors import RuntimeStateError
 from ..graph.tuples import StreamingGraphTuple, Vertex
 from ..graph.window import WindowSpec
 from ..regex.analysis import QueryAnalysis, analyze
 from .config import RuntimeConfig
-from .merger import TaggedResultEvent, merge_result_events
-from .rebalancer import MigrationPlan, ShardLoad, make_rebalance_policy
+from .merger import TaggedResultEvent, merge_partition_events, merge_result_events
+from .rebalancer import RebalancePlan, ShardLoad, SplitPlan, make_rebalance_policy
 from .router import StreamRouter
 from .worker import ResultCallback, ShardWorker, create_worker
 
 __all__ = ["StreamingQueryService"]
 
-#: Service checkpoint layout version.
-_SERVICE_FORMAT = 1
+#: Service checkpoint layout version.  Version 2 added per-partition query
+#: entries (one entry per root partition, all sharing the query's name and
+#: carrying a ``"partition"`` section inside their state); version-1
+#: checkpoints still load.
+_SERVICE_FORMAT = 2
+_SUPPORTED_SERVICE_FORMATS = (1, 2)
+
+
+def _member_name(base: str, index: int) -> str:
+    """Internal engine-level name of one root partition of ``base``.
+
+    The ``::`` separator is reserved (``register`` refuses base names
+    containing it), so member names can never collide with user queries.
+    """
+    return f"{base}::p{index}"
 
 
 class StreamingQueryService:
@@ -85,6 +103,13 @@ class StreamingQueryService:
         ]
         self._pending: List[List[StreamingGraphTuple]] = [[] for _ in self.workers]
         self._semantics: Dict[str, str] = {}
+        # Intra-query data parallelism: a partitioned query is represented
+        # by K engine-level "member" evaluators (one root partition each),
+        # routed under reserved internal names.  `_partitions` maps the
+        # user-facing name to its member names in partition order;
+        # `_member_base` is the reverse map.
+        self._partitions: Dict[str, List[str]] = {}
+        self._member_base: Dict[str, str] = {}
         self._running = False
         self._tuples_ingested = 0
         self._tuples_dropped = 0
@@ -96,6 +121,7 @@ class StreamingQueryService:
         self._tuples_since_rebalance = 0
         self._migrating: Optional[str] = None
         self.migrations: List[Dict[str, object]] = []
+        self.splits: List[Dict[str, object]] = []
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -165,43 +191,183 @@ class StreamingQueryService:
         query: Union[str, QueryAnalysis],
         semantics: str = "arbitrary",
         max_nodes_per_tree: Optional[int] = None,
+        partitions: Optional[int] = None,
     ) -> int:
-        """Register a persistent query; returns the shard that owns it.
+        """Register a persistent query; returns the shard of its first evaluator.
 
         Safe while the service is running: the registration is serialized
         with in-flight batches on the owning shard, so the query sees every
         tuple ingested after this call returns.
+
+        With ``partitions=K > 1`` (default: ``config.partitions``) the
+        query is registered as ``K`` root-partition evaluators spread over
+        the ``K`` least-loaded shards — intra-query data parallelism for
+        queries too heavy for one shard.  Each partition receives the
+        query's full tuple stream but materializes only the spanning trees
+        whose root it owns; :meth:`results` merges the partition streams
+        back into the exact single-evaluator stream.  Partitioned
+        registration requires ``"arbitrary"`` semantics and at most one
+        partition per shard; the returned shard is partition 0's.
+
+        Raises:
+            ValueError: the name is taken (or contains the reserved
+                ``::``), the partition count is out of range, or
+                partitioning is combined with non-``"arbitrary"``
+                semantics.
         """
         if name in self._semantics:
             raise ValueError(f"a query named {name!r} is already registered")
+        if "::" in name:
+            raise ValueError(
+                f"query name {name!r} contains '::', which is reserved for "
+                f"partition member names"
+            )
+        count = self.config.partitions if partitions is None else partitions
+        if count < 1:
+            raise ValueError(f"partitions must be >= 1, got {count}")
         analysis = query if isinstance(query, QueryAnalysis) else analyze(query)
-        shard = self.router.assign(name, analysis)
-        # Flush the shard's buffered tuples first: they predate this
-        # registration and must reach the engine before the new query does.
-        self._flush_shard(shard)
+        if count == 1:
+            shard = self.router.assign(name, analysis)
+            # Flush the shard's buffered tuples first: they predate this
+            # registration and must reach the engine before the new query does.
+            self._flush_shard(shard)
+            try:
+                # The expression travels as its rendered string (round-trip
+                # safe) so registration crosses process boundaries; the
+                # worker recompiles.
+                self.workers[shard].register_query(
+                    name, str(analysis.expression), semantics, max_nodes_per_tree
+                )
+            except Exception:
+                self.router.release(name)
+                raise
+            self._semantics[name] = semantics
+            return shard
+        if semantics != "arbitrary":
+            raise ValueError(
+                f"partitioned registration requires 'arbitrary' semantics, got {semantics!r}: "
+                f"only Algorithm RAPQ's per-root spanning trees split cleanly"
+            )
+        if count > len(self.workers):
+            raise ValueError(
+                f"partitions ({count}) cannot exceed shards ({len(self.workers)}): "
+                f"each root partition runs on its own shard"
+            )
+        targets = self._partition_targets(count)
+        members = [_member_name(name, index) for index in range(count)]
+        placed: List[str] = []
+        registered: List[Tuple[str, int]] = []
         try:
-            # The expression travels as its rendered string (round-trip safe)
-            # so registration crosses process boundaries; the worker recompiles.
-            self.workers[shard].register_query(name, str(analysis.expression), semantics, max_nodes_per_tree)
+            for index, (member, shard) in enumerate(zip(members, targets)):
+                self.router.assign_to(member, analysis, shard)
+                placed.append(member)
+                self._flush_shard(shard)
+                self.workers[shard].register_query(
+                    member, str(analysis.expression), "arbitrary", max_nodes_per_tree, (index, count)
+                )
+                registered.append((member, shard))
         except Exception:
-            self.router.release(name)
+            # Roll the partial registration back: the query either exists
+            # whole (all members live) or not at all.
+            for member, shard in registered:
+                try:
+                    self.workers[shard].deregister_query(member)
+                except Exception:
+                    pass
+            for member in placed:
+                try:
+                    self.router.release(member)
+                except Exception:
+                    pass
             raise
-        self._semantics[name] = semantics
-        return shard
+        self._partitions[name] = members
+        for member in members:
+            self._member_base[member] = name
+        self._semantics[name] = "arbitrary"
+        return targets[0]
+
+    def _partition_targets(self, count: int) -> List[int]:
+        """The ``count`` least-loaded shards (by resident queries, then id)."""
+        ranked = sorted(self.router.shards(), key=lambda view: (view.load, view.shard_id))
+        return [view.shard_id for view in ranked[:count]]
 
     def deregister(self, name: str) -> None:
-        """Remove a query (its accumulated results are discarded)."""
-        shard = self.router.shard_of(name)
-        # Flush this shard's buffered tuples first so the removal lands
-        # after everything ingested before it, matching engine semantics.
-        self._flush_shard(shard)
-        self.workers[shard].deregister_query(name)
-        self.router.release(name)
+        """Remove a query (its accumulated results are discarded).
+
+        For a partitioned query every member is removed.  A member whose
+        worker refuses the removal (e.g. a poisoned shard) does not leave
+        the name half-registered: the service-level bookkeeping and
+        routing are torn down for *all* members regardless — so the name
+        is reusable and no later call trips over missing members — and
+        the first worker error is re-raised once teardown is complete
+        (the failed worker keeps its engine-level state until stopped).
+        """
+        members = self._partitions.get(name)
+        if members is None:
+            shard = self.router.shard_of(name)
+            # Flush this shard's buffered tuples first so the removal lands
+            # after everything ingested before it, matching engine semantics.
+            self._flush_shard(shard)
+            self.workers[shard].deregister_query(name)
+            self.router.release(name)
+            del self._semantics[name]
+            return
+        error: Optional[BaseException] = None
+        for member in members:
+            shard = self.router.shard_of(member)
+            try:
+                self._flush_shard(shard)
+                self.workers[shard].deregister_query(member)
+            except BaseException as exc:  # noqa: BLE001 - re-raised after teardown
+                if error is None:
+                    error = exc
+            self.router.release(member)
+            del self._member_base[member]
+        del self._partitions[name]
         del self._semantics[name]
+        if error is not None:
+            raise error
 
     def queries(self) -> List[str]:
-        """Names of all registered queries."""
+        """Names of all registered queries (partitioned ones once, by base name)."""
         return sorted(self._semantics)
+
+    def partitions_of(self, name: str) -> int:
+        """How many root partitions ``name`` is split into (1 = unsplit).
+
+        Raises:
+            KeyError: ``name`` is not a registered query.
+        """
+        if name not in self._semantics:
+            raise KeyError(f"no query named {name!r} is registered")
+        members = self._partitions.get(name)
+        return 1 if members is None else len(members)
+
+    def shard_of(self, name: str, partition: Optional[int] = None) -> int:
+        """The shard hosting ``name`` (or its ``partition``-th root partition).
+
+        Raises:
+            KeyError: ``name`` is not a registered query.
+            ValueError: ``partition`` is out of range, or given for an
+                unpartitioned query.
+            RuntimeStateError: ``name`` is partitioned and no ``partition``
+                was named (its members live on several shards).
+        """
+        members = self._partitions.get(name)
+        if members is None:
+            if name not in self._semantics:
+                raise KeyError(f"no query named {name!r} is registered")
+            if partition is not None:
+                raise ValueError(f"query {name!r} is not partitioned; do not pass partition=")
+            return self.router.shard_of(name)
+        if partition is None:
+            raise RuntimeStateError(
+                f"query {name!r} is split into {len(members)} partitions on "
+                f"several shards; name one with partition=i"
+            )
+        if not 0 <= partition < len(members):
+            raise ValueError(f"partition {partition} out of range [0, {len(members)}) for query {name!r}")
+        return self.router.shard_of(members[partition])
 
     def __contains__(self, name: str) -> bool:
         return name in self._semantics
@@ -210,7 +376,13 @@ class StreamingQueryService:
     # Live migration and rebalancing
     # ------------------------------------------------------------------ #
 
-    def migrate(self, name: str, target_shard: int, reason: str = "manual") -> int:
+    def migrate(
+        self,
+        name: str,
+        target_shard: int,
+        reason: str = "manual",
+        partition: Optional[int] = None,
+    ) -> int:
         """Move a live query to another shard; returns the shard it now lives on.
 
         The move is transparent: the global result stream of a migrated run
@@ -234,20 +406,47 @@ class StreamingQueryService:
         deregister / migrate from a result callback) voids the drain
         guarantee, so the move is rolled back and refused.
 
+        A partitioned query cannot move as a whole — its partitions live on
+        different shards by design — but each partition can: pass
+        ``partition=i`` to move the ``i``-th root partition, with the same
+        bit-identical guarantee (the partition's blob carries its
+        membership, so it keeps admitting exactly its own tree roots on
+        the new shard).
+
         Args:
             name: a registered query.
             target_shard: shard to move it to; moving to its current shard
                 is a no-op.
             reason: free-form tag recorded in the migration history
                 (rebalance policies put their justification here).
+            partition: for a partitioned query, which root partition to
+                move (required); must be ``None`` for unpartitioned ones.
 
         Raises:
             KeyError: ``name`` is not a registered query.
-            ValueError: ``target_shard`` is out of range.
-            RuntimeStateError: the query's semantics cannot migrate, or the
-                route table changed mid-migration.
+            ValueError: ``target_shard`` (or ``partition``) is out of range,
+                or ``partition`` is given for an unpartitioned query.
+            RuntimeStateError: the query's semantics cannot migrate, a whole
+                partitioned query was addressed without ``partition``, or
+                the route table changed mid-migration.
         """
-        source = self.router.shard_of(name)
+        members = self._partitions.get(name)
+        if members is None:
+            if name not in self._semantics:
+                raise KeyError(f"no query named {name!r} is registered")
+            if partition is not None:
+                raise ValueError(f"query {name!r} is not partitioned; do not pass partition=")
+            routed = name
+        else:
+            if partition is None:
+                raise RuntimeStateError(
+                    f"query {name!r} is split into {len(members)} partitions; "
+                    f"migrate one at a time with partition=i"
+                )
+            if not 0 <= partition < len(members):
+                raise ValueError(f"partition {partition} out of range [0, {len(members)}) for query {name!r}")
+            routed = members[partition]
+        source = self.router.shard_of(routed)
         if not 0 <= target_shard < len(self.workers):
             raise ValueError(f"target shard {target_shard} out of range [0, {len(self.workers)})")
         if target_shard == source:
@@ -262,37 +461,38 @@ class StreamingQueryService:
             )
         if self._migrating is not None:
             raise RuntimeStateError(f"cannot migrate {name!r} while query {self._migrating!r} is migrating")
-        self._migrating = name
+        self._migrating = routed
         try:
             self._flush_shard(source)
             self._flush_shard(target_shard)
             epoch = self.router.epoch
             # The worker's reply names the semantics authoritatively (the
             # coordinator check above is just the cheap fast path).
-            semantics, blob = self.workers[source].migrate_query(name)
-            self.workers[target_shard].restore_query(name, blob, semantics)
+            semantics, _, blob = self.workers[source].migrate_query(routed)
+            self.workers[target_shard].restore_query(routed, blob, semantics)
             if self.router.epoch != epoch:
-                self.workers[target_shard].deregister_query(name)
+                self.workers[target_shard].deregister_query(routed)
                 raise RuntimeStateError(
                     f"route table changed while migrating {name!r} (reentrant "
                     f"register/deregister/migrate); the move was rolled back"
                 )
             try:
-                self.workers[source].deregister_query(name)
+                self.workers[source].deregister_query(routed)
             except BaseException:
                 # The source kept the query; take it back off the target so
                 # exactly one shard owns it before the error surfaces.
                 try:
-                    self.workers[target_shard].deregister_query(name)
+                    self.workers[target_shard].deregister_query(routed)
                 except Exception:
                     pass
                 raise
         finally:
             self._migrating = None
-        self.router.move(name, target_shard)
+        self.router.move(routed, target_shard)
         self.migrations.append(
             {
                 "query": name,
+                "partition": partition,
                 "source": source,
                 "target": target_shard,
                 "reason": reason,
@@ -301,40 +501,198 @@ class StreamingQueryService:
         )
         return target_shard
 
-    def rebalance(self) -> List[MigrationPlan]:
+    def split(self, name: str, partitions: Optional[int] = None, reason: str = "manual") -> List[int]:
+        """Split a live query into root partitions across shards ("split the whale").
+
+        The inverse problem of :meth:`migrate`: when one query dominates
+        its shard, moving it whole only relocates the hot spot.  Splitting
+        turns it into ``partitions`` independent evaluators — each owning
+        the spanning trees whose root it
+        :meth:`~repro.core.partition.RootPartition.admits` — hosted on the
+        least-loaded shards, so the query's tree work runs data-parallel.
+        Like migration, the split is transparent: the merged result stream
+        (past and future events) stays bit-identical to the never-split
+        run.
+
+        The choreography mirrors :meth:`migrate`: flush the source and
+        every target shard, extract the evaluator with ``MIGRATE`` (reply
+        barrier = consistent cut), split the order-exact blob with
+        :func:`~repro.core.partition.partition_checkpoint`, ``RESTORE``
+        each piece under a reserved member name, verify the route-table
+        epoch, and only then deregister the original and re-route.  Any
+        failure rolls back to the unsplit query, still live on its shard.
+
+        Args:
+            name: a registered, unpartitioned, ``"arbitrary"``-semantics
+                query.
+            partitions: how many partitions to split into, between 2 and
+                the shard count (default: one per shard).
+            reason: free-form tag recorded in the split history.
+
+        Returns:
+            the shards now hosting the partitions, in partition order.
+
+        Raises:
+            KeyError: ``name`` is not a registered query.
+            ValueError: the partition count is out of range.
+            RuntimeStateError: the service has a single shard, the query is
+                already split (re-splitting is not supported), its
+                semantics cannot ship, a migration is in flight, or the
+                route table changed mid-split.
+        """
+        if name not in self._semantics:
+            raise KeyError(f"no query named {name!r} is registered")
+        if name in self._partitions:
+            raise RuntimeStateError(
+                f"query {name!r} is already split into {len(self._partitions[name])} partitions; "
+                f"re-splitting is not supported (the query stays live as-is)"
+            )
+        if len(self.workers) < 2:
+            raise RuntimeStateError(
+                f"cannot split {name!r} on a single-shard service: there is no "
+                f"second shard to host another partition"
+            )
+        semantics = self._semantics[name]
+        if semantics != "arbitrary":
+            raise RuntimeStateError(
+                f"query {name!r} cannot be split: queries with non-'arbitrary' semantics "
+                f"({semantics!r}) hold evaluator state that cannot be partitioned"
+            )
+        count = len(self.workers) if partitions is None else partitions
+        if not 2 <= count <= len(self.workers):
+            raise ValueError(
+                f"partitions must be between 2 and the shard count "
+                f"({len(self.workers)}), got {count}"
+            )
+        if self._migrating is not None:
+            raise RuntimeStateError(f"cannot split {name!r} while query {self._migrating!r} is migrating")
+        source = self.router.shard_of(name)
+        self._migrating = name
+        try:
+            self._flush_shard(source)
+            targets = self._partition_targets(count)
+            for shard in targets:
+                self._flush_shard(shard)
+            epoch = self.router.epoch
+            _, _, blob = self.workers[source].migrate_query(name)
+            # ValueError here (old format, explicit semantics...) aborts
+            # before anything moved: the query is untouched on its shard.
+            states = partition_checkpoint(json.loads(blob.decode("utf-8")), count)
+            analysis = analyze(states[0]["query"])
+            members = [_member_name(name, index) for index in range(count)]
+            restored: List[Tuple[str, int]] = []
+            try:
+                for member, shard, state in zip(members, targets, states):
+                    piece = json.dumps(state, separators=(",", ":")).encode("utf-8")
+                    self.workers[shard].restore_query(member, piece, "arbitrary")
+                    restored.append((member, shard))
+                if self.router.epoch != epoch:
+                    raise RuntimeStateError(
+                        f"route table changed while splitting {name!r} (reentrant "
+                        f"register/deregister/migrate); the split was rolled back"
+                    )
+                self.workers[source].deregister_query(name)
+            except BaseException:
+                # Unwind the restored pieces; the original never left source.
+                for member, shard in restored:
+                    try:
+                        self.workers[shard].deregister_query(member)
+                    except Exception:
+                        pass
+                raise
+            self.router.release(name)
+            for member, shard in zip(members, targets):
+                self.router.assign_to(member, analysis, shard)
+        finally:
+            self._migrating = None
+        self._partitions[name] = members
+        for member in members:
+            self._member_base[member] = name
+        self.splits.append(
+            {
+                "query": name,
+                "source": source,
+                "targets": list(targets),
+                "partitions": count,
+                "reason": reason,
+                "at_tuples": self._tuples_ingested,
+            }
+        )
+        return list(targets)
+
+    def rebalance(self) -> List[RebalancePlan]:
         """Consult the rebalance policy and apply what it proposes.
 
         Called automatically at drain boundaries (non-``"manual"`` policy)
         and every ``rebalance_interval`` ingested tuples; safe to call
-        manually at any time.  Returns the applied plans.  The per-label
-        load observation window resets at every decision.
+        manually at any time.  Returns the applied plans — migrations of
+        whole queries or single partitions, and whale splits.  The
+        per-label load observation window resets at every decision.
         """
         self._tuples_since_rebalance = 0
         proposals = self._rebalancer.propose(self._shard_loads())
         self._label_loads.clear()
-        applied: List[MigrationPlan] = []
+        applied: List[RebalancePlan] = []
         for plan in proposals:
-            if plan.query not in self._semantics:
-                continue  # raced with a deregister; the plan is stale
-            if self.router.shard_of(plan.query) != plan.source:
-                continue  # already moved (e.g. by an earlier plan's rollback)
-            self.migrate(plan.query, plan.target, reason=plan.reason)
+            if isinstance(plan, SplitPlan):
+                if plan.query not in self._semantics or plan.query in self._partitions:
+                    continue  # raced with a deregister or an earlier split
+                if self.router.shard_of(plan.query) != plan.source:
+                    continue  # already moved; the split decision is stale
+                self.split(plan.query, plan.parts, reason=plan.reason)
+                applied.append(plan)
+                continue
+            base = self._member_base.get(plan.query)
+            if base is None:
+                if plan.query not in self._semantics:
+                    continue  # raced with a deregister; the plan is stale
+                if self.router.shard_of(plan.query) != plan.source:
+                    continue  # already moved (e.g. by an earlier plan's rollback)
+                self.migrate(plan.query, plan.target, reason=plan.reason)
+            else:
+                members = self._partitions.get(base)
+                if members is None or plan.query not in members:
+                    continue  # the base query was deregistered mid-decision
+                if self.router.shard_of(plan.query) != plan.source:
+                    continue
+                self.migrate(base, plan.target, reason=plan.reason, partition=members.index(plan.query))
             applied.append(plan)
         return applied
 
     def _shard_loads(self) -> List[ShardLoad]:
-        """Per-shard load summaries for the rebalance policy."""
+        """Per-shard load summaries for the rebalance policy.
+
+        Partition members appear as individually movable entries under
+        their internal member names, each carrying ``1/count`` of the
+        query's routed-tuple load (the tree work is split about evenly by
+        the root hash).  Unpartitioned ``"arbitrary"`` queries are
+        additionally marked splittable so the policy can propose breaking
+        up a whale instead of pinning it.
+        """
         loads: List[ShardLoad] = []
         for view in self.router.shards():
             query_loads: Dict[str, float] = {}
             pinned = 0.0
+            splittable = set()
             for name in sorted(view.queries):
                 load = float(sum(self._label_loads.get(label, 0) for label in self.router.alphabet_of(name)))
-                if self._semantics[name] == "arbitrary":
+                base = self._member_base.get(name)
+                if base is not None:
+                    query_loads[name] = load / len(self._partitions[base])
+                elif self._semantics[name] == "arbitrary":
                     query_loads[name] = load
+                    if len(self.workers) >= 2:
+                        splittable.add(name)
                 else:
                     pinned += load
-            loads.append(ShardLoad(shard_id=view.shard_id, query_loads=query_loads, pinned_load=pinned))
+            loads.append(
+                ShardLoad(
+                    shard_id=view.shard_id,
+                    query_loads=query_loads,
+                    pinned_load=pinned,
+                    splittable=splittable,
+                )
+            )
         return loads
 
     # ------------------------------------------------------------------ #
@@ -406,9 +764,27 @@ class StreamingQueryService:
         The stream is wire-encoded on the owning shard's worker, serialized
         with in-flight batches, so it is a consistent point-in-time view
         even while the service keeps ingesting.
+
+        For a partitioned query the member shards are flushed and drained
+        first (so every partition reflects the same ingestion prefix),
+        then the per-partition streams — fetched with their emission keys
+        — are k-way merged back into the exact stream the unpartitioned
+        evaluator would have produced.
         """
-        shard = self.router.shard_of(name)
-        return self.workers[shard].fetch_results(name)
+        members = self._partitions.get(name)
+        if members is None:
+            shard = self.router.shard_of(name)
+            return self.workers[shard].fetch_results(name)
+        shards = sorted({self.router.shard_of(member) for member in members})
+        for shard in shards:
+            self._flush_shard(shard)
+        for shard in shards:
+            self.workers[shard].drain()
+        parts = []
+        for member in members:
+            events_wire, keys = self.workers[self.router.shard_of(member)].fetch_partition_results(member)
+            parts.append(([ResultEvent.from_wire(wire) for wire in events_wire], keys))
+        return merge_partition_events(parts)
 
     def answer_pairs(self, name: str) -> Set[Tuple[Vertex, Vertex]]:
         """All distinct pairs reported so far by one query."""
@@ -438,12 +814,21 @@ class StreamingQueryService:
         return metrics
 
     def summary(self) -> Dict[str, object]:
-        """Aggregated service summary: totals, per-shard and per-query stats."""
+        """Aggregated service summary: totals, per-shard and per-query stats.
+
+        Partitioned queries appear once per partition, keyed by the
+        internal member name with a ``"partition_of"`` field naming the
+        user-facing query; the ``"partitioned"`` map lists each split
+        query's member placement.
+        """
         per_query: Dict[str, Dict[str, object]] = {}
         for shard, worker in enumerate(self.workers):
             shard_summary = worker.summary()
             for name, stats in shard_summary.items():
                 stats["shard"] = shard
+                base = self._member_base.get(name)
+                if base is not None:
+                    stats["partition_of"] = base
                 per_query[name] = stats
         shards = self.shard_metrics()
         busy = [stats["busy_seconds"] for stats in shards]
@@ -454,13 +839,20 @@ class StreamingQueryService:
             "busy_seconds_max": max(busy) if busy else 0.0,
             "busy_seconds_total": sum(busy),
             "migrations": len(self.migrations),
+            "splits": len(self.splits),
+        }
+        partitioned = {
+            base: {member: self.router.shard_of(member) for member in members}
+            for base, members in sorted(self._partitions.items())
         }
         return {
             "config": self.config.to_dict(),
             "totals": totals,
             "shards": shards,
             "queries": per_query,
+            "partitioned": partitioned,
             "migrations": [dict(record) for record in self.migrations],
+            "splits": [dict(record) for record in self.splits],
         }
 
     # ------------------------------------------------------------------ #
@@ -487,12 +879,16 @@ class StreamingQueryService:
             self._drain(rebalance=False)
         queries = []
         for name in self.queries():
-            shard = self.router.shard_of(name)
-            # The worker returns the evaluator's encoded byte blob (the form
-            # that ships across process boundaries); decode it back to the
-            # JSON-compatible dict for the service-level checkpoint layout.
-            blob = self.workers[shard].checkpoint_query(name)
-            queries.append({"name": name, "shard": shard, "state": json.loads(blob.decode("utf-8"))})
+            # A partitioned query contributes one entry per member, all
+            # sharing the user-facing name; each member's state carries its
+            # "partition" section, which is how restore() tells them apart.
+            for routed in self._partitions.get(name, [name]):
+                shard = self.router.shard_of(routed)
+                # The worker returns the evaluator's encoded byte blob (the
+                # form that ships across process boundaries); decode it back
+                # to the JSON-compatible dict for the service-level layout.
+                blob = self.workers[shard].checkpoint_query(routed)
+                queries.append({"name": name, "shard": shard, "state": json.loads(blob.decode("utf-8"))})
         return {
             "format": _SERVICE_FORMAT,
             "window": {"size": self.window.size, "slide": self.window.slide},
@@ -518,7 +914,7 @@ class StreamingQueryService:
                 by the sharding policy otherwise.
             on_result: live-result callback for the restored service.
         """
-        if state.get("format") != _SERVICE_FORMAT:
+        if state.get("format") not in _SUPPORTED_SERVICE_FORMATS:
             raise ValueError(f"unsupported service checkpoint format: {state.get('format')!r}")
         window = WindowSpec(size=state["window"]["size"], slide=state["window"]["slide"])
         config = config or RuntimeConfig.from_dict(state["config"])
@@ -529,14 +925,37 @@ class StreamingQueryService:
             # Routing only needs the query's alphabet; the full evaluator
             # state travels to the owning worker as an opaque byte blob.
             analysis = analyze(entry["state"]["query"])
+            partition = entry["state"].get("partition")
+            if partition is None:
+                routed = name
+            else:
+                # One root partition of a split query: restore it under its
+                # reserved member name and rebuild the partition maps.
+                index, count = partition["index"], partition["count"]
+                routed = _member_name(name, index)
+                members = service._partitions.setdefault(name, [None] * count)
+                if len(members) != count or members[index] is not None:
+                    raise ValueError(
+                        f"corrupt service checkpoint: inconsistent partition entries "
+                        f"for query {name!r}"
+                    )
+                members[index] = routed
+                service._member_base[routed] = name
             shard = entry["shard"]
             if 0 <= shard < config.shards:
-                service.router.assign_to(name, analysis, shard)
+                service.router.assign_to(routed, analysis, shard)
             else:
-                shard = service.router.assign(name, analysis)
+                shard = service.router.assign(routed, analysis)
             blob = json.dumps(entry["state"], separators=(",", ":")).encode("utf-8")
-            service.workers[shard].restore_query(name, blob, "arbitrary")
+            service.workers[shard].restore_query(routed, blob, "arbitrary")
             service._semantics[name] = "arbitrary"
+        for name, members in service._partitions.items():
+            missing = [index for index, member in enumerate(members) if member is None]
+            if missing:
+                raise ValueError(
+                    f"corrupt service checkpoint: query {name!r} is missing "
+                    f"partition entries {missing}"
+                )
         return service
 
     def save_checkpoint(self, path: Union[str, Path]) -> Path:

@@ -127,8 +127,8 @@ class ShardEngineServer:
     def execute(self, op: str, payload):
         """Execute one control op and return its reply payload."""
         if op == protocol.REGISTER:
-            name, expression, semantics, max_nodes_per_tree = payload
-            self.engine.register(name, expression, semantics, max_nodes_per_tree)
+            name, expression, semantics, max_nodes_per_tree, partition = payload
+            self.engine.register(name, expression, semantics, max_nodes_per_tree, partition)
             return None
         if op == protocol.RESTORE:
             name, semantics, blob = payload
@@ -139,6 +139,16 @@ class ShardEngineServer:
             return None
         if op == protocol.RESULTS:
             return self.engine.query(payload).results.to_wire()
+        if op == protocol.PARTITION_RESULTS:
+            registered = self.engine.query(payload)
+            keys = getattr(registered.evaluator, "emission_keys", None)
+            if keys is None:
+                raise RuntimeStateError(
+                    f"query {payload!r} on shard {self.shard_id} has no emission keys "
+                    f"({registered.semantics!r} semantics); only RAPQ evaluators "
+                    f"produce partition-mergeable streams"
+                )
+            return (registered.results.to_wire(), tuple(keys))
         if op == protocol.CHECKPOINT:
             return encode_rapq(self.engine.query(payload).evaluator)
         if op == protocol.MIGRATE:
@@ -152,7 +162,9 @@ class ShardEngineServer:
                     f"with non-'arbitrary' semantics ({registered.semantics!r}) hold "
                     f"evaluator state that cannot be shipped between shards"
                 )
-            return (registered.semantics, encode_rapq(registered.evaluator))
+            partition = getattr(registered.evaluator, "partition", None)
+            wire_partition = None if partition is None else partition.to_wire()
+            return (registered.semantics, wire_partition, encode_rapq(registered.evaluator))
         if op == protocol.SUMMARY:
             return self.engine.summary()
         if op == protocol.METRICS:
@@ -197,6 +209,7 @@ class ShardEngineServer:
                             str(registered.analysis.expression),
                             registered.semantics,
                             getattr(registered.evaluator, "max_nodes_per_tree", None),
+                            None,  # partitioned evaluators are arbitrary, shipped via RESTORE
                         ),
                     )
                 )
@@ -379,6 +392,7 @@ class ShardWorker:
 
     @property
     def running(self) -> bool:
+        """Whether the transport is started and still able to serve."""
         return self._requests is not None and self._transport_alive()
 
     @property
@@ -387,6 +401,7 @@ class ShardWorker:
         return self._server.engine
 
     def start(self) -> None:
+        """Create the channels and launch the transport's serve loop."""
         if self.running:
             raise RuntimeStateError(f"shard {self.shard_id} is already running")
         self._check_failure()  # a poisoned shard cannot be restarted
@@ -446,6 +461,7 @@ class ShardWorker:
         self.request(protocol.DRAIN)
 
     def stop(self) -> None:
+        """Terminate the serve loop with ``STOP`` and adopt shipped state."""
         if self.running:
             self._seq += 1
             seq = self._seq
@@ -472,9 +488,10 @@ class ShardWorker:
         expression: str,
         semantics: str = "arbitrary",
         max_nodes_per_tree: Optional[int] = None,
+        partition: Optional[Tuple[int, int]] = None,
     ) -> None:
-        """Register a persistent query on this shard's engine."""
-        self.request(protocol.REGISTER, (name, expression, semantics, max_nodes_per_tree))
+        """Register a persistent query (or one root partition of one)."""
+        self.request(protocol.REGISTER, (name, expression, semantics, max_nodes_per_tree, partition))
 
     def restore_query(self, name: str, blob: bytes, semantics: str = "arbitrary") -> None:
         """Adopt an :func:`~repro.core.checkpoint.encode_rapq` evaluator blob."""
@@ -488,24 +505,35 @@ class ShardWorker:
         """A consistent point-in-time copy of one query's result stream."""
         return ResultStream.from_wire(self.request(protocol.RESULTS, name))
 
+    def fetch_partition_results(self, name: str) -> Tuple[Tuple, Tuple[int, ...]]:
+        """One partition's ``(event wire forms, emission keys)`` pair.
+
+        The keys are what :func:`~repro.runtime.merger.merge_partition_events`
+        needs to reassemble sibling partitions' streams into the exact
+        unpartitioned stream; fetching them with the events (one control
+        frame) keeps the pair consistent under concurrent batches.
+        """
+        events, keys = self.request(protocol.PARTITION_RESULTS, name)
+        return events, keys
+
     def checkpoint_query(self, name: str) -> bytes:
         """Encode one query's evaluator state (bytes out, ships anywhere)."""
         return self.request(protocol.CHECKPOINT, name)
 
-    def migrate_query(self, name: str) -> Tuple[str, bytes]:
-        """Extract one query's shippable form: ``(semantics, blob)``.
+    def migrate_query(self, name: str) -> Tuple[str, Optional[Tuple[int, int]], bytes]:
+        """Extract one query's shippable form: ``(semantics, partition, blob)``.
 
         Unlike ``CHECKPOINT`` (whose non-arbitrary failure is a raw
         ``TypeError`` from deep inside the encoder), ``MIGRATE`` refuses
         unshippable semantics with a typed error, and its reply names the
-        semantics authoritatively — the worker, not the coordinator's
-        bookkeeping, knows what is registered.  The reply barrier drains
-        this shard up to the extraction point; the query stays registered
-        here until the coordinator confirms the blob landed on the target
-        shard and sends ``DEREGISTER``.
+        semantics and root partition authoritatively — the worker, not the
+        coordinator's bookkeeping, knows what is registered.  The reply
+        barrier drains this shard up to the extraction point; the query
+        stays registered here until the coordinator confirms the blob
+        landed on the target shard and sends ``DEREGISTER``.
         """
-        semantics, blob = self.request(protocol.MIGRATE, name)
-        return semantics, blob
+        semantics, partition, blob = self.request(protocol.MIGRATE, name)
+        return semantics, partition, blob
 
     def summary(self) -> Dict[str, Dict[str, object]]:
         """Per-query summary of this shard's engine."""

@@ -299,6 +299,165 @@ class TestMigrateCommand:
             main(["migrate", "--checkpoint", str(tmp_path / "nope.json"), "--query", "q", "--to-shard", "0"])
 
 
+class TestSplitCommand:
+    def make_checkpoint(self, tmp_path, capsys):
+        stream = tmp_path / "yago.csv"
+        main(["generate", "--dataset", "yago", "--edges", "300", "--seed", "3", "--output", str(stream)])
+        checkpoint = tmp_path / "service.json"
+        main(
+            [
+                "serve",
+                "--input",
+                str(stream),
+                "--window",
+                "8",
+                "--shards",
+                "3",
+                "--query",
+                "places=isLocatedIn+",
+                "--checkpoint",
+                str(checkpoint),
+            ]
+        )
+        capsys.readouterr()
+        return checkpoint
+
+    def test_split_rewrites_the_checkpoint(self, tmp_path, capsys):
+        from repro.runtime import StreamingQueryService
+
+        checkpoint = self.make_checkpoint(tmp_path, capsys)
+        before = StreamingQueryService.load_checkpoint(checkpoint)
+        expected = before.results("places").events
+
+        exit_code = main(["split", "--checkpoint", str(checkpoint), "--query", "places"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "3 root partitions" in captured
+
+        after = StreamingQueryService.load_checkpoint(checkpoint)
+        assert after.partitions_of("places") == 3
+        assert after.results("places").events == expected
+
+    def test_split_unknown_query_fails_cleanly(self, tmp_path, capsys):
+        checkpoint = self.make_checkpoint(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="no query named"):
+            main(["split", "--checkpoint", str(checkpoint), "--query", "ghost"])
+
+    def test_split_bad_partition_count_fails_cleanly(self, tmp_path, capsys):
+        checkpoint = self.make_checkpoint(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="between 2 and"):
+            main(["split", "--checkpoint", str(checkpoint), "--query", "places", "--partitions", "9"])
+
+    def test_re_split_fails_cleanly(self, tmp_path, capsys):
+        checkpoint = self.make_checkpoint(tmp_path, capsys)
+        assert main(["split", "--checkpoint", str(checkpoint), "--query", "places"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="already split"):
+            main(["split", "--checkpoint", str(checkpoint), "--query", "places"])
+
+    def test_migrate_of_split_query_needs_partition_flag(self, tmp_path, capsys):
+        checkpoint = self.make_checkpoint(tmp_path, capsys)
+        assert main(["split", "--checkpoint", str(checkpoint), "--query", "places"]) == 0
+        capsys.readouterr()
+        # without --partition: a clean message, not a KeyError traceback
+        with pytest.raises(SystemExit, match="partition"):
+            main(["migrate", "--checkpoint", str(checkpoint), "--query", "places", "--to-shard", "0"])
+
+    def test_migrate_moves_one_partition_of_a_split_query(self, tmp_path, capsys):
+        from repro.runtime import StreamingQueryService
+
+        checkpoint = self.make_checkpoint(tmp_path, capsys)
+        assert main(["split", "--checkpoint", str(checkpoint), "--query", "places"]) == 0
+        before = StreamingQueryService.load_checkpoint(checkpoint)
+        expected = before.results("places").events
+        source = before.shard_of("places", partition=1)
+        target = (source + 1) % 3
+        capsys.readouterr()
+
+        exit_code = main(
+            [
+                "migrate",
+                "--checkpoint",
+                str(checkpoint),
+                "--query",
+                "places",
+                "--partition",
+                "1",
+                "--to-shard",
+                str(target),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert f"shard {source} -> {target}" in captured
+        after = StreamingQueryService.load_checkpoint(checkpoint)
+        assert after.shard_of("places", partition=1) == target
+        assert after.results("places").events == expected
+
+
+class TestPartitionedRun:
+    def test_run_with_partitions_matches_single_threaded(self, tmp_path, capsys):
+        stream = tmp_path / "yago.csv"
+        main(["generate", "--dataset", "yago", "--edges", "400", "--seed", "5", "--output", str(stream)])
+        capsys.readouterr()
+        base = ["run", "--query", "isLocatedIn+", "--input", str(stream), "--window", "12"]
+        assert main(base) == 0
+        single = capsys.readouterr().out
+        assert main(base + ["--shards", "3", "--partitions", "3"]) == 0
+        partitioned = capsys.readouterr().out
+
+        def distinct(text):
+            for line in text.splitlines():
+                if line.startswith("distinct results"):
+                    return line.split(":")[1].split("(")[0].strip()
+            raise AssertionError(f"no distinct results line in {text!r}")
+
+        assert distinct(single) == distinct(partitioned)
+        assert "partitions=3" in partitioned
+
+    def test_run_rejects_partitions_beyond_shards(self, tmp_path):
+        stream = tmp_path / "yago.csv"
+        main(["generate", "--dataset", "yago", "--edges", "50", "--seed", "5", "--output", str(stream)])
+        with pytest.raises(SystemExit, match="cannot exceed shards"):
+            main(
+                [
+                    "run",
+                    "--query",
+                    "isLocatedIn+",
+                    "--input",
+                    str(stream),
+                    "--window",
+                    "12",
+                    "--shards",
+                    "2",
+                    "--partitions",
+                    "3",
+                ]
+            )
+
+    def test_serve_rejects_partitioned_simple_semantics(self, tmp_path):
+        stream = tmp_path / "yago.csv"
+        main(["generate", "--dataset", "yago", "--edges", "50", "--seed", "5", "--output", str(stream)])
+        with pytest.raises(SystemExit, match="arbitrary"):
+            main(
+                [
+                    "serve",
+                    "--input",
+                    str(stream),
+                    "--window",
+                    "12",
+                    "--shards",
+                    "2",
+                    "--partitions",
+                    "2",
+                    "--semantics",
+                    "simple",
+                    "--query",
+                    "q=isLocatedIn isLocatedIn*",
+                ]
+            )
+
+
 class TestExperimentCommand:
     def test_figure7(self, capsys):
         exit_code = main(["experiment", "--figure", "7"])

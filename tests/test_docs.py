@@ -1,0 +1,38 @@
+"""The documentation layer is executable: links resolve, examples run.
+
+Runs ``tools/check_docs.py`` (the same script CI's docs job runs) so a
+broken intra-repo markdown link or a drifted ``>>>`` example in
+README/docs fails the tier-1 suite, not just CI.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CHECKER = REPO_ROOT / "tools" / "check_docs.py"
+
+
+def test_docs_links_resolve_and_examples_run():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    result = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert result.returncode == 0, f"documentation check failed:\n{result.stdout}\n{result.stderr}"
+    assert "documentation check passed" in result.stdout
+
+
+def test_docs_exist_and_are_linked_from_readme():
+    readme = (REPO_ROOT / "README.md").read_text()
+    for doc in ("docs/ARCHITECTURE.md", "docs/CHECKPOINT_FORMAT.md"):
+        assert (REPO_ROOT / doc).exists(), f"{doc} is missing"
+        assert doc in readme, f"README does not link {doc}"

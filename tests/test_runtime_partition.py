@@ -1,0 +1,377 @@
+"""Intra-query data parallelism in the runtime ("split the whale").
+
+The acceptance property: one query split across K root partitions —
+whether registered pre-split or split live mid-stream — reproduces the
+single-threaded engine's result stream *bit-identically* (order and
+content, deletions included) on both worker backends; and every
+whale-splitting failure path fails clean with the query still live.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RuntimeStateError, StreamingRPQEngine, WindowSpec, sgt
+from repro.datasets.synthetic import UniformStreamGenerator
+from repro.graph.stream import with_deletions
+from repro.runtime import (
+    BACKENDS,
+    LoadAwarePolicy,
+    MigrationPlan,
+    RuntimeConfig,
+    ShardLoad,
+    SplitPlan,
+    StreamingQueryService,
+)
+
+WINDOW = WindowSpec(size=40, slide=4)
+QUERY = "a b* a"
+
+
+def synthetic_stream(num_edges, deletion_ratio=0.05, seed=11):
+    generator = UniformStreamGenerator(
+        num_vertices=80, labels=("a", "b", "c"), edges_per_timestamp=5, seed=seed
+    )
+    return with_deletions(list(generator.generate(num_edges)), deletion_ratio, seed=seed)
+
+
+def engine_events(stream, query=QUERY, window=WINDOW):
+    engine = StreamingRPQEngine(window)
+    engine.register("q", query)
+    engine.process_stream(stream)
+    return [(e.source, e.target, e.timestamp, e.positive) for e in engine.query("q").results.events]
+
+
+def service_query_events(service, name="q"):
+    return [(e.source, e.target, e.timestamp, e.positive) for e in service.results(name).events]
+
+
+class TestPartitionedParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_four_partitions_match_engine_on_10k_tuples(self, backend):
+        """The headline acceptance criterion: K=4, 10k tuples, deletions."""
+        stream = synthetic_stream(10_000)
+        expected = engine_events(stream)
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=4, backend=backend))
+        service.register("q", QUERY, partitions=4)
+        with service:
+            service.ingest(stream)
+            service.drain()
+            events = service_query_events(service)
+            summary = service.summary()
+        assert events == expected
+        assert summary["partitioned"]["q"] == {f"q::p{i}": i for i in range(4)}
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_live_split_mid_stream_matches_engine(self, backend):
+        stream = synthetic_stream(10_000)
+        expected = engine_events(stream)
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=4, backend=backend))
+        service.register("q", QUERY)
+        with service:
+            half = len(stream) // 2
+            service.ingest(stream[:half])
+            targets = service.split("q", 4)
+            assert sorted(targets) == [0, 1, 2, 3]
+            service.ingest(stream[half:])
+            service.drain()
+            events = service_query_events(service)
+        assert events == expected
+
+    def test_partitioned_query_coexists_with_regular_queries(self):
+        stream = synthetic_stream(4_000)
+        engine = StreamingRPQEngine(WINDOW)
+        engine.register("whale", QUERY)
+        engine.register("small", "c+")
+        engine.process_stream(stream)
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=3))
+        service.register("whale", QUERY, partitions=3)
+        service.register("small", "c+")
+        with service:
+            service.ingest(stream)
+            service.drain()
+            whale = service.results("whale").events
+            small = service.results("small").events
+        assert whale == engine.query("whale").results.events
+        assert small == engine.query("small").results.events
+        assert service.partitions_of("whale") == 3
+        assert service.partitions_of("small") == 1
+
+    def test_partition_member_migration_keeps_parity(self):
+        stream = synthetic_stream(6_000)
+        expected = engine_events(stream)
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=4))
+        service.register("q", QUERY, partitions=3)
+        with service:
+            third = len(stream) // 3
+            service.ingest(stream[:third])
+            # move partition 1 to the idle shard, then back
+            idle = [s for s in range(4) if s not in service.summary()["partitioned"]["q"].values()][0]
+            service.migrate("q", idle, partition=1)
+            service.ingest(stream[third : 2 * third])
+            service.migrate("q", 1, partition=1)
+            service.ingest(stream[2 * third :])
+            service.drain()
+            events = service_query_events(service)
+        assert events == expected
+
+    def test_split_then_checkpoint_restore_continues_exactly(self):
+        stream = synthetic_stream(6_000)
+        expected = engine_events(stream)
+        half = len(stream) // 2
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=3))
+        service.register("q", QUERY, partitions=3)
+        with service:
+            service.ingest(stream[:half])
+            service.drain()
+            state = service.checkpoint()
+        restored = StreamingQueryService.restore(state)
+        assert restored.partitions_of("q") == 3
+        with restored:
+            restored.ingest(stream[half:])
+            restored.drain()
+            events = service_query_events(restored)
+        assert events == expected
+
+    def test_deregister_removes_every_member(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=3))
+        service.register("q", QUERY, partitions=3)
+        service.deregister("q")
+        assert service.queries() == []
+        assert all(view.queries == set() for view in service.router.shards())
+
+    def test_deregister_with_a_failing_member_never_wedges_the_name(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=3))
+        service.register("q", QUERY, partitions=3)
+        broken = service.workers[service.shard_of("q", partition=1)]
+        original = broken.deregister_query
+
+        def boom(name):
+            raise RuntimeError("worker refused the removal")
+
+        broken.deregister_query = boom
+        try:
+            with pytest.raises(RuntimeError, match="refused"):
+                service.deregister("q")
+        finally:
+            broken.deregister_query = original
+        # the error surfaced, but the coordinator is fully torn down: the
+        # name is gone, nothing routes to stale members, and later calls
+        # (summary, checkpoint, register) never trip over missing members
+        assert "q" not in service
+        assert all("q" not in member for view in service.router.shards() for member in view.queries)
+        with pytest.raises(KeyError):
+            service.results("q")
+        assert service.checkpoint()["queries"] == []
+        assert service.register("other", QUERY, partitions=2) in range(3)
+
+    def test_shard_of_resolves_partitions(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=3))
+        service.register("q", QUERY, partitions=2)
+        service.register("plain", "c+")
+        assert service.shard_of("plain") == service.router.shard_of("plain")
+        shards = {service.shard_of("q", partition=i) for i in range(2)}
+        assert len(shards) == 2
+        with pytest.raises(RuntimeStateError, match="partition"):
+            service.shard_of("q")
+        with pytest.raises(ValueError, match="not partitioned"):
+            service.shard_of("plain", partition=0)
+        with pytest.raises(KeyError):
+            service.shard_of("ghost")
+
+
+class TestSplitFailurePaths:
+    def ingest_probe(self, service, name="q"):
+        """The query still answers after a refused operation."""
+        with service:
+            service.ingest_one(sgt(1, "u", "v", "a"))
+            service.ingest_one(sgt(2, "v", "w", "a"))
+            service.drain()
+            pairs = service.answer_pairs(name)
+        assert ("u", "w") in pairs or ("u", "v") in pairs
+
+    def test_split_on_single_shard_service_fails_clean(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=1))
+        service.register("q", QUERY)
+        with pytest.raises(RuntimeStateError, match="single-shard"):
+            service.split("q", 2)
+        assert "q" in service
+        self.ingest_probe(service)
+
+    def test_register_partitions_beyond_shards_fails_clean(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2))
+        with pytest.raises(ValueError, match="cannot exceed shards"):
+            service.register("q", QUERY, partitions=3)
+        assert "q" not in service
+        assert all(view.queries == set() for view in service.router.shards())
+
+    def test_split_of_non_arbitrary_query_fails_clean(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2))
+        service.register("q", "a a*", semantics="simple")
+        with pytest.raises(RuntimeStateError, match="simple"):
+            service.split("q", 2)
+        assert "q" in service
+        self.ingest_probe(service)
+
+    def test_register_partitioned_non_arbitrary_fails_clean(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2))
+        with pytest.raises(ValueError, match="arbitrary"):
+            service.register("q", QUERY, semantics="simple", partitions=2)
+        assert "q" not in service
+
+    def test_re_split_during_in_flight_ingestion_fails_clean(self):
+        stream = synthetic_stream(2_000)
+        expected = engine_events(stream)
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=4))
+        service.register("q", QUERY)
+        with service:
+            service.ingest(stream[:500])
+            service.split("q", 2)
+            service.ingest(stream[500:1000])
+            # re-splitting mid-ingestion is refused; the query stays live
+            with pytest.raises(RuntimeStateError, match="already split"):
+                service.split("q", 4)
+            with pytest.raises(RuntimeStateError, match="already split"):
+                service.split("q", 2)
+            service.ingest(stream[1000:])
+            service.drain()
+            events = service_query_events(service)
+        assert events == expected
+
+    def test_split_of_unknown_query_raises_key_error(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2))
+        with pytest.raises(KeyError, match="nope"):
+            service.split("nope", 2)
+
+    def test_split_partition_count_out_of_range(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2))
+        service.register("q", QUERY)
+        for bad in (1, 3):
+            with pytest.raises(ValueError, match="between 2 and"):
+                service.split("q", bad)
+        assert "q" in service
+
+    def test_whole_partitioned_query_cannot_migrate(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2))
+        service.register("q", QUERY, partitions=2)
+        with pytest.raises(RuntimeStateError, match="partition="):
+            service.migrate("q", 1)
+
+    def test_reserved_name_is_refused(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2))
+        with pytest.raises(ValueError, match="reserved"):
+            service.register("a::p0", QUERY)
+
+    def test_failed_member_restore_rolls_the_split_back(self):
+        stream = synthetic_stream(2_000)
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=3))
+        service.register("q", QUERY)
+        source = service.router.shard_of("q")
+        with service:
+            service.ingest(stream[:800])
+            # sabotage one target worker's restore path
+            victims = [w for w in service.workers if w.shard_id != source]
+            broken = victims[-1]
+            original = broken.restore_query
+
+            def boom(name, blob, semantics="arbitrary"):
+                raise RuntimeError("target shard exploded")
+
+            broken.restore_query = boom
+            try:
+                with pytest.raises(RuntimeError, match="exploded"):
+                    service.split("q", 3)
+            finally:
+                broken.restore_query = original
+            # rolled back: still unsplit, still on its shard, still answering
+            assert service.partitions_of("q") == 1
+            assert service.router.shard_of("q") == source
+            service.ingest(stream[800:])
+            service.drain()
+            events = service_query_events(service)
+        assert events == engine_events(stream)
+
+
+class TestWhaleSplittingPolicy:
+    def shard(self, shard_id, query_loads=None, pinned=0.0, splittable=()):
+        return ShardLoad(
+            shard_id=shard_id,
+            query_loads=dict(query_loads or {}),
+            pinned_load=pinned,
+            splittable=set(splittable),
+        )
+
+    def test_whale_triggers_a_split_plan(self):
+        shards = [
+            self.shard(0, {"whale": 1000.0, "minnow": 10.0}, splittable=("whale", "minnow")),
+            self.shard(1, {"small": 50.0}, splittable=("small",)),
+        ]
+        plans = LoadAwarePolicy().propose(shards)
+        assert plans, "a dominating whale must produce a proposal"
+        split = plans[-1]
+        assert isinstance(split, SplitPlan)
+        assert split.query == "whale"
+        assert split.source == 0
+        assert split.parts == 2
+
+    def test_movable_imbalance_still_prefers_migration(self):
+        shards = [
+            self.shard(0, {"a": 300.0, "b": 280.0}, splittable=("a", "b")),
+            self.shard(1, {"c": 50.0}, splittable=("c",)),
+        ]
+        plans = LoadAwarePolicy().propose(shards)
+        assert plans and all(isinstance(plan, MigrationPlan) for plan in plans)
+
+    def test_unsplittable_whale_stays_pinned(self):
+        shards = [
+            self.shard(0, {"whale": 1000.0}),  # not marked splittable
+            self.shard(1, {"small": 50.0}, splittable=("small",)),
+        ]
+        assert LoadAwarePolicy().propose(shards) == []
+
+    def test_split_whales_flag_restores_legacy_behaviour(self):
+        shards = [
+            self.shard(0, {"whale": 1000.0}, splittable=("whale",)),
+            self.shard(1, {"small": 50.0}),
+        ]
+        assert LoadAwarePolicy(split_whales=False).propose(shards) == []
+
+    def test_balanced_shards_propose_nothing(self):
+        shards = [
+            self.shard(0, {"a": 100.0}, splittable=("a",)),
+            self.shard(1, {"b": 90.0}, splittable=("b",)),
+        ]
+        assert LoadAwarePolicy().propose(shards) == []
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_load_aware_service_splits_the_whale_live(self, backend):
+        """End to end: a skewed service splits its whale and stays exact."""
+        stream = synthetic_stream(8_000)
+        expected = engine_events(stream)
+        config = RuntimeConfig(
+            shards=2,
+            backend=backend,
+            rebalance_policy="load_aware",
+            rebalance_interval=1_000,
+        )
+        service = StreamingQueryService(WINDOW, config)
+        service.register("q", QUERY)  # the only (whale) query: nothing to migrate
+        with service:
+            service.ingest(stream)
+            service.drain()
+            events = service_query_events(service)
+            summary = service.summary()
+        assert events == expected
+        assert summary["totals"]["splits"] == 1, "load_aware should have split the whale"
+        assert service.partitions_of("q") == 2
+
+    def test_member_loads_are_split_across_partitions(self):
+        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=2))
+        service.register("q", QUERY, partitions=2)
+        with service:
+            for tup in synthetic_stream(200, deletion_ratio=0.0):
+                service.ingest_one(tup)
+            loads = service._shard_loads()
+        members = {name for load in loads for name in load.query_loads}
+        assert members == {"q::p0", "q::p1"}
+        assert all(not load.splittable for load in loads), "members must not be re-splittable"

@@ -96,7 +96,7 @@ class TestShardEngineServer:
 
     def test_register_process_results(self):
         server = self.make_server()
-        server.execute(protocol.REGISTER, ("q", "a+", "arbitrary", None))
+        server.execute(protocol.REGISTER, ("q", "a+", "arbitrary", None, None))
         events = server.process_batch(
             protocol.encode_batch([sgt(1, "u", "v", "a"), sgt(2, "v", "w", "a")]),
             collect_results=True,
@@ -108,7 +108,7 @@ class TestShardEngineServer:
 
     def test_checkpoint_and_restore_ops(self):
         server = self.make_server()
-        server.execute(protocol.REGISTER, ("q", "a+", "arbitrary", None))
+        server.execute(protocol.REGISTER, ("q", "a+", "arbitrary", None, None))
         server.process_batch(protocol.encode_batch([sgt(1, "u", "v", "a")]), collect_results=False)
         blob = server.execute(protocol.CHECKPOINT, "q")
         other = self.make_server()
@@ -121,8 +121,8 @@ class TestShardEngineServer:
 
     def test_bootstrap_replays_into_equivalent_server(self):
         server = self.make_server()
-        server.execute(protocol.REGISTER, ("arb", "a+", "arbitrary", None))
-        server.execute(protocol.REGISTER, ("simple", "b b*", "simple", 50))
+        server.execute(protocol.REGISTER, ("arb", "a+", "arbitrary", None, None))
+        server.execute(protocol.REGISTER, ("simple", "b b*", "simple", 50, None))
         clone = self.make_server()
         for op, payload in server.export_bootstrap():
             clone.execute(op, payload)

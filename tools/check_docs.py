@@ -1,0 +1,138 @@
+"""Executable documentation checks: markdown links resolve, examples run.
+
+Two checks over ``README.md`` and every ``docs/*.md`` file:
+
+1. **links** — every intra-repo markdown link ``[text](path)`` must point
+   at an existing file or directory (resolved relative to the file the
+   link appears in; ``#fragment`` suffixes are stripped, absolute URLs
+   and ``mailto:`` are skipped);
+2. **doctests** — every fenced code block tagged ``python`` that contains
+   ``>>>`` prompts is run through :mod:`doctest`; the blocks of one file
+   share a globals dict in order (like one interpreter session per
+   document), so later examples may build on earlier imports.  Fenced
+   blocks without prompts (illustrative snippets, shell examples) are not
+   executed.
+
+Run locally (CI's docs job runs exactly this)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit code 0 when everything passes; 1 with a per-problem report otherwise.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown files whose links and examples are checked.
+DOC_FILES = ["README.md", "docs"]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def doc_paths() -> List[Path]:
+    """The markdown files under check, in deterministic order."""
+    paths: List[Path] = []
+    for entry in DOC_FILES:
+        target = REPO_ROOT / entry
+        if target.is_dir():
+            paths.extend(sorted(target.glob("**/*.md")))
+        elif target.exists():
+            paths.append(target)
+    return paths
+
+
+def check_links(path: Path) -> List[str]:
+    """Return one message per unresolvable intra-repo link in ``path``."""
+    problems = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        for target in _LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(REPO_ROOT)}:{number}: broken link -> {target}")
+    return problems
+
+
+def python_fences(path: Path) -> List[Tuple[int, str]]:
+    """``(starting line, body)`` of every fenced ``python`` block in ``path``."""
+    fences = []
+    language = None
+    body: List[str] = []
+    started = 0
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _FENCE.match(line)
+        if match is None:
+            if language is not None:
+                body.append(line)
+            continue
+        if language is None:
+            language = match.group(1).lower()
+            body = []
+            started = number
+        else:
+            if language == "python":
+                fences.append((started, "\n".join(body)))
+            language = None
+    return fences
+
+
+def check_doctests(path: Path) -> List[str]:
+    """Run every ``>>>``-bearing python fence of ``path`` through doctest."""
+    problems = []
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(optionflags=doctest.ELLIPSIS, verbose=False)
+    session_globals: dict = {}
+    failures: List[str] = []
+    for started, body in python_fences(path):
+        if ">>>" not in body:
+            continue
+        name = f"{path.relative_to(REPO_ROOT)}:{started}"
+        test = parser.get_doctest(body, session_globals, name, str(path), started)
+        result = runner.run(test, out=failures.append, clear_globs=False)
+        # keep names defined by this block visible to the next one
+        session_globals.update(test.globs)
+        if result.failed:
+            detail = "".join(failures).strip()
+            failures.clear()
+            problems.append(
+                f"{name}: {result.failed} of {result.attempted} doctest example(s) failed\n"
+                + "\n".join(f"    {line}" for line in detail.splitlines())
+            )
+    return problems
+
+
+def main() -> int:
+    paths = doc_paths()
+    if not paths:
+        print("no documentation files found — nothing to check")
+        return 1
+    problems: List[str] = []
+    examples = 0
+    for path in paths:
+        problems.extend(check_links(path))
+        fences = [body for _, body in python_fences(path) if ">>>" in body]
+        examples += len(fences)
+        problems.extend(check_doctests(path))
+    if problems:
+        print(f"documentation check FAILED ({len(problems)} problem(s)):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(
+        f"documentation check passed: {len(paths)} file(s), "
+        f"{examples} runnable example block(s), all links resolve"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
