@@ -1,0 +1,255 @@
+"""Durability overhead and recovery cost — WAL logging vs no WAL.
+
+Not a figure of the paper: this benchmark measures the durability
+subsystem.  Three questions, one workload (two persistent queries over a
+uniform labelled stream with deletions, 2 shards):
+
+* **logging overhead** — ingest throughput with no WAL vs a WAL under
+  each fsync policy (``off`` / ``batch`` / ``always``).  The headline
+  gate is ``wal_relative_throughput`` = batch-fsync throughput divided by
+  no-WAL throughput of the *same run pair on the same host* (machine
+  speed cancels out); the acceptance bar is > 0.5, i.e. batch-fsync
+  logging costs less than 2x.
+* **recovery cost vs WAL-tail length** — the same crashed run recovered
+  from base + WAL tails of increasing length (no interval checkpoints,
+  so the tail is the whole post-base stream prefix); recovery wall time
+  and replayed-tuple counts are recorded per tail.
+* **incremental checkpoint size** — on a steady-state window (well past
+  one window span), the delta between two consecutive coordinated
+  checkpoints must encode to fewer bytes than the full checkpoint it
+  reproduces.
+
+Every durable run's recovered service must emit *exactly* the
+uninterrupted run's result stream, so the benchmark doubles as a parity
+check at a scale beyond the unit tests.  The JSON record lands in
+``results/BENCH_durability.json`` and is gated by ``check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.datasets.synthetic import UniformStreamGenerator
+from repro.graph.stream import with_deletions
+from repro.graph.window import WindowSpec
+from repro.runtime import RecoveryManager, RuntimeConfig, StreamingQueryService
+from repro.runtime.durability.incremental import encoded_size, service_delta
+
+QUERIES = {"chains": "a+", "mixed": "b a*"}
+
+_SCALES = {
+    "tiny": (4_000, 30),
+    "small": (10_000, 60),
+    "medium": (30_000, 120),
+}
+
+#: Acceptance bar: batch-fsync WAL keeps more than half the no-WAL
+#: throughput (i.e. logging overhead < 2x).
+_MIN_RELATIVE_THROUGHPUT = 0.5
+
+#: Crash points for the recovery-cost series, as fractions of the stream.
+_TAIL_FRACTIONS = (0.25, 0.5, 1.0)
+
+
+def build_workload(scale: str):
+    num_edges, window_size = _SCALES[scale]
+    generator = UniformStreamGenerator(
+        num_vertices=120, labels=("a", "b", "noise"), edges_per_timestamp=6, seed=47
+    )
+    stream = with_deletions(list(generator.generate(num_edges)), 0.05, seed=47)
+    return stream, WindowSpec(size=window_size, slide=max(1, window_size // 10))
+
+
+def make_config(wal_dir=None, fsync="batch", interval=0):
+    return RuntimeConfig(
+        shards=2,
+        batch_size=128,
+        wal_dir=None if wal_dir is None else str(wal_dir),
+        wal_fsync=fsync,
+        checkpoint_interval=interval,
+    )
+
+
+def run_service(stream, window, config, crash_at=None):
+    """One timed ingest run; returns (throughput record, events or None)."""
+    service = StreamingQueryService(window, config)
+    for name, expression in QUERIES.items():
+        service.register(name, expression)
+    service.start()
+    started = time.perf_counter()
+    for position, tup in enumerate(stream, start=1):
+        if crash_at is not None and position > crash_at:
+            break
+        service.ingest_one(tup)
+    if crash_at is not None:
+        return {"wall_seconds": time.perf_counter() - started}, None  # abandoned: kill -9
+    service.drain()
+    elapsed = time.perf_counter() - started
+    events = {
+        name: [(e.source, e.target, e.timestamp, e.positive) for e in service.results(name).events]
+        for name in QUERIES
+    }
+    service.stop()
+    return {"wall_seconds": elapsed, "throughput_eps": len(stream) / elapsed}, events
+
+
+def measure_logging_overhead(stream, window, workdir):
+    """Throughput with no WAL and under each fsync policy (parity-checked)."""
+    rows = {}
+    baseline, expected = run_service(stream, window, make_config())
+    rows["no-wal"] = baseline
+    for fsync in ("off", "batch", "always"):
+        wal_dir = workdir / f"wal-{fsync}"
+        record, events = run_service(stream, window, make_config(wal_dir, fsync=fsync))
+        assert events == expected, f"durable run (fsync={fsync}) diverged from the no-WAL run"
+        result = RecoveryManager(wal_dir).recover()
+        with result.service as recovered:
+            recovered.drain()
+            recovered_events = {
+                name: [
+                    (e.source, e.target, e.timestamp, e.positive)
+                    for e in recovered.results(name).events
+                ]
+                for name in QUERIES
+            }
+        assert recovered_events == expected, f"recovered run (fsync={fsync}) diverged"
+        record["fsync"] = fsync
+        rows[f"wal-{fsync}"] = record
+    return rows, expected
+
+
+def measure_recovery_tails(stream, window, workdir, expected):
+    """Recovery wall time for WAL tails of increasing length."""
+    rows = []
+    for fraction in _TAIL_FRACTIONS:
+        crash_at = int(len(stream) * fraction)
+        wal_dir = workdir / f"tail-{int(fraction * 100)}"
+        run_service(stream, window, make_config(wal_dir, fsync="off"), crash_at=crash_at)
+        started = time.perf_counter()
+        result = RecoveryManager(wal_dir).recover()
+        seconds = time.perf_counter() - started
+        with result.service as recovered:
+            recovered.ingest(stream[result.next_index - 1 :])
+            recovered.drain()
+            got = {
+                name: [
+                    (e.source, e.target, e.timestamp, e.positive)
+                    for e in recovered.results(name).events
+                ]
+                for name in QUERIES
+            }
+        assert got == expected, f"recovery at tail {fraction:.0%} diverged from the oracle"
+        rows.append(
+            {
+                "tail_fraction": fraction,
+                "tail_tuples": crash_at,
+                "replayed_tuples": sum(result.replayed_tuples.values()),
+                "recovery_seconds": seconds,
+            }
+        )
+    return rows
+
+
+def measure_delta_size(stream, window):
+    """Delta vs full checkpoint bytes between two steady-state cuts."""
+    service = StreamingQueryService(window, make_config())
+    for name, expression in QUERIES.items():
+        service.register(name, expression)
+    steady = int(len(stream) * 0.7)
+    cut = int(len(stream) * 0.85)
+    with service:
+        service.ingest(stream[:steady])
+        base = json.loads(json.dumps(service.checkpoint()))
+        service.ingest(stream[steady:cut])
+        current = json.loads(json.dumps(service.checkpoint()))
+    delta = service_delta(base, current)
+    return {
+        "full_bytes": encoded_size(current),
+        "delta_bytes": encoded_size(delta),
+        "delta_to_full_ratio": encoded_size(delta) / encoded_size(current),
+    }
+
+
+def durability(scale: str):
+    stream, window = build_workload(scale)
+    workdir = Path(tempfile.mkdtemp(prefix="bench-durability-"))
+    try:
+        overhead, expected = measure_logging_overhead(stream, window, workdir)
+        tails = measure_recovery_tails(stream, window, workdir, expected)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    sizes = measure_delta_size(stream, window)
+    relative = overhead["wal-batch"]["throughput_eps"] / overhead["no-wal"]["throughput_eps"]
+    return len(stream), overhead, tails, sizes, relative
+
+
+def render_durability(num_tuples, overhead, tails, sizes, relative) -> str:
+    lines = [
+        f"Durability — {num_tuples} tuples, {len(QUERIES)} queries, 2 shards",
+        f"{'configuration':<14} {'wall s':>8} {'eps':>12} {'vs no-wal':>10}",
+    ]
+    base = overhead["no-wal"]["throughput_eps"]
+    for name in ("no-wal", "wal-off", "wal-batch", "wal-always"):
+        row = overhead[name]
+        lines.append(
+            f"{name:<14} {row['wall_seconds']:>8.2f} {row['throughput_eps']:>12,.0f} "
+            f"{row['throughput_eps'] / base:>9.0%}"
+        )
+    lines.append(f"batch-fsync relative throughput: {relative:.2f}x (gate: > {_MIN_RELATIVE_THROUGHPUT})")
+    for row in tails:
+        lines.append(
+            f"  recovery of a {row['tail_fraction']:.0%} tail ({row['replayed_tuples']} replayed "
+            f"tuples): {row['recovery_seconds']:.2f}s"
+        )
+    lines.append(
+        f"incremental checkpoint: {sizes['delta_bytes']:,} B delta vs "
+        f"{sizes['full_bytes']:,} B full ({sizes['delta_to_full_ratio']:.0%})"
+    )
+    return "\n".join(lines)
+
+
+def write_json(path, scale, num_tuples, overhead, tails, sizes, relative) -> None:
+    """Emit the machine-readable trajectory record (BENCH_durability.json)."""
+    record = {
+        "benchmark": "durability",
+        "scale": scale,
+        "num_tuples": num_tuples,
+        "queries": list(QUERIES),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "overhead": overhead,
+        "recovery_tails": tails,
+        "checkpoint_sizes": sizes,
+        "wal_relative_throughput": relative,
+    }
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_durability(benchmark, save_result, results_dir, bench_scale):
+    num_tuples, overhead, tails, sizes, relative = benchmark.pedantic(
+        durability, args=(bench_scale,), rounds=1, iterations=1
+    )
+    save_result("durability", render_durability(num_tuples, overhead, tails, sizes, relative))
+    json_path = results_dir / "BENCH_durability.json"
+    write_json(json_path, bench_scale, num_tuples, overhead, tails, sizes, relative)
+    print(f"[saved to {json_path}]")
+
+    # Acceptance: batch-fsync logging keeps more than half the no-WAL
+    # throughput (overhead < 2x) ...
+    assert relative > _MIN_RELATIVE_THROUGHPUT, (
+        f"batch-fsync WAL kept only {relative:.2f}x of the no-WAL throughput; "
+        f"the acceptance bar is > {_MIN_RELATIVE_THROUGHPUT}x (overhead < 2x)"
+    )
+    # ... and a steady-state incremental checkpoint is smaller than a full one.
+    assert sizes["delta_bytes"] < sizes["full_bytes"], (
+        f"steady-state delta ({sizes['delta_bytes']} B) is not smaller than the "
+        f"full checkpoint ({sizes['full_bytes']} B)"
+    )

@@ -1,17 +1,20 @@
 """Benchmark regression gate: fresh vs committed benchmark records.
 
-CI re-runs ``bench_runtime_scaling.py``, ``bench_rebalancing.py`` and
-``bench_partitioned_whale.py`` on every push to main and compares the
-fresh records against the ones committed in ``results/``.  Raw throughput
-numbers are useless across machines (a laptop, a 1-core container and a
-GitHub runner differ by an order of magnitude), so every gated number is
-*hardware-tolerant*: the scaling record gates on each configuration's
-``speedup_vs_baseline`` (service throughput relative to the
-single-threaded engine measured in the *same run*), the rebalancing and
-partitioned-whale records on ``modeled_parallel_speedup`` (critical-path
-ratio of two runs on the same host) — machine speed cancels out of both.
-A number regresses when it drops by more than ``--tolerance`` (default
-30%) against the committed record.
+CI re-runs ``bench_runtime_scaling.py``, ``bench_rebalancing.py``,
+``bench_partitioned_whale.py`` and ``bench_durability.py`` on every push
+to main and compares the fresh records against the ones committed in
+``results/``.  Raw throughput numbers are useless across machines (a
+laptop, a 1-core container and a GitHub runner differ by an order of
+magnitude), so every gated number is *hardware-tolerant*: the scaling
+record gates on each configuration's ``speedup_vs_baseline`` (service
+throughput relative to the single-threaded engine measured in the *same
+run*), the rebalancing and partitioned-whale records on
+``modeled_parallel_speedup`` (critical-path ratio of two runs on the same
+host), and the durability record on ``wal_relative_throughput``
+(batch-fsync WAL throughput over no-WAL throughput of the same run pair)
+— machine speed cancels out of all of them.  A number regresses when it
+drops by more than ``--tolerance`` (default 30%) against the committed
+record.
 
 Runnable locally after a benchmark run::
 
@@ -45,6 +48,7 @@ from pathlib import Path
 DEFAULT_RESULT = Path("results") / "BENCH_runtime_scaling.json"
 REBALANCING_RESULT = Path("results") / "BENCH_rebalancing.json"
 PARTITIONED_WHALE_RESULT = Path("results") / "BENCH_partitioned_whale.json"
+DURABILITY_RESULT = Path("results") / "BENCH_durability.json"
 
 
 def load_fresh(path: Path) -> dict:
@@ -114,12 +118,21 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     return regressions
 
 
-def compare_modeled_speedup(repo_root: Path, tolerance: float, relative: Path, label: str) -> list[str]:
-    """Gate one record's ``modeled_parallel_speedup``, when present.
+def compare_scalar_metric(
+    repo_root: Path,
+    tolerance: float,
+    relative: Path,
+    label: str,
+    key: str = "modeled_parallel_speedup",
+) -> list[str]:
+    """Gate one record's headline scalar (bigger = better), when present.
 
-    Used for the rebalancing and partitioned-whale records.  Both sides
-    are optional (the benchmark may not have been rerun, or the record may
-    predate this gate) — only a present-and-regressed pair fails.
+    Used for the rebalancing / partitioned-whale records
+    (``modeled_parallel_speedup``) and the durability record
+    (``wal_relative_throughput``) — each a same-host ratio of two runs, so
+    machine speed cancels out.  Both sides are optional (the benchmark may
+    not have been rerun, or the record may predate this gate) — only a
+    present-and-regressed pair fails.
     """
     fresh_path = repo_root / relative
     if not fresh_path.exists():
@@ -129,16 +142,16 @@ def compare_modeled_speedup(repo_root: Path, tolerance: float, relative: Path, l
     if baseline is None:
         print(f"no committed {label} record; skipping the {label} gate")
         return []
-    base = baseline.get("modeled_parallel_speedup")
-    new = load_fresh(fresh_path).get("modeled_parallel_speedup")
+    base = baseline.get(key)
+    new = load_fresh(fresh_path).get(key)
     if not base or not new:
         return []
     drop = (base - new) / base
     status = "REGRESSED" if drop > tolerance else "ok"
-    print(f"  {label} modeled speedup: {base:.2f}x -> {new:.2f}x ({-drop:+.0%} relative) {status}")
+    print(f"  {label} {key}: {base:.2f}x -> {new:.2f}x ({-drop:+.0%} relative) {status}")
     if drop > tolerance:
         return [
-            f"{label} modeled parallel speedup fell {drop:.0%} "
+            f"{label} {key} fell {drop:.0%} "
             f"({base:.2f}x -> {new:.2f}x), tolerance is {tolerance:.0%}"
         ]
     return []
@@ -181,9 +194,12 @@ def main(argv: list[str] | None = None) -> int:
         f"(fresh: {fresh.get('python', '?')} / {fresh.get('cpu_count', '?')} cores)"
     )
     regressions = compare(baseline, fresh, args.tolerance)
-    regressions += compare_modeled_speedup(repo_root, args.tolerance, REBALANCING_RESULT, "rebalancing")
-    regressions += compare_modeled_speedup(
+    regressions += compare_scalar_metric(repo_root, args.tolerance, REBALANCING_RESULT, "rebalancing")
+    regressions += compare_scalar_metric(
         repo_root, args.tolerance, PARTITIONED_WHALE_RESULT, "partitioned-whale"
+    )
+    regressions += compare_scalar_metric(
+        repo_root, args.tolerance, DURABILITY_RESULT, "durability", key="wal_relative_throughput"
     )
     if regressions:
         print("\nthroughput regression gate FAILED:")

@@ -13,6 +13,10 @@ Usage (after ``pip install -e .`` or with ``PYTHONPATH=src``)::
                              --rebalance load_aware --checkpoint state.json
     python -m repro run      --query "isLocatedIn+" --input yago.csv \
                              --window 40 --shards 4 --partitions 4
+    python -m repro serve    --input yago.csv --window 40 --shards 4 \
+                             --query "places=isLocatedIn+" \
+                             --wal state/ --checkpoint-interval 5000 --fsync batch
+    python -m repro recover  --wal state/ --output recovered.json
     python -m repro migrate  --checkpoint state.json --query places --to-shard 2
     python -m repro split    --checkpoint state.json --query places --partitions 4
     python -m repro experiment --figure 7
@@ -28,8 +32,14 @@ across shard workers (optionally live-rebalancing hot shards with
 ``--rebalance load_aware``), ``migrate`` re-homes a query inside a service
 checkpoint, ``split`` breaks a query inside a checkpoint into root
 partitions (intra-query data parallelism — both ``run`` and ``serve``
-also accept ``--partitions K`` to register queries pre-split), and
+also accept ``--partitions K`` to register queries pre-split),
+``recover`` rebuilds a killed ``serve --wal`` run from its durability
+directory (base checkpoint + incremental deltas + WAL replay), and
 ``experiment`` regenerates one of the paper's tables or figures.
+
+``serve`` additionally installs SIGINT/SIGTERM handlers: a signal drains
+the shards, takes the final checkpoint (into ``--wal`` when set) and
+exits 0 instead of dying mid-batch; a second signal aborts immediately.
 """
 
 from __future__ import annotations
@@ -64,7 +74,14 @@ from .errors import ShardWorkerError
 from .graph.stream import GeneratorStream, iter_csv, with_deletions, write_csv
 from .graph.window import WindowSpec
 from .regex.analysis import analyze
-from .runtime import BACKENDS, REBALANCE_POLICIES, SHARDING_POLICIES, RuntimeConfig, StreamingQueryService
+from .runtime import (
+    BACKENDS,
+    FSYNC_POLICIES,
+    REBALANCE_POLICIES,
+    SHARDING_POLICIES,
+    RuntimeConfig,
+    StreamingQueryService,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -188,6 +205,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint", default=None, help="write a coordinated checkpoint JSON here after draining"
     )
     serve_parser.add_argument(
+        "--wal",
+        default=None,
+        metavar="DIR",
+        help="durability directory: write-ahead-log every routed tuple and "
+        "checkpoint into DIR so a killed service can be rebuilt with 'repro recover'",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=0,
+        help="take an incremental durability checkpoint every N routed tuples "
+        "(0 = only the final checkpoint on shutdown; requires --wal)",
+    )
+    serve_parser.add_argument(
+        "--fsync",
+        choices=sorted(FSYNC_POLICIES),
+        default="batch",
+        help="WAL fsync policy: 'always' syncs every record, 'batch' syncs at "
+        "checkpoints (group commit), 'off' never syncs (with --wal)",
+    )
+    serve_parser.add_argument(
         "--show-results", type=int, default=0, help="print the first N events of the merged result stream"
     )
 
@@ -224,6 +262,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     split_parser.add_argument(
         "--output", default=None, help="write the updated checkpoint here (default: in place)"
+    )
+
+    recover_parser = subparsers.add_parser(
+        "recover", help="rebuild a crashed service from a durability directory"
+    )
+    recover_parser.add_argument(
+        "--wal", required=True, metavar="DIR", help="durability directory written by 'serve --wal'"
+    )
+    recover_parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="worker backend for the recovered service (default: the checkpointed one)",
+    )
+    recover_parser.add_argument(
+        "--output",
+        default=None,
+        help="write the recovered state as a plain service checkpoint JSON here "
+        "(loadable by 'repro migrate/split' or StreamingQueryService.load_checkpoint)",
+    )
+    recover_parser.add_argument(
+        "--show-results", type=int, default=0, help="print the first N events of the merged result stream"
     )
 
     experiment_parser = subparsers.add_parser("experiment", help="regenerate a table or figure of the paper")
@@ -319,6 +379,9 @@ def _make_runtime_config(args: argparse.Namespace) -> RuntimeConfig:
             partitions=getattr(args, "partitions", 1),
             rebalance_policy=getattr(args, "rebalance", "manual"),
             rebalance_interval=getattr(args, "rebalance_interval", 0),
+            wal_dir=getattr(args, "wal", None),
+            wal_fsync=getattr(args, "fsync", "batch"),
+            checkpoint_interval=getattr(args, "checkpoint_interval", 0),
         )
     except ValueError as exc:  # ConfigError subclasses ValueError
         raise SystemExit(f"invalid runtime configuration: {exc}") from None
@@ -380,6 +443,49 @@ def _parse_named_queries(specs) -> "dict":
     return queries
 
 
+class _GracefulShutdown:
+    """SIGINT/SIGTERM handler for ``repro serve``: drain, checkpoint, exit 0.
+
+    Instead of dying mid-batch (losing the window since the last
+    checkpoint on a non-durable run, or forcing a WAL replay on a durable
+    one), the serve loop polls :attr:`requested` between tuples: on the
+    first signal it stops ingesting, drains every shard and takes the
+    final coordinated checkpoint — ``service.stop()`` writes it to the
+    ``--wal`` directory when one is set.  A second signal falls back to
+    the previous handler (typically: die).
+    """
+
+    def __init__(self) -> None:
+        self.requested = False
+        self.signal_name = ""
+        self._previous = {}
+
+    def install(self) -> "_GracefulShutdown":
+        """Install the handlers; returns self for chaining."""
+        import signal as signal_mod
+
+        for signum in (signal_mod.SIGINT, signal_mod.SIGTERM):
+            self._previous[signum] = signal_mod.signal(signum, self._handle)
+        return self
+
+    def restore(self) -> None:
+        """Put the previous handlers back."""
+        import signal as signal_mod
+
+        for signum, handler in self._previous.items():
+            signal_mod.signal(signum, handler)
+        self._previous = {}
+
+    def _handle(self, signum, frame) -> None:
+        import signal as signal_mod
+
+        if self.requested:  # second signal: give up gracefully being graceful
+            self.restore()
+            raise KeyboardInterrupt
+        self.requested = True
+        self.signal_name = signal_mod.Signals(signum).name
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     import time
 
@@ -389,6 +495,11 @@ def _command_serve(args: argparse.Namespace) -> int:
         raise SystemExit(
             "--checkpoint requires --semantics arbitrary (only arbitrary-path "
             "queries are checkpointable)"
+        )
+    if args.wal and args.semantics != "arbitrary":
+        raise SystemExit(
+            "--wal requires --semantics arbitrary (only arbitrary-path queries "
+            "can be checkpointed for recovery)"
         )
     stream = _load_stream(args)
     window = WindowSpec(size=args.window, slide=args.slide)
@@ -406,9 +517,18 @@ def _command_serve(args: argparse.Namespace) -> int:
         else:
             print(f"registered {name!r} ({expression}) on shard {shard}")
     started = time.perf_counter()
+    shutdown = _GracefulShutdown().install()
+
+    def until_shutdown(tuples):
+        """Pass the stream through, ending it at the first shutdown signal."""
+        for tup in tuples:
+            if shutdown.requested:
+                return
+            yield tup
+
     try:
         with service:
-            service.ingest(stream)
+            service.ingest(until_shutdown(stream))
             service.drain()
             elapsed = time.perf_counter() - started
             summary = service.summary()
@@ -420,9 +540,18 @@ def _command_serve(args: argparse.Namespace) -> int:
                 import itertools
 
                 merged_head = list(itertools.islice(service.global_events(), args.show_results))
+        # service.stop() (the context exit) has drained and — with --wal —
+        # taken the final durability checkpoint by the time we get here.
+        if shutdown.requested:
+            print(
+                f"received {shutdown.signal_name}: drained, "
+                f"{'checkpointed to ' + args.wal + ', ' if args.wal else ''}stopping cleanly"
+            )
     except ShardWorkerError as exc:
         print(f"status           : failed: {exc.__cause__ or exc}")
         return 1
+    finally:
+        shutdown.restore()
     totals = summary["totals"]
     print(f"window           : |W|={args.window}, beta={args.slide}")
     print(f"runtime          : {args.shards} shard(s), backend={args.backend}, "
@@ -508,6 +637,48 @@ def _command_split(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_recover(args: argparse.Namespace) -> int:
+    """Rebuild a crashed service from a durability directory.
+
+    Folds the checkpoint chain (base + deltas), replays each shard's WAL
+    tail and prints what was recovered; ``--output`` additionally writes
+    the recovered state as a plain service checkpoint JSON so the other
+    offline commands (``migrate``, ``split``) and
+    ``StreamingQueryService.load_checkpoint`` can pick it up.
+    """
+    from .errors import CheckpointError
+    from .runtime.durability import RecoveryManager
+
+    try:
+        result = RecoveryManager(args.wal).recover(backend=args.backend)
+    except (OSError, CheckpointError) as exc:
+        raise SystemExit(f"cannot recover from {args.wal!r}: {exc}") from None
+    service = result.service
+    print(f"recovered from checkpoint {result.checkpoint_id} + WAL replay")
+    print(f"queries          : {service.queries()}")
+    print(f"tuples covered   : {result.next_index - 1} (resume the stream at index {result.next_index})")
+    for shard in sorted(result.replayed_tuples):
+        print(
+            f"  shard {shard}: replayed {result.replayed_tuples[shard]} tuples, "
+            f"{result.replayed_ops[shard]} topology ops"
+        )
+    if result.healed_tuples:
+        print(f"healed           : {result.healed_tuples} tuples re-delivered to torn shards")
+    for name in result.dropped_queries:
+        print(f"  dropped {name} (crashed mid-move; reconciled)")
+    for checkpoint_id, problem in result.skipped_checkpoints:
+        print(f"  skipped checkpoint {checkpoint_id}: {problem}")
+    if args.output:
+        path = service.save_checkpoint(args.output)
+        print(f"recovered state written to {path}")
+    if args.show_results > 0:
+        import itertools
+
+        for tagged in itertools.islice(service.global_events(), args.show_results):
+            print(f"  {tagged}")
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     if args.table == 1:
         print(render_table1(table1_complexity_check(scale=args.scale)))
@@ -548,6 +719,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _command_serve,
         "migrate": _command_migrate,
         "split": _command_split,
+        "recover": _command_recover,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

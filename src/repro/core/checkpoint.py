@@ -44,9 +44,11 @@ from __future__ import annotations
 
 import json
 import math
+import zlib
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from ..errors import CheckpointError
 from ..graph.window import WindowSpec
 from ..regex.analysis import QueryAnalysis
 from .rapq import RAPQEvaluator
@@ -58,6 +60,9 @@ __all__ = [
     "decode_rapq",
     "save_checkpoint",
     "load_checkpoint",
+    "canonical_bytes",
+    "state_digest",
+    "decode_state",
 ]
 
 #: Format marker so that future layout changes can stay backward compatible.
@@ -187,9 +192,29 @@ def restore_rapq(
         ValueError: if the checkpoint format is unknown or the supplied query
             does not match the checkpointed one.
     """
+    if not isinstance(state, dict):
+        raise CheckpointError(
+            f"checkpoint must decode to a dict of sections, got {type(state).__name__}"
+        )
     if state.get("format") not in _SUPPORTED_FORMATS:
-        raise ValueError(f"unsupported checkpoint format: {state.get('format')!r}")
+        raise CheckpointError(
+            f"unsupported checkpoint format: {state.get('format')!r} "
+            f"(this build reads formats {_SUPPORTED_FORMATS})"
+        )
     order_exact = state["format"] >= 2
+    try:
+        return _restore_rapq_checked(state, query, order_exact)
+    except (KeyError, TypeError, IndexError) as exc:
+        # A missing section or a malformed row inside one: report *which*
+        # query and what was being decoded instead of the raw traceback.
+        raise CheckpointError(
+            f"corrupt checkpoint for query {state.get('query')!r}: "
+            f"{type(exc).__name__} while restoring sections ({exc})"
+        ) from exc
+
+
+def _restore_rapq_checked(state: Dict, query, order_exact: bool) -> RAPQEvaluator:
+    """The body of :func:`restore_rapq` (section decoding, wrapped above)."""
     expression = state["query"]
     if query is None:
         query = expression
@@ -313,12 +338,60 @@ def encode_rapq(evaluator: RAPQEvaluator) -> bytes:
     ships query registration and checkpoints this way), be written to disk,
     or be posted to an external store — no pickling of rich objects.
     """
-    return json.dumps(checkpoint_rapq(evaluator), separators=(",", ":")).encode("utf-8")
+    return canonical_bytes(checkpoint_rapq(evaluator))
+
+
+def decode_state(blob: bytes, what: str = "checkpoint") -> Dict:
+    """Decode a checkpoint byte blob back into its state dict.
+
+    Raises:
+        CheckpointError: the blob is not valid UTF-8 JSON; the message
+            carries ``what`` plus the byte offset where decoding failed,
+            so a truncated or torn blob is diagnosable at a glance.
+    """
+    try:
+        text = blob.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CheckpointError(
+            f"corrupt {what}: not UTF-8 at byte {exc.start} of {len(blob)} ({exc.reason})"
+        ) from exc
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"corrupt {what}: invalid JSON at offset {exc.pos} of {len(text)} "
+            f"(line {exc.lineno}, column {exc.colno}): {exc.msg}"
+        ) from exc
 
 
 def decode_rapq(blob: bytes, query: Optional[Union[str, QueryAnalysis]] = None) -> RAPQEvaluator:
-    """Rebuild an evaluator from an :func:`encode_rapq` byte string."""
-    return restore_rapq(json.loads(blob.decode("utf-8")), query=query)
+    """Rebuild an evaluator from an :func:`encode_rapq` byte string.
+
+    Raises:
+        CheckpointError: the blob is truncated, not valid JSON, or decodes
+            to a state dict with missing or malformed sections.
+    """
+    return restore_rapq(decode_state(blob, what="evaluator checkpoint"), query=query)
+
+
+def canonical_bytes(state: Dict) -> bytes:
+    """The canonical compact-JSON encoding of a checkpoint state dict.
+
+    One encoding (no whitespace, UTF-8) shared by the worker protocol, the
+    durability subsystem's files, and :func:`state_digest` — so byte sizes
+    and digests computed anywhere agree.
+    """
+    return json.dumps(state, separators=(",", ":")).encode("utf-8")
+
+
+def state_digest(state: Dict) -> str:
+    """A short stable digest of a state dict (CRC32 of :func:`canonical_bytes`).
+
+    Used by the durability manifest to detect a checkpoint file that was
+    damaged between writing and recovery; CRC32 matches the WAL's per-record
+    checksum strength (corruption detection, not authentication).
+    """
+    return f"{zlib.crc32(canonical_bytes(state)) & 0xFFFFFFFF:08x}"
 
 
 def save_checkpoint(evaluator: RAPQEvaluator, path: Union[str, Path]) -> Path:
@@ -332,8 +405,12 @@ def save_checkpoint(evaluator: RAPQEvaluator, path: Union[str, Path]) -> Path:
 def load_checkpoint(
     path: Union[str, Path], query: Optional[Union[str, QueryAnalysis]] = None
 ) -> RAPQEvaluator:
-    """Load a checkpoint written by :func:`save_checkpoint`."""
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    Raises:
+        CheckpointError: the file is truncated, not valid JSON, or holds a
+            state dict with missing or malformed sections.
+    """
     path = Path(path)
-    with path.open() as handle:
-        state = json.load(handle)
-    return restore_rapq(state, query=query)
+    with path.open("rb") as handle:
+        return restore_rapq(decode_state(handle.read(), what=f"checkpoint file {path}"), query=query)

@@ -6,9 +6,11 @@ __all__ = [
     "ReproError",
     "StreamOrderError",
     "ConfigError",
+    "CheckpointError",
     "ConflictBudgetExceeded",
     "RuntimeStateError",
     "ShardWorkerError",
+    "WALCorruptionError",
     "WireProtocolError",
 ]
 
@@ -28,6 +30,32 @@ class ConfigError(ReproError, ValueError):
     :class:`~repro.runtime.RuntimeConfig`) so misconfigurations fail fast
     with a message listing the valid choices, instead of surfacing as a
     late ``KeyError`` deep inside the runtime.
+    """
+
+
+class CheckpointError(ReproError, ValueError):
+    """Raised when a checkpoint blob cannot be decoded or restored.
+
+    Loading a checkpoint crosses a trust boundary: the bytes may be
+    truncated (a crash mid-write), corrupted, or produced by a different
+    format version.  Every loader in :mod:`repro.core.checkpoint` and the
+    durability subsystem reports such problems with this exception —
+    carrying what was being decoded and where it went wrong — instead of
+    leaking a raw ``KeyError`` / ``json.JSONDecodeError`` / ``struct.error``
+    from deep inside the decoder.
+
+    Subclasses :class:`ValueError` so callers that predate it keep working.
+    """
+
+
+class WALCorruptionError(CheckpointError):
+    """Raised when a write-ahead-log segment holds an undecodable record.
+
+    A truncated record at the *tail* of the last segment is the expected
+    signature of a crash and is tolerated (replay simply stops there); a
+    bad length prefix or CRC mismatch anywhere records should still be
+    intact is real corruption and raised as this error, naming the segment
+    file and byte offset.
     """
 
 

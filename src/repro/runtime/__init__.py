@@ -58,6 +58,16 @@ Architecture — four cooperating pieces behind one facade::
   coordinated checkpoint/restore of all shard engines
   (:meth:`~service.StreamingQueryService.checkpoint`, reusing
   :mod:`repro.core.checkpoint`).
+* :mod:`~repro.runtime.durability` — crash safety:
+  :class:`DurabilityManager` write-ahead-logs every routed tuple and
+  topology change (one CRC-checked log per shard, written at routing
+  time) and takes periodic *incremental* checkpoints (exact deltas
+  against the last order-exact base, promoted to fresh bases so chain
+  and log stay bounded); :class:`RecoveryManager` folds base + deltas,
+  replays the per-shard WAL tails in parallel and hands back a service
+  whose subsequent results are bit-identical to an uninterrupted run.
+  Enable with ``RuntimeConfig(wal_dir=...)`` / ``serve --wal``; recover
+  with ``repro recover``.
 
 Because every shard sees its tuples in stream order — and a partitioned
 query's members each see the query's full stream while owning disjoint
@@ -94,7 +104,8 @@ vs a pinned placement); each emits a machine-readable
 """
 
 from . import protocol
-from .config import BACKENDS, REBALANCE_POLICIES, SHARDING_POLICIES, RuntimeConfig
+from .config import BACKENDS, FSYNC_POLICIES, REBALANCE_POLICIES, SHARDING_POLICIES, RuntimeConfig
+from .durability import DurabilityManager, RecoveryManager, RecoveryResult
 from .merger import (
     TaggedResultEvent,
     collect_results,
@@ -133,9 +144,11 @@ from .worker import (
 
 __all__ = [
     "BACKENDS",
+    "FSYNC_POLICIES",
     "REBALANCE_POLICIES",
     "SHARDING_POLICIES",
     "WORKER_BACKENDS",
+    "DurabilityManager",
     "HashPolicy",
     "LabelAffinityPolicy",
     "LoadAwarePolicy",
@@ -144,6 +157,8 @@ __all__ = [
     "ProcessShardWorker",
     "RebalancePlan",
     "RebalancePolicy",
+    "RecoveryManager",
+    "RecoveryResult",
     "RoundRobinPolicy",
     "RuntimeConfig",
     "ShardEngineServer",

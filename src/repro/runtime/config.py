@@ -14,11 +14,11 @@ misconfiguration fails fast instead of surfacing deep inside the runtime.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from ..errors import ConfigError
 
-__all__ = ["RuntimeConfig", "BACKENDS", "SHARDING_POLICIES", "REBALANCE_POLICIES"]
+__all__ = ["RuntimeConfig", "BACKENDS", "SHARDING_POLICIES", "REBALANCE_POLICIES", "FSYNC_POLICIES"]
 
 #: Concurrency backends implemented by :mod:`repro.runtime.worker`.  Both
 #: speak the same wire protocol (:mod:`repro.runtime.protocol`); only the
@@ -34,6 +34,14 @@ SHARDING_POLICIES = ("round_robin", "hash", "label_affinity")
 #: ``"manual"`` never moves a query on its own; ``"load_aware"`` proposes
 #: live migrations off the hottest shard at drain/interval boundaries.
 REBALANCE_POLICIES = ("manual", "load_aware")
+
+#: WAL fsync policies implemented by :mod:`repro.runtime.durability.wal`.
+#: Every policy flushes each record to the OS (surviving a killed
+#: *process*); they differ in when ``fsync`` pushes records to the device
+#: (surviving a crashed *machine*): ``"always"`` fsyncs every record,
+#: ``"batch"`` fsyncs at checkpoint/close sync points (group commit),
+#: ``"off"`` never fsyncs.
+FSYNC_POLICIES = ("always", "batch", "off")
 
 
 @dataclass(frozen=True)
@@ -66,6 +74,26 @@ class RuntimeConfig:
         rebalance_interval: run the rebalance policy every this many
             ingested tuples (0 = only at drain boundaries).  Requires a
             non-``"manual"`` policy.
+        wal_dir: durability directory.  When set, the coordinator
+            write-ahead-logs every routed tuple and topology change (one
+            log per shard) and checkpoints into this directory, so a
+            killed service can be rebuilt by
+            :class:`~repro.runtime.durability.RecoveryManager`.  ``None``
+            (the default) disables durability entirely.
+        wal_fsync: fsync policy of the write-ahead logs, one of
+            :data:`FSYNC_POLICIES` (only meaningful with ``wal_dir``).
+        wal_segment_bytes: rotate a shard's WAL segment once it exceeds
+            this many bytes; smaller segments let checkpointing prune
+            the log sooner at the cost of more files.
+        checkpoint_interval: take an incremental durability checkpoint
+            every this many logged (routed) tuples (0 = only at the final
+            checkpoint on ``stop``).  Requires ``wal_dir``; shorter
+            intervals bound WAL replay time at the cost of checkpoint
+            I/O.
+        checkpoint_keep_deltas: how many delta checkpoints may follow a
+            base before the next checkpoint is promoted to a fresh full
+            base (compacting the chain and pruning WAL segments behind
+            it).
 
     Raises:
         ConfigError: when any value is out of range, names an unknown
@@ -81,6 +109,11 @@ class RuntimeConfig:
     partitions: int = 1
     rebalance_policy: str = "manual"
     rebalance_interval: int = 0
+    wal_dir: Optional[str] = None
+    wal_fsync: str = "batch"
+    wal_segment_bytes: int = 4_000_000
+    checkpoint_interval: int = 0
+    checkpoint_keep_deltas: int = 4
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -122,6 +155,23 @@ class RuntimeConfig:
                 f"to migrate a query to); use shards >= 2 or rebalance_policy "
                 f"'manual' with rebalance_interval 0"
             )
+        if self.wal_fsync not in FSYNC_POLICIES:
+            raise ConfigError(
+                f"unknown WAL fsync policy {self.wal_fsync!r}; "
+                f"valid choices: {', '.join(FSYNC_POLICIES)}"
+            )
+        if self.wal_segment_bytes < 1:
+            raise ConfigError(f"wal_segment_bytes must be >= 1, got {self.wal_segment_bytes}")
+        if self.checkpoint_interval < 0:
+            raise ConfigError(f"checkpoint_interval must be >= 0, got {self.checkpoint_interval}")
+        if self.checkpoint_keep_deltas < 0:
+            raise ConfigError(f"checkpoint_keep_deltas must be >= 0, got {self.checkpoint_keep_deltas}")
+        if self.checkpoint_interval > 0 and self.wal_dir is None:
+            raise ConfigError(
+                "checkpoint_interval > 0 requires wal_dir: periodic incremental "
+                "checkpoints are part of the durability subsystem and need a "
+                "directory to land in"
+            )
 
     def with_shards(self, shards: int) -> "RuntimeConfig":
         """Return a copy of this config with a different shard count."""
@@ -130,6 +180,15 @@ class RuntimeConfig:
     def with_backend(self, backend: str) -> "RuntimeConfig":
         """Return a copy of this config with a different worker backend."""
         return replace(self, backend=backend)
+
+    def without_wal(self) -> "RuntimeConfig":
+        """Return a copy with durability disabled.
+
+        Recovery builds the interim service with this config so that WAL
+        replay does not itself get logged; the caller re-enables
+        durability explicitly once the recovered state is safe.
+        """
+        return replace(self, wal_dir=None, checkpoint_interval=0)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible representation (used in service checkpoints)."""

@@ -1,0 +1,65 @@
+"""Durability subsystem: write-ahead logs, incremental checkpoints, recovery.
+
+The runtime's coordinated checkpoints make planned shutdowns safe; this
+package makes *crashes* safe.  Three cooperating pieces (the shape of Wu
+et al.'s per-core logging with parallel replay, PAPERS.md), all driven by
+the coordinator — shard workers are untouched:
+
+* :mod:`~repro.runtime.durability.wal` — one append-only, length-prefixed,
+  CRC-checked log per shard, written at routing time.  Tuple records
+  reuse the worker protocol's wire forms; topology records (register /
+  restore / deregister) make each shard's log a complete, independently
+  replayable history of that shard's engine — so replay parallelizes
+  across shards with no coordination, and migrations and splits survive
+  a crash.
+* :mod:`~repro.runtime.durability.incremental` — exact deltas between two
+  order-exact (format 2) checkpoints: appended result tails, grown tree
+  suffixes, keyed-section churn.  Every delta is verified at diff time
+  (``apply(base, delta) == current``) with a per-section full-rewrite
+  fallback, so chain folding is bit-exact by construction.
+* :mod:`~repro.runtime.durability.manager` —
+  :class:`~repro.runtime.durability.manager.DurabilityManager`, the piece
+  inside a running service: logs every routed tuple and topology change,
+  schedules periodic delta checkpoints (promoted to fresh bases so chain
+  and WAL stay bounded), and maintains the atomically-replaced manifest.
+* :mod:`~repro.runtime.durability.recovery` —
+  :class:`~repro.runtime.durability.recovery.RecoveryManager`: fold base
+  + deltas, replay each shard's WAL tail, reconcile topology (crashed
+  mid-migration/split), heal torn tails, and hand back a service whose
+  subsequent results are bit-identical to an uninterrupted run.
+
+Enable it with :class:`~repro.runtime.config.RuntimeConfig`
+(``wal_dir=...``, plus ``wal_fsync`` / ``checkpoint_interval`` /
+``checkpoint_keep_deltas``) or ``repro serve --wal DIR``; recover with
+``repro recover --wal DIR`` or the API::
+
+    from repro.runtime.durability import RecoveryManager
+
+    result = RecoveryManager("state/").recover()
+    service = result.service          # stopped, ready to start()
+    # resume the input from result.next_index (1-based ingest indices)
+"""
+
+from .incremental import (
+    apply_evaluator_delta,
+    apply_service_delta,
+    evaluator_delta,
+    service_delta,
+)
+from .manager import DurabilityManager, read_manifest
+from .recovery import RecoveryManager, RecoveryResult
+from .wal import WalRecord, WalWriter, read_wal
+
+__all__ = [
+    "DurabilityManager",
+    "RecoveryManager",
+    "RecoveryResult",
+    "WalRecord",
+    "WalWriter",
+    "apply_evaluator_delta",
+    "apply_service_delta",
+    "evaluator_delta",
+    "read_manifest",
+    "read_wal",
+    "service_delta",
+]

@@ -1,0 +1,420 @@
+"""Incremental checkpoints: exact deltas between order-exact evaluator states.
+
+A full coordinated checkpoint scales with the window and the result
+history; taking one every few thousand tuples would dwarf the stream
+itself.  This module computes *deltas* between two order-exact (format 2)
+evaluator checkpoints of the same query so the periodic checkpoint only
+stores what changed: new trees and newly grown tree suffixes, expired
+trees, snapshot-edge churn, and the appended tail of the append-only
+result stream.
+
+Exactness is the contract — and it is enforced, not assumed.  Checkpoint
+format 2 records every iteration order the algorithms observe, so a delta
+must reproduce the base's *lists* (not just their sets) bit-for-bit.
+:func:`evaluator_delta` therefore verifies each candidate section diff by
+applying it and comparing against the real current section; any section
+the ordered diff cannot reproduce exactly (say, an edge re-inserted after
+expiry, which moves it to the end of its adjacency list) silently falls
+back to a full-section rewrite.  ``apply(base, delta) == current`` holds
+for every delta this module emits, by construction.
+
+Section strategies
+==================
+
+* **append-only** (``results`` + ``emission``): store the appended tail;
+* **keyed ordered lists** (``snapshot`` grouped by source vertex,
+  ``trees`` keyed by root, ``reverse_index`` keyed by vertex,
+  ``in_adjacency`` keyed by target): store removed keys, changed values
+  (in place), and appended pairs — reproducing Python's dict-order
+  semantics that the live structures follow (deletion keeps relative
+  order, insertion appends);
+* **trees, grown**: a tree whose base node list is a prefix of its
+  current one stores only the suffix (the common case between two
+  checkpoints: tree growth without expiry);
+* **scalars** (clock, stats): always stored, they are tiny.
+
+The service-level wrappers :func:`service_delta` /
+:func:`apply_service_delta` lift the per-evaluator diff to whole
+coordinated checkpoints (one entry per partition member, keyed by
+``(name, partition index)``), which is what the durability manager writes
+as ``delta-<id>.json`` files and recovery folds back together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...core.checkpoint import canonical_bytes
+from ...errors import CheckpointError
+
+__all__ = [
+    "evaluator_delta",
+    "apply_evaluator_delta",
+    "service_delta",
+    "apply_service_delta",
+    "encoded_size",
+]
+
+#: Layout version of the delta dicts this module produces.
+DELTA_FORMAT = 1
+
+#: Evaluator-state fields that may not change between two deltas of one
+#: chain; they are copied from the base on apply.
+_IMMUTABLE_FIELDS = ("format", "query", "window", "result_semantics", "partition")
+
+#: The keyed-ordered-list sections and how to key them.
+_KEYED_SECTIONS = ("snapshot", "trees", "reverse_index", "in_adjacency")
+
+
+def encoded_size(state: object) -> int:
+    """Byte size of a JSON-compatible object in its canonical encoding."""
+    return len(canonical_bytes(state))
+
+
+# --------------------------------------------------------------------- #
+# Ordered keyed-list diffing
+# --------------------------------------------------------------------- #
+
+
+def _assoc_diff(base_pairs: List, cur_pairs: List) -> Dict:
+    """Diff two ordered ``(key, value)`` lists under dict-order semantics."""
+    base_map = {key: value for key, value in base_pairs}
+    cur_keys = {key for key, _ in cur_pairs}
+    return {
+        "removed": [key for key, _ in base_pairs if key not in cur_keys],
+        "changed": [[key, value] for key, value in cur_pairs if key in base_map and base_map[key] != value],
+        "appended": [[key, value] for key, value in cur_pairs if key not in base_map],
+    }
+
+
+def _assoc_apply(base_pairs: List, diff: Dict) -> List:
+    """Apply an :func:`_assoc_diff` result back onto the base pair list."""
+    removed = set(diff["removed"])
+    changed = {key: value for key, value in diff["changed"]}
+    result = []
+    for key, value in base_pairs:
+        if key in removed:
+            continue
+        result.append([key, changed[key] if key in changed else value])
+    result.extend([key, value] for key, value in diff["appended"])
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Section <-> keyed pair list conversions
+# --------------------------------------------------------------------- #
+
+
+def _snapshot_to_pairs(rows: List) -> List:
+    """Group flat snapshot edge rows by source vertex, preserving order."""
+    pairs: List = []
+    current_key = object()
+    for row in rows:
+        source = row[0]
+        if not pairs or source != current_key:
+            pairs.append([source, []])
+            current_key = source
+        pairs[-1][1].append(row)
+    return pairs
+
+
+def _snapshot_from_pairs(pairs: List) -> List:
+    """Flatten grouped snapshot rows back into the checkpoint's edge list."""
+    return [row for _, rows in pairs for row in rows]
+
+
+def _trees_diff(base_trees: List[Dict], cur_trees: List[Dict]) -> Dict:
+    """Diff two canonical-order tree lists, with grown-suffix compression."""
+    base_map = {tree["root"]: tree for tree in base_trees}
+    cur_roots = {tree["root"] for tree in cur_trees}
+    grown, changed, appended = [], [], []
+    for tree in cur_trees:
+        root = tree["root"]
+        base_tree = base_map.get(root)
+        if base_tree is None:
+            appended.append(tree)
+            continue
+        if base_tree == tree:
+            continue
+        base_nodes, cur_nodes = base_tree["nodes"], tree["nodes"]
+        if len(base_nodes) <= len(cur_nodes) and cur_nodes[: len(base_nodes)] == base_nodes:
+            grown.append([root, tree["root_cycle_reported"], cur_nodes[len(base_nodes) :]])
+        else:
+            changed.append(tree)
+    return {
+        "removed": [tree["root"] for tree in base_trees if tree["root"] not in cur_roots],
+        "grown": grown,
+        "changed": changed,
+        "appended": appended,
+    }
+
+
+def _trees_apply(base_trees: List[Dict], diff: Dict) -> List[Dict]:
+    """Apply a :func:`_trees_diff` result back onto the base tree list."""
+    removed = set(diff["removed"])
+    grown = {root: (flag, suffix) for root, flag, suffix in diff["grown"]}
+    changed = {tree["root"]: tree for tree in diff["changed"]}
+    result = []
+    for tree in base_trees:
+        root = tree["root"]
+        if root in removed:
+            continue
+        if root in grown:
+            flag, suffix = grown[root]
+            result.append(
+                {"root": root, "root_cycle_reported": flag, "nodes": list(tree["nodes"]) + list(suffix)}
+            )
+        elif root in changed:
+            result.append(changed[root])
+        else:
+            result.append(tree)
+    result.extend(diff["appended"])
+    return result
+
+
+def _section_pairs(section: str, value: List) -> List:
+    """The ``(key, value)`` pair form of one keyed section's list."""
+    if section == "snapshot":
+        return _snapshot_to_pairs(value)
+    return value  # reverse_index / in_adjacency already are [key, value] lists
+
+
+def _section_from_pairs(section: str, pairs: List) -> List:
+    """Rebuild one keyed section's list from its pair form."""
+    if section == "snapshot":
+        return _snapshot_from_pairs(pairs)
+    return pairs
+
+
+# --------------------------------------------------------------------- #
+# Evaluator-level delta
+# --------------------------------------------------------------------- #
+
+
+def evaluator_delta(base: Dict, current: Dict) -> Dict:
+    """Compute an exact delta from ``base`` to ``current``.
+
+    Both must be format-2 checkpoints of the same query with identical
+    window, semantics and partition membership.  The returned dict
+    satisfies ``apply_evaluator_delta(base, delta) == current`` exactly
+    (verified per section at diff time, with a full-section fallback).
+
+    Raises:
+        ValueError: the states differ in a field a delta cannot change
+            (query, window, semantics, partition) or are not format 2 —
+            the caller should store a full checkpoint instead.
+    """
+    for field in _IMMUTABLE_FIELDS:
+        if base.get(field) != current.get(field):
+            raise ValueError(
+                f"cannot delta across a change of {field!r} "
+                f"({base.get(field)!r} -> {current.get(field)!r}); store a full checkpoint"
+            )
+    if base.get("format") != 2:
+        raise ValueError(f"deltas require format-2 checkpoints, got format {base.get('format')!r}")
+
+    delta: Dict = {
+        "delta_format": DELTA_FORMAT,
+        "query": current["query"],
+        "scalars": {
+            "current_time": current.get("current_time"),
+            "last_expiry_boundary": current.get("last_expiry_boundary"),
+            "stats": dict(current.get("stats", {})),
+            "emission_seq": current["emission"]["seq"],
+        },
+    }
+
+    for section in _KEYED_SECTIONS:
+        base_value, cur_value = base[section], current[section]
+        if base_value == cur_value:
+            continue
+        base_pairs = _section_pairs(section, base_value)
+        cur_pairs = _section_pairs(section, cur_value)
+        if section == "trees":
+            diff = _trees_diff(base_value, cur_value)
+            reproduced = _trees_apply(base_value, diff)
+        else:
+            diff = _assoc_diff(base_pairs, cur_pairs)
+            reproduced = _section_from_pairs(section, _assoc_apply(base_pairs, diff))
+        if reproduced == cur_value and encoded_size(diff) < encoded_size(cur_value):
+            delta[section] = {"diff": diff}
+        else:
+            # The ordered diff cannot reproduce the section exactly (or
+            # would not be smaller); fall back to a verbatim rewrite.
+            delta[section] = {"full": cur_value}
+
+    base_events, cur_events = base["results"], current["results"]
+    base_keys, cur_keys = base["emission"]["keys"], current["emission"]["keys"]
+    if cur_events[: len(base_events)] == base_events and cur_keys[: len(base_keys)] == base_keys:
+        if len(cur_events) > len(base_events) or len(cur_keys) > len(base_keys):
+            delta["results"] = {
+                "appended": cur_events[len(base_events) :],
+                "keys_appended": cur_keys[len(base_keys) :],
+            }
+    else:  # pragma: no cover - the result stream is append-only by design
+        delta["results"] = {"full": cur_events, "keys": cur_keys}
+    return delta
+
+
+def apply_evaluator_delta(base: Dict, delta: Dict) -> Dict:
+    """Rebuild the full state ``delta`` was computed against.
+
+    Raises:
+        CheckpointError: the delta names a different query or layout
+            version than the base, or references structure the base does
+            not hold.
+    """
+    if delta.get("delta_format") != DELTA_FORMAT:
+        raise CheckpointError(
+            f"unsupported evaluator delta format {delta.get('delta_format')!r} "
+            f"(this build reads format {DELTA_FORMAT})"
+        )
+    if delta.get("query") != base.get("query"):
+        raise CheckpointError(
+            f"evaluator delta for query {delta.get('query')!r} applied to a "
+            f"checkpoint of {base.get('query')!r}"
+        )
+    state = {field: base[field] for field in _IMMUTABLE_FIELDS if field in base}
+    scalars = delta["scalars"]
+    state["current_time"] = scalars["current_time"]
+    state["last_expiry_boundary"] = scalars["last_expiry_boundary"]
+    state["stats"] = dict(scalars["stats"])
+
+    try:
+        for section in _KEYED_SECTIONS:
+            entry = delta.get(section)
+            if entry is None:
+                state[section] = base[section]
+            elif "full" in entry:
+                state[section] = entry["full"]
+            elif section == "trees":
+                state[section] = _trees_apply(base[section], entry["diff"])
+            else:
+                pairs = _assoc_apply(_section_pairs(section, base[section]), entry["diff"])
+                state[section] = _section_from_pairs(section, pairs)
+
+        results = delta.get("results")
+        if results is None:
+            state["results"] = base["results"]
+            keys = base["emission"]["keys"]
+        elif "full" in results:
+            state["results"] = results["full"]
+            keys = results["keys"]
+        else:
+            state["results"] = list(base["results"]) + list(results["appended"])
+            keys = list(base["emission"]["keys"]) + list(results["keys_appended"])
+    except (KeyError, TypeError, IndexError) as exc:
+        raise CheckpointError(
+            f"corrupt evaluator delta for query {delta.get('query')!r}: "
+            f"{type(exc).__name__} while applying sections ({exc})"
+        ) from exc
+    state["emission"] = {"seq": scalars["emission_seq"], "keys": keys}
+    # Reassemble in checkpoint_rapq's field order so re-encoded bytes of a
+    # recovered chain match a directly taken checkpoint.
+    ordered = {
+        "format": state["format"],
+        "query": state["query"],
+        "window": state["window"],
+        "result_semantics": state["result_semantics"],
+        "current_time": state["current_time"],
+        "last_expiry_boundary": state["last_expiry_boundary"],
+        "stats": state["stats"],
+        "snapshot": state["snapshot"],
+        "trees": state["trees"],
+        "reverse_index": state["reverse_index"],
+        "in_adjacency": state["in_adjacency"],
+        "results": state["results"],
+        "emission": state["emission"],
+    }
+    if state.get("partition") is not None:
+        ordered["partition"] = state["partition"]
+    return ordered
+
+
+# --------------------------------------------------------------------- #
+# Service-level delta (one coordinated checkpoint vs the previous)
+# --------------------------------------------------------------------- #
+
+
+def _member_key(entry: Dict) -> Tuple[str, Optional[int]]:
+    """Identity of one coordinated-checkpoint entry: name + partition index."""
+    partition = entry["state"].get("partition")
+    return (entry["name"], None if partition is None else partition["index"])
+
+
+def service_delta(base_state: Dict, current_state: Dict) -> Dict:
+    """Delta between two coordinated service checkpoints of one chain.
+
+    Per partition member: an evaluator delta when the member existed in
+    the base (falling back to its full state if the member cannot be
+    delta'd, e.g. it was re-registered under the same name), its full
+    state when it is new.  Members absent from ``current_state`` are
+    listed as removed.
+    """
+    base_members = {_member_key(entry): entry for entry in base_state["queries"]}
+    current_members = {_member_key(entry) for entry in current_state["queries"]}
+    entries = []
+    for entry in current_state["queries"]:
+        key = _member_key(entry)
+        record = {"name": entry["name"], "partition": key[1], "shard": entry["shard"]}
+        base_entry = base_members.get(key)
+        if base_entry is not None:
+            try:
+                record["delta"] = evaluator_delta(base_entry["state"], entry["state"])
+                entries.append(record)
+                continue
+            except ValueError:
+                pass  # incompatible states (e.g. re-registered name): ship full
+        record["state"] = entry["state"]
+        entries.append(record)
+    return {
+        "kind": "delta",
+        "delta_format": DELTA_FORMAT,
+        "tuples_ingested": current_state.get("tuples_ingested", 0),
+        "queries": entries,
+        "removed": [list(key) for key in base_members if key not in current_members],
+    }
+
+
+def apply_service_delta(base_state: Dict, delta: Dict) -> Dict:
+    """Fold a :func:`service_delta` dict onto the service state it diffed.
+
+    Raises:
+        CheckpointError: the delta's layout version is unknown or an
+            entry's evaluator delta does not match its base.
+    """
+    if delta.get("delta_format") != DELTA_FORMAT:
+        raise CheckpointError(
+            f"unsupported service delta format {delta.get('delta_format')!r} "
+            f"(this build reads format {DELTA_FORMAT})"
+        )
+    base_members = {_member_key(entry): entry for entry in base_state["queries"]}
+    removed = {tuple(key) for key in delta.get("removed", [])}
+    queries = []
+    for record in delta["queries"]:
+        key = (record["name"], record["partition"])
+        if "state" in record:
+            state = record["state"]
+        else:
+            base_entry = base_members.get(key)
+            if base_entry is None:
+                raise CheckpointError(
+                    f"service delta references query {record['name']!r} "
+                    f"(partition {record['partition']!r}) absent from its base checkpoint"
+                )
+            state = apply_evaluator_delta(base_entry["state"], record["delta"])
+        queries.append({"name": record["name"], "shard": record["shard"], "state": state})
+    surviving = {_member_key(entry) for entry in queries}
+    for key, entry in base_members.items():
+        if key not in surviving and key not in removed:
+            raise CheckpointError(
+                f"corrupt service delta: query {key[0]!r} (partition {key[1]!r}) is "
+                f"neither carried forward nor listed as removed"
+            )
+    return {
+        "format": base_state["format"],
+        "window": base_state["window"],
+        "config": base_state["config"],
+        "tuples_ingested": delta.get("tuples_ingested", 0),
+        "queries": queries,
+    }

@@ -1,0 +1,391 @@
+"""The coordinator-side durability manager: logs, checkpoints, manifest.
+
+:class:`DurabilityManager` is the piece of the durability subsystem that
+rides *inside* a running :class:`~repro.runtime.service.StreamingQueryService`.
+The service calls into it at four points:
+
+* ``attach`` at :meth:`~repro.runtime.service.StreamingQueryService.start`
+  — initialize the directory, write the base checkpoint covering every
+  query registered so far, open one :class:`~repro.runtime.durability.wal.WalWriter`
+  per shard;
+* ``log_*`` at every routed tuple and every engine-level topology change
+  (register / restore / deregister), *before* the corresponding worker
+  call for tuples (write-ahead) and right after success for topology ops
+  (so the log never claims an op that did not happen);
+* ``maybe_checkpoint`` after each ingested tuple — the periodic
+  incremental-checkpoint scheduler (`checkpoint_interval` tuples per
+  delta, deltas promoted to a fresh base every `checkpoint_keep_deltas`
+  so the chain and the WAL stay bounded);
+* ``checkpoint(reason="stop")`` + ``close`` at shutdown — the final
+  coordinated checkpoint that makes a *graceful* stop recoverable without
+  any WAL replay.
+
+Directory layout::
+
+    <wal_dir>/
+      MANIFEST.json                  # chain index, atomically replaced
+      checkpoints/base-0000000001.json
+      checkpoints/delta-0000000002.json
+      ...
+      wal/shard-0/seg-0000000001.wal
+      wal/shard-1/...
+
+The manifest lists the retained checkpoint chain (one base plus its
+deltas), each entry carrying the per-shard WAL horizons (the LSN each
+shard's log had reached at the coordinated cut) and a CRC digest of the
+checkpoint file.  Every file is written to a temporary name, fsynced and
+renamed, and the manifest is replaced last — so a crash at any point
+leaves the previous chain fully intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ...core.checkpoint import canonical_bytes, decode_state, state_digest
+from ...errors import CheckpointError, RuntimeStateError
+from .. import protocol
+from . import wal as wal_mod
+from .incremental import service_delta
+
+__all__ = ["DurabilityManager", "read_manifest", "MANIFEST_NAME"]
+
+#: File name of the chain index inside a durability directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Layout version of the manifest this build writes.
+_MANIFEST_FORMAT = 1
+
+
+def read_manifest(directory: Path) -> Dict:
+    """Load and validate a durability directory's manifest.
+
+    Raises:
+        CheckpointError: there is no manifest (not a durability
+            directory), it is unreadable, or its layout version is
+            unknown.
+    """
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        raise CheckpointError(
+            f"{directory} is not a durability directory: no {MANIFEST_NAME} found"
+        ) from None
+    manifest = decode_state(blob, what=f"durability manifest {path}")
+    if not isinstance(manifest, dict) or manifest.get("format") != _MANIFEST_FORMAT:
+        raise CheckpointError(
+            f"unsupported durability manifest format "
+            f"{manifest.get('format') if isinstance(manifest, dict) else manifest!r} in {path} "
+            f"(this build reads format {_MANIFEST_FORMAT})"
+        )
+    return manifest
+
+
+def _fsync_file(path: Path) -> None:
+    """fsync one file by path (used after writing temporaries)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so renames inside it are durable (best effort)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - not supported on this platform
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: Path, blob: bytes) -> None:
+    """Write ``blob`` to ``path`` via a temporary file + fsync + rename."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(blob)
+    _fsync_file(tmp)
+    tmp.replace(path)
+    _fsync_dir(path.parent)
+
+
+class DurabilityManager:
+    """Per-service durability: write-ahead logs plus a checkpoint chain.
+
+    Constructed by the service when its config names a ``wal_dir``; inert
+    (every ``log_*`` call is a no-op) until :meth:`attach` opens the
+    directory, which the service does as part of ``start()``.
+
+    Args:
+        directory: the durability directory.
+        shards: shard count of the owning service (one WAL per shard).
+        fsync: WAL fsync policy, one of
+            :data:`~repro.runtime.config.FSYNC_POLICIES`.
+        segment_bytes: WAL segment rotation threshold.
+        interval: take a delta checkpoint every this many logged tuples
+            (0 = only the final checkpoint at stop).
+        keep_deltas: promote the next checkpoint to a full base once this
+            many deltas follow the current base.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        shards: int,
+        fsync: str = "batch",
+        segment_bytes: int = 4_000_000,
+        interval: int = 0,
+        keep_deltas: int = 4,
+    ) -> None:
+        self.directory = Path(directory)
+        self.shards = shards
+        self.fsync = fsync
+        self.segment_bytes = segment_bytes
+        self.interval = interval
+        self.keep_deltas = keep_deltas
+        self._writers: Optional[List[wal_mod.WalWriter]] = None
+        self._op = 0
+        self._tuples_since_checkpoint = 0
+        self._chain: List[Dict] = []
+        self._next_id = 1
+        self._deltas_since_base = 0
+        self._last_states: Optional[Dict] = None  # the chain's folded service state
+        #: Set by recovery: the next attach may wipe the directory it just
+        #: recovered from (a fresh base supersedes the old chain).
+        self.reset_on_attach = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def attached(self) -> bool:
+        """Whether the directory is open and logging is live."""
+        return self._writers is not None
+
+    @property
+    def wal_root(self) -> Path:
+        """Root of the per-shard WAL directories."""
+        return self.directory / "wal"
+
+    @property
+    def checkpoint_dir(self) -> Path:
+        """Directory holding the checkpoint chain's files."""
+        return self.directory / "checkpoints"
+
+    def attach(self, service, reset: bool = False) -> None:
+        """Open the directory and write the base checkpoint of ``service``.
+
+        Args:
+            service: the owning (not yet running) service; its current
+                state becomes the chain's base.
+            reset: wipe an existing log first.  Recovery passes ``True``
+                when re-arming durability over the directory it just
+                recovered from; a plain ``start()`` never does, so
+                pointing a fresh service at a populated directory fails
+                instead of silently destroying the evidence.
+
+        Raises:
+            RuntimeStateError: already attached, or the directory holds a
+                previous service's log and ``reset`` is false.
+        """
+        if self.attached:
+            raise RuntimeStateError(f"durability directory {self.directory} is already attached")
+        manifest_path = self.directory / MANIFEST_NAME
+        if manifest_path.exists():
+            if not reset:
+                raise RuntimeStateError(
+                    f"durability directory {self.directory} already holds a log; "
+                    f"recover it with `repro recover --wal {self.directory}` (or the "
+                    f"RecoveryManager API), or point --wal at a fresh directory"
+                )
+            self._wipe()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self._writers = [
+            wal_mod.WalWriter(
+                wal_mod.shard_log_dir(self.wal_root, shard),
+                fsync=self.fsync,
+                segment_bytes=self.segment_bytes,
+            )
+            for shard in range(self.shards)
+        ]
+        self._chain = []
+        self._next_id = 1
+        self._deltas_since_base = 0
+        self._last_states = None
+        self._tuples_since_checkpoint = 0
+        self.checkpoint(service, reason="attach")
+
+    def _wipe(self) -> None:
+        """Remove every file a previous attachment left behind."""
+        manifest = self.directory / MANIFEST_NAME
+        if manifest.exists():
+            manifest.unlink()
+        if self.checkpoint_dir.is_dir():
+            for path in self.checkpoint_dir.glob("*.json"):
+                path.unlink()
+        if self.wal_root.is_dir():
+            for shard_dir in self.wal_root.iterdir():
+                if shard_dir.is_dir():
+                    for segment in shard_dir.glob("*.wal"):
+                        segment.unlink()
+
+    def close(self, resettable: bool = False) -> None:
+        """Close every WAL writer (final sync per policy).
+
+        Args:
+            resettable: the shutdown was clean (final checkpoint taken),
+                so when the *same* service object starts again the next
+                :meth:`attach` may wipe this manager's own completed log
+                and write a fresh base.  An error-path close must pass
+                ``False``: the directory is then crash evidence, and a
+                retried ``start()`` is refused instead of wiping what
+                recovery needs.  A different manager instance (a new
+                process finding a populated directory) is refused either
+                way.
+        """
+        if self._writers is not None:
+            for writer in self._writers:
+                writer.close()
+            self._writers = None
+            self.reset_on_attach = resettable
+
+    # ------------------------------------------------------------------ #
+    # Logging (called by the service on its coordinator thread)
+    # ------------------------------------------------------------------ #
+
+    def log_tuple(self, idx: int, tup, shards) -> None:
+        """Write-ahead-log one routed tuple to every shard it routes to."""
+        if self._writers is None:
+            return
+        wire = protocol.encode_tuple(tup)
+        for shard in shards:
+            self._writers[shard].append(wal_mod.TUPLE, idx, 0, wire)
+        self._tuples_since_checkpoint += 1
+
+    def log_register(
+        self,
+        shard: int,
+        idx: int,
+        name: str,
+        expression: str,
+        semantics: str,
+        max_nodes_per_tree: Optional[int],
+        partition: Optional[Tuple[int, int]],
+    ) -> None:
+        """Log a successful engine-level registration on ``shard``."""
+        if self._writers is None:
+            return
+        self._op += 1
+        self._writers[shard].append(
+            wal_mod.REGISTER,
+            idx,
+            self._op,
+            [name, expression, semantics, max_nodes_per_tree, list(partition) if partition else None],
+        )
+
+    def log_restore(self, shard: int, idx: int, name: str, semantics: str, state: Dict) -> None:
+        """Log a successful engine-level state adoption on ``shard``."""
+        if self._writers is None:
+            return
+        self._op += 1
+        self._writers[shard].append(wal_mod.RESTORE, idx, self._op, [name, semantics, state])
+
+    def log_deregister(self, shard: int, idx: int, name: str) -> None:
+        """Log a successful engine-level removal on ``shard``."""
+        if self._writers is None:
+            return
+        self._op += 1
+        self._writers[shard].append(wal_mod.DEREGISTER, idx, self._op, name)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+
+    def maybe_checkpoint(self, service) -> bool:
+        """Take the periodic incremental checkpoint when it is due."""
+        if self._writers is None or self.interval <= 0:
+            return False
+        if self._tuples_since_checkpoint < self.interval:
+            return False
+        self.checkpoint(service, reason="interval")
+        return True
+
+    def checkpoint(self, service, reason: str = "manual") -> Dict:
+        """Take one coordinated checkpoint (base or delta) and index it.
+
+        Drains the service (via ``service.checkpoint()``), syncs every
+        WAL writer (the ``"batch"`` fsync commit point), writes the
+        checkpoint file atomically, and appends the manifest entry whose
+        per-shard WAL horizons tell recovery where replay must start.
+        Every ``keep_deltas`` deltas the checkpoint is promoted to a
+        fresh full base, the older chain files are deleted and WAL
+        segments behind the new base are pruned.
+
+        Returns the manifest entry written.
+        """
+        if self._writers is None:
+            raise RuntimeStateError("durability manager is not attached")
+        state = service.checkpoint()
+        for writer in self._writers:
+            writer.sync()
+        horizons = {str(shard): writer.lsn for shard, writer in enumerate(self._writers)}
+        checkpoint_id = self._next_id
+        self._next_id += 1
+        make_base = self._last_states is None or self._deltas_since_base >= self.keep_deltas
+        if make_base:
+            kind, payload = "base", state
+        else:
+            kind, payload = "delta", service_delta(self._last_states, state)
+        filename = f"{kind}-{checkpoint_id:010d}.json"
+        _atomic_write(self.checkpoint_dir / filename, canonical_bytes(payload))
+        entry = {
+            "id": checkpoint_id,
+            "kind": kind,
+            "file": f"checkpoints/{filename}",
+            "digest": state_digest(payload),
+            "wal": horizons,
+            "tuples_ingested": state.get("tuples_ingested", 0),
+            "op": self._op,
+            "reason": reason,
+        }
+        if make_base:
+            stale = list(self._chain)
+            self._chain = [entry]
+            self._deltas_since_base = 0
+            self._write_manifest(state)
+            for old in stale:
+                old_path = self.directory / old["file"]
+                if old_path.exists():
+                    old_path.unlink()
+            for shard, writer in enumerate(self._writers):
+                wal_mod.prune_segments(
+                    wal_mod.shard_log_dir(self.wal_root, shard), int(horizons[str(shard)])
+                )
+        else:
+            self._chain.append(entry)
+            self._deltas_since_base += 1
+            self._write_manifest(state)
+        self._last_states = state
+        self._tuples_since_checkpoint = 0
+        return entry
+
+    def _write_manifest(self, state: Dict) -> None:
+        """Atomically replace the manifest with the current chain index."""
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "window": state["window"],
+            "config": state["config"],
+            "shards": self.shards,
+            "checkpoints": self._chain,
+        }
+        _atomic_write(self.directory / MANIFEST_NAME, json.dumps(manifest, indent=2).encode("utf-8"))

@@ -1,0 +1,356 @@
+"""Crash recovery: rebuild a service from base + deltas + WAL replay.
+
+:class:`RecoveryManager` turns a durability directory — the base
+checkpoint, its delta chain and the per-shard write-ahead logs written by
+:class:`~repro.runtime.durability.manager.DurabilityManager` — back into a
+:class:`~repro.runtime.service.StreamingQueryService` whose subsequent
+result stream is bit-identical to an uninterrupted run's.
+
+The recovery protocol (per Wu et al.'s parallel per-core replay):
+
+1. **Fold the chain** — load the newest base checkpoint, verify its CRC
+   digest, apply each delta in order.  A delta that is missing, torn or
+   digest-mismatched ends the chain early: recovery falls back to the
+   last good checkpoint and simply replays more WAL (the log subsumes
+   every checkpoint taken after it).
+2. **Restore** — rebuild the service from the folded state with
+   durability disabled (replay must not be re-logged), workers stopped:
+   control frames and batches execute inline against each shard's local
+   engine.
+3. **Replay, shard-parallel** — each shard's log is an independent,
+   faithful history of that shard's engine (tuples *and* topology
+   changes, in execution order), so the logs replay with no cross-shard
+   coordination, starting after the chain's per-shard horizon LSNs.
+4. **Reconcile** — rebuild the service-level bookkeeping (router
+   placement, partition maps) from what the engines actually hold.  A
+   crash inside a migration or split can leave a query transiently on
+   two shards, or a partition group incomplete; the logged global
+   topology-op counter resolves duplicates (newest adoption wins) and
+   incomplete partition groups are dropped exactly as the live rollback
+   would have dropped them.
+5. **Heal lagging tails** (machine-crash case) — when one shard's log
+   tore earlier than the others', tuples it lost that *other* shards
+   logged are re-delivered to it in ingest order.  Tuples routed only to
+   the torn shard are unrecoverable by construction (the information no
+   longer exists); ``fsync="always"`` bounds that loss to the single
+   in-flight tuple.
+
+The caller resumes ingestion at :attr:`RecoveryResult.next_index` — the
+first global ingest index the recovered state does *not* cover — and the
+recovered service then emits exactly what the uninterrupted run would
+have (order, content, deletions included, partitioned queries included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ...core.checkpoint import canonical_bytes, decode_state, state_digest
+from ...errors import CheckpointError
+from ...graph.tuples import StreamingGraphTuple
+from .. import protocol
+from ..config import RuntimeConfig
+from ..router import StreamRouter
+from . import wal as wal_mod
+from .incremental import apply_service_delta
+from .manager import DurabilityManager, read_manifest
+
+__all__ = ["RecoveryManager", "RecoveryResult"]
+
+
+@dataclass
+class RecoveryResult:
+    """What :meth:`RecoveryManager.recover` rebuilt and how.
+
+    Attributes:
+        service: the recovered (stopped) service, ready to ``start()``.
+        next_index: first global ingest index *not* covered by the
+            recovered state; resume feeding the stream from here (for a
+            list, ``stream[next_index - 1:]`` — indices are 1-based).
+        checkpoint_id: id of the last chain checkpoint that was folded in.
+        replayed_tuples: per-shard count of WAL tuple records replayed.
+        replayed_ops: per-shard count of WAL topology records replayed.
+        healed_tuples: tuples re-delivered to shards with torn log tails.
+        dropped_queries: engine-level names dropped by reconciliation
+            (crashed-mid-move duplicates, incomplete partition groups).
+        skipped_checkpoints: chain entries that could not be used
+            (missing / torn / digest mismatch) and were replaced by
+            longer WAL replay, as ``(id, problem)`` pairs.
+    """
+
+    service: object
+    next_index: int
+    checkpoint_id: int
+    replayed_tuples: Dict[int, int] = field(default_factory=dict)
+    replayed_ops: Dict[int, int] = field(default_factory=dict)
+    healed_tuples: int = 0
+    dropped_queries: List[str] = field(default_factory=list)
+    skipped_checkpoints: List[Tuple[int, str]] = field(default_factory=list)
+
+
+class RecoveryManager:
+    """Rebuilds a service from a durability directory.
+
+    Args:
+        directory: the durability directory a previous service's
+            :class:`~repro.runtime.durability.manager.DurabilityManager`
+            wrote.
+    """
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+
+    def recover(self, backend: Optional[str] = None, resume: bool = False) -> RecoveryResult:
+        """Run the full recovery protocol; returns the rebuilt service.
+
+        Args:
+            backend: optionally override the worker backend of the
+                recovered service (checkpoints are backend-portable).
+            resume: re-arm durability on the recovered service — its
+                ``start()`` will reset this directory with a fresh base
+                checkpoint (the recovered state) and log onward into it.
+
+        Raises:
+            CheckpointError: the directory has no usable manifest or its
+                base checkpoint is unreadable.
+        """
+        manifest = read_manifest(self.directory)
+        state, last_entry, skipped = self._fold_chain(manifest)
+        config = RuntimeConfig.from_dict(state["config"])
+        if backend is not None:
+            config = config.with_backend(backend)
+        # Imported here (not at module top) to avoid a service <-> durability
+        # import cycle: the service package imports the manager at class level.
+        from ..service import StreamingQueryService
+
+        service = StreamingQueryService.restore(state, config=config.without_wal())
+        result = RecoveryResult(
+            service=service,
+            next_index=0,
+            checkpoint_id=last_entry["id"],
+            skipped_checkpoints=skipped,
+        )
+        creations, tuples_by_idx, last_idx = self._replay(service, last_entry, result)
+        self._reconcile(service, creations, result)
+        self._heal(service, tuples_by_idx, last_idx, result)
+        max_idx = max([int(state.get("tuples_ingested", 0))] + list(last_idx.values()))
+        service._tuples_ingested = max_idx
+        result.next_index = max_idx + 1
+        if resume:
+            # Re-arm durability at the directory we actually recovered
+            # from — not whatever path the crashed run's config recorded
+            # (it may be relative to a different cwd, or the operator may
+            # have moved the directory before recovering).
+            config = replace(config, wal_dir=str(self.directory))
+            service.config = config
+            service._durability = DurabilityManager(
+                self.directory,
+                shards=config.shards,
+                fsync=config.wal_fsync,
+                segment_bytes=config.wal_segment_bytes,
+                interval=config.checkpoint_interval,
+                keep_deltas=config.checkpoint_keep_deltas,
+            )
+            service._durability.reset_on_attach = True
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Step 1: fold the checkpoint chain
+    # ------------------------------------------------------------------ #
+
+    def _fold_chain(self, manifest: Dict) -> Tuple[Dict, Dict, List[Tuple[int, str]]]:
+        """Load base + deltas into one service state; tolerate a bad tail."""
+        chain = manifest.get("checkpoints", [])
+        if not chain or chain[0].get("kind") != "base":
+            raise CheckpointError(
+                f"durability manifest in {self.directory} lists no base checkpoint; "
+                f"the directory is unrecoverable"
+            )
+        state = self._load_entry(chain[0])
+        last_entry = chain[0]
+        skipped: List[Tuple[int, str]] = []
+        for entry in chain[1:]:
+            try:
+                delta = self._load_entry(entry)
+                state = apply_service_delta(state, delta)
+            except (OSError, CheckpointError) as exc:
+                # A torn chain tail: everything this delta (and its
+                # successors) covered is still in the WAL, so stop folding
+                # and let replay start from the last good horizon.
+                skipped.append((entry.get("id", -1), str(exc)))
+                rest = chain[chain.index(entry) + 1 :]
+                skipped.extend((later.get("id", -1), "follows a skipped delta") for later in rest)
+                break
+            last_entry = entry
+        return state, last_entry, skipped
+
+    def _load_entry(self, entry: Dict) -> Dict:
+        """Read one chain file and verify its recorded digest."""
+        path = self.directory / entry["file"]
+        payload = decode_state(path.read_bytes(), what=f"checkpoint file {path}")
+        digest = entry.get("digest")
+        if digest is not None and state_digest(payload) != digest:
+            raise CheckpointError(
+                f"checkpoint file {path} does not match its manifest digest "
+                f"(expected {digest}, got {state_digest(payload)})"
+            )
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Step 3: shard-parallel WAL replay
+    # ------------------------------------------------------------------ #
+
+    def _replay(
+        self, service, last_entry: Dict, result: RecoveryResult
+    ) -> Tuple[Dict, Dict[int, Tuple], Dict[int, int]]:
+        """Replay each shard's log tail into its (stopped) worker engine.
+
+        Returns the creation-op map for reconciliation, every replayed
+        tuple keyed by global ingest index (for healing), and each
+        shard's last logged index.
+        """
+        horizons = {int(shard): int(lsn) for shard, lsn in last_entry.get("wal", {}).items()}
+        creations: Dict[Tuple[int, str], int] = {}
+        tuples_by_idx: Dict[int, Tuple] = {}
+        last_idx: Dict[int, int] = {}
+        batch_size = service.config.batch_size
+        for shard, worker in enumerate(service.workers):
+            log_dir = wal_mod.shard_log_dir(self.directory / "wal", shard)
+            pending: List[StreamingGraphTuple] = []
+            replayed = ops = 0
+            shard_last = 0
+
+            def flush() -> None:
+                if pending:
+                    worker.replay_batch(pending)
+                    pending.clear()
+
+            for record in wal_mod.read_wal(log_dir, start_lsn=horizons.get(shard, 0)):
+                shard_last = max(shard_last, record.idx)
+                if record.type == wal_mod.TUPLE:
+                    tuples_by_idx.setdefault(record.idx, tuple(record.data))
+                    pending.append(protocol.decode_tuple(record.data))
+                    replayed += 1
+                    if len(pending) >= batch_size:
+                        flush()
+                    continue
+                # Topology records are barriers: the engine must hold the
+                # preceding tuples before the op applies (execution order).
+                flush()
+                ops += 1
+                if record.type == wal_mod.REGISTER:
+                    name, expression, semantics, max_nodes, partition = record.data
+                    worker.register_query(
+                        name, expression, semantics, max_nodes, tuple(partition) if partition else None
+                    )
+                    creations[(shard, name)] = record.op
+                elif record.type == wal_mod.RESTORE:
+                    name, semantics, state = record.data
+                    worker.restore_query(name, canonical_bytes(state), semantics)
+                    creations[(shard, name)] = record.op
+                else:  # DEREGISTER
+                    worker.deregister_query(record.data)
+                    creations.pop((shard, record.data), None)
+            flush()
+            result.replayed_tuples[shard] = replayed
+            result.replayed_ops[shard] = ops
+            last_idx[shard] = shard_last
+        return creations, tuples_by_idx, last_idx
+
+    # ------------------------------------------------------------------ #
+    # Step 4: rebuild service bookkeeping from the engines
+    # ------------------------------------------------------------------ #
+
+    def _reconcile(self, service, creations: Dict, result: RecoveryResult) -> None:
+        """Make the service-level maps agree with the replayed engines."""
+        placements: Dict[str, List[Tuple[int, object, int]]] = {}
+        for shard, worker in enumerate(service.workers):
+            for registered in worker.engine.queries():
+                placements.setdefault(registered.name, []).append(
+                    (shard, registered, creations.get((shard, registered.name), 0))
+                )
+
+        def drop(name: str, shard: int) -> None:
+            service.workers[shard].deregister_query(name)
+            result.dropped_queries.append(f"{name}@shard{shard}")
+
+        # Crashed mid-move: one routed name on several shards.  The newest
+        # adoption (highest logged topology op) is the move's destination.
+        for name, copies in list(placements.items()):
+            if len(copies) > 1:
+                copies.sort(key=lambda item: item[2])
+                for shard, _, _ in copies[:-1]:
+                    drop(name, shard)
+                placements[name] = [copies[-1]]
+
+        # Crashed mid-split / mid-partitioned-register: a partition group
+        # is authoritative only when complete and its origin query is gone.
+        groups: Dict[str, List[str]] = {}
+        for name in placements:
+            base, sep, _ = name.partition("::")
+            if sep:
+                groups.setdefault(base, []).append(name)
+        for base, members in groups.items():
+            counts = set()
+            indices = set()
+            for member in members:
+                partition = getattr(placements[member][0][1].evaluator, "partition", None)
+                if partition is not None:
+                    counts.add(partition.count)
+                    indices.add(partition.index)
+            complete = len(counts) == 1 and indices == set(range(next(iter(counts), 0)))
+            if base in placements or not complete:
+                for member in members:
+                    shard, _, _ = placements.pop(member)[0]
+                    drop(member, shard)
+
+        service.router = StreamRouter(service.config.shards, service.config.sharding)
+        service._semantics = {}
+        service._partitions = {}
+        service._member_base = {}
+        for name in sorted(placements):
+            shard, registered, _ = placements[name][0]
+            service.router.assign_to(name, registered.analysis, shard)
+            base, sep, _ = name.partition("::")
+            if not sep:
+                service._semantics[name] = registered.semantics
+                continue
+            partition = registered.evaluator.partition
+            members = service._partitions.setdefault(base, [None] * partition.count)
+            members[partition.index] = name
+            service._member_base[name] = base
+            service._semantics[base] = "arbitrary"
+
+    # ------------------------------------------------------------------ #
+    # Step 5: heal shards whose log tore earlier than the others'
+    # ------------------------------------------------------------------ #
+
+    def _heal(
+        self,
+        service,
+        tuples_by_idx: Dict[int, Tuple],
+        last_idx: Dict[int, int],
+        result: RecoveryResult,
+    ) -> None:
+        """Re-deliver tuples a torn shard lost but sibling logs kept."""
+        if not tuples_by_idx:
+            return
+        global_last = max(tuples_by_idx)
+        lagging = [shard for shard, last in last_idx.items() if last < global_last]
+        if not lagging:
+            return
+        ordered = sorted(tuples_by_idx.items())
+        for shard in lagging:
+            worker = service.workers[shard]
+            pending: List[StreamingGraphTuple] = []
+            for idx, wire in ordered:
+                if idx <= last_idx[shard]:
+                    continue
+                tup = protocol.decode_tuple(wire)
+                if shard in service.router.route(tup):
+                    pending.append(tup)
+            if pending:
+                worker.replay_batch(pending)
+                result.healed_tuples += len(pending)

@@ -1,0 +1,347 @@
+"""Per-shard write-ahead logs: append-only, length-prefixed, CRC-checked.
+
+One log per shard (mirroring Wu et al.'s per-core logs, PAPERS.md), written
+by the *coordinator* at routing time: a tuple is logged to every shard it
+routes to before the shard worker ever sees it, and every topology change a
+shard engine observes (register / restore / deregister) is logged to that
+shard's log in execution order.  Each shard's log is therefore a faithful,
+self-contained history of that shard's engine — which is exactly what lets
+recovery replay the logs shard-by-shard, in parallel, with no cross-shard
+coordination (see :mod:`repro.runtime.durability.recovery`).
+
+Record format
+=============
+
+Every record is::
+
+    +----------------+----------------+----------------------------+
+    | length: u32 LE | crc32: u32 LE  | payload (``length`` bytes) |
+    +----------------+----------------+----------------------------+
+
+with ``payload`` the UTF-8 compact JSON array ``[type, idx, op, data]``:
+
+* ``type`` — one of the record types below;
+* ``idx`` — the global ingest index (``tuples_ingested`` stamp) current
+  when the record was written; monotone within a log, comparable across
+  logs (the coordinator is single-threaded);
+* ``op`` — a global topology-operation counter for control records
+  (``0`` for tuples); recovery uses it to resolve the crashed-mid-move
+  window where a query transiently exists on two shards;
+* ``data`` — per-type body, reusing the runtime protocol's wire forms.
+
+Record types:
+
+============= ======================================================
+``T``         one routed tuple; ``data`` is the protocol tuple wire
+              form ``(tau, u, v, l, op)``
+``R``         engine-level registration; ``data`` is ``[name,
+              expression, semantics, max_nodes_per_tree, partition]``
+``S``         engine-level state adoption (migration / split landing);
+              ``data`` is ``[name, semantics, state_dict]`` with
+              ``state_dict`` a full order-exact evaluator checkpoint
+``D``         engine-level deregistration; ``data`` is the name
+============= ======================================================
+
+Segments are named ``seg-<first lsn, 10 digits>.wal``; the writer rotates
+to a fresh segment once the active one exceeds the configured byte size,
+which is what lets checkpointing prune the log: a segment whose records
+all precede the newest checkpoint's horizon can simply be deleted.
+
+Torn tails: a record that cannot be fully read (short header, short
+payload, or CRC mismatch) at the *tail of the last segment* is the
+expected signature of a crash mid-write and ends iteration cleanly;
+anywhere else it raises :class:`~repro.errors.WALCorruptionError` naming
+the segment and byte offset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List
+
+from ...core.checkpoint import decode_state
+from ...errors import WALCorruptionError
+
+__all__ = [
+    "TUPLE",
+    "REGISTER",
+    "RESTORE",
+    "DEREGISTER",
+    "RECORD_TYPES",
+    "WalRecord",
+    "WalWriter",
+    "read_wal",
+    "last_segment_lsn",
+    "prune_segments",
+    "shard_log_dir",
+]
+
+#: Record type: one routed tuple (protocol wire form).
+TUPLE = "T"
+#: Record type: engine-level query registration.
+REGISTER = "R"
+#: Record type: engine-level adoption of a full evaluator state.
+RESTORE = "S"
+#: Record type: engine-level query removal.
+DEREGISTER = "D"
+
+#: Every record type a reader must understand.
+RECORD_TYPES = (TUPLE, REGISTER, RESTORE, DEREGISTER)
+
+_HEADER = struct.Struct("<II")
+_SEGMENT_GLOB = "seg-*.wal"
+
+
+def shard_log_dir(root: Path, shard_id: int) -> Path:
+    """The directory holding one shard's WAL segments under ``root``."""
+    return Path(root) / f"shard-{shard_id}"
+
+
+def _segment_path(directory: Path, first_lsn: int) -> Path:
+    """Path of the segment whose first record carries ``first_lsn``."""
+    return directory / f"seg-{first_lsn:010d}.wal"
+
+
+def _segment_first_lsn(path: Path) -> int:
+    """The first-record LSN encoded in a segment's file name."""
+    stem = path.name[len("seg-") : -len(".wal")]
+    try:
+        return int(stem)
+    except ValueError:
+        raise WALCorruptionError(f"unrecognized WAL segment name {path.name!r} in {path.parent}") from None
+
+
+def _sorted_segments(directory: Path) -> List[Path]:
+    """All segments of one shard log, in LSN order."""
+    return sorted(Path(directory).glob(_SEGMENT_GLOB), key=_segment_first_lsn)
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded WAL record.
+
+    Attributes:
+        lsn: position of the record in its shard's log (1-based, monotone).
+        type: record type, one of :data:`RECORD_TYPES`.
+        idx: global ingest index current when the record was written.
+        op: global topology-operation counter (``0`` for tuple records).
+        data: per-type body (see the module docstring).
+    """
+
+    lsn: int
+    type: str
+    idx: int
+    op: int
+    data: object
+
+
+class WalWriter:
+    """Appends records to one shard's write-ahead log.
+
+    Every append writes and *flushes* the record (so a killed process
+    loses nothing that was appended); the fsync policy decides when
+    records additionally reach the device:
+
+    * ``"always"`` — fsync after every record (survives machine crash);
+    * ``"batch"`` — fsync only in :meth:`sync` (group commit at
+      checkpoint / close boundaries);
+    * ``"off"`` — never fsync.
+
+    Args:
+        directory: the shard's log directory (created if missing).
+        fsync: one of :data:`~repro.runtime.config.FSYNC_POLICIES`.
+        segment_bytes: rotate the active segment beyond this size.
+        start_lsn: LSN of the last record already in the log (``0`` for a
+            fresh log); appends continue at ``start_lsn + 1`` in a new
+            segment.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        fsync: str = "batch",
+        segment_bytes: int = 4_000_000,
+        start_lsn: int = 0,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.segment_bytes = segment_bytes
+        self._lsn = start_lsn
+        self._handle = None
+        self._segment_size = 0
+
+    @property
+    def lsn(self) -> int:
+        """LSN of the most recently appended record (0 = nothing yet)."""
+        return self._lsn
+
+    def append(self, record_type: str, idx: int, op: int, data: object) -> int:
+        """Append one record; returns its LSN.
+
+        The record is flushed to the OS before returning; whether it is
+        also fsynced depends on the writer's policy.
+        """
+        payload = json.dumps([record_type, idx, op, data], separators=(",", ":")).encode("utf-8")
+        if self._handle is None or self._segment_size >= self.segment_bytes:
+            self._rotate()
+        self._handle.write(_HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF))
+        self._handle.write(payload)
+        self._handle.flush()
+        if self.fsync == "always":
+            os.fsync(self._handle.fileno())
+        self._segment_size += _HEADER.size + len(payload)
+        self._lsn += 1
+        return self._lsn
+
+    def _rotate(self) -> None:
+        """Close the active segment and open a fresh one at the next LSN."""
+        self._close_handle(final_sync=self.fsync != "off")
+        path = _segment_path(self.directory, self._lsn + 1)
+        self._handle = path.open("ab")
+        self._segment_size = path.stat().st_size
+
+    def sync(self) -> None:
+        """Force appended records to the device (the ``"batch"`` commit point)."""
+        if self._handle is not None and self.fsync != "off":
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Flush, sync (per policy) and close the active segment."""
+        self._close_handle(final_sync=self.fsync != "off")
+
+    def _close_handle(self, final_sync: bool) -> None:
+        """Close the active segment handle, optionally fsyncing first."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        if final_sync:
+            os.fsync(self._handle.fileno())
+        self._handle.close()
+        self._handle = None
+
+
+def last_segment_lsn(directory: Path) -> int:
+    """LSN of the last intact record in a shard log (0 for an empty log)."""
+    last = 0
+    for record in read_wal(directory):
+        last = record.lsn
+    return last
+
+
+def read_wal(directory: Path, start_lsn: int = 0) -> Iterator[WalRecord]:
+    """Iterate one shard log's records with ``lsn > start_lsn``, in order.
+
+    Args:
+        directory: the shard's log directory; missing or empty yields
+            nothing.
+        start_lsn: skip records at or below this LSN (a checkpoint
+            horizon).
+
+    Yields:
+        :class:`WalRecord` per intact record.
+
+    Raises:
+        WALCorruptionError: a record is truncated or fails its CRC
+            anywhere except the tail of the last segment (where a torn
+            record is the expected crash signature and ends iteration),
+            or the segment chain has a gap.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    segments = _sorted_segments(directory)
+    lsn = None
+    for position, segment in enumerate(segments):
+        first = _segment_first_lsn(segment)
+        if lsn is None:
+            lsn = first - 1
+        elif first != lsn + 1:
+            raise WALCorruptionError(
+                f"WAL segment chain broken in {directory}: {segment.name} starts at lsn {first}, "
+                f"expected {lsn + 1}"
+            )
+        last_segment = position == len(segments) - 1
+        for record in _read_segment(segment, lsn, tolerate_tail=last_segment):
+            lsn = record.lsn
+            if record.lsn > start_lsn:
+                yield record
+
+
+def _read_segment(path: Path, lsn_before: int, tolerate_tail: bool) -> Iterator[WalRecord]:
+    """Decode one segment file, yielding records after ``lsn_before``."""
+    lsn = lsn_before
+    with path.open("rb") as handle:
+        offset = 0
+        while True:
+            header = handle.read(_HEADER.size)
+            if not header:
+                return
+            if len(header) < _HEADER.size:
+                if tolerate_tail:
+                    return
+                raise WALCorruptionError(
+                    f"truncated WAL record header in {path} at offset {offset} "
+                    f"({len(header)} of {_HEADER.size} bytes)"
+                )
+            length, crc = _HEADER.unpack(header)
+            payload = handle.read(length)
+            if len(payload) < length:
+                if tolerate_tail:
+                    return
+                raise WALCorruptionError(
+                    f"truncated WAL record payload in {path} at offset {offset} "
+                    f"({len(payload)} of {length} bytes)"
+                )
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                # A torn tail is a record the crash cut short — which means
+                # nothing can follow it.  A full payload failing its CRC
+                # *with more bytes after it* is corruption of acknowledged
+                # data, even in the last segment.
+                if tolerate_tail and not handle.read(1):
+                    return
+                raise WALCorruptionError(f"WAL record CRC mismatch in {path} at offset {offset}")
+            record_type, idx, op, data = _decode_payload(payload, path, offset)
+            lsn += 1
+            offset += _HEADER.size + length
+            yield WalRecord(lsn=lsn, type=record_type, idx=idx, op=op, data=data)
+
+
+def _decode_payload(payload: bytes, path: Path, offset: int) -> tuple:
+    """Decode a CRC-validated payload; malformed JSON is real corruption."""
+    try:
+        decoded = decode_state(payload, what=f"WAL record in {path} at offset {offset}")
+    except ValueError as exc:  # CheckpointError subclasses ValueError
+        raise WALCorruptionError(str(exc)) from exc
+    if not isinstance(decoded, list) or len(decoded) != 4 or decoded[0] not in RECORD_TYPES:
+        raise WALCorruptionError(
+            f"unrecognized WAL record in {path} at offset {offset}: {str(decoded)[:80]}"
+        )
+    return tuple(decoded)
+
+
+def prune_segments(directory: Path, horizon_lsn: int) -> List[Path]:
+    """Delete segments whose records all have ``lsn <= horizon_lsn``.
+
+    The active (last) segment is never deleted.  Returns the deleted
+    paths.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    segments = _sorted_segments(directory)
+    deleted: List[Path] = []
+    for segment, successor in zip(segments, segments[1:]):
+        # The segment's records end right before its successor starts.
+        if _segment_first_lsn(successor) - 1 <= horizon_lsn:
+            segment.unlink()
+            deleted.append(segment)
+        else:
+            break
+    return deleted

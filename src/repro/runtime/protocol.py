@@ -154,6 +154,8 @@ __all__ = [
     "EVENTS",
     "FAILURE",
     "CONTROL_OPS",
+    "encode_tuple",
+    "decode_tuple",
     "encode_batch",
     "decode_batch",
     "encode_events",
@@ -212,6 +214,21 @@ FAILURE = "FAILURE"
 # --------------------------------------------------------------------- #
 # Payload encodings
 # --------------------------------------------------------------------- #
+
+
+def encode_tuple(tup: StreamingGraphTuple) -> Tuple:
+    """Encode one tuple into its compact wire form ``(tau, u, v, l, op)``.
+
+    The same wire form a ``BATCH`` frame carries; the durability
+    subsystem's write-ahead log reuses it record-for-record, so a logged
+    tuple replays through exactly the encoding the live path used.
+    """
+    return tup.to_wire()
+
+
+def decode_tuple(wire: Tuple) -> StreamingGraphTuple:
+    """Decode one tuple wire form (inverse of :func:`encode_tuple`)."""
+    return StreamingGraphTuple.from_wire(wire)
 
 
 def encode_batch(batch: Sequence[StreamingGraphTuple]) -> Tuple[Tuple, ...]:

@@ -22,6 +22,13 @@ is a typed frame of :mod:`repro.runtime.protocol`, so the same code drives
 the ``threading`` and ``multiprocessing`` backends.  Live results flow
 back over the workers' response queues and the optional ``on_result``
 callback is invoked on the coordinator thread while it pumps them.
+
+With a ``wal_dir`` configured the service is additionally *durable*: the
+coordinator write-ahead-logs every routed tuple and topology change (one
+log per shard) and takes periodic incremental checkpoints through its
+:class:`~repro.runtime.durability.manager.DurabilityManager`, so a
+killed process can be rebuilt — bit-identically — by
+:class:`~repro.runtime.durability.recovery.RecoveryManager`.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from collections import Counter
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
+from ..core.checkpoint import canonical_bytes, decode_state
 from ..core.partition import partition_checkpoint
 from ..core.results import ResultEvent, ResultStream
 from ..errors import RuntimeStateError
@@ -39,6 +47,7 @@ from ..graph.tuples import StreamingGraphTuple, Vertex
 from ..graph.window import WindowSpec
 from ..regex.analysis import QueryAnalysis, analyze
 from .config import RuntimeConfig
+from .durability.manager import DurabilityManager
 from .merger import TaggedResultEvent, merge_partition_events, merge_result_events
 from .rebalancer import RebalancePlan, ShardLoad, SplitPlan, make_rebalance_policy
 from .router import StreamRouter
@@ -122,6 +131,21 @@ class StreamingQueryService:
         self._migrating: Optional[str] = None
         self.migrations: List[Dict[str, object]] = []
         self.splits: List[Dict[str, object]] = []
+        # Durability: when the config names a wal_dir, every routed tuple
+        # and topology change is write-ahead-logged and checkpoints land
+        # in that directory, so a killed service can be rebuilt by
+        # repro.runtime.durability.RecoveryManager.  The manager is inert
+        # until start() attaches it.
+        self._durability: Optional[DurabilityManager] = None
+        if self.config.wal_dir is not None:
+            self._durability = DurabilityManager(
+                Path(self.config.wal_dir),
+                shards=self.config.shards,
+                fsync=self.config.wal_fsync,
+                segment_bytes=self.config.wal_segment_bytes,
+                interval=self.config.checkpoint_interval,
+                keep_deltas=self.config.checkpoint_keep_deltas,
+            )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -132,10 +156,24 @@ class StreamingQueryService:
         """Whether the shard workers are currently started."""
         return self._running
 
+    @property
+    def durability(self) -> Optional[DurabilityManager]:
+        """The durability manager, or ``None`` when no ``wal_dir`` is set."""
+        return self._durability
+
     def start(self) -> "StreamingQueryService":
-        """Start all shard workers; returns ``self`` for chaining."""
+        """Start all shard workers; returns ``self`` for chaining.
+
+        With durability configured, the directory is attached first: the
+        base checkpoint covering every query registered so far is written
+        and the per-shard write-ahead logs open, so everything ingested
+        after this call is recoverable.
+        """
         if self._running:
             raise RuntimeStateError("service is already running")
+        if self._durability is not None and not self._durability.attached:
+            self._durability.attach(self, reset=self._durability.reset_on_attach)
+            self._durability.reset_on_attach = False
         for worker in self.workers:
             worker.start()
         self._running = True
@@ -146,11 +184,18 @@ class StreamingQueryService:
 
         Workers are always stopped and the service marked not-running,
         even when the drain surfaces a shard failure (which is re-raised).
+        With durability attached, a final coordinated checkpoint is taken
+        after the drain — a gracefully stopped service recovers without
+        any WAL replay.
         """
         if not self._running:
             return
+        clean_shutdown = False
         try:
             self._drain(rebalance=False)
+            if self._durability is not None and self._durability.attached:
+                self._durability.checkpoint(self, reason="stop")
+            clean_shutdown = True
         finally:
             stop_error: Optional[BaseException] = None
             for worker in self.workers:
@@ -160,6 +205,11 @@ class StreamingQueryService:
                     if stop_error is None:
                         stop_error = exc
             self._running = False
+            if self._durability is not None:
+                # Only a clean shutdown (final checkpoint taken) lets this
+                # service object wipe-and-reattach on a later start(); a
+                # failed drain leaves the directory as crash evidence.
+                self._durability.close(resettable=clean_shutdown)
             # Don't mask a drain failure already propagating out of the try.
             if stop_error is not None and sys.exc_info()[0] is None:
                 raise stop_error
@@ -180,6 +230,47 @@ class StreamingQueryService:
                 except Exception:
                     pass
             self._running = False
+            if self._durability is not None:
+                # No final checkpoint on the error path: the WAL already
+                # holds everything logged, which is what recovery trusts.
+                self._durability.close()
+
+    # ------------------------------------------------------------------ #
+    # Logged worker mutations
+    #
+    # Every engine-level topology change goes through these helpers so the
+    # write-ahead log records it (in execution order, after the worker
+    # confirmed it) — including the rollback deregistrations of failed
+    # migrations and splits, which is what keeps each shard's log a
+    # faithful history of its engine.
+    # ------------------------------------------------------------------ #
+
+    def _worker_register(
+        self,
+        shard: int,
+        name: str,
+        expression: str,
+        semantics: str,
+        max_nodes_per_tree: Optional[int],
+        partition: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        self.workers[shard].register_query(name, expression, semantics, max_nodes_per_tree, partition)
+        if self._durability is not None:
+            self._durability.log_register(
+                shard, self._tuples_ingested, name, expression, semantics, max_nodes_per_tree, partition
+            )
+
+    def _worker_restore(self, shard: int, name: str, blob: bytes, state: Optional[Dict] = None) -> None:
+        self.workers[shard].restore_query(name, blob, "arbitrary")
+        if self._durability is not None:
+            if state is None:
+                state = decode_state(blob, what=f"evaluator blob for query {name!r}")
+            self._durability.log_restore(shard, self._tuples_ingested, name, "arbitrary", state)
+
+    def _worker_deregister(self, shard: int, name: str) -> None:
+        self.workers[shard].deregister_query(name)
+        if self._durability is not None:
+            self._durability.log_deregister(shard, self._tuples_ingested, name)
 
     # ------------------------------------------------------------------ #
     # Query management (allowed before and while running)
@@ -222,6 +313,12 @@ class StreamingQueryService:
                 f"query name {name!r} contains '::', which is reserved for "
                 f"partition member names"
             )
+        if self._durability is not None and semantics != "arbitrary":
+            raise ValueError(
+                f"query {name!r} uses semantics {semantics!r}: a durable service "
+                f"(wal_dir set) accepts only 'arbitrary' queries — no other "
+                f"evaluator state can be checkpointed for recovery"
+            )
         count = self.config.partitions if partitions is None else partitions
         if count < 1:
             raise ValueError(f"partitions must be >= 1, got {count}")
@@ -235,9 +332,7 @@ class StreamingQueryService:
                 # The expression travels as its rendered string (round-trip
                 # safe) so registration crosses process boundaries; the
                 # worker recompiles.
-                self.workers[shard].register_query(
-                    name, str(analysis.expression), semantics, max_nodes_per_tree
-                )
+                self._worker_register(shard, name, str(analysis.expression), semantics, max_nodes_per_tree)
             except Exception:
                 self.router.release(name)
                 raise
@@ -262,8 +357,8 @@ class StreamingQueryService:
                 self.router.assign_to(member, analysis, shard)
                 placed.append(member)
                 self._flush_shard(shard)
-                self.workers[shard].register_query(
-                    member, str(analysis.expression), "arbitrary", max_nodes_per_tree, (index, count)
+                self._worker_register(
+                    shard, member, str(analysis.expression), "arbitrary", max_nodes_per_tree, (index, count)
                 )
                 registered.append((member, shard))
         except Exception:
@@ -271,7 +366,7 @@ class StreamingQueryService:
             # whole (all members live) or not at all.
             for member, shard in registered:
                 try:
-                    self.workers[shard].deregister_query(member)
+                    self._worker_deregister(shard, member)
                 except Exception:
                     pass
             for member in placed:
@@ -308,7 +403,7 @@ class StreamingQueryService:
             # Flush this shard's buffered tuples first so the removal lands
             # after everything ingested before it, matching engine semantics.
             self._flush_shard(shard)
-            self.workers[shard].deregister_query(name)
+            self._worker_deregister(shard, name)
             self.router.release(name)
             del self._semantics[name]
             return
@@ -317,7 +412,7 @@ class StreamingQueryService:
             shard = self.router.shard_of(member)
             try:
                 self._flush_shard(shard)
-                self.workers[shard].deregister_query(member)
+                self._worker_deregister(shard, member)
             except BaseException as exc:  # noqa: BLE001 - re-raised after teardown
                 if error is None:
                     error = exc
@@ -466,23 +561,24 @@ class StreamingQueryService:
             self._flush_shard(source)
             self._flush_shard(target_shard)
             epoch = self.router.epoch
-            # The worker's reply names the semantics authoritatively (the
-            # coordinator check above is just the cheap fast path).
-            semantics, _, blob = self.workers[source].migrate_query(routed)
-            self.workers[target_shard].restore_query(routed, blob, semantics)
+            # MIGRATE refuses non-'arbitrary' semantics on the worker (the
+            # coordinator check above is just the cheap fast path), so the
+            # blob is always an arbitrary-semantics evaluator.
+            _, _, blob = self.workers[source].migrate_query(routed)
+            self._worker_restore(target_shard, routed, blob)
             if self.router.epoch != epoch:
-                self.workers[target_shard].deregister_query(routed)
+                self._worker_deregister(target_shard, routed)
                 raise RuntimeStateError(
                     f"route table changed while migrating {name!r} (reentrant "
                     f"register/deregister/migrate); the move was rolled back"
                 )
             try:
-                self.workers[source].deregister_query(routed)
+                self._worker_deregister(source, routed)
             except BaseException:
                 # The source kept the query; take it back off the target so
                 # exactly one shard owns it before the error surfaces.
                 try:
-                    self.workers[target_shard].deregister_query(routed)
+                    self._worker_deregister(target_shard, routed)
                 except Exception:
                     pass
                 raise
@@ -577,26 +673,25 @@ class StreamingQueryService:
             _, _, blob = self.workers[source].migrate_query(name)
             # ValueError here (old format, explicit semantics...) aborts
             # before anything moved: the query is untouched on its shard.
-            states = partition_checkpoint(json.loads(blob.decode("utf-8")), count)
+            states = partition_checkpoint(decode_state(blob, what=f"evaluator blob for {name!r}"), count)
             analysis = analyze(states[0]["query"])
             members = [_member_name(name, index) for index in range(count)]
             restored: List[Tuple[str, int]] = []
             try:
                 for member, shard, state in zip(members, targets, states):
-                    piece = json.dumps(state, separators=(",", ":")).encode("utf-8")
-                    self.workers[shard].restore_query(member, piece, "arbitrary")
+                    self._worker_restore(shard, member, canonical_bytes(state), state=state)
                     restored.append((member, shard))
                 if self.router.epoch != epoch:
                     raise RuntimeStateError(
                         f"route table changed while splitting {name!r} (reentrant "
                         f"register/deregister/migrate); the split was rolled back"
                     )
-                self.workers[source].deregister_query(name)
+                self._worker_deregister(source, name)
             except BaseException:
                 # Unwind the restored pieces; the original never left source.
                 for member, shard in restored:
                     try:
-                        self.workers[shard].deregister_query(member)
+                        self._worker_deregister(shard, member)
                     except Exception:
                         pass
                 raise
@@ -713,6 +808,11 @@ class StreamingQueryService:
             self._tuples_dropped += 1
             return
         self._label_loads[tup.label] += 1
+        if self._durability is not None:
+            # Write-ahead: the tuple reaches every routed shard's log
+            # before any worker can see it, so the WAL always covers
+            # everything the engines have processed.
+            self._durability.log_tuple(self._tuples_ingested, tup, shards)
         for shard in shards:
             pending = self._pending[shard]
             pending.append(tup)
@@ -722,6 +822,11 @@ class StreamingQueryService:
             self._tuples_since_rebalance += 1
             if self._tuples_since_rebalance >= self.config.rebalance_interval:
                 self.rebalance()
+        if self._durability is not None:
+            # The periodic incremental-checkpoint scheduler: every
+            # checkpoint_interval logged tuples, drain and take a delta
+            # against the chain's last state.
+            self._durability.maybe_checkpoint(self)
 
     def ingest(self, tuples: Iterable[StreamingGraphTuple]) -> None:
         """Route a stream of tuples (in timestamp order) into the shards."""
@@ -888,7 +993,8 @@ class StreamingQueryService:
                 # form that ships across process boundaries); decode it back
                 # to the JSON-compatible dict for the service-level layout.
                 blob = self.workers[shard].checkpoint_query(routed)
-                queries.append({"name": name, "shard": shard, "state": json.loads(blob.decode("utf-8"))})
+                state = decode_state(blob, what=f"evaluator blob for query {routed!r}")
+                queries.append({"name": name, "shard": shard, "state": state})
         return {
             "format": _SERVICE_FORMAT,
             "window": {"size": self.window.size, "slide": self.window.slide},
@@ -946,8 +1052,7 @@ class StreamingQueryService:
                 service.router.assign_to(routed, analysis, shard)
             else:
                 shard = service.router.assign(routed, analysis)
-            blob = json.dumps(entry["state"], separators=(",", ":")).encode("utf-8")
-            service.workers[shard].restore_query(routed, blob, "arbitrary")
+            service.workers[shard].restore_query(routed, canonical_bytes(entry["state"]), "arbitrary")
             service._semantics[name] = "arbitrary"
         for name, members in service._partitions.items():
             missing = [index for index, member in enumerate(members) if member is None]

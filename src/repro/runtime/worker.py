@@ -456,6 +456,28 @@ class ShardWorker:
         self._check_failure()
         return result
 
+    def replay_batch(self, batch: Sequence[StreamingGraphTuple]) -> None:
+        """Feed one batch to the local engine of a *stopped* worker.
+
+        The durability subsystem's recovery path uses this to replay a
+        shard's WAL tail: records execute against the same
+        :class:`ShardEngineServer` (through the same batch encoding) the
+        live serve loop uses, so replayed work is metered in the shard's
+        counters exactly like live work.
+
+        Raises:
+            RuntimeStateError: the worker is running — live batches must
+                go through :meth:`submit` so they serialize with control
+                frames on the request queue.
+        """
+        if self.running:
+            raise RuntimeStateError(
+                f"shard {self.shard_id} is running; replay_batch is only for "
+                f"stopped workers (recovery replay) — use submit() instead"
+            )
+        self._check_failure()
+        self._server.process_batch(protocol.encode_batch(batch), False)
+
     def drain(self) -> None:
         """Block until every batch submitted so far has been processed."""
         self.request(protocol.DRAIN)

@@ -135,3 +135,54 @@ class TestValidation:
         evaluator.process(sgt(1, ("tuple", "vertex"), "b", "a"))
         with pytest.raises(TypeError):
             checkpoint_rapq(evaluator)
+
+
+class TestRobustLoading:
+    """Truncated / corrupted / unknown blobs fail with a clean CheckpointError."""
+
+    def test_truncated_blob_reports_the_offset(self):
+        from repro.core.checkpoint import decode_rapq, encode_rapq
+        from repro.errors import CheckpointError
+
+        blob = encode_rapq(build_evaluator())
+        with pytest.raises(CheckpointError, match="offset"):
+            decode_rapq(blob[: len(blob) // 2])
+
+    def test_non_utf8_blob_reports_the_byte(self):
+        from repro.core.checkpoint import decode_rapq
+        from repro.errors import CheckpointError
+
+        with pytest.raises(CheckpointError, match="not UTF-8 at byte"):
+            decode_rapq(b"\xff\xfe broken")
+
+    def test_unknown_format_is_a_checkpoint_error(self):
+        from repro.errors import CheckpointError
+
+        state = checkpoint_rapq(build_evaluator())
+        state["format"] = 99
+        with pytest.raises(CheckpointError, match="unsupported checkpoint format"):
+            restore_rapq(state)
+        # and still a ValueError for callers that predate CheckpointError
+        assert issubclass(CheckpointError, ValueError)
+
+    def test_missing_section_names_the_query_not_a_keyerror(self):
+        from repro.errors import CheckpointError
+
+        state = checkpoint_rapq(build_evaluator())
+        del state["snapshot"]
+        with pytest.raises(CheckpointError, match="corrupt checkpoint for query"):
+            restore_rapq(state)
+
+    def test_non_dict_blob_is_rejected(self):
+        from repro.errors import CheckpointError
+
+        with pytest.raises(CheckpointError, match="dict of sections"):
+            restore_rapq(["not", "a", "checkpoint"])
+
+    def test_truncated_checkpoint_file_names_the_file(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        path = save_checkpoint(build_evaluator(), tmp_path / "ckpt.json")
+        path.write_bytes(path.read_bytes()[:-30])
+        with pytest.raises(CheckpointError, match="ckpt.json"):
+            load_checkpoint(path)

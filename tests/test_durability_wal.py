@@ -1,0 +1,141 @@
+"""Write-ahead log unit tests: record format, rotation, torn tails, pruning."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.errors import WALCorruptionError
+from repro.graph.tuples import sgt
+from repro.runtime.durability import wal
+
+
+def write_tuples(writer, count, start_idx=1):
+    for offset in range(count):
+        idx = start_idx + offset
+        writer.append(wal.TUPLE, idx, 0, sgt(idx, f"u{idx}", f"v{idx}", "a").to_wire())
+
+
+class TestRecordRoundTrip:
+    def test_tuple_records_round_trip_in_order(self, tmp_path):
+        writer = wal.WalWriter(tmp_path / "shard-0")
+        write_tuples(writer, 5)
+        writer.close()
+        records = list(wal.read_wal(tmp_path / "shard-0"))
+        assert [record.lsn for record in records] == [1, 2, 3, 4, 5]
+        assert [record.idx for record in records] == [1, 2, 3, 4, 5]
+        assert all(record.type == wal.TUPLE for record in records)
+        # the wire form survives byte-exactly (lists from JSON)
+        assert records[2].data == [3, "u3", "v3", "a", "+"]
+
+    def test_control_records_carry_op_and_payload(self, tmp_path):
+        writer = wal.WalWriter(tmp_path / "log")
+        writer.append(wal.REGISTER, 0, 1, ["q", "a+", "arbitrary", None, None])
+        writer.append(wal.RESTORE, 7, 2, ["q", "arbitrary", {"format": 2, "query": "a+"}])
+        writer.append(wal.DEREGISTER, 9, 3, "q")
+        writer.close()
+        register, restore, deregister = wal.read_wal(tmp_path / "log")
+        assert (register.type, register.op) == (wal.REGISTER, 1)
+        assert restore.data[2]["query"] == "a+"
+        assert (deregister.idx, deregister.data) == (9, "q")
+
+    def test_start_lsn_skips_the_checkpointed_prefix(self, tmp_path):
+        writer = wal.WalWriter(tmp_path / "log")
+        write_tuples(writer, 10)
+        writer.close()
+        assert [record.lsn for record in wal.read_wal(tmp_path / "log", start_lsn=7)] == [8, 9, 10]
+
+    def test_missing_directory_reads_as_empty(self, tmp_path):
+        assert list(wal.read_wal(tmp_path / "nothing-here")) == []
+
+
+class TestRotationAndPruning:
+    def test_rotation_splits_the_log_across_segments(self, tmp_path):
+        writer = wal.WalWriter(tmp_path / "log", segment_bytes=200)
+        write_tuples(writer, 20)
+        writer.close()
+        segments = sorted((tmp_path / "log").glob("seg-*.wal"))
+        assert len(segments) > 2
+        # reading crosses segment boundaries seamlessly
+        assert [record.lsn for record in wal.read_wal(tmp_path / "log")] == list(range(1, 21))
+
+    def test_prune_deletes_only_fully_covered_segments(self, tmp_path):
+        writer = wal.WalWriter(tmp_path / "log", segment_bytes=200)
+        write_tuples(writer, 20)
+        writer.close()
+        before = len(list((tmp_path / "log").glob("seg-*.wal")))
+        deleted = wal.prune_segments(tmp_path / "log", horizon_lsn=10)
+        assert deleted and len(deleted) < before
+        # every record past the horizon is still readable
+        survivors = [record.lsn for record in wal.read_wal(tmp_path / "log", start_lsn=10)]
+        assert survivors == list(range(11, 21))
+
+    def test_prune_never_deletes_the_active_segment(self, tmp_path):
+        writer = wal.WalWriter(tmp_path / "log")  # everything fits one segment
+        write_tuples(writer, 5)
+        writer.close()
+        assert wal.prune_segments(tmp_path / "log", horizon_lsn=5) == []
+        assert len(list((tmp_path / "log").glob("seg-*.wal"))) == 1
+
+    def test_segment_gap_is_corruption(self, tmp_path):
+        writer = wal.WalWriter(tmp_path / "log", segment_bytes=200)
+        write_tuples(writer, 20)
+        writer.close()
+        segments = sorted((tmp_path / "log").glob("seg-*.wal"))
+        segments[1].unlink()  # a hole in the middle of the chain
+        with pytest.raises(WALCorruptionError, match="chain broken"):
+            list(wal.read_wal(tmp_path / "log"))
+
+
+class TestTornTailsAndCorruption:
+    def test_torn_tail_of_last_segment_is_tolerated(self, tmp_path):
+        writer = wal.WalWriter(tmp_path / "log")
+        write_tuples(writer, 5)
+        writer.close()
+        segment = next((tmp_path / "log").glob("seg-*.wal"))
+        blob = segment.read_bytes()
+        segment.write_bytes(blob[:-3])  # the crash tore the last record
+        records = list(wal.read_wal(tmp_path / "log"))
+        assert [record.lsn for record in records] == [1, 2, 3, 4]
+
+    def test_torn_header_of_last_segment_is_tolerated(self, tmp_path):
+        writer = wal.WalWriter(tmp_path / "log")
+        write_tuples(writer, 3)
+        writer.close()
+        segment = next((tmp_path / "log").glob("seg-*.wal"))
+        with segment.open("ab") as handle:
+            handle.write(b"\x05")  # a lone partial length prefix
+        assert [record.lsn for record in wal.read_wal(tmp_path / "log")] == [1, 2, 3]
+
+    def test_crc_mismatch_mid_log_raises_with_offset(self, tmp_path):
+        writer = wal.WalWriter(tmp_path / "log", segment_bytes=200)
+        write_tuples(writer, 20)
+        writer.close()
+        segments = sorted((tmp_path / "log").glob("seg-*.wal"))
+        victim = segments[0]  # earlier segment: corruption, not a torn tail
+        blob = bytearray(victim.read_bytes())
+        blob[struct.calcsize("<II") + 2] ^= 0xFF  # flip a payload byte
+        victim.write_bytes(bytes(blob))
+        with pytest.raises(WALCorruptionError, match="offset"):
+            list(wal.read_wal(tmp_path / "log"))
+
+    def test_crc_mismatch_with_records_after_it_is_corruption_even_in_the_last_segment(self, tmp_path):
+        """A torn tail has nothing after it; a mid-segment flip is corruption."""
+        writer = wal.WalWriter(tmp_path / "log")  # single segment
+        write_tuples(writer, 5)
+        writer.close()
+        segment = next((tmp_path / "log").glob("seg-*.wal"))
+        blob = bytearray(segment.read_bytes())
+        blob[struct.calcsize("<II") + 2] ^= 0xFF  # flip a byte of record 1 of 5
+        segment.write_bytes(bytes(blob))
+        with pytest.raises(WALCorruptionError, match="CRC mismatch"):
+            list(wal.read_wal(tmp_path / "log"))
+
+    def test_fsync_always_and_off_round_trip_too(self, tmp_path):
+        for policy in ("always", "off"):
+            writer = wal.WalWriter(tmp_path / policy, fsync=policy)
+            write_tuples(writer, 3)
+            writer.sync()
+            writer.close()
+            assert len(list(wal.read_wal(tmp_path / policy))) == 3

@@ -34,7 +34,7 @@ def test_examples_directory_contents():
     names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart.py", "social_network_monitoring.py", "fraud_detection_deletions.py",
             "knowledge_graph_provenance.py", "multi_tenant_monitoring.py",
-            "sharded_monitoring.py"} <= names
+            "sharded_monitoring.py", "crash_recovery.py"} <= names
 
 
 def test_quickstart_example():
@@ -73,3 +73,10 @@ def test_sharded_monitoring_example():
     assert "live alerts" in output
     assert "per-shard load" in output
     assert "timestamp-ordered (yes)" in output
+
+
+def test_crash_recovery_example():
+    output = run_example("crash_recovery.py")
+    assert "killed the service" in output
+    assert "WAL tuples replayed" in output
+    assert "bit-identical" in output
