@@ -1,9 +1,9 @@
 """Benchmark regression gate: fresh vs committed benchmark records.
 
 CI re-runs ``bench_runtime_scaling.py``, ``bench_rebalancing.py``,
-``bench_partitioned_whale.py`` and ``bench_durability.py`` on every push
-to main and compares the fresh records against the ones committed in
-``results/``.  Raw throughput numbers are useless across machines (a
+``bench_partitioned_whale.py``, ``bench_durability.py`` and
+``bench_observability.py`` on every push to main and compares the fresh
+records against the ones committed in ``results/``.  Raw throughput numbers are useless across machines (a
 laptop, a 1-core container and a GitHub runner differ by an order of
 magnitude), so every gated number is *hardware-tolerant*: the scaling
 record gates on each configuration's ``speedup_vs_baseline`` (service
@@ -14,7 +14,10 @@ host), and the durability record on ``wal_relative_throughput``
 (batch-fsync WAL throughput over no-WAL throughput of the same run pair)
 — machine speed cancels out of all of them.  A number regresses when it
 drops by more than ``--tolerance`` (default 30%) against the committed
-record.
+record.  The observability record (``instrumented_relative_throughput``,
+instrumented over uninstrumented ingestion of the same run set) also
+carries an *absolute floor* of 0.95: instrumentation overhead above 5%
+fails the gate regardless of what the committed record says.
 
 Runnable locally after a benchmark run::
 
@@ -49,6 +52,11 @@ DEFAULT_RESULT = Path("results") / "BENCH_runtime_scaling.json"
 REBALANCING_RESULT = Path("results") / "BENCH_rebalancing.json"
 PARTITIONED_WHALE_RESULT = Path("results") / "BENCH_partitioned_whale.json"
 DURABILITY_RESULT = Path("results") / "BENCH_durability.json"
+OBSERVABILITY_RESULT = Path("results") / "BENCH_observability.json"
+
+#: Absolute floor on the observability record's headline: instrumented
+#: ingestion must keep at least this fraction of uninstrumented throughput.
+OBSERVABILITY_FLOOR = 0.95
 
 
 def load_fresh(path: Path) -> dict:
@@ -124,37 +132,45 @@ def compare_scalar_metric(
     relative: Path,
     label: str,
     key: str = "modeled_parallel_speedup",
+    floor: float | None = None,
 ) -> list[str]:
     """Gate one record's headline scalar (bigger = better), when present.
 
     Used for the rebalancing / partitioned-whale records
-    (``modeled_parallel_speedup``) and the durability record
-    (``wal_relative_throughput``) — each a same-host ratio of two runs, so
-    machine speed cancels out.  Both sides are optional (the benchmark may
-    not have been rerun, or the record may predate this gate) — only a
-    present-and-regressed pair fails.
+    (``modeled_parallel_speedup``), the durability record
+    (``wal_relative_throughput``) and the observability record
+    (``instrumented_relative_throughput``) — each a same-host ratio of two
+    runs, so machine speed cancels out.  Both sides are optional (the
+    benchmark may not have been rerun, or the record may predate this
+    gate) — only a present-and-regressed pair fails.  ``floor``
+    additionally rejects a fresh value below an absolute minimum even when
+    the committed record is equally low (or absent).
     """
+    problems: list[str] = []
     fresh_path = repo_root / relative
     if not fresh_path.exists():
         print(f"no fresh {label} record; skipping the {label} gate")
         return []
+    new = load_fresh(fresh_path).get(key)
+    if floor is not None and new and new < floor:
+        print(f"  {label} {key}: {new:.3f}x is below the absolute floor {floor:.2f} FAILED")
+        problems.append(f"{label} {key} is {new:.3f}x, below the absolute floor of {floor:.2f}x")
     baseline = load_committed(relative, repo_root)
     if baseline is None:
-        print(f"no committed {label} record; skipping the {label} gate")
-        return []
+        print(f"no committed {label} record; skipping the {label} regression gate")
+        return problems
     base = baseline.get(key)
-    new = load_fresh(fresh_path).get(key)
     if not base or not new:
-        return []
+        return problems
     drop = (base - new) / base
     status = "REGRESSED" if drop > tolerance else "ok"
     print(f"  {label} {key}: {base:.2f}x -> {new:.2f}x ({-drop:+.0%} relative) {status}")
     if drop > tolerance:
-        return [
+        problems.append(
             f"{label} {key} fell {drop:.0%} "
             f"({base:.2f}x -> {new:.2f}x), tolerance is {tolerance:.0%}"
-        ]
-    return []
+        )
+    return problems
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -200,6 +216,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     regressions += compare_scalar_metric(
         repo_root, args.tolerance, DURABILITY_RESULT, "durability", key="wal_relative_throughput"
+    )
+    regressions += compare_scalar_metric(
+        repo_root,
+        args.tolerance,
+        OBSERVABILITY_RESULT,
+        "observability",
+        key="instrumented_relative_throughput",
+        floor=OBSERVABILITY_FLOOR,
     )
     if regressions:
         print("\nthroughput regression gate FAILED:")

@@ -40,6 +40,14 @@ directory (base checkpoint + incremental deltas + WAL replay), and
 ``serve`` additionally installs SIGINT/SIGTERM handlers: a signal drains
 the shards, takes the final checkpoint (into ``--wal`` when set) and
 exits 0 instead of dying mid-batch; a second signal aborts immediately.
+
+Observability: ``run``, ``serve`` and ``recover`` accept ``--log-level``
+(default ``info``) and ``--log-format`` (``text`` or ``json``) — runtime
+diagnostics go to stderr through the ``repro`` logger hierarchy while
+results and summaries stay on stdout — and ``serve --metrics-port PORT``
+exposes ``/metrics`` (Prometheus text) and ``/healthz`` while the service
+ingests (``0`` picks an ephemeral port, logged at startup).  See
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -81,9 +89,14 @@ from .runtime import (
     SHARDING_POLICIES,
     RuntimeConfig,
     StreamingQueryService,
+    configure_logging,
+    get_logger,
 )
+from .runtime.config import LOG_FORMATS, LOG_LEVELS
 
 __all__ = ["main", "build_parser"]
+
+_LOG = get_logger("cli")
 
 _GENERATORS = {
     "stackoverflow": lambda seed: StackOverflowGenerator(seed=seed),
@@ -91,6 +104,22 @@ _GENERATORS = {
     "yago": lambda seed: YagoLikeGenerator(seed=seed),
     "gmark": lambda seed: GMarkGraphGenerator(schema=default_social_schema(), seed=seed),
 }
+
+
+def _add_logging_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--log-level`` / ``--log-format`` flags to a subcommand."""
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="runtime log verbosity on stderr (results stay on stdout)",
+    )
+    parser.add_argument(
+        "--log-format",
+        choices=LOG_FORMATS,
+        default="text",
+        help="log line format: human-oriented text or one JSON object per record",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -148,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(intra-query data parallelism; requires --shards >= partitions and "
         "arbitrary semantics)",
     )
+    _add_logging_arguments(run_parser)
 
     serve_parser = subparsers.add_parser(
         "serve", help="run multiple persistent queries as a sharded service over a CSV stream"
@@ -228,6 +258,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--show-results", type=int, default=0, help="print the first N events of the merged result stream"
     )
+    serve_parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics (Prometheus text) and /healthz on this port while "
+        "ingesting (0 = pick an ephemeral port, logged at startup)",
+    )
+    _add_logging_arguments(serve_parser)
 
     migrate_parser = subparsers.add_parser(
         "migrate", help="move a query to another shard inside a service checkpoint"
@@ -285,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     recover_parser.add_argument(
         "--show-results", type=int, default=0, help="print the first N events of the merged result stream"
     )
+    _add_logging_arguments(recover_parser)
 
     experiment_parser = subparsers.add_parser("experiment", help="regenerate a table or figure of the paper")
     target = experiment_parser.add_mutually_exclusive_group(required=True)
@@ -334,6 +374,7 @@ def _load_stream(args: argparse.Namespace):
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    configure_logging(args.log_level, args.log_format)
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
     stream = _load_stream(args)
@@ -382,6 +423,9 @@ def _make_runtime_config(args: argparse.Namespace) -> RuntimeConfig:
             wal_dir=getattr(args, "wal", None),
             wal_fsync=getattr(args, "fsync", "batch"),
             checkpoint_interval=getattr(args, "checkpoint_interval", 0),
+            metrics_port=getattr(args, "metrics_port", None),
+            log_level=getattr(args, "log_level", "warning"),
+            log_format=getattr(args, "log_format", "text"),
         )
     except ValueError as exc:  # ConfigError subclasses ValueError
         raise SystemExit(f"invalid runtime configuration: {exc}") from None
@@ -489,6 +533,7 @@ class _GracefulShutdown:
 def _command_serve(args: argparse.Namespace) -> int:
     import time
 
+    configure_logging(args.log_level, args.log_format)
     queries = _parse_named_queries(args.queries)
     config = _make_runtime_config(args)
     if args.checkpoint and args.semantics != "arbitrary":
@@ -510,12 +555,15 @@ def _command_serve(args: argparse.Namespace) -> int:
         except ValueError as exc:
             raise SystemExit(f"cannot register {name!r}: {exc}") from None
         if config.partitions > 1:
-            print(
-                f"registered {name!r} ({expression}) as {config.partitions} root "
-                f"partitions, partition 0 on shard {shard}"
+            _LOG.info(
+                "registered %r (%s) as %d root partitions, partition 0 on shard %d",
+                name,
+                expression,
+                config.partitions,
+                shard,
             )
         else:
-            print(f"registered {name!r} ({expression}) on shard {shard}")
+            _LOG.info("registered %r (%s) on shard %d", name, expression, shard)
     started = time.perf_counter()
     shutdown = _GracefulShutdown().install()
 
@@ -534,7 +582,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             summary = service.summary()
             if args.checkpoint:
                 path = service.save_checkpoint(args.checkpoint)
-                print(f"checkpoint written to {path}")
+                _LOG.info("checkpoint written to %s", path)
             merged_head = []
             if args.show_results > 0:
                 import itertools
@@ -543,9 +591,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         # service.stop() (the context exit) has drained and — with --wal —
         # taken the final durability checkpoint by the time we get here.
         if shutdown.requested:
-            print(
-                f"received {shutdown.signal_name}: drained, "
-                f"{'checkpointed to ' + args.wal + ', ' if args.wal else ''}stopping cleanly"
+            _LOG.info(
+                "received %s: drained, %sstopping cleanly",
+                shutdown.signal_name,
+                f"checkpointed to {args.wal}, " if args.wal else "",
             )
     except ShardWorkerError as exc:
         print(f"status           : failed: {exc.__cause__ or exc}")
@@ -649,12 +698,16 @@ def _command_recover(args: argparse.Namespace) -> int:
     from .errors import CheckpointError
     from .runtime.durability import RecoveryManager
 
+    configure_logging(args.log_level, args.log_format)
     try:
         result = RecoveryManager(args.wal).recover(backend=args.backend)
     except (OSError, CheckpointError) as exc:
         raise SystemExit(f"cannot recover from {args.wal!r}: {exc}") from None
     service = result.service
     print(f"recovered from checkpoint {result.checkpoint_id} + WAL replay")
+    if result.phase_seconds:
+        timings = ", ".join(f"{phase}={seconds:.3f}s" for phase, seconds in result.phase_seconds.items())
+        print(f"phases           : {timings} (operation {result.operation_id})")
     print(f"queries          : {service.queries()}")
     print(f"tuples covered   : {result.next_index - 1} (resume the stream at index {result.next_index})")
     for shard in sorted(result.replayed_tuples):

@@ -110,7 +110,21 @@ class LatencyCollector:
         return len(self._samples) / total
 
     def summary(self, tail_fraction: float = 0.99) -> Dict[str, float]:
-        """Return mean/tail latency (microseconds), throughput and count."""
+        """Return mean/tail latency (microseconds), throughput and count.
+
+        An empty collector summarizes to all zeroes (rather than raising
+        like :meth:`mean` / :meth:`throughput` do) so an idle shard can be
+        scraped by the metrics exporter without crashing it.
+        """
+        if not self._samples:
+            return {
+                "count": 0.0,
+                "mean_us": 0.0,
+                "p50_us": 0.0,
+                "p95_us": 0.0,
+                "tail_us": 0.0,
+                "throughput_eps": 0.0,
+            }
         return {
             "count": float(len(self._samples)),
             "mean_us": self.mean_us(),
@@ -136,9 +150,13 @@ class ThroughputMeter:
         self.elapsed_seconds += elapsed_seconds
 
     def edges_per_second(self) -> float:
-        """Overall throughput in edges (tuples) per second."""
+        """Overall throughput in edges (tuples) per second.
+
+        An idle meter (no elapsed time recorded yet) reports ``0.0`` so
+        the metrics exporter can scrape a shard before its first batch.
+        """
         if self.elapsed_seconds <= 0:
-            raise ValueError("no elapsed time recorded")
+            return 0.0
         return self.tuples / self.elapsed_seconds
 
 

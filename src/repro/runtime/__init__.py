@@ -68,6 +68,18 @@ Architecture — four cooperating pieces behind one facade::
   whose subsequent results are bit-identical to an uninterrupted run.
   Enable with ``RuntimeConfig(wal_dir=...)`` / ``serve --wal``; recover
   with ``repro recover``.
+* :mod:`~repro.runtime.observability` — the runtime's eyes:
+  a dependency-free :class:`MetricsRegistry` (counters, gauges,
+  log-bucketed histograms) that every service instruments itself into,
+  rendered as Prometheus text exposition; structured logging
+  (:func:`configure_logging`, text or JSON lines, operation-ID
+  correlation across coordinator and workers for migrate / split /
+  recover); and an :class:`ObservabilityServer` — a stdlib HTTP thread
+  serving ``/metrics`` and ``/healthz`` when
+  ``RuntimeConfig(metrics_port=...)`` / ``serve --metrics-port`` is set.
+  Worker-side counters travel over the existing typed ``METRICS``
+  frames, so both backends export identically-shaped series.  See
+  ``docs/OBSERVABILITY.md``.
 
 Because every shard sees its tuples in stream order — and a partitioned
 query's members each see the query's full stream while owning disjoint
@@ -113,6 +125,13 @@ from .merger import (
     merge_result_events,
     merge_result_streams,
 )
+from .observability import (
+    MetricsRegistry,
+    ObservabilityServer,
+    configure_logging,
+    get_logger,
+    new_operation_id,
+)
 from .rebalancer import (
     LoadAwarePolicy,
     ManualPolicy,
@@ -153,7 +172,9 @@ __all__ = [
     "LabelAffinityPolicy",
     "LoadAwarePolicy",
     "ManualPolicy",
+    "MetricsRegistry",
     "MigrationPlan",
+    "ObservabilityServer",
     "ProcessShardWorker",
     "RebalancePlan",
     "RebalancePolicy",
@@ -172,11 +193,14 @@ __all__ = [
     "TaggedResultEvent",
     "ThreadShardWorker",
     "collect_results",
+    "configure_logging",
     "create_worker",
+    "get_logger",
     "make_policy",
     "make_rebalance_policy",
     "merge_partition_events",
     "merge_result_events",
     "merge_result_streams",
+    "new_operation_id",
     "protocol",
 ]

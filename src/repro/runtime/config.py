@@ -18,7 +18,15 @@ from typing import Dict, Optional
 
 from ..errors import ConfigError
 
-__all__ = ["RuntimeConfig", "BACKENDS", "SHARDING_POLICIES", "REBALANCE_POLICIES", "FSYNC_POLICIES"]
+__all__ = [
+    "RuntimeConfig",
+    "BACKENDS",
+    "SHARDING_POLICIES",
+    "REBALANCE_POLICIES",
+    "FSYNC_POLICIES",
+    "LOG_LEVELS",
+    "LOG_FORMATS",
+]
 
 #: Concurrency backends implemented by :mod:`repro.runtime.worker`.  Both
 #: speak the same wire protocol (:mod:`repro.runtime.protocol`); only the
@@ -42,6 +50,14 @@ REBALANCE_POLICIES = ("manual", "load_aware")
 #: ``"batch"`` fsyncs at checkpoint/close sync points (group commit),
 #: ``"off"`` never fsyncs.
 FSYNC_POLICIES = ("always", "batch", "off")
+
+#: Log verbosities accepted by
+#: :func:`repro.runtime.observability.configure_logging`.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+#: Log output formats: human-oriented text lines or one JSON object per
+#: record (both carry the operation-ID extras of multi-frame operations).
+LOG_FORMATS = ("text", "json")
 
 
 @dataclass(frozen=True)
@@ -94,6 +110,17 @@ class RuntimeConfig:
             base before the next checkpoint is promoted to a fresh full
             base (compacting the chain and pruning WAL segments behind
             it).
+        metrics_port: when set, the service starts an HTTP observability
+            server on this port exposing ``/metrics`` (Prometheus text)
+            and ``/healthz`` (per-shard liveness); ``0`` binds an
+            ephemeral port (read it back from
+            ``service.observability_port``).  ``None`` (the default)
+            disables the endpoint entirely — and with it the periodic
+            worker-metrics refresh on the ingest path.
+        log_level: runtime log verbosity, one of :data:`LOG_LEVELS`.
+            Spawned worker processes configure their own logging from
+            this value so coordinator and workers log consistently.
+        log_format: log output format, one of :data:`LOG_FORMATS`.
 
     Raises:
         ConfigError: when any value is out of range, names an unknown
@@ -114,6 +141,9 @@ class RuntimeConfig:
     wal_segment_bytes: int = 4_000_000
     checkpoint_interval: int = 0
     checkpoint_keep_deltas: int = 4
+    metrics_port: Optional[int] = None
+    log_level: str = "warning"
+    log_format: str = "text"
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -171,6 +201,18 @@ class RuntimeConfig:
                 "checkpoint_interval > 0 requires wal_dir: periodic incremental "
                 "checkpoints are part of the durability subsystem and need a "
                 "directory to land in"
+            )
+        if self.metrics_port is not None and not 0 <= self.metrics_port <= 65535:
+            raise ConfigError(
+                f"metrics_port must be in [0, 65535] (0 = ephemeral) or None, got {self.metrics_port}"
+            )
+        if self.log_level not in LOG_LEVELS:
+            raise ConfigError(
+                f"unknown log level {self.log_level!r}; valid choices: {', '.join(LOG_LEVELS)}"
+            )
+        if self.log_format not in LOG_FORMATS:
+            raise ConfigError(
+                f"unknown log format {self.log_format!r}; valid choices: {', '.join(LOG_FORMATS)}"
             )
 
     def with_shards(self, shards: int) -> "RuntimeConfig":

@@ -42,10 +42,14 @@ as ``delta-<id>.json`` files and recovery folds back together.
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, List, Optional, Tuple
 
 from ...core.checkpoint import canonical_bytes
 from ...errors import CheckpointError
+from ..observability.logs import get_logger
+
+_LOG = get_logger("runtime.durability.incremental")
 
 __all__ = [
     "evaluator_delta",
@@ -367,12 +371,22 @@ def service_delta(base_state: Dict, current_state: Dict) -> Dict:
                 pass  # incompatible states (e.g. re-registered name): ship full
         record["state"] = entry["state"]
         entries.append(record)
+    removed = [list(key) for key in base_members if key not in current_members]
+    if _LOG.isEnabledFor(logging.DEBUG):
+        deltad = sum(1 for record in entries if "delta" in record)
+        _LOG.debug(
+            "service delta at %d tuples: %d member(s) delta'd, %d shipped full, %d removed",
+            current_state.get("tuples_ingested", 0),
+            deltad,
+            len(entries) - deltad,
+            len(removed),
+        )
     return {
         "kind": "delta",
         "delta_format": DELTA_FORMAT,
         "tuples_ingested": current_state.get("tuples_ingested", 0),
         "queries": entries,
-        "removed": [list(key) for key in base_members if key not in current_members],
+        "removed": removed,
     }
 
 

@@ -42,16 +42,20 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ...core.checkpoint import canonical_bytes, decode_state, state_digest
 from ...errors import CheckpointError, RuntimeStateError
 from .. import protocol
+from ..observability.logs import get_logger
 from . import wal as wal_mod
 from .incremental import service_delta
 
 __all__ = ["DurabilityManager", "read_manifest", "MANIFEST_NAME"]
+
+_LOG = get_logger("runtime.durability")
 
 #: File name of the chain index inside a durability directory.
 MANIFEST_NAME = "MANIFEST.json"
@@ -134,6 +138,11 @@ class DurabilityManager:
             (0 = only the final checkpoint at stop).
         keep_deltas: promote the next checkpoint to a full base once this
             many deltas follow the current base.
+        registry: optional
+            :class:`~repro.runtime.observability.MetricsRegistry`; when
+            given, the manager publishes WAL append/fsync latencies,
+            appended bytes, segment rotations and checkpoint
+            size/duration/delta-ratio metrics into it.
     """
 
     def __init__(
@@ -144,6 +153,7 @@ class DurabilityManager:
         segment_bytes: int = 4_000_000,
         interval: int = 0,
         keep_deltas: int = 4,
+        registry=None,
     ) -> None:
         self.directory = Path(directory)
         self.shards = shards
@@ -151,6 +161,8 @@ class DurabilityManager:
         self.segment_bytes = segment_bytes
         self.interval = interval
         self.keep_deltas = keep_deltas
+        self._instruments = self._build_instruments(registry)
+        self._last_base_bytes = 0
         self._writers: Optional[List[wal_mod.WalWriter]] = None
         self._op = 0
         self._tuples_since_checkpoint = 0
@@ -161,6 +173,49 @@ class DurabilityManager:
         #: Set by recovery: the next attach may wipe the directory it just
         #: recovered from (a fresh base supersedes the old chain).
         self.reset_on_attach = False
+
+    def _build_instruments(self, registry) -> Optional[Dict[str, object]]:
+        """Create the durability metric families in ``registry`` (or None)."""
+        if registry is None:
+            return None
+        return {
+            "append_seconds": registry.histogram(
+                "repro_wal_append_seconds", "WAL record write+flush latency in seconds", ("shard",)
+            ),
+            "fsync_seconds": registry.histogram(
+                "repro_wal_fsync_seconds", "WAL fsync latency in seconds", ("shard",)
+            ),
+            "appended_bytes": registry.counter(
+                "repro_wal_appended_bytes_total", "Bytes appended to the WAL (headers included)", ("shard",)
+            ),
+            "rotations": registry.counter(
+                "repro_wal_segment_rotations_total", "WAL segment rotations", ("shard",)
+            ),
+            "checkpoint_seconds": registry.histogram(
+                "repro_checkpoint_seconds", "Coordinated checkpoint duration in seconds"
+            ),
+            "checkpoint_bytes": registry.gauge(
+                "repro_checkpoint_bytes", "Size of the most recent checkpoint file", ("kind",)
+            ),
+            "checkpoints": registry.counter(
+                "repro_checkpoints_total", "Coordinated checkpoints taken", ("kind",)
+            ),
+            "delta_ratio": registry.gauge(
+                "repro_checkpoint_delta_ratio",
+                "Most recent delta checkpoint's size relative to the chain's base",
+            ),
+        }
+
+    def _shard_instruments(self, shard: int) -> Optional[wal_mod.WalInstruments]:
+        """Labelled WAL instruments for one shard's writer (or None)."""
+        if self._instruments is None:
+            return None
+        return wal_mod.WalInstruments(
+            append_seconds=self._instruments["append_seconds"].labels(shard),
+            fsync_seconds=self._instruments["fsync_seconds"].labels(shard),
+            appended_bytes=self._instruments["appended_bytes"].labels(shard),
+            rotations=self._instruments["rotations"].labels(shard),
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -215,6 +270,7 @@ class DurabilityManager:
                 wal_mod.shard_log_dir(self.wal_root, shard),
                 fsync=self.fsync,
                 segment_bytes=self.segment_bytes,
+                instruments=self._shard_instruments(shard),
             )
             for shard in range(self.shards)
         ]
@@ -335,6 +391,7 @@ class DurabilityManager:
         """
         if self._writers is None:
             raise RuntimeStateError("durability manager is not attached")
+        started = time.perf_counter()
         state = service.checkpoint()
         for writer in self._writers:
             writer.sync()
@@ -347,7 +404,8 @@ class DurabilityManager:
         else:
             kind, payload = "delta", service_delta(self._last_states, state)
         filename = f"{kind}-{checkpoint_id:010d}.json"
-        _atomic_write(self.checkpoint_dir / filename, canonical_bytes(payload))
+        blob = canonical_bytes(payload)
+        _atomic_write(self.checkpoint_dir / filename, blob)
         entry = {
             "id": checkpoint_id,
             "kind": kind,
@@ -377,6 +435,24 @@ class DurabilityManager:
             self._write_manifest(state)
         self._last_states = state
         self._tuples_since_checkpoint = 0
+        elapsed = time.perf_counter() - started
+        if make_base:
+            self._last_base_bytes = len(blob)
+        if self._instruments is not None:
+            self._instruments["checkpoint_seconds"].observe(elapsed)
+            self._instruments["checkpoint_bytes"].labels(kind).set(float(len(blob)))
+            self._instruments["checkpoints"].labels(kind).inc()
+            if not make_base and self._last_base_bytes > 0:
+                self._instruments["delta_ratio"].set(len(blob) / self._last_base_bytes)
+        _LOG.info(
+            "%s checkpoint %d (%s): %d bytes in %.3fs at %d tuples",
+            kind,
+            checkpoint_id,
+            reason,
+            len(blob),
+            elapsed,
+            entry["tuples_ingested"],
+        )
         return entry
 
     def _write_manifest(self, state: Dict) -> None:

@@ -43,6 +43,7 @@ have (order, content, deletions included, partitioned queries included).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -52,12 +53,15 @@ from ...errors import CheckpointError
 from ...graph.tuples import StreamingGraphTuple
 from .. import protocol
 from ..config import RuntimeConfig
+from ..observability.logs import get_logger, new_operation_id
 from ..router import StreamRouter
 from . import wal as wal_mod
 from .incremental import apply_service_delta
 from .manager import DurabilityManager, read_manifest
 
 __all__ = ["RecoveryManager", "RecoveryResult"]
+
+_LOG = get_logger("runtime.recovery")
 
 
 @dataclass
@@ -78,6 +82,11 @@ class RecoveryResult:
         skipped_checkpoints: chain entries that could not be used
             (missing / torn / digest mismatch) and were replaced by
             longer WAL replay, as ``(id, problem)`` pairs.
+        operation_id: correlation ID stamped on every log record this
+            recovery run emitted (grep it to see the whole run).
+        phase_seconds: wall-clock seconds spent in each recovery phase
+            (``fold`` / ``restore`` / ``replay`` / ``reconcile`` /
+            ``heal``).
     """
 
     service: object
@@ -88,6 +97,8 @@ class RecoveryResult:
     healed_tuples: int = 0
     dropped_queries: List[str] = field(default_factory=list)
     skipped_checkpoints: List[Tuple[int, str]] = field(default_factory=list)
+    operation_id: str = ""
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 class RecoveryManager:
@@ -116,8 +127,21 @@ class RecoveryManager:
             CheckpointError: the directory has no usable manifest or its
                 base checkpoint is unreadable.
         """
+        op_id = new_operation_id("recover")
+        extra = {"operation_id": op_id}
+        phases: Dict[str, float] = {}
+        _LOG.info("recovering durability directory %s", self.directory, extra=extra)
+        started = time.perf_counter()
         manifest = read_manifest(self.directory)
         state, last_entry, skipped = self._fold_chain(manifest)
+        phases["fold"] = time.perf_counter() - started
+        _LOG.info(
+            "folded checkpoint chain up to id %d (%d entries skipped) in %.3fs",
+            last_entry["id"],
+            len(skipped),
+            phases["fold"],
+            extra=extra,
+        )
         config = RuntimeConfig.from_dict(state["config"])
         if backend is not None:
             config = config.with_backend(backend)
@@ -125,19 +149,51 @@ class RecoveryManager:
         # import cycle: the service package imports the manager at class level.
         from ..service import StreamingQueryService
 
+        started = time.perf_counter()
         service = StreamingQueryService.restore(state, config=config.without_wal())
+        phases["restore"] = time.perf_counter() - started
         result = RecoveryResult(
             service=service,
             next_index=0,
             checkpoint_id=last_entry["id"],
             skipped_checkpoints=skipped,
+            operation_id=op_id,
+            phase_seconds=phases,
         )
+        started = time.perf_counter()
         creations, tuples_by_idx, last_idx = self._replay(service, last_entry, result)
+        phases["replay"] = time.perf_counter() - started
+        _LOG.info(
+            "replayed WAL tails in %.3fs: %d tuples, %d topology ops",
+            phases["replay"],
+            sum(result.replayed_tuples.values()),
+            sum(result.replayed_ops.values()),
+            extra=extra,
+        )
+        started = time.perf_counter()
         self._reconcile(service, creations, result)
+        phases["reconcile"] = time.perf_counter() - started
+        if result.dropped_queries:
+            _LOG.info(
+                "reconciliation dropped %d engine-level entries: %s",
+                len(result.dropped_queries),
+                result.dropped_queries,
+                extra=extra,
+            )
+        started = time.perf_counter()
         self._heal(service, tuples_by_idx, last_idx, result)
+        phases["heal"] = time.perf_counter() - started
+        if result.healed_tuples:
+            _LOG.info("healed %d tuples on lagging shards", result.healed_tuples, extra=extra)
         max_idx = max([int(state.get("tuples_ingested", 0))] + list(last_idx.values()))
         service._tuples_ingested = max_idx
         result.next_index = max_idx + 1
+        _LOG.info(
+            "recovery complete in %.3fs; resume ingestion at index %d",
+            sum(phases.values()),
+            result.next_index,
+            extra=extra,
+        )
         if resume:
             # Re-arm durability at the directory we actually recovered
             # from — not whatever path the crashed run's config recorded
@@ -152,6 +208,7 @@ class RecoveryManager:
                 segment_bytes=config.wal_segment_bytes,
                 interval=config.checkpoint_interval,
                 keep_deltas=config.checkpoint_keep_deltas,
+                registry=service.metrics_registry,
             )
             service._durability.reset_on_attach = True
         return result

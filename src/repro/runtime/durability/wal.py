@@ -59,10 +59,11 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 from ...core.checkpoint import decode_state
 from ...errors import WALCorruptionError
@@ -73,6 +74,7 @@ __all__ = [
     "RESTORE",
     "DEREGISTER",
     "RECORD_TYPES",
+    "WalInstruments",
     "WalRecord",
     "WalWriter",
     "read_wal",
@@ -121,6 +123,28 @@ def _sorted_segments(directory: Path) -> List[Path]:
     return sorted(Path(directory).glob(_SEGMENT_GLOB), key=_segment_first_lsn)
 
 
+@dataclass
+class WalInstruments:
+    """Observability hooks for one shard's :class:`WalWriter` (all optional).
+
+    The durability manager fills these with labelled children of the
+    service's metric families; a writer constructed without instruments
+    (recovery tooling, tests) skips the timing entirely.
+
+    Attributes:
+        append_seconds: histogram observing each append's write+flush
+            latency in seconds.
+        fsync_seconds: histogram observing each ``fsync`` call's latency.
+        appended_bytes: counter of payload+header bytes appended.
+        rotations: counter of segment rotations.
+    """
+
+    append_seconds: object = None
+    fsync_seconds: object = None
+    appended_bytes: object = None
+    rotations: object = None
+
+
 @dataclass(frozen=True)
 class WalRecord:
     """One decoded WAL record.
@@ -159,6 +183,8 @@ class WalWriter:
         start_lsn: LSN of the last record already in the log (``0`` for a
             fresh log); appends continue at ``start_lsn + 1`` in a new
             segment.
+        instruments: optional :class:`WalInstruments` receiving append /
+            fsync latencies, appended bytes and rotation counts.
     """
 
     def __init__(
@@ -167,11 +193,13 @@ class WalWriter:
         fsync: str = "batch",
         segment_bytes: int = 4_000_000,
         start_lsn: int = 0,
+        instruments: Optional[WalInstruments] = None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
         self.segment_bytes = segment_bytes
+        self.instruments = instruments
         self._lsn = start_lsn
         self._handle = None
         self._segment_size = 0
@@ -190,27 +218,46 @@ class WalWriter:
         payload = json.dumps([record_type, idx, op, data], separators=(",", ":")).encode("utf-8")
         if self._handle is None or self._segment_size >= self.segment_bytes:
             self._rotate()
+        instruments = self.instruments
+        started = time.perf_counter() if instruments is not None else 0.0
         self._handle.write(_HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF))
         self._handle.write(payload)
         self._handle.flush()
+        if instruments is not None and instruments.append_seconds is not None:
+            instruments.append_seconds.observe(time.perf_counter() - started)
         if self.fsync == "always":
-            os.fsync(self._handle.fileno())
+            self._fsync()
         self._segment_size += _HEADER.size + len(payload)
+        if instruments is not None and instruments.appended_bytes is not None:
+            instruments.appended_bytes.inc(_HEADER.size + len(payload))
         self._lsn += 1
         return self._lsn
 
+    def _fsync(self) -> None:
+        """fsync the active segment, observing latency when instrumented."""
+        instruments = self.instruments
+        if instruments is not None and instruments.fsync_seconds is not None:
+            started = time.perf_counter()
+            os.fsync(self._handle.fileno())
+            instruments.fsync_seconds.observe(time.perf_counter() - started)
+        else:
+            os.fsync(self._handle.fileno())
+
     def _rotate(self) -> None:
         """Close the active segment and open a fresh one at the next LSN."""
+        rotated = self._handle is not None
         self._close_handle(final_sync=self.fsync != "off")
         path = _segment_path(self.directory, self._lsn + 1)
         self._handle = path.open("ab")
         self._segment_size = path.stat().st_size
+        if rotated and self.instruments is not None and self.instruments.rotations is not None:
+            self.instruments.rotations.inc()
 
     def sync(self) -> None:
         """Force appended records to the device (the ``"batch"`` commit point)."""
         if self._handle is not None and self.fsync != "off":
             self._handle.flush()
-            os.fsync(self._handle.fileno())
+            self._fsync()
 
     def close(self) -> None:
         """Flush, sync (per policy) and close the active segment."""

@@ -1,0 +1,50 @@
+"""Observability layer: metrics registry, Prometheus/health endpoints, structured logging.
+
+Three dependency-free modules (stdlib only):
+
+* :mod:`~repro.runtime.observability.registry` — counters, gauges and
+  log-bucketed histograms grouped into labelled families, rendered to the
+  Prometheus text exposition format; histogram/counter state round-trips
+  through plain dicts so worker processes ship their numbers over the
+  typed ``METRICS`` protocol frame and both backends export identically.
+* :mod:`~repro.runtime.observability.logs` — per-component loggers under
+  the ``repro`` namespace, text/JSON formatters that surface ``extra``
+  fields, and operation IDs correlating multi-frame operations
+  (migrate / split / recover) across coordinator and worker logs.
+* :mod:`~repro.runtime.observability.server` — a stdlib ``http.server``
+  thread exposing ``/metrics`` and ``/healthz`` for a running
+  :class:`~repro.runtime.service.StreamingQueryService`.
+"""
+
+from .logs import (
+    JsonFormatter,
+    TextFormatter,
+    configure_logging,
+    get_logger,
+    new_operation_id,
+)
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .server import CONTENT_TYPE_METRICS, ObservabilityServer
+
+__all__ = [
+    "CONTENT_TYPE_METRICS",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "MetricFamily",
+    "MetricsRegistry",
+    "ObservabilityServer",
+    "TextFormatter",
+    "configure_logging",
+    "get_logger",
+    "new_operation_id",
+]

@@ -1,0 +1,129 @@
+"""Structured logging for the runtime: per-component loggers, JSON option, operation IDs.
+
+Everything under ``src/repro`` logs through child loggers of the ``repro``
+namespace (:func:`get_logger`), so one :func:`configure_logging` call —
+from the CLI, from a spawned worker process, or from an embedding
+application — controls the whole runtime.  The handler installed by
+:func:`configure_logging` is tagged and replaced on reconfiguration, so
+repeated CLI invocations in one process never double-print; propagation
+stays enabled so test harnesses capturing at the root logger still see
+every record.
+
+Multi-frame operations (migrate / split / recover) are correlated by an
+*operation ID* (:func:`new_operation_id`): the coordinator stamps it on
+its own log records via the ``extra`` mechanism and carries it on the
+protocol frames, so the worker-side records for the same operation share
+the field and one grep reconstructs the full choreography across the
+coordinator and both workers.  Both formatters append any such extra
+fields: the text formatter as trailing ``key=value`` pairs, the JSON
+formatter as top-level keys.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import uuid
+from typing import IO, Any, Dict, Optional
+
+__all__ = [
+    "JsonFormatter",
+    "TextFormatter",
+    "configure_logging",
+    "get_logger",
+    "new_operation_id",
+    "record_extras",
+]
+
+#: Attribute name tagging handlers installed by :func:`configure_logging`.
+_HANDLER_TAG = "_repro_observability_handler"
+
+#: LogRecord attributes that are part of the stdlib record itself, not extras.
+_RESERVED_FIELDS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def record_extras(record: logging.LogRecord) -> Dict[str, Any]:
+    """Extract the caller-supplied ``extra`` fields from a log record."""
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _RESERVED_FIELDS and not key.startswith("_")
+    }
+
+
+class TextFormatter(logging.Formatter):
+    """Human-oriented line format with extras appended as ``key=value`` pairs."""
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)s %(name)s %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render the record, appending sorted extra fields."""
+        base = super().format(record)
+        extras = record_extras(record)
+        if extras:
+            base += " " + " ".join(f"{key}={value}" for key, value in sorted(extras.items()))
+        return base
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; extras become top-level keys."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render the record as a single-line JSON object."""
+        payload: Dict[str, Any] = {
+            "ts": self.formatTime(record),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        payload.update(record_extras(record))
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger(component: str) -> logging.Logger:
+    """Return the runtime logger for ``component`` (under the ``repro`` namespace)."""
+    if component == "repro" or component.startswith("repro."):
+        return logging.getLogger(component)
+    return logging.getLogger(f"repro.{component}")
+
+
+def configure_logging(
+    level: str = "warning",
+    fmt: str = "text",
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install (or replace) the runtime log handler and set the verbosity.
+
+    Attaches one tagged :class:`~logging.StreamHandler` to the ``repro``
+    logger (stderr by default), removing any handler a previous call
+    installed.  ``fmt`` selects :class:`TextFormatter` (``"text"``) or
+    :class:`JsonFormatter` (``"json"``).  Propagation to the root logger
+    stays enabled.  Returns the configured ``repro`` logger.
+    """
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    if fmt not in ("text", "json"):
+        raise ValueError(f"unknown log format {fmt!r}; expected 'text' or 'json'")
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    setattr(handler, _HANDLER_TAG, True)
+    handler.setFormatter(JsonFormatter() if fmt == "json" else TextFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(numeric)
+    return logger
+
+
+def new_operation_id(kind: str) -> str:
+    """Mint a correlation ID for one multi-frame operation (e.g. ``migrate-3f2a…``)."""
+    return f"{kind}-{uuid.uuid4().hex[:12]}"

@@ -1,0 +1,365 @@
+"""Dependency-free metrics primitives with Prometheus text exposition.
+
+The registry is the in-process half of the observability layer: components
+hold :class:`Counter` / :class:`Gauge` / :class:`Histogram` children (one
+per label set) obtained from a shared :class:`MetricsRegistry`, and a
+scrape renders the whole registry to the Prometheus text exposition format
+(version 0.0.4) in one pass.  Three deliberate simplifications keep the
+module dependency-free and transport-friendly:
+
+* child updates are plain float/int mutations (GIL-atomic); only family
+  creation and :meth:`MetricsRegistry.render` take the registry lock, so
+  the hot ingest path never contends with the scrape thread;
+* :class:`Histogram` exposes its full state as a plain dict
+  (:meth:`Histogram.state` / :meth:`Histogram.load_state`), so a worker
+  process can accumulate observations locally and ship them over the
+  typed ``METRICS`` protocol frame for the coordinator to adopt —
+  exposition is identical across the threading and multiprocessing
+  backends;
+* :meth:`Counter.set_total` adopts an externally accumulated monotonic
+  total (again for worker snapshots) instead of replaying increments.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "format_value",
+]
+
+#: Log-spaced latency buckets (seconds) covering 100 us to 10 s — the span
+#: between a trivial batch on an idle shard and a badly wedged one.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def format_value(value: float) -> str:
+    """Render one sample value the way Prometheus expects it.
+
+    Integral values lose the trailing ``.0`` (``17`` not ``17.0``), other
+    floats use Python's shortest exact ``repr``, and infinities become
+    ``+Inf`` / ``-Inf`` (the spelling the ``le`` label requires).
+    """
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format (backslash, quote, newline)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line (backslash and newline only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_string(names: Sequence[str], values: Sequence[str]) -> str:
+    """Render ``{a="x",b="y"}`` (empty string when there are no labels)."""
+    if not names:
+        return ""
+    pairs = ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in zip(names, values))
+    return "{" + pairs + "}"
+
+
+class Counter:
+    """A monotonically increasing sample (events, bytes, busy seconds)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase the counter by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got increment {amount}")
+        self._value += amount
+
+    def set_total(self, total: float) -> None:
+        """Adopt an externally accumulated total without ever moving backwards.
+
+        Worker snapshots ship absolute totals over the ``METRICS`` frame;
+        the coordinator adopts them here.  A stale or restarted snapshot
+        (smaller total) is ignored so the exposed series stays monotonic.
+        """
+        if total > self._value:
+            self._value = float(total)
+
+    @property
+    def value(self) -> float:
+        """Current accumulated total."""
+        return self._value
+
+
+class Gauge:
+    """A sample that can go up and down (queue depth, index size, liveness)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase the gauge by ``amount``."""
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrease the gauge by ``amount``."""
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        return self._value
+
+
+class Histogram:
+    """A log-bucketed histogram with Prometheus cumulative exposition.
+
+    Buckets follow Prometheus ``le`` semantics: an observation lands in
+    the first bucket whose upper bound is ``>=`` the value, with an
+    implicit ``+Inf`` overflow bucket.  The full state round-trips through
+    a plain dict (:meth:`state` / :meth:`load_state`) so worker-side
+    histograms can be shipped over the wire and adopted by the
+    coordinator's registry unchanged.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram buckets must be non-empty and strictly increasing: {buckets}")
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def state(self) -> Dict[str, object]:
+        """Snapshot the histogram as a plain JSON-friendly dict."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def load_state(self, state: Mapping[str, object]) -> None:
+        """Replace this histogram's contents with a shipped :meth:`state` dict.
+
+        The shipped bounds win on mismatch (version tolerance: an older
+        coordinator can still expose a newer worker's buckets).
+        """
+        bounds = tuple(float(bound) for bound in state["bounds"])  # type: ignore[union-attr]
+        counts = [int(count) for count in state["counts"]]  # type: ignore[union-attr]
+        if len(counts) != len(bounds) + 1:
+            raise ValueError(f"histogram state has {len(counts)} counts for {len(bounds)} bounds")
+        self.bounds = bounds
+        self.counts = counts
+        self.sum = float(state["sum"])  # type: ignore[arg-type]
+        self.count = int(state["count"])  # type: ignore[arg-type]
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Return ``(upper_bound, cumulative_count)`` pairs, ending at ``+Inf``."""
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            running += bucket_count
+            pairs.append((bound, running))
+        pairs.append((math.inf, running + self.counts[-1]))
+        return pairs
+
+
+#: Any child a family can hold.
+MetricChild = Union[Counter, Gauge, Histogram]
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and per-label-set children.
+
+    Families are created through :class:`MetricsRegistry` (which guards
+    uniqueness); callers then grab children with :meth:`labels` and mutate
+    them lock-free.  For label-less families the family itself proxies the
+    single child's ``inc`` / ``set`` / ``observe`` for convenience.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+        lock: Optional[threading.Lock] = None,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}; expected one of {sorted(_KINDS)}")
+        self.name = name
+        self.help_text = help_text
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._lock = lock or threading.Lock()
+        self._children: Dict[Tuple[str, ...], MetricChild] = {}
+
+    def _make_child(self) -> MetricChild:
+        if self.kind == "histogram":
+            return Histogram(self._buckets or DEFAULT_LATENCY_BUCKETS)
+        return _KINDS[self.kind]()
+
+    def labels(self, *values: object) -> MetricChild:
+        """Return (creating on first use) the child for one label-value set."""
+        key = tuple(str(value) for value in values)
+        if len(key) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes {len(self.labelnames)} label value(s) "
+                f"{self.labelnames}, got {len(key)}"
+            )
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    def remove(self, *values: object) -> None:
+        """Drop the child for one label-value set (e.g. a deregistered query)."""
+        key = tuple(str(value) for value in values)
+        with self._lock:
+            self._children.pop(key, None)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the label-less child (counters and gauges only)."""
+        self.labels().inc(amount)  # type: ignore[union-attr]
+
+    def set(self, value: float) -> None:
+        """Set the label-less gauge child."""
+        self.labels().set(value)  # type: ignore[union-attr]
+
+    def observe(self, value: float) -> None:
+        """Observe into the label-less histogram child."""
+        self.labels().observe(value)  # type: ignore[union-attr]
+
+    def samples(self) -> List[str]:
+        """Render this family's exposition block (``# HELP``/``# TYPE`` + samples)."""
+        lines = [
+            f"# HELP {self.name} {_escape_help(self.help_text)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for key in sorted(self._children):
+            child = self._children[key]
+            labels = _label_string(self.labelnames, key)
+            if isinstance(child, Histogram):
+                for bound, cum in child.cumulative():
+                    le = _label_string(
+                        self.labelnames + ("le",), key + (format_value(bound),)
+                    )
+                    lines.append(f"{self.name}_bucket{le} {cum}")
+                lines.append(f"{self.name}_sum{labels} {format_value(child.sum)}")
+                lines.append(f"{self.name}_count{labels} {child.count}")
+            else:
+                lines.append(f"{self.name}{labels} {format_value(child.value)}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metric families rendered as one text exposition.
+
+    ``counter`` / ``gauge`` / ``histogram`` are idempotent: re-requesting a
+    family by name returns the existing one (and raises if the kind or
+    label schema differs, which would corrupt the exposition).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _family(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind} "
+                        f"with labels {existing.labelnames}"
+                    )
+                return existing
+            family = MetricFamily(name, help_text, kind, labelnames, buckets, lock=self._lock)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> MetricFamily:
+        """Get or create a counter family."""
+        return self._family(name, help_text, "counter", labelnames)
+
+    def gauge(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> MetricFamily:
+        """Get or create a gauge family."""
+        return self._family(name, help_text, "gauge", labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        """Get or create a histogram family with the given bucket bounds."""
+        return self._family(name, help_text, "histogram", labelnames, buckets)
+
+    def render(self) -> str:
+        """Render every family to Prometheus text exposition format 0.0.4."""
+        with self._lock:
+            families = [self._families[name] for name in sorted(self._families)]
+        lines: List[str] = []
+        for family in families:
+            lines.extend(family.samples())
+        return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,115 @@
+"""HTTP exposition: ``/metrics`` (Prometheus text) and ``/healthz`` on a daemon thread.
+
+The server is deliberately thin: both endpoints call *read-only*,
+thread-safe methods on the owning
+:class:`~repro.runtime.service.StreamingQueryService` —
+``metrics_text()`` renders the coordinator-side registry under its lock,
+and ``health()`` inspects worker transport liveness and sticky failures
+without issuing any protocol frames.  The scrape thread therefore never
+touches the (single-consumer) worker reply queues; fresh worker snapshots
+are pulled into the registry by the coordinator thread itself on a time
+gate during ingestion.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .logs import get_logger
+
+__all__ = ["CONTENT_TYPE_METRICS", "ObservabilityServer"]
+
+#: Content type of the Prometheus text exposition format.
+CONTENT_TYPE_METRICS = "text/plain; version=0.0.4; charset=utf-8"
+
+_LOG = get_logger("runtime.observability.server")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler serving ``/metrics`` and ``/healthz`` for one service."""
+
+    server_version = "repro-observability/1.0"
+
+    def _respond(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
+        """Serve one GET request."""
+        path = self.path.split("?", 1)[0]
+        service = self.server.service  # type: ignore[attr-defined]
+        try:
+            if path == "/metrics":
+                body = service.metrics_text().encode("utf-8")
+                self._respond(200, CONTENT_TYPE_METRICS, body)
+            elif path == "/healthz":
+                health = service.health()
+                status = 200 if health.get("healthy") else 503
+                body = (json.dumps(health, sort_keys=True) + "\n").encode("utf-8")
+                self._respond(status, "application/json; charset=utf-8", body)
+            else:
+                self._respond(404, "text/plain; charset=utf-8", b"not found\n")
+        except Exception:  # pragma: no cover - defensive: a scrape must never kill the server
+            _LOG.exception("error serving %s", path)
+            try:
+                self._respond(500, "text/plain; charset=utf-8", b"internal error\n")
+            except OSError:
+                pass
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002 - stdlib signature
+        """Route per-request lines to the runtime logger at DEBUG."""
+        _LOG.debug("%s - %s", self.address_string(), format % args)
+
+
+class ObservabilityServer:
+    """Serve a service's ``/metrics`` and ``/healthz`` from a daemon thread.
+
+    ``port=0`` binds an ephemeral port; :meth:`start` returns the actual
+    bound port so tests and the CLI can report a scrapeable address.
+    """
+
+    def __init__(self, service: object, port: int = 0, host: str = "") -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the HTTP server is currently up."""
+        return self._httpd is not None
+
+    def start(self) -> int:
+        """Bind, start serving on a daemon thread, and return the bound port."""
+        if self._httpd is not None:
+            return self.port
+        httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        httpd.daemon_threads = True
+        httpd.service = self.service  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self.port = httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name=f"repro-observability-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        _LOG.info("observability endpoints on port %d (/metrics, /healthz)", self.port)
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the server down and release the port (idempotent)."""
+        httpd, thread = self._httpd, self._thread
+        self._httpd = self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)

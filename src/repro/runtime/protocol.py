@@ -80,6 +80,22 @@ Two shapes travel on the request queue:
     coordinator later fetches each piece's stream *with* the emission keys
     that make the k-way partition merge exact.
 
+    **Operation-ID extensions (version tolerant).**  Multi-frame
+    operations (migrate / split / recover) are correlated across the
+    coordinator's and the workers' structured logs by an operation ID
+    (:func:`~repro.runtime.observability.new_operation_id`).  The ID rides
+    the existing frames as optional trailing payload elements rather than
+    new ops: ``REGISTER`` and ``RESTORE`` accept one extra trailing
+    element (``(name, ..., partition, operation_id)`` /
+    ``(name, semantics, blob, operation_id)``), and the name-addressed
+    ``DEREGISTER`` / ``MIGRATE`` accept ``(name, operation_id)`` in place
+    of the bare name.  Workers unpack by position/shape and ignore what
+    they do not know (``payload[:5]`` + optional tail), so an old
+    coordinator can drive a new worker and vice versa.  The ``METRICS``
+    reply is extended the same way: new keys (``batch_seconds`` histogram
+    state, per-``queries`` sub-dicts) are added beside the original
+    counters and consumers read them with ``.get()``.
+
     ``STOP`` terminates the worker loop after replying.  When
     ``ship_state`` is true (process transport, whose memory dies with the
     child) the reply carries the shard's final state

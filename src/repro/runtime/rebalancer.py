@@ -36,6 +36,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Union
 
 from .config import REBALANCE_POLICIES
+from .observability.logs import get_logger
+
+_LOG = get_logger("runtime.rebalancer")
 
 __all__ = [
     "MigrationPlan",
@@ -234,6 +237,8 @@ class LoadAwarePolicy(RebalancePolicy):
             loads[hot] -= load
             loads[cold] += load
             del movable[hot][name]
+        for plan in plans:
+            _LOG.info("rebalance proposal: %s", plan)
         return plans
 
 

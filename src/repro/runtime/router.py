@@ -25,6 +25,9 @@ from typing import Dict, List, Sequence, Set, Tuple, Union
 from ..graph.tuples import StreamingGraphTuple
 from ..regex.analysis import QueryAnalysis
 from .config import SHARDING_POLICIES
+from .observability.logs import get_logger
+
+_LOG = get_logger("runtime.router")
 
 __all__ = [
     "ShardView",
@@ -153,6 +156,11 @@ class StreamRouter:
         self._assignments: Dict[str, int] = {}
         self._alphabets: Dict[str, Set[str]] = {}
         self._epoch = 0
+        #: Tuples routed to each shard so far (observability counters; a
+        #: tuple fanning out to k shards counts once per shard).
+        self.tuples_routed: Counter = Counter()
+        #: Tuples relevant to no resident query, dropped at the router.
+        self.tuples_dropped = 0
 
     @property
     def num_shards(self) -> int:
@@ -200,6 +208,7 @@ class StreamRouter:
         self._assignments[query_name] = shard
         self._alphabets[query_name] = alphabet
         self._epoch += 1
+        _LOG.debug("assigned query %r to shard %d (epoch %d)", query_name, shard, self._epoch)
         return shard
 
     def release(self, query_name: str) -> int:
@@ -213,6 +222,7 @@ class StreamRouter:
         view.label_counts.subtract(self._alphabets.pop(query_name))
         view.label_counts += Counter()  # drop zero/negative entries
         self._epoch += 1
+        _LOG.debug("released query %r from shard %d (epoch %d)", query_name, shard, self._epoch)
         return shard
 
     def move(self, query_name: str, target: int) -> int:
@@ -238,6 +248,13 @@ class StreamRouter:
         target_view.label_counts.update(alphabet)
         self._assignments[query_name] = target
         self._epoch += 1
+        _LOG.debug(
+            "moved query %r from shard %d to shard %d (epoch %d)",
+            query_name,
+            source,
+            target,
+            self._epoch,
+        )
         return source
 
     def alphabet_of(self, query_name: str) -> Set[str]:
@@ -265,7 +282,15 @@ class StreamRouter:
     def route(self, tup: StreamingGraphTuple) -> Tuple[int, ...]:
         """Return the shards that must see ``tup`` (may be empty)."""
         label = tup.label
-        return tuple(view.shard_id for view in self._shards if view.label_counts.get(label, 0) > 0)
+        shards = tuple(
+            view.shard_id for view in self._shards if view.label_counts.get(label, 0) > 0
+        )
+        if shards:
+            for shard in shards:
+                self.tuples_routed[shard] += 1
+        else:
+            self.tuples_dropped += 1
+        return shards
 
     def route_batch(self, batch: Sequence[StreamingGraphTuple]) -> Dict[int, List[StreamingGraphTuple]]:
         """Split a batch into per-shard sub-batches, preserving stream order."""

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 from collections import Counter
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
@@ -49,11 +50,22 @@ from ..regex.analysis import QueryAnalysis, analyze
 from .config import RuntimeConfig
 from .durability.manager import DurabilityManager
 from .merger import TaggedResultEvent, merge_partition_events, merge_result_events
+from .observability.logs import get_logger, new_operation_id
+from .observability.registry import MetricsRegistry
+from .observability.server import ObservabilityServer
 from .rebalancer import RebalancePlan, ShardLoad, SplitPlan, make_rebalance_policy
 from .router import StreamRouter
 from .worker import ResultCallback, ShardWorker, create_worker
 
 __all__ = ["StreamingQueryService"]
+
+_LOG = get_logger("runtime.service")
+
+#: Seconds between worker-metric snapshot refreshes on the ingest path
+#: (only while the observability server is enabled; each refresh costs one
+#: ``METRICS`` control round-trip per shard, which is also a partial drain
+#: barrier on that shard's request queue).
+_METRICS_REFRESH_SECONDS = 2.0
 
 #: Service checkpoint layout version.  Version 2 added per-partition query
 #: entries (one entry per root partition, all sharing the query's name and
@@ -105,6 +117,13 @@ class StreamingQueryService:
     ) -> None:
         self.window = window
         self.config = config or RuntimeConfig()
+        # Observability: every service owns a metrics registry; the HTTP
+        # exposition server only exists when config.metrics_port is set.
+        self.metrics_registry = MetricsRegistry()
+        self._build_metric_families()
+        self._obs_server: Optional[ObservabilityServer] = None
+        self._heartbeats: Dict[int, float] = {}
+        self._last_metrics_refresh = float("-inf")
         self.router = StreamRouter(self.config.shards, self.config.sharding)
         self.workers: List[ShardWorker] = [
             create_worker(shard, window, self.config, on_result=on_result)
@@ -145,7 +164,157 @@ class StreamingQueryService:
                 segment_bytes=self.config.wal_segment_bytes,
                 interval=self.config.checkpoint_interval,
                 keep_deltas=self.config.checkpoint_keep_deltas,
+                registry=self.metrics_registry,
             )
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    def _build_metric_families(self) -> None:
+        """Create the service's metric families in :attr:`metrics_registry`."""
+        registry = self.metrics_registry
+        self._m_ingested = registry.counter(
+            "repro_ingested_tuples_total", "Tuples ingested by the coordinator"
+        )
+        self._m_routed = registry.counter(
+            "repro_router_tuples_routed_total", "Tuples routed to each shard", ("shard",)
+        )
+        self._m_dropped = registry.counter(
+            "repro_router_tuples_dropped_total", "Tuples relevant to no resident query, dropped"
+        )
+        self._m_queue_depth = registry.gauge(
+            "repro_shard_queue_depth", "Batches waiting in each shard's request queue", ("shard",)
+        )
+        self._m_shard_up = registry.gauge(
+            "repro_shard_up", "Shard worker liveness (1 = transport alive and unpoisoned)", ("shard",)
+        )
+        self._m_shard_tuples = registry.counter(
+            "repro_shard_tuples_total", "Tuples processed by each shard worker", ("shard",)
+        )
+        self._m_shard_batches = registry.counter(
+            "repro_shard_batches_total", "Batches processed by each shard worker", ("shard",)
+        )
+        self._m_busy = registry.counter(
+            "repro_shard_busy_seconds_total", "Worker-CPU seconds spent processing batches", ("shard",)
+        )
+        self._m_batch_seconds = registry.histogram(
+            "repro_batch_seconds", "Per-batch worker-CPU latency in seconds", ("shard",)
+        )
+        self._m_q_tuples = registry.counter(
+            "repro_query_tuples_total", "Tuples processed per query evaluator", ("shard", "query")
+        )
+        self._m_q_events = registry.counter(
+            "repro_query_result_events_total", "Result events emitted per query evaluator", ("shard", "query")
+        )
+        self._m_q_trees = registry.gauge(
+            "repro_query_index_trees", "Spanning trees in the query's Delta index", ("shard", "query")
+        )
+        self._m_q_nodes = registry.gauge(
+            "repro_query_index_nodes", "Nodes in the query's Delta index", ("shard", "query")
+        )
+        self._m_q_expiry_seconds = registry.counter(
+            "repro_query_expiry_seconds_total", "Seconds spent in window expiry", ("shard", "query")
+        )
+        self._m_q_expiry_runs = registry.counter(
+            "repro_query_expiry_runs_total", "Window-expiry runs", ("shard", "query")
+        )
+        self._m_ops = registry.counter(
+            "repro_lifecycle_operations_total",
+            "Lifecycle operations applied (migrate / split / rebalance)",
+            ("operation",),
+        )
+        self._m_op_seconds = registry.histogram(
+            "repro_lifecycle_operation_seconds", "Lifecycle operation wall time in seconds", ("operation",)
+        )
+
+    @property
+    def observability_port(self) -> Optional[int]:
+        """Bound port of the ``/metrics`` + ``/healthz`` server, or ``None``."""
+        if self._obs_server is None or not self._obs_server.running:
+            return None
+        return self._obs_server.port
+
+    def _refresh_worker_metrics(self) -> None:
+        """Pull worker metric snapshots into the registry.
+
+        Coordinator-thread only: worker proxies are single-consumer, so
+        the HTTP scrape thread must never call this — it reads the
+        registry that this method populates.  Each snapshot is one
+        ``METRICS`` control round-trip per shard, serialized behind that
+        shard's queued batches (a partial drain barrier).
+        """
+        self._m_ingested.labels().set_total(float(self._tuples_ingested))
+        self._m_dropped.labels().set_total(float(self._tuples_dropped))
+        for shard, count in self.router.tuples_routed.items():
+            self._m_routed.labels(shard).set_total(float(count))
+        for worker in self.workers:
+            shard = worker.shard_id
+            self._m_queue_depth.labels(shard).set(float(worker.queue_depth()))
+            try:
+                snapshot = worker.metrics()
+            except Exception:
+                self._m_shard_up.labels(shard).set(0.0)
+                continue
+            self._m_shard_up.labels(shard).set(1.0 if (worker.running or not self._running) else 0.0)
+            self._heartbeats[shard] = time.monotonic()
+            self._m_shard_tuples.labels(shard).set_total(float(snapshot.get("tuples", 0.0)))
+            self._m_shard_batches.labels(shard).set_total(float(snapshot.get("batches", 0.0)))
+            self._m_busy.labels(shard).set_total(float(snapshot.get("busy_seconds", 0.0)))
+            histogram_state = snapshot.get("batch_seconds")
+            if histogram_state:
+                self._m_batch_seconds.labels(shard).load_state(histogram_state)
+            for query, stats in (snapshot.get("queries") or {}).items():
+                self._m_q_tuples.labels(shard, query).set_total(stats.get("tuples_processed", 0.0))
+                self._m_q_events.labels(shard, query).set_total(stats.get("events", 0.0))
+                self._m_q_trees.labels(shard, query).set(stats.get("index_trees", 0.0))
+                self._m_q_nodes.labels(shard, query).set(stats.get("index_nodes", 0.0))
+                self._m_q_expiry_seconds.labels(shard, query).set_total(stats.get("expiry_seconds", 0.0))
+                self._m_q_expiry_runs.labels(shard, query).set_total(stats.get("expiry_runs", 0.0))
+
+    def metrics_text(self, refresh: Optional[bool] = None) -> str:
+        """Render the registry as Prometheus text exposition (format 0.0.4).
+
+        ``refresh`` controls whether worker snapshots are pulled first.
+        The default refreshes only when no observability server is running
+        (a direct coordinator-thread call, e.g. from a notebook); the HTTP
+        scrape thread must not issue worker frames, so it renders whatever
+        the coordinator's periodic refresh last captured.
+        """
+        if refresh is None:
+            refresh = self._obs_server is None or not self._obs_server.running
+        if refresh:
+            self._refresh_worker_metrics()
+        return self.metrics_registry.render()
+
+    def health(self) -> Dict[str, object]:
+        """Per-shard liveness summary backing ``/healthz`` (thread-safe).
+
+        Reads only transport liveness, sticky failures and the heartbeat
+        timestamps stamped by the coordinator's metric refreshes — no
+        worker frames, so any thread may call it even while a shard is
+        wedged.  ``healthy`` is false when any shard transport died or
+        holds a sticky failure while the service is running.
+        """
+        now = time.monotonic()
+        shards = []
+        healthy = True
+        for worker in self.workers:
+            failure = worker.failure
+            alive = worker.running
+            ok = failure is None and (alive or not self._running)
+            healthy = healthy and ok
+            beat = self._heartbeats.get(worker.shard_id)
+            shards.append(
+                {
+                    "shard": worker.shard_id,
+                    "alive": bool(alive),
+                    "ok": bool(ok),
+                    "failure": None if failure is None else str(failure),
+                    "heartbeat_age_seconds": None if beat is None else round(now - beat, 3),
+                }
+            )
+        return {"healthy": healthy, "running": self._running, "shards": shards}
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -177,6 +346,13 @@ class StreamingQueryService:
         for worker in self.workers:
             worker.start()
         self._running = True
+        if self.config.metrics_port is not None:
+            server = ObservabilityServer(self, self.config.metrics_port)
+            port = server.start()
+            self._obs_server = server
+            self._last_metrics_refresh = time.monotonic()
+            self._refresh_worker_metrics()
+            _LOG.info("observability server listening on port %d", port)
         return self
 
     def stop(self) -> None:
@@ -197,6 +373,15 @@ class StreamingQueryService:
                 self._durability.checkpoint(self, reason="stop")
             clean_shutdown = True
         finally:
+            if self._obs_server is not None:
+                # Capture final worker counters before the transports close,
+                # then take the scrape endpoint down with the service.
+                try:
+                    self._refresh_worker_metrics()
+                except Exception:
+                    pass
+                self._obs_server.stop()
+                self._obs_server = None
             stop_error: Optional[BaseException] = None
             for worker in self.workers:
                 try:
@@ -224,6 +409,9 @@ class StreamingQueryService:
             self.stop()
         else:
             # Don't mask the original error with a drain of a broken run.
+            if self._obs_server is not None:
+                self._obs_server.stop()
+                self._obs_server = None
             for worker in self.workers:
                 try:
                     worker.stop()
@@ -253,22 +441,32 @@ class StreamingQueryService:
         semantics: str,
         max_nodes_per_tree: Optional[int],
         partition: Optional[Tuple[int, int]] = None,
+        operation_id: Optional[str] = None,
     ) -> None:
-        self.workers[shard].register_query(name, expression, semantics, max_nodes_per_tree, partition)
+        self.workers[shard].register_query(
+            name, expression, semantics, max_nodes_per_tree, partition, operation_id=operation_id
+        )
         if self._durability is not None:
             self._durability.log_register(
                 shard, self._tuples_ingested, name, expression, semantics, max_nodes_per_tree, partition
             )
 
-    def _worker_restore(self, shard: int, name: str, blob: bytes, state: Optional[Dict] = None) -> None:
-        self.workers[shard].restore_query(name, blob, "arbitrary")
+    def _worker_restore(
+        self,
+        shard: int,
+        name: str,
+        blob: bytes,
+        state: Optional[Dict] = None,
+        operation_id: Optional[str] = None,
+    ) -> None:
+        self.workers[shard].restore_query(name, blob, "arbitrary", operation_id=operation_id)
         if self._durability is not None:
             if state is None:
                 state = decode_state(blob, what=f"evaluator blob for query {name!r}")
             self._durability.log_restore(shard, self._tuples_ingested, name, "arbitrary", state)
 
-    def _worker_deregister(self, shard: int, name: str) -> None:
-        self.workers[shard].deregister_query(name)
+    def _worker_deregister(self, shard: int, name: str, operation_id: Optional[str] = None) -> None:
+        self.workers[shard].deregister_query(name, operation_id=operation_id)
         if self._durability is not None:
             self._durability.log_deregister(shard, self._tuples_ingested, name)
 
@@ -556,6 +754,16 @@ class StreamingQueryService:
             )
         if self._migrating is not None:
             raise RuntimeStateError(f"cannot migrate {name!r} while query {self._migrating!r} is migrating")
+        op_id = new_operation_id("migrate")
+        started = time.perf_counter()
+        _LOG.info(
+            "migrating query %r from shard %d to shard %d (%s)",
+            routed,
+            source,
+            target_shard,
+            reason,
+            extra={"operation_id": op_id},
+        )
         self._migrating = routed
         try:
             self._flush_shard(source)
@@ -564,27 +772,37 @@ class StreamingQueryService:
             # MIGRATE refuses non-'arbitrary' semantics on the worker (the
             # coordinator check above is just the cheap fast path), so the
             # blob is always an arbitrary-semantics evaluator.
-            _, _, blob = self.workers[source].migrate_query(routed)
-            self._worker_restore(target_shard, routed, blob)
+            _, _, blob = self.workers[source].migrate_query(routed, operation_id=op_id)
+            self._worker_restore(target_shard, routed, blob, operation_id=op_id)
             if self.router.epoch != epoch:
-                self._worker_deregister(target_shard, routed)
+                self._worker_deregister(target_shard, routed, operation_id=op_id)
                 raise RuntimeStateError(
                     f"route table changed while migrating {name!r} (reentrant "
                     f"register/deregister/migrate); the move was rolled back"
                 )
             try:
-                self._worker_deregister(source, routed)
+                self._worker_deregister(source, routed, operation_id=op_id)
             except BaseException:
                 # The source kept the query; take it back off the target so
                 # exactly one shard owns it before the error surfaces.
                 try:
-                    self._worker_deregister(target_shard, routed)
+                    self._worker_deregister(target_shard, routed, operation_id=op_id)
                 except Exception:
                     pass
                 raise
         finally:
             self._migrating = None
         self.router.move(routed, target_shard)
+        elapsed = time.perf_counter() - started
+        self._m_ops.labels("migrate").inc()
+        self._m_op_seconds.labels("migrate").observe(elapsed)
+        _LOG.info(
+            "migrated query %r to shard %d in %.3fs",
+            routed,
+            target_shard,
+            elapsed,
+            extra={"operation_id": op_id},
+        )
         self.migrations.append(
             {
                 "query": name,
@@ -593,6 +811,7 @@ class StreamingQueryService:
                 "target": target_shard,
                 "reason": reason,
                 "at_tuples": self._tuples_ingested,
+                "operation_id": op_id,
             }
         )
         return target_shard
@@ -663,6 +882,16 @@ class StreamingQueryService:
         if self._migrating is not None:
             raise RuntimeStateError(f"cannot split {name!r} while query {self._migrating!r} is migrating")
         source = self.router.shard_of(name)
+        op_id = new_operation_id("split")
+        started = time.perf_counter()
+        _LOG.info(
+            "splitting query %r on shard %d into %d partitions (%s)",
+            name,
+            source,
+            count,
+            reason,
+            extra={"operation_id": op_id},
+        )
         self._migrating = name
         try:
             self._flush_shard(source)
@@ -670,7 +899,7 @@ class StreamingQueryService:
             for shard in targets:
                 self._flush_shard(shard)
             epoch = self.router.epoch
-            _, _, blob = self.workers[source].migrate_query(name)
+            _, _, blob = self.workers[source].migrate_query(name, operation_id=op_id)
             # ValueError here (old format, explicit semantics...) aborts
             # before anything moved: the query is untouched on its shard.
             states = partition_checkpoint(decode_state(blob, what=f"evaluator blob for {name!r}"), count)
@@ -679,19 +908,20 @@ class StreamingQueryService:
             restored: List[Tuple[str, int]] = []
             try:
                 for member, shard, state in zip(members, targets, states):
-                    self._worker_restore(shard, member, canonical_bytes(state), state=state)
+                    blob_bytes = canonical_bytes(state)
+                    self._worker_restore(shard, member, blob_bytes, state=state, operation_id=op_id)
                     restored.append((member, shard))
                 if self.router.epoch != epoch:
                     raise RuntimeStateError(
                         f"route table changed while splitting {name!r} (reentrant "
                         f"register/deregister/migrate); the split was rolled back"
                     )
-                self._worker_deregister(source, name)
+                self._worker_deregister(source, name, operation_id=op_id)
             except BaseException:
                 # Unwind the restored pieces; the original never left source.
                 for member, shard in restored:
                     try:
-                        self._worker_deregister(shard, member)
+                        self._worker_deregister(shard, member, operation_id=op_id)
                     except Exception:
                         pass
                 raise
@@ -703,6 +933,16 @@ class StreamingQueryService:
         self._partitions[name] = members
         for member in members:
             self._member_base[member] = name
+        elapsed = time.perf_counter() - started
+        self._m_ops.labels("split").inc()
+        self._m_op_seconds.labels("split").observe(elapsed)
+        _LOG.info(
+            "split query %r across shards %s in %.3fs",
+            name,
+            list(targets),
+            elapsed,
+            extra={"operation_id": op_id},
+        )
         self.splits.append(
             {
                 "query": name,
@@ -711,6 +951,7 @@ class StreamingQueryService:
                 "partitions": count,
                 "reason": reason,
                 "at_tuples": self._tuples_ingested,
+                "operation_id": op_id,
             }
         )
         return list(targets)
@@ -725,6 +966,7 @@ class StreamingQueryService:
         per-label load observation window resets at every decision.
         """
         self._tuples_since_rebalance = 0
+        started = time.perf_counter()
         proposals = self._rebalancer.propose(self._shard_loads())
         self._label_loads.clear()
         applied: List[RebalancePlan] = []
@@ -752,6 +994,10 @@ class StreamingQueryService:
                     continue
                 self.migrate(base, plan.target, reason=plan.reason, partition=members.index(plan.query))
             applied.append(plan)
+        if applied:
+            self._m_ops.labels("rebalance").inc()
+            self._m_op_seconds.labels("rebalance").observe(time.perf_counter() - started)
+            _LOG.info("rebalance applied %d plan(s): %s", len(applied), "; ".join(map(str, applied)))
         return applied
 
     def _shard_loads(self) -> List[ShardLoad]:
@@ -827,6 +1073,14 @@ class StreamingQueryService:
             # checkpoint_interval logged tuples, drain and take a delta
             # against the chain's last state.
             self._durability.maybe_checkpoint(self)
+        if self._obs_server is not None:
+            # Periodic metric refresh for the scrape endpoint: the HTTP
+            # thread must not talk to workers, so the coordinator snapshots
+            # them here on a time gate.
+            now = time.monotonic()
+            if now - self._last_metrics_refresh >= _METRICS_REFRESH_SECONDS:
+                self._last_metrics_refresh = now
+                self._refresh_worker_metrics()
 
     def ingest(self, tuples: Iterable[StreamingGraphTuple]) -> None:
         """Route a stream of tuples (in timestamp order) into the shards."""

@@ -55,6 +55,8 @@ from ..graph.window import WindowSpec
 from ..metrics.collectors import ThroughputMeter
 from . import protocol
 from .config import RuntimeConfig
+from .observability.logs import configure_logging, get_logger
+from .observability.registry import Histogram
 
 __all__ = [
     "ShardEngineServer",
@@ -71,6 +73,28 @@ ResultCallback = Callable[[str, Vertex, Vertex, int], None]
 
 #: Seconds between liveness checks while awaiting a reply.
 _REPLY_POLL_SECONDS = 1.0
+
+#: Batches whose worker-CPU time exceeds this many seconds draw a WARNING
+#: log record (rate-limited by :data:`SLOW_BATCH_WARN_INTERVAL`).
+SLOW_BATCH_SECONDS = 1.0
+
+#: Minimum wall-clock seconds between two slow-batch warnings per shard,
+#: so a persistently slow shard warns periodically instead of flooding.
+SLOW_BATCH_WARN_INTERVAL = 10.0
+
+_LOG = get_logger("runtime.worker")
+
+
+def _named_payload(payload) -> Tuple[str, Optional[str]]:
+    """Split a name-addressed control payload into ``(name, operation_id)``.
+
+    Older coordinators send the bare query name; newer ones may send a
+    ``(name, operation_id)`` pair so worker-side log records share the
+    coordinator's correlation ID.  Both decode here (version tolerance).
+    """
+    if isinstance(payload, tuple):
+        return payload[0], (payload[1] if len(payload) > 1 else None)
+    return payload, None
 
 
 # --------------------------------------------------------------------- #
@@ -94,6 +118,8 @@ class ShardEngineServer:
         self.engine = StreamingRPQEngine(window)
         self.meter = ThroughputMeter()
         self.batches_processed = 0
+        self.batch_seconds = Histogram()
+        self._last_slow_warning = float("-inf")
 
     # Batches ----------------------------------------------------------- #
 
@@ -118,24 +144,57 @@ class ShardEngineServer:
                 for name, pairs in produced.items():
                     for source, target in pairs:
                         events.append((name, source, target, tup.timestamp))
-        self.meter.record_batch(len(payload), time.thread_time() - started)
+        elapsed = time.thread_time() - started
+        self.meter.record_batch(len(payload), elapsed)
+        self.batch_seconds.observe(elapsed)
         self.batches_processed += 1
+        if elapsed >= SLOW_BATCH_SECONDS:
+            now = time.monotonic()
+            if now - self._last_slow_warning >= SLOW_BATCH_WARN_INTERVAL:
+                self._last_slow_warning = now
+                _LOG.warning(
+                    "slow batch: %d tuples took %.3fs of worker CPU (threshold %.2fs)",
+                    len(payload),
+                    elapsed,
+                    SLOW_BATCH_SECONDS,
+                    extra={"shard": self.shard_id},
+                )
         return protocol.encode_events(events) if events else None
 
     # Control frames ---------------------------------------------------- #
 
+    def _log_op(self, op: str, name: str, operation_id: Optional[str]) -> None:
+        """INFO-log one topology-changing control op, carrying the operation ID."""
+        extra: Dict[str, object] = {"shard": self.shard_id}
+        if operation_id is not None:
+            extra["operation_id"] = operation_id
+        _LOG.info("%s %r on shard %d", op.lower(), name, self.shard_id, extra=extra)
+
     def execute(self, op: str, payload):
-        """Execute one control op and return its reply payload."""
+        """Execute one control op and return its reply payload.
+
+        Payload shapes are version-tolerant on the coordinator-to-worker
+        direction: ``REGISTER``/``RESTORE`` accept an optional trailing
+        operation-ID element and ``DEREGISTER``/``MIGRATE`` accept either
+        a bare name or a ``(name, operation_id)`` pair (see
+        :mod:`repro.runtime.protocol`).
+        """
         if op == protocol.REGISTER:
-            name, expression, semantics, max_nodes_per_tree, partition = payload
+            name, expression, semantics, max_nodes_per_tree, partition = payload[:5]
+            op_id = payload[5] if len(payload) > 5 else None
+            self._log_op(op, name, op_id)
             self.engine.register(name, expression, semantics, max_nodes_per_tree, partition)
             return None
         if op == protocol.RESTORE:
-            name, semantics, blob = payload
+            name, semantics, blob = payload[:3]
+            op_id = payload[3] if len(payload) > 3 else None
+            self._log_op(op, name, op_id)
             self.engine.register_evaluator(name, decode_rapq(blob), semantics)
             return None
         if op == protocol.DEREGISTER:
-            self.engine.deregister(payload)
+            name, op_id = _named_payload(payload)
+            self._log_op(op, name, op_id)
+            self.engine.deregister(name)
             return None
         if op == protocol.RESULTS:
             return self.engine.query(payload).results.to_wire()
@@ -152,13 +211,15 @@ class ShardEngineServer:
         if op == protocol.CHECKPOINT:
             return encode_rapq(self.engine.query(payload).evaluator)
         if op == protocol.MIGRATE:
-            registered = self.engine.query(payload)
+            name, op_id = _named_payload(payload)
+            self._log_op(op, name, op_id)
+            registered = self.engine.query(name)
             if registered.semantics != "arbitrary":
                 # The same serialization restriction that stops a process
                 # worker holding RSPQ state from restarting: positional node
                 # identity cannot cross a shard boundary.
                 raise RuntimeStateError(
-                    f"query {payload!r} cannot migrate off shard {self.shard_id}: queries "
+                    f"query {name!r} cannot migrate off shard {self.shard_id}: queries "
                     f"with non-'arbitrary' semantics ({registered.semantics!r}) hold "
                     f"evaluator state that cannot be shipped between shards"
                 )
@@ -173,15 +234,38 @@ class ShardEngineServer:
             return None  # the reply itself is the barrier
         raise WireProtocolError(f"unknown control op {op!r}")
 
-    def metrics(self) -> Dict[str, float]:
-        """Processing counters of this shard (tuples, batches, throughput)."""
-        stats: Dict[str, float] = {
+    def metrics(self) -> Dict[str, object]:
+        """Processing counters and per-query statistics of this shard.
+
+        The reply is a plain dict riding the typed ``METRICS`` frame, so
+        both backends export identical numbers.  Alongside the original
+        scalar counters it carries the batch-latency histogram state
+        (adoptable via :meth:`.observability.Histogram.load_state`) and a
+        ``queries`` sub-dict with per-query tuple/result counters,
+        window-expiry totals and Δ-index sizes — consumers use ``.get()``
+        so either side may be older (version tolerance).
+        """
+        stats: Dict[str, object] = {
             "tuples": float(self.meter.tuples),
             "batches": float(self.batches_processed),
             "busy_seconds": self.meter.elapsed_seconds,
+            "batch_seconds": self.batch_seconds.state(),
         }
         if self.meter.elapsed_seconds > 0:
             stats["throughput_eps"] = self.meter.edges_per_second()
+        queries: Dict[str, Dict[str, float]] = {}
+        for registered in self.engine.queries():
+            evaluator_stats = dict(getattr(registered.evaluator, "stats", {}))
+            index = registered.evaluator.index_size()
+            queries[registered.name] = {
+                "tuples_processed": float(evaluator_stats.get("tuples_processed", 0.0)),
+                "events": float(len(registered.results)),
+                "index_trees": float(index.get("trees", 0)),
+                "index_nodes": float(index.get("nodes", 0)),
+                "expiry_seconds": float(evaluator_stats.get("expiry_seconds", 0.0)),
+                "expiry_runs": float(evaluator_stats.get("expiry_runs", 0.0)),
+            }
+        stats["queries"] = queries
         return stats
 
     # State shipping (process transport) -------------------------------- #
@@ -255,6 +339,9 @@ class ShardEngineServer:
         self.meter.tuples = int(metrics.get("tuples", 0))
         self.meter.elapsed_seconds = float(metrics.get("busy_seconds", 0.0))
         self.batches_processed = int(batches)
+        histogram_state = metrics.get("batch_seconds")
+        if histogram_state:
+            self.batch_seconds.load_state(histogram_state)
         self.engine = StreamingRPQEngine(self.window)
         degraded = []
         for name, semantics, expression, blob, events in queries:
@@ -396,6 +483,16 @@ class ShardWorker:
         return self._requests is not None and self._transport_alive()
 
     @property
+    def failure(self) -> Optional[BaseException]:
+        """The sticky failure that poisoned this shard, or ``None``.
+
+        A plain attribute read — safe from any thread (the health endpoint
+        reads it), unlike the control-frame methods which are
+        coordinator-thread only.
+        """
+        return self._failure
+
+    @property
     def engine(self) -> StreamingRPQEngine:
         """The local engine (authoritative only while the worker is stopped)."""
         return self._server.engine
@@ -511,17 +608,30 @@ class ShardWorker:
         semantics: str = "arbitrary",
         max_nodes_per_tree: Optional[int] = None,
         partition: Optional[Tuple[int, int]] = None,
+        operation_id: Optional[str] = None,
     ) -> None:
         """Register a persistent query (or one root partition of one)."""
-        self.request(protocol.REGISTER, (name, expression, semantics, max_nodes_per_tree, partition))
+        payload: Tuple = (name, expression, semantics, max_nodes_per_tree, partition)
+        if operation_id is not None:
+            payload += (operation_id,)
+        self.request(protocol.REGISTER, payload)
 
-    def restore_query(self, name: str, blob: bytes, semantics: str = "arbitrary") -> None:
+    def restore_query(
+        self,
+        name: str,
+        blob: bytes,
+        semantics: str = "arbitrary",
+        operation_id: Optional[str] = None,
+    ) -> None:
         """Adopt an :func:`~repro.core.checkpoint.encode_rapq` evaluator blob."""
-        self.request(protocol.RESTORE, (name, semantics, blob))
+        payload: Tuple = (name, semantics, blob)
+        if operation_id is not None:
+            payload += (operation_id,)
+        self.request(protocol.RESTORE, payload)
 
-    def deregister_query(self, name: str) -> None:
+    def deregister_query(self, name: str, operation_id: Optional[str] = None) -> None:
         """Remove a query (its accumulated results are discarded)."""
-        self.request(protocol.DEREGISTER, name)
+        self.request(protocol.DEREGISTER, name if operation_id is None else (name, operation_id))
 
     def fetch_results(self, name: str) -> ResultStream:
         """A consistent point-in-time copy of one query's result stream."""
@@ -542,7 +652,9 @@ class ShardWorker:
         """Encode one query's evaluator state (bytes out, ships anywhere)."""
         return self.request(protocol.CHECKPOINT, name)
 
-    def migrate_query(self, name: str) -> Tuple[str, Optional[Tuple[int, int]], bytes]:
+    def migrate_query(
+        self, name: str, operation_id: Optional[str] = None
+    ) -> Tuple[str, Optional[Tuple[int, int]], bytes]:
         """Extract one query's shippable form: ``(semantics, partition, blob)``.
 
         Unlike ``CHECKPOINT`` (whose non-arbitrary failure is a raw
@@ -554,18 +666,34 @@ class ShardWorker:
         stays registered here until the coordinator confirms the blob
         landed on the target shard and sends ``DEREGISTER``.
         """
-        semantics, partition, blob = self.request(protocol.MIGRATE, name)
+        semantics, partition, blob = self.request(
+            protocol.MIGRATE, name if operation_id is None else (name, operation_id)
+        )
         return semantics, partition, blob
 
     def summary(self) -> Dict[str, Dict[str, object]]:
         """Per-query summary of this shard's engine."""
         return self.request(protocol.SUMMARY)
 
-    def metrics(self) -> Dict[str, float]:
-        """Processing counters of this shard (tuples, batches, throughput)."""
+    def metrics(self) -> Dict[str, object]:
+        """Processing counters and per-query statistics of this shard."""
         if self.running:
             return self.request(protocol.METRICS)
         return self._server.metrics()
+
+    def queue_depth(self) -> int:
+        """Best-effort depth (in batches) of the request queue.
+
+        Reports ``0`` when the worker is not running or the platform's
+        ``multiprocessing.Queue`` does not implement ``qsize`` (macOS).
+        Safe to call from any thread — it never touches the reply queue.
+        """
+        if self._requests is None:
+            return 0
+        try:
+            return self._requests.qsize()
+        except NotImplementedError:  # pragma: no cover - platform-dependent
+            return 0
 
     # Response pumping --------------------------------------------------- #
 
@@ -700,9 +828,17 @@ def _process_worker_main(
     responses,
     emit_results: bool,
 ) -> None:
-    """Child-process entry point: rebuild the server, replay, serve."""
+    """Child-process entry point: rebuild the server, replay, serve.
+
+    Spawned children start with fresh logging state, so the runtime log
+    configuration is re-applied here from the shipped config (forked
+    children inherit the parent's handlers and simply reconfigure to the
+    same settings).
+    """
+    config = RuntimeConfig.from_dict(config_state)
+    configure_logging(config.log_level, config.log_format)
     server = ShardEngineServer(
-        shard_id, WindowSpec(size=window_args[0], slide=window_args[1]), RuntimeConfig.from_dict(config_state)
+        shard_id, WindowSpec(size=window_args[0], slide=window_args[1]), config
     )
     for op, payload in bootstrap:
         server.execute(op, payload)

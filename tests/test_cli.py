@@ -200,13 +200,14 @@ class TestServeCommand:
                 "2",
             ]
         )
-        captured = capsys.readouterr().out
+        captured = capsys.readouterr()
         assert exit_code == 0
-        assert "registered 'places'" in captured
-        assert "registered 'q1'" in captured
-        assert "3 shard(s), backend=threading, policy=label_affinity" in captured
-        assert "shard 0:" in captured and "shard 2:" in captured
-        assert "query 'places':" in captured
+        # Diagnostics go to the log stream on stderr; results stay on stdout.
+        assert "registered 'places'" in captured.err
+        assert "registered 'q1'" in captured.err
+        assert "3 shard(s), backend=threading, policy=label_affinity" in captured.out
+        assert "shard 0:" in captured.out and "shard 2:" in captured.out
+        assert "query 'places':" in captured.out
         assert checkpoint.exists()
 
     def test_serve_reports_worker_failure(self, tmp_path, capsys, monkeypatch):

@@ -59,6 +59,19 @@ class TestLatencyCollector:
         with pytest.raises(ValueError):
             collector.throughput()
 
+    def test_empty_collector_summary_is_zeroed(self):
+        # summary() must not raise on an idle shard: the exporter scrapes
+        # before the first tuple arrives.
+        summary = LatencyCollector().summary()
+        assert summary == {
+            "count": 0.0,
+            "mean_us": 0.0,
+            "p50_us": 0.0,
+            "p95_us": 0.0,
+            "tail_us": 0.0,
+            "throughput_eps": 0.0,
+        }
+
     def test_samples_copy(self):
         collector = LatencyCollector()
         collector.record(0.5)
@@ -74,9 +87,10 @@ class TestThroughputMeter:
         meter.record_batch(100, 2.0)
         assert meter.edges_per_second() == pytest.approx(50.0)
 
-    def test_requires_elapsed_time(self):
-        with pytest.raises(ValueError):
-            ThroughputMeter().edges_per_second()
+    def test_idle_meter_reports_zero(self):
+        # An idle meter used to raise ValueError; the metrics exporter
+        # scrapes shards before their first batch, so it must read 0.0.
+        assert ThroughputMeter().edges_per_second() == 0.0
 
     def test_negative_rejected(self):
         with pytest.raises(ValueError):

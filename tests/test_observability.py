@@ -1,0 +1,485 @@
+"""Tests for the observability layer: registry, exposition, logging, HTTP endpoints.
+
+Covers the metric primitives and their Prometheus text rendering, the
+structured-logging helpers (operation-ID correlation across coordinator
+and workers), the ``/metrics`` + ``/healthz`` HTTP endpoints scraped over
+real sockets during live ingestion on both worker backends, and the
+durability/recovery instrumentation.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import math
+import re
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import WindowSpec
+from repro.datasets.synthetic import UniformStreamGenerator
+from repro.errors import ShardWorkerError
+from repro.graph.stream import with_deletions
+from repro.runtime import BACKENDS, RecoveryManager, RuntimeConfig, StreamingQueryService
+from repro.runtime.observability import (
+    CONTENT_TYPE_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    JsonFormatter,
+    MetricsRegistry,
+    configure_logging,
+    get_logger,
+    new_operation_id,
+)
+from repro.runtime.observability.registry import format_value
+
+WINDOW = WindowSpec(size=40, slide=4)
+
+QUERIES = {"chains": "a+", "pair": "b c"}
+
+
+def make_stream(count, seed=11):
+    generator = UniformStreamGenerator(
+        num_vertices=80, labels=("a", "b", "c", "noise"), edges_per_timestamp=5, seed=seed
+    )
+    return with_deletions(list(generator.generate(count)), 0.1, seed=seed)
+
+
+def make_service(backend="threading", metrics_port=None, shards=2, **kwargs):
+    config = RuntimeConfig(
+        shards=shards, batch_size=32, backend=backend, metrics_port=metrics_port, **kwargs
+    )
+    service = StreamingQueryService(WINDOW, config)
+    for name, expression in QUERIES.items():
+        service.register(name, expression)
+    return service
+
+
+def scrape(port, path):
+    """GET one observability endpoint; returns (status, headers, body)."""
+    url = f"http://127.0.0.1:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, dict(response.headers), response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:  # non-2xx still carries a body
+        return error.code, dict(error.headers), error.read().decode("utf-8")
+
+
+_SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$"
+)
+
+
+def assert_valid_exposition(text):
+    """Minimal structural validator for Prometheus text format 0.0.4."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    typed = {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert name not in typed, f"duplicate TYPE for {name}"
+            assert kind in ("counter", "gauge", "histogram"), line
+            typed[name] = kind
+            continue
+        match = _SAMPLE_LINE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        sample = match.group(1)
+        if sample in typed:
+            assert typed[sample] != "histogram", f"bare sample for histogram family: {line!r}"
+            continue
+        base = re.sub(r"_(bucket|sum|count)$", "", sample)
+        assert typed.get(base) == "histogram", f"sample {sample!r} has no TYPE line"
+    # Every histogram family with samples exposes a +Inf bucket.
+    for name, kind in typed.items():
+        if kind == "histogram" and f"{name}_count" in text:
+            assert f"{name}_bucket{{" in text and 'le="+Inf"' in text
+
+
+def series_names(text):
+    """The set of fully-labelled sample identifiers in an exposition."""
+    return {
+        line.rsplit(" ", 1)[0]
+        for line in text.splitlines()
+        if line and not line.startswith("#")
+    }
+
+
+class TestCounterGaugeHistogram:
+    def test_counter_is_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_counter_set_total_ignores_stale_snapshots(self):
+        counter = Counter()
+        counter.inc(5)
+        counter.set_total(3)  # a restarted worker's smaller total must not regress
+        assert counter.value == 5
+        counter.set_total(10)
+        assert counter.value == 10
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 3.0
+
+    def test_histogram_cumulative_buckets(self):
+        histogram = Histogram((0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.cumulative() == [(0.1, 1), (1.0, 2), (math.inf, 3)]
+        assert histogram.sum == pytest.approx(5.55)
+        assert histogram.count == 3
+
+    def test_histogram_boundary_lands_in_le_bucket(self):
+        histogram = Histogram((0.1, 1.0))
+        histogram.observe(0.1)  # le="0.1" means <=, so the boundary counts
+        assert histogram.cumulative()[0] == (0.1, 1)
+
+    def test_histogram_state_round_trip(self):
+        source = Histogram((0.5, 2.0))
+        source.observe(0.3)
+        source.observe(9.0)
+        clone = Histogram()
+        clone.load_state(source.state())
+        assert clone.bounds == source.bounds
+        assert clone.cumulative() == source.cumulative()
+        assert clone.sum == source.sum
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+
+    def test_format_value(self):
+        assert format_value(17.0) == "17"
+        assert format_value(0.25) == "0.25"
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(-math.inf) == "-Inf"
+
+
+class TestMetricsRegistry:
+    def test_family_creation_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "help", ("shard",))
+        second = registry.counter("x_total", "other help", ("shard",))
+        assert first is second
+
+    def test_kind_or_schema_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "help", ("shard",))
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "help", ("shard",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "help", ("query",))
+
+    def test_label_arity_enforced(self):
+        family = MetricsRegistry().counter("x_total", "help", ("shard", "query"))
+        with pytest.raises(ValueError):
+            family.labels("0")
+
+    def test_render_is_valid_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "Jobs seen").inc(3)
+        registry.gauge("depth", "Queue depth", ("shard",)).labels(0).set(2)
+        registry.histogram("lat_seconds", "Latency", buckets=(0.1, 1.0)).observe(0.5)
+        text = registry.render()
+        assert_valid_exposition(text)
+        assert "# TYPE jobs_total counter" in text
+        assert "jobs_total 3" in text
+        assert 'depth{shard="0"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_sum 0.5" in text
+        assert "lat_seconds_count 1" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "help", ("name",)).labels('he"llo\\wor\nld').set(1)
+        text = registry.render()
+        assert 'g{name="he\\"llo\\\\wor\\nld"} 1' in text
+        assert_valid_exposition(text)
+
+    def test_remove_drops_the_series(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", "help", ("query",))
+        family.labels("doomed").inc()
+        family.remove("doomed")
+        assert 'query="doomed"' not in registry.render()
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+
+@pytest.fixture()
+def clean_logging():
+    """Restore the default log configuration after a test that reconfigures it."""
+    yield
+    configure_logging()
+
+
+class TestStructuredLogging:
+    def test_text_formatter_appends_extras(self, clean_logging):
+        sink = io.StringIO()
+        configure_logging("info", "text", stream=sink)
+        get_logger("runtime.test").info("hello", extra={"operation_id": "migrate-abc", "shard": 2})
+        line = sink.getvalue().strip()
+        assert "INFO repro.runtime.test hello" in line
+        assert line.endswith("operation_id=migrate-abc shard=2")
+
+    def test_json_formatter_emits_one_object_per_record(self, clean_logging):
+        sink = io.StringIO()
+        configure_logging("info", "json", stream=sink)
+        get_logger("cli").info("did %d things", 3, extra={"operation_id": "split-def"})
+        record = json.loads(sink.getvalue().strip())
+        assert record["message"] == "did 3 things"
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.cli"
+        assert record["operation_id"] == "split-def"
+        assert isinstance(JsonFormatter().format(logging.getLogRecordFactory()(
+            "repro", logging.INFO, __file__, 1, "x", (), None
+        )), str)
+
+    def test_reconfiguration_replaces_the_handler(self, clean_logging):
+        configure_logging("info", "text", stream=io.StringIO())
+        configure_logging("debug", "json", stream=io.StringIO())
+        tagged = [
+            handler
+            for handler in logging.getLogger("repro").handlers
+            if getattr(handler, "_repro_observability_handler", False)
+        ]
+        assert len(tagged) == 1
+
+    def test_invalid_level_and_format_rejected(self, clean_logging):
+        with pytest.raises(ValueError):
+            configure_logging("chatty")
+        with pytest.raises(ValueError):
+            configure_logging("info", "yaml")
+
+    def test_new_operation_id_is_prefixed_and_unique(self):
+        first, second = new_operation_id("migrate"), new_operation_id("migrate")
+        assert first.startswith("migrate-") and second.startswith("migrate-")
+        assert first != second
+
+    def test_get_logger_namespacing(self):
+        assert get_logger("runtime.worker").name == "repro.runtime.worker"
+        assert get_logger("repro.cli").name == "repro.cli"
+
+
+class TestConfigValidation:
+    def test_metrics_port_range(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(metrics_port=-1)
+        with pytest.raises(ValueError):
+            RuntimeConfig(metrics_port=70_000)
+        assert RuntimeConfig(metrics_port=0).metrics_port == 0
+
+    def test_log_level_and_format_validated(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(log_level="chatty")
+        with pytest.raises(ValueError):
+            RuntimeConfig(log_format="yaml")
+
+
+class TestLiveExposition:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_scrape_during_ingestion(self, backend):
+        """Acceptance: /metrics is valid Prometheus text while tuples flow."""
+        stream = make_stream(1_500)
+        service = make_service(backend=backend, metrics_port=0)
+        with service:
+            port = service.observability_port
+            assert port is not None and port > 0
+            for position, tup in enumerate(stream):
+                service.ingest_one(tup)
+                if position == len(stream) // 2:
+                    status, headers, body = scrape(port, "/metrics")
+                    assert status == 200
+                    assert headers["Content-Type"] == CONTENT_TYPE_METRICS
+                    assert_valid_exposition(body)
+                    assert 'repro_shard_up{shard="0"} 1' in body
+                    assert 'repro_shard_up{shard="1"} 1' in body
+            service.drain()
+            text = service.metrics_text(refresh=True)
+        assert_valid_exposition(text)
+        # One series per shard and per query.
+        for shard in (0, 1):
+            assert f'repro_shard_tuples_total{{shard="{shard}"}}' in text
+            assert f'repro_shard_queue_depth{{shard="{shard}"}}' in text
+        for name in QUERIES:
+            assert f'query="{name}"' in text
+        assert "repro_batch_seconds_bucket" in text
+        assert "repro_ingested_tuples_total" in text
+        assert service.observability_port is None  # server released on stop
+
+    def test_backends_export_identically_shaped_series(self):
+        """Acceptance: both backends expose the same set of series."""
+        shapes = {}
+        for backend in BACKENDS:
+            service = make_service(backend=backend)
+            with service:
+                service.ingest(make_stream(1_000))
+                service.drain()
+                shapes[backend] = series_names(service.metrics_text(refresh=True))
+        first, *rest = shapes.values()
+        for other in rest:
+            assert other == first
+
+    def test_healthz_healthy_service(self):
+        service = make_service(metrics_port=0)
+        with service:
+            service.ingest(make_stream(300))
+            status, _, body = scrape(service.observability_port, "/healthz")
+            health = json.loads(body)
+            assert status == 200
+            assert health["healthy"] is True
+            assert len(health["shards"]) == 2
+            assert all(shard["ok"] for shard in health["shards"])
+            service.drain()
+
+    def test_healthz_unhealthy_when_worker_killed(self):
+        """Acceptance: /healthz goes non-200 when a shard worker dies."""
+        service = make_service(backend="multiprocessing", metrics_port=0)
+        port = None
+        try:
+            service.start()
+            port = service.observability_port
+            service.ingest(make_stream(300))
+            service.drain()
+            victim = service.workers[1]
+            victim._process.kill()
+            deadline = time.monotonic() + 10.0
+            while victim.running and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert not victim.running
+            status, _, body = scrape(port, "/healthz")
+            health = json.loads(body)
+            assert status == 503
+            assert health["healthy"] is False
+            assert health["shards"][1]["ok"] is False
+            assert health["shards"][0]["ok"] is True
+        finally:
+            with pytest.raises(ShardWorkerError):
+                service.stop()
+        if port is not None:  # the server must be released despite the dead shard
+            with pytest.raises(OSError):
+                urllib.request.urlopen(f"http://127.0.0.1:{port}/healthz", timeout=2)
+
+    def test_unknown_path_is_404(self):
+        service = make_service(metrics_port=0)
+        with service:
+            status, _, body = scrape(service.observability_port, "/nope")
+            assert status == 404
+
+
+class TestOperationCorrelation:
+    def test_migrate_logs_share_one_operation_id(self, caplog):
+        """Acceptance: one operation ID correlates coordinator and both workers."""
+        stream = make_stream(800)
+        service = make_service()
+        with service:
+            service.ingest(stream[:400])
+            source = service.shard_of("chains")
+            target = 1 - source
+            caplog.clear()
+            with caplog.at_level(logging.INFO, logger="repro"):
+                service.migrate("chains", target)
+            service.ingest(stream[400:])
+            service.drain()
+            summary = service.summary()
+        records = [
+            record
+            for record in caplog.records
+            if getattr(record, "operation_id", "").startswith("migrate-")
+        ]
+        operation_ids = {record.operation_id for record in records}
+        assert len(operation_ids) == 1
+        operation_id = operation_ids.pop()
+        loggers = {record.name for record in records}
+        assert "repro.runtime.service" in loggers  # the coordinator
+        assert "repro.runtime.worker" in loggers  # both shard workers
+        shards = {record.shard for record in records if hasattr(record, "shard")}
+        assert {source, target} <= shards
+        assert summary["migrations"][0]["operation_id"] == operation_id
+
+    def test_split_records_an_operation_id(self):
+        service = make_service(shards=3)
+        with service:
+            service.ingest(make_stream(600))
+            service.split("chains", 2)
+            service.drain()
+            summary = service.summary()
+        assert summary["splits"][0]["operation_id"].startswith("split-")
+
+    def test_lifecycle_metrics_count_operations(self):
+        service = make_service()
+        with service:
+            service.ingest(make_stream(400))
+            service.migrate("chains", 1 - service.shard_of("chains"))
+            service.drain()
+            text = service.metrics_text(refresh=True)
+        assert 'repro_lifecycle_operations_total{operation="migrate"} 1' in text
+        assert 'repro_lifecycle_operation_seconds_count{operation="migrate"} 1' in text
+
+
+class TestSlowBatchWarning:
+    def test_slow_batches_are_warned_about(self, caplog, monkeypatch):
+        import repro.runtime.worker as worker_module
+
+        monkeypatch.setattr(worker_module, "SLOW_BATCH_SECONDS", -1.0)
+        monkeypatch.setattr(worker_module, "SLOW_BATCH_WARN_INTERVAL", 0.0)
+        service = make_service()
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with service:
+                service.ingest(make_stream(300))
+                service.drain()
+        warnings = [r for r in caplog.records if "slow batch" in r.getMessage()]
+        assert warnings
+        assert all(hasattr(record, "shard") for record in warnings)
+
+
+class TestDurabilityInstrumentation:
+    def durable_run(self, tmp_path, fsync="always"):
+        wal_dir = tmp_path / "state"
+        service = make_service(
+            wal_dir=str(wal_dir), checkpoint_interval=300, wal_fsync=fsync
+        )
+        with service:
+            service.ingest(make_stream(900))
+            service.drain()
+            text = service.metrics_text(refresh=True)
+        return wal_dir, text
+
+    def test_wal_and_checkpoint_series(self, tmp_path):
+        _, text = self.durable_run(tmp_path)
+        assert_valid_exposition(text)
+        for shard in (0, 1):
+            assert f'repro_wal_appended_bytes_total{{shard="{shard}"}}' in text
+            assert f'repro_wal_append_seconds_count{{shard="{shard}"}}' in text
+            assert f'repro_wal_fsync_seconds_count{{shard="{shard}"}}' in text
+        assert 'repro_checkpoints_total{kind="base"}' in text
+        assert 'repro_checkpoints_total{kind="delta"}' in text
+        assert "repro_checkpoint_seconds_count" in text
+        assert 'repro_checkpoint_bytes{kind=' in text
+        assert "repro_checkpoint_delta_ratio" in text
+
+    def test_recovery_reports_phase_timings(self, tmp_path):
+        wal_dir, _ = self.durable_run(tmp_path, fsync="batch")
+        result = RecoveryManager(str(wal_dir)).recover()
+        assert result.operation_id.startswith("recover-")
+        assert {"fold", "restore", "replay"} <= set(result.phase_seconds)
+        assert all(seconds >= 0.0 for seconds in result.phase_seconds.values())

@@ -146,7 +146,7 @@ class TestPartitionedParity:
         broken = service.workers[service.shard_of("q", partition=1)]
         original = broken.deregister_query
 
-        def boom(name):
+        def boom(name, **kwargs):
             raise RuntimeError("worker refused the removal")
 
         broken.deregister_query = boom
@@ -274,7 +274,7 @@ class TestSplitFailurePaths:
             broken = victims[-1]
             original = broken.restore_query
 
-            def boom(name, blob, semantics="arbitrary"):
+            def boom(name, blob, semantics="arbitrary", **kwargs):
                 raise RuntimeError("target shard exploded")
 
             broken.restore_query = boom

@@ -205,8 +205,8 @@ class TestMigrationFailurePaths:
         try:
             original = service.workers[source].migrate_query
 
-            def sneaky(name):
-                result = original(name)
+            def sneaky(name, **kwargs):
+                result = original(name, **kwargs)
                 # a reentrant placement change mid-migration (e.g. from a
                 # result callback) invalidates the drain barrier
                 service.router.assign_to("intruder", analyze("z+"), source)
@@ -232,9 +232,9 @@ class TestMigrationFailurePaths:
         try:
             original = service.workers[source].migrate_query
 
-            def feeding(name):
+            def feeding(name, **kwargs):
                 service.ingest_one(sgt(1, "u", "v", "a"))
-                return original(name)
+                return original(name, **kwargs)
 
             service.workers[source].migrate_query = feeding
             with pytest.raises(RuntimeStateError, match="is migrating"):
