@@ -1,9 +1,10 @@
 """Benchmark regression gate: fresh vs committed benchmark records.
 
 CI re-runs ``bench_runtime_scaling.py``, ``bench_rebalancing.py``,
-``bench_partitioned_whale.py``, ``bench_durability.py`` and
-``bench_observability.py`` on every push to main and compares the fresh
-records against the ones committed in ``results/``.  Raw throughput numbers are useless across machines (a
+``bench_partitioned_whale.py``, ``bench_durability.py``,
+``bench_observability.py`` and ``bench_columnar.py`` on every push to
+main and compares the fresh records against the ones committed in
+``results/``.  Raw throughput numbers are useless across machines (a
 laptop, a 1-core container and a GitHub runner differ by an order of
 magnitude), so every gated number is *hardware-tolerant*: the scaling
 record gates on each configuration's ``speedup_vs_baseline`` (service
@@ -17,7 +18,13 @@ drops by more than ``--tolerance`` (default 30%) against the committed
 record.  The observability record (``instrumented_relative_throughput``,
 instrumented over uninstrumented ingestion of the same run set) also
 carries an *absolute floor* of 0.95: instrumentation overhead above 5%
-fails the gate regardless of what the committed record says.
+fails the gate regardless of what the committed record says.  The
+columnar record carries two absolute floors of its own:
+``columnar_vs_scalar_speedup`` must stay above 1.1x (the batched path
+must remain a win over per-tuple dispatch — see ``bench_columnar.py``
+for why the honest ceiling is ~1.5x, not higher) and
+``pure_vs_scalar_speedup`` above 0.9x (the no-numpy fallback must not
+land meaningfully below the scalar path it replaces).
 
 Runnable locally after a benchmark run::
 
@@ -53,10 +60,17 @@ REBALANCING_RESULT = Path("results") / "BENCH_rebalancing.json"
 PARTITIONED_WHALE_RESULT = Path("results") / "BENCH_partitioned_whale.json"
 DURABILITY_RESULT = Path("results") / "BENCH_durability.json"
 OBSERVABILITY_RESULT = Path("results") / "BENCH_observability.json"
+COLUMNAR_RESULT = Path("results") / "BENCH_columnar.json"
 
 #: Absolute floor on the observability record's headline: instrumented
 #: ingestion must keep at least this fraction of uninstrumented throughput.
 OBSERVABILITY_FLOOR = 0.95
+
+#: Absolute floors on the columnar record: the numpy fast path must beat
+#: per-tuple scalar dispatch, and the pure-Python fallback must not land
+#: meaningfully below it.
+COLUMNAR_FLOOR = 1.1
+COLUMNAR_PURE_FLOOR = 0.9
 
 
 def load_fresh(path: Path) -> dict:
@@ -138,9 +152,10 @@ def compare_scalar_metric(
 
     Used for the rebalancing / partitioned-whale records
     (``modeled_parallel_speedup``), the durability record
-    (``wal_relative_throughput``) and the observability record
-    (``instrumented_relative_throughput``) — each a same-host ratio of two
-    runs, so machine speed cancels out.  Both sides are optional (the
+    (``wal_relative_throughput``), the observability record
+    (``instrumented_relative_throughput``) and the columnar record
+    (``columnar_vs_scalar_speedup`` / ``pure_vs_scalar_speedup``) — each
+    a same-host ratio of two runs, so machine speed cancels out.  Both sides are optional (the
     benchmark may not have been rerun, or the record may predate this
     gate) — only a present-and-regressed pair fails.  ``floor``
     additionally rejects a fresh value below an absolute minimum even when
@@ -224,6 +239,22 @@ def main(argv: list[str] | None = None) -> int:
         "observability",
         key="instrumented_relative_throughput",
         floor=OBSERVABILITY_FLOOR,
+    )
+    regressions += compare_scalar_metric(
+        repo_root,
+        args.tolerance,
+        COLUMNAR_RESULT,
+        "columnar",
+        key="columnar_vs_scalar_speedup",
+        floor=COLUMNAR_FLOOR,
+    )
+    regressions += compare_scalar_metric(
+        repo_root,
+        args.tolerance,
+        COLUMNAR_RESULT,
+        "columnar-pure",
+        key="pure_vs_scalar_speedup",
+        floor=COLUMNAR_PURE_FLOOR,
     )
     if regressions:
         print("\nthroughput regression gate FAILED:")

@@ -177,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(intra-query data parallelism; requires --shards >= partitions and "
         "arbitrary semantics)",
     )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run under cProfile and print the top 25 functions "
+        "by cumulative time to stderr (stdout output is unchanged)",
+    )
     _add_logging_arguments(run_parser)
 
     serve_parser = subparsers.add_parser(
@@ -374,6 +380,25 @@ def _load_stream(args: argparse.Namespace):
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    if not getattr(args, "profile", False):
+        return _command_run_inner(args)
+    # Profile the whole command (stream loading, evaluation, reporting) so
+    # hot spots in any layer show up; the report goes to stderr so stdout
+    # stays parseable.
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return _command_run_inner(args)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+
+
+def _command_run_inner(args: argparse.Namespace) -> int:
     configure_logging(args.log_level, args.log_format)
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")

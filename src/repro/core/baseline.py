@@ -83,6 +83,11 @@ class SnapshotRecomputeBaseline:
         self.snapshot.insert_tuple(tup)
         return self._recompute(tup.timestamp, report_new=True)
 
+    def observe(self, timestamp: int) -> None:
+        """Advance the clock for an irrelevant tuple (engine label routing)."""
+        self._advance_time(timestamp)
+        self.stats["tuples_discarded"] += 1
+
     def process_stream(self, tuples: Iterable[StreamingGraphTuple]) -> ResultStream:
         """Process an entire stream and return the accumulated result stream."""
         for tup in tuples:

@@ -101,7 +101,17 @@ def _check_vertex(vertex) -> None:
 
 
 def checkpoint_rapq(evaluator: RAPQEvaluator) -> Dict:
-    """Capture the complete state of an RAPQ evaluator as a JSON-compatible dict."""
+    """Capture the complete state of an RAPQ evaluator as a JSON-compatible dict.
+
+    Evaluators that maintain a non-scalar internal representation (the
+    columnar evaluator's interned state) expose ``checkpoint_state()``,
+    which resolves into this same format-2 dict; dispatching on it here
+    keeps every producer of checkpoints (durability, migration, the CLI)
+    format-agnostic.
+    """
+    state_fn = getattr(evaluator, "checkpoint_state", None)
+    if state_fn is not None:
+        return state_fn()
     edges = []
     for edge in evaluator.snapshot.edges():
         _check_vertex(edge.source)

@@ -1,0 +1,60 @@
+"""Columnar batched hot path: vectorized RAPQ evaluation over interned ids.
+
+This package is the performance layer of the core: it evaluates whole
+*batches* of streaming graph tuples at once instead of tuple-at-a-time,
+over dense integer ids instead of Python strings:
+
+* :mod:`~repro.core.columnar.interning` — the boundary layer mapping
+  vertex/label values to dense ``int32`` ids (and back);
+* :mod:`~repro.core.columnar.kernels` — the vectorized primitives
+  (relevance masking, monotonicity scan, expiry scans), each with a numpy
+  implementation and a tuned pure-Python fallback;
+* :mod:`~repro.core.columnar.batch` — :class:`ColumnarBatch`, the
+  struct-of-arrays batch representation and its packed wire form;
+* :mod:`~repro.core.columnar.evaluator` —
+  :class:`ColumnarRAPQEvaluator`, a drop-in
+  :class:`~repro.core.rapq.RAPQEvaluator` whose internal state is fully
+  interned and whose batch entry point runs the vectorized pre-passes.
+
+numpy is an *optional* dependency (the ``fast`` extra): when it is not
+installed — or when ``REPRO_FORCE_PURE=1`` is set — every kernel falls
+back to pure Python and the evaluator keeps working, bit-for-bit
+identically, just slower.  :func:`fastpath_name` reports which
+implementation is active; the runtime exports it as the
+``repro_fastpath_active`` gauge.
+"""
+
+from __future__ import annotations
+
+from .batch import COLUMNAR_MARKER, ColumnarBatch
+from .evaluator import ColumnarRAPQEvaluator
+from .interning import Interner
+from .kernels import fastpath_name, have_numpy, set_implementation
+
+__all__ = [
+    "COLUMNAR_MARKER",
+    "ColumnarBatch",
+    "ColumnarRAPQEvaluator",
+    "Interner",
+    "fastpath_name",
+    "have_numpy",
+    "promote_evaluator",
+    "set_implementation",
+]
+
+
+def promote_evaluator(evaluator):
+    """Upgrade a plain scalar RAPQ evaluator to the columnar fast path.
+
+    Used by the runtime's restore paths (checkpoint restore, live
+    migration, process-transport bootstrap), whose decoders produce plain
+    :class:`~repro.core.rapq.RAPQEvaluator` objects: promotion re-interns
+    the whole evaluator state so the hot path stays columnar after a
+    restore.  Evaluators of any other type (already columnar, RSPQ,
+    baseline) pass through untouched.
+    """
+    from ..rapq import RAPQEvaluator
+
+    if type(evaluator) is RAPQEvaluator:
+        return ColumnarRAPQEvaluator.from_scalar(evaluator)
+    return evaluator

@@ -1,0 +1,177 @@
+"""Struct-of-arrays batches of streaming graph tuples, and their wire form.
+
+A :class:`ColumnarBatch` holds one batch of tuples as parallel columns —
+timestamps, interned source/target vertex ids, interned label ids and
+delete flags — plus the *per-batch* id -> value tables the ids refer to.
+Tables are local to the batch (built fresh by :meth:`from_tuples`), so
+the wire form is self-contained: no interner state needs to be
+coordinated between coordinator and workers, across restarts, or through
+migrations.
+
+The packed wire form (:meth:`to_wire` / :meth:`from_wire`) stays within
+the worker protocol's "plain scalars, strings and bytes" discipline:
+columns travel as the raw bytes of stdlib ``array`` buffers, tables as
+tuples of scalars.  On the receiving side the byte columns rebuild into
+``array`` objects, which numpy views zero-copy (``np.frombuffer``).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Optional, Sequence, Tuple
+
+from ...graph.tuples import EdgeOp, StreamingGraphTuple
+
+__all__ = ["COLUMNAR_MARKER", "ColumnarBatch"]
+
+#: First element of a columnar ``BATCH`` payload.  Legacy row payloads are
+#: tuples of ``(tau, u, v, l, op)`` wire forms whose first element is a
+#: tuple, never this string — so one marker test distinguishes the forms
+#: and old workers/coordinators interoperate with new ones (a coordinator
+#: configured with ``wire_format="rows"`` speaks the legacy form only).
+COLUMNAR_MARKER = "COL1"
+
+
+class ColumnarBatch:
+    """One batch of streaming graph tuples in struct-of-arrays layout.
+
+    Attributes:
+        timestamps: ``array('q')`` of tuple timestamps, in stream order.
+        sources / targets: ``array('i')`` of per-batch vertex ids.
+        labels: ``array('i')`` of per-batch label ids.
+        deletes: ``array('b')`` of flags (1 = explicit deletion).
+        vertex_table: per-batch id -> vertex value table.
+        label_table: per-batch id -> label table.
+    """
+
+    __slots__ = (
+        "timestamps",
+        "sources",
+        "targets",
+        "labels",
+        "deletes",
+        "vertex_table",
+        "label_table",
+        "_materialized",
+    )
+
+    def __init__(
+        self,
+        timestamps: array,
+        sources: array,
+        targets: array,
+        labels: array,
+        deletes: array,
+        vertex_table: Tuple,
+        label_table: Tuple,
+    ) -> None:
+        self.timestamps = timestamps
+        self.sources = sources
+        self.targets = targets
+        self.labels = labels
+        self.deletes = deletes
+        self.vertex_table = vertex_table
+        self.label_table = label_table
+        self._materialized: Optional[List[StreamingGraphTuple]] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_tuples(cls, batch: Sequence[StreamingGraphTuple]) -> "ColumnarBatch":
+        """Build columns from tuples, interning vertices/labels batch-locally."""
+        vertex_ids: dict = {}
+        label_ids: dict = {}
+        vertex_id = vertex_ids.setdefault
+        label_id = label_ids.setdefault
+        sources: List[int] = []
+        targets: List[int] = []
+        labels: List[int] = []
+        append_source = sources.append
+        append_target = targets.append
+        append_label = labels.append
+        for tup in batch:
+            append_source(vertex_id(tup.source, len(vertex_ids)))
+            append_target(vertex_id(tup.target, len(vertex_ids)))
+            append_label(label_id(tup.label, len(label_ids)))
+        return cls(
+            array("q", [tup.timestamp for tup in batch]),
+            array("i", sources),
+            array("i", targets),
+            array("i", labels),
+            array("b", [1 if tup.is_delete else 0 for tup in batch]),
+            tuple(vertex_ids),
+            tuple(label_ids),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Wire form
+    # ------------------------------------------------------------------ #
+
+    def to_wire(self) -> Tuple:
+        """Encode into the packed ``BATCH`` payload (scalars, bytes, tuples)."""
+        return (
+            COLUMNAR_MARKER,
+            len(self.timestamps),
+            self.timestamps.tobytes(),
+            self.sources.tobytes(),
+            self.targets.tobytes(),
+            self.labels.tobytes(),
+            self.deletes.tobytes(),
+            self.vertex_table,
+            self.label_table,
+        )
+
+    @classmethod
+    def from_wire(cls, payload: Tuple) -> "ColumnarBatch":
+        """Decode a payload produced by :meth:`to_wire`."""
+        marker, _count, ts_bytes, src_bytes, dst_bytes, lbl_bytes, del_bytes = payload[:7]
+        if marker != COLUMNAR_MARKER:
+            raise ValueError(f"not a columnar batch payload (marker {marker!r})")
+        timestamps = array("q")
+        timestamps.frombytes(ts_bytes)
+        sources = array("i")
+        sources.frombytes(src_bytes)
+        targets = array("i")
+        targets.frombytes(dst_bytes)
+        labels = array("i")
+        labels.frombytes(lbl_bytes)
+        deletes = array("b")
+        deletes.frombytes(del_bytes)
+        return cls(timestamps, sources, targets, labels, deletes, tuple(payload[7]), tuple(payload[8]))
+
+    @staticmethod
+    def is_wire(payload) -> bool:
+        """Whether a ``BATCH`` payload is the packed columnar form."""
+        return bool(payload) and payload[0] == COLUMNAR_MARKER
+
+    # ------------------------------------------------------------------ #
+    # Row access (fallback paths)
+    # ------------------------------------------------------------------ #
+
+    def tuples(self) -> List[StreamingGraphTuple]:
+        """Materialize the batch as tuples (cached; used by scalar fallbacks)."""
+        if self._materialized is None:
+            vertex_table = self.vertex_table
+            label_table = self.label_table
+            self._materialized = [
+                StreamingGraphTuple(
+                    timestamp=self.timestamps[index],
+                    source=vertex_table[self.sources[index]],
+                    target=vertex_table[self.targets[index]],
+                    label=label_table[self.labels[index]],
+                    op=EdgeOp.DELETE if self.deletes[index] else EdgeOp.INSERT,
+                )
+                for index in range(len(self.timestamps))
+            ]
+        return self._materialized
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def __str__(self) -> str:
+        return (
+            f"ColumnarBatch(n={len(self.timestamps)}, vertices={len(self.vertex_table)}, "
+            f"labels={len(self.label_table)})"
+        )

@@ -1,0 +1,57 @@
+"""Interning: dense integer ids for vertex and label values.
+
+The columnar evaluator keys all of its state — snapshot adjacency, tree
+nodes, transition tables — by dense ``int`` ids instead of the original
+(usually string) values.  Ids are assigned in first-seen order, so an
+interner doubles as an ordered id -> value table; everything the outside
+world observes (result events, checkpoints, partition admission) is
+resolved back through that table at the boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+__all__ = ["Interner"]
+
+
+class Interner:
+    """A bijective value <-> dense-id map, ids assigned in first-seen order.
+
+    Example:
+        >>> interner = Interner()
+        >>> interner.intern("alice"), interner.intern("bob"), interner.intern("alice")
+        (0, 1, 0)
+        >>> interner.table[1]
+        'bob'
+    """
+
+    __slots__ = ("ids", "table")
+
+    def __init__(self) -> None:
+        #: value -> id
+        self.ids: Dict[Hashable, int] = {}
+        #: id -> value (dense, append-only)
+        self.table: List[Hashable] = []
+
+    def intern(self, value: Hashable) -> int:
+        """Return the id of ``value``, assigning the next dense id if new."""
+        ident = self.ids.get(value)
+        if ident is None:
+            ident = len(self.table)
+            self.ids[value] = ident
+            self.table.append(value)
+        return ident
+
+    def resolve(self, ident: int) -> Hashable:
+        """Return the value interned under ``ident``."""
+        return self.table[ident]
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self.ids
+
+    def __str__(self) -> str:
+        return f"Interner(size={len(self.table)})"

@@ -1,0 +1,184 @@
+"""Vectorized kernels of the columnar hot path, with pure-Python fallbacks.
+
+The column kernels (:func:`map_labels`, :func:`relevant_indices`,
+:func:`first_decrease`, :func:`boundary_crossings`) have two
+implementations selected at call time:
+
+* ``"numpy"`` — array operations over zero-copy views of the batch's
+  ``array`` columns (``np.frombuffer``), active when numpy is importable;
+* ``"pure"`` — tuned pure-Python loops over the same columns, active when
+  numpy is missing or ``REPRO_FORCE_PURE=1`` is set in the environment.
+
+Both implementations are exact: they compute the same values in the same
+order, so the evaluator's observable behaviour (results, emission order,
+checkpoints) does not depend on which one runs.  :func:`set_implementation`
+switches at runtime — benchmarks and the differential tests use it to
+measure/compare both paths in one process.
+
+The tree-node scans (:func:`expired_node_keys`, :func:`min_timestamp`)
+are deliberately plain loops in both modes: node timestamps live inside
+Python objects, so numpy would have to *iterate* them anyway
+(``np.fromiter``) and the loop is the fast path.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "fastpath_name",
+    "have_numpy",
+    "set_implementation",
+    "map_labels",
+    "relevant_indices",
+    "first_decrease",
+    "boundary_crossings",
+    "expired_node_keys",
+    "min_timestamp",
+]
+
+try:  # numpy is the optional "fast" extra; its absence is a supported mode
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+#: Whether the environment forbids numpy regardless of availability.
+_FORCE_PURE = os.environ.get("REPRO_FORCE_PURE") == "1"
+
+#: Below this column length the numpy kernels fall back to plain loops:
+#: view construction and the fixed per-call numpy dispatch cost more than
+#: they save on short runs (measured crossover is around a few dozen).
+_SMALL = 64
+
+_active = "numpy" if (_np is not None and not _FORCE_PURE) else "pure"
+
+
+def have_numpy() -> bool:
+    """Whether numpy imported successfully (independent of the forced mode)."""
+    return _np is not None
+
+
+def fastpath_name() -> str:
+    """Name of the active kernel implementation: ``"numpy"`` or ``"pure"``."""
+    return _active
+
+
+def set_implementation(name: Optional[str]) -> str:
+    """Select the kernel implementation at runtime; returns the active name.
+
+    ``None`` restores the import-time default (numpy when available and
+    not overridden by ``REPRO_FORCE_PURE=1``).  Benchmarks and tests use
+    this to exercise both paths in one process.
+
+    Raises:
+        ValueError: for an unknown name, or ``"numpy"`` without numpy.
+    """
+    global _active
+    if name is None:
+        name = "numpy" if (_np is not None and not _FORCE_PURE) else "pure"
+    if name not in ("numpy", "pure"):
+        raise ValueError(f"unknown kernel implementation {name!r}; expected 'numpy' or 'pure'")
+    if name == "numpy" and _np is None:
+        raise ValueError("cannot select the 'numpy' kernels: numpy is not installed")
+    _active = name
+    return _active
+
+
+def map_labels(label_ids: Sequence[int], label_map: List[int]):
+    """Map per-tuple batch label ids through ``label_map`` (``-1`` = irrelevant).
+
+    ``label_map`` is one evaluator's view of the batch's label table:
+    position ``b`` holds the evaluator-local label id of batch label ``b``,
+    or ``-1`` when the label is outside the query alphabet.  The result is
+    indexable by tuple position.
+    """
+    if _active == "numpy" and len(label_ids) >= _SMALL:
+        table = _np.asarray(label_map, dtype=_np.int32)
+        return table.take(_np.frombuffer(label_ids, dtype=_np.int32))
+    return [label_map[lid] for lid in label_ids]
+
+
+def relevant_indices(mapped) -> List[int]:
+    """Positions whose mapped label id is ``>= 0`` (relevant tuples), in order."""
+    if _np is not None and not isinstance(mapped, list):
+        return _np.flatnonzero(mapped >= 0).tolist()
+    return [index for index, lid in enumerate(mapped) if lid >= 0]
+
+
+def first_decrease(timestamps, start: int, stop: int, floor: Optional[int]) -> Optional[int]:
+    """First position in ``[start, stop)`` violating timestamp monotonicity.
+
+    A position violates when its timestamp is below ``floor`` (the
+    evaluator's current time; ``None`` = no floor yet) for the first
+    element, or below its predecessor for later ones.  Returns ``None``
+    when the whole range is non-decreasing — the common case, which the
+    numpy path answers with two vectorized comparisons.
+    """
+    if stop <= start:
+        return None
+    if _active == "numpy" and stop - start >= _SMALL:
+        view = _np.frombuffer(timestamps, dtype=_np.int64)[start:stop]
+        if floor is not None and view[0] < floor:
+            return start
+        drops = _np.flatnonzero(view[1:] < view[:-1])
+        if drops.size:
+            return start + 1 + int(drops[0])
+        return None
+    previous = floor if floor is not None else -math.inf
+    for index in range(start, stop):
+        value = timestamps[index]
+        if value < previous:
+            return index
+        previous = value
+    return None
+
+
+def boundary_crossings(
+    timestamps, start: int, stop: int, slide: int, last_boundary: int
+) -> List[int]:
+    """Positions in ``[start, stop)`` whose tuple first crosses a slide boundary.
+
+    The slice must already be non-decreasing (checked by
+    :func:`first_decrease`).  A position crosses when its window end
+    ``(ts // slide) * slide`` exceeds every boundary seen so far, starting
+    from ``last_boundary`` — these are exactly the tuples at which the
+    scalar evaluator's ``_advance_time`` triggers an expiry, so the caller
+    can run expiries at only those positions and bulk-skip the rest.
+    """
+    if _active == "numpy" and stop - start >= _SMALL:
+        view = _np.frombuffer(timestamps, dtype=_np.int64)[start:stop]
+        ends = (view // slide) * slide
+        first = int(_np.searchsorted(ends, last_boundary, side="right"))
+        if first >= len(ends):
+            return []
+        rest = _np.flatnonzero(ends[first + 1 :] > ends[first:-1]) + first + 1
+        return [start + first] + [start + int(index) for index in rest]
+    crossings: List[int] = []
+    for index in range(start, stop):
+        boundary = (timestamps[index] // slide) * slide
+        if boundary > last_boundary:
+            crossings.append(index)
+            last_boundary = boundary
+    return crossings
+
+
+def expired_node_keys(nodes: Dict, watermark: float) -> List:
+    """Keys of tree nodes with ``timestamp <= watermark``, in node order.
+
+    ``nodes`` is a spanning tree's insertion-ordered ``key -> TreeNode``
+    dict.  The root's timestamp is ``+inf`` (it never expires), so a pure
+    timestamp scan is equivalent to the scalar evaluator's
+    ``parent is not None and timestamp <= watermark`` test.
+    """
+    return [key for key, node in nodes.items() if node.timestamp <= watermark]
+
+
+def min_timestamp(nodes: Dict) -> float:
+    """Minimum node timestamp of a tree (``+inf`` for a bare root).
+
+    Used to refresh a tree's expiry lower bound after a pruning scan; the
+    root's ``+inf`` timestamp makes a plain minimum correct.
+    """
+    return min((node.timestamp for node in nodes.values()), default=math.inf)

@@ -23,7 +23,8 @@ from ..graph.window import WindowSpec
 from ..metrics.collectors import LatencyCollector
 from ..regex.analysis import QueryAnalysis, analyze
 from .baseline import SnapshotRecomputeBaseline
-from .rapq import RAPQEvaluator
+from .columnar.batch import ColumnarBatch
+from .columnar.evaluator import ColumnarRAPQEvaluator
 from .results import ResultStream
 from .rspq import RSPQEvaluator
 
@@ -47,9 +48,14 @@ def make_evaluator(
     ``partition`` optionally makes the evaluator one root partition
     ``(index, count)`` of a split query — only Algorithm RAPQ's per-root
     spanning trees partition cleanly, so other semantics reject it.
+
+    ``"arbitrary"`` builds the columnar evaluator — a behaviourally
+    identical :class:`~repro.core.rapq.RAPQEvaluator` subclass whose hot
+    path runs over interned ids and dense transition tables (see
+    :mod:`repro.core.columnar`).
     """
     if semantics == "arbitrary":
-        return RAPQEvaluator(query, window, partition=partition)
+        return ColumnarRAPQEvaluator(query, window, partition=partition)
     if partition is not None:
         raise ValueError(
             f"only 'arbitrary' semantics supports root partitioning, got {semantics!r}: "
@@ -109,6 +115,11 @@ class StreamingRPQEngine:
         self.window = window
         self.measure_latency = measure_latency
         self._queries: Dict[str, RegisteredQuery] = {}
+        # label -> names of queries whose alphabet contains it, built lazily
+        # and invalidated on (de)registration: a tuple is dispatched only to
+        # the queries it can possibly affect, every other evaluator just has
+        # its clock advanced (observe()).
+        self._routes: Dict[str, frozenset] = {}
         self._tuples_seen = 0
 
     # ------------------------------------------------------------------ #
@@ -141,6 +152,7 @@ class StreamingRPQEngine:
         evaluator = make_evaluator(analysis, self.window, semantics, max_nodes_per_tree, partition)
         registered = RegisteredQuery(name=name, analysis=analysis, semantics=semantics, evaluator=evaluator)
         self._queries[name] = registered
+        self._routes.clear()
         return registered
 
     def register_evaluator(self, name: str, evaluator, semantics: str = "arbitrary") -> RegisteredQuery:
@@ -165,6 +177,7 @@ class StreamingRPQEngine:
             name=name, analysis=evaluator.analysis, semantics=semantics, evaluator=evaluator
         )
         self._queries[name] = registered
+        self._routes.clear()
         return registered
 
     def deregister(self, name: str) -> None:
@@ -172,6 +185,7 @@ class StreamingRPQEngine:
         if name not in self._queries:
             raise KeyError(f"no query named {name!r} is registered")
         del self._queries[name]
+        self._routes.clear()
 
     def query(self, name: str) -> RegisteredQuery:
         """Return the handle of the query registered under ``name``."""
@@ -196,24 +210,96 @@ class StreamingRPQEngine:
         """Number of tuples pushed into the engine so far."""
         return self._tuples_seen
 
+    def _route(self, label: str) -> frozenset:
+        """Names of the queries whose alphabet contains ``label`` (cached)."""
+        routed = self._routes.get(label)
+        if routed is None:
+            routed = self._routes[label] = frozenset(
+                name
+                for name, registered in self._queries.items()
+                if label in registered.analysis.alphabet
+            )
+        return routed
+
     def process(self, tup: StreamingGraphTuple) -> Dict[str, List[Tuple[Vertex, Vertex]]]:
         """Dispatch one tuple to every registered query.
+
+        The label-routing map sends the tuple only to queries whose
+        alphabet contains its label; every other evaluator just advances
+        its clock (``observe``), which is what full dispatch would have
+        done to it anyway.  Routed tuples are exactly the relevant ones,
+        so latency samples (when ``measure_latency`` is on) cover the same
+        tuples as before without a second relevance test.
 
         Returns a mapping ``query name -> newly reported pairs``; queries
         that produced no new result for this tuple are omitted.
         """
         self._tuples_seen += 1
         new_results: Dict[str, List[Tuple[Vertex, Vertex]]] = {}
-        for registered in self._queries.values():
-            if self.measure_latency and registered.evaluator.relevant(tup):
-                started = time.perf_counter()
-                pairs = registered.evaluator.process(tup)
-                registered.latency.record(time.perf_counter() - started)
+        routed = self._route(tup.label)
+        timestamp = tup.timestamp
+        for name, registered in self._queries.items():
+            if name in routed:
+                if self.measure_latency:
+                    started = time.perf_counter()
+                    pairs = registered.evaluator.process(tup)
+                    registered.latency.record(time.perf_counter() - started)
+                else:
+                    pairs = registered.evaluator.process(tup)
+                if pairs:
+                    new_results[name] = pairs
             else:
-                pairs = registered.evaluator.process(tup)
-            if pairs:
-                new_results[registered.name] = pairs
+                observe = getattr(registered.evaluator, "observe", None)
+                if observe is not None:
+                    observe(timestamp)
+                else:
+                    registered.evaluator.process(tup)
         return new_results
+
+    def process_batch(self, batch) -> List[Tuple[str, Vertex, Vertex, int]]:
+        """Dispatch a whole batch; return ``(name, source, target, timestamp)`` events.
+
+        ``batch`` is a :class:`~repro.core.columnar.batch.ColumnarBatch`
+        (or any sequence of tuples, converted on entry).  Columnar
+        evaluators take the batch whole
+        (:meth:`~repro.core.columnar.evaluator.ColumnarRAPQEvaluator.process_batch`);
+        any other evaluator falls back to label-routed tuple-at-a-time
+        dispatch.  Events are returned in *tuple-major* order — all events
+        of tuple ``i`` (across queries, in registration order) before any
+        event of tuple ``i+1`` — exactly the order per-tuple dispatch
+        through :meth:`process` produces, which the runtime's result
+        merging relies on.
+        """
+        if not isinstance(batch, ColumnarBatch):
+            batch = ColumnarBatch.from_tuples(list(batch))
+        count = len(batch)
+        self._tuples_seen += count
+        if count == 0:
+            return []
+        # (tuple_index, query_position, name, source, target); the stable
+        # sort below restores tuple-major emission order across queries.
+        entries: List[Tuple[int, int, str, Vertex, Vertex]] = []
+        for position, (name, registered) in enumerate(self._queries.items()):
+            evaluator = registered.evaluator
+            batch_method = getattr(evaluator, "process_batch", None)
+            if batch_method is not None:
+                for tuple_index, source, target in batch_method(batch):
+                    entries.append((tuple_index, position, name, source, target))
+                continue
+            observe = getattr(evaluator, "observe", None)
+            alphabet = registered.analysis.alphabet
+            for tuple_index, tup in enumerate(batch.tuples()):
+                if observe is None or tup.label in alphabet:
+                    for source, target in evaluator.process(tup):
+                        entries.append((tuple_index, position, name, source, target))
+                else:
+                    observe(tup.timestamp)
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        timestamps = batch.timestamps
+        return [
+            (name, source, target, timestamps[tuple_index])
+            for tuple_index, _position, name, source, target in entries
+        ]
 
     def process_stream(
         self,

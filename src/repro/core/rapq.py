@@ -173,6 +173,18 @@ class RAPQEvaluator:
             return []
         return self._process_insert(tup)
 
+    def observe(self, timestamp: int) -> None:
+        """Account for an irrelevant tuple without dispatching it.
+
+        Exactly what :meth:`process` does for a tuple outside the query
+        alphabet — advance the clock (running window maintenance at slide
+        boundaries) and count the discard — without the label test.  The
+        engine's label-routing map uses this so irrelevant tuples skip the
+        per-query dispatch entirely.
+        """
+        self._advance_time(timestamp)
+        self.stats["tuples_discarded"] += 1
+
     def process_stream(self, tuples: Iterable[StreamingGraphTuple]) -> ResultStream:
         """Process an entire stream and return the accumulated result stream."""
         for tup in tuples:

@@ -129,6 +129,11 @@ class RSPQEvaluator:
             return []
         return self._process_insert(tup)
 
+    def observe(self, timestamp: int) -> None:
+        """Advance the clock for an irrelevant tuple (engine label routing)."""
+        self._advance_time(timestamp)
+        self.stats["tuples_discarded"] += 1
+
     def process_stream(self, tuples: Iterable[StreamingGraphTuple]) -> ResultStream:
         """Process an entire stream and return the accumulated result stream."""
         for tup in tuples:

@@ -83,6 +83,25 @@ class DFA:
             )
         return cache[label]
 
+    def dense_row(self, label: str) -> List[int]:
+        """Return ``delta(·, label)`` as a dense row indexed by state.
+
+        Row entry ``s`` is ``delta(s, label)``, with ``-1`` encoding the
+        implicit dead state.  The columnar evaluator stacks these rows into
+        a ``label_id × state`` transition table so its hot loop replaces
+        the per-tuple :meth:`transitions_on` list walk with one indexed
+        load.  Rows are cached per label (the transition function is
+        immutable).
+        """
+        cache = self.__dict__.setdefault("_dense_row_cache", {})
+        row = cache.get(label)
+        if row is None:
+            row = [_DEAD_STATE] * self.num_states
+            for source, target in self.transitions_on(label):
+                row[source] = target
+            cache[label] = row
+        return row
+
     def out_transitions(self, state: int) -> List[Tuple[str, int]]:
         """Return the ``(label, target)`` pairs leaving ``state``."""
         cache = self.__dict__.setdefault("_out_transitions_cache", {})

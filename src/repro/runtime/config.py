@@ -26,6 +26,7 @@ __all__ = [
     "FSYNC_POLICIES",
     "LOG_LEVELS",
     "LOG_FORMATS",
+    "WIRE_FORMATS",
 ]
 
 #: Concurrency backends implemented by :mod:`repro.runtime.worker`.  Both
@@ -58,6 +59,13 @@ LOG_LEVELS = ("debug", "info", "warning", "error")
 #: Log output formats: human-oriented text lines or one JSON object per
 #: record (both carry the operation-ID extras of multi-frame operations).
 LOG_FORMATS = ("text", "json")
+
+#: BATCH frame encodings spoken by :mod:`repro.runtime.protocol`.
+#: ``"columnar"`` packs each batch into parallel array buffers feeding the
+#: engine's vectorized batch path; ``"rows"`` sends one wire tuple per
+#: streaming tuple (the legacy form, still used verbatim by WAL replay).
+#: Workers sniff the payload, so either side may be older.
+WIRE_FORMATS = ("columnar", "rows")
 
 
 @dataclass(frozen=True)
@@ -121,6 +129,12 @@ class RuntimeConfig:
             Spawned worker processes configure their own logging from
             this value so coordinator and workers log consistently.
         log_format: log output format, one of :data:`LOG_FORMATS`.
+        wire_format: BATCH frame encoding, one of :data:`WIRE_FORMATS`.
+            ``"columnar"`` (the default) ships each batch as packed
+            parallel arrays that the workers' engines evaluate on the
+            vectorized batch path; ``"rows"`` ships per-tuple wire forms.
+            Both produce bit-identical results — this is a transport /
+            performance knob, not a semantic one.
 
     Raises:
         ConfigError: when any value is out of range, names an unknown
@@ -144,6 +158,7 @@ class RuntimeConfig:
     metrics_port: Optional[int] = None
     log_level: str = "warning"
     log_format: str = "text"
+    wire_format: str = "columnar"
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -213,6 +228,10 @@ class RuntimeConfig:
         if self.log_format not in LOG_FORMATS:
             raise ConfigError(
                 f"unknown log format {self.log_format!r}; valid choices: {', '.join(LOG_FORMATS)}"
+            )
+        if self.wire_format not in WIRE_FORMATS:
+            raise ConfigError(
+                f"unknown wire format {self.wire_format!r}; valid choices: {', '.join(WIRE_FORMATS)}"
             )
 
     def with_shards(self, shards: int) -> "RuntimeConfig":

@@ -16,10 +16,20 @@ Request frames (coordinator -> worker)
 Two shapes travel on the request queue:
 
 ``(BATCH, payload)``
-    One batch of streaming graph tuples, ``payload`` a tuple of
-    :meth:`~repro.graph.tuples.StreamingGraphTuple.to_wire` forms
-    ``(tau, u, v, l, op)``.  Fire-and-forget: no reply; the bounded request
-    queue provides backpressure.
+    One batch of streaming graph tuples.  Fire-and-forget: no reply; the
+    bounded request queue provides backpressure.  Two payload forms are
+    accepted (version tolerance — the worker sniffs the first element):
+
+    * **rows** — a tuple of
+      :meth:`~repro.graph.tuples.StreamingGraphTuple.to_wire` forms
+      ``(tau, u, v, l, op)``.  The legacy form; the durability
+      subsystem's write-ahead log replays records in it.
+    * **columnar** — the packed form produced by
+      :meth:`~repro.core.columnar.ColumnarBatch.to_wire`, recognisable
+      by its leading :data:`COLUMNAR_MARKER` string.  Five parallel
+      ``array`` buffers (``bytes``) plus per-batch string tables — still
+      plain scalars/bytes, but one object per *column* instead of one
+      per tuple, feeding the engine's vectorized batch path directly.
 
 ``(CONTROL, seq, op, payload)``
     A control call with a monotonically increasing ``seq``; the worker
@@ -149,10 +159,12 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence, Tuple
 
 from .. import errors as _errors
+from ..core.columnar.batch import COLUMNAR_MARKER, ColumnarBatch
 from ..graph.tuples import StreamingGraphTuple
 
 __all__ = [
     "BATCH",
+    "COLUMNAR_MARKER",
     "CONTROL",
     "REGISTER",
     "RESTORE",
@@ -174,6 +186,8 @@ __all__ = [
     "decode_tuple",
     "encode_batch",
     "decode_batch",
+    "encode_batch_columnar",
+    "is_columnar_payload",
     "encode_events",
     "decode_events",
     "encode_exception",
@@ -253,8 +267,30 @@ def encode_batch(batch: Sequence[StreamingGraphTuple]) -> Tuple[Tuple, ...]:
 
 
 def decode_batch(payload: Iterable[Tuple]) -> List[StreamingGraphTuple]:
-    """Decode a ``BATCH`` payload back into streaming graph tuples."""
+    """Decode a ``BATCH`` payload back into streaming graph tuples.
+
+    Accepts both payload forms: a columnar payload is materialized back
+    into tuples (the rows/columnar distinction is a transport choice, not
+    a semantic one).
+    """
+    if is_columnar_payload(payload):
+        return list(ColumnarBatch.from_wire(payload).tuples())
     return [StreamingGraphTuple.from_wire(wire) for wire in payload]
+
+
+def encode_batch_columnar(batch: Sequence[StreamingGraphTuple]) -> Tuple:
+    """Encode a batch into the packed columnar wire form.
+
+    One ``bytes`` buffer per column plus per-batch string tables — the
+    worker feeds this to the engine's vectorized batch path without ever
+    instantiating per-tuple objects for irrelevant tuples.
+    """
+    return ColumnarBatch.from_tuples(batch).to_wire()
+
+
+def is_columnar_payload(payload) -> bool:
+    """Whether a ``BATCH`` payload is in the packed columnar form."""
+    return ColumnarBatch.is_wire(payload)
 
 
 def encode_events(events: Iterable[Tuple]) -> Tuple[Tuple, ...]:

@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from ..core.checkpoint import canonical_bytes, decode_state
+from ..core.columnar import fastpath_name
 from ..core.partition import partition_checkpoint
 from ..core.results import ResultEvent, ResultStream
 from ..errors import RuntimeStateError
@@ -227,6 +228,15 @@ class StreamingQueryService:
         self._m_op_seconds = registry.histogram(
             "repro_lifecycle_operation_seconds", "Lifecycle operation wall time in seconds", ("operation",)
         )
+        # The columnar kernel implementation is decided once at import
+        # (numpy when available, pure Python otherwise), so the gauge is
+        # set here and never refreshed.
+        self._m_fastpath = registry.gauge(
+            "repro_fastpath_active",
+            "Columnar kernel implementation in use (1 for the active impl label)",
+            ("impl",),
+        )
+        self._m_fastpath.labels(fastpath_name()).set(1.0)
 
     @property
     def observability_port(self) -> Optional[int]:

@@ -47,6 +47,9 @@ import time
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..core.checkpoint import decode_rapq, encode_rapq
+from ..core.columnar import promote_evaluator
+from ..core.columnar.batch import ColumnarBatch
+from ..core.columnar.kernels import fastpath_name
 from ..core.engine import StreamingRPQEngine
 from ..core.results import ResultStream
 from ..errors import RuntimeStateError, ShardWorkerError, WireProtocolError
@@ -136,16 +139,23 @@ class ShardEngineServer:
         # make per-shard load (and the rebalancer's view of it) look worse
         # the more balanced the service is.
         started = time.thread_time()
-        events = [] if collect_results else None
-        for wire in payload:
-            tup = StreamingGraphTuple.from_wire(wire)
-            produced = self.engine.process(tup)
-            if events is not None and produced:
-                for name, pairs in produced.items():
-                    for source, target in pairs:
-                        events.append((name, source, target, tup.timestamp))
+        if ColumnarBatch.is_wire(payload):
+            batch = ColumnarBatch.from_wire(payload)
+            count = len(batch)
+            produced = self.engine.process_batch(batch)
+            events = list(produced) if collect_results and produced else None
+        else:
+            count = len(payload)
+            events = [] if collect_results else None
+            for wire in payload:
+                tup = StreamingGraphTuple.from_wire(wire)
+                produced = self.engine.process(tup)
+                if events is not None and produced:
+                    for name, pairs in produced.items():
+                        for source, target in pairs:
+                            events.append((name, source, target, tup.timestamp))
         elapsed = time.thread_time() - started
-        self.meter.record_batch(len(payload), elapsed)
+        self.meter.record_batch(count, elapsed)
         self.batch_seconds.observe(elapsed)
         self.batches_processed += 1
         if elapsed >= SLOW_BATCH_SECONDS:
@@ -154,7 +164,7 @@ class ShardEngineServer:
                 self._last_slow_warning = now
                 _LOG.warning(
                     "slow batch: %d tuples took %.3fs of worker CPU (threshold %.2fs)",
-                    len(payload),
+                    count,
                     elapsed,
                     SLOW_BATCH_SECONDS,
                     extra={"shard": self.shard_id},
@@ -189,7 +199,11 @@ class ShardEngineServer:
             name, semantics, blob = payload[:3]
             op_id = payload[3] if len(payload) > 3 else None
             self._log_op(op, name, op_id)
-            self.engine.register_evaluator(name, decode_rapq(blob), semantics)
+            # Promote restored evaluators onto the columnar fast path: the
+            # checkpoint blob is the scalar format-2 form (shippable,
+            # version-stable), and promotion is exact — the promoted
+            # evaluator continues the stream bit-identically.
+            self.engine.register_evaluator(name, promote_evaluator(decode_rapq(blob)), semantics)
             return None
         if op == protocol.DEREGISTER:
             name, op_id = _named_payload(payload)
@@ -250,6 +264,7 @@ class ShardEngineServer:
             "batches": float(self.batches_processed),
             "busy_seconds": self.meter.elapsed_seconds,
             "batch_seconds": self.batch_seconds.state(),
+            "fastpath": fastpath_name(),
         }
         if self.meter.elapsed_seconds > 0:
             stats["throughput_eps"] = self.meter.edges_per_second()
@@ -346,7 +361,7 @@ class ShardEngineServer:
         degraded = []
         for name, semantics, expression, blob, events in queries:
             if blob is not None:
-                self.engine.register_evaluator(name, decode_rapq(blob), semantics)
+                self.engine.register_evaluator(name, promote_evaluator(decode_rapq(blob)), semantics)
             else:
                 registered = self.engine.register(name, expression, semantics)
                 if events:
@@ -523,7 +538,10 @@ class ShardWorker:
         if not self.running:
             self._check_transport_death()
             raise RuntimeStateError(f"shard {self.shard_id} is not running; call start() first")
-        frame = (protocol.BATCH, protocol.encode_batch(batch))
+        if self.config.wire_format == "columnar":
+            frame = (protocol.BATCH, protocol.encode_batch_columnar(batch))
+        else:
+            frame = (protocol.BATCH, protocol.encode_batch(batch))
         # Bounded put with liveness polling: a worker that dies while its
         # queue is full must surface as an error, not wedge the coordinator.
         while True:
