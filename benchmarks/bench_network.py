@@ -1,0 +1,176 @@
+"""Network transport — localhost TCP workers vs the multiprocessing backend.
+
+Not a figure of the paper: this benchmark prices the ``tcp`` transport
+added by the runtime.  The same multi-query workload flows through the
+service twice on the same host: once over the ``multiprocessing`` backend
+(frames pickle across OS pipes) and once over the ``tcp`` backend dialing
+real ``repro worker --listen`` subprocesses on loopback (frames cross the
+tagged binary codec, CRC framing and kernel sockets).  Both sides run
+their shards in separate OS processes, so core count cancels out of the
+record's headline::
+
+    tcp_relative_throughput = tcp edges/s / multiprocessing edges/s
+
+and what remains is purely the wire: codec + CRC + socket syscalls vs
+pickle + pipes.  Both runs must produce exactly the same result triples.
+The gate in ``check_regression.py`` holds an absolute floor on the ratio
+plus the usual relative-drop tolerance against the committed
+``results/BENCH_network.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.datasets.synthetic import UniformStreamGenerator
+from repro.graph.stream import with_deletions
+from repro.graph.window import WindowSpec
+from repro.runtime import RuntimeConfig, StreamingQueryService
+
+SHARDS = 2
+
+#: Queries over disjoint label groups, the shape sharding helps most.
+QUERIES = {
+    "q-a": "a1 a2*",
+    "q-b": "b1+ b2",
+}
+
+_SCALES = {
+    "tiny": (4_000, 30),
+    "small": (12_000, 60),
+    "medium": (40_000, 120),
+}
+
+
+def build_workload(scale: str):
+    num_edges, window_size = _SCALES[scale]
+    labels = ("a1", "a2", "b1", "b2", "noise1", "noise2")
+    generator = UniformStreamGenerator(num_vertices=150, labels=labels, edges_per_timestamp=8, seed=13)
+    stream = with_deletions(list(generator.generate(num_edges)), 0.05, seed=13)
+    return stream, WindowSpec(size=window_size, slide=max(1, window_size // 10))
+
+
+def start_worker_process():
+    """Launch one ``repro worker --listen 127.0.0.1:0``; returns (proc, address).
+
+    The bound address is parsed from the worker's first stdout line — the
+    same race-free ephemeral-port contract the CI distributed-smoke uses.
+    """
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()  # "worker listening on HOST:PORT"
+    address = line.strip().rpartition(" ")[2]
+    if ":" not in address:
+        proc.kill()
+        raise RuntimeError(f"worker subprocess printed {line!r} instead of its address")
+    return proc, address
+
+
+def run_service(stream, window, config):
+    service = StreamingQueryService(window, config)
+    for name, expression in QUERIES.items():
+        service.register(name, expression)
+    started = time.perf_counter()
+    with service:
+        service.ingest(stream)
+        service.drain()
+        elapsed = time.perf_counter() - started
+        triples = {name: service.result_triples(name) for name in QUERIES}
+    return elapsed, triples
+
+
+def network_throughput(scale: str):
+    stream, window = build_workload(scale)
+
+    mp_config = RuntimeConfig(
+        shards=SHARDS, batch_size=256, sharding="label_affinity", backend="multiprocessing"
+    )
+    mp_seconds, expected = run_service(stream, window, mp_config)
+
+    workers = [start_worker_process() for _ in range(SHARDS)]
+    try:
+        addresses = tuple(address for _, address in workers)
+        tcp_config = RuntimeConfig(
+            shards=SHARDS,
+            batch_size=256,
+            sharding="label_affinity",
+            backend="tcp",
+            worker_addresses=addresses,
+        )
+        tcp_seconds, tcp_triples = run_service(stream, window, tcp_config)
+    finally:
+        for proc, _ in workers:
+            proc.terminate()
+        for proc, _ in workers:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    assert tcp_triples == expected, "tcp transport diverged from the multiprocessing backend"
+
+    return {
+        "num_tuples": len(stream),
+        "multiprocessing_eps": len(stream) / mp_seconds,
+        "tcp_eps": len(stream) / tcp_seconds,
+        "multiprocessing_seconds": mp_seconds,
+        "tcp_seconds": tcp_seconds,
+    }
+
+
+def render(measured) -> str:
+    ratio = measured["tcp_eps"] / measured["multiprocessing_eps"]
+    lines = [
+        f"Network transport — {measured['num_tuples']} tuples, "
+        f"{len(QUERIES)} queries, {SHARDS} shards",
+        f"{'backend':<26} {'seconds':>8} {'edges/s':>12}",
+        f"{'multiprocessing':<26} {measured['multiprocessing_seconds']:>8.2f} "
+        f"{measured['multiprocessing_eps']:>12,.0f}",
+        f"{'tcp (loopback workers)':<26} {measured['tcp_seconds']:>8.2f} "
+        f"{measured['tcp_eps']:>12,.0f}",
+        f"tcp relative throughput: {ratio:.2f}x of multiprocessing",
+    ]
+    return "\n".join(lines)
+
+
+def write_json(path, scale, measured) -> None:
+    """Emit the machine-readable trajectory record (BENCH_network.json)."""
+    record = {
+        "benchmark": "network",
+        "scale": scale,
+        "num_tuples": measured["num_tuples"],
+        "queries": list(QUERIES),
+        "shards": SHARDS,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "multiprocessing_eps": measured["multiprocessing_eps"],
+        "tcp_eps": measured["tcp_eps"],
+        "tcp_relative_throughput": measured["tcp_eps"] / measured["multiprocessing_eps"],
+    }
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_network_throughput(benchmark, save_result, results_dir, bench_scale):
+    measured = benchmark.pedantic(network_throughput, args=(bench_scale,), rounds=1, iterations=1)
+    save_result("network", render(measured))
+    json_path = results_dir / "BENCH_network.json"
+    write_json(json_path, bench_scale, measured)
+    print(f"[saved to {json_path}]")
+
+    assert measured["multiprocessing_seconds"] > 0 and measured["tcp_seconds"] > 0
+    ratio = measured["tcp_eps"] / measured["multiprocessing_eps"]
+    print(f"[tcp vs multiprocessing at {SHARDS} shards: {ratio:.2f}x]")

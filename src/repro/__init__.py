@@ -48,6 +48,7 @@ from .errors import (
     ShardWorkerError,
     StreamOrderError,
     WireProtocolError,
+    WorkerUnavailableError,
 )
 from .extensions import (
     EdgePredicate,
@@ -104,6 +105,7 @@ __all__ = [
     "StreamingRPQEngine",
     "WindowSpec",
     "WireProtocolError",
+    "WorkerUnavailableError",
     "analyze",
     "batch_rapq",
     "batch_rspq",

@@ -17,6 +17,10 @@ Usage (after ``pip install -e .`` or with ``PYTHONPATH=src``)::
                              --query "places=isLocatedIn+" \
                              --wal state/ --checkpoint-interval 5000 --fsync batch
     python -m repro recover  --wal state/ --output recovered.json
+    python -m repro worker   --listen 127.0.0.1:7300
+    python -m repro serve    --input yago.csv --window 40 --shards 2 --backend tcp \
+                             --query "places=isLocatedIn+" \
+                             --worker 127.0.0.1:7300 --worker 127.0.0.1:7301
     python -m repro migrate  --checkpoint state.json --query places --to-shard 2
     python -m repro split    --checkpoint state.json --query places --partitions 4
     python -m repro experiment --figure 7
@@ -34,8 +38,14 @@ checkpoint, ``split`` breaks a query inside a checkpoint into root
 partitions (intra-query data parallelism — both ``run`` and ``serve``
 also accept ``--partitions K`` to register queries pre-split),
 ``recover`` rebuilds a killed ``serve --wal`` run from its durability
-directory (base checkpoint + incremental deltas + WAL replay), and
-``experiment`` regenerates one of the paper's tables or figures.
+directory (base checkpoint + incremental deltas + WAL replay — with
+``--input`` it also re-ingests the stream tail the recovered state does
+not cover, e.g. onto fresh ``--worker`` addresses after a lost host),
+``worker`` runs a standalone TCP shard worker (``--listen HOST:PORT``,
+port ``0`` binds an ephemeral port printed on stdout) for the ``tcp``
+backend of ``run``/``serve``/``recover`` (repeatable ``--worker
+HOST:PORT``, one per shard), and ``experiment`` regenerates one of the
+paper's tables or figures.
 
 ``serve`` additionally installs SIGINT/SIGTERM handlers: a signal drains
 the shards, takes the final checkpoint (into ``--wal`` when set) and
@@ -104,6 +114,19 @@ _GENERATORS = {
     "yago": lambda seed: YagoLikeGenerator(seed=seed),
     "gmark": lambda seed: GMarkGraphGenerator(schema=default_social_schema(), seed=seed),
 }
+
+
+def _add_worker_addresses_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the repeatable ``--worker HOST:PORT`` flag (tcp backend)."""
+    parser.add_argument(
+        "--worker",
+        action="append",
+        dest="workers",
+        metavar="HOST:PORT",
+        default=None,
+        help="address of a remote 'repro worker --listen' process (repeatable, one "
+        "per shard in shard order; requires --backend tcp)",
+    )
 
 
 def _add_logging_arguments(parser: argparse.ArgumentParser) -> None:
@@ -183,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile the run under cProfile and print the top 25 functions "
         "by cumulative time to stderr (stdout output is unchanged)",
     )
+    _add_worker_addresses_argument(run_parser)
     _add_logging_arguments(run_parser)
 
     serve_parser = subparsers.add_parser(
@@ -270,8 +294,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PORT",
         help="serve /metrics (Prometheus text) and /healthz on this port while "
-        "ingesting (0 = pick an ephemeral port, logged at startup)",
+        "ingesting (0 = pick an ephemeral port; the bound port is printed on "
+        "stdout as 'metrics port N' at startup)",
     )
+    _add_worker_addresses_argument(serve_parser)
     _add_logging_arguments(serve_parser)
 
     migrate_parser = subparsers.add_parser(
@@ -330,7 +356,33 @@ def build_parser() -> argparse.ArgumentParser:
     recover_parser.add_argument(
         "--show-results", type=int, default=0, help="print the first N events of the merged result stream"
     )
+    recover_parser.add_argument(
+        "--input",
+        default=None,
+        help="resume ingestion after recovery: the crashed run's CSV stream; the "
+        "tail the recovered state does not cover is re-ingested (with the same "
+        "--deletions/--limit flags the crashed run used) before results print",
+    )
+    recover_parser.add_argument(
+        "--deletions", type=float, default=0.0, help="deletion ratio the crashed run injected (with --input)"
+    )
+    recover_parser.add_argument(
+        "--limit", type=int, default=None, help="tuple limit the crashed run used (with --input)"
+    )
+    _add_worker_addresses_argument(recover_parser)
     _add_logging_arguments(recover_parser)
+
+    worker_parser = subparsers.add_parser(
+        "worker", help="run a standalone TCP shard worker for a remote coordinator"
+    )
+    worker_parser.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="interface and port to accept the coordinator on (port 0 binds an "
+        "ephemeral port; the bound address is printed on stdout)",
+    )
+    _add_logging_arguments(worker_parser)
 
     experiment_parser = subparsers.add_parser("experiment", help="regenerate a table or figure of the paper")
     target = experiment_parser.add_mutually_exclusive_group(required=True)
@@ -435,12 +487,14 @@ def _command_run_inner(args: argparse.Namespace) -> int:
 
 
 def _make_runtime_config(args: argparse.Namespace) -> RuntimeConfig:
+    workers = getattr(args, "workers", None)
     try:
         return RuntimeConfig(
             shards=args.shards,
             batch_size=args.batch_size,
             queue_depth=getattr(args, "queue_depth", 8),
             backend=getattr(args, "backend", "threading"),
+            worker_addresses=tuple(workers) if workers else None,
             sharding=getattr(args, "policy", "hash"),
             partitions=getattr(args, "partitions", 1),
             rebalance_policy=getattr(args, "rebalance", "manual"),
@@ -601,6 +655,10 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     try:
         with service:
+            if config.metrics_port is not None and service.observability_port is not None:
+                # On stdout (not the log) so scripts can parse the bound
+                # port of a `--metrics-port 0` ephemeral bind race-free.
+                print(f"metrics port {service.observability_port}", flush=True)
             service.ingest(until_shutdown(stream))
             service.drain()
             elapsed = time.perf_counter() - started
@@ -719,14 +777,25 @@ def _command_recover(args: argparse.Namespace) -> int:
     the recovered state as a plain service checkpoint JSON so the other
     offline commands (``migrate``, ``split``) and
     ``StreamingQueryService.load_checkpoint`` can pick it up.
+
+    With ``--input`` the recovery is completed end to end: the recovered
+    service is started (for ``--backend tcp``, against the fresh
+    ``--worker`` addresses — warm-standby failover after a lost host),
+    the stream tail from ``RecoveryResult.next_index`` on is re-ingested,
+    and the service drains before results print — bit-identical to a run
+    that never crashed.
     """
     from .errors import CheckpointError
     from .runtime.durability import RecoveryManager
 
     configure_logging(args.log_level, args.log_format)
+    workers = getattr(args, "workers", None)
     try:
-        result = RecoveryManager(args.wal).recover(backend=args.backend)
-    except (OSError, CheckpointError) as exc:
+        result = RecoveryManager(args.wal).recover(
+            backend=args.backend,
+            worker_addresses=tuple(workers) if workers else None,
+        )
+    except (OSError, ValueError, CheckpointError) as exc:
         raise SystemExit(f"cannot recover from {args.wal!r}: {exc}") from None
     service = result.service
     print(f"recovered from checkpoint {result.checkpoint_id} + WAL replay")
@@ -746,6 +815,17 @@ def _command_recover(args: argparse.Namespace) -> int:
         print(f"  dropped {name} (crashed mid-move; reconciled)")
     for checkpoint_id, problem in result.skipped_checkpoints:
         print(f"  skipped checkpoint {checkpoint_id}: {problem}")
+    if args.input:
+        tail = list(_load_stream(args))[result.next_index - 1 :]
+        if tail:
+            try:
+                with service:
+                    service.ingest(tail)
+                    service.drain()
+            except ShardWorkerError as exc:
+                print(f"status           : failed while resuming: {exc.__cause__ or exc}")
+                return 1
+        print(f"resumed          : re-ingested {len(tail)} tuples from index {result.next_index}")
     if args.output:
         path = service.save_checkpoint(args.output)
         print(f"recovered state written to {path}")
@@ -754,6 +834,44 @@ def _command_recover(args: argparse.Namespace) -> int:
 
         for tagged in itertools.islice(service.global_events(), args.show_results):
             print(f"  {tagged}")
+    return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    """Run a standalone TCP shard worker until SIGINT/SIGTERM.
+
+    Prints ``worker listening on HOST:PORT`` on stdout once the listener
+    is bound — with ``--listen host:0`` that is the only race-free way a
+    launching script learns the ephemeral port.  The worker is
+    session-oriented: each connecting coordinator ships the shard id,
+    config and bootstrap in its handshake, so one worker process can
+    serve successive coordinators (e.g. a recovery run) without
+    restarting.
+    """
+    import signal as signal_mod
+
+    from .runtime import TcpWorkerServer
+    from .runtime.config import parse_worker_address
+
+    configure_logging(args.log_level, args.log_format)
+    try:
+        host, port = parse_worker_address(args.listen, allow_ephemeral=True)
+    except ValueError as exc:  # ConfigError subclasses ValueError
+        raise SystemExit(str(exc)) from None
+    server = TcpWorkerServer(host, port)
+    bound = server.start()
+    print(f"worker listening on {host}:{bound}", flush=True)
+
+    def _stop(signum, frame):
+        server.stop()
+
+    for signum in (signal_mod.SIGINT, signal_mod.SIGTERM):
+        signal_mod.signal(signum, _stop)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    print(f"worker stopped after {server.sessions_served} session(s)")
     return 0
 
 
@@ -798,6 +916,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "migrate": _command_migrate,
         "split": _command_split,
         "recover": _command_recover,
+        "worker": _command_worker,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

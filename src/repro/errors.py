@@ -11,6 +11,7 @@ __all__ = [
     "RuntimeStateError",
     "ShardWorkerError",
     "WALCorruptionError",
+    "WorkerUnavailableError",
     "WireProtocolError",
 ]
 
@@ -89,6 +90,21 @@ class ShardWorkerError(ReproError, RuntimeError):
     def __init__(self, message: str, shard_id: int = -1) -> None:
         super().__init__(message)
         self.shard_id = shard_id
+
+
+class WorkerUnavailableError(ShardWorkerError):
+    """Raised when a remote shard worker cannot be reached over its transport.
+
+    The ``tcp`` backend raises it when dialing a worker address fails after
+    the configured connect retries, when a connection drops mid-stream
+    (torn frame, CRC mismatch, peer reset), or when a read stalls past the
+    read timeout.  It subclasses :class:`ShardWorkerError`, so existing
+    failure handling — the sticky-poisoning of the shard, re-raising on
+    every later interaction, ``service.health()`` reporting — applies
+    unchanged; the distinct type lets operators tell "the worker's engine
+    raised" from "the worker's host went away" (the latter is recoverable
+    by replaying the shard's WAL onto a fresh worker).
+    """
 
 
 class ConflictBudgetExceeded(ReproError, RuntimeError):

@@ -33,10 +33,16 @@ Architecture — four cooperating pieces behind one facade::
   objects ever cross a worker boundary.
 * :mod:`~repro.runtime.worker` — :class:`ShardWorker`: a private
   :class:`~repro.core.engine.StreamingRPQEngine` per shard, fed batches
-  from a bounded queue.  One serve loop, two transports:
+  from a bounded queue.  One serve loop, three transports:
   :class:`ThreadShardWorker` (``threading`` backend, GIL-bound, wins by
-  label filtering) and :class:`ProcessShardWorker` (``multiprocessing``
-  backend, true CPU parallelism; shard state ships as serialized frames).
+  label filtering), :class:`ProcessShardWorker` (``multiprocessing``
+  backend, true CPU parallelism; shard state ships as serialized frames)
+  and :class:`TcpShardWorker` (``tcp`` backend,
+  :mod:`~repro.runtime.transport_tcp`: the coordinator dials
+  ``repro worker --listen`` processes on remote hosts and the same frames
+  flow over length-prefixed CRC-checked sockets — shards on other
+  machines, recovered after a lost host by WAL replay; see
+  ``docs/NETWORKING.md``).
 * :mod:`~repro.runtime.merger` — lazy timestamp-ordered k-way merge of the
   per-query result streams into one global stream (shares the heap merge
   with :func:`repro.graph.stream.merge_streams`), plus the exact
@@ -152,6 +158,7 @@ from .router import (
     make_policy,
 )
 from .service import StreamingQueryService
+from .transport_tcp import TcpShardWorker, TcpWorkerServer
 from .worker import (
     WORKER_BACKENDS,
     ProcessShardWorker,
@@ -191,6 +198,8 @@ __all__ = [
     "StreamRouter",
     "StreamingQueryService",
     "TaggedResultEvent",
+    "TcpShardWorker",
+    "TcpWorkerServer",
     "ThreadShardWorker",
     "collect_results",
     "configure_logging",

@@ -14,12 +14,13 @@ misconfiguration fails fast instead of surfacing deep inside the runtime.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigError
 
 __all__ = [
     "RuntimeConfig",
+    "parse_worker_address",
     "BACKENDS",
     "SHARDING_POLICIES",
     "REBALANCE_POLICIES",
@@ -29,12 +30,45 @@ __all__ = [
     "WIRE_FORMATS",
 ]
 
-#: Concurrency backends implemented by :mod:`repro.runtime.worker`.  Both
+#: Concurrency backends implemented by :mod:`repro.runtime.worker`.  All
 #: speak the same wire protocol (:mod:`repro.runtime.protocol`); only the
 #: transport differs: ``"threading"`` runs workers on daemon threads (GIL
 #: bound — wins by label filtering only), ``"multiprocessing"`` in child
-#: processes (true CPU parallelism for the paper's CPU-bound algorithms).
-BACKENDS = ("threading", "multiprocessing")
+#: processes (true CPU parallelism for the paper's CPU-bound algorithms),
+#: and ``"tcp"`` dials remote worker processes (``repro worker --listen``)
+#: over length-prefixed CRC-checked socket frames
+#: (:mod:`repro.runtime.transport_tcp`), requiring ``worker_addresses``.
+BACKENDS = ("threading", "multiprocessing", "tcp")
+
+
+def parse_worker_address(address: str, allow_ephemeral: bool = False) -> Tuple[str, int]:
+    """Split a ``host:port`` worker address into its validated pair.
+
+    Lives here (not in the transport module) so config validation and the
+    CLI share it without importing socket machinery.  ``allow_ephemeral``
+    admits port ``0`` — meaningful only for *listen* addresses
+    (``repro worker --listen host:0`` binds an ephemeral port), never for
+    the dial-out addresses in ``worker_addresses``.
+
+    Raises:
+        ConfigError: the address has no ``:``, an empty host, or a port
+            outside the admitted range.
+    """
+    host, sep, port_text = address.rpartition(":")
+    if not sep or not host:
+        raise ConfigError(
+            f"invalid worker address {address!r}: expected host:port (e.g. 10.0.0.5:7300)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigError(f"invalid worker address {address!r}: port {port_text!r} is not an integer")
+    low = 0 if allow_ephemeral else 1
+    if not low <= port <= 65535:
+        raise ConfigError(
+            f"invalid worker address {address!r}: port must be in [{low}, 65535], got {port}"
+        )
+    return host, port
 
 #: Query-placement policies implemented by :mod:`repro.runtime.router`.
 SHARDING_POLICIES = ("round_robin", "hash", "label_affinity")
@@ -80,8 +114,26 @@ class RuntimeConfig:
             latency until a tuple's results become visible.
         queue_depth: bound (in batches) of each worker's input queue;
             ``ingest`` blocks when a worker is this far behind
-            (backpressure instead of unbounded buffering).
+            (backpressure instead of unbounded buffering).  The ``tcp``
+            backend applies the bound on the *worker* side, so the same
+            backpressure arrives at the coordinator through TCP flow
+            control.
         backend: concurrency backend, one of :data:`BACKENDS`.
+        worker_addresses: dial-out ``host:port`` addresses of the remote
+            shard workers, one per shard in shard order.  Required by
+            (and only valid with) the ``tcp`` backend; each address must
+            have a ``repro worker --listen`` process accepting on it.
+        tcp_connect_timeout: seconds one TCP connect attempt (and the
+            handshake reply read) may take before it counts as failed.
+        tcp_read_timeout: seconds a *mid-frame* read or a zero-progress
+            send may stall before the connection is declared dead (an
+            idle connection with no frame in flight is legal forever).
+        tcp_connect_attempts: connect attempts per dial before raising
+            :class:`~repro.errors.WorkerUnavailableError`, spaced by
+            exponential backoff.
+        tcp_connect_backoff: initial backoff in seconds between connect
+            attempts; doubles per attempt (capped at 2s), so the default
+            8 attempts x 0.25s ride out a worker that is still starting.
         sharding: query-placement policy name, one of
             :data:`SHARDING_POLICIES`.
         partitions: default number of root partitions per registered
@@ -146,6 +198,11 @@ class RuntimeConfig:
     batch_size: int = 64
     queue_depth: int = 8
     backend: str = "threading"
+    worker_addresses: Optional[Tuple[str, ...]] = None
+    tcp_connect_timeout: float = 5.0
+    tcp_read_timeout: float = 30.0
+    tcp_connect_attempts: int = 8
+    tcp_connect_backoff: float = 0.25
     sharding: str = "hash"
     partitions: int = 1
     rebalance_policy: str = "manual"
@@ -176,6 +233,38 @@ class RuntimeConfig:
             raise ConfigError(f"queue_depth must be >= 1, got {self.queue_depth}")
         if self.backend not in BACKENDS:
             raise ConfigError(f"unknown backend {self.backend!r}; valid choices: {', '.join(BACKENDS)}")
+        if self.worker_addresses is not None and not isinstance(self.worker_addresses, tuple):
+            # Checkpoints round-trip through JSON, which turns the tuple
+            # into a list; normalize so to_dict()/from_dict() are exact
+            # inverses (the dataclass is frozen, hence object.__setattr__).
+            object.__setattr__(self, "worker_addresses", tuple(self.worker_addresses))
+        if self.backend == "tcp":
+            if not self.worker_addresses:
+                raise ConfigError(
+                    "the tcp backend requires worker_addresses: one host:port per shard, "
+                    "each with a `repro worker --listen` process accepting on it"
+                )
+            if len(self.worker_addresses) != self.shards:
+                raise ConfigError(
+                    f"worker_addresses lists {len(self.worker_addresses)} addresses "
+                    f"but shards is {self.shards}; the tcp backend needs exactly one "
+                    f"host:port per shard, in shard order"
+                )
+            for address in self.worker_addresses:
+                parse_worker_address(address)
+        elif self.worker_addresses is not None:
+            raise ConfigError(
+                f"worker_addresses is only meaningful with backend 'tcp', "
+                f"not {self.backend!r} (in-process backends have no address)"
+            )
+        if self.tcp_connect_timeout <= 0:
+            raise ConfigError(f"tcp_connect_timeout must be > 0, got {self.tcp_connect_timeout}")
+        if self.tcp_read_timeout <= 0:
+            raise ConfigError(f"tcp_read_timeout must be > 0, got {self.tcp_read_timeout}")
+        if self.tcp_connect_attempts < 1:
+            raise ConfigError(f"tcp_connect_attempts must be >= 1, got {self.tcp_connect_attempts}")
+        if self.tcp_connect_backoff < 0:
+            raise ConfigError(f"tcp_connect_backoff must be >= 0, got {self.tcp_connect_backoff}")
         if self.sharding not in SHARDING_POLICIES:
             raise ConfigError(
                 f"unknown sharding policy {self.sharding!r}; "
@@ -238,9 +327,23 @@ class RuntimeConfig:
         """Return a copy of this config with a different shard count."""
         return replace(self, shards=shards)
 
-    def with_backend(self, backend: str) -> "RuntimeConfig":
-        """Return a copy of this config with a different worker backend."""
-        return replace(self, backend=backend)
+    def with_backend(
+        self, backend: str, worker_addresses: Optional[Tuple[str, ...]] = None
+    ) -> "RuntimeConfig":
+        """Return a copy of this config with a different worker backend.
+
+        Switching *to* ``tcp`` requires passing ``worker_addresses`` (one
+        ``host:port`` per shard); switching *away* from it clears any
+        recorded addresses — they belong to the transport, not the
+        workload, and a checkpoint restored onto another backend (or onto
+        replacement hosts) must not drag stale addresses along.
+        """
+        if backend != "tcp":
+            return replace(self, backend=backend, worker_addresses=None)
+        addresses = worker_addresses if worker_addresses is not None else self.worker_addresses
+        return replace(
+            self, backend=backend, worker_addresses=tuple(addresses) if addresses else None
+        )
 
     def without_wal(self) -> "RuntimeConfig":
         """Return a copy with durability disabled.

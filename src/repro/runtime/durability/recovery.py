@@ -113,7 +113,12 @@ class RecoveryManager:
     def __init__(self, directory: Path) -> None:
         self.directory = Path(directory)
 
-    def recover(self, backend: Optional[str] = None, resume: bool = False) -> RecoveryResult:
+    def recover(
+        self,
+        backend: Optional[str] = None,
+        resume: bool = False,
+        worker_addresses: Optional[Tuple[str, ...]] = None,
+    ) -> RecoveryResult:
         """Run the full recovery protocol; returns the rebuilt service.
 
         Args:
@@ -122,6 +127,11 @@ class RecoveryManager:
             resume: re-arm durability on the recovered service — its
                 ``start()`` will reset this directory with a fresh base
                 checkpoint (the recovered state) and log onward into it.
+            worker_addresses: fresh ``host:port`` worker addresses for a
+                ``tcp``-backend recovery.  A checkpointed tcp config
+                records the *crashed* run's addresses — after a lost host
+                the replacement workers listen elsewhere, so recovery
+                onto tcp normally passes the new fleet here.
 
         Raises:
             CheckpointError: the directory has no usable manifest or its
@@ -144,7 +154,9 @@ class RecoveryManager:
         )
         config = RuntimeConfig.from_dict(state["config"])
         if backend is not None:
-            config = config.with_backend(backend)
+            config = config.with_backend(backend, worker_addresses=worker_addresses)
+        elif worker_addresses is not None:
+            config = config.with_backend(config.backend, worker_addresses=worker_addresses)
         # Imported here (not at module top) to avoid a service <-> durability
         # import cycle: the service package imports the manager at class level.
         from ..service import StreamingQueryService

@@ -228,6 +228,34 @@ class StreamingQueryService:
         self._m_op_seconds = registry.histogram(
             "repro_lifecycle_operation_seconds", "Lifecycle operation wall time in seconds", ("operation",)
         )
+        self._m_worker_connected = registry.gauge(
+            "repro_worker_connected",
+            "Transport connection to the shard worker is up (tcp backend; 1 = connected)",
+            ("shard",),
+        )
+        self._m_worker_connects = registry.counter(
+            "repro_worker_connects_total", "Successful worker connection establishments", ("shard",)
+        )
+        self._m_worker_connect_attempts = registry.counter(
+            "repro_worker_connect_attempts_total",
+            "Worker connection attempts, including failed dials",
+            ("shard",),
+        )
+        self._m_worker_frame_bytes = registry.counter(
+            "repro_worker_frame_bytes_total",
+            "Protocol frame bytes over the worker transport",
+            ("shard", "direction"),
+        )
+        self._m_worker_frames = registry.counter(
+            "repro_worker_frames_total",
+            "Protocol frames over the worker transport",
+            ("shard", "direction"),
+        )
+        self._m_worker_send_seconds = registry.histogram(
+            "repro_worker_frame_send_seconds",
+            "Wall time to put one frame on the worker transport",
+            ("shard",),
+        )
         # The columnar kernel implementation is decided once at import
         # (numpy when available, pure Python otherwise), so the gauge is
         # set here and never refreshed.
@@ -261,6 +289,29 @@ class StreamingQueryService:
         for worker in self.workers:
             shard = worker.shard_id
             self._m_queue_depth.labels(shard).set(float(worker.queue_depth()))
+            # Transport counters are plain attribute reads, pulled before the
+            # METRICS round-trip so a dead connection still reports
+            # connected=0 with its final byte/frame totals.
+            transport = worker.transport_stats()
+            if transport is not None:
+                self._m_worker_connected.labels(shard).set(float(transport.get("connected", 0.0)))
+                self._m_worker_connects.labels(shard).set_total(transport.get("connects_total", 0.0))
+                self._m_worker_connect_attempts.labels(shard).set_total(
+                    transport.get("connect_attempts_total", 0.0)
+                )
+                self._m_worker_frame_bytes.labels(shard, "sent").set_total(
+                    transport.get("bytes_sent", 0.0)
+                )
+                self._m_worker_frame_bytes.labels(shard, "received").set_total(
+                    transport.get("bytes_received", 0.0)
+                )
+                self._m_worker_frames.labels(shard, "sent").set_total(transport.get("frames_sent", 0.0))
+                self._m_worker_frames.labels(shard, "received").set_total(
+                    transport.get("frames_received", 0.0)
+                )
+                send_state = transport.get("send_seconds")
+                if send_state:
+                    self._m_worker_send_seconds.labels(shard).load_state(send_state)
             try:
                 snapshot = worker.metrics()
             except Exception:

@@ -26,7 +26,9 @@ Three cooperating pieces implement this:
   subclass it: :class:`ThreadShardWorker` runs :func:`serve_shard` on a
   daemon thread over ``queue.Queue``; :class:`ProcessShardWorker` runs it
   in a child process over ``multiprocessing.Queue``, escaping the GIL for
-  CPU-bound workloads.
+  CPU-bound workloads; :class:`~repro.runtime.transport_tcp.TcpShardWorker`
+  dials a remote ``repro worker --listen`` process and runs the same loop
+  over CRC-checked socket frames — shards on other machines.
 
 The bounded request queue provides backpressure: ``submit`` blocks once
 the worker is ``queue_depth`` batches behind.
@@ -52,7 +54,7 @@ from ..core.columnar.batch import ColumnarBatch
 from ..core.columnar.kernels import fastpath_name
 from ..core.engine import StreamingRPQEngine
 from ..core.results import ResultStream
-from ..errors import RuntimeStateError, ShardWorkerError, WireProtocolError
+from ..errors import RuntimeStateError, ShardWorkerError, WireProtocolError, WorkerUnavailableError
 from ..graph.tuples import StreamingGraphTuple, Vertex
 from ..graph.window import WindowSpec
 from ..metrics.collectors import ThroughputMeter
@@ -490,6 +492,17 @@ class ShardWorker:
         """Wait for the transport to terminate and release its resources."""
         raise NotImplementedError
 
+    def transport_stats(self) -> Optional[Dict[str, object]]:
+        """Connection-level counters of a networked transport, or ``None``.
+
+        In-process transports have no connection to report on; the tcp
+        backend returns address, connectedness, reconnect counts and frame
+        byte/latency counters.  Safe from any thread (plain attribute
+        reads) — the observability refresh calls it even for a worker
+        whose engine-side ``metrics()`` would raise.
+        """
+        return None
+
     # Lifecycle ---------------------------------------------------------- #
 
     @property
@@ -771,6 +784,10 @@ class ShardWorker:
     def _check_transport_death(self) -> None:
         """Report a transport that died without a STOP handshake as a failure."""
         if self._requests is not None and not self._transport_alive():
+            # Drain any queued FAILURE report first: it carries the precise
+            # error (e.g. a WorkerUnavailableError naming the disconnect
+            # reason) where the fallback below can only say "died".
+            self._pump()
             if self._failure is None:
                 self._failure = ShardWorkerError(
                     f"shard {self.shard_id} worker died unexpectedly", self.shard_id
@@ -782,7 +799,15 @@ class ShardWorker:
         # missing tuples and every result it would produce is suspect, so the
         # shard stays poisoned and every later interaction re-raises.
         if self._failure is not None:
-            raise ShardWorkerError(
+            # A lost-connection failure keeps its distinct type so callers
+            # (and health()) can tell "the worker's host went away" — which
+            # WAL replay onto a fresh worker recovers — from an engine error.
+            wrapper = (
+                WorkerUnavailableError
+                if isinstance(self._failure, WorkerUnavailableError)
+                else ShardWorkerError
+            )
+            raise wrapper(
                 f"shard {self.shard_id} failed while processing: {self._failure}", self.shard_id
             ) from self._failure
 
@@ -928,6 +953,11 @@ def create_worker(
     on_result: Optional[ResultCallback] = None,
 ) -> ShardWorker:
     """Build a shard worker using the backend named in ``config``."""
+    if config.backend == "tcp" and config.backend not in WORKER_BACKENDS:
+        # The tcp transport registers itself on import; import lazily so
+        # this module stays socket-free for the in-process backends.
+        from . import transport_tcp  # noqa: F401 - imported for registration
+
     try:
         backend = WORKER_BACKENDS[config.backend]
     except KeyError:

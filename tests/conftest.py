@@ -20,6 +20,54 @@ from repro import WindowSpec, sgt  # noqa: E402  (import after path fix)
 
 
 @pytest.fixture
+def tcp_worker_farm():
+    """Factory starting loopback TCP shard workers: ``farm(n) -> addresses``.
+
+    Each call spins up ``n`` fresh :class:`TcpWorkerServer` instances on
+    ``127.0.0.1:0`` (ephemeral ports — no races between parallel test
+    runs) and returns their ``host:port`` strings, ready to feed into
+    ``RuntimeConfig(backend="tcp", worker_addresses=...)``.  All servers
+    started through the factory are stopped at test teardown.
+    """
+    from repro.runtime import TcpWorkerServer
+
+    servers = []
+
+    def farm(count):
+        addresses = []
+        for _ in range(count):
+            server = TcpWorkerServer("127.0.0.1", 0)
+            port = server.start_in_background()
+            servers.append(server)
+            addresses.append(f"127.0.0.1:{port}")
+        return tuple(addresses)
+
+    yield farm
+    for server in servers:
+        server.stop()
+
+
+@pytest.fixture
+def make_runtime_config(tcp_worker_farm):
+    """RuntimeConfig factory that provisions loopback workers for ``tcp``.
+
+    ``make_runtime_config(backend=..., shards=N, **kwargs)`` behaves like
+    the plain constructor for in-process backends; for ``backend="tcp"``
+    it first starts ``N`` loopback workers via :func:`tcp_worker_farm`
+    and injects their addresses, so backend-parametrized tests can treat
+    all three transports uniformly.
+    """
+    from repro.runtime import RuntimeConfig
+
+    def _make(backend="threading", shards=1, **kwargs):
+        if backend == "tcp" and not kwargs.get("worker_addresses"):
+            kwargs["worker_addresses"] = tcp_worker_farm(shards)
+        return RuntimeConfig(shards=shards, backend=backend, **kwargs)
+
+    return _make
+
+
+@pytest.fixture
 def figure1_stream():
     """The streaming graph of Figure 1(a) of the paper."""
     return [

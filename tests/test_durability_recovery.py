@@ -59,7 +59,14 @@ def reference_run(stream, config, partitioned=("pair",), actions=()):
 
 
 def crash_run(
-    stream, wal_dir, crash_at, backend="threading", interval=900, partitioned=("pair",), actions=()
+    stream,
+    wal_dir,
+    crash_at,
+    backend="threading",
+    interval=900,
+    partitioned=("pair",),
+    actions=(),
+    worker_addresses=None,
 ):
     """Run with durability, then die without any shutdown courtesy."""
     config = RuntimeConfig(
@@ -68,6 +75,7 @@ def crash_run(
         backend=backend,
         wal_dir=str(wal_dir),
         checkpoint_interval=interval,
+        worker_addresses=worker_addresses,
     )
     service = StreamingQueryService(WINDOW, config)
     for name, expression in QUERIES.items():
@@ -84,6 +92,11 @@ def crash_run(
         # a real kill -9 of the whole worker fleet
         for worker in service.workers:
             os.kill(worker._process.pid, signal.SIGKILL)
+    elif backend == "tcp":
+        # sever every coordinator connection mid-session: the remote
+        # hosts see the links drop with no drain, no STOP, no courtesy
+        for worker in service.workers:
+            worker._conn.close_socket()
     return service  # abandoned: no drain, no stop, no final checkpoint
 
 
@@ -97,12 +110,18 @@ def resume_and_collect(result, stream):
 
 class TestKillAndRecoverParity:
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_bit_identical_stream_with_partitioned_query_and_deletions(self, tmp_path, backend):
+    def test_bit_identical_stream_with_partitioned_query_and_deletions(
+        self, tmp_path, backend, tcp_worker_farm
+    ):
         """Acceptance: kill -9 mid-stream, recover, identical results."""
         stream = make_stream(5_000)
         expected = reference_run(stream, RuntimeConfig(shards=3, batch_size=32))
-        crash_run(stream, tmp_path / "wal", crash_at=3_211, backend=backend)
-        result = RecoveryManager(tmp_path / "wal").recover(backend=backend)
+        addresses = tcp_worker_farm(3) if backend == "tcp" else None
+        crash_run(stream, tmp_path / "wal", crash_at=3_211, backend=backend, worker_addresses=addresses)
+        # a tcp recovery re-homes the shards onto replacement hosts — the
+        # WAL replays onto a fresh fleet, not the one that died
+        replacements = tcp_worker_farm(3) if backend == "tcp" else None
+        result = RecoveryManager(tmp_path / "wal").recover(backend=backend, worker_addresses=replacements)
         assert result.next_index <= 3_212
         assert result.service.partitions_of("pair") == 2
         assert resume_and_collect(result, stream) == expected

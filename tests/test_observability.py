@@ -50,9 +50,14 @@ def make_stream(count, seed=11):
     return with_deletions(list(generator.generate(count)), 0.1, seed=seed)
 
 
-def make_service(backend="threading", metrics_port=None, shards=2, **kwargs):
+def make_service(backend="threading", metrics_port=None, shards=2, worker_addresses=None, **kwargs):
     config = RuntimeConfig(
-        shards=shards, batch_size=32, backend=backend, metrics_port=metrics_port, **kwargs
+        shards=shards,
+        batch_size=32,
+        backend=backend,
+        metrics_port=metrics_port,
+        worker_addresses=worker_addresses,
+        **kwargs,
     )
     service = StreamingQueryService(WINDOW, config)
     for name, expression in QUERIES.items():
@@ -297,10 +302,11 @@ class TestConfigValidation:
 
 class TestLiveExposition:
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_scrape_during_ingestion(self, backend):
+    def test_scrape_during_ingestion(self, backend, tcp_worker_farm):
         """Acceptance: /metrics is valid Prometheus text while tuples flow."""
         stream = make_stream(1_500)
-        service = make_service(backend=backend, metrics_port=0)
+        addresses = tcp_worker_farm(2) if backend == "tcp" else None
+        service = make_service(backend=backend, metrics_port=0, worker_addresses=addresses)
         with service:
             port = service.observability_port
             assert port is not None and port > 0
@@ -326,18 +332,26 @@ class TestLiveExposition:
         assert "repro_ingested_tuples_total" in text
         assert service.observability_port is None  # server released on stop
 
-    def test_backends_export_identically_shaped_series(self):
-        """Acceptance: both backends expose the same set of series."""
+    def test_backends_export_identically_shaped_series(self, tcp_worker_farm):
+        """Acceptance: all backends expose the same set of core series.
+
+        The ``tcp`` transport additionally exports its socket-level
+        ``repro_worker_*`` series (connections, frames, bytes, send
+        latency) — those are the only series allowed to differ.
+        """
         shapes = {}
         for backend in BACKENDS:
-            service = make_service(backend=backend)
+            addresses = tcp_worker_farm(2) if backend == "tcp" else None
+            service = make_service(backend=backend, worker_addresses=addresses)
             with service:
                 service.ingest(make_stream(1_000))
                 service.drain()
                 shapes[backend] = series_names(service.metrics_text(refresh=True))
-        first, *rest = shapes.values()
-        for other in rest:
-            assert other == first
+        baseline = shapes["threading"]
+        assert shapes["multiprocessing"] == baseline
+        assert shapes["tcp"] >= baseline
+        extra = shapes["tcp"] - baseline
+        assert extra and all(name.startswith("repro_worker_") for name in extra)
 
     def test_healthz_healthy_service(self):
         service = make_service(metrics_port=0)

@@ -1,4 +1,4 @@
-"""Cross-backend parity: multiprocessing vs threading vs the engine.
+"""Cross-backend parity: threading vs multiprocessing vs tcp vs the engine.
 
 The acceptance property of the worker protocol refactor: whichever
 transport carries the frames, the service's output is *identical* — order
@@ -64,34 +64,44 @@ def service_events(stream, config, queries=QUERIES, window=WINDOW):
 
 class TestCrossBackendParity:
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_backend_matches_engine_on_10k_tuples_with_deletions(self, backend):
+    def test_backend_matches_engine_on_10k_tuples_with_deletions(self, backend, make_runtime_config):
         """Acceptance: identical result stream — order, content, deletions."""
         stream = synthetic_stream(10_000, deletion_ratio=0.1)
         assert len(stream) > 10_000  # insertions plus injected deletions
         expected = engine_events(stream)
-        config = RuntimeConfig(shards=4, batch_size=64, backend=backend)
+        config = make_runtime_config(backend=backend, shards=4, batch_size=64)
         assert service_events(stream, config) == expected
         assert any(expected.values())  # the comparison is not vacuous
 
-    def test_backends_agree_with_each_other(self):
+    def test_backends_agree_with_each_other(self, make_runtime_config):
         stream = synthetic_stream(2_000, deletion_ratio=0.2, seed=37)
         runs = {
-            backend: service_events(stream, RuntimeConfig(shards=3, batch_size=32, backend=backend))
+            backend: service_events(stream, make_runtime_config(backend=backend, shards=3, batch_size=32))
             for backend in BACKENDS
         }
-        assert runs["threading"] == runs["multiprocessing"]
+        assert runs["threading"] == runs["multiprocessing"] == runs["tcp"]
 
 
 class TestCrossBackendCheckpoint:
     @pytest.mark.parametrize(
-        "first,second", [("threading", "multiprocessing"), ("multiprocessing", "threading")]
+        "first,second",
+        [
+            ("threading", "multiprocessing"),
+            ("multiprocessing", "threading"),
+            ("multiprocessing", "tcp"),
+            ("tcp", "threading"),
+        ],
     )
-    def test_checkpoint_under_one_backend_restores_under_the_other(self, tmp_path, first, second):
+    def test_checkpoint_under_one_backend_restores_under_the_other(
+        self, tmp_path, first, second, make_runtime_config
+    ):
         stream = synthetic_stream(3_000, deletion_ratio=0.1, seed=19)
         half = len(stream) // 2
         expected = engine_events(stream)
 
-        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=4, batch_size=32, backend=first))
+        service = StreamingQueryService(
+            WINDOW, make_runtime_config(backend=first, shards=4, batch_size=32)
+        )
         for name, expression in QUERIES.items():
             service.register(name, expression)
         path = tmp_path / "service.json"
@@ -100,7 +110,7 @@ class TestCrossBackendCheckpoint:
             service.save_checkpoint(path)  # checkpoint() drains first
 
         restored = StreamingQueryService.load_checkpoint(
-            path, config=RuntimeConfig(shards=2, batch_size=16, backend=second)
+            path, config=make_runtime_config(backend=second, shards=2, batch_size=16)
         )
         assert restored.queries() == sorted(QUERIES)
         with restored:

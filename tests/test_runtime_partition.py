@@ -48,11 +48,11 @@ def service_query_events(service, name="q"):
 
 class TestPartitionedParity:
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_four_partitions_match_engine_on_10k_tuples(self, backend):
+    def test_four_partitions_match_engine_on_10k_tuples(self, backend, make_runtime_config):
         """The headline acceptance criterion: K=4, 10k tuples, deletions."""
         stream = synthetic_stream(10_000)
         expected = engine_events(stream)
-        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=4, backend=backend))
+        service = StreamingQueryService(WINDOW, make_runtime_config(backend=backend, shards=4))
         service.register("q", QUERY, partitions=4)
         with service:
             service.ingest(stream)
@@ -63,10 +63,10 @@ class TestPartitionedParity:
         assert summary["partitioned"]["q"] == {f"q::p{i}": i for i in range(4)}
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_live_split_mid_stream_matches_engine(self, backend):
+    def test_live_split_mid_stream_matches_engine(self, backend, make_runtime_config):
         stream = synthetic_stream(10_000)
         expected = engine_events(stream)
-        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=4, backend=backend))
+        service = StreamingQueryService(WINDOW, make_runtime_config(backend=backend, shards=4))
         service.register("q", QUERY)
         with service:
             half = len(stream) // 2
@@ -344,13 +344,13 @@ class TestWhaleSplittingPolicy:
         assert LoadAwarePolicy().propose(shards) == []
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_load_aware_service_splits_the_whale_live(self, backend):
+    def test_load_aware_service_splits_the_whale_live(self, backend, make_runtime_config):
         """End to end: a skewed service splits its whale and stays exact."""
         stream = synthetic_stream(8_000)
         expected = engine_events(stream)
-        config = RuntimeConfig(
-            shards=2,
+        config = make_runtime_config(
             backend=backend,
+            shards=2,
             rebalance_policy="load_aware",
             rebalance_interval=1_000,
         )

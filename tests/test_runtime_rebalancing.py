@@ -78,13 +78,13 @@ def full_events(service, queries=QUERIES):
 
 class TestMigrationParity:
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_two_live_migrations_bit_identical_on_10k_tuples(self, backend):
+    def test_two_live_migrations_bit_identical_on_10k_tuples(self, backend, make_runtime_config):
         """Acceptance: two mid-stream migrations leave the result stream untouched."""
         stream = synthetic_stream(10_000, deletion_ratio=0.1)
         assert len(stream) > 10_000  # insertions plus injected deletions
         expected = engine_events(stream)
 
-        service = StreamingQueryService(WINDOW, RuntimeConfig(shards=4, batch_size=64, backend=backend))
+        service = StreamingQueryService(WINDOW, make_runtime_config(backend=backend, shards=4, batch_size=64))
         for name, expression in QUERIES.items():
             service.register(name, expression)
         third = len(stream) // 3
@@ -155,11 +155,11 @@ class TestMigrationFailurePaths:
             service.migrate("q", 7)
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_simple_semantics_query_refuses_migration(self, backend):
+    def test_simple_semantics_query_refuses_migration(self, backend, make_runtime_config):
         """RSPQ state cannot be shipped: the refusal is clean, not a hang."""
         service = StreamingQueryService(
             WindowSpec(size=100, slide=1),
-            RuntimeConfig(shards=2, batch_size=1, backend=backend),
+            make_runtime_config(backend=backend, shards=2, batch_size=1),
         )
         shard = service.register("q", "a+", semantics="simple")
         with service:
