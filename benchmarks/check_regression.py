@@ -2,8 +2,9 @@
 
 CI re-runs ``bench_runtime_scaling.py``, ``bench_rebalancing.py``,
 ``bench_partitioned_whale.py``, ``bench_durability.py``,
-``bench_observability.py``, ``bench_columnar.py`` and
-``bench_network.py`` on every push to main and compares the fresh
+``bench_observability.py``, ``bench_columnar.py``,
+``bench_network.py`` and ``bench_replication.py`` on every push to main
+and compares the fresh
 records against the ones committed in ``results/``.  Raw throughput numbers are useless across machines (a
 laptop, a 1-core container and a GitHub runner differ by an order of
 magnitude), so every gated number is *hardware-tolerant*: the scaling
@@ -30,7 +31,14 @@ multiprocessing ingestion of the same run pair) carries an absolute
 floor of 0.3 — the socket transport must stay within a small factor of
 the pipe transport — but a deliberately *widened* relative tolerance,
 because subprocess scheduling noise on small hosts swings that ratio by
-far more than a real codec regression would.
+far more than a real codec regression would.  The replication record
+(``replication_relative_throughput``, hot-standby-armed over
+*evaluation-matched* bare tcp ingestion: the baseline registers every
+query twice, so both runs carry the standby's duplicate evaluation and
+the ratio prices only the replication wire — see
+``bench_replication.py``) carries an absolute floor of 0.85 — shipping
+the record log may not cost more than 15% of ingestion — with the same
+widened relative tolerance, for the same reason.
 
 Runnable locally after a benchmark run::
 
@@ -68,6 +76,7 @@ DURABILITY_RESULT = Path("results") / "BENCH_durability.json"
 OBSERVABILITY_RESULT = Path("results") / "BENCH_observability.json"
 COLUMNAR_RESULT = Path("results") / "BENCH_columnar.json"
 NETWORK_RESULT = Path("results") / "BENCH_network.json"
+REPLICATION_RESULT = Path("results") / "BENCH_replication.json"
 
 #: Absolute floor on the observability record's headline: instrumented
 #: ingestion must keep at least this fraction of uninstrumented throughput.
@@ -87,6 +96,13 @@ NETWORK_FLOOR = 0.3
 #: hosts the scheduler swings it by +-2x between runs, so its relative
 #: gate is never tightened below this.
 NETWORK_MIN_TOLERANCE = 0.60
+
+#: Absolute floor on the replication record: ingestion with a hot standby
+#: armed per shard must keep at least this fraction of the
+#: evaluation-matched bare-tcp baseline (shipping the record log may not
+#: cost more than 15%; the duplicated evaluation itself is normalized
+#: out — see ``bench_replication.py``).
+REPLICATION_FLOOR = 0.85
 
 
 def load_fresh(path: Path) -> dict:
@@ -280,6 +296,14 @@ def main(argv: list[str] | None = None) -> int:
         "network",
         key="tcp_relative_throughput",
         floor=NETWORK_FLOOR,
+    )
+    regressions += compare_scalar_metric(
+        repo_root,
+        max(args.tolerance, NETWORK_MIN_TOLERANCE),
+        REPLICATION_RESULT,
+        "replication",
+        key="replication_relative_throughput",
+        floor=REPLICATION_FLOOR,
     )
     if regressions:
         print("\nthroughput regression gate FAILED:")

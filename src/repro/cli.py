@@ -129,6 +129,21 @@ def _add_worker_addresses_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_standby_addresses_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the repeatable ``--standby HOST:PORT`` flag (tcp backend)."""
+    parser.add_argument(
+        "--standby",
+        action="append",
+        dest="standbys",
+        metavar="HOST:PORT",
+        default=None,
+        help="address of a spare 'repro worker --listen' process to keep as the "
+        "shard's hot standby (repeatable, one per shard in shard order; 'none' "
+        "or '-' leaves a shard unprotected; requires --backend tcp). On primary "
+        "loss the standby is promoted instead of WAL-replayed",
+    )
+
+
 def _add_logging_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the shared ``--log-level`` / ``--log-format`` flags to a subcommand."""
     parser.add_argument(
@@ -298,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
         "stdout as 'metrics port N' at startup)",
     )
     _add_worker_addresses_argument(serve_parser)
+    _add_standby_addresses_argument(serve_parser)
     _add_logging_arguments(serve_parser)
 
     migrate_parser = subparsers.add_parser(
@@ -488,6 +504,7 @@ def _command_run_inner(args: argparse.Namespace) -> int:
 
 def _make_runtime_config(args: argparse.Namespace) -> RuntimeConfig:
     workers = getattr(args, "workers", None)
+    standbys = getattr(args, "standbys", None)
     try:
         return RuntimeConfig(
             shards=args.shards,
@@ -495,6 +512,7 @@ def _make_runtime_config(args: argparse.Namespace) -> RuntimeConfig:
             queue_depth=getattr(args, "queue_depth", 8),
             backend=getattr(args, "backend", "threading"),
             worker_addresses=tuple(workers) if workers else None,
+            standby_addresses=tuple(standbys) if standbys else None,
             sharding=getattr(args, "policy", "hash"),
             partitions=getattr(args, "partitions", 1),
             rebalance_policy=getattr(args, "rebalance", "manual"),
@@ -696,6 +714,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"  shard {int(stats['shard'])}: queries={int(stats['queries'])} "
               f"tuples={int(stats['tuples'])} batches={int(stats['batches'])} "
               f"busy={stats['busy_seconds']:.3f}s")
+    for promo in service.promotions:
+        print(f"  promotion shard {promo['shard']}: {promo['previous_address']} -> "
+              f"{promo['address']} at LSN {promo['lsn']} in {promo['seconds'] * 1000:.1f}ms "
+              f"(replayed {promo['replayed_records']} WAL records)")
     for move in summary["migrations"]:
         print(f"  migrated {move['query']!r}: shard {move['source']} -> {move['target']} "
               f"after {move['at_tuples']} tuples ({move['reason']})")

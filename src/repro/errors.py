@@ -8,6 +8,7 @@ __all__ = [
     "ConfigError",
     "CheckpointError",
     "ConflictBudgetExceeded",
+    "ReplicationError",
     "RuntimeStateError",
     "ShardWorkerError",
     "WALCorruptionError",
@@ -104,6 +105,23 @@ class WorkerUnavailableError(ShardWorkerError):
     unchanged; the distinct type lets operators tell "the worker's engine
     raised" from "the worker's host went away" (the latter is recoverable
     by replaying the shard's WAL onto a fresh worker).
+    """
+
+
+class ReplicationError(ReproError, RuntimeError):
+    """Raised when hot-standby replication cannot keep or use a standby.
+
+    Covers both sides of the replication channel: the coordinator's
+    :class:`~repro.runtime.replication.ReplicationManager` raises it when
+    a standby cannot be armed, stops acknowledging shipped records, or a
+    promotion cannot complete (the standby is dead, lags the promotion
+    LSN, or rejects the unmute); the standby apply loop raises it when the
+    replicated record stream arrives out of order (an LSN gap means
+    records were lost or reordered, and applying past a gap would desync
+    the replica — the session aborts instead).  A failed promotion never
+    masks the original transport failure: the service re-raises the
+    triggering :class:`WorkerUnavailableError` with this error attached as
+    context, and cold WAL-replay recovery remains available.
     """
 
 

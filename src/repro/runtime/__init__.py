@@ -74,6 +74,15 @@ Architecture — four cooperating pieces behind one facade::
   whose subsequent results are bit-identical to an uninterrupted run.
   Enable with ``RuntimeConfig(wal_dir=...)`` / ``serve --wal``; recover
   with ``repro recover``.
+* :mod:`~repro.runtime.replication` — warm failover for the ``tcp``
+  backend: with ``RuntimeConfig(standby_addresses=...)`` /
+  ``serve --standby`` each shard keeps a *hot standby* on a second worker
+  process — :class:`ReplicationManager` streams every logged record to a
+  live-but-muted replica as it is written, and on primary loss the
+  service *promotes* the standby (unmute at the exact acked LSN, adopt
+  the session, re-arm in the background) instead of pausing for WAL
+  replay: zero records replayed, bit-identical results.  See the
+  replication section of ``docs/NETWORKING.md``.
 * :mod:`~repro.runtime.observability` — the runtime's eyes:
   a dependency-free :class:`MetricsRegistry` (counters, gauges,
   log-bucketed histograms) that every service instruments itself into,
@@ -148,6 +157,7 @@ from .rebalancer import (
     SplitPlan,
     make_rebalance_policy,
 )
+from .replication import ReplicationManager, StandbyReplica
 from .router import (
     HashPolicy,
     LabelAffinityPolicy,
@@ -187,6 +197,7 @@ __all__ = [
     "RebalancePolicy",
     "RecoveryManager",
     "RecoveryResult",
+    "ReplicationManager",
     "RoundRobinPolicy",
     "RuntimeConfig",
     "ShardEngineServer",
@@ -195,6 +206,7 @@ __all__ = [
     "ShardWorker",
     "ShardingPolicy",
     "SplitPlan",
+    "StandbyReplica",
     "StreamRouter",
     "StreamingQueryService",
     "TaggedResultEvent",

@@ -123,6 +123,15 @@ class RuntimeConfig:
             shard workers, one per shard in shard order.  Required by
             (and only valid with) the ``tcp`` backend; each address must
             have a ``repro worker --listen`` process accepting on it.
+        standby_addresses: optional hot-standby ``host:port`` addresses,
+            one entry per shard in shard order (``None`` entries leave a
+            shard unprotected).  Each non-``None`` entry must point at a
+            spare ``repro worker --listen`` process distinct from the
+            shard's primary; the coordinator streams the shard's record
+            log to it as it is written and *promotes* it — no WAL replay
+            pause — when the primary becomes unreachable.  Only valid
+            with the ``tcp`` backend.  See
+            :mod:`repro.runtime.replication` and ``docs/NETWORKING.md``.
         tcp_connect_timeout: seconds one TCP connect attempt (and the
             handshake reply read) may take before it counts as failed.
         tcp_read_timeout: seconds a *mid-frame* read or a zero-progress
@@ -199,6 +208,7 @@ class RuntimeConfig:
     queue_depth: int = 8
     backend: str = "threading"
     worker_addresses: Optional[Tuple[str, ...]] = None
+    standby_addresses: Optional[Tuple[Optional[str], ...]] = None
     tcp_connect_timeout: float = 5.0
     tcp_read_timeout: float = 30.0
     tcp_connect_attempts: int = 8
@@ -257,6 +267,36 @@ class RuntimeConfig:
                 f"worker_addresses is only meaningful with backend 'tcp', "
                 f"not {self.backend!r} (in-process backends have no address)"
             )
+        if self.standby_addresses is not None:
+            # Same JSON round-trip normalization as worker_addresses, plus
+            # CLI-friendly placeholders: "", "none" and "-" mean "this
+            # shard has no standby".
+            normalized = tuple(
+                None if entry in (None, "", "none", "-") else entry
+                for entry in self.standby_addresses
+            )
+            object.__setattr__(self, "standby_addresses", normalized)
+            if self.backend != "tcp":
+                raise ConfigError(
+                    f"standby_addresses is only meaningful with backend 'tcp', "
+                    f"not {self.backend!r} (in-process backends cannot host a standby)"
+                )
+            if len(normalized) != self.shards:
+                raise ConfigError(
+                    f"standby_addresses lists {len(normalized)} entries but shards "
+                    f"is {self.shards}; replication needs exactly one entry per "
+                    f"shard in shard order (use None for an unprotected shard)"
+                )
+            for shard, address in enumerate(normalized):
+                if address is None:
+                    continue
+                parse_worker_address(address)
+                if address == self.worker_addresses[shard]:
+                    raise ConfigError(
+                        f"standby_addresses[{shard}] is {address!r}, the shard's own "
+                        f"primary worker address; a hot standby must live on a "
+                        f"different worker process"
+                    )
         if self.tcp_connect_timeout <= 0:
             raise ConfigError(f"tcp_connect_timeout must be > 0, got {self.tcp_connect_timeout}")
         if self.tcp_read_timeout <= 0:
@@ -337,12 +377,20 @@ class RuntimeConfig:
         recorded addresses — they belong to the transport, not the
         workload, and a checkpoint restored onto another backend (or onto
         replacement hosts) must not drag stale addresses along.
+        ``standby_addresses`` is always cleared: standbys are armed for a
+        concrete fleet, and the addresses a checkpoint recorded belong to
+        the run that wrote it, not to whatever fleet the restored service
+        runs on — re-arm explicitly via ``RuntimeConfig(standby_addresses=...)``
+        or :meth:`StreamingQueryService.rearm_standby`.
         """
         if backend != "tcp":
-            return replace(self, backend=backend, worker_addresses=None)
+            return replace(self, backend=backend, worker_addresses=None, standby_addresses=None)
         addresses = worker_addresses if worker_addresses is not None else self.worker_addresses
         return replace(
-            self, backend=backend, worker_addresses=tuple(addresses) if addresses else None
+            self,
+            backend=backend,
+            worker_addresses=tuple(addresses) if addresses else None,
+            standby_addresses=None,
         )
 
     def without_wal(self) -> "RuntimeConfig":

@@ -319,14 +319,22 @@ class DurabilityManager:
     # Logging (called by the service on its coordinator thread)
     # ------------------------------------------------------------------ #
 
-    def log_tuple(self, idx: int, tup, shards) -> None:
-        """Write-ahead-log one routed tuple to every shard it routes to."""
+    def log_tuple(self, idx: int, tup, shards) -> Optional[Dict[int, int]]:
+        """Write-ahead-log one routed tuple to every shard it routes to.
+
+        Returns the per-shard LSN each append landed at (``None`` when
+        durability is detached) — the replication layer fans the same
+        record out to hot standbys and adopts these LSNs, keeping the
+        shipped stream numerically identical to the on-disk WAL.
+        """
         if self._writers is None:
-            return
+            return None
         wire = protocol.encode_tuple(tup)
-        for shard in shards:
-            self._writers[shard].append(wal_mod.TUPLE, idx, 0, wire)
+        lsns = {
+            shard: self._writers[shard].append(wal_mod.TUPLE, idx, 0, wire) for shard in shards
+        }
         self._tuples_since_checkpoint += 1
+        return lsns
 
     def log_register(
         self,
@@ -337,31 +345,42 @@ class DurabilityManager:
         semantics: str,
         max_nodes_per_tree: Optional[int],
         partition: Optional[Tuple[int, int]],
-    ) -> None:
-        """Log a successful engine-level registration on ``shard``."""
+    ) -> Optional[int]:
+        """Log a successful engine-level registration on ``shard``.
+
+        Returns the record's WAL LSN, or ``None`` when detached.
+        """
         if self._writers is None:
-            return
+            return None
         self._op += 1
-        self._writers[shard].append(
+        return self._writers[shard].append(
             wal_mod.REGISTER,
             idx,
             self._op,
             [name, expression, semantics, max_nodes_per_tree, list(partition) if partition else None],
         )
 
-    def log_restore(self, shard: int, idx: int, name: str, semantics: str, state: Dict) -> None:
-        """Log a successful engine-level state adoption on ``shard``."""
-        if self._writers is None:
-            return
-        self._op += 1
-        self._writers[shard].append(wal_mod.RESTORE, idx, self._op, [name, semantics, state])
+    def log_restore(
+        self, shard: int, idx: int, name: str, semantics: str, state: Dict
+    ) -> Optional[int]:
+        """Log a successful engine-level state adoption on ``shard``.
 
-    def log_deregister(self, shard: int, idx: int, name: str) -> None:
-        """Log a successful engine-level removal on ``shard``."""
+        Returns the record's WAL LSN, or ``None`` when detached.
+        """
         if self._writers is None:
-            return
+            return None
         self._op += 1
-        self._writers[shard].append(wal_mod.DEREGISTER, idx, self._op, name)
+        return self._writers[shard].append(wal_mod.RESTORE, idx, self._op, [name, semantics, state])
+
+    def log_deregister(self, shard: int, idx: int, name: str) -> Optional[int]:
+        """Log a successful engine-level removal on ``shard``.
+
+        Returns the record's WAL LSN, or ``None`` when detached.
+        """
+        if self._writers is None:
+            return None
+        self._op += 1
+        return self._writers[shard].append(wal_mod.DEREGISTER, idx, self._op, name)
 
     # ------------------------------------------------------------------ #
     # Checkpointing

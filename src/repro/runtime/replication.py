@@ -1,0 +1,762 @@
+"""Hot-standby shard replication over the TCP transport.
+
+PR 8's failover is *cold*: a dead TCP worker is recovered by replaying
+its per-shard WAL onto a replacement fleet, a pause that grows with the
+tail length.  This module makes failover *warm* (the per-shard variant of
+Wu et al.'s per-core log shipping, PAPERS.md): each shard may have a hot
+standby on a second ``repro worker --listen`` process, and the
+coordinator streams the shard's record log to it **as it is written** —
+so when the primary dies, recovery collapses to a *promotion* with zero
+WAL replay.
+
+Three cooperating pieces:
+
+* :class:`ReplicationManager` — coordinator side.  Owns one
+  :class:`StandbyReplica` per protected shard: arming dials the standby
+  and sends the standard ``HELLO`` handshake extended with a
+  ``"standby"`` role and a base LSN, shipping the same bootstrap frames a
+  primary would get; from then on every record the service logs for the
+  shard (the WAL record stream — tuples and topology changes, in
+  execution order) is buffered and flushed to the standby as
+  ``REPLICATE`` frames over the PR 8 tagged binary codec and CRC
+  framing.  A per-replica reader thread consumes ``RACK`` frames, so the
+  coordinator always knows the exact LSN the standby last acknowledged.
+* :func:`serve_standby` — worker side, run by
+  :class:`~repro.runtime.transport_tcp.TcpWorkerServer` when a ``HELLO``
+  carries the standby role.  It applies each replicated record into a
+  live-but-muted shard engine
+  (:meth:`~repro.runtime.worker.ShardEngineServer.apply_replica_records`:
+  results suppressed, state maintained), validating LSN continuity — a
+  gap means records were lost or reordered, and the session aborts with
+  :class:`~repro.errors.ReplicationError` rather than desync silently.
+* **Promotion** — on ``WorkerUnavailableError`` the service asks the
+  manager to :meth:`~ReplicationManager.promote`: flush the shard's
+  buffered records, wait for the acked LSN to reach the shard's log head
+  (the records were already *shipped*; nothing is re-read from the WAL,
+  hence ``replayed_records == 0`` by construction), then send
+  ``PROMOTE`` carrying that exact LSN.  The standby verifies it applied
+  precisely that LSN (a stale LSN is refused with ``PROMOTE_FAILED``),
+  replies ``PROMOTED``, and its session *becomes* a normal ``serve_shard``
+  session on the same socket — unmuted from the promotion LSN onward.
+  The coordinator adopts the socket into a fresh
+  :class:`~repro.runtime.transport_tcp.TcpShardWorker` and the shard
+  continues with a bit-identical result stream.
+
+Replication frame vocabulary (all frames travel in the transport's
+``<len u32><crc32 u32><payload>`` framing)::
+
+    ("REPLICATE", ((lsn, type, idx, op, data), ...))   coordinator -> standby
+    ("RACK", applied_lsn)                              standby -> coordinator
+    ("PROMOTE", lsn, emit_results)                     coordinator -> standby
+    ("PROMOTED", lsn)                                  standby -> coordinator
+    ("PROMOTE_FAILED", applied_lsn, reason)            standby -> coordinator
+
+Record LSNs are per shard and count the shard's record stream from 1;
+when durability is enabled they are numerically identical to the shard's
+WAL LSNs (both count the same records at the same call sites), which is
+what makes "promotion without WAL replay" checkable: the promotion
+reports how many records it *waited* on (in-flight tail) and pins
+``replayed_records`` at zero.
+
+See ``docs/NETWORKING.md`` for the wire-level walkthrough.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..errors import ReplicationError, WireProtocolError, WorkerUnavailableError
+from ..graph.window import WindowSpec
+from .config import RuntimeConfig, parse_worker_address
+from .durability import wal as wal_mod
+from .observability.logs import get_logger
+from .transport_tcp import (
+    _BACKOFF_CAP_SECONDS,
+    WIRE_VERSION,
+    _send_all,
+    encode_frame,
+    recv_frame,
+)
+
+__all__ = [
+    "PROMOTE",
+    "PROMOTED",
+    "PROMOTE_FAILED",
+    "REPLICATE",
+    "REPLICATE_ACK",
+    "STANDBY_ROLE",
+    "PromotionHandoff",
+    "ReplicationManager",
+    "StandbyReplica",
+    "decode_replicate",
+    "encode_replicate",
+    "serve_standby",
+    "validate_records",
+]
+
+_LOG = get_logger("runtime.replication")
+
+#: Frame kinds of the replication protocol (see the module docstring).
+REPLICATE = "REPLICATE"
+REPLICATE_ACK = "RACK"
+PROMOTE = "PROMOTE"
+PROMOTED = "PROMOTED"
+PROMOTE_FAILED = "PROMOTE_FAILED"
+
+#: ``HELLO`` role marker a standby session is requested with (element 8
+#: of the handshake tuple; absent or ``"primary"`` means a normal worker
+#: session — version tolerance, older dialers simply send 8 elements).
+STANDBY_ROLE = "standby"
+
+#: Seconds between acked-LSN polls while a promotion waits for the
+#: standby to drain the in-flight record tail.
+_ACK_POLL_SECONDS = 0.002
+
+
+# --------------------------------------------------------------------- #
+# Record codec (validation on both sides of the wire)
+# --------------------------------------------------------------------- #
+
+
+def validate_records(records) -> Tuple[Tuple, ...]:
+    """Validate the record list of a ``REPLICATE`` frame; returns tuples.
+
+    Each record is ``(lsn, type, idx, op, data)`` — the WAL record plus
+    its LSN.  Validation is strict on both the encode and decode side so
+    a malformed frame is rejected *before* any record touches a replica's
+    engine (the same fail-closed stance as the transport codec).
+
+    Raises:
+        WireProtocolError: a record has the wrong arity or field types.
+    """
+    if not isinstance(records, (tuple, list)):
+        raise WireProtocolError(
+            f"REPLICATE records must be a sequence, got {type(records).__name__}"
+        )
+    out = []
+    for record in records:
+        if not isinstance(record, (tuple, list)) or len(record) != 5:
+            raise WireProtocolError(
+                f"malformed replication record {record!r}: expected (lsn, type, idx, op, data)"
+            )
+        lsn, record_type, idx, op, data = record
+        if isinstance(lsn, bool) or not isinstance(lsn, int) or lsn < 1:
+            raise WireProtocolError(f"replication record LSN must be an int >= 1, got {lsn!r}")
+        if record_type not in wal_mod.RECORD_TYPES:
+            raise WireProtocolError(
+                f"unknown replication record type {record_type!r}; "
+                f"valid types: {', '.join(sorted(wal_mod.RECORD_TYPES))}"
+            )
+        if isinstance(idx, bool) or not isinstance(idx, int) or idx < 0:
+            raise WireProtocolError(f"replication record idx must be an int >= 0, got {idx!r}")
+        if isinstance(op, bool) or not isinstance(op, int) or op < 0:
+            raise WireProtocolError(f"replication record op must be an int >= 0, got {op!r}")
+        out.append((lsn, record_type, idx, op, data))
+    return tuple(out)
+
+
+def encode_replicate(records) -> bytes:
+    """Frame a validated record batch as ``REPLICATE`` wire bytes."""
+    return encode_frame((REPLICATE, validate_records(records)))
+
+
+def decode_replicate(frame) -> Tuple[Tuple, ...]:
+    """Validate a decoded ``REPLICATE`` frame; returns its records.
+
+    Raises:
+        WireProtocolError: the frame is not a well-formed ``REPLICATE``.
+    """
+    if not isinstance(frame, tuple) or len(frame) != 2 or frame[0] != REPLICATE:
+        raise WireProtocolError(f"malformed REPLICATE frame: {frame!r}")
+    return validate_records(frame[1])
+
+
+# --------------------------------------------------------------------- #
+# Worker side: the muted apply loop
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PromotionHandoff:
+    """What :func:`serve_standby` returns when the standby is promoted.
+
+    Attributes:
+        lsn: the record LSN the replica had applied when it was promoted
+            (the coordinator's last acked LSN — verified equal).
+        emit_results: whether the promoted serve loop should push live
+            ``EVENTS`` frames (the coordinator's ``on_result`` setting).
+    """
+
+    lsn: int
+    emit_results: bool
+
+
+def serve_standby(server, sock, read_timeout: float, base_lsn: int) -> Optional[PromotionHandoff]:
+    """Apply replicated records into a muted shard engine until promoted.
+
+    Runs on the worker host inside a
+    :class:`~repro.runtime.transport_tcp.TcpWorkerServer` session whose
+    ``HELLO`` carried :data:`STANDBY_ROLE`.  Records are applied muted
+    (results suppressed, state maintained) with strict LSN continuity
+    from ``base_lsn``; each ``REPLICATE`` frame is acknowledged with the
+    LSN reached, and a ``PROMOTE`` naming exactly that LSN flips the
+    session into a primary: the function returns a
+    :class:`PromotionHandoff` and the caller continues with the normal
+    ``serve_shard`` loop *on the same socket and engine* — unmute at the
+    promotion LSN, no replay.
+
+    Returns ``None`` when the coordinator goes away (clean EOF): the
+    standby's state is discarded and the worker process returns to
+    listening.
+
+    Raises:
+        ReplicationError: the record stream has an LSN gap (lost or
+            reordered records) — applying past it would desync the
+            replica, so the session aborts instead.
+        WireProtocolError: an unknown or malformed frame arrived.
+        WorkerUnavailableError: the connection died mid-frame (torn or
+            corrupt bytes); raised by the transport's frame reader.
+    """
+    applied = int(base_lsn)
+    while True:
+        got = recv_frame(sock, read_timeout, idle_ok=True)
+        if got is None:
+            return None
+        frame, _ = got
+        kind = frame[0] if isinstance(frame, tuple) and frame else None
+        if kind == REPLICATE:
+            records = decode_replicate(frame)
+            for lsn, _, _, _, _ in records:
+                if lsn != applied + 1:
+                    raise ReplicationError(
+                        f"replication stream gap on shard {server.shard_id}: expected "
+                        f"LSN {applied + 1}, got {lsn}; records were lost or reordered, "
+                        f"aborting the standby session instead of desyncing"
+                    )
+                applied = lsn
+            server.apply_replica_records((record[1], record[4]) for record in records)
+            _send_all(sock, encode_frame((REPLICATE_ACK, applied)), read_timeout)
+        elif kind == PROMOTE:
+            if len(frame) < 3:
+                raise WireProtocolError(f"malformed PROMOTE frame: {frame!r}")
+            lsn, emit_results = frame[1], bool(frame[2])
+            if lsn != applied:
+                # A stale (or future) unmute LSN means the coordinator's
+                # view of this replica is wrong; refuse loudly and stay a
+                # standby rather than emit from the wrong stream position.
+                _send_all(
+                    sock,
+                    encode_frame(
+                        (
+                            PROMOTE_FAILED,
+                            applied,
+                            f"stale promotion LSN {lsn}: this standby has applied {applied}",
+                        )
+                    ),
+                    read_timeout,
+                )
+                continue
+            _send_all(sock, encode_frame((PROMOTED, applied)), read_timeout)
+            return PromotionHandoff(lsn=applied, emit_results=emit_results)
+        else:
+            raise WireProtocolError(
+                f"unknown replication frame kind {kind!r} in a standby session"
+            )
+
+
+# --------------------------------------------------------------------- #
+# Coordinator side: replica state + the log shipper
+# --------------------------------------------------------------------- #
+
+
+class StandbyReplica:
+    """Coordinator-side state of one shard's armed hot standby.
+
+    Plain attributes are updated by the coordinator thread (shipping,
+    promotion) and the replica's ack-reader thread (``acked_lsn``,
+    ``dead``); both sides stick to atomic attribute writes, and the
+    promotion handshake serializes through :attr:`promoted_event`.
+    """
+
+    def __init__(self, shard_id: int, address: str, read_timeout: float) -> None:
+        self.shard_id = shard_id
+        self.address = address
+        self.read_timeout = read_timeout
+        self.sock: Optional[socket.socket] = None
+        self.armed = False
+        self.dead = False
+        self.failure: Optional[str] = None
+        self.expect_close = False
+        self.base_lsn = 0
+        self.sent_lsn = 0
+        self.acked_lsn = 0
+        self.shipped_records = 0
+        self.buffer = []
+        self.promoted_event = threading.Event()
+        self.promoted_lsn: Optional[int] = None
+        self.promote_refusal: Optional[str] = None
+        self._reader: Optional[threading.Thread] = None
+
+    @property
+    def alive(self) -> bool:
+        """Whether this replica is armed and its connection is healthy."""
+        return self.armed and not self.dead
+
+    def mark_dead(self, reason: str) -> None:
+        """Record the replica's death (idempotent) and close its socket."""
+        if self.dead:
+            return
+        self.dead = True
+        self.failure = reason
+        if not self.expect_close:
+            _LOG.warning(
+                "shard %d: lost hot standby at %s: %s",
+                self.shard_id,
+                self.address,
+                reason,
+                extra={"shard": self.shard_id},
+            )
+        self.close()
+
+    def close(self) -> None:
+        """Close the replication socket (safe to call repeatedly)."""
+        sock = self.sock
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def start_reader(self) -> None:
+        """Start the daemon thread consuming ``RACK``/promotion frames."""
+        self._reader = threading.Thread(
+            target=self._read_acks,
+            name=f"repro-standby-ack-{self.shard_id}",
+            daemon=True,
+        )
+        self._reader.start()
+
+    def join_reader(self, timeout: Optional[float] = None) -> None:
+        """Wait for the ack-reader thread to exit (after death or promotion)."""
+        reader = self._reader
+        if reader is not None and reader is not threading.current_thread():
+            reader.join(timeout=timeout if timeout is not None else self.read_timeout)
+
+    def _read_acks(self) -> None:
+        try:
+            while True:
+                got = recv_frame(self.sock, self.read_timeout, idle_ok=True)
+                if got is None:
+                    self.mark_dead("standby closed the replication connection")
+                    return
+                frame, _ = got
+                kind = frame[0] if isinstance(frame, tuple) and frame else None
+                if kind == REPLICATE_ACK:
+                    self.acked_lsn = int(frame[1])
+                elif kind == PROMOTED:
+                    self.promoted_lsn = int(frame[1])
+                    self.promoted_event.set()
+                    return  # the socket now belongs to the promoted worker proxy
+                elif kind == PROMOTE_FAILED:
+                    applied = frame[1] if len(frame) > 1 else "?"
+                    reason = frame[2] if len(frame) > 2 else ""
+                    self.promote_refusal = f"standby at LSN {applied} refused promotion: {reason}"
+                    self.promoted_event.set()
+                else:
+                    self.mark_dead(f"unexpected replication frame {kind!r} from standby")
+                    return
+        except (WorkerUnavailableError, WireProtocolError, OSError, ValueError, TypeError) as exc:
+            self.mark_dead(str(exc))
+            # Wake any promotion blocked on the event; it will observe
+            # dead/promoted_lsn=None and raise.
+            self.promoted_event.set()
+
+
+class ReplicationManager:
+    """The coordinator's log shipper: arms, feeds and promotes standbys.
+
+    Owned by :class:`~repro.runtime.service.StreamingQueryService` when
+    ``RuntimeConfig(standby_addresses=...)`` is set.  All methods are
+    coordinator-thread only (the same single-consumer discipline as the
+    worker proxies); the only concurrent actors are the per-replica ack
+    readers, which touch nothing but their own replica's attributes.
+
+    Args:
+        window: the service's window specification (travels in standby
+            ``HELLO`` handshakes).
+        config: the service's runtime configuration; ``standby_addresses``
+            names the initial standby fleet, ``batch_size`` sizes the
+            shipping buffer, and the tcp timeouts govern the replication
+            connections exactly as they govern primary connections.
+    """
+
+    def __init__(self, window: WindowSpec, config: RuntimeConfig) -> None:
+        self.window = window
+        self.config = config
+        self._log_lsn: Dict[int, int] = {shard: 0 for shard in range(config.shards)}
+        self._replicas: Dict[int, StandbyReplica] = {}
+        self._rearm: Dict[int, str] = {}
+        self._addresses: Dict[int, str] = {
+            shard: address
+            for shard, address in enumerate(config.standby_addresses or ())
+            if address
+        }
+        self._flush_records = max(1, config.batch_size)
+        self.promotions = 0
+
+    # Introspection ------------------------------------------------------ #
+
+    def replica(self, shard: int) -> Optional[StandbyReplica]:
+        """The shard's replica state, or ``None`` when never armed."""
+        return self._replicas.get(shard)
+
+    def log_lsn(self, shard: int) -> int:
+        """The shard's record-stream head LSN (== its WAL LSN when logging)."""
+        return self._log_lsn.get(shard, 0)
+
+    def stats(self, shard: int) -> Dict[str, object]:
+        """Replication gauges for one shard (for the metrics refresh)."""
+        replica = self._replicas.get(shard)
+        log_lsn = self._log_lsn.get(shard, 0)
+        if replica is None or not replica.alive:
+            return {
+                "armed": False,
+                "address": None if replica is None else replica.address,
+                "acked_lsn": 0 if replica is None else replica.acked_lsn,
+                "shipped_records": 0 if replica is None else replica.shipped_records,
+                "lag_records": 0,
+                "pending_rearm": shard in self._rearm,
+            }
+        return {
+            "armed": True,
+            "address": replica.address,
+            "acked_lsn": replica.acked_lsn,
+            "shipped_records": replica.shipped_records,
+            "lag_records": max(0, log_lsn - replica.acked_lsn),
+            "pending_rearm": False,
+        }
+
+    # Arming ------------------------------------------------------------- #
+
+    def start(self, bootstraps: Dict[int, Tuple]) -> None:
+        """Arm every configured standby; individual failures are non-fatal.
+
+        A standby that cannot be armed (not listening, busy, handshake
+        refused) degrades that shard to cold recovery — the service must
+        still start, so the failure is logged and surfaced through the
+        ``repro_standby_connected`` gauge rather than raised.
+        """
+        for shard, address in sorted(self._addresses.items()):
+            try:
+                self.arm(shard, address, bootstraps.get(shard, ()))
+            except (ReplicationError, WorkerUnavailableError, OSError) as exc:
+                _LOG.warning(
+                    "shard %d: could not arm hot standby at %s: %s",
+                    shard,
+                    address,
+                    exc,
+                    extra={"shard": shard},
+                )
+
+    def arm(
+        self,
+        shard: int,
+        address: str,
+        bootstrap: Tuple,
+        connect_attempts: Optional[int] = None,
+    ) -> StandbyReplica:
+        """Establish a standby session for one shard at ``address``.
+
+        ``bootstrap`` must reconstruct the shard's engine state *at the
+        current record LSN* — at service start that is the worker's
+        pre-start bootstrap frames; mid-run (re-arming) it is a fresh set
+        of ``RESTORE`` frames taken at a drain boundary, so the replica
+        starts exactly where the shipped record stream resumes.
+
+        Raises:
+            ReplicationError: the shard already has a live standby, the
+                worker at ``address`` is busy or refused the handshake,
+                or it could not be reached.
+        """
+        existing = self._replicas.get(shard)
+        if existing is not None and existing.alive:
+            raise ReplicationError(
+                f"shard {shard} already has an armed standby at {existing.address}"
+            )
+        parse_worker_address(address)
+        base_lsn = self._log_lsn[shard]
+        sock = self._dial(
+            shard,
+            address,
+            self.config.tcp_connect_attempts if connect_attempts is None else connect_attempts,
+        )
+        try:
+            hello = (
+                "HELLO",
+                WIRE_VERSION,
+                shard,
+                self.window.size,
+                self.window.slide,
+                self.config.to_dict(),
+                tuple(bootstrap),
+                False,
+                STANDBY_ROLE,
+                base_lsn,
+            )
+            _send_all(sock, encode_frame(hello), self.config.tcp_read_timeout)
+            got = recv_frame(sock, self.config.tcp_connect_timeout)
+            if got is None:
+                raise ReplicationError(
+                    f"worker at {address} closed during the standby handshake for shard {shard}"
+                )
+            welcome, _ = got
+            if welcome and welcome[0] == "BUSY":
+                raise ReplicationError(
+                    f"worker at {address} is busy with another session and cannot host "
+                    f"shard {shard}'s standby"
+                )
+            if len(welcome) < 2 or welcome[0] != "WELCOME" or welcome[1] != WIRE_VERSION:
+                raise ReplicationError(
+                    f"worker at {address} sent {welcome!r} instead of WELCOME "
+                    f"to shard {shard}'s standby handshake"
+                )
+        except BaseException:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
+        replica = StandbyReplica(shard, address, self.config.tcp_read_timeout)
+        replica.sock = sock
+        replica.base_lsn = base_lsn
+        replica.sent_lsn = base_lsn
+        replica.acked_lsn = base_lsn
+        replica.armed = True
+        self._replicas[shard] = replica
+        self._rearm.pop(shard, None)
+        replica.start_reader()
+        _LOG.info(
+            "shard %d: hot standby armed at %s from LSN %d",
+            shard,
+            address,
+            base_lsn,
+            extra={"shard": shard},
+        )
+        return replica
+
+    def _dial(self, shard: int, address: str, attempts: int) -> socket.socket:
+        """Connect to a standby address with the transport's backoff schedule."""
+        host, port = parse_worker_address(address)
+        last_error: Optional[Exception] = None
+        for attempt in range(max(1, attempts)):
+            if attempt:
+                time.sleep(
+                    min(self.config.tcp_connect_backoff * (2 ** (attempt - 1)), _BACKOFF_CAP_SECONDS)
+                )
+            try:
+                sock = socket.create_connection((host, port), timeout=self.config.tcp_connect_timeout)
+            except OSError as exc:
+                last_error = exc
+                continue
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.setblocking(False)
+            return sock
+        raise ReplicationError(
+            f"shard {shard}: cannot connect to standby at {address} "
+            f"after {max(1, attempts)} attempts: {last_error}"
+        )
+
+    # Shipping ----------------------------------------------------------- #
+
+    def ship_tuple(
+        self, idx: int, wire, shards: Iterable[int], lsns: Optional[Dict[int, int]] = None
+    ) -> None:
+        """Ship one routed tuple record to every target shard's standby.
+
+        ``lsns`` carries the per-shard WAL LSNs when durability logged the
+        same record (keeping the two streams numerically identical); with
+        durability off the manager assigns its own consecutive LSNs.
+        """
+        for shard in shards:
+            lsn = self._advance(shard, None if lsns is None else lsns.get(shard))
+            self._buffer(shard, (lsn, wal_mod.TUPLE, idx, 0, wire))
+
+    def ship_topology(
+        self, shard: int, record_type: str, idx: int, op: int, data, lsn: Optional[int] = None
+    ) -> None:
+        """Ship one topology record (register / restore / deregister).
+
+        Topology records are rare and order-critical, so the shard's
+        buffer is flushed eagerly — the standby is never more than one
+        tuple batch behind a topology change.
+        """
+        assigned = self._advance(shard, lsn)
+        self._buffer(shard, (assigned, record_type, idx, op, data))
+        self.flush(shard)
+
+    def _advance(self, shard: int, lsn: Optional[int]) -> int:
+        if lsn is None:
+            lsn = self._log_lsn[shard] + 1
+        self._log_lsn[shard] = lsn
+        return lsn
+
+    def _buffer(self, shard: int, record: Tuple) -> None:
+        replica = self._replicas.get(shard)
+        if replica is None or not replica.alive:
+            return
+        replica.buffer.append(record)
+        if len(replica.buffer) >= self._flush_records:
+            self.flush(shard)
+
+    def flush(self, shard: int) -> None:
+        """Send the shard's buffered records as one ``REPLICATE`` frame.
+
+        A send failure kills the replica (replication is best-effort
+        until a promotion is requested) — the service keeps running on
+        the primary and the loss is visible in the standby gauges.
+        """
+        replica = self._replicas.get(shard)
+        if replica is None or not replica.alive or not replica.buffer:
+            return
+        records = tuple(replica.buffer)
+        replica.buffer.clear()
+        try:
+            # The records were built by ship_tuple/ship_topology, so skip
+            # encode_replicate's re-validation on this hot path; the
+            # standby still validates strictly on decode.
+            _send_all(replica.sock, encode_frame((REPLICATE, records)), replica.read_timeout)
+        except (WorkerUnavailableError, OSError) as exc:
+            replica.mark_dead(f"shipping records failed: {exc}")
+            return
+        replica.sent_lsn = records[-1][0]
+        replica.shipped_records += len(records)
+
+    def flush_all(self) -> None:
+        """Flush every armed replica's buffer (drain / checkpoint barrier)."""
+        for shard in list(self._replicas):
+            self.flush(shard)
+
+    # Promotion ---------------------------------------------------------- #
+
+    def promote(
+        self, shard: int, emit_results: bool, timeout: Optional[float] = None
+    ) -> Tuple[socket.socket, Dict[str, object]]:
+        """Promote the shard's standby; returns its socket + promotion facts.
+
+        The returned socket carries a live, unmuted ``serve_shard``
+        session positioned at exactly the promotion LSN; the caller wraps
+        it in a worker proxy (``TcpShardWorker.adopt_session``).  The
+        facts dict records ``lsn``, ``waited_records`` (the in-flight
+        tail the promotion had to wait out — shipping lag, not replay)
+        and ``replayed_records`` (structurally ``0``: a warm promotion
+        never re-reads the WAL).
+
+        Raises:
+            ReplicationError: there is no live standby, it died or lagged
+                past ``timeout`` while promoting, or it refused the
+                promotion LSN.
+        """
+        replica = self._replicas.get(shard)
+        if replica is None or not replica.armed:
+            raise ReplicationError(f"shard {shard} has no armed hot standby to promote")
+        if replica.dead:
+            raise ReplicationError(
+                f"shard {shard}'s standby at {replica.address} is dead: {replica.failure}"
+            )
+        wait_timeout = timeout if timeout is not None else replica.read_timeout
+        started = time.perf_counter()
+        target = self._log_lsn[shard]
+        acked_at_entry = replica.acked_lsn
+        self.flush(shard)
+        deadline = time.monotonic() + wait_timeout
+        while replica.acked_lsn < target:
+            if replica.dead:
+                raise ReplicationError(
+                    f"shard {shard}'s standby at {replica.address} died while promoting: "
+                    f"{replica.failure}"
+                )
+            if time.monotonic() > deadline:
+                raise ReplicationError(
+                    f"shard {shard}'s standby at {replica.address} did not reach LSN "
+                    f"{target} within {wait_timeout:.1f}s (acked {replica.acked_lsn})"
+                )
+            time.sleep(_ACK_POLL_SECONDS)
+        try:
+            _send_all(
+                replica.sock,
+                encode_frame((PROMOTE, target, bool(emit_results))),
+                replica.read_timeout,
+            )
+        except (WorkerUnavailableError, OSError) as exc:
+            replica.mark_dead(f"PROMOTE send failed: {exc}")
+            raise ReplicationError(
+                f"shard {shard}: could not send PROMOTE to standby at {replica.address}: {exc}"
+            ) from exc
+        if not replica.promoted_event.wait(wait_timeout):
+            replica.mark_dead("promotion timed out")
+            raise ReplicationError(
+                f"shard {shard}'s standby at {replica.address} did not confirm "
+                f"promotion within {wait_timeout:.1f}s"
+            )
+        if replica.promoted_lsn is None:
+            replica.promoted_event.clear()
+            if replica.dead:
+                raise ReplicationError(
+                    f"shard {shard}'s standby at {replica.address} died while promoting: "
+                    f"{replica.failure}"
+                )
+            raise ReplicationError(f"shard {shard}: {replica.promote_refusal}")
+        replica.join_reader()
+        sock = replica.sock
+        replica.sock = None
+        replica.armed = False
+        del self._replicas[shard]
+        self.promotions += 1
+        facts: Dict[str, object] = {
+            "shard": shard,
+            "address": replica.address,
+            "lsn": target,
+            "waited_records": max(0, target - acked_at_entry),
+            "replayed_records": 0,
+            "seconds": time.perf_counter() - started,
+        }
+        _LOG.info(
+            "shard %d: promoted hot standby at %s at LSN %d "
+            "(waited on %d in-flight records, replayed 0)",
+            shard,
+            replica.address,
+            target,
+            facts["waited_records"],
+            extra={"shard": shard},
+        )
+        return sock, facts
+
+    # Re-arming ---------------------------------------------------------- #
+
+    def schedule_rearm(self, shard: int, address: str) -> None:
+        """Remember an address to arm a fresh standby for ``shard`` at.
+
+        Promotion schedules the *old primary's* address here: once the
+        operator restarts a worker process on it, the next drain boundary
+        (or an explicit ``rearm_standby``) arms it as the shard's new
+        standby.
+        """
+        self._rearm[shard] = address
+
+    def pending_rearms(self) -> Dict[int, str]:
+        """Shards whose standby is waiting to be re-armed, by address."""
+        return dict(self._rearm)
+
+    # Shutdown ----------------------------------------------------------- #
+
+    def stop(self) -> None:
+        """Close every replication connection (standbys discard their state)."""
+        for replica in list(self._replicas.values()):
+            replica.expect_close = True
+            replica.close()
+            replica.join_reader()
+        self._replicas.clear()

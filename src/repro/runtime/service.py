@@ -37,6 +37,7 @@ import json
 import sys
 import time
 from collections import Counter
+from dataclasses import replace as dataclass_replace
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
@@ -44,12 +45,15 @@ from ..core.checkpoint import canonical_bytes, decode_state
 from ..core.columnar import fastpath_name
 from ..core.partition import partition_checkpoint
 from ..core.results import ResultEvent, ResultStream
-from ..errors import RuntimeStateError
+from ..errors import ReplicationError, RuntimeStateError, WorkerUnavailableError
 from ..graph.tuples import StreamingGraphTuple, Vertex
 from ..graph.window import WindowSpec
 from ..regex.analysis import QueryAnalysis, analyze
+from . import protocol
 from .config import RuntimeConfig
+from .durability import wal as wal_mod
 from .durability.manager import DurabilityManager
+from .replication import ReplicationManager
 from .merger import TaggedResultEvent, merge_partition_events, merge_result_events
 from .observability.logs import get_logger, new_operation_id
 from .observability.registry import MetricsRegistry
@@ -118,6 +122,7 @@ class StreamingQueryService:
     ) -> None:
         self.window = window
         self.config = config or RuntimeConfig()
+        self._on_result = on_result
         # Observability: every service owns a metrics registry; the HTTP
         # exposition server only exists when config.metrics_port is set.
         self.metrics_registry = MetricsRegistry()
@@ -167,6 +172,14 @@ class StreamingQueryService:
                 keep_deltas=self.config.checkpoint_keep_deltas,
                 registry=self.metrics_registry,
             )
+        # Replication: with standby_addresses configured, every logged
+        # record also streams to each shard's hot standby, so a dead tcp
+        # worker is *promoted* (repro.runtime.replication) instead of
+        # WAL-replayed.  Promotions are recorded in `self.promotions`.
+        self._replication: Optional[ReplicationManager] = None
+        if self.config.standby_addresses is not None and any(self.config.standby_addresses):
+            self._replication = ReplicationManager(window, self.config)
+        self.promotions: List[Dict[str, object]] = []
 
     # ------------------------------------------------------------------ #
     # Observability
@@ -256,6 +269,38 @@ class StreamingQueryService:
             "Wall time to put one frame on the worker transport",
             ("shard",),
         )
+        self._m_standby_connected = registry.gauge(
+            "repro_standby_connected",
+            "Hot standby armed and healthy for the shard (1 = armed)",
+            ("shard",),
+        )
+        self._m_repl_lag = registry.gauge(
+            "repro_replication_lag_records",
+            "Records logged for the shard but not yet acknowledged by its standby",
+            ("shard",),
+        )
+        self._m_repl_shipped = registry.counter(
+            "repro_replication_shipped_records_total",
+            "WAL records shipped to the shard's hot standby",
+            ("shard",),
+        )
+        self._m_repl_acked = registry.gauge(
+            "repro_replication_acked_lsn",
+            "Last record LSN the shard's standby acknowledged applying",
+            ("shard",),
+        )
+        self._m_promotions = registry.counter(
+            "repro_promotions_total", "Hot-standby promotions after primary loss", ("shard",)
+        )
+        self._m_promotion_replayed = registry.counter(
+            "repro_promotion_replayed_records_total",
+            "WAL records replayed during promotions (zero by design: warm "
+            "failover promotes shipped state, it never re-reads the log)",
+            ("shard",),
+        )
+        self._m_promotion_seconds = registry.histogram(
+            "repro_promotion_seconds", "Wall time of hot-standby promotions", ("shard",)
+        )
         # The columnar kernel implementation is decided once at import
         # (numpy when available, pure Python otherwise), so the gauge is
         # set here and never refreshed.
@@ -286,6 +331,13 @@ class StreamingQueryService:
         self._m_dropped.labels().set_total(float(self._tuples_dropped))
         for shard, count in self.router.tuples_routed.items():
             self._m_routed.labels(shard).set_total(float(count))
+        if self._replication is not None:
+            for shard in range(len(self.workers)):
+                stats = self._replication.stats(shard)
+                self._m_standby_connected.labels(shard).set(1.0 if stats["armed"] else 0.0)
+                self._m_repl_lag.labels(shard).set(float(stats["lag_records"]))
+                self._m_repl_shipped.labels(shard).set_total(float(stats["shipped_records"]))
+                self._m_repl_acked.labels(shard).set(float(stats["acked_lsn"]))
         for worker in self.workers:
             shard = worker.shard_id
             self._m_queue_depth.labels(shard).set(float(worker.queue_depth()))
@@ -391,6 +443,11 @@ class StreamingQueryService:
         """The durability manager, or ``None`` when no ``wal_dir`` is set."""
         return self._durability
 
+    @property
+    def replication(self) -> Optional[ReplicationManager]:
+        """The replication manager, or ``None`` without standby addresses."""
+        return self._replication
+
     def start(self) -> "StreamingQueryService":
         """Start all shard workers; returns ``self`` for chaining.
 
@@ -404,9 +461,21 @@ class StreamingQueryService:
         if self._durability is not None and not self._durability.attached:
             self._durability.attach(self, reset=self._durability.reset_on_attach)
             self._durability.reset_on_attach = False
+        standby_bootstraps: Dict[int, Tuple] = {}
+        if self._replication is not None:
+            # Captured while the workers are stopped (the local engines are
+            # authoritative) — byte-for-byte what each primary's HELLO ships.
+            standby_bootstraps = {
+                worker.shard_id: worker.bootstrap_frames() for worker in self.workers
+            }
         for worker in self.workers:
             worker.start()
         self._running = True
+        if self._replication is not None:
+            # Arm failures are non-fatal (logged + visible in the
+            # repro_standby_connected gauge): an unarmed shard simply falls
+            # back to cold WAL recovery.
+            self._replication.start(standby_bootstraps)
         if self.config.metrics_port is not None:
             server = ObservabilityServer(self, self.config.metrics_port)
             port = server.start()
@@ -450,6 +519,10 @@ class StreamingQueryService:
                 except BaseException as exc:  # noqa: BLE001 - re-raised below
                     if stop_error is None:
                         stop_error = exc
+            if self._replication is not None:
+                # After the primaries: closing a replication connection
+                # makes its standby discard the replica state.
+                self._replication.stop()
             self._running = False
             if self._durability is not None:
                 # Only a clean shutdown (final checkpoint taken) lets this
@@ -476,6 +549,11 @@ class StreamingQueryService:
             for worker in self.workers:
                 try:
                     worker.stop()
+                except Exception:
+                    pass
+            if self._replication is not None:
+                try:
+                    self._replication.stop()
                 except Exception:
                     pass
             self._running = False
@@ -507,9 +585,21 @@ class StreamingQueryService:
         self.workers[shard].register_query(
             name, expression, semantics, max_nodes_per_tree, partition, operation_id=operation_id
         )
+        lsn = None
         if self._durability is not None:
-            self._durability.log_register(
+            lsn = self._durability.log_register(
                 shard, self._tuples_ingested, name, expression, semantics, max_nodes_per_tree, partition
+            )
+        if self._replication is not None and self._running:
+            # Pre-start registrations travel in the standby's bootstrap
+            # frames instead, exactly like the primary's HELLO.
+            self._replication.ship_topology(
+                shard,
+                wal_mod.REGISTER,
+                self._tuples_ingested,
+                0,
+                [name, expression, semantics, max_nodes_per_tree, list(partition) if partition else None],
+                lsn,
             )
 
     def _worker_restore(
@@ -521,15 +611,26 @@ class StreamingQueryService:
         operation_id: Optional[str] = None,
     ) -> None:
         self.workers[shard].restore_query(name, blob, "arbitrary", operation_id=operation_id)
+        ship = self._replication is not None and self._running
+        if state is None and (self._durability is not None or ship):
+            state = decode_state(blob, what=f"evaluator blob for query {name!r}")
+        lsn = None
         if self._durability is not None:
-            if state is None:
-                state = decode_state(blob, what=f"evaluator blob for query {name!r}")
-            self._durability.log_restore(shard, self._tuples_ingested, name, "arbitrary", state)
+            lsn = self._durability.log_restore(shard, self._tuples_ingested, name, "arbitrary", state)
+        if ship:
+            self._replication.ship_topology(
+                shard, wal_mod.RESTORE, self._tuples_ingested, 0, [name, "arbitrary", state], lsn
+            )
 
     def _worker_deregister(self, shard: int, name: str, operation_id: Optional[str] = None) -> None:
         self.workers[shard].deregister_query(name, operation_id=operation_id)
+        lsn = None
         if self._durability is not None:
-            self._durability.log_deregister(shard, self._tuples_ingested, name)
+            lsn = self._durability.log_deregister(shard, self._tuples_ingested, name)
+        if self._replication is not None and self._running:
+            self._replication.ship_topology(
+                shard, wal_mod.DEREGISTER, self._tuples_ingested, 0, name, lsn
+            )
 
     # ------------------------------------------------------------------ #
     # Query management (allowed before and while running)
@@ -1115,11 +1216,18 @@ class StreamingQueryService:
             self._tuples_dropped += 1
             return
         self._label_loads[tup.label] += 1
+        lsns = None
         if self._durability is not None:
             # Write-ahead: the tuple reaches every routed shard's log
             # before any worker can see it, so the WAL always covers
             # everything the engines have processed.
-            self._durability.log_tuple(self._tuples_ingested, tup, shards)
+            lsns = self._durability.log_tuple(self._tuples_ingested, tup, shards)
+        if self._replication is not None:
+            # Same write-ahead discipline for the standbys: the record is
+            # shipped (or at least buffered toward the standby) before any
+            # primary can see the tuple, so a promotion never needs the
+            # pending buffers — everything in them is already standby-bound.
+            self._replication.ship_tuple(self._tuples_ingested, tup.to_wire(), shards, lsns)
         for shard in shards:
             pending = self._pending[shard]
             pending.append(tup)
@@ -1152,7 +1260,14 @@ class StreamingQueryService:
         pending = self._pending[shard]
         if pending and self._running:
             self._pending[shard] = []
-            self.workers[shard].submit(pending)
+            try:
+                self.workers[shard].submit(pending)
+            except WorkerUnavailableError as exc:
+                self._promote_or_raise(shard, exc)
+                # The batch is NOT resubmitted: every tuple in it was
+                # shipped to the standby at log time (write-ahead), so the
+                # promoted engine already covers it — resubmitting would
+                # double-process.
 
     def drain(self) -> None:
         """Flush buffers and block until every shard has caught up.
@@ -1169,10 +1284,211 @@ class StreamingQueryService:
     def _drain(self, rebalance: bool) -> None:
         for shard in range(len(self.workers)):
             self._flush_shard(shard)
-        for worker in self.workers:
-            worker.drain()
+        for shard in range(len(self.workers)):
+            # Indexed re-read: a promotion swaps self.workers[shard] and
+            # the retried drain must land on the new primary.
+            self._with_failover(shard, lambda shard=shard: self.workers[shard].drain())
+        if self._replication is not None and self._running:
+            # A drain is also a replication barrier: push out any buffered
+            # tail and use the quiescent moment to re-arm lost standbys.
+            self._replication.flush_all()
+            self._maybe_rearm()
         if rebalance and self._running and self._rebalancer.name != "manual" and self._migrating is None:
             self.rebalance()
+
+    # ------------------------------------------------------------------ #
+    # Warm failover (hot-standby promotion)
+    # ------------------------------------------------------------------ #
+
+    def _with_failover(self, shard: int, call):
+        """Run one worker interaction, promoting the shard's standby on loss.
+
+        The retried call must index ``self.workers`` itself — after a
+        promotion the slot holds the new primary.
+        """
+        try:
+            return call()
+        except WorkerUnavailableError as exc:
+            self._promote_or_raise(shard, exc)
+            return call()
+
+    def _promote_or_raise(self, shard: int, cause: WorkerUnavailableError) -> ShardWorker:
+        """Promote the shard's hot standby, or re-raise the transport failure.
+
+        A failed (or impossible) promotion never masks the trigger: the
+        original :class:`~repro.errors.WorkerUnavailableError` propagates
+        — with the :class:`~repro.errors.ReplicationError` chained as its
+        cause — and cold WAL-replay recovery remains available.  Refused
+        while a migration or split is mid-flight: those choreographies
+        hold engine state outside any single worker and run their own
+        rollback on the original failure.
+        """
+        if self._replication is None or self._migrating is not None:
+            raise cause
+        try:
+            self._promote(shard)
+        except (ReplicationError, RuntimeStateError) as exc:
+            _LOG.warning(
+                "shard %d: cannot promote after primary loss: %s",
+                shard,
+                exc,
+                extra={"shard": shard},
+            )
+            raise cause from exc
+        return self.workers[shard]
+
+    def promote(self, shard: int) -> Dict[str, object]:
+        """Promote the shard's hot standby to primary now; returns the facts.
+
+        The crash path calls this automatically on
+        :class:`~repro.errors.WorkerUnavailableError`; calling it directly
+        is a *planned* failover (drill, maintenance): the old primary's
+        session is abandoned — its engine state discarded once the socket
+        closes — and the standby takes over exactly as in the crash path,
+        with a bit-identical result stream and zero WAL replay.
+
+        Returns:
+            the promotion record also appended to :attr:`promotions`:
+            ``shard``, ``address`` (new primary), ``previous_address``,
+            ``lsn``, ``waited_records``, ``replayed_records`` (always 0)
+            and ``seconds``.
+
+        Raises:
+            RuntimeStateError: the service is not running or a migration
+                is mid-flight.
+            ReplicationError: the shard has no live standby, or the
+                standby failed the promotion handshake.
+        """
+        if not self._running:
+            raise RuntimeStateError("cannot promote on a stopped service; call start() first")
+        if self._migrating is not None:
+            raise RuntimeStateError(
+                f"cannot promote shard {shard} while query {self._migrating!r} is migrating"
+            )
+        return self._promote(shard)
+
+    def _promote(self, shard: int) -> Dict[str, object]:
+        replication = self._replication
+        if replication is None:
+            raise ReplicationError(
+                f"shard {shard} has no replication manager (standby_addresses not configured)"
+            )
+        old = self.workers[shard]
+        old_address = (self.config.worker_addresses or (None,) * self.config.shards)[shard]
+        sock, facts = replication.promote(shard, emit_results=self._on_result is not None)
+        # The promoted session is live on `sock`; swap the config so the
+        # standby's address is the shard's primary from here on, build a
+        # proxy around the socket, and retire the dead worker.
+        new_addresses = list(self.config.worker_addresses)
+        new_addresses[shard] = facts["address"]
+        new_standbys = list(self.config.standby_addresses or [None] * self.config.shards)
+        new_standbys[shard] = None
+        new_config = dataclass_replace(
+            self.config,
+            worker_addresses=tuple(new_addresses),
+            standby_addresses=tuple(new_standbys),
+        )
+        replacement = create_worker(shard, self.window, new_config, on_result=self._on_result)
+        replacement.adopt_session(sock)
+        self.workers[shard] = replacement
+        self.config = new_config
+        # Anything still buffered for the shard was shipped at log time;
+        # the promoted engine already covers it.
+        self._pending[shard] = []
+        try:
+            old.abandon()
+        except Exception:  # noqa: BLE001 - the old transport is already dead
+            pass
+        if old_address is not None:
+            replication.schedule_rearm(shard, old_address)
+        facts["previous_address"] = old_address
+        self.promotions.append(facts)
+        self._m_promotions.labels(shard).inc()
+        self._m_promotion_replayed.labels(shard).inc(float(facts["replayed_records"]))
+        self._m_promotion_seconds.labels(shard).observe(float(facts["seconds"]))
+        _LOG.warning(
+            "shard %d: promoted standby at %s to primary (was %s); replayed %d WAL records",
+            shard,
+            facts["address"],
+            old_address,
+            facts["replayed_records"],
+            extra={"shard": shard},
+        )
+        return facts
+
+    def rearm_standby(self, shard: int, address: Optional[str] = None) -> None:
+        """Arm a fresh hot standby for ``shard`` at ``address``.
+
+        ``address`` defaults to the one scheduled by the shard's last
+        promotion (the old primary's — restart a ``repro worker`` process
+        there first).  The standby starts from a *consistent cut*: the
+        shard is flushed and drained, its resident queries' checkpoint
+        blobs become the bootstrap ``RESTORE`` frames, and the replica's
+        base LSN is the shard's current record head — exactly where the
+        shipped stream resumes.
+
+        Raises:
+            RuntimeStateError: no replication manager is configured.
+            ReplicationError: no address is known, the shard hosts
+                non-``'arbitrary'`` queries (their state cannot ship), or
+                the worker at ``address`` is unreachable/busy.
+        """
+        replication = self._replication
+        if replication is None:
+            raise RuntimeStateError(
+                "service has no replication manager (standby_addresses not configured)"
+            )
+        if address is None:
+            address = replication.pending_rearms().get(shard)
+            if address is None:
+                raise ReplicationError(
+                    f"shard {shard} has no scheduled re-arm address; pass one explicitly"
+                )
+        replication.arm(shard, address, self._standby_bootstrap(shard))
+        new_standbys = list(self.config.standby_addresses or [None] * self.config.shards)
+        new_standbys[shard] = address
+        self.config = dataclass_replace(self.config, standby_addresses=tuple(new_standbys))
+
+    def _standby_bootstrap(self, shard: int) -> Tuple:
+        """Bootstrap frames reconstructing the shard at its current LSN."""
+        if not self._running:
+            return self.workers[shard].bootstrap_frames()
+        self._flush_shard(shard)
+        self.workers[shard].drain()
+        if self._replication is not None:
+            self._replication.flush(shard)
+        frames = []
+        for name in sorted(self.router.shards()[shard].queries):
+            semantics = self._semantics.get(self._member_base.get(name, name), "arbitrary")
+            if semantics != "arbitrary":
+                raise ReplicationError(
+                    f"cannot arm a standby for shard {shard} mid-run: query {name!r} "
+                    f"uses semantics {semantics!r}, whose evaluator state cannot be "
+                    f"shipped (only 'arbitrary' checkpoints)"
+                )
+            blob = self.workers[shard].checkpoint_query(name)
+            frames.append((protocol.RESTORE, (name, "arbitrary", blob)))
+        return tuple(frames)
+
+    def _maybe_rearm(self) -> None:
+        """Opportunistically re-arm lost standbys at a drain boundary.
+
+        One quick connect attempt per pending shard: if the operator has
+        restarted a worker on the scheduled address, the shard regains its
+        standby; if not, the next drain tries again.  Never raises.
+        """
+        replication = self._replication
+        if replication is None:
+            return
+        for shard, address in replication.pending_rearms().items():
+            try:
+                bootstrap = self._standby_bootstrap(shard)
+                replication.arm(shard, address, bootstrap, connect_attempts=1)
+            except (ReplicationError, WorkerUnavailableError, OSError):
+                continue
+            new_standbys = list(self.config.standby_addresses or [None] * self.config.shards)
+            new_standbys[shard] = address
+            self.config = dataclass_replace(self.config, standby_addresses=tuple(new_standbys))
 
     # ------------------------------------------------------------------ #
     # Results
@@ -1194,15 +1510,18 @@ class StreamingQueryService:
         members = self._partitions.get(name)
         if members is None:
             shard = self.router.shard_of(name)
-            return self.workers[shard].fetch_results(name)
+            return self._with_failover(shard, lambda: self.workers[shard].fetch_results(name))
         shards = sorted({self.router.shard_of(member) for member in members})
         for shard in shards:
             self._flush_shard(shard)
         for shard in shards:
-            self.workers[shard].drain()
+            self._with_failover(shard, lambda shard=shard: self.workers[shard].drain())
         parts = []
         for member in members:
-            events_wire, keys = self.workers[self.router.shard_of(member)].fetch_partition_results(member)
+            shard = self.router.shard_of(member)
+            events_wire, keys = self._with_failover(
+                shard, lambda: self.workers[shard].fetch_partition_results(member)
+            )
             parts.append(([ResultEvent.from_wire(wire) for wire in events_wire], keys))
         return merge_partition_events(parts)
 
@@ -1307,7 +1626,9 @@ class StreamingQueryService:
                 # The worker returns the evaluator's encoded byte blob (the
                 # form that ships across process boundaries); decode it back
                 # to the JSON-compatible dict for the service-level layout.
-                blob = self.workers[shard].checkpoint_query(routed)
+                blob = self._with_failover(
+                    shard, lambda shard=shard, routed=routed: self.workers[shard].checkpoint_query(routed)
+                )
                 state = decode_state(blob, what=f"evaluator blob for query {routed!r}")
                 queries.append({"name": name, "shard": shard, "state": state})
         return {

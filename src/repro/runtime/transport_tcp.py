@@ -32,11 +32,18 @@ client sends one ``HELLO`` frame::
 
 carrying everything the worker process needs to rebuild the shard server —
 the same ``(op, payload)`` bootstrap replay the multiprocessing backend
-ships to its child.  The worker answers ``("WELCOME", version)`` and then
-runs the standard :func:`~repro.runtime.worker.serve_shard` loop over the
-socket.  ``STOP`` ships final shard state back in its reply, exactly like
-the process transport, so a cleanly stopped remote worker remains
-inspectable at the coordinator.
+ships to its child.  Two optional trailing elements — ``role`` and
+``base_lsn`` — request a *standby* session instead (see
+:mod:`repro.runtime.replication`): the worker applies replicated WAL
+records into a muted replica until it is promoted, at which point the
+session falls through into the normal serve loop on the same socket.
+The worker answers ``("WELCOME", version)`` — or ``("BUSY", version,
+reason)`` when it already hosts a session, which the dialer retries with
+the connect backoff schedule — and then runs the standard
+:func:`~repro.runtime.worker.serve_shard` loop over the socket.  ``STOP``
+ships final shard state back in its reply, exactly like the process
+transport, so a cleanly stopped remote worker remains inspectable at the
+coordinator.
 
 Failure semantics
 =================
@@ -68,7 +75,13 @@ import time
 import zlib
 from typing import Dict, Optional, Tuple
 
-from ..errors import ConfigError, WireProtocolError, WorkerUnavailableError
+from ..errors import (
+    ConfigError,
+    ReplicationError,
+    RuntimeStateError,
+    WireProtocolError,
+    WorkerUnavailableError,
+)
 from ..graph.window import WindowSpec
 from . import protocol
 from .config import RuntimeConfig, parse_worker_address
@@ -625,7 +638,32 @@ class TcpShardWorker(ShardWorker):
         )
 
     def _make_channels(self):
-        """Dial, handshake, and return the socket-backed channel pair."""
+        """Dial, handshake, and return the socket-backed channel pair.
+
+        A ``BUSY`` handshake reply (the worker already hosts a session —
+        e.g. a standby that has not been released yet, or the previous
+        session's teardown racing this redial) is retried with the same
+        backoff schedule as a refused connect, then surfaced as
+        :class:`~repro.errors.WorkerUnavailableError`.
+        """
+        busy_reason: Optional[str] = None
+        for attempt in range(self.config.tcp_connect_attempts):
+            if attempt:
+                backoff = self.config.tcp_connect_backoff * (2 ** (attempt - 1))
+                time.sleep(min(backoff, _BACKOFF_CAP_SECONDS))
+            result = self._handshake()
+            if not isinstance(result, str):
+                return result
+            busy_reason = result
+        raise WorkerUnavailableError(
+            f"shard {self.shard_id}: worker at {self._address} is busy with another "
+            f"session after {self.config.tcp_connect_attempts} attempts ({busy_reason}); "
+            f"a worker process hosts one coordinator session at a time",
+            self.shard_id,
+        )
+
+    def _handshake(self):
+        """One dial + HELLO attempt; returns channels or a BUSY reason string."""
         sock = self._dial()
         conn = _WorkerConnection(sock, self._address, self.config.tcp_read_timeout)
         hello = (
@@ -654,6 +692,9 @@ class TcpShardWorker(ShardWorker):
                 self.shard_id,
             )
         welcome = got[0]
+        if isinstance(welcome, tuple) and welcome and welcome[0] == "BUSY":
+            conn.close_socket()
+            return str(welcome[2]) if len(welcome) > 2 else "no reason given"
         if not (isinstance(welcome, tuple) and len(welcome) >= 2 and welcome[0] == "WELCOME"):
             conn.close_socket()
             raise WireProtocolError(
@@ -689,6 +730,47 @@ class TcpShardWorker(ShardWorker):
         # Keep self._conn: transport_stats() stays readable after stop.
 
     # Lifecycle extensions ------------------------------------------------ #
+
+    def adopt_session(self, sock: socket.socket) -> None:
+        """Take over a live, already-handshaken serve loop on ``sock``.
+
+        The promotion path: after
+        :meth:`~repro.runtime.replication.ReplicationManager.promote` the
+        promoted standby is *already* running ``serve_shard`` on this
+        socket, positioned at the promotion LSN.  Dialing or sending
+        another ``HELLO`` would be wrong — this proxy just wraps the
+        socket in the usual connection + channel pair and starts its
+        reader, after which it is indistinguishable from a worker that
+        went through :meth:`start`.
+        """
+        if self.running:
+            raise RuntimeStateError(f"shard {self.shard_id} is already running")
+        self._check_failure()
+        conn = _WorkerConnection(sock, self._address, self.config.tcp_read_timeout)
+        self._conn = conn
+        self._connects_total += 1
+        self._requests = _SocketRequestChannel(conn)
+        self._responses = conn.responses
+        conn.start_reader(self.shard_id)
+
+    def abandon(self) -> None:
+        """Release a dead session's transport resources without a STOP.
+
+        The promotion path's counterpart for the *old* primary: it is
+        unreachable, so there is no serve loop left to stop — closing the
+        socket and joining the reader is all that remains.  The proxy
+        keeps its sticky failure (callers that still hold it see the
+        original :class:`~repro.errors.WorkerUnavailableError`), and the
+        service drops its reference.
+        """
+        conn = self._conn
+        self._requests = None
+        self._responses = None
+        if conn is None:
+            return
+        conn.expect_close = True
+        conn.close_socket()
+        conn.join_reader()
 
     def stop(self) -> None:
         """Stop the remote serve loop; the server closing is expected here."""
@@ -781,15 +863,26 @@ def _session_reader(
                     return
 
 
+def replication_mod():
+    """Late import of :mod:`repro.runtime.replication` (it imports us)."""
+    from . import replication
+
+    return replication
+
+
 class TcpWorkerServer:
     """Standalone shard-worker server: accept a coordinator, serve a shard.
 
     This is what ``repro worker --listen HOST:PORT`` runs.  Sessions are
-    sequential — one coordinator at a time owns the worker — and each
-    session is self-describing: the ``HELLO`` frame carries the shard id,
-    window, runtime config and bootstrap frames, so one worker process
-    can serve successive coordinators (e.g. a recovery run after a crash)
-    without restarting.
+    logically sequential — one coordinator at a time owns the worker —
+    and each session is self-describing: the ``HELLO`` frame carries the
+    shard id, window, runtime config and bootstrap frames, so one worker
+    process can serve successive coordinators (e.g. a recovery run after
+    a crash) without restarting.  A dial that arrives *while a session is
+    active* (the worker hosts another coordinator's shard or standby) is
+    rejected explicitly with a ``("BUSY", version, reason)`` handshake
+    reply and counted in ``sessions_rejected`` — an error at the dialer,
+    never a silent hang in the backlog.
 
     Args:
         host: interface to bind.
@@ -802,11 +895,14 @@ class TcpWorkerServer:
         self.host = host
         self.port = port
         self.sessions_served = 0
+        self.sessions_rejected = 0
         self._listener: Optional[socket.socket] = None
         self._stopping = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._active_lock = threading.Lock()
         self._active_sock: Optional[socket.socket] = None
+        self._active_desc = "a session"
+        self._session_thread: Optional[threading.Thread] = None
 
     def start(self) -> int:
         """Bind and listen; returns the bound port (resolves ``port=0``)."""
@@ -821,7 +917,14 @@ class TcpWorkerServer:
         return self.port
 
     def serve_forever(self) -> None:
-        """Accept and serve coordinator sessions until :meth:`stop`."""
+        """Accept and serve coordinator sessions until :meth:`stop`.
+
+        Each accepted session runs on its own thread so the accept loop
+        stays responsive while a session is active — not for parallelism
+        (sessions stay one-at-a-time) but so a second dial can be told
+        ``BUSY`` immediately instead of parking in the listen backlog
+        until the first session ends.
+        """
         if self._listener is None:
             self.start()
         while not self._stopping.is_set():
@@ -832,16 +935,68 @@ class TcpWorkerServer:
             except OSError:
                 break
             with self._active_lock:
-                self._active_sock = sock
-            # Counted at accept, not teardown: a coordinator whose dial
-            # succeeded must observe the increment even though its stop()
-            # returns before this side finishes tearing the session down.
-            self.sessions_served += 1
+                session = self._session_thread
+                busy = session is not None and session.is_alive()
+                if not busy:
+                    if session is not None:
+                        session.join()
+                    self._active_sock = sock
+                    self._active_desc = f"a session from {peer}"
+                    # Counted at accept, not teardown: a coordinator whose
+                    # dial succeeded must observe the increment even though
+                    # its stop() returns before this side finishes tearing
+                    # the session down.
+                    self.sessions_served += 1
+                    self._session_thread = threading.Thread(
+                        target=self._run_session,
+                        args=(sock, peer),
+                        name=f"repro-tcp-server-{self.port}-session",
+                        daemon=True,
+                    )
+                    self._session_thread.start()
+            if busy:
+                self._reject_session(sock, peer)
+        session = self._session_thread
+        if session is not None:
+            session.join()
+
+    def _run_session(self, sock: socket.socket, peer) -> None:
+        try:
+            self._serve_session(sock, peer)
+        finally:
+            with self._active_lock:
+                self._active_sock = None
+
+    def _reject_session(self, sock: socket.socket, peer) -> None:
+        """Tell a dialer the worker is taken, explicitly, then hang up.
+
+        The HELLO is consumed first so closing the socket after the
+        ``BUSY`` reply sends a clean FIN (unread data would trigger a
+        reset that could destroy the reply in flight).
+        """
+        self.sessions_rejected += 1
+        with self._active_lock:
+            reason = f"worker at {self.host}:{self.port} already hosts {self._active_desc}"
+        _LOG.warning("session from %s rejected: %s", peer, reason)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.setblocking(False)
             try:
-                self._serve_session(sock, peer)
-            finally:
-                with self._active_lock:
-                    self._active_sock = None
+                recv_frame(sock, 2 * _SELECT_SLICE_SECONDS, idle_ok=False)
+            except (WorkerUnavailableError, WireProtocolError, OSError):
+                pass
+            _send_all(
+                sock,
+                encode_frame(("BUSY", WIRE_VERSION, reason)),
+                2 * _SELECT_SLICE_SECONDS,
+            )
+        except (WorkerUnavailableError, OSError):
+            pass  # the dialer vanished; nothing to tell it
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
 
     def start_in_background(self) -> int:
         """Run :meth:`serve_forever` on a daemon thread; returns the port."""
@@ -869,6 +1024,10 @@ class TcpWorkerServer:
         if self._thread is not None:
             self._thread.join()
             self._thread = None
+        session = self._session_thread
+        if session is not None:
+            session.join()
+            self._session_thread = None
 
     def _serve_session(self, sock: socket.socket, peer) -> None:
         """Handshake one coordinator and run its shard's serve loop."""
@@ -888,12 +1047,35 @@ class TcpWorkerServer:
                     f"coordinator speaks wire version {hello[1]!r}, this worker speaks {WIRE_VERSION}"
                 )
             _, _, shard_id, size, slide, config_state, bootstrap, emit_results = hello[:8]
+            role = hello[8] if len(hello) > 8 else "primary"
+            base_lsn = hello[9] if len(hello) > 9 else 0
             config = RuntimeConfig.from_dict(config_state)
             configure_logging(config.log_level, config.log_format)
             server = ShardEngineServer(shard_id, WindowSpec(size=size, slide=slide), config)
             for op, payload in bootstrap:
                 server.execute(op, payload)
             _send_all(sock, encode_frame(("WELCOME", WIRE_VERSION)), config.tcp_read_timeout)
+            with self._active_lock:
+                self._active_desc = f"shard {shard_id}'s {role} session"
+            if role == replication_mod().STANDBY_ROLE:
+                _LOG.info(
+                    "session from %s: standby for shard %d from LSN %d", peer, shard_id, base_lsn
+                )
+                handoff = replication_mod().serve_standby(
+                    server, sock, config.tcp_read_timeout, base_lsn
+                )
+                if handoff is None:
+                    _LOG.info("session from %s: standby for shard %d released", peer, shard_id)
+                    return
+                emit_results = handoff.emit_results
+                with self._active_lock:
+                    self._active_desc = f"shard {shard_id}'s promoted session"
+                _LOG.info(
+                    "session from %s: standby for shard %d promoted at LSN %d",
+                    peer,
+                    shard_id,
+                    handoff.lsn,
+                )
             _LOG.info("session from %s: serving shard %d", peer, shard_id)
             requests: "queue.Queue" = queue.Queue(maxsize=config.queue_depth)
             writer = _SocketResponseWriter(sock, config.tcp_read_timeout)
@@ -906,7 +1088,7 @@ class TcpWorkerServer:
             reader.start()
             serve_shard(server, requests, writer, emit_results, ship_state_on_stop=True)
             _LOG.info("session from %s: shard %d stopped", peer, shard_id)
-        except (WorkerUnavailableError, WireProtocolError, OSError) as exc:
+        except (WorkerUnavailableError, WireProtocolError, ReplicationError, OSError) as exc:
             _LOG.warning("session from %s aborted: %s", peer, exc)
         finally:
             done.set()

@@ -48,7 +48,7 @@ import threading
 import time
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
-from ..core.checkpoint import decode_rapq, encode_rapq
+from ..core.checkpoint import canonical_bytes, decode_rapq, encode_rapq
 from ..core.columnar import promote_evaluator
 from ..core.columnar.batch import ColumnarBatch
 from ..core.columnar.kernels import fastpath_name
@@ -284,6 +284,67 @@ class ShardEngineServer:
             }
         stats["queries"] = queries
         return stats
+
+    # Replication (muted standby apply) --------------------------------- #
+
+    def apply_replica_records(self, records) -> None:
+        """Apply a run of replicated WAL records into this engine, muted.
+
+        This is the *standby* half of hot-standby replication
+        (:mod:`repro.runtime.replication`): each record is the
+        coordinator's WAL form ``(record_type, data)`` — tuple records
+        carry the tuple's wire form, topology records the same payloads
+        the WAL logs — and applying them maintains exactly the engine
+        state the primary built from the same stream.  Results are
+        *suppressed* (``collect_results=False``): the replica's evaluators
+        accumulate their result streams internally, so a later promotion
+        can serve ``RESULTS`` fetches bit-identically, but no ``EVENTS``
+        frames are produced while the shard is a standby.  Unmuting
+        happens at promotion: the serve loop takes over from the exact
+        LSN the apply loop reached, so live emission resumes with the
+        first post-promotion batch.
+
+        Consecutive tuple records are batched into one engine pass —
+        through the same columnar fast path the primary's ``BATCH``
+        frames take (when ``wire_format`` is columnar), so a standby
+        keeps up with a primary that evaluates vectorized batches;
+        topology records are barriers (execution order), exactly as WAL
+        replay orders them.
+        """
+        from .durability import wal as wal_mod
+
+        columnar = self.config.wire_format == "columnar"
+        pending = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            if columnar:
+                rows = [StreamingGraphTuple.from_wire(wire) for wire in pending]
+                self.process_batch(ColumnarBatch.from_tuples(rows).to_wire(), False)
+            else:
+                self.process_batch(tuple(pending), False)
+            pending.clear()
+
+        for record_type, data in records:
+            if record_type == wal_mod.TUPLE:
+                pending.append(tuple(data))
+                continue
+            flush()
+            if record_type == wal_mod.REGISTER:
+                name, expression, semantics, max_nodes, partition = data
+                self.execute(
+                    protocol.REGISTER,
+                    (name, expression, semantics, max_nodes, tuple(partition) if partition else None),
+                )
+            elif record_type == wal_mod.RESTORE:
+                name, semantics, state = data
+                self.execute(protocol.RESTORE, (name, semantics, canonical_bytes(state)))
+            elif record_type == wal_mod.DEREGISTER:
+                self.execute(protocol.DEREGISTER, data)
+            else:
+                raise WireProtocolError(f"unknown replicated record type {record_type!r}")
+        flush()
 
     # State shipping (process transport) -------------------------------- #
 
@@ -629,6 +690,16 @@ class ShardWorker:
                 self._requests = None
                 self._responses = None
         self._check_failure()
+
+    def bootstrap_frames(self) -> Tuple:
+        """Replayable ``(op, payload)`` frames reconstructing this worker's engine.
+
+        Authoritative only while the worker is stopped (before ``start``
+        or after ``stop``), when the local server holds the engine.  The
+        tcp transport ships these in its ``HELLO`` handshake; the
+        replication layer ships the same frames when arming a hot standby.
+        """
+        return self._server.export_bootstrap()
 
     # Typed control calls (the service speaks only these) ---------------- #
 

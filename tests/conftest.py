@@ -17,6 +17,15 @@ for path in (_SRC, _TESTS):
         sys.path.insert(0, str(path))
 
 from repro import WindowSpec, sgt  # noqa: E402  (import after path fix)
+from repro.runtime import BACKENDS  # noqa: E402
+
+# The worker backends every backend-parametrized suite should cover: the
+# three RuntimeConfig backends plus the pseudo-backend ``tcp+standby``
+# (TCP workers with a hot standby armed per shard).  ``make_runtime_config``
+# translates the pseudo-backend into ``backend="tcp"`` plus
+# ``standby_addresses``; it is deliberately *not* part of
+# ``repro.runtime.BACKENDS``.
+ALL_BACKENDS = tuple(BACKENDS) + ("tcp+standby",)
 
 
 @pytest.fixture
@@ -48,18 +57,38 @@ def tcp_worker_farm():
 
 
 @pytest.fixture
-def make_runtime_config(tcp_worker_farm):
+def standby_farm(tcp_worker_farm):
+    """Factory starting loopback standby workers: ``farm(n) -> addresses``.
+
+    Identical to :func:`tcp_worker_farm` (same server class, same
+    teardown) but kept as a separate fixture so a test reads as "these
+    workers are the standbys" — and so suites can size the two fleets
+    independently.
+    """
+    return tcp_worker_farm
+
+
+@pytest.fixture
+def make_runtime_config(tcp_worker_farm, standby_farm):
     """RuntimeConfig factory that provisions loopback workers for ``tcp``.
 
     ``make_runtime_config(backend=..., shards=N, **kwargs)`` behaves like
     the plain constructor for in-process backends; for ``backend="tcp"``
     it first starts ``N`` loopback workers via :func:`tcp_worker_farm`
     and injects their addresses, so backend-parametrized tests can treat
-    all three transports uniformly.
+    all transports uniformly.  The pseudo-backend ``"tcp+standby"``
+    (see :data:`ALL_BACKENDS`) maps to ``backend="tcp"`` with a second
+    fleet of ``N`` loopback workers injected as ``standby_addresses`` —
+    every shard runs hot-standby replication with no per-test
+    boilerplate.
     """
     from repro.runtime import RuntimeConfig
 
     def _make(backend="threading", shards=1, **kwargs):
+        if backend == "tcp+standby":
+            backend = "tcp"
+            if not kwargs.get("standby_addresses"):
+                kwargs["standby_addresses"] = standby_farm(shards)
         if backend == "tcp" and not kwargs.get("worker_addresses"):
             kwargs["worker_addresses"] = tcp_worker_farm(shards)
         return RuntimeConfig(shards=shards, backend=backend, **kwargs)

@@ -22,6 +22,7 @@ from repro import WindowSpec
 from repro.datasets.synthetic import UniformStreamGenerator
 from repro.errors import RuntimeStateError, ShardWorkerError
 from repro.graph.stream import with_deletions
+from conftest import ALL_BACKENDS
 from repro.runtime import BACKENDS, RecoveryManager, RuntimeConfig, StreamingQueryService
 
 WINDOW = WindowSpec(size=40, slide=4)
@@ -67,6 +68,7 @@ def crash_run(
     partitioned=("pair",),
     actions=(),
     worker_addresses=None,
+    standby_addresses=None,
 ):
     """Run with durability, then die without any shutdown courtesy."""
     config = RuntimeConfig(
@@ -76,6 +78,7 @@ def crash_run(
         wal_dir=str(wal_dir),
         checkpoint_interval=interval,
         worker_addresses=worker_addresses,
+        standby_addresses=standby_addresses,
     )
     service = StreamingQueryService(WINDOW, config)
     for name, expression in QUERIES.items():
@@ -109,15 +112,24 @@ def resume_and_collect(result, stream):
 
 
 class TestKillAndRecoverParity:
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_bit_identical_stream_with_partitioned_query_and_deletions(
-        self, tmp_path, backend, tcp_worker_farm
+        self, tmp_path, backend, tcp_worker_farm, standby_farm
     ):
         """Acceptance: kill -9 mid-stream, recover, identical results."""
         stream = make_stream(5_000)
         expected = reference_run(stream, RuntimeConfig(shards=3, batch_size=32))
+        standbys = standby_farm(3) if backend == "tcp+standby" else None
+        backend = "tcp" if backend == "tcp+standby" else backend
         addresses = tcp_worker_farm(3) if backend == "tcp" else None
-        crash_run(stream, tmp_path / "wal", crash_at=3_211, backend=backend, worker_addresses=addresses)
+        crash_run(
+            stream,
+            tmp_path / "wal",
+            crash_at=3_211,
+            backend=backend,
+            worker_addresses=addresses,
+            standby_addresses=standbys,
+        )
         # a tcp recovery re-homes the shards onto replacement hosts — the
         # WAL replays onto a fresh fleet, not the one that died
         replacements = tcp_worker_farm(3) if backend == "tcp" else None

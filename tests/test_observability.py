@@ -24,6 +24,7 @@ from repro import WindowSpec
 from repro.datasets.synthetic import UniformStreamGenerator
 from repro.errors import ShardWorkerError
 from repro.graph.stream import with_deletions
+from conftest import ALL_BACKENDS
 from repro.runtime import BACKENDS, RecoveryManager, RuntimeConfig, StreamingQueryService
 from repro.runtime.observability import (
     CONTENT_TYPE_METRICS,
@@ -301,12 +302,19 @@ class TestConfigValidation:
 
 
 class TestLiveExposition:
-    @pytest.mark.parametrize("backend", BACKENDS)
-    def test_scrape_during_ingestion(self, backend, tcp_worker_farm):
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_scrape_during_ingestion(self, backend, tcp_worker_farm, standby_farm):
         """Acceptance: /metrics is valid Prometheus text while tuples flow."""
         stream = make_stream(1_500)
+        standbys = standby_farm(2) if backend == "tcp+standby" else None
+        backend = "tcp" if backend == "tcp+standby" else backend
         addresses = tcp_worker_farm(2) if backend == "tcp" else None
-        service = make_service(backend=backend, metrics_port=0, worker_addresses=addresses)
+        service = make_service(
+            backend=backend,
+            metrics_port=0,
+            worker_addresses=addresses,
+            standby_addresses=standbys,
+        )
         with service:
             port = service.observability_port
             assert port is not None and port > 0

@@ -1,0 +1,938 @@
+"""Hot-standby replication: codec, standby sessions, promotion, chaos.
+
+The acceptance property of warm failover: kill a shard's primary TCP
+worker at any point of the stream and the service *promotes* the shard's
+hot standby — zero WAL records replayed, and a global result stream
+bit-identical (order, content, deletions included) to an uninterrupted
+run.  Every hostile condition along the way — torn or corrupt
+``REPLICATE`` frames, LSN gaps, stale promotion LSNs, dead standbys,
+double failures, promotion racing a migration — must surface as a clean,
+typed error (:class:`ReplicationError` or :class:`WireProtocolError`),
+never as a hang or a silently diverged replica.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import StreamingRPQEngine, WindowSpec, WireProtocolError, WorkerUnavailableError, sgt
+from repro.datasets.synthetic import UniformStreamGenerator
+from repro.errors import ConfigError, ReplicationError
+from repro.graph.stream import with_deletions
+from repro.runtime import (
+    ReplicationManager,
+    RuntimeConfig,
+    StreamingQueryService,
+    TcpWorkerServer,
+    create_worker,
+)
+from repro.runtime.durability import wal as wal_mod
+from repro.runtime.replication import (
+    PROMOTE,
+    PROMOTE_FAILED,
+    PROMOTED,
+    REPLICATE_ACK,
+    STANDBY_ROLE,
+    decode_replicate,
+    encode_replicate,
+    validate_records,
+)
+from repro.runtime.transport_tcp import (
+    WIRE_VERSION,
+    _send_all,
+    encode_frame,
+    recv_frame,
+)
+
+WINDOW = WindowSpec(size=40, slide=4)
+
+QUERIES = {"qa": "a+", "qb": "(a b)+", "qc": "c b*", "qd": "b c"}
+
+
+def make_stream(count, seed=11, deletions=0.0):
+    generator = UniformStreamGenerator(
+        num_vertices=40, labels=("a", "b", "c", "noise"), edges_per_timestamp=4, seed=seed
+    )
+    stream = list(generator.generate(count))
+    if deletions > 0:
+        stream = with_deletions(stream, deletions, seed=seed)
+    return stream
+
+
+def engine_events(stream, queries=QUERIES):
+    """The single-threaded oracle: per-query full event streams."""
+    engine = StreamingRPQEngine(WINDOW)
+    for name, expression in queries.items():
+        engine.register(name, expression)
+    engine.process_stream(stream)
+    return {
+        name: [(e.source, e.target, e.timestamp, e.positive) for e in engine.query(name).results.events]
+        for name in queries
+    }
+
+
+def service_events(service, queries=QUERIES):
+    return {
+        name: [(e.source, e.target, e.timestamp, e.positive) for e in service.results(name).events]
+        for name in queries
+    }
+
+
+def start_servers(count):
+    """``count`` loopback worker servers on ephemeral ports."""
+    servers = [TcpWorkerServer("127.0.0.1", 0) for _ in range(count)]
+    addresses = tuple(f"127.0.0.1:{server.start_in_background()}" for server in servers)
+    return servers, addresses
+
+
+def stop_servers(servers):
+    for server in servers:
+        server.stop()
+
+
+@pytest.fixture
+def server_farm():
+    """Factory for loopback worker fleets, all stopped at teardown."""
+    started = []
+
+    def farm(count):
+        servers, addresses = start_servers(count)
+        started.extend(servers)
+        return servers, addresses
+
+    yield farm
+    stop_servers(started)
+
+
+def standby_service(farm, shards=2, queries=QUERIES, **kwargs):
+    """A tcp service with a hot standby per shard; returns it + both fleets."""
+    primaries, primary_addresses = farm(shards)
+    standbys, standby_addresses = farm(shards)
+    kwargs.setdefault("batch_size", 8)
+    kwargs.setdefault("tcp_read_timeout", 15.0)
+    config = RuntimeConfig(
+        shards=shards,
+        backend="tcp",
+        worker_addresses=primary_addresses,
+        standby_addresses=standby_addresses,
+        **kwargs,
+    )
+    service = StreamingQueryService(WINDOW, config)
+    for name, expression in queries.items():
+        service.register(name, expression)
+    return service, primaries, standbys
+
+
+def frame_pipe():
+    """A connected non-blocking socket pair ready for the framing helpers."""
+    left, right = socket.socketpair()
+    left.setblocking(False)
+    right.setblocking(False)
+    return left, right
+
+
+def tuple_record(lsn, idx=None):
+    """A well-formed replicated tuple record at ``lsn``."""
+    position = lsn if idx is None else idx
+    return (lsn, wal_mod.TUPLE, position, 0, sgt(position, f"u{position}", f"v{position}", "a").to_wire())
+
+
+# --------------------------------------------------------------------- #
+# Record codec: strict validation on both sides of the wire
+# --------------------------------------------------------------------- #
+
+
+class TestRecordCodec:
+    def test_round_trip_over_socket_exact(self):
+        """A REPLICATE frame survives the real framing layer bit-exactly."""
+        records = (
+            tuple_record(1),
+            (2, wal_mod.REGISTER, 5, 0, ("q", "a+", "arbitrary", 0, None)),
+            (3, wal_mod.DEREGISTER, 6, 0, "q"),
+        )
+        left, right = frame_pipe()
+        try:
+            left.sendall(encode_replicate(records))
+            got, _ = recv_frame(right, read_timeout=5.0)
+            assert decode_replicate(got) == records
+        finally:
+            left.close()
+            right.close()
+
+    def test_validate_returns_tuples(self):
+        out = validate_records([[1, wal_mod.TUPLE, 0, 0, ("w",)]])
+        assert out == ((1, wal_mod.TUPLE, 0, 0, ("w",)),)
+        assert isinstance(out[0], tuple)
+
+    @pytest.mark.parametrize(
+        "record",
+        [
+            (1, wal_mod.TUPLE, 0, 0),  # wrong arity
+            (1, wal_mod.TUPLE, 0, 0, None, "extra"),
+            "not a record",
+            None,
+        ],
+    )
+    def test_malformed_record_shape_raises(self, record):
+        with pytest.raises(WireProtocolError, match="malformed replication record"):
+            validate_records([record])
+
+    @pytest.mark.parametrize("lsn", [0, -1, True, False, "7", 1.0, None])
+    def test_bad_lsn_raises(self, lsn):
+        with pytest.raises(WireProtocolError, match="LSN must be an int >= 1"):
+            validate_records([(lsn, wal_mod.TUPLE, 0, 0, None)])
+
+    def test_unknown_record_type_raises(self):
+        with pytest.raises(WireProtocolError, match="unknown replication record type"):
+            validate_records([(1, "X", 0, 0, None)])
+
+    @pytest.mark.parametrize("field", ["idx", "op"])
+    @pytest.mark.parametrize("value", [-1, True, "3", None])
+    def test_bad_idx_or_op_raises(self, field, value):
+        record = (1, wal_mod.TUPLE, 0 if field == "op" else value, value if field == "op" else 0, None)
+        with pytest.raises(WireProtocolError, match="must be an int >= 0"):
+            validate_records([record])
+
+    def test_records_must_be_a_sequence(self):
+        with pytest.raises(WireProtocolError, match="must be a sequence"):
+            validate_records(7)
+
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            ("NOPE", ()),
+            ("REPLICATE",),
+            ("REPLICATE", (), "extra"),
+            "REPLICATE",
+            None,
+        ],
+    )
+    def test_decode_rejects_non_replicate_frames(self, frame):
+        with pytest.raises(WireProtocolError, match="malformed REPLICATE frame"):
+            decode_replicate(frame)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=2**60),
+                st.sampled_from(sorted(wal_mod.RECORD_TYPES)),
+                st.integers(min_value=0, max_value=2**32),
+                st.integers(min_value=0, max_value=8),
+                st.recursive(
+                    st.none() | st.booleans() | st.integers() | st.text() | st.binary(),
+                    lambda leaf: st.lists(leaf, max_size=3).map(tuple),
+                    max_leaves=8,
+                ),
+            ),
+            max_size=8,
+        )
+    )
+    def test_round_trip_property(self, records):
+        """Random record batches survive encode -> frame -> decode exactly."""
+        left, right = frame_pipe()
+        try:
+            left.sendall(encode_replicate(records))
+            got, _ = recv_frame(right, read_timeout=5.0)
+            assert decode_replicate(got) == tuple(tuple(record) for record in records)
+        finally:
+            left.close()
+            right.close()
+
+    def test_truncated_replicate_frame_raises_not_desyncs(self):
+        """A peer dying mid-REPLICATE surfaces as a typed error, not a hang."""
+        left, right = frame_pipe()
+        try:
+            wire = encode_replicate([tuple_record(1), tuple_record(2)])
+            left.sendall(wire[: len(wire) // 2])
+            left.close()
+            with pytest.raises(WorkerUnavailableError, match="closed mid-frame|between header"):
+                recv_frame(right, read_timeout=5.0)
+        finally:
+            right.close()
+
+    def test_corrupted_replicate_frame_raises_not_desyncs(self):
+        """One flipped payload bit is caught by the CRC before any decode."""
+        left, right = frame_pipe()
+        try:
+            wire = bytearray(encode_replicate([tuple_record(1)]))
+            wire[-3] ^= 0x10
+            left.sendall(bytes(wire))
+            with pytest.raises(WorkerUnavailableError, match="CRC mismatch"):
+                recv_frame(right, read_timeout=5.0)
+        finally:
+            left.close()
+            right.close()
+
+
+# --------------------------------------------------------------------- #
+# Config validation
+# --------------------------------------------------------------------- #
+
+
+class TestStandbyConfig:
+    def test_requires_tcp_backend(self):
+        with pytest.raises(ConfigError, match="only meaningful with backend 'tcp'"):
+            RuntimeConfig(shards=1, backend="threading", standby_addresses=("127.0.0.1:7401",))
+
+    def test_requires_one_entry_per_shard(self):
+        with pytest.raises(ConfigError, match="exactly one entry per"):
+            RuntimeConfig(
+                shards=2,
+                backend="tcp",
+                worker_addresses=("127.0.0.1:7301", "127.0.0.1:7302"),
+                standby_addresses=("127.0.0.1:7401",),
+            )
+
+    def test_standby_must_differ_from_its_primary(self):
+        with pytest.raises(ConfigError, match="different worker process"):
+            RuntimeConfig(
+                shards=1,
+                backend="tcp",
+                worker_addresses=("127.0.0.1:7301",),
+                standby_addresses=("127.0.0.1:7301",),
+            )
+
+    def test_placeholder_entries_mean_unprotected(self):
+        """'', 'none' and '-' are CLI-friendly spellings of None."""
+        config = RuntimeConfig(
+            shards=4,
+            backend="tcp",
+            worker_addresses=tuple(f"127.0.0.1:{7301 + i}" for i in range(4)),
+            standby_addresses=("", "none", "-", "127.0.0.1:7405"),
+        )
+        assert config.standby_addresses == (None, None, None, "127.0.0.1:7405")
+
+    def test_with_backend_always_clears_standbys(self):
+        """A checkpointed fleet's standbys never leak onto a restored run."""
+        config = RuntimeConfig(
+            shards=1,
+            backend="tcp",
+            worker_addresses=("127.0.0.1:7301",),
+            standby_addresses=("127.0.0.1:7401",),
+        )
+        assert config.with_backend("threading").standby_addresses is None
+        assert config.with_backend("tcp", worker_addresses=("127.0.0.1:7309",)).standby_addresses is None
+
+
+# --------------------------------------------------------------------- #
+# Standby sessions against a real worker server (worker side)
+# --------------------------------------------------------------------- #
+
+
+def standby_hello(shard=0, base_lsn=0, bootstrap=()):
+    config = RuntimeConfig(
+        shards=1, backend="tcp", batch_size=8, worker_addresses=("127.0.0.1:9",)
+    )
+    return (
+        "HELLO",
+        WIRE_VERSION,
+        shard,
+        WINDOW.size,
+        WINDOW.slide,
+        config.to_dict(),
+        tuple(bootstrap),
+        False,
+        STANDBY_ROLE,
+        base_lsn,
+    )
+
+
+def open_standby_session(port, base_lsn=0, deadline_seconds=10.0):
+    """Dial a worker as a raw standby coordinator; returns the socket.
+
+    Retries through BUSY replies so a test can re-arm immediately after
+    aborting a previous session (the server reaps it asynchronously).
+    """
+    deadline = time.monotonic() + deadline_seconds
+    while True:
+        sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+        sock.setblocking(False)
+        _send_all(sock, encode_frame(standby_hello(base_lsn=base_lsn)), 5.0)
+        got = recv_frame(sock, read_timeout=5.0, idle_ok=True)
+        assert got is not None, "worker hung up during the standby handshake"
+        if got[0][0] == "BUSY" and time.monotonic() < deadline:
+            sock.close()
+            time.sleep(0.05)
+            continue
+        assert got[0] == ("WELCOME", WIRE_VERSION), got[0]
+        return sock
+
+
+class TestStandbySession:
+    def test_replicate_frames_are_acked_at_the_lsn_reached(self, server_farm):
+        servers, _ = server_farm(1)
+        sock = open_standby_session(servers[0].port)
+        try:
+            _send_all(sock, encode_replicate([tuple_record(1), tuple_record(2)]), 5.0)
+            got, _ = recv_frame(sock, read_timeout=5.0, idle_ok=True)
+            assert got == (REPLICATE_ACK, 2)
+            _send_all(sock, encode_replicate([tuple_record(3)]), 5.0)
+            got, _ = recv_frame(sock, read_timeout=5.0, idle_ok=True)
+            assert got == (REPLICATE_ACK, 3)
+        finally:
+            sock.close()
+
+    def test_stale_promote_lsn_is_refused_and_the_standby_survives(self, server_farm):
+        """A wrong unmute LSN gets PROMOTE_FAILED; the right one still works."""
+        servers, _ = server_farm(1)
+        sock = open_standby_session(servers[0].port)
+        try:
+            _send_all(sock, encode_replicate([tuple_record(1), tuple_record(2), tuple_record(3)]), 5.0)
+            assert recv_frame(sock, read_timeout=5.0, idle_ok=True)[0] == (REPLICATE_ACK, 3)
+            _send_all(sock, encode_frame((PROMOTE, 2, False)), 5.0)
+            got, _ = recv_frame(sock, read_timeout=5.0, idle_ok=True)
+            assert got[0] == PROMOTE_FAILED
+            assert got[1] == 3 and "stale promotion LSN 2" in got[2]
+            # Still a standby: the correct LSN promotes it on the same socket.
+            _send_all(sock, encode_frame((PROMOTE, 3, False)), 5.0)
+            got, _ = recv_frame(sock, read_timeout=5.0, idle_ok=True)
+            assert got == (PROMOTED, 3)
+        finally:
+            sock.close()
+
+    def test_lsn_gap_aborts_the_session_not_the_server(self, server_farm):
+        """Lost/reordered records end the session; the worker keeps listening."""
+        servers, _ = server_farm(1)
+        sock = open_standby_session(servers[0].port)
+        try:
+            _send_all(sock, encode_replicate([tuple_record(1)]), 5.0)
+            assert recv_frame(sock, read_timeout=5.0, idle_ok=True)[0] == (REPLICATE_ACK, 1)
+            _send_all(sock, encode_replicate([tuple_record(3)]), 5.0)  # gap: 2 missing
+            assert recv_frame(sock, read_timeout=10.0, idle_ok=True) is None  # hung up, no ack
+        finally:
+            sock.close()
+        replacement = open_standby_session(servers[0].port)  # server survived
+        replacement.close()
+
+    def test_stale_base_lsn_resumes_continuity_from_the_handshake(self, server_farm):
+        """A base LSN in HELLO positions the continuity check, not at zero."""
+        servers, _ = server_farm(1)
+        sock = open_standby_session(servers[0].port, base_lsn=41)
+        try:
+            _send_all(sock, encode_replicate([tuple_record(1)]), 5.0)  # stale: expects 42
+            assert recv_frame(sock, read_timeout=10.0, idle_ok=True) is None
+        finally:
+            sock.close()
+        sock = open_standby_session(servers[0].port, base_lsn=41)
+        try:
+            _send_all(sock, encode_replicate([tuple_record(42)]), 5.0)
+            assert recv_frame(sock, read_timeout=5.0, idle_ok=True)[0] == (REPLICATE_ACK, 42)
+        finally:
+            sock.close()
+
+    def test_non_replication_frame_aborts_the_session(self, server_farm):
+        """A standby session speaks REPLICATE/PROMOTE only — nothing else."""
+        servers, _ = server_farm(1)
+        sock = open_standby_session(servers[0].port)
+        try:
+            _send_all(sock, encode_frame(("CTRL", 1, "SUMMARY", None)), 5.0)
+            assert recv_frame(sock, read_timeout=10.0, idle_ok=True) is None
+        finally:
+            sock.close()
+        replacement = open_standby_session(servers[0].port)
+        replacement.close()
+
+    def test_released_standby_discards_state_and_server_keeps_listening(self, server_farm):
+        """A coordinator hanging up cleanly frees the worker for a new role."""
+        servers, addresses = server_farm(1)
+        sock = open_standby_session(servers[0].port)
+        _send_all(sock, encode_replicate([tuple_record(1)]), 5.0)
+        assert recv_frame(sock, read_timeout=5.0, idle_ok=True)[0] == (REPLICATE_ACK, 1)
+        sock.close()  # clean EOF at a frame boundary: the standby is released
+        # The same worker process can now host a normal primary session.
+        config = RuntimeConfig(shards=1, backend="tcp", batch_size=8, worker_addresses=addresses)
+        worker = create_worker(0, WINDOW, config)
+        worker.register_query("q", "a+")
+        worker.start()
+        worker.submit([sgt(1, "u", "v", "a")])
+        assert worker.fetch_results("q").active_pairs == {("u", "v")}
+        worker.stop()
+
+
+# --------------------------------------------------------------------- #
+# Single-session enforcement (the PR 8 latent assumption, now explicit)
+# --------------------------------------------------------------------- #
+
+
+class TestSingleSessionEnforcement:
+    def test_dialing_a_worker_hosting_a_standby_fails_fast_not_hangs(self, server_farm):
+        """A coordinator reaching a standby-hosting worker gets a typed error."""
+        servers, addresses = server_farm(1)
+        sock = open_standby_session(servers[0].port)
+        try:
+            config = RuntimeConfig(
+                shards=1,
+                backend="tcp",
+                worker_addresses=addresses,
+                tcp_connect_attempts=2,
+                tcp_connect_backoff=0.01,
+            )
+            worker = create_worker(0, WINDOW, config)
+            started = time.monotonic()
+            with pytest.raises(WorkerUnavailableError, match="busy with another session"):
+                worker.start()
+            assert time.monotonic() - started < 10.0  # explicit error, not a hang
+            assert servers[0].sessions_rejected >= 2
+        finally:
+            sock.close()
+
+    def test_arming_a_standby_on_a_busy_worker_raises(self, server_farm):
+        """The reverse collision: a primary session blocks a standby HELLO."""
+        servers, addresses = server_farm(1)
+        config = RuntimeConfig(shards=1, backend="tcp", batch_size=8, worker_addresses=addresses)
+        worker = create_worker(0, WINDOW, config)
+        worker.start()
+        try:
+            manager = ReplicationManager(
+                WINDOW,
+                RuntimeConfig(
+                    shards=1,
+                    backend="tcp",
+                    worker_addresses=("127.0.0.1:9",),
+                    standby_addresses=addresses,
+                    tcp_connect_attempts=1,
+                ),
+            )
+            with pytest.raises(ReplicationError, match="busy with another session"):
+                manager.arm(0, addresses[0], ())
+        finally:
+            worker.stop()
+
+    def test_rejected_dial_retries_until_the_worker_frees_up(self, server_farm):
+        """BUSY is retried on the connect backoff: a released worker is reused."""
+        servers, addresses = server_farm(1)
+        sock = open_standby_session(servers[0].port)
+
+        def release_soon():
+            time.sleep(0.5)
+            sock.close()
+
+        thread = threading.Thread(target=release_soon)
+        thread.start()
+        config = RuntimeConfig(
+            shards=1,
+            backend="tcp",
+            worker_addresses=addresses,
+            tcp_connect_attempts=30,
+            tcp_connect_backoff=0.05,
+        )
+        worker = create_worker(0, WINDOW, config)
+        worker.register_query("q", "a+")
+        try:
+            worker.start()  # survives the BUSY window
+            worker.submit([sgt(1, "u", "v", "a")])
+            assert worker.fetch_results("q").active_pairs == {("u", "v")}
+            worker.stop()
+        finally:
+            thread.join()
+
+
+# --------------------------------------------------------------------- #
+# Coordinator side vs hostile standbys
+# --------------------------------------------------------------------- #
+
+
+def make_manager(standby_address):
+    return ReplicationManager(
+        WINDOW,
+        RuntimeConfig(
+            shards=1,
+            backend="tcp",
+            batch_size=4,
+            worker_addresses=("127.0.0.1:9",),
+            standby_addresses=(standby_address,),
+            tcp_connect_attempts=1,
+            tcp_read_timeout=5.0,
+        ),
+    )
+
+
+def fake_standby(behavior):
+    """A raw listener that welcomes one standby session, then misbehaves."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+
+    def run():
+        sock, _ = listener.accept()
+        sock.setblocking(False)
+        got = recv_frame(sock, read_timeout=5.0, idle_ok=True)
+        assert got is not None and got[0][0] == "HELLO" and got[0][8] == STANDBY_ROLE
+        _send_all(sock, encode_frame(("WELCOME", WIRE_VERSION)), 5.0)
+        behavior(sock)
+        time.sleep(0.2)  # let the peer read before the fd dies
+        sock.close()
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    return listener, thread, f"127.0.0.1:{port}"
+
+
+def wait_until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition not reached in time"
+        time.sleep(0.01)
+
+
+class TestHostileStandbys:
+    def test_garbage_ack_marks_the_replica_dead_not_the_service(self):
+        def babble(sock):
+            got = recv_frame(sock, read_timeout=5.0, idle_ok=True)
+            assert got is not None
+            _send_all(sock, encode_frame(("WAT", 1)), 5.0)
+
+        listener, thread, address = fake_standby(babble)
+        try:
+            manager = make_manager(address)
+            replica = manager.arm(0, address, ())
+            manager.ship_tuple(0, sgt(1, "u", "v", "a").to_wire(), [0])
+            manager.flush(0)
+            wait_until(lambda: replica.dead)
+            assert "unexpected replication frame" in replica.failure
+            assert manager.stats(0)["armed"] is False
+            manager.stop()
+        finally:
+            thread.join()
+            listener.close()
+
+    def test_standby_hangup_is_absorbed_by_the_shipper(self):
+        """Shipping to a dead replica never raises — replication is best-effort."""
+
+        def hang_up(sock):
+            return None  # close immediately after WELCOME
+
+        listener, thread, address = fake_standby(hang_up)
+        try:
+            manager = make_manager(address)
+            replica = manager.arm(0, address, ())
+            wait_until(lambda: replica.dead)
+            for position in range(20):  # every ship after death is a no-op
+                manager.ship_tuple(position, sgt(position + 1, "u", "v", "a").to_wire(), [0])
+            manager.flush(0)
+            manager.flush_all()
+            assert manager.stats(0) == {
+                "armed": False,
+                "address": address,
+                "acked_lsn": 0,
+                "shipped_records": 0,
+                "lag_records": 0,
+                "pending_rearm": False,
+            }
+            manager.stop()
+        finally:
+            thread.join()
+            listener.close()
+
+    def test_promoting_a_dead_replica_raises_replication_error(self):
+        def hang_up(sock):
+            return None
+
+        listener, thread, address = fake_standby(hang_up)
+        try:
+            manager = make_manager(address)
+            replica = manager.arm(0, address, ())
+            wait_until(lambda: replica.dead)
+            with pytest.raises(ReplicationError, match="is dead"):
+                manager.promote(0, emit_results=False)
+            manager.stop()
+        finally:
+            thread.join()
+            listener.close()
+
+    def test_promoting_an_unarmed_shard_raises(self):
+        manager = make_manager("127.0.0.1:7401")
+        with pytest.raises(ReplicationError, match="no armed hot standby"):
+            manager.promote(0, emit_results=False)
+
+    def test_arming_twice_raises_while_the_first_is_alive(self, server_farm):
+        servers, addresses = server_farm(2)
+        manager = make_manager(addresses[0])
+        try:
+            manager.arm(0, addresses[0], ())
+            with pytest.raises(ReplicationError, match="already has an armed standby"):
+                manager.arm(0, addresses[1], ())
+        finally:
+            manager.stop()
+
+    def test_arming_an_unreachable_address_raises(self):
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        manager = make_manager(f"127.0.0.1:{port}")
+        with pytest.raises(ReplicationError, match="cannot connect to standby"):
+            manager.arm(0, f"127.0.0.1:{port}", ())
+
+
+# --------------------------------------------------------------------- #
+# Failover end to end: crash, promote, stay exact
+# --------------------------------------------------------------------- #
+
+
+class TestFailover:
+    def test_crash_promotion_is_bit_identical_with_zero_replay(self, server_farm):
+        """The headline acceptance: kill a primary mid-stream, results exact."""
+        stream = make_stream(2_000)
+        expected = engine_events(stream)
+        service, primaries, _ = standby_service(server_farm)
+        with service:
+            shard = service.router.shard_of("qa")
+            half = len(stream) // 2
+            service.ingest(stream[:half])
+            service.drain()
+            primaries[shard].stop()  # the host vanishes, session and all
+            service.ingest(stream[half:])
+            service.drain()
+            events = service_events(service)
+        assert events == expected
+        assert [promo["shard"] for promo in service.promotions] == [shard]
+        facts = service.promotions[0]
+        assert facts["replayed_records"] == 0
+        assert facts["previous_address"] != facts["address"]
+        assert facts["lsn"] >= facts["waited_records"] >= 0
+        assert service.replication.promotions == 1
+
+    def test_crash_mid_batch_promotes_without_losing_the_tail(self, server_farm):
+        """Death with a partially-shipped batch in flight: nothing is lost."""
+        stream = make_stream(1_200)
+        expected = engine_events(stream)
+        service, primaries, _ = standby_service(server_farm, batch_size=32)
+        with service:
+            shard = service.router.shard_of("qa")
+            for position, tup in enumerate(stream):
+                if position == 777:  # mid-stream, mid-batch: no drain first
+                    primaries[shard].stop()
+                service.ingest_one(tup)
+            service.drain()
+            events = service_events(service)
+        assert events == expected
+        assert service.promotions[0]["replayed_records"] == 0
+
+    def test_crash_promotion_with_deletions_stays_exact(self, server_farm):
+        stream = make_stream(1_500, deletions=0.15)
+        expected = engine_events(stream)
+        service, primaries, _ = standby_service(server_farm)
+        with service:
+            shard = service.router.shard_of("qb")
+            service.ingest(stream[:600])
+            service.drain()
+            primaries[shard].stop()
+            service.ingest(stream[600:])
+            service.drain()
+            events = service_events(service)
+        assert events == expected
+        assert len(service.promotions) == 1
+
+    def test_standby_loss_leaves_the_service_running_on_the_primary(self, server_farm):
+        """A dead standby degrades the shard to cold recovery — nothing more."""
+        stream = make_stream(1_000)
+        expected = engine_events(stream)
+        service, _, standbys = standby_service(server_farm)
+        with service:
+            service.ingest(stream[:400])
+            service.drain()
+            for server in standbys:
+                server.stop()  # the whole standby fleet vanishes
+            service.ingest(stream[400:])
+            service.drain()
+            events = service_events(service)
+            stats = [service.replication.stats(shard) for shard in range(2)]
+        assert events == expected
+        assert service.promotions == []
+        assert all(entry["armed"] is False for entry in stats)
+
+    def test_double_failure_surfaces_the_transport_error_with_the_cause(self, server_farm):
+        """Primary and standby both dead: the original failure, chained."""
+        stream = make_stream(600)
+        service, primaries, standbys = standby_service(server_farm, tcp_read_timeout=5.0)
+        with pytest.raises(WorkerUnavailableError) as excinfo:
+            with service:
+                shard = service.router.shard_of("qa")
+                service.ingest(stream[:200])
+                service.drain()
+                standbys[shard].stop()
+                primaries[shard].stop()
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    service.ingest(make_stream(50, seed=2))
+                    service.drain()
+        assert isinstance(excinfo.value.__cause__, ReplicationError)
+        assert service.promotions == []
+
+    def test_planned_promotion_is_a_failover_drill(self, server_farm):
+        """promote() on a healthy shard: same takeover, same exactness."""
+        stream = make_stream(1_200)
+        expected = engine_events(stream)
+        service, primaries, _ = standby_service(server_farm)
+        with service:
+            shard = service.router.shard_of("qc")
+            old_address = service.config.worker_addresses[shard]
+            service.ingest(stream[:500])
+            service.drain()
+            facts = service.promote(shard)
+            assert facts["replayed_records"] == 0
+            assert facts["previous_address"] == old_address
+            assert service.config.worker_addresses[shard] == facts["address"]
+            assert service.config.standby_addresses[shard] is None
+            service.ingest(stream[500:])
+            service.drain()
+            events = service_events(service)
+            health = service.health()
+        assert events == expected
+        assert health["healthy"] is True
+        stop_servers(primaries)  # the abandoned primary was already out of the loop
+
+    def test_rearm_then_second_promotion_still_exact(self, server_farm):
+        """Promote, re-arm onto a fresh worker, promote again: still exact."""
+        stream = make_stream(1_800)
+        expected = engine_events(stream)
+        service, primaries, _ = standby_service(server_farm)
+        fresh, fresh_addresses = server_farm(1)
+        with service:
+            shard = service.router.shard_of("qa")
+            service.ingest(stream[:600])
+            service.drain()
+            primaries[shard].stop()
+            service.ingest(stream[600:1200])
+            service.drain()
+            assert len(service.promotions) == 1
+            assert service.replication.pending_rearms() == {shard: service.promotions[0]["previous_address"]}
+            service.rearm_standby(shard, fresh_addresses[0])
+            assert service.config.standby_addresses[shard] == fresh_addresses[0]
+            assert service.replication.stats(shard)["armed"] is True
+            second = service.promote(shard)
+            assert second["address"] == fresh_addresses[0]
+            assert second["replayed_records"] == 0
+            service.ingest(stream[1200:])
+            service.drain()
+            events = service_events(service)
+        assert events == expected
+        assert len(service.promotions) == 2
+
+    def test_promotion_is_refused_while_a_migration_is_in_flight(self, server_farm):
+        """Mid-migration shard state lives outside any worker: never promote."""
+        stream = make_stream(600)
+        service, primaries, _ = standby_service(server_farm, tcp_read_timeout=5.0)
+        with pytest.raises(WorkerUnavailableError) as excinfo:
+            with service:
+                shard = service.router.shard_of("qa")
+                service.ingest(stream[:200])
+                service.drain()
+                service._migrating = "qa"  # a migration holds the choreography lock
+                try:
+                    primaries[shard].stop()
+                    deadline = time.monotonic() + 30.0
+                    while time.monotonic() < deadline:
+                        service.drain()  # drains reach the dead worker directly
+                finally:
+                    service._migrating = None
+        # Refused before any promotion ran: no ReplicationError in the chain.
+        assert not isinstance(excinfo.value.__cause__, ReplicationError)
+        assert service.promotions == []
+
+    def test_planned_promotion_refused_while_migrating(self, server_farm):
+        service, _, _ = standby_service(server_farm)
+        from repro.errors import RuntimeStateError
+
+        with service:
+            service._migrating = "qa"
+            try:
+                with pytest.raises(RuntimeStateError, match="while query 'qa' is migrating"):
+                    service.promote(0)
+            finally:
+                service._migrating = None
+        assert service.promotions == []
+
+    def test_promote_without_standbys_configured_raises(self, server_farm):
+        _, addresses = server_farm(1)
+        config = RuntimeConfig(shards=1, backend="tcp", worker_addresses=addresses)
+        service = StreamingQueryService(WINDOW, config)
+        service.register("q", "a+")
+        with service:
+            assert service.replication is None
+            with pytest.raises(ReplicationError, match="no replication manager"):
+                service.promote(0)
+
+    def test_replication_metrics_cover_shipping_and_promotion(self, server_farm):
+        stream = make_stream(800)
+        service, primaries, _ = standby_service(server_farm)
+        with service:
+            shard = service.router.shard_of("qa")
+            service.ingest(stream[:300])
+            service.drain()
+            text = service.metrics_text(refresh=True)
+            for series in (
+                "repro_standby_connected",
+                "repro_replication_lag_records",
+                "repro_replication_shipped_records_total",
+                "repro_replication_acked_lsn",
+                "repro_promotions_total",
+            ):
+                assert series in text
+            assert f'repro_standby_connected{{shard="{shard}"}} 1' in text
+            primaries[shard].stop()
+            service.ingest(stream[300:])
+            service.drain()
+            text = service.metrics_text(refresh=True)
+        assert f'repro_promotions_total{{shard="{shard}"}} 1' in text
+        assert f'repro_promotion_replayed_records_total{{shard="{shard}"}} 0' in text
+        assert f'repro_standby_connected{{shard="{shard}"}} 0' in text  # consumed
+
+
+# --------------------------------------------------------------------- #
+# Differential chaos: random streams, random kill points
+# --------------------------------------------------------------------- #
+
+
+class TestDifferentialFailover:
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        kill_fraction=st.floats(min_value=0.1, max_value=0.9),
+        deletions=st.sampled_from([0.0, 0.1, 0.2]),
+        victim_query=st.sampled_from(sorted(QUERIES)),
+    )
+    def test_promoted_run_matches_uninterrupted_engine(
+        self, seed, kill_fraction, deletions, victim_query
+    ):
+        """Whatever dies, whenever: the promoted stream is bit-identical."""
+        stream = make_stream(700, seed=seed, deletions=deletions)
+        expected = engine_events(stream)
+        primaries, primary_addresses = start_servers(2)
+        standbys, standby_addresses = start_servers(2)
+        try:
+            config = RuntimeConfig(
+                shards=2,
+                backend="tcp",
+                batch_size=8,
+                worker_addresses=primary_addresses,
+                standby_addresses=standby_addresses,
+                tcp_read_timeout=15.0,
+            )
+            service = StreamingQueryService(WINDOW, config)
+            for name, expression in QUERIES.items():
+                service.register(name, expression)
+            with service:
+                shard = service.router.shard_of(victim_query)
+                kill_at = max(1, int(len(stream) * kill_fraction))
+                service.ingest(stream[:kill_at])
+                primaries[shard].stop()
+                service.ingest(stream[kill_at:])
+                service.drain()
+                events = service_events(service)
+            assert events == expected
+            assert len(service.promotions) == 1
+            assert service.promotions[0]["shard"] == shard
+            assert service.promotions[0]["replayed_records"] == 0
+        finally:
+            stop_servers(primaries)
+            stop_servers(standbys)

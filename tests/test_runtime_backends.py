@@ -15,6 +15,7 @@ import pytest
 from repro import RuntimeStateError, StreamingRPQEngine, WindowSpec, sgt
 from repro.datasets.synthetic import UniformStreamGenerator
 from repro.graph.stream import with_deletions
+from conftest import ALL_BACKENDS
 from repro.runtime import BACKENDS, RuntimeConfig, StreamingQueryService
 
 QUERIES = {
@@ -63,7 +64,7 @@ def service_events(stream, config, queries=QUERIES, window=WINDOW):
 
 
 class TestCrossBackendParity:
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_backend_matches_engine_on_10k_tuples_with_deletions(self, backend, make_runtime_config):
         """Acceptance: identical result stream — order, content, deletions."""
         stream = synthetic_stream(10_000, deletion_ratio=0.1)

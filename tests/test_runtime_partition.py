@@ -14,6 +14,7 @@ import pytest
 from repro import RuntimeStateError, StreamingRPQEngine, WindowSpec, sgt
 from repro.datasets.synthetic import UniformStreamGenerator
 from repro.graph.stream import with_deletions
+from conftest import ALL_BACKENDS
 from repro.runtime import (
     BACKENDS,
     LoadAwarePolicy,
@@ -47,7 +48,7 @@ def service_query_events(service, name="q"):
 
 
 class TestPartitionedParity:
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_four_partitions_match_engine_on_10k_tuples(self, backend, make_runtime_config):
         """The headline acceptance criterion: K=4, 10k tuples, deletions."""
         stream = synthetic_stream(10_000)
@@ -62,7 +63,7 @@ class TestPartitionedParity:
         assert events == expected
         assert summary["partitioned"]["q"] == {f"q::p{i}": i for i in range(4)}
 
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_live_split_mid_stream_matches_engine(self, backend, make_runtime_config):
         stream = synthetic_stream(10_000)
         expected = engine_events(stream)
@@ -343,7 +344,7 @@ class TestWhaleSplittingPolicy:
         ]
         assert LoadAwarePolicy().propose(shards) == []
 
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_load_aware_service_splits_the_whale_live(self, backend, make_runtime_config):
         """End to end: a skewed service splits its whale and stays exact."""
         stream = synthetic_stream(8_000)
