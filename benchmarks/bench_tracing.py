@@ -1,0 +1,190 @@
+"""Tracing overhead — sampled-off and 1%-sampled vs untraced ingestion.
+
+Not a figure of the paper: this benchmark gates the distributed-tracing
+layer.  One workload (two persistent queries over a uniform labelled
+stream with deletions, 2 shards), three modes:
+
+* **untraced** — ``trace_sample_rate=0.0``: the tracer exists but
+  :attr:`Tracer.enabled` is false; the ingest hot path reads one
+  attribute and does nothing else.  This is the baseline.
+* **sampled-off** — ``trace_sample_rate=1e-7``: the tracer is *armed*
+  (every unit of work draws from the sampler RNG) but effectively never
+  samples.  Measures the cost of the per-batch coin flip alone.
+* **1%-sampled** — ``trace_sample_rate=0.01``: the production-realistic
+  configuration; ~1% of shard batches carry a context, open spans on
+  both sides of the wire and feed the event-latency histogram.
+
+Each mode runs ``_ROUNDS`` times and the best throughput of each is
+compared (best-of damps scheduler noise; all bests ran on the same host,
+so machine speed cancels out).  The headlines are
+``sampled_off_relative_throughput`` (gate: >= 0.97) and
+``sampled_1pct_relative_throughput`` (gate: >= 0.95), both relative to
+the untraced baseline.  All modes must produce identical result streams
+— the trace context rides beside the batch payload, never inside it —
+so the benchmark doubles as the bit-exactness check.  The JSON record
+lands in ``results/BENCH_tracing.json`` and is gated by
+``check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from repro.datasets.synthetic import UniformStreamGenerator
+from repro.graph.stream import with_deletions
+from repro.graph.window import WindowSpec
+from repro.runtime import RuntimeConfig, StreamingQueryService
+
+QUERIES = {"chains": "a+", "mixed": "b a*"}
+
+_SCALES = {
+    "tiny": (4_000, 30),
+    "small": (10_000, 60),
+    "medium": (30_000, 120),
+}
+
+#: An armed-but-never-sampling tracer keeps at least 97% of baseline.
+_MIN_SAMPLED_OFF_RELATIVE = 0.97
+
+#: 1% head sampling keeps at least 95% of baseline.
+_MIN_SAMPLED_1PCT_RELATIVE = 0.95
+
+#: Timed rounds per mode; the best round of each mode is compared.  The
+#: differences under test are small (a coin flip per batch), so more
+#: rounds than the other benchmarks to damp scheduler noise.
+_ROUNDS = 5
+
+_MODES = (
+    ("untraced", 0.0),
+    ("sampled_off", 1e-7),
+    ("sampled_1pct", 0.01),
+)
+
+
+def build_workload(scale: str):
+    num_edges, window_size = _SCALES[scale]
+    generator = UniformStreamGenerator(
+        num_vertices=120, labels=("a", "b", "noise"), edges_per_timestamp=6, seed=47
+    )
+    stream = with_deletions(list(generator.generate(num_edges)), 0.05, seed=47)
+    return stream, WindowSpec(size=window_size, slide=max(1, window_size // 10))
+
+
+def run_service(stream, window, sample_rate: float):
+    """One timed ingest run; returns (throughput record, result events)."""
+    config = RuntimeConfig(shards=2, batch_size=128, trace_sample_rate=sample_rate)
+    service = StreamingQueryService(window, config)
+    for name, expression in QUERIES.items():
+        service.register(name, expression)
+    service.start()
+    started = time.perf_counter()
+    service.ingest(stream)
+    service.drain()
+    elapsed = time.perf_counter() - started
+    summary = service.summary()  # harvests worker spans + latency states
+    events = {
+        name: [(e.source, e.target, e.timestamp, e.positive) for e in service.results(name).events]
+        for name in QUERIES
+    }
+    spans = len(service.traces_snapshot())
+    service.stop()
+    record = {
+        "wall_seconds": elapsed,
+        "throughput_eps": len(stream) / elapsed,
+        "spans": spans,
+    }
+    latency = summary["totals"].get("event_latency")
+    if latency is not None:
+        record["sampled_tuples"] = latency["count"]
+    return record, events
+
+
+def tracing(scale: str):
+    """Best-of-``_ROUNDS`` throughput per mode, parity-checked."""
+    stream, window = build_workload(scale)
+    rounds = {mode: [] for mode, _ in _MODES}
+    expected = None
+    run_service(stream, window, 0.0)  # warmup: imports, allocator, caches
+    for _ in range(_ROUNDS):
+        for mode, sample_rate in _MODES:
+            record, events = run_service(stream, window, sample_rate)
+            if expected is None:
+                expected = events
+            assert events == expected, f"{mode} run diverged from the first run's results"
+            rounds[mode].append(record)
+    best = {
+        mode: max(records, key=lambda record: record["throughput_eps"])
+        for mode, records in rounds.items()
+    }
+    baseline = best["untraced"]["throughput_eps"]
+    relatives = {
+        "sampled_off": best["sampled_off"]["throughput_eps"] / baseline,
+        "sampled_1pct": best["sampled_1pct"]["throughput_eps"] / baseline,
+    }
+    return len(stream), rounds, best, relatives
+
+
+def render_tracing(num_tuples, rounds, best, relatives) -> str:
+    lines = [
+        f"Tracing — {num_tuples} tuples, {len(QUERIES)} queries, 2 shards, "
+        f"best of {_ROUNDS} rounds",
+        f"{'mode':<14} {'wall s':>8} {'eps':>12} {'spans':>7}",
+    ]
+    for mode, _ in _MODES:
+        row = best[mode]
+        lines.append(
+            f"{mode:<14} {row['wall_seconds']:>8.2f} {row['throughput_eps']:>12,.0f} "
+            f"{row['spans']:>7}"
+        )
+    lines.append(
+        f"sampled-off relative throughput: {relatives['sampled_off']:.3f}x "
+        f"(gate: >= {_MIN_SAMPLED_OFF_RELATIVE})"
+    )
+    lines.append(
+        f"1%-sampled relative throughput: {relatives['sampled_1pct']:.3f}x "
+        f"(gate: >= {_MIN_SAMPLED_1PCT_RELATIVE})"
+    )
+    return "\n".join(lines)
+
+
+def write_json(path, scale, num_tuples, rounds, best, relatives) -> None:
+    """Emit the machine-readable trajectory record (BENCH_tracing.json)."""
+    record = {
+        "benchmark": "tracing",
+        "scale": scale,
+        "num_tuples": num_tuples,
+        "queries": list(QUERIES),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "rounds": rounds,
+        "best": best,
+        "sampled_off_relative_throughput": relatives["sampled_off"],
+        "sampled_1pct_relative_throughput": relatives["sampled_1pct"],
+    }
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_tracing(benchmark, save_result, results_dir, bench_scale):
+    num_tuples, rounds, best, relatives = benchmark.pedantic(
+        tracing, args=(bench_scale,), rounds=1, iterations=1
+    )
+    save_result("tracing", render_tracing(num_tuples, rounds, best, relatives))
+    json_path = results_dir / "BENCH_tracing.json"
+    write_json(json_path, bench_scale, num_tuples, rounds, best, relatives)
+    print(f"[saved to {json_path}]")
+
+    # Acceptance: the armed-but-idle sampler costs <= 3%, 1% sampling <= 5%.
+    assert relatives["sampled_off"] >= _MIN_SAMPLED_OFF_RELATIVE, (
+        f"armed-but-off tracing kept only {relatives['sampled_off']:.3f}x of the untraced "
+        f"throughput; the acceptance bar is >= {_MIN_SAMPLED_OFF_RELATIVE}x"
+    )
+    assert relatives["sampled_1pct"] >= _MIN_SAMPLED_1PCT_RELATIVE, (
+        f"1%-sampled tracing kept only {relatives['sampled_1pct']:.3f}x of the untraced "
+        f"throughput; the acceptance bar is >= {_MIN_SAMPLED_1PCT_RELATIVE}x"
+    )
+    assert best["sampled_1pct"]["spans"] > 0, "1% sampling recorded no spans"

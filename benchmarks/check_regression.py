@@ -2,7 +2,7 @@
 
 CI re-runs ``bench_runtime_scaling.py``, ``bench_rebalancing.py``,
 ``bench_partitioned_whale.py``, ``bench_durability.py``,
-``bench_observability.py``, ``bench_columnar.py``,
+``bench_observability.py``, ``bench_tracing.py``, ``bench_columnar.py``,
 ``bench_network.py`` and ``bench_replication.py`` on every push to main
 and compares the fresh
 records against the ones committed in ``results/``.  Raw throughput numbers are useless across machines (a
@@ -20,6 +20,14 @@ record.  The observability record (``instrumented_relative_throughput``,
 instrumented over uninstrumented ingestion of the same run set) also
 carries an *absolute floor* of 0.95: instrumentation overhead above 5%
 fails the gate regardless of what the committed record says.  The
+tracing record carries two absolute floors of the same kind:
+``sampled_off_relative_throughput`` must stay above 0.97 (arming the
+sampler without sampling is one RNG draw per batch) and
+``sampled_1pct_relative_throughput`` above 0.95 (1% head sampling is the
+production-realistic configuration) — both relative to the untraced
+baseline of the same run set, with the widened relative tolerance of the
+network gates because the priced effect is a few percent while
+same-host scheduler noise swings runs by more than that.  The
 columnar record carries two absolute floors of its own:
 ``columnar_vs_scalar_speedup`` must stay above 1.1x (the batched path
 must remain a win over per-tuple dispatch — see ``bench_columnar.py``
@@ -74,6 +82,7 @@ REBALANCING_RESULT = Path("results") / "BENCH_rebalancing.json"
 PARTITIONED_WHALE_RESULT = Path("results") / "BENCH_partitioned_whale.json"
 DURABILITY_RESULT = Path("results") / "BENCH_durability.json"
 OBSERVABILITY_RESULT = Path("results") / "BENCH_observability.json"
+TRACING_RESULT = Path("results") / "BENCH_tracing.json"
 COLUMNAR_RESULT = Path("results") / "BENCH_columnar.json"
 NETWORK_RESULT = Path("results") / "BENCH_network.json"
 REPLICATION_RESULT = Path("results") / "BENCH_replication.json"
@@ -81,6 +90,11 @@ REPLICATION_RESULT = Path("results") / "BENCH_replication.json"
 #: Absolute floor on the observability record's headline: instrumented
 #: ingestion must keep at least this fraction of uninstrumented throughput.
 OBSERVABILITY_FLOOR = 0.95
+
+#: Absolute floors on the tracing record: an armed-but-never-sampling
+#: tracer must keep 97% of untraced throughput, 1% head sampling 95%.
+TRACING_SAMPLED_OFF_FLOOR = 0.97
+TRACING_SAMPLED_FLOOR = 0.95
 
 #: Absolute floors on the columnar record: the numpy fast path must beat
 #: per-tuple scalar dispatch, and the pure-Python fallback must not land
@@ -272,6 +286,22 @@ def main(argv: list[str] | None = None) -> int:
         "observability",
         key="instrumented_relative_throughput",
         floor=OBSERVABILITY_FLOOR,
+    )
+    regressions += compare_scalar_metric(
+        repo_root,
+        max(args.tolerance, NETWORK_MIN_TOLERANCE),
+        TRACING_RESULT,
+        "tracing-off",
+        key="sampled_off_relative_throughput",
+        floor=TRACING_SAMPLED_OFF_FLOOR,
+    )
+    regressions += compare_scalar_metric(
+        repo_root,
+        max(args.tolerance, NETWORK_MIN_TOLERANCE),
+        TRACING_RESULT,
+        "tracing-1pct",
+        key="sampled_1pct_relative_throughput",
+        floor=TRACING_SAMPLED_FLOOR,
     )
     regressions += compare_scalar_metric(
         repo_root,

@@ -23,6 +23,8 @@ Usage (after ``pip install -e .`` or with ``PYTHONPATH=src``)::
                              --worker 127.0.0.1:7300 --worker 127.0.0.1:7301
     python -m repro migrate  --checkpoint state.json --query places --to-shard 2
     python -m repro split    --checkpoint state.json --query places --partitions 4
+    python -m repro trace    --query "isLocatedIn+" --input yago.csv \
+                             --window 40 --shards 2 --out trace.json
     python -m repro experiment --figure 7
     python -m repro experiment --table 4 --scale tiny
 
@@ -55,9 +57,12 @@ Observability: ``run``, ``serve`` and ``recover`` accept ``--log-level``
 (default ``info``) and ``--log-format`` (``text`` or ``json``) — runtime
 diagnostics go to stderr through the ``repro`` logger hierarchy while
 results and summaries stay on stdout — and ``serve --metrics-port PORT``
-exposes ``/metrics`` (Prometheus text) and ``/healthz`` while the service
-ingests (``0`` picks an ephemeral port, logged at startup).  See
-``docs/OBSERVABILITY.md``.
+exposes ``/metrics`` (Prometheus text), ``/healthz`` and
+``/debug/traces`` while the service ingests (``0`` picks an ephemeral
+port, logged at startup).  ``serve --trace-sample-rate P`` head-samples
+distributed traces across the shard workers, and ``trace`` runs a
+one-shot traced workload and writes Chrome trace-event JSON loadable in
+Perfetto or ``chrome://tracing``.  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -308,9 +313,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="PORT",
-        help="serve /metrics (Prometheus text) and /healthz on this port while "
-        "ingesting (0 = pick an ephemeral port; the bound port is printed on "
-        "stdout as 'metrics port N' at startup)",
+        help="serve /metrics (Prometheus text), /healthz and /debug/traces on "
+        "this port while ingesting (0 = pick an ephemeral port; the bound port "
+        "is printed on stdout as 'metrics port N' at startup)",
+    )
+    serve_parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="head-sample this fraction of ingested work into distributed "
+        "traces spanning coordinator and shard workers (0 disables tracing; "
+        "sampled spans are served on /debug/traces with --metrics-port)",
     )
     _add_worker_addresses_argument(serve_parser)
     _add_standby_addresses_argument(serve_parser)
@@ -399,6 +413,47 @@ def build_parser() -> argparse.ArgumentParser:
         "ephemeral port; the bound address is printed on stdout)",
     )
     _add_logging_arguments(worker_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="run a traced workload and write Chrome trace-event JSON"
+    )
+    trace_parser.add_argument(
+        "--query",
+        action="append",
+        required=True,
+        dest="queries",
+        metavar="[NAME=]EXPR",
+        help="persistent query to register (repeatable); unnamed queries become q0, q1, ...",
+    )
+    trace_parser.add_argument("--input", required=True, help="CSV stream produced by 'generate' or write_csv")
+    trace_parser.add_argument("--window", type=int, required=True, help="window size |W| in time units")
+    trace_parser.add_argument("--slide", type=int, default=1, help="slide interval beta in time units")
+    trace_parser.add_argument("--shards", type=int, default=2, help="number of shard workers")
+    trace_parser.add_argument("--batch-size", type=int, default=64, help="tuples per worker batch")
+    trace_parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="threading",
+        help="worker concurrency backend; 'multiprocessing' runs shards on real cores",
+    )
+    trace_parser.add_argument(
+        "--deletions", type=float, default=0.0, help="inject this ratio of explicit deletions"
+    )
+    trace_parser.add_argument("--limit", type=int, default=None, help="process only the first N tuples")
+    trace_parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=1.0,
+        metavar="P",
+        help="head-sampling probability for the traced run (default 1.0: trace everything)",
+    )
+    trace_parser.add_argument(
+        "--out",
+        default="trace.json",
+        help="write the Chrome trace-event JSON here (open in Perfetto or chrome://tracing)",
+    )
+    _add_worker_addresses_argument(trace_parser)
+    _add_logging_arguments(trace_parser)
 
     experiment_parser = subparsers.add_parser("experiment", help="regenerate a table or figure of the paper")
     target = experiment_parser.add_mutually_exclusive_group(required=True)
@@ -521,6 +576,7 @@ def _make_runtime_config(args: argparse.Namespace) -> RuntimeConfig:
             wal_fsync=getattr(args, "fsync", "batch"),
             checkpoint_interval=getattr(args, "checkpoint_interval", 0),
             metrics_port=getattr(args, "metrics_port", None),
+            trace_sample_rate=getattr(args, "trace_sample_rate", 0.0),
             log_level=getattr(args, "log_level", "warning"),
             log_format=getattr(args, "log_format", "text"),
         )
@@ -897,6 +953,63 @@ def _command_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    """Run a traced workload and write Chrome trace-event JSON.
+
+    A one-shot ``serve``-like run with head sampling on (default 100%):
+    the stream is ingested and drained, the workers' buffered spans are
+    harvested through the ``METRICS`` frames, and the merged span set is
+    rendered with
+    :func:`~repro.runtime.observability.chrome_trace_events` to ``--out``
+    — loadable in Perfetto (https://ui.perfetto.dev) or
+    ``chrome://tracing``, one lane per process, one row per shard.
+    """
+    import json
+
+    from .runtime.observability import chrome_trace_events, connected_traces
+
+    configure_logging(args.log_level, args.log_format)
+    queries = _parse_named_queries(args.queries)
+    config = _make_runtime_config(args)
+    if config.trace_sample_rate <= 0.0:
+        raise SystemExit("--trace-sample-rate must be > 0 for 'repro trace' to record anything")
+    stream = _load_stream(args)
+    window = WindowSpec(size=args.window, slide=args.slide)
+    service = StreamingQueryService(window, config)
+    for name, expression in queries.items():
+        try:
+            service.register(name, expression)
+        except ValueError as exc:
+            raise SystemExit(f"cannot register {name!r}: {exc}") from None
+    try:
+        with service:
+            service.ingest(stream)
+            service.drain()
+            summary = service.summary()  # harvests the workers' buffered spans
+    except ShardWorkerError as exc:
+        print(f"status           : failed: {exc.__cause__ or exc}")
+        return 1
+    spans = service.traces_snapshot()
+    events = chrome_trace_events(spans)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(events, handle)
+        handle.write("\n")
+    totals = summary["totals"]
+    trace_ids = {span["trace_id"] for span in spans}
+    processes = sorted({span.get("process", "unknown") for span in spans})
+    print(f"tuples ingested  : {totals['tuples_ingested']}")
+    print(f"spans recorded   : {len(spans)} in {len(trace_ids)} traces "
+          f"({len(connected_traces(spans))} connected)")
+    print(f"processes        : {', '.join(processes)}")
+    latency = totals.get("event_latency")
+    if latency and latency.get("p50_seconds") is not None:
+        print(f"event latency    : p50={latency['p50_seconds'] * 1e3:.2f}ms "
+              f"p95={latency['p95_seconds'] * 1e3:.2f}ms "
+              f"p99={latency['p99_seconds'] * 1e3:.2f}ms over {latency['count']} sampled tuples")
+    print(f"trace written to {args.out}")
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     if args.table == 1:
         print(render_table1(table1_complexity_check(scale=args.scale)))
@@ -939,6 +1052,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "split": _command_split,
         "recover": _command_recover,
         "worker": _command_worker,
+        "trace": _command_trace,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

@@ -13,6 +13,10 @@ the worker protocol's "plain scalars, strings and bytes" discipline:
 columns travel as the raw bytes of stdlib ``array`` buffers, tables as
 tuples of scalars.  On the receiving side the byte columns rebuild into
 ``array`` objects, which numpy views zero-copy (``np.frombuffer``).
+
+Tracing never touches these bytes: a sampled batch's trace context rides
+*beside* the payload as an optional trailing ``BATCH`` frame element, so
+the wire form of a batch is bit-identical whether or not it was sampled.
 """
 
 from __future__ import annotations

@@ -196,6 +196,14 @@ class RuntimeConfig:
             vectorized batch path; ``"rows"`` ships per-tuple wire forms.
             Both produce bit-identical results — this is a transport /
             performance knob, not a semantic one.
+        trace_sample_rate: probability in ``[0, 1]`` that an ingested
+            tuple's batch (and each drain/checkpoint/promotion) starts a
+            distributed trace (:mod:`repro.runtime.observability.tracing`).
+            ``0.0`` (the default) disables tracing with zero hot-path
+            cost; the value ships to every worker inside the config, so
+            remote and spawned workers record spans at the same rate.
+            Sampling never perturbs the result stream — the trace context
+            rides *next to* frame payloads, never inside them.
 
     Raises:
         ConfigError: when any value is out of range, names an unknown
@@ -226,6 +234,7 @@ class RuntimeConfig:
     log_level: str = "warning"
     log_format: str = "text"
     wire_format: str = "columnar"
+    trace_sample_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -361,6 +370,11 @@ class RuntimeConfig:
         if self.wire_format not in WIRE_FORMATS:
             raise ConfigError(
                 f"unknown wire format {self.wire_format!r}; valid choices: {', '.join(WIRE_FORMATS)}"
+            )
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigError(
+                f"trace_sample_rate must be within [0.0, 1.0] "
+                f"(a head-sampling probability), got {self.trace_sample_rate}"
             )
 
     def with_shards(self, shards: int) -> "RuntimeConfig":

@@ -1,6 +1,6 @@
-"""Observability layer: metrics registry, Prometheus/health endpoints, structured logging.
+"""Observability layer: metrics, tracing, Prometheus/health endpoints, structured logging.
 
-Three dependency-free modules (stdlib only):
+Four dependency-free modules (stdlib only):
 
 * :mod:`~repro.runtime.observability.registry` — counters, gauges and
   log-bucketed histograms grouped into labelled families, rendered to the
@@ -11,9 +11,13 @@ Three dependency-free modules (stdlib only):
   the ``repro`` namespace, text/JSON formatters that surface ``extra``
   fields, and operation IDs correlating multi-frame operations
   (migrate / split / recover) across coordinator and worker logs.
+* :mod:`~repro.runtime.observability.tracing` — distributed tracing:
+  head-sampled span recording whose trace context rides the typed
+  protocol frames, end-to-end event-latency stamps, and a Chrome
+  trace-event renderer (Perfetto-loadable).
 * :mod:`~repro.runtime.observability.server` — a stdlib ``http.server``
-  thread exposing ``/metrics`` and ``/healthz`` for a running
-  :class:`~repro.runtime.service.StreamingQueryService`.
+  thread exposing ``/metrics``, ``/healthz`` and ``/debug/traces`` for a
+  running :class:`~repro.runtime.service.StreamingQueryService`.
 """
 
 from .logs import (
@@ -30,21 +34,43 @@ from .registry import (
     Histogram,
     MetricFamily,
     MetricsRegistry,
+    histogram_quantiles,
+    merge_histogram_states,
 )
 from .server import CONTENT_TYPE_METRICS, ObservabilityServer
+from .tracing import (
+    DEFAULT_TRACE_CAPACITY,
+    SLOW_SPAN_SECONDS,
+    Tracer,
+    chrome_trace_events,
+    connected_traces,
+    make_context,
+    parse_context,
+    span_forest,
+)
 
 __all__ = [
     "CONTENT_TYPE_METRICS",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_TRACE_CAPACITY",
     "Gauge",
     "Histogram",
     "JsonFormatter",
     "MetricFamily",
     "MetricsRegistry",
     "ObservabilityServer",
+    "SLOW_SPAN_SECONDS",
     "TextFormatter",
+    "Tracer",
+    "chrome_trace_events",
     "configure_logging",
+    "connected_traces",
     "get_logger",
+    "histogram_quantiles",
+    "make_context",
+    "merge_histogram_states",
     "new_operation_id",
+    "parse_context",
+    "span_forest",
 ]

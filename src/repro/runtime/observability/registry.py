@@ -35,6 +35,8 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "format_value",
+    "merge_histogram_states",
+    "histogram_quantiles",
 ]
 
 #: Log-spaced latency buckets (seconds) covering 100 us to 10 s — the span
@@ -209,6 +211,72 @@ class Histogram:
             pairs.append((bound, running))
         pairs.append((math.inf, running + self.counts[-1]))
         return pairs
+
+
+def merge_histogram_states(states: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+    """Sum several :meth:`Histogram.state` dicts sharing one bucket schema.
+
+    Used by the coordinator to fold the per-shard ``event_latency``
+    histograms (each adopted verbatim from a worker snapshot) into one
+    service-wide distribution for :func:`histogram_quantiles`.  States
+    with mismatched bounds raise: quantile estimation over misaligned
+    buckets would silently lie.
+    """
+    if not states:
+        raise ValueError("cannot merge zero histogram states")
+    bounds = tuple(float(bound) for bound in states[0]["bounds"])  # type: ignore[union-attr]
+    counts = [0] * (len(bounds) + 1)
+    total_sum = 0.0
+    total_count = 0
+    for state in states:
+        if tuple(float(bound) for bound in state["bounds"]) != bounds:  # type: ignore[union-attr]
+            raise ValueError("histogram states have mismatched bucket bounds")
+        for index, count in enumerate(state["counts"]):  # type: ignore[union-attr,arg-type]
+            counts[index] += int(count)
+        total_sum += float(state["sum"])  # type: ignore[arg-type]
+        total_count += int(state["count"])  # type: ignore[arg-type]
+    return {"bounds": list(bounds), "counts": counts, "sum": total_sum, "count": total_count}
+
+
+def histogram_quantiles(
+    state: Mapping[str, object], quantiles: Sequence[float]
+) -> List[Optional[float]]:
+    """Estimate quantiles from one histogram state by linear interpolation.
+
+    Standard Prometheus-style estimation: find the bucket holding the
+    target rank, interpolate linearly within its bounds (the first bucket
+    interpolates from 0, the overflow bucket reports its lower bound — the
+    honest answer for values beyond the last finite bound).  Returns
+    ``None`` per quantile when the histogram is empty.
+    """
+    bounds = [float(bound) for bound in state["bounds"]]  # type: ignore[union-attr]
+    counts = [int(count) for count in state["counts"]]  # type: ignore[union-attr]
+    total = sum(counts)
+    results: List[Optional[float]] = []
+    for quantile in quantiles:
+        if total == 0:
+            results.append(None)
+            continue
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile must be within [0, 1], got {quantile}")
+        rank = quantile * total
+        running = 0
+        value: Optional[float] = None
+        for index, count in enumerate(counts):
+            if running + count >= rank and count > 0:
+                if index >= len(bounds):  # overflow bucket: clamp to the last bound
+                    value = bounds[-1]
+                else:
+                    lower = bounds[index - 1] if index > 0 else 0.0
+                    upper = bounds[index]
+                    fraction = (rank - running) / count
+                    value = lower + (upper - lower) * fraction
+                break
+            running += count
+        if value is None:  # rank landed past every bucket (numerical edge)
+            value = bounds[-1]
+        results.append(value)
+    return results
 
 
 #: Any child a family can hold.

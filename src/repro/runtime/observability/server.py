@@ -1,14 +1,16 @@
-"""HTTP exposition: ``/metrics`` (Prometheus text) and ``/healthz`` on a daemon thread.
+"""HTTP exposition: ``/metrics``, ``/healthz`` and ``/debug/traces`` on a daemon thread.
 
-The server is deliberately thin: both endpoints call *read-only*,
+The server is deliberately thin: every endpoint calls *read-only*,
 thread-safe methods on the owning
 :class:`~repro.runtime.service.StreamingQueryService` —
 ``metrics_text()`` renders the coordinator-side registry under its lock,
-and ``health()`` inspects worker transport liveness and sticky failures
-without issuing any protocol frames.  The scrape thread therefore never
-touches the (single-consumer) worker reply queues; fresh worker snapshots
-are pulled into the registry by the coordinator thread itself on a time
-gate during ingestion.
+``health()`` inspects worker transport liveness and sticky failures
+without issuing any protocol frames, and ``traces_snapshot()`` copies
+the tracer's lock-protected span ring.  The scrape thread therefore
+never touches the (single-consumer) worker reply queues; fresh worker
+snapshots (including the workers' drained spans) are pulled into the
+registry by the coordinator thread itself on a time gate during
+ingestion.
 """
 
 from __future__ import annotations
@@ -29,7 +31,7 @@ _LOG = get_logger("runtime.observability.server")
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Request handler serving ``/metrics`` and ``/healthz`` for one service."""
+    """Request handler serving ``/metrics``, ``/healthz`` and ``/debug/traces``."""
 
     server_version = "repro-observability/1.0"
 
@@ -53,6 +55,10 @@ class _Handler(BaseHTTPRequestHandler):
                 status = 200 if health.get("healthy") else 503
                 body = (json.dumps(health, sort_keys=True) + "\n").encode("utf-8")
                 self._respond(status, "application/json; charset=utf-8", body)
+            elif path == "/debug/traces":
+                spans = service.traces_snapshot()
+                body = (json.dumps({"spans": spans}, sort_keys=True) + "\n").encode("utf-8")
+                self._respond(200, "application/json; charset=utf-8", body)
             else:
                 self._respond(404, "text/plain; charset=utf-8", b"not found\n")
         except Exception:  # pragma: no cover - defensive: a scrape must never kill the server
@@ -68,7 +74,7 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ObservabilityServer:
-    """Serve a service's ``/metrics`` and ``/healthz`` from a daemon thread.
+    """Serve a service's ``/metrics``, ``/healthz`` and ``/debug/traces`` from a daemon thread.
 
     ``port=0`` binds an ephemeral port; :meth:`start` returns the actual
     bound port so tests and the CLI can report a scrapeable address.
@@ -101,7 +107,7 @@ class ObservabilityServer:
             daemon=True,
         )
         self._thread.start()
-        _LOG.info("observability endpoints on port %d (/metrics, /healthz)", self.port)
+        _LOG.info("observability endpoints on port %d (/metrics, /healthz, /debug/traces)", self.port)
         return self.port
 
     def stop(self) -> None:

@@ -1,0 +1,327 @@
+"""Distributed tracing: spans, head sampling, and trace-context propagation.
+
+The runtime's frames already carry an *operation id* on the lifecycle ops
+(``REGISTER``/``RESTORE``/``MIGRATE`` — see ``protocol.py``).  This module
+generalizes that slot into a **trace context** that rides the data-path
+frames too (``BATCH``, ``DRAIN``, ``CHECKPOINT``, ``REPLICATE``,
+``PROMOTE``), so one sampled event yields a *connected span tree* across
+the coordinator, its shard workers (threading / multiprocessing / tcp)
+and a hot-standby session.
+
+Design constraints, in order:
+
+* **Zero hot-path cost when disabled.** ``trace_sample_rate=0.0`` (the
+  default) leaves :attr:`Tracer.enabled` false; the coordinator's ingest
+  loop checks that one attribute and does nothing else.
+* **Sampling must never perturb results.** The context travels as an
+  *optional trailing frame element* next to the payload — never inside
+  the payload bytes — so a sampled batch is byte-identical to an
+  unsampled one as far as evaluation is concerned.  Backend-parity
+  suites assert bit-exactness at 0%, 1% and 100% sampling.
+* **Dependency-free.** Span ids are ``uuid4`` hexes, the ring buffer is
+  a ``collections.deque(maxlen=...)`` under a lock, and the sampler is a
+  *private* ``random.Random`` instance so test suites seeding the global
+  RNG cannot couple to (or be perturbed by) the tracing layer.
+
+Wire form of a trace context (crosses the tcp codec untouched)::
+
+    (trace_id: str, parent_span_id: str, stamp_wall: float)
+
+``stamp_wall`` is the routing-time ``time.time()`` of the sampled tuple;
+the worker closes the end-to-end latency at result emission
+(``event_latency`` histogram -> ``repro_event_latency_seconds``).  Spans
+record a wall-clock start plus a *monotonic* duration, so durations are
+skew-free while cross-process alignment is as good as the hosts' clocks.
+
+Spans are plain dicts (JSON- and codec-friendly)::
+
+    {"trace_id", "span_id", "parent_id", "name", "process", "shard",
+     "start", "duration", ...attrs}
+
+Workers ship their buffered spans to the coordinator inside the existing
+``METRICS`` snapshot (version-tolerant ``"spans"`` key, drained on
+read); the coordinator ingests them into its own ring, serves the merged
+view on ``/debug/traces``, and :func:`chrome_trace_events` renders it as
+Chrome trace-event JSON (one *pid* lane per process, one *tid* lane per
+shard) loadable in Perfetto or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .logs import get_logger
+
+__all__ = [
+    "Tracer",
+    "make_context",
+    "parse_context",
+    "chrome_trace_events",
+    "connected_traces",
+    "span_forest",
+    "DEFAULT_TRACE_CAPACITY",
+    "SLOW_SPAN_SECONDS",
+]
+
+_LOG = get_logger("runtime.tracing")
+
+#: Spans kept per process; the ring drops the oldest beyond this.
+DEFAULT_TRACE_CAPACITY = 4096
+
+#: A finished span slower than this logs a rate-limited warning carrying
+#: its trace id, cross-linking logs and traces.
+SLOW_SPAN_SECONDS = 1.0
+
+#: Minimum seconds between two slow-span warnings (rate limit).
+SLOW_SPAN_WARN_INTERVAL = 10.0
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def make_context(trace_id: str, parent_span_id: str, stamp_wall: float) -> Tuple[str, str, float]:
+    """Build the frame-borne trace context tuple."""
+    return (trace_id, parent_span_id, stamp_wall)
+
+
+def parse_context(ctx) -> Optional[Tuple[str, str, float]]:
+    """Validate a frame-borne trace context; ``None`` when absent/foreign.
+
+    Version tolerance: an old coordinator sends no context, a new worker
+    must also survive whatever a *future* coordinator appends — anything
+    that is not a ``(str, str, number)`` triple is treated as absent
+    rather than an error.
+    """
+    if (
+        isinstance(ctx, tuple)
+        and len(ctx) >= 3
+        and isinstance(ctx[0], str)
+        and isinstance(ctx[1], str)
+        and isinstance(ctx[2], (int, float))
+    ):
+        return (ctx[0], ctx[1], float(ctx[2]))
+    return None
+
+
+class Tracer:
+    """Head-sampling span recorder with a bounded, lock-protected ring.
+
+    Args:
+        sample_rate: probability in ``[0, 1]`` that a new unit of work
+            (an ingested tuple's batch, a drain, a checkpoint) starts a
+            trace.  ``0.0`` disables the tracer entirely.
+        process: lane label stamped on every span this tracer records
+            (``coordinator``, ``worker-2``, ``standby-1``, ...).
+        capacity: ring-buffer bound; the oldest spans beyond it drop.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 0.0,
+        process: str = "coordinator",
+        capacity: int = DEFAULT_TRACE_CAPACITY,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be within [0, 1], got {sample_rate}")
+        self.sample_rate = float(sample_rate)
+        self.process = process
+        #: One attribute read decides the ingest hot path; rate 0.0 makes
+        #: the whole layer a no-op.
+        self.enabled = self.sample_rate > 0.0
+        self._random = random.Random()  # private: never couples to the global seed
+        self._spans: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._last_slow_warning = 0.0
+        self.dropped = 0  # spans evicted by the ring bound (approximate)
+
+    # ------------------------------------------------------------------ #
+    # Sampling and span lifecycle
+    # ------------------------------------------------------------------ #
+
+    def sample(self) -> bool:
+        """One head-sampling coin flip (always false when disabled)."""
+        if not self.enabled:
+            return False
+        if self.sample_rate >= 1.0:
+            return True
+        return self._random.random() < self.sample_rate
+
+    def start_span(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        shard: Optional[int] = None,
+        **attrs,
+    ) -> Dict:
+        """Open a span; finish it with :meth:`finish` to record it.
+
+        Without ``trace_id`` a fresh trace is started (the span is the
+        root).  The returned dict carries a private monotonic anchor
+        (``_t0``) which :meth:`finish` converts into ``duration``.
+        """
+        span = {
+            "trace_id": trace_id or _new_id(),
+            "span_id": _new_id(),
+            "parent_id": parent_id,
+            "name": name,
+            "process": self.process,
+            "shard": shard,
+            "start": time.time(),
+            "duration": 0.0,
+            "_t0": time.monotonic(),
+        }
+        span.update(attrs)
+        return span
+
+    def finish(self, span: Dict, **attrs) -> Dict:
+        """Close a span: fix its duration, buffer it, warn when slow."""
+        t0 = span.pop("_t0", None)
+        if t0 is not None:
+            span["duration"] = time.monotonic() - t0
+        span.update(attrs)
+        with self._lock:
+            if len(self._spans) == self._spans.maxlen:
+                self.dropped += 1
+            self._spans.append(span)
+        if span["duration"] >= SLOW_SPAN_SECONDS:
+            now = time.monotonic()
+            if now - self._last_slow_warning >= SLOW_SPAN_WARN_INTERVAL:
+                self._last_slow_warning = now
+                _LOG.warning(
+                    "slow span %r took %.3fs",
+                    span["name"],
+                    span["duration"],
+                    extra={
+                        "trace_id": span["trace_id"],
+                        "span_id": span["span_id"],
+                        **({"shard": span["shard"]} if span.get("shard") is not None else {}),
+                    },
+                )
+        return span
+
+    def context_for(self, span: Dict, stamp_wall: Optional[float] = None) -> Tuple[str, str, float]:
+        """The frame-borne context pointing at ``span`` as the parent."""
+        return make_context(span["trace_id"], span["span_id"], stamp_wall or span["start"])
+
+    # ------------------------------------------------------------------ #
+    # Cross-process shipping and read-out
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, spans: Iterable[Dict]) -> int:
+        """Absorb spans shipped from another process's tracer."""
+        count = 0
+        with self._lock:
+            for span in spans:
+                if isinstance(span, dict) and "trace_id" in span:
+                    if len(self._spans) == self._spans.maxlen:
+                        self.dropped += 1
+                    self._spans.append(dict(span))
+                    count += 1
+        return count
+
+    def drain(self) -> List[Dict]:
+        """Remove and return every buffered span (worker -> METRICS path)."""
+        with self._lock:
+            spans = list(self._spans)
+            self._spans.clear()
+        return spans
+
+    def snapshot(self) -> List[Dict]:
+        """Copy of the buffered spans, oldest first (``/debug/traces``)."""
+        with self._lock:
+            return [dict(span) for span in self._spans]
+
+
+# ---------------------------------------------------------------------- #
+# Rendering
+# ---------------------------------------------------------------------- #
+
+
+def span_forest(spans: Sequence[Dict]) -> Dict[str, Dict[str, List[Dict]]]:
+    """Group spans by trace, keyed ``trace_id -> span_id -> children``.
+
+    Used by tests and the smoke job to assert connectivity: a trace is
+    *connected* when every non-root span's ``parent_id`` resolves to
+    another span of the same trace.
+    """
+    forest: Dict[str, Dict[str, List[Dict]]] = {}
+    for span in spans:
+        forest.setdefault(span["trace_id"], {}).setdefault(span["span_id"], [])
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent and parent in forest.get(span["trace_id"], {}):
+            forest[span["trace_id"]][parent].append(span)
+    return forest
+
+
+def connected_traces(spans: Sequence[Dict]) -> List[str]:
+    """Trace ids whose spans form one connected tree (single root)."""
+    by_trace: Dict[str, List[Dict]] = {}
+    for span in spans:
+        by_trace.setdefault(span["trace_id"], []).append(span)
+    connected = []
+    for trace_id, members in by_trace.items():
+        ids = {span["span_id"] for span in members}
+        roots = [span for span in members if not span.get("parent_id")]
+        dangling = [
+            span for span in members if span.get("parent_id") and span["parent_id"] not in ids
+        ]
+        if len(roots) == 1 and not dangling:
+            connected.append(trace_id)
+    return connected
+
+
+def chrome_trace_events(spans: Sequence[Dict]) -> List[Dict]:
+    """Render spans as Chrome trace-event JSON objects (Perfetto-loadable).
+
+    Each distinct ``process`` label becomes a *pid* lane (with an ``M``
+    ``process_name`` metadata event), each shard a *tid* lane within it.
+    Spans are complete (``"ph": "X"``) events; timestamps are
+    microseconds since the earliest span so the viewport opens on the
+    data.
+    """
+    if not spans:
+        return []
+    pids: Dict[str, int] = {}
+    events: List[Dict] = []
+    origin = min(span["start"] for span in spans)
+    for span in sorted(spans, key=lambda item: item["start"]):
+        process = span.get("process", "unknown")
+        if process not in pids:
+            pids[process] = len(pids) + 1
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pids[process],
+                    "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        tid = span.get("shard")
+        tid = 0 if tid is None else int(tid) + 1
+        args = {
+            key: value
+            for key, value in span.items()
+            if key not in ("name", "process", "start", "duration") and value is not None
+        }
+        events.append(
+            {
+                "name": span["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span["start"] - origin) * 1e6,
+                "dur": max(span["duration"], 0.0) * 1e6,
+                "pid": pids[process],
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return events

@@ -16,10 +16,13 @@ Request frames (coordinator -> worker)
 
 Two shapes travel on the request queue:
 
-``(BATCH, payload)``
+``(BATCH, payload[, trace_ctx])``
     One batch of streaming graph tuples.  Fire-and-forget: no reply; the
-    bounded request queue provides backpressure.  Two payload forms are
-    accepted (version tolerance — the worker sniffs the first element):
+    bounded request queue provides backpressure.  The optional trailing
+    ``trace_ctx`` element (see **Trace-context extensions** below) is
+    present only when the batch carries a sampled tuple; workers that do
+    not know it ignore the tail.  Two payload forms are accepted
+    (version tolerance — the worker sniffs the first element):
 
     * **rows** — a tuple of
       :meth:`~repro.graph.tuples.StreamingGraphTuple.to_wire` forms
@@ -104,8 +107,31 @@ Two shapes travel on the request queue:
     they do not know (``payload[:5]`` + optional tail), so an old
     coordinator can drive a new worker and vice versa.  The ``METRICS``
     reply is extended the same way: new keys (``batch_seconds`` histogram
-    state, per-``queries`` sub-dicts) are added beside the original
-    counters and consumers read them with ``.get()``.
+    state, per-``queries`` sub-dicts, ``event_latency`` histogram state,
+    a drained ``spans`` list) are added beside the original counters and
+    consumers read them with ``.get()``.
+
+    **Trace-context extensions (version tolerant).**  The operation-ID
+    slot generalizes to a *trace context* on the data-path frames: a
+    ``(trace_id, parent_span_id, stamp_wall)`` triple minted by the
+    coordinator's head sampler
+    (:mod:`repro.runtime.observability.tracing`).  It rides as
+
+    * an optional third ``BATCH`` element (``(BATCH, payload, ctx)``) —
+      never inside the payload bytes, so sampling cannot perturb
+      evaluation;
+    * the ``DRAIN`` payload (previously always ``None``);
+    * a ``(name, ctx)`` pair in place of the bare ``CHECKPOINT`` name;
+    * an optional trailing element on the replication session's
+      ``REPLICATE`` frame and an operation-id element on ``PROMOTE``
+      (:mod:`repro.runtime.replication`).
+
+    Workers receiving a context record their span into the same trace
+    (``parent_span_id`` becomes the parent), and close the end-to-end
+    event latency against ``stamp_wall`` (the routing-time stamp of the
+    sampled tuple).  All slots are optional and shape-checked
+    (:func:`~repro.runtime.observability.tracing.parse_context`), so
+    mixed-version fleets interoperate.
 
     ``STOP`` terminates the worker loop after replying.  When
     ``ship_state`` is true (process transport, whose memory dies with the

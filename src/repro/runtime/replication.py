@@ -45,11 +45,19 @@ Three cooperating pieces:
 Replication frame vocabulary (all frames travel in the transport's
 ``<len u32><crc32 u32><payload>`` framing)::
 
-    ("REPLICATE", ((lsn, type, idx, op, data), ...))   coordinator -> standby
+    ("REPLICATE", ((lsn, type, idx, op, data), ...)[, trace_ctx])
+                                                       coordinator -> standby
     ("RACK", applied_lsn)                              standby -> coordinator
-    ("PROMOTE", lsn, emit_results)                     coordinator -> standby
+    ("PROMOTE", lsn, emit_results[, operation_id])     coordinator -> standby
     ("PROMOTED", lsn)                                  standby -> coordinator
     ("PROMOTE_FAILED", applied_lsn, reason)            standby -> coordinator
+
+Both optional trailing elements are version tolerant (older peers send
+the short forms): ``trace_ctx`` is the frame-borne trace context of
+:mod:`repro.runtime.observability.tracing` — the standby records its
+apply run as a span of the sampled trace, which is how a failover trace
+stays connected across the promotion — and ``operation_id`` correlates
+the standby's promotion log lines with the coordinator's.
 
 Record LSNs are per shard and count the shard's record stream from 1;
 when durability is enabled they are numerically identical to the shard's
@@ -167,10 +175,14 @@ def encode_replicate(records) -> bytes:
 def decode_replicate(frame) -> Tuple[Tuple, ...]:
     """Validate a decoded ``REPLICATE`` frame; returns its records.
 
+    The frame may carry an optional trailing trace-context element
+    (ignored here — callers read it positionally), so only a minimum
+    length is enforced.
+
     Raises:
         WireProtocolError: the frame is not a well-formed ``REPLICATE``.
     """
-    if not isinstance(frame, tuple) or len(frame) != 2 or frame[0] != REPLICATE:
+    if not isinstance(frame, tuple) or len(frame) < 2 or frame[0] != REPLICATE:
         raise WireProtocolError(f"malformed REPLICATE frame: {frame!r}")
     return validate_records(frame[1])
 
@@ -238,12 +250,16 @@ def serve_standby(server, sock, read_timeout: float, base_lsn: int) -> Optional[
                         f"aborting the standby session instead of desyncing"
                     )
                 applied = lsn
-            server.apply_replica_records((record[1], record[4]) for record in records)
+            server.apply_replica_records(
+                ((record[1], record[4]) for record in records),
+                ctx=frame[2] if len(frame) > 2 else None,
+            )
             _send_all(sock, encode_frame((REPLICATE_ACK, applied)), read_timeout)
         elif kind == PROMOTE:
             if len(frame) < 3:
                 raise WireProtocolError(f"malformed PROMOTE frame: {frame!r}")
             lsn, emit_results = frame[1], bool(frame[2])
+            operation_id = frame[3] if len(frame) > 3 else None
             if lsn != applied:
                 # A stale (or future) unmute LSN means the coordinator's
                 # view of this replica is wrong; refuse loudly and stay a
@@ -261,6 +277,15 @@ def serve_standby(server, sock, read_timeout: float, base_lsn: int) -> Optional[
                 )
                 continue
             _send_all(sock, encode_frame((PROMOTED, applied)), read_timeout)
+            extra: Dict[str, object] = {"shard": server.shard_id}
+            if operation_id is not None:
+                extra["operation_id"] = operation_id
+            _LOG.info(
+                "shard %d: standby promoted to primary at LSN %d",
+                server.shard_id,
+                applied,
+                extra=extra,
+            )
             return PromotionHandoff(lsn=applied, emit_results=emit_results)
         else:
             raise WireProtocolError(
@@ -406,6 +431,9 @@ class ReplicationManager:
             if address
         }
         self._flush_records = max(1, config.batch_size)
+        # Per-shard trace context attached by the coordinator's sampler;
+        # consumed (once) by the shard's next REPLICATE flush.
+        self._trace_ctx: Dict[int, Tuple] = {}
         self.promotions = 0
 
     # Introspection ------------------------------------------------------ #
@@ -604,6 +632,17 @@ class ReplicationManager:
         self._log_lsn[shard] = lsn
         return lsn
 
+    def attach_context(self, shard: int, ctx: Tuple) -> None:
+        """Attach a trace context to the shard's next ``REPLICATE`` flush.
+
+        Called by the coordinator when a sampled tuple is shipped to the
+        shard; the context rides the frame as an optional trailing
+        element (never inside the records), so the standby's apply span
+        joins the sampled trace.  One context per flush: a second attach
+        before the flush simply replaces the first.
+        """
+        self._trace_ctx[shard] = ctx
+
     def _buffer(self, shard: int, record: Tuple) -> None:
         replica = self._replicas.get(shard)
         if replica is None or not replica.alive:
@@ -624,11 +663,13 @@ class ReplicationManager:
             return
         records = tuple(replica.buffer)
         replica.buffer.clear()
+        ctx = self._trace_ctx.pop(shard, None)
+        frame = (REPLICATE, records) if ctx is None else (REPLICATE, records, ctx)
         try:
             # The records were built by ship_tuple/ship_topology, so skip
             # encode_replicate's re-validation on this hot path; the
             # standby still validates strictly on decode.
-            _send_all(replica.sock, encode_frame((REPLICATE, records)), replica.read_timeout)
+            _send_all(replica.sock, encode_frame(frame), replica.read_timeout)
         except (WorkerUnavailableError, OSError) as exc:
             replica.mark_dead(f"shipping records failed: {exc}")
             return
@@ -643,7 +684,11 @@ class ReplicationManager:
     # Promotion ---------------------------------------------------------- #
 
     def promote(
-        self, shard: int, emit_results: bool, timeout: Optional[float] = None
+        self,
+        shard: int,
+        emit_results: bool,
+        timeout: Optional[float] = None,
+        operation_id: Optional[str] = None,
     ) -> Tuple[socket.socket, Dict[str, object]]:
         """Promote the shard's standby; returns its socket + promotion facts.
 
@@ -653,7 +698,9 @@ class ReplicationManager:
         facts dict records ``lsn``, ``waited_records`` (the in-flight
         tail the promotion had to wait out — shipping lag, not replay)
         and ``replayed_records`` (structurally ``0``: a warm promotion
-        never re-reads the WAL).
+        never re-reads the WAL).  ``operation_id`` correlates every log
+        line of the promotion — on both ends of the wire: it rides the
+        ``PROMOTE`` frame as an optional trailing element.
 
         Raises:
             ReplicationError: there is no live standby, it died or lagged
@@ -685,10 +732,13 @@ class ReplicationManager:
                     f"{target} within {wait_timeout:.1f}s (acked {replica.acked_lsn})"
                 )
             time.sleep(_ACK_POLL_SECONDS)
+        promote_frame: Tuple = (PROMOTE, target, bool(emit_results))
+        if operation_id is not None:
+            promote_frame += (operation_id,)
         try:
             _send_all(
                 replica.sock,
-                encode_frame((PROMOTE, target, bool(emit_results))),
+                encode_frame(promote_frame),
                 replica.read_timeout,
             )
         except (WorkerUnavailableError, OSError) as exc:
@@ -724,6 +774,9 @@ class ReplicationManager:
             "replayed_records": 0,
             "seconds": time.perf_counter() - started,
         }
+        extra: Dict[str, object] = {"shard": shard}
+        if operation_id is not None:
+            extra["operation_id"] = operation_id
         _LOG.info(
             "shard %d: promoted hot standby at %s at LSN %d "
             "(waited on %d in-flight records, replayed 0)",
@@ -731,7 +784,7 @@ class ReplicationManager:
             replica.address,
             target,
             facts["waited_records"],
-            extra={"shard": shard},
+            extra=extra,
         )
         return sock, facts
 

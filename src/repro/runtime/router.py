@@ -280,7 +280,14 @@ class StreamRouter:
     # ------------------------------------------------------------------ #
 
     def route(self, tup: StreamingGraphTuple) -> Tuple[int, ...]:
-        """Return the shards that must see ``tup`` (may be empty)."""
+        """Return the shards that must see ``tup`` (may be empty).
+
+        Routing time is also the origin of the end-to-end event-latency
+        clock: when tracing samples a tuple, the coordinator stamps
+        ``time.time()`` right after this call and the owning worker
+        closes the interval when the tuple's batch completes
+        (``repro_event_latency_seconds``).
+        """
         label = tup.label
         shards = tuple(
             view.shard_id for view in self._shards if view.label_counts.get(label, 0) > 0

@@ -56,8 +56,9 @@ from .durability.manager import DurabilityManager
 from .replication import ReplicationManager
 from .merger import TaggedResultEvent, merge_partition_events, merge_result_events
 from .observability.logs import get_logger, new_operation_id
-from .observability.registry import MetricsRegistry
+from .observability.registry import MetricsRegistry, histogram_quantiles, merge_histogram_states
 from .observability.server import ObservabilityServer
+from .observability.tracing import Tracer
 from .rebalancer import RebalancePlan, ShardLoad, SplitPlan, make_rebalance_policy
 from .router import StreamRouter
 from .worker import ResultCallback, ShardWorker, create_worker
@@ -130,6 +131,14 @@ class StreamingQueryService:
         self._obs_server: Optional[ObservabilityServer] = None
         self._heartbeats: Dict[int, float] = {}
         self._last_metrics_refresh = float("-inf")
+        # Tracing: the coordinator's tracer owns head sampling (workers
+        # only continue contexts that arrive on frames) and merges spans
+        # shipped back inside worker METRICS snapshots.  `_trace_pending`
+        # maps shard -> (open ingest span, frame context) for the batch
+        # currently buffering toward that shard.
+        self.tracer = Tracer(self.config.trace_sample_rate, process="coordinator")
+        self._trace_pending: Dict[int, Tuple[Dict, Tuple[str, str, float]]] = {}
+        self._event_latency_states: Dict[int, Dict] = {}
         self.router = StreamRouter(self.config.shards, self.config.sharding)
         self.workers: List[ShardWorker] = [
             create_worker(shard, window, self.config, on_result=on_result)
@@ -214,6 +223,12 @@ class StreamingQueryService:
         )
         self._m_batch_seconds = registry.histogram(
             "repro_batch_seconds", "Per-batch worker-CPU latency in seconds", ("shard",)
+        )
+        self._m_event_latency = registry.histogram(
+            "repro_event_latency_seconds",
+            "End-to-end latency of sampled tuples: routing time at the "
+            "coordinator to batch completion at the worker",
+            ("shard",),
         )
         self._m_q_tuples = registry.counter(
             "repro_query_tuples_total", "Tuples processed per query evaluator", ("shard", "query")
@@ -377,6 +392,7 @@ class StreamingQueryService:
             histogram_state = snapshot.get("batch_seconds")
             if histogram_state:
                 self._m_batch_seconds.labels(shard).load_state(histogram_state)
+            self._harvest_snapshot(shard, snapshot)
             for query, stats in (snapshot.get("queries") or {}).items():
                 self._m_q_tuples.labels(shard, query).set_total(stats.get("tuples_processed", 0.0))
                 self._m_q_events.labels(shard, query).set_total(stats.get("events", 0.0))
@@ -400,6 +416,35 @@ class StreamingQueryService:
             self._refresh_worker_metrics()
         return self.metrics_registry.render()
 
+    def _harvest_snapshot(self, shard: int, snapshot: Dict[str, object]) -> None:
+        """Absorb the tracing payload of one worker ``METRICS`` snapshot.
+
+        Workers drain their span buffers into the snapshot (each span
+        ships exactly once), so every snapshot consumer must route them
+        into the coordinator's tracer or they are lost.  The end-to-end
+        event-latency state is kept per shard for :meth:`summary`'s
+        quantiles and mirrored into ``repro_event_latency_seconds``.
+        """
+        spans = snapshot.get("spans")
+        if spans:
+            self.tracer.ingest(spans)
+        state = snapshot.get("event_latency")
+        if state:
+            self._event_latency_states[shard] = state
+            self._m_event_latency.labels(shard).load_state(state)
+
+    def traces_snapshot(self) -> List[Dict]:
+        """Merged span view backing ``/debug/traces`` and ``repro trace``.
+
+        Thread-safe (the tracer's ring is lock-protected; no worker frames
+        are issued), so the HTTP debug endpoint may call it from the
+        scrape thread.  Worker spans appear here once a metrics refresh
+        has harvested them — on the ingest path's periodic refresh while
+        the observability server runs, or on any
+        :meth:`shard_metrics` / :meth:`summary` / :meth:`stop` call.
+        """
+        return self.tracer.snapshot()
+
     def health(self) -> Dict[str, object]:
         """Per-shard liveness summary backing ``/healthz`` (thread-safe).
 
@@ -408,6 +453,14 @@ class StreamingQueryService:
         worker frames, so any thread may call it even while a shard is
         wedged.  ``healthy`` is false when any shard transport died or
         holds a sticky failure while the service is running.
+
+        With replication configured each shard entry carries a
+        ``"replication"`` sub-dict (standby armed/address, acked LSN,
+        shipped/lag record counts — atomic attribute reads on the
+        replica, same thread-safety) and the payload a top-level
+        ``"pending_rearms"`` map of shards awaiting a fresh standby.  A
+        lost standby does *not* flip ``healthy``: the primary still
+        serves, which is what liveness probes must see.
         """
         now = time.monotonic()
         shards = []
@@ -418,16 +471,30 @@ class StreamingQueryService:
             ok = failure is None and (alive or not self._running)
             healthy = healthy and ok
             beat = self._heartbeats.get(worker.shard_id)
-            shards.append(
-                {
-                    "shard": worker.shard_id,
-                    "alive": bool(alive),
-                    "ok": bool(ok),
-                    "failure": None if failure is None else str(failure),
-                    "heartbeat_age_seconds": None if beat is None else round(now - beat, 3),
+            entry = {
+                "shard": worker.shard_id,
+                "alive": bool(alive),
+                "ok": bool(ok),
+                "failure": None if failure is None else str(failure),
+                "heartbeat_age_seconds": None if beat is None else round(now - beat, 3),
+            }
+            if self._replication is not None:
+                stats = self._replication.stats(worker.shard_id)
+                entry["replication"] = {
+                    "standby_armed": bool(stats["armed"]),
+                    "standby_address": stats["address"],
+                    "acked_lsn": stats["acked_lsn"],
+                    "shipped_records": stats["shipped_records"],
+                    "lag_records": stats["lag_records"],
+                    "pending_rearm": stats["pending_rearm"],
                 }
-            )
-        return {"healthy": healthy, "running": self._running, "shards": shards}
+            shards.append(entry)
+        payload: Dict[str, object] = {"healthy": healthy, "running": self._running, "shards": shards}
+        if self._replication is not None:
+            payload["pending_rearms"] = {
+                str(shard): address for shard, address in sorted(self._replication.pending_rearms().items())
+            }
+        return payload
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -1216,6 +1283,21 @@ class StreamingQueryService:
             self._tuples_dropped += 1
             return
         self._label_loads[tup.label] += 1
+        if self.tracer.enabled:
+            # Head sampling happens here, at routing time: the first
+            # sampled tuple of a shard's buffering batch opens the trace's
+            # root span, and the context (with this routing-time stamp)
+            # rides the eventual BATCH frame — and, attached below, the
+            # shard's next REPLICATE frame.  Rate 0.0 costs one attribute
+            # read.
+            stamp = time.time()
+            for shard in shards:
+                if shard not in self._trace_pending and self.tracer.sample():
+                    span = self.tracer.start_span("ingest", shard=shard)
+                    ctx = self.tracer.context_for(span, stamp)
+                    self._trace_pending[shard] = (span, ctx)
+                    if self._replication is not None:
+                        self._replication.attach_context(shard, ctx)
         lsns = None
         if self._durability is not None:
             # Write-ahead: the tuple reaches every routed shard's log
@@ -1260,14 +1342,21 @@ class StreamingQueryService:
         pending = self._pending[shard]
         if pending and self._running:
             self._pending[shard] = []
+            trace = self._trace_pending.pop(shard, None)
             try:
-                self.workers[shard].submit(pending)
+                self.workers[shard].submit(pending, trace[1] if trace is not None else None)
             except WorkerUnavailableError as exc:
                 self._promote_or_raise(shard, exc)
                 # The batch is NOT resubmitted: every tuple in it was
                 # shipped to the standby at log time (write-ahead), so the
                 # promoted engine already covers it — resubmitting would
                 # double-process.
+            finally:
+                if trace is not None:
+                    # The root span covers coordinator-side buffering plus
+                    # the (possibly backpressured) enqueue; the worker's
+                    # process_batch span parents on it via the context.
+                    self.tracer.finish(trace[0], tuples=len(pending))
 
     def drain(self) -> None:
         """Flush buffers and block until every shard has caught up.
@@ -1287,7 +1376,15 @@ class StreamingQueryService:
         for shard in range(len(self.workers)):
             # Indexed re-read: a promotion swaps self.workers[shard] and
             # the retried drain must land on the new primary.
-            self._with_failover(shard, lambda shard=shard: self.workers[shard].drain())
+            span = ctx = None
+            if self.tracer.sample():
+                span = self.tracer.start_span("drain", shard=shard)
+                ctx = self.tracer.context_for(span)
+            try:
+                self._with_failover(shard, lambda shard=shard: self.workers[shard].drain(ctx))
+            finally:
+                if span is not None:
+                    self.tracer.finish(span)
         if self._replication is not None and self._running:
             # A drain is also a replication barrier: push out any buffered
             # tail and use the quiescent moment to re-arm lost standbys.
@@ -1325,14 +1422,17 @@ class StreamingQueryService:
         """
         if self._replication is None or self._migrating is not None:
             raise cause
+        # Minted here (not in _promote) so the failure path below logs the
+        # same correlation id as every line of the attempt it reports on.
+        op_id = new_operation_id("promote")
         try:
-            self._promote(shard)
+            self._promote(shard, operation_id=op_id)
         except (ReplicationError, RuntimeStateError) as exc:
             _LOG.warning(
                 "shard %d: cannot promote after primary loss: %s",
                 shard,
                 exc,
-                extra={"shard": shard},
+                extra={"shard": shard, "operation_id": op_id},
             )
             raise cause from exc
         return self.workers[shard]
@@ -1367,15 +1467,26 @@ class StreamingQueryService:
             )
         return self._promote(shard)
 
-    def _promote(self, shard: int) -> Dict[str, object]:
+    def _promote(self, shard: int, operation_id: Optional[str] = None) -> Dict[str, object]:
         replication = self._replication
         if replication is None:
             raise ReplicationError(
                 f"shard {shard} has no replication manager (standby_addresses not configured)"
             )
+        op_id = operation_id or new_operation_id("promote")
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.start_span("promote", shard=shard, operation_id=op_id)
         old = self.workers[shard]
         old_address = (self.config.worker_addresses or (None,) * self.config.shards)[shard]
-        sock, facts = replication.promote(shard, emit_results=self._on_result is not None)
+        try:
+            sock, facts = replication.promote(
+                shard, emit_results=self._on_result is not None, operation_id=op_id
+            )
+        except BaseException:
+            if span is not None:
+                self.tracer.finish(span, failed=True)
+            raise
         # The promoted session is live on `sock`; swap the config so the
         # standby's address is the shard's primary from here on, build a
         # proxy around the socket, and retire the dead worker.
@@ -1402,17 +1513,20 @@ class StreamingQueryService:
         if old_address is not None:
             replication.schedule_rearm(shard, old_address)
         facts["previous_address"] = old_address
+        facts["operation_id"] = op_id
         self.promotions.append(facts)
         self._m_promotions.labels(shard).inc()
         self._m_promotion_replayed.labels(shard).inc(float(facts["replayed_records"]))
         self._m_promotion_seconds.labels(shard).observe(float(facts["seconds"]))
+        if span is not None:
+            self.tracer.finish(span, address=facts["address"])
         _LOG.warning(
             "shard %d: promoted standby at %s to primary (was %s); replayed %d WAL records",
             shard,
             facts["address"],
             old_address,
             facts["replayed_records"],
-            extra={"shard": shard},
+            extra={"shard": shard, "operation_id": op_id},
         )
         return facts
 
@@ -1547,6 +1661,11 @@ class StreamingQueryService:
         metrics = []
         for worker in self.workers:
             stats = dict(worker.metrics())
+            # Every METRICS consumer must harvest the drained spans or
+            # they are lost; the span list itself stays out of the
+            # returned stats (it is trace data, not a counter).
+            self._harvest_snapshot(worker.shard_id, stats)
+            stats.pop("spans", None)
             stats["shard"] = float(worker.shard_id)
             stats["queries"] = float(len(self.router.shards()[worker.shard_id].queries))
             metrics.append(stats)
@@ -1580,6 +1699,21 @@ class StreamingQueryService:
             "migrations": len(self.migrations),
             "splits": len(self.splits),
         }
+        # End-to-end latency quantiles of sampled tuples (the paper's
+        # Fig. 4 axes): merge the per-shard histogram states harvested
+        # from worker METRICS snapshots by shard_metrics() above.
+        latency_states = [
+            state for state in self._event_latency_states.values() if state and state.get("count")
+        ]
+        if latency_states:
+            merged = merge_histogram_states(latency_states)
+            p50, p95, p99 = histogram_quantiles(merged, (0.5, 0.95, 0.99))
+            totals["event_latency"] = {
+                "count": merged["count"],
+                "p50_seconds": p50,
+                "p95_seconds": p95,
+                "p99_seconds": p99,
+            }
         partitioned = {
             base: {member: self.router.shard_of(member) for member in members}
             for base, members in sorted(self._partitions.items())
@@ -1616,6 +1750,12 @@ class StreamingQueryService:
             # No rebalance hook here: the checkpoint must record the
             # placement the caller just observed, not a freshly shuffled one.
             self._drain(rebalance=False)
+        span = ctx = None
+        if self.tracer.sample():
+            # One coin flip for the whole coordinated checkpoint; every
+            # per-query CHECKPOINT frame carries the same context.
+            span = self.tracer.start_span("checkpoint")
+            ctx = self.tracer.context_for(span)
         queries = []
         for name in self.queries():
             # A partitioned query contributes one entry per member, all
@@ -1627,10 +1767,15 @@ class StreamingQueryService:
                 # form that ships across process boundaries); decode it back
                 # to the JSON-compatible dict for the service-level layout.
                 blob = self._with_failover(
-                    shard, lambda shard=shard, routed=routed: self.workers[shard].checkpoint_query(routed)
+                    shard,
+                    lambda shard=shard, routed=routed: self.workers[shard].checkpoint_query(
+                        routed, trace_ctx=ctx
+                    ),
                 )
                 state = decode_state(blob, what=f"evaluator blob for query {routed!r}")
                 queries.append({"name": name, "shard": shard, "state": state})
+        if span is not None:
+            self.tracer.finish(span, queries=len(queries))
         return {
             "format": _SERVICE_FORMAT,
             "window": {"size": self.window.size, "slide": self.window.slide},

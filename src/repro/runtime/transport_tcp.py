@@ -1058,6 +1058,10 @@ class TcpWorkerServer:
             with self._active_lock:
                 self._active_desc = f"shard {shard_id}'s {role} session"
             if role == replication_mod().STANDBY_ROLE:
+                # A distinct trace lane: the standby's apply spans (and,
+                # after a promotion, its batch spans) must be tellable
+                # apart from the dead primary's ``worker-<shard>`` lane.
+                server.tracer.process = f"standby-{shard_id}"
                 _LOG.info(
                     "session from %s: standby for shard %d from LSN %d", peer, shard_id, base_lsn
                 )

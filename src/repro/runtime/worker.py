@@ -62,6 +62,7 @@ from . import protocol
 from .config import RuntimeConfig
 from .observability.logs import configure_logging, get_logger
 from .observability.registry import Histogram
+from .observability.tracing import Tracer, parse_context
 
 __all__ = [
     "ShardEngineServer",
@@ -125,16 +126,40 @@ class ShardEngineServer:
         self.batches_processed = 0
         self.batch_seconds = Histogram()
         self._last_slow_warning = float("-inf")
+        # Tracing rides the config, so spawned/remote workers inherit the
+        # sample rate through the shipped config dict (HELLO handshake,
+        # _process_worker_main) with no extra plumbing.  The worker-side
+        # tracer never flips coins — it only *continues* traces whose
+        # context arrived on a frame — so ``sample_rate`` here merely
+        # arms the buffer.
+        self.tracer = Tracer(config.trace_sample_rate, process=f"worker-{shard_id}")
+        # End-to-end event latency: routing-time stamp (rides the trace
+        # context) to batch completion at this worker.
+        self.event_latency = Histogram()
 
     # Batches ----------------------------------------------------------- #
 
-    def process_batch(self, payload, collect_results: bool) -> Optional[Tuple]:
+    def process_batch(self, payload, collect_results: bool, ctx=None) -> Optional[Tuple]:
         """Process one ``BATCH`` payload; optionally collect live results.
 
         Returns the ``EVENTS`` payload (``(query, source, target, tau)``
         records) when ``collect_results`` and the batch produced any, else
         ``None``.
+
+        ``ctx`` is the optional frame-borne trace context of a *sampled*
+        batch: when present, evaluation is wrapped in a child span parented
+        on the coordinator's ingest span, and the context's routing-time
+        stamp closes the end-to-end event latency into
+        :attr:`event_latency`.  The context never reaches the payload
+        bytes, so evaluation is bit-identical with or without it.
         """
+        parsed = parse_context(ctx)
+        span = None
+        if parsed is not None:
+            trace_id, parent_id, stamp_wall = parsed
+            span = self.tracer.start_span(
+                "process_batch", trace_id=trace_id, parent_id=parent_id, shard=self.shard_id
+            )
         # Busy time is *CPU* time of this worker's thread, not wall clock:
         # on a host with fewer cores than busy shards, wall clock charges
         # each batch for time other workers held the GIL/CPU, which would
@@ -160,6 +185,12 @@ class ShardEngineServer:
         self.meter.record_batch(count, elapsed)
         self.batch_seconds.observe(elapsed)
         self.batches_processed += 1
+        if span is not None:
+            # Event latency is wall clock across processes: the routing
+            # stamp was taken by the coordinator, so the measurement is as
+            # good as the hosts' clock alignment (exact in-process).
+            self.event_latency.observe(max(time.time() - stamp_wall, 0.0))
+            self.tracer.finish(span, tuples=count, events=len(events) if events else 0)
         if elapsed >= SLOW_BATCH_SECONDS:
             now = time.monotonic()
             if now - self._last_slow_warning >= SLOW_BATCH_WARN_INTERVAL:
@@ -225,7 +256,9 @@ class ShardEngineServer:
                 )
             return (registered.results.to_wire(), tuple(keys))
         if op == protocol.CHECKPOINT:
-            return encode_rapq(self.engine.query(payload).evaluator)
+            # Bare name, or ``(name, trace_ctx)`` from a tracing coordinator.
+            name, ctx = payload if isinstance(payload, tuple) else (payload, None)
+            return self._traced("checkpoint", ctx, lambda: encode_rapq(self.engine.query(name).evaluator))
         if op == protocol.MIGRATE:
             name, op_id = _named_payload(payload)
             self._log_op(op, name, op_id)
@@ -247,27 +280,50 @@ class ShardEngineServer:
         if op == protocol.METRICS:
             return self.metrics()
         if op == protocol.DRAIN:
-            return None  # the reply itself is the barrier
+            # The reply itself is the barrier; the payload (historically
+            # always ``None``) may carry a trace context, recording the
+            # barrier as a span of the sampled trace.
+            return self._traced("drain", payload, lambda: None)
         raise WireProtocolError(f"unknown control op {op!r}")
+
+    def _traced(self, name: str, ctx, fn):
+        """Run ``fn`` inside a child span when ``ctx`` is a trace context."""
+        parsed = parse_context(ctx)
+        if parsed is None:
+            return fn()
+        trace_id, parent_id, _ = parsed
+        span = self.tracer.start_span(name, trace_id=trace_id, parent_id=parent_id, shard=self.shard_id)
+        try:
+            return fn()
+        finally:
+            self.tracer.finish(span)
 
     def metrics(self) -> Dict[str, object]:
         """Processing counters and per-query statistics of this shard.
 
         The reply is a plain dict riding the typed ``METRICS`` frame, so
         both backends export identical numbers.  Alongside the original
-        scalar counters it carries the batch-latency histogram state
-        (adoptable via :meth:`.observability.Histogram.load_state`) and a
-        ``queries`` sub-dict with per-query tuple/result counters,
-        window-expiry totals and Δ-index sizes — consumers use ``.get()``
-        so either side may be older (version tolerance).
+        scalar counters it carries the batch-latency and end-to-end
+        event-latency histogram states (adoptable via
+        :meth:`.observability.Histogram.load_state`), the tracer's drained
+        span buffer (``"spans"``, only when non-empty) and a ``queries``
+        sub-dict with per-query tuple/result counters, window-expiry
+        totals and Δ-index sizes — consumers use ``.get()`` so either
+        side may be older (version tolerance).
         """
         stats: Dict[str, object] = {
             "tuples": float(self.meter.tuples),
             "batches": float(self.batches_processed),
             "busy_seconds": self.meter.elapsed_seconds,
             "batch_seconds": self.batch_seconds.state(),
+            "event_latency": self.event_latency.state(),
             "fastpath": fastpath_name(),
         }
+        spans = self.tracer.drain()
+        if spans:
+            # Buffered spans ride the existing METRICS snapshot to the
+            # coordinator (drained: each span ships exactly once).
+            stats["spans"] = spans
         if self.meter.elapsed_seconds > 0:
             stats["throughput_eps"] = self.meter.edges_per_second()
         queries: Dict[str, Dict[str, float]] = {}
@@ -287,8 +343,15 @@ class ShardEngineServer:
 
     # Replication (muted standby apply) --------------------------------- #
 
-    def apply_replica_records(self, records) -> None:
+    def apply_replica_records(self, records, ctx=None) -> None:
         """Apply a run of replicated WAL records into this engine, muted.
+
+        ``ctx`` is the optional trace context that rode the ``REPLICATE``
+        frame: when present the apply run is recorded as a child span, so
+        a sampled tuple's trace extends from the coordinator through the
+        primary *into the standby* — after a promotion the standby ships
+        those spans back via ``METRICS`` like any worker, which is what
+        makes a failover trace connected end to end.
 
         This is the *standby* half of hot-standby replication
         (:mod:`repro.runtime.replication`): each record is the
@@ -313,6 +376,11 @@ class ShardEngineServer:
         """
         from .durability import wal as wal_mod
 
+        return self._traced(
+            "replicate_apply", ctx, lambda: self._apply_replica_records(records, wal_mod)
+        )
+
+    def _apply_replica_records(self, records, wal_mod) -> None:
         columnar = self.config.wire_format == "columnar"
         pending = []
 
@@ -420,6 +488,14 @@ class ShardEngineServer:
         histogram_state = metrics.get("batch_seconds")
         if histogram_state:
             self.batch_seconds.load_state(histogram_state)
+        event_state = metrics.get("event_latency")
+        if event_state:
+            self.event_latency.load_state(event_state)
+        spans = metrics.get("spans")
+        if spans:
+            # Final spans shipped at STOP re-buffer here, so the next
+            # coordinator metrics read still harvests them.
+            self.tracer.ingest(spans)
         self.engine = StreamingRPQEngine(self.window)
         degraded = []
         for name, semantics, expression, blob, events in queries:
@@ -457,7 +533,10 @@ def serve_shard(
             if failed:
                 continue
             try:
-                events = server.process_batch(frame[1], emit_results)
+                # Optional third element: trace context of a sampled batch.
+                events = server.process_batch(
+                    frame[1], emit_results, frame[2] if len(frame) > 2 else None
+                )
             except BaseException as exc:  # noqa: BLE001 - reported to coordinator
                 failed = True
                 responses.put((protocol.FAILURE, protocol.encode_exception(exc)))
@@ -605,8 +684,15 @@ class ShardWorker:
             self._responses = None
             raise
 
-    def submit(self, batch: Sequence[StreamingGraphTuple]) -> None:
-        """Enqueue one batch; blocks when the worker is too far behind."""
+    def submit(self, batch: Sequence[StreamingGraphTuple], trace_ctx=None) -> None:
+        """Enqueue one batch; blocks when the worker is too far behind.
+
+        ``trace_ctx`` (when the batch carries a sampled tuple) rides the
+        frame as an optional trailing element — beside the payload, never
+        inside it, so the encoded batch bytes are identical either way.
+        The frame tuple is built once: the tcp transport's partial-send
+        resume keys on object identity.
+        """
         self._pump()
         self._check_failure()
         if not self.running:
@@ -616,6 +702,8 @@ class ShardWorker:
             frame = (protocol.BATCH, protocol.encode_batch_columnar(batch))
         else:
             frame = (protocol.BATCH, protocol.encode_batch(batch))
+        if trace_ctx is not None:
+            frame += (trace_ctx,)
         # Bounded put with liveness polling: a worker that dies while its
         # queue is full must surface as an error, not wedge the coordinator.
         while True:
@@ -667,9 +755,14 @@ class ShardWorker:
         self._check_failure()
         self._server.process_batch(protocol.encode_batch(batch), False)
 
-    def drain(self) -> None:
-        """Block until every batch submitted so far has been processed."""
-        self.request(protocol.DRAIN)
+    def drain(self, trace_ctx=None) -> None:
+        """Block until every batch submitted so far has been processed.
+
+        The ``DRAIN`` payload (historically always ``None``) optionally
+        carries a trace context so the barrier shows up as a span of the
+        sampled trace.
+        """
+        self.request(protocol.DRAIN, trace_ctx)
 
     def stop(self) -> None:
         """Terminate the serve loop with ``STOP`` and adopt shipped state."""
@@ -750,9 +843,9 @@ class ShardWorker:
         events, keys = self.request(protocol.PARTITION_RESULTS, name)
         return events, keys
 
-    def checkpoint_query(self, name: str) -> bytes:
+    def checkpoint_query(self, name: str, trace_ctx=None) -> bytes:
         """Encode one query's evaluator state (bytes out, ships anywhere)."""
-        return self.request(protocol.CHECKPOINT, name)
+        return self.request(protocol.CHECKPOINT, name if trace_ctx is None else (name, trace_ctx))
 
     def migrate_query(
         self, name: str, operation_id: Optional[str] = None

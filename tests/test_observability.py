@@ -35,6 +35,8 @@ from repro.runtime.observability import (
     MetricsRegistry,
     configure_logging,
     get_logger,
+    histogram_quantiles,
+    merge_histogram_states,
     new_operation_id,
 )
 from repro.runtime.observability.registry import format_value
@@ -177,6 +179,75 @@ class TestCounterGaugeHistogram:
         assert format_value(0.25) == "0.25"
         assert format_value(math.inf) == "+Inf"
         assert format_value(-math.inf) == "-Inf"
+
+
+class TestHistogramMerging:
+    def states(self, values_per_shard, buckets=(0.1, 1.0)):
+        states = []
+        for values in values_per_shard:
+            histogram = Histogram(buckets)
+            for value in values:
+                histogram.observe(value)
+            states.append(histogram.state())
+        return states
+
+    def test_merge_is_the_elementwise_bucket_sum(self):
+        states = self.states([(0.05, 0.5), (0.5, 5.0), ()])
+        merged = merge_histogram_states(states)
+        assert merged["count"] == 4
+        assert merged["sum"] == pytest.approx(6.05)
+        expected = [sum(state["counts"][index] for state in states) for index in range(3)]
+        assert list(merged["counts"]) == expected
+        # Identity with a histogram that saw every observation directly.
+        direct = Histogram((0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            direct.observe(value)
+        clone = Histogram()
+        clone.load_state(merged)
+        assert clone.cumulative() == direct.cumulative()
+        assert clone.sum == pytest.approx(direct.sum)
+
+    def test_merge_rejects_empty_and_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            merge_histogram_states([])
+        with pytest.raises(ValueError):
+            merge_histogram_states(self.states([(1,)]) + self.states([(1,)], buckets=(0.5, 2.0)))
+
+    def test_quantiles_interpolate_and_handle_empty(self):
+        (state,) = self.states([(0.05,) * 50 + (0.5,) * 50])
+        p50, p99 = histogram_quantiles(state, (0.5, 0.99))
+        assert 0.0 <= p50 <= 0.1 < p99 <= 1.0
+        (empty,) = self.states([()])
+        assert histogram_quantiles(empty, (0.5,)) == [None]
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_worker_snapshot_merge_identity_across_backends(
+        self, backend, tcp_worker_farm, standby_farm
+    ):
+        """Satellite acceptance: per-worker METRICS histogram states merge
+        to the elementwise bucket sum on every backend."""
+        standbys = standby_farm(2) if backend == "tcp+standby" else None
+        backend = "tcp" if backend == "tcp+standby" else backend
+        addresses = tcp_worker_farm(2) if backend == "tcp" else None
+        service = make_service(
+            backend=backend,
+            worker_addresses=addresses,
+            standby_addresses=standbys,
+            trace_sample_rate=1.0,  # so event_latency states fill too
+        )
+        with service:
+            service.ingest(make_stream(1_000))
+            service.drain()
+            snapshots = service.shard_metrics()
+        assert len(snapshots) == 2
+        for key in ("batch_seconds", "event_latency"):
+            states = [snapshot[key] for snapshot in snapshots]
+            assert all(state["bounds"] == states[0]["bounds"] for state in states)
+            merged = merge_histogram_states(states)
+            assert merged["count"] == sum(state["count"] for state in states) > 0
+            assert merged["sum"] == pytest.approx(sum(state["sum"] for state in states))
+            for index in range(len(merged["counts"])):
+                assert merged["counts"][index] == sum(state["counts"][index] for state in states)
 
 
 class TestMetricsRegistry:
@@ -406,6 +477,68 @@ class TestLiveExposition:
         with service:
             status, _, body = scrape(service.observability_port, "/nope")
             assert status == 404
+
+    def test_healthz_reports_replication_state(self, tcp_worker_farm, standby_farm):
+        """With standbys armed, /healthz carries per-shard replication facts."""
+        service = make_service(
+            backend="tcp",
+            metrics_port=0,
+            worker_addresses=tcp_worker_farm(2),
+            standby_addresses=standby_farm(2),
+        )
+        with service:
+            service.ingest(make_stream(600))
+            service.drain()
+            status, _, body = scrape(service.observability_port, "/healthz")
+        health = json.loads(body)
+        assert status == 200 and health["healthy"] is True
+        for entry in health["shards"]:
+            replication = entry["replication"]
+            assert replication["standby_armed"] is True
+            assert replication["standby_address"].startswith("127.0.0.1:")
+            assert replication["acked_lsn"] >= 0
+            assert replication["shipped_records"] >= replication["lag_records"] >= 0
+            assert replication["pending_rearm"] is False
+        assert health["pending_rearms"] == {}
+
+    def test_healthz_stays_healthy_after_standby_loss(self, tcp_worker_farm):
+        """A lost standby degrades the shard, never the liveness probe."""
+        from repro.runtime import TcpWorkerServer
+
+        standbys = [TcpWorkerServer("127.0.0.1", 0) for _ in range(2)]
+        standby_addresses = tuple(f"127.0.0.1:{server.start_in_background()}" for server in standbys)
+        service = make_service(
+            backend="tcp",
+            metrics_port=0,
+            worker_addresses=tcp_worker_farm(2),
+            standby_addresses=standby_addresses,
+        )
+        stream = make_stream(800)
+        try:
+            with service:
+                service.ingest(stream[:400])
+                service.drain()
+                for server in standbys:
+                    server.stop()  # the whole standby fleet vanishes
+                service.ingest(stream[400:])
+                service.drain()
+                status, _, body = scrape(service.observability_port, "/healthz")
+        finally:
+            for server in standbys:
+                server.stop()
+        health = json.loads(body)
+        assert status == 200 and health["healthy"] is True
+        assert all(entry["replication"]["standby_armed"] is False for entry in health["shards"])
+
+    def test_healthz_omits_replication_without_standbys(self):
+        service = make_service(metrics_port=0)
+        with service:
+            service.ingest(make_stream(200))
+            status, _, body = scrape(service.observability_port, "/healthz")
+            service.drain()
+        health = json.loads(body)
+        assert "replication" not in health["shards"][0]
+        assert "pending_rearms" not in health
 
 
 class TestOperationCorrelation:

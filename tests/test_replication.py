@@ -208,7 +208,6 @@ class TestRecordCodec:
         [
             ("NOPE", ()),
             ("REPLICATE",),
-            ("REPLICATE", (), "extra"),
             "REPLICATE",
             None,
         ],
@@ -216,6 +215,11 @@ class TestRecordCodec:
     def test_decode_rejects_non_replicate_frames(self, frame):
         with pytest.raises(WireProtocolError, match="malformed REPLICATE frame"):
             decode_replicate(frame)
+
+    def test_decode_tolerates_trailing_elements(self):
+        # The trace-context slot rides as an optional trailing element, and
+        # the codec stays forward-compatible: unknown extras are ignored.
+        assert decode_replicate(("REPLICATE", (), "extra")) == ()
 
     @settings(max_examples=100, deadline=None)
     @given(

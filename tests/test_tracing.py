@@ -1,0 +1,367 @@
+"""Distributed tracing: span recording, context propagation, latency accounting.
+
+The acceptance properties of the tracing layer:
+
+* one sampled event yields a *connected span tree* across the
+  coordinator and its shard workers on every backend (threading /
+  multiprocessing / tcp / tcp+standby);
+* sampling never perturbs results — runs at 0%, 1% and 100% sampling are
+  bit-identical;
+* a SIGKILL-style failover produces a single connected trace spanning
+  the coordinator, the dead primary and the promoted standby;
+* end-to-end event latency (routing time -> batch completion) surfaces
+  as ``repro_event_latency_seconds`` and quantiles in ``summary()``.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import WindowSpec
+from repro.datasets.synthetic import UniformStreamGenerator
+from repro.errors import ConfigError
+from repro.graph.stream import with_deletions
+from repro.runtime import RuntimeConfig, StreamingQueryService
+from repro.runtime.observability import (
+    DEFAULT_TRACE_CAPACITY,
+    Tracer,
+    chrome_trace_events,
+    connected_traces,
+    make_context,
+    parse_context,
+    span_forest,
+)
+from conftest import ALL_BACKENDS
+
+WINDOW = WindowSpec(size=40, slide=4)
+
+QUERIES = {"qa": "a+", "qb": "b c"}
+
+
+def make_stream(count, seed=11, deletions=0.0):
+    generator = UniformStreamGenerator(
+        num_vertices=40, labels=("a", "b", "c", "noise"), edges_per_timestamp=4, seed=seed
+    )
+    stream = list(generator.generate(count))
+    if deletions > 0:
+        stream = with_deletions(stream, deletions, seed=seed)
+    return stream
+
+
+def run_traced(make_runtime_config, backend, rate, count=800, **kwargs):
+    """One ingest+drain run; returns ``(service, spans, summary)``."""
+    kwargs.setdefault("batch_size", 16)
+    config = make_runtime_config(backend=backend, shards=2, trace_sample_rate=rate, **kwargs)
+    service = StreamingQueryService(WINDOW, config)
+    for name, expression in QUERIES.items():
+        service.register(name, expression)
+    with service:
+        service.ingest(make_stream(count))
+        service.drain()
+        summary = service.summary()  # harvests the workers' buffered spans
+    return service, service.traces_snapshot(), summary
+
+
+# --------------------------------------------------------------------- #
+# Tracer unit behaviour
+# --------------------------------------------------------------------- #
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tracer = Tracer()
+        assert tracer.enabled is False
+        assert tracer.sample() is False
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.1, 2.0])
+    def test_rate_outside_unit_interval_raises(self, rate):
+        with pytest.raises(ValueError, match="sample_rate"):
+            Tracer(rate)
+
+    def test_full_rate_always_samples(self):
+        tracer = Tracer(1.0)
+        assert all(tracer.sample() for _ in range(50))
+
+    def test_span_lifecycle_records_duration_and_attrs(self):
+        tracer = Tracer(1.0, process="worker-3")
+        span = tracer.start_span("work", shard=3, tuples=7)
+        tracer.finish(span, events=2)
+        (got,) = tracer.snapshot()
+        assert got["name"] == "work"
+        assert got["process"] == "worker-3"
+        assert got["shard"] == 3
+        assert got["tuples"] == 7
+        assert got["events"] == 2
+        assert got["duration"] >= 0.0
+        assert "_t0" not in got  # the monotonic anchor never leaks
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        tracer = Tracer(1.0, capacity=4)
+        for index in range(10):
+            tracer.finish(tracer.start_span(f"s{index}"))
+        spans = tracer.snapshot()
+        assert len(spans) == 4
+        assert [span["name"] for span in spans] == ["s6", "s7", "s8", "s9"]
+        assert tracer.dropped == 6
+
+    def test_drain_empties_the_ring(self):
+        tracer = Tracer(1.0)
+        tracer.finish(tracer.start_span("once"))
+        assert [span["name"] for span in tracer.drain()] == ["once"]
+        assert tracer.drain() == []
+        assert tracer.snapshot() == []
+
+    def test_ingest_adopts_foreign_spans_and_skips_junk(self):
+        source, sink = Tracer(1.0, process="worker-1"), Tracer(1.0)
+        source.finish(source.start_span("shipped"))
+        shipped = source.drain()
+        assert sink.ingest(shipped + ["junk", {"no": "trace_id"}]) == 1
+        (got,) = sink.snapshot()
+        assert got["name"] == "shipped"
+        assert got["process"] == "worker-1"  # the origin lane is preserved
+
+    def test_context_round_trips_through_parse(self):
+        tracer = Tracer(1.0)
+        span = tracer.start_span("root")
+        ctx = tracer.context_for(span, stamp_wall=123.25)
+        assert ctx == make_context(span["trace_id"], span["span_id"], 123.25)
+        assert parse_context(ctx) == (span["trace_id"], span["span_id"], 123.25)
+
+    @pytest.mark.parametrize(
+        "ctx",
+        [None, (), ("t",), ("t", "p"), ("t", "p", "not-a-number"), (1, "p", 0.0), "t", ["t", "p", 0.0]],
+    )
+    def test_parse_context_treats_malformed_as_absent(self, ctx):
+        assert parse_context(ctx) is None
+
+    def test_parse_context_tolerates_future_extra_elements(self):
+        assert parse_context(("t", "p", 1.5, "future-field")) == ("t", "p", 1.5)
+
+    def test_default_capacity(self):
+        tracer = Tracer(1.0)
+        assert tracer._spans.maxlen == DEFAULT_TRACE_CAPACITY
+
+
+class TestRendering:
+    def _linked_spans(self):
+        tracer = Tracer(1.0, process="coordinator")
+        root = tracer.finish(tracer.start_span("ingest", shard=0))
+        child = tracer.finish(
+            tracer.start_span("process_batch", trace_id=root["trace_id"], parent_id=root["span_id"], shard=0)
+        )
+        return tracer.snapshot(), root, child
+
+    def test_span_forest_links_children(self):
+        spans, root, child = self._linked_spans()
+        forest = span_forest(spans)
+        children = forest[root["trace_id"]][root["span_id"]]
+        assert [span["span_id"] for span in children] == [child["span_id"]]
+
+    def test_connected_traces_requires_single_root_and_no_dangling(self):
+        spans, root, _ = self._linked_spans()
+        assert connected_traces(spans) == [root["trace_id"]]
+        orphan = {"trace_id": "t2", "span_id": "s1", "parent_id": "gone", "name": "x", "start": 0.0}
+        two_roots = [
+            {"trace_id": "t3", "span_id": "a", "parent_id": None, "name": "x", "start": 0.0},
+            {"trace_id": "t3", "span_id": "b", "parent_id": None, "name": "y", "start": 0.0},
+        ]
+        assert connected_traces(spans + [orphan] + two_roots) == [root["trace_id"]]
+
+    def test_chrome_trace_events_shape(self):
+        spans, root, _ = self._linked_spans()
+        events = chrome_trace_events(spans)
+        meta = [event for event in events if event["ph"] == "M"]
+        complete = [event for event in events if event["ph"] == "X"]
+        assert [event["args"]["name"] for event in meta] == ["coordinator"]
+        assert len(complete) == 2
+        assert {event["name"] for event in complete} == {"ingest", "process_batch"}
+        assert all(event["ts"] >= 0.0 and event["dur"] >= 0.0 for event in complete)
+        assert all(event["tid"] == 1 for event in complete)  # shard 0 -> tid 1
+        assert complete[0]["args"]["trace_id"] == root["trace_id"]
+        json.dumps(events)  # Perfetto-loadable: plain JSON
+
+    def test_chrome_trace_events_empty(self):
+        assert chrome_trace_events([]) == []
+
+
+class TestConfig:
+    @pytest.mark.parametrize("rate", [-0.5, 1.5])
+    def test_sample_rate_outside_unit_interval_rejected(self, rate):
+        with pytest.raises(ConfigError, match="trace_sample_rate"):
+            RuntimeConfig(trace_sample_rate=rate)
+
+    def test_sample_rate_round_trips_through_dict(self):
+        config = RuntimeConfig(trace_sample_rate=0.25)
+        assert RuntimeConfig.from_dict(config.to_dict()).trace_sample_rate == 0.25
+
+
+# --------------------------------------------------------------------- #
+# Connected traces across every backend
+# --------------------------------------------------------------------- #
+
+
+class TestCrossProcessTraces:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_connected_span_tree_on_every_backend(self, make_runtime_config, backend):
+        """Coordinator root + worker child share one connected trace."""
+        service, spans, _ = run_traced(make_runtime_config, backend, rate=1.0)
+        processes = {span.get("process") for span in spans}
+        assert "coordinator" in processes
+        assert any(process.startswith("worker-") for process in processes)
+        connected = set(connected_traces(spans))
+        assert connected
+        crossed = [
+            trace_id
+            for trace_id in connected
+            if len({span["process"] for span in spans if span["trace_id"] == trace_id}) >= 2
+        ]
+        assert crossed, "no connected trace crossed a process boundary"
+        names = {span["name"] for span in spans}
+        assert {"ingest", "process_batch", "drain"} <= names
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_sampling_rates_are_bit_identical(self, make_runtime_config, backend):
+        """Tracing is a frame sidecar: 0%, 1%, 100% sampling — same results."""
+        events = {}
+        for rate in (0.0, 0.01, 1.0):
+            service, _, _ = run_traced(make_runtime_config, backend, rate, count=600)
+            events[rate] = {name: service.result_triples(name) for name in QUERIES}
+        assert events[0.0] == events[0.01] == events[1.0]
+
+    def test_zero_rate_records_nothing(self, make_runtime_config):
+        _, spans, summary = run_traced(make_runtime_config, "threading", rate=0.0)
+        assert spans == []
+        assert "event_latency" not in summary["totals"]
+
+    def test_checkpoint_span_propagates(self, make_runtime_config):
+        config = make_runtime_config(backend="threading", shards=2, trace_sample_rate=1.0, batch_size=16)
+        service = StreamingQueryService(WINDOW, config)
+        for name, expression in QUERIES.items():
+            service.register(name, expression)
+        with service:
+            service.ingest(make_stream(300))
+            service.drain()
+            service.checkpoint()
+            service.summary()
+        spans = service.traces_snapshot()
+        roots = [
+            span
+            for span in spans
+            if span["name"] == "checkpoint" and span["process"] == "coordinator"
+        ]
+        assert len(roots) == 1
+        children = [span for span in spans if span.get("parent_id") == roots[0]["span_id"]]
+        assert children and all(span["process"].startswith("worker-") for span in children)
+
+
+# --------------------------------------------------------------------- #
+# Event-latency accounting
+# --------------------------------------------------------------------- #
+
+
+class TestEventLatency:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_summary_reports_latency_quantiles(self, make_runtime_config, backend):
+        _, _, summary = run_traced(make_runtime_config, backend, rate=1.0)
+        latency = summary["totals"]["event_latency"]
+        assert latency["count"] > 0
+        assert 0.0 <= latency["p50_seconds"] <= latency["p95_seconds"] <= latency["p99_seconds"]
+
+    def test_latency_metric_family_exported(self, make_runtime_config):
+        service, _, _ = run_traced(make_runtime_config, "threading", rate=1.0)
+        text = service.metrics_text()
+        assert "repro_event_latency_seconds_bucket" in text
+        assert 'repro_event_latency_seconds_count{shard="0"}' in text
+
+
+# --------------------------------------------------------------------- #
+# /debug/traces endpoint
+# --------------------------------------------------------------------- #
+
+
+class TestTracesEndpoint:
+    def test_debug_traces_serves_the_merged_span_ring(self, make_runtime_config):
+        config = make_runtime_config(
+            backend="threading", shards=2, trace_sample_rate=1.0, batch_size=16, metrics_port=0
+        )
+        service = StreamingQueryService(WINDOW, config)
+        for name, expression in QUERIES.items():
+            service.register(name, expression)
+        with service:
+            service.ingest(make_stream(400))
+            service.drain()
+            service.summary()
+            port = service.observability_port
+            with urllib.request.urlopen(f"http://127.0.0.1:{port}/debug/traces", timeout=10) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith("application/json")
+                payload = json.loads(response.read().decode("utf-8"))
+        spans = payload["spans"]
+        assert spans and connected_traces(spans)
+        assert {"coordinator", "worker-0", "worker-1"} <= {span["process"] for span in spans}
+
+
+# --------------------------------------------------------------------- #
+# Failover: one connected trace across coordinator, primary and standby
+# --------------------------------------------------------------------- #
+
+
+class TestFailoverTrace:
+    def test_failover_produces_one_connected_cross_process_trace(
+        self, tcp_worker_farm, standby_farm, make_runtime_config
+    ):
+        """Kill a primary mid-stream: the sampled trace still connects
+        coordinator ingest, the dead primary's batch and the promoted
+        standby's replica apply."""
+        from repro.runtime import TcpWorkerServer
+
+        primaries = [TcpWorkerServer("127.0.0.1", 0) for _ in range(2)]
+        primary_addresses = tuple(f"127.0.0.1:{server.start_in_background()}" for server in primaries)
+        config = make_runtime_config(
+            backend="tcp+standby",
+            shards=2,
+            worker_addresses=primary_addresses,
+            trace_sample_rate=1.0,
+            batch_size=8,
+            tcp_read_timeout=15.0,
+        )
+        service = StreamingQueryService(WINDOW, config)
+        for name, expression in QUERIES.items():
+            service.register(name, expression)
+        stream = make_stream(1_200)
+        try:
+            with service:
+                shard = service.router.shard_of("qa")
+                half = len(stream) // 2
+                service.ingest(stream[:half])
+                service.drain()
+                service.summary()  # harvest the primary's spans before it dies
+                primaries[shard].stop()  # emulated SIGKILL: session and all
+                service.ingest(stream[half:])
+                service.drain()
+                service.summary()  # harvest the promoted standby's spans
+        finally:
+            for server in primaries:
+                server.stop()
+        spans = service.traces_snapshot()
+        assert [promo["shard"] for promo in service.promotions] == [shard]
+        connected = set(connected_traces(spans))
+        lanes = {}
+        for span in spans:
+            lanes.setdefault(span["trace_id"], set()).add(span["process"])
+        full = [
+            trace_id
+            for trace_id, processes in lanes.items()
+            if trace_id in connected
+            and {"coordinator", f"worker-{shard}", f"standby-{shard}"} <= processes
+        ]
+        assert full, "no single connected trace spans coordinator, primary and standby"
+        # The promotion itself is traced and carries the operation id that
+        # stamps every promotion log line.
+        (promote_span,) = [span for span in spans if span["name"] == "promote"]
+        operation_id = service.promotions[0]["operation_id"]
+        assert promote_span["operation_id"] == operation_id
+        assert operation_id.startswith("promote-")
